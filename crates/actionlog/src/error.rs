@@ -1,0 +1,49 @@
+//! Error type for action-log processing.
+
+use std::fmt;
+
+/// Errors from log construction and learning.
+#[derive(Debug)]
+pub enum LogError {
+    /// Not enough observations to estimate a quantity; carries the name of
+    /// the starved estimator and the observed sample count.
+    InsufficientData {
+        /// Which estimate could not be formed.
+        what: String,
+        /// How many samples were available.
+        samples: usize,
+    },
+    /// An item id was absent from the log.
+    UnknownItem(u32),
+    /// An invalid configuration value.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::InsufficientData { what, samples } => {
+                write!(f, "insufficient data for {what}: {samples} samples")
+            }
+            LogError::UnknownItem(i) => write!(f, "item {i} not present in the log"),
+            LogError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = LogError::InsufficientData {
+            what: "q_A|B".into(),
+            samples: 3,
+        };
+        assert!(e.to_string().contains("q_A|B"));
+        assert!(LogError::UnknownItem(7).to_string().contains("7"));
+    }
+}

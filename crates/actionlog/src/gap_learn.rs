@@ -1,0 +1,266 @@
+//! GAP learning from action logs — the estimators of §7.2 with 95%
+//! confidence intervals (Tables 5–7 of the paper).
+//!
+//! For an ordered item pair `(A, B)`:
+//!
+//! * `q̂_{A|∅} = |R_A \ R_{B≺rateA}| / |I_A \ R_{B≺informA}|` — of the users
+//!   informed of A who had *not* already adopted B, the fraction who adopted
+//!   A;
+//! * `q̂_{A|B} = |R_{B≺rateA}| / |R_{B≺informA}|` — of the users who adopted
+//!   B before ever being informed of A, the fraction who went on to adopt A;
+//!
+//! where `R_X` = users who rated X, `I_X` = users informed of X,
+//! `R_{B≺rateA}` = users who rated both with B strictly first, and
+//! `R_{B≺informA}` = users who rated B strictly before being informed of A.
+//! `q̂_{B|∅}` / `q̂_{B|A}` are symmetric. Each estimate is a Bernoulli
+//! parameter, so its 95% CI is `q̂ ± 1.96·√(q̂(1−q̂)/n)`.
+
+use crate::error::LogError;
+use crate::log::{ActionLog, ItemId};
+use comic_core::gap::Gap;
+
+/// A point estimate with normal-approximation confidence interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// The estimated probability.
+    pub value: f64,
+    /// Half-width of the 95% CI: `1.96·√(v(1−v)/n)`.
+    pub ci_half_width: f64,
+    /// Denominator sample count.
+    pub samples: usize,
+}
+
+impl Estimate {
+    fn from_counts(what: &str, numerator: usize, denominator: usize) -> Result<Self, LogError> {
+        if denominator == 0 {
+            return Err(LogError::InsufficientData {
+                what: what.to_string(),
+                samples: 0,
+            });
+        }
+        let v = numerator as f64 / denominator as f64;
+        Ok(Estimate {
+            value: v,
+            ci_half_width: 1.96 * (v * (1.0 - v) / denominator as f64).sqrt(),
+            samples: denominator,
+        })
+    }
+
+    /// `(lower, upper)` bounds of the 95% CI, clamped to `[0, 1]`.
+    pub fn interval(&self) -> (f64, f64) {
+        (
+            (self.value - self.ci_half_width).max(0.0),
+            (self.value + self.ci_half_width).min(1.0),
+        )
+    }
+
+    /// Whether `truth` falls inside the 95% CI.
+    pub fn covers(&self, truth: f64) -> bool {
+        let (lo, hi) = self.interval();
+        (lo..=hi).contains(&truth)
+    }
+}
+
+impl std::fmt::Display for Estimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ± {:.2}", self.value, self.ci_half_width)
+    }
+}
+
+/// The four learned GAPs for an item pair.
+#[derive(Clone, Copy, Debug)]
+pub struct LearnedGaps {
+    /// `q̂_{A|∅}`.
+    pub q_a0: Estimate,
+    /// `q̂_{A|B}`.
+    pub q_ab: Estimate,
+    /// `q̂_{B|∅}`.
+    pub q_b0: Estimate,
+    /// `q̂_{B|A}`.
+    pub q_ba: Estimate,
+}
+
+impl LearnedGaps {
+    /// The point estimates as a [`Gap`] usable by the solvers.
+    pub fn gap(&self) -> Result<Gap, comic_core::ModelError> {
+        Gap::new(
+            self.q_a0.value,
+            self.q_ab.value,
+            self.q_b0.value,
+            self.q_ba.value,
+        )
+    }
+}
+
+/// Directed counts for one orientation of the pair: everything needed for
+/// `q̂_{A|∅}` and `q̂_{A|B}` with A = `first`, B = `second`.
+fn directed_counts(
+    log: &ActionLog,
+    first: ItemId,
+    second: ItemId,
+) -> Result<(Estimate, Estimate), LogError> {
+    let idx_a = log.item_index(first);
+    let idx_b = log.item_index(second);
+
+    let mut rated_a_not_bfirst = 0usize; // |R_A \ R_{B≺rateA}|
+    let mut rated_bfirst = 0usize; // |R_{B≺rateA}|
+    let mut informed_a_not_b_pre = 0usize; // |I_A \ R_{B≺informA}|
+    let mut b_pre_inform = 0usize; // |R_{B≺informA}|
+
+    for (user, ta) in &idx_a {
+        let informed_a = ta.informed_at;
+        let rated_a = ta.rated_at;
+        let rated_b = idx_b.get(user).and_then(|tb| tb.rated_at);
+        if let Some(ia) = informed_a {
+            let b_before_inform = rated_b.is_some_and(|tb| tb < ia);
+            if b_before_inform {
+                b_pre_inform += 1;
+                if rated_a.is_some() {
+                    // Rated both, B first (B's rating precedes even the
+                    // A inform, hence precedes A's rating).
+                    rated_bfirst += 1;
+                }
+            } else {
+                informed_a_not_b_pre += 1;
+                if let Some(ra) = rated_a {
+                    let b_rated_first = rated_b.is_some_and(|tb| tb < ra);
+                    if !b_rated_first {
+                        rated_a_not_bfirst += 1;
+                    }
+                    // else: adopted B between A-inform and A-rate — a
+                    // reconsideration-style adoption; counted in neither
+                    // numerator, exactly as the paper's set algebra does.
+                }
+            }
+        }
+    }
+
+    let q_0 = Estimate::from_counts("q_{X|0}", rated_a_not_bfirst, informed_a_not_b_pre)?;
+    let q_cond = Estimate::from_counts("q_{X|Y}", rated_bfirst, b_pre_inform)?;
+    Ok((q_0, q_cond))
+}
+
+/// Learn the four GAPs for the ordered pair `(item_a, item_b)`.
+pub fn learn_gaps(
+    log: &ActionLog,
+    item_a: ItemId,
+    item_b: ItemId,
+) -> Result<LearnedGaps, LogError> {
+    if !log.has_item(item_a) {
+        return Err(LogError::UnknownItem(item_a.0));
+    }
+    if !log.has_item(item_b) {
+        return Err(LogError::UnknownItem(item_b.0));
+    }
+    let (q_a0, q_ab) = directed_counts(log, item_a, item_b)?;
+    let (q_b0, q_ba) = directed_counts(log, item_b, item_a)?;
+    Ok(LearnedGaps {
+        q_a0,
+        q_ab,
+        q_b0,
+        q_ba,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{Action, LogRecord, UserId};
+
+    fn rec(user: u32, item: u32, action: Action, t: u64) -> LogRecord {
+        LogRecord {
+            user: UserId(user),
+            item: ItemId(item),
+            action,
+            t,
+        }
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // Item A = 0, item B = 1.
+        // user 0: informed A @1, rates A @2, never touches B  -> q_a0 success
+        // user 1: informed A @1, no rating                    -> q_a0 failure
+        // user 2: rates B @1, informed A @2, rates A @3       -> q_ab success
+        // user 3: rates B @1, informed A @2, no A rating      -> q_ab failure
+        let log = ActionLog::from_records(vec![
+            rec(0, 0, Action::Informed, 1),
+            rec(0, 0, Action::Rated, 2),
+            rec(1, 0, Action::Informed, 1),
+            rec(2, 1, Action::Rated, 1),
+            rec(2, 0, Action::Informed, 2),
+            rec(2, 0, Action::Rated, 3),
+            rec(3, 1, Action::Rated, 1),
+            rec(3, 0, Action::Informed, 2),
+            // B side needs at least one informed-of-B user with no A first:
+            rec(4, 1, Action::Informed, 1),
+            rec(4, 1, Action::Rated, 2),
+            // and one user who rated A before being informed of B:
+            rec(5, 0, Action::Rated, 1),
+            rec(5, 1, Action::Informed, 2),
+            rec(5, 1, Action::Rated, 3),
+        ]);
+        let learned = learn_gaps(&log, ItemId(0), ItemId(1)).unwrap();
+        // q_a0: users informed of A without prior B rating: 0, 1, 5 — wait,
+        // user 5 rated A spontaneously (Rated implies Informed at t=1): that
+        // is also a q_a0 success. Successes: 0, 5; failures: 1. 2/3.
+        assert_eq!(learned.q_a0.samples, 3);
+        assert!((learned.q_a0.value - 2.0 / 3.0).abs() < 1e-12);
+        // q_ab: users 2 (success), 3 (failure): 1/2.
+        assert_eq!(learned.q_ab.samples, 2);
+        assert!((learned.q_ab.value - 0.5).abs() < 1e-12);
+        // q_ba: user 5 rated A before B-inform and then rated B: 1/1.
+        assert_eq!(learned.q_ba.samples, 1);
+        assert!((learned.q_ba.value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_item_errors() {
+        let log = ActionLog::from_records(vec![rec(0, 0, Action::Rated, 1)]);
+        assert!(matches!(
+            learn_gaps(&log, ItemId(0), ItemId(9)),
+            Err(LogError::UnknownItem(9))
+        ));
+    }
+
+    #[test]
+    fn insufficient_data_errors() {
+        // Item B present but nobody informed of it without A -> q_b0 starves?
+        // Actually: nobody rated A before B-inform -> q_ba denominator = 0.
+        let log = ActionLog::from_records(vec![
+            rec(0, 0, Action::Informed, 1),
+            rec(1, 1, Action::Informed, 1),
+        ]);
+        // q_ab starves: no user rated B before being informed of A.
+        assert!(matches!(
+            learn_gaps(&log, ItemId(0), ItemId(1)),
+            Err(LogError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn estimate_interval_and_coverage() {
+        let e = Estimate {
+            value: 0.5,
+            ci_half_width: 0.1,
+            samples: 100,
+        };
+        assert_eq!(e.interval(), (0.4, 0.6));
+        assert!(e.covers(0.45));
+        assert!(!e.covers(0.7));
+        let edge = Estimate {
+            value: 0.99,
+            ci_half_width: 0.05,
+            samples: 10,
+        };
+        assert_eq!(edge.interval().1, 1.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let a = Estimate::from_counts("x", 50, 100).unwrap();
+        let b = Estimate::from_counts("x", 500, 1000).unwrap();
+        assert!(b.ci_half_width < a.ci_half_width);
+        assert_eq!(a.value, b.value);
+    }
+}

@@ -1,0 +1,207 @@
+//! Edge influence-probability learning — the static Bernoulli model of
+//! Goyal, Bonchi & Lakshmanan [12], which the paper uses to obtain the
+//! `p(u, v)` of all its datasets.
+//!
+//! Under the static Bernoulli model, `p̂(u, v) = A_{u→v} / A_u`, where `A_u`
+//! is the number of actions (item adoptions) performed by `u` and `A_{u→v}`
+//! is the number of those actions that *propagated* to `v`: `v` performed
+//! the same action strictly after `u` and within a propagation window τ,
+//! and the social link `u → v` exists.
+
+use crate::log::{ActionLog, UserId};
+use comic_graph::fasthash::FxHashMap;
+use comic_graph::{DiGraph, GraphBuilder, NodeId};
+
+/// Configuration for [`learn_influence`].
+#[derive(Clone, Copy, Debug)]
+pub struct InfluenceLearnConfig {
+    /// Propagation window τ: `v`'s action at `t_v` is credited to `u`'s at
+    /// `t_u` iff `t_u < t_v ≤ t_u + tau`.
+    pub tau: u64,
+    /// Probability floor assigned to edges with no observations (keeps the
+    /// learned graph usable for diffusion; the paper's pipelines do the
+    /// same implicitly by falling back to weighted-cascade-style priors).
+    pub default_p: f64,
+}
+
+impl Default for InfluenceLearnConfig {
+    fn default() -> Self {
+        InfluenceLearnConfig {
+            tau: 1_000,
+            default_p: 0.0,
+        }
+    }
+}
+
+/// Learn `p̂(u, v)` for every edge of `g` from `log`, returning a copy of
+/// the graph with probabilities replaced. Users in the log must be graph
+/// nodes (`UserId(x)` ↔ `NodeId(x)`); foreign users are ignored.
+pub fn learn_influence(g: &DiGraph, log: &ActionLog, cfg: &InfluenceLearnConfig) -> DiGraph {
+    let n = g.num_nodes();
+    // Per (user, item) first adoption times.
+    let mut adoption: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+    let mut actions_per_user = vec![0u32; n];
+    for r in log.records() {
+        if let crate::log::Action::Rated = r.action {
+            let UserId(u) = r.user;
+            if (u as usize) < n {
+                adoption
+                    .entry((u, r.item.0))
+                    .and_modify(|t| *t = (*t).min(r.t))
+                    .or_insert(r.t);
+            }
+        }
+    }
+    for (&(u, _), _) in adoption.iter() {
+        actions_per_user[u as usize] += 1;
+    }
+
+    // Credit propagations along existing edges.
+    let mut propagated: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+    for (&(u, item), &tu) in adoption.iter() {
+        for adj in g.out_edges(NodeId(u)) {
+            let v = adj.node.0;
+            if let Some(&tv) = adoption.get(&(v, item)) {
+                if tu < tv && tv <= tu + cfg.tau {
+                    *propagated.entry((u, v)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, g.num_edges());
+    for (_, e) in g.edges() {
+        let (u, v) = (e.source.0, e.target.0);
+        let a_u = actions_per_user[u as usize];
+        let p = if a_u == 0 {
+            cfg.default_p
+        } else {
+            let a_uv = propagated.get(&(u, v)).copied().unwrap_or(0);
+            (a_uv as f64 / a_u as f64).min(1.0)
+        };
+        b.add_edge(u, v, p.max(cfg.default_p).min(1.0));
+    }
+    b.build().expect("probability relearning preserves topology")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{Action, ItemId, LogRecord};
+    use crate::synth::{synthesize_pair_log, SynthConfig};
+    use comic_core::gap::Gap;
+    use comic_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rated(user: u32, item: u32, t: u64) -> LogRecord {
+        LogRecord {
+            user: UserId(user),
+            item: ItemId(item),
+            action: Action::Rated,
+            t,
+        }
+    }
+
+    #[test]
+    fn hand_computed_bernoulli() {
+        // Edge 0 -> 1. User 0 adopts items {0, 1, 2}; user 1 follows on
+        // items {0, 1} within the window, misses item 2.
+        let g = comic_graph::builder::from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let log = ActionLog::from_records(vec![
+            rated(0, 0, 10),
+            rated(1, 0, 12),
+            rated(0, 1, 100),
+            rated(1, 1, 105),
+            rated(0, 2, 200),
+            rated(1, 2, 5_000), // outside tau
+        ]);
+        let learned = learn_influence(
+            &g,
+            &log,
+            &InfluenceLearnConfig {
+                tau: 50,
+                default_p: 0.0,
+            },
+        );
+        let p = learned.out_edges(NodeId(0)).next().unwrap().p;
+        assert!((p - 2.0 / 3.0).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn no_credit_against_time_order() {
+        // v adopts before u: no propagation credit.
+        let g = comic_graph::builder::from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let log = ActionLog::from_records(vec![rated(1, 0, 5), rated(0, 0, 10)]);
+        let learned = learn_influence(&g, &log, &InfluenceLearnConfig::default());
+        assert_eq!(learned.out_edges(NodeId(0)).next().unwrap().p, 0.0);
+    }
+
+    #[test]
+    fn default_floor_applies() {
+        let g = comic_graph::builder::from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let log = ActionLog::new();
+        let learned = learn_influence(
+            &g,
+            &log,
+            &InfluenceLearnConfig {
+                tau: 10,
+                default_p: 0.01,
+            },
+        );
+        assert_eq!(learned.out_edges(NodeId(0)).next().unwrap().p, 0.01);
+    }
+
+    /// End-to-end: cascades generated with constant edge probability are
+    /// learned back to roughly that probability on active edges.
+    #[test]
+    fn recovers_constant_probability_roughly() {
+        let mut grng = SmallRng::seed_from_u64(1);
+        let topo = gen::gnm(40, 200, &mut grng).unwrap();
+        let p_true = 0.45;
+        let g = comic_graph::prob::ProbModel::Constant(p_true).apply(&topo, &mut grng);
+        // Single-item cascades (classic-IC GAPs), users = graph nodes.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let log = synthesize_pair_log(
+            &g,
+            Gap::classic_ic(),
+            ItemId(0),
+            ItemId(1),
+            &SynthConfig {
+                sessions: 600,
+                seeds_per_item: 3,
+                fresh_cohorts: false,
+            },
+            &mut rng,
+        );
+        // τ must cover any within-session gap (sequence-stamped events) but
+        // stay below the 10⁹ session stride so credit never leaks across
+        // sessions.
+        let learned = learn_influence(
+            &g,
+            &log,
+            &InfluenceLearnConfig {
+                tau: 100_000,
+                default_p: 0.0,
+            },
+        );
+        // Average learned probability over edges with enough source actions
+        // should sit near p_true (each source action gives the target one
+        // independent p_true chance; estimator over/under-shoot comes from
+        // alternative paths and co-seeding, so allow a loose band).
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        for (_, e) in learned.edges() {
+            if e.p > 0.0 {
+                sum += e.p;
+                cnt += 1;
+            }
+        }
+        assert!(cnt > 50, "too few informative edges: {cnt}");
+        let mean = sum / cnt as f64;
+        assert!(
+            (mean - p_true).abs() < 0.2,
+            "mean learned p {mean} vs true {p_true}"
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Timestamped user action logs.
+
+use comic_graph::fasthash::FxHashMap;
+
+/// A log user. Users need not be graph nodes (the synthetic generator can
+/// mint a fresh cohort per diffusion session).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u32);
+
+/// An item (product/movie/book) appearing in the log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ItemId(pub u32);
+
+/// The two observable action kinds of §7.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// The user was informed of the item ("want to see", "not interested",
+    /// wish-listing).
+    Informed,
+    /// The user adopted (rated) the item. Rating implies being informed, so
+    /// a lone `Rated` record also counts as an informing event at the same
+    /// timestamp.
+    Rated,
+}
+
+/// One log record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Acting user.
+    pub user: UserId,
+    /// Item acted upon.
+    pub item: ItemId,
+    /// Kind of action.
+    pub action: Action,
+    /// Timestamp (any monotone clock; only order matters).
+    pub t: u64,
+}
+
+/// First-occurrence times of a user's interactions with one item.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UserItemTimes {
+    /// Earliest time the user was informed of the item (a rate also
+    /// informs).
+    pub informed_at: Option<u64>,
+    /// Earliest time the user rated the item.
+    pub rated_at: Option<u64>,
+}
+
+impl UserItemTimes {
+    fn absorb(&mut self, action: Action, t: u64) {
+        let min_opt = |cur: Option<u64>| Some(cur.map_or(t, |c| c.min(t)));
+        match action {
+            Action::Informed => self.informed_at = min_opt(self.informed_at),
+            Action::Rated => {
+                self.rated_at = min_opt(self.rated_at);
+                self.informed_at = min_opt(self.informed_at);
+            }
+        }
+    }
+}
+
+/// An action log: records plus lazily-built first-time indices.
+#[derive(Clone, Debug, Default)]
+pub struct ActionLog {
+    records: Vec<LogRecord>,
+}
+
+impl ActionLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        ActionLog::default()
+    }
+
+    /// Build from records (sorted by time internally).
+    pub fn from_records(mut records: Vec<LogRecord>) -> Self {
+        records.sort_by_key(|r| (r.t, r.user, r.item));
+        ActionLog { records }
+    }
+
+    /// Append one record (keeps the log sorted lazily; callers that push out
+    /// of order should call [`ActionLog::sort`] before reading).
+    pub fn push(&mut self, record: LogRecord) {
+        self.records.push(record);
+    }
+
+    /// Sort records by time (stable by user/item).
+    pub fn sort(&mut self) {
+        self.records.sort_by_key(|r| (r.t, r.user, r.item));
+    }
+
+    /// All records in time order.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether any record mentions `item`.
+    pub fn has_item(&self, item: ItemId) -> bool {
+        self.records.iter().any(|r| r.item == item)
+    }
+
+    /// First-time index for one item: `user → (informed_at, rated_at)`.
+    pub fn item_index(&self, item: ItemId) -> FxHashMap<UserId, UserItemTimes> {
+        let mut idx: FxHashMap<UserId, UserItemTimes> = FxHashMap::default();
+        for r in &self.records {
+            if r.item == item {
+                idx.entry(r.user).or_default().absorb(r.action, r.t);
+            }
+        }
+        idx
+    }
+
+    /// Distinct items in the log.
+    pub fn items(&self) -> Vec<ItemId> {
+        let mut items: Vec<ItemId> = self.records.iter().map(|r| r.item).collect();
+        items.sort_unstable();
+        items.dedup();
+        items
+    }
+
+    /// Distinct users in the log.
+    pub fn users(&self) -> Vec<UserId> {
+        let mut users: Vec<UserId> = self.records.iter().map(|r| r.user).collect();
+        users.sort_unstable();
+        users.dedup();
+        users
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(user: u32, item: u32, action: Action, t: u64) -> LogRecord {
+        LogRecord {
+            user: UserId(user),
+            item: ItemId(item),
+            action,
+            t,
+        }
+    }
+
+    #[test]
+    fn from_records_sorts_by_time() {
+        let log = ActionLog::from_records(vec![
+            rec(1, 0, Action::Rated, 5),
+            rec(0, 0, Action::Informed, 2),
+        ]);
+        assert_eq!(log.records()[0].t, 2);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn rating_implies_informed_at_same_time() {
+        let log = ActionLog::from_records(vec![rec(0, 7, Action::Rated, 10)]);
+        let idx = log.item_index(ItemId(7));
+        let times = idx[&UserId(0)];
+        assert_eq!(times.rated_at, Some(10));
+        assert_eq!(times.informed_at, Some(10));
+    }
+
+    #[test]
+    fn first_times_win() {
+        let log = ActionLog::from_records(vec![
+            rec(0, 1, Action::Informed, 4),
+            rec(0, 1, Action::Informed, 2),
+            rec(0, 1, Action::Rated, 9),
+            rec(0, 1, Action::Rated, 7),
+        ]);
+        let t = log.item_index(ItemId(1))[&UserId(0)];
+        assert_eq!(t.informed_at, Some(2));
+        assert_eq!(t.rated_at, Some(7));
+    }
+
+    #[test]
+    fn items_and_users_enumeration() {
+        let log = ActionLog::from_records(vec![
+            rec(3, 9, Action::Informed, 1),
+            rec(1, 9, Action::Rated, 2),
+            rec(1, 4, Action::Rated, 3),
+        ]);
+        assert_eq!(log.items(), vec![ItemId(4), ItemId(9)]);
+        assert_eq!(log.users(), vec![UserId(1), UserId(3)]);
+        assert!(log.has_item(ItemId(4)));
+        assert!(!log.has_item(ItemId(5)));
+    }
+
+    #[test]
+    fn index_separates_items() {
+        let log = ActionLog::from_records(vec![
+            rec(0, 1, Action::Rated, 1),
+            rec(0, 2, Action::Informed, 2),
+        ]);
+        assert!(log.item_index(ItemId(1)).contains_key(&UserId(0)));
+        let idx2 = log.item_index(ItemId(2));
+        assert_eq!(idx2[&UserId(0)].rated_at, None);
+    }
+}

@@ -1,0 +1,127 @@
+//! The paper's heuristic baselines: HighDegree, Random, Copying and
+//! VanillaIC (§7).
+
+use comic_graph::{DiGraph, NodeId};
+use comic_ris::ic_sampler::IcRrSampler;
+use comic_ris::tim::{general_tim, TimConfig, TimResult};
+use rand::{Rng, RngExt};
+
+use crate::error::AlgoError;
+
+/// **HighDegree**: the `k` nodes with the highest out-degree (ties by lower
+/// id).
+pub fn high_degree(g: &DiGraph, k: usize) -> Vec<NodeId> {
+    let mut order: Vec<u32> = (0..g.num_nodes() as u32).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.out_degree(NodeId(v))), v));
+    order.into_iter().take(k).map(NodeId).collect()
+}
+
+/// **Random**: `k` distinct nodes uniformly at random.
+pub fn random_nodes<R: Rng>(g: &DiGraph, k: usize, rng: &mut R) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let k = k.min(n);
+    // Partial Fisher–Yates over the id range.
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        ids.swap(i, j);
+    }
+    ids[..k].iter().copied().map(NodeId).collect()
+}
+
+/// **Copying**: adopt (up to) the first `k` of the opposite item's seeds —
+/// the paper's Copying baseline takes the top-k B-seeds as A-seeds and vice
+/// versa. When the opposite set is smaller than `k`, the remainder is filled
+/// with the highest-out-degree unused nodes so the budget is spent.
+pub fn copying(g: &DiGraph, opposite_seeds: &[NodeId], k: usize) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = opposite_seeds.iter().copied().take(k).collect();
+    if out.len() < k {
+        for v in high_degree(g, g.num_nodes()) {
+            if out.len() == k {
+                break;
+            }
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// **VanillaIC**: run TIM under the classic IC model, ignoring the second
+/// item and the node-level automaton entirely.
+pub fn vanilla_ic(g: &DiGraph, cfg: &TimConfig) -> Result<TimResult, AlgoError> {
+    let mut sampler = IcRrSampler::new(g);
+    Ok(general_tim(&mut sampler, cfg)?)
+}
+
+/// The first `count` seeds in VanillaIC's greedy pick order — the paper's
+/// experiments seed the *opposite* item with ranks 1–100 or 101–200 of this
+/// ranking (Tables 2–4).
+pub fn vanilla_ic_ranking(
+    g: &DiGraph,
+    count: usize,
+    epsilon: f64,
+    seed: u64,
+) -> Result<Vec<NodeId>, AlgoError> {
+    let cfg = TimConfig::new(count.min(g.num_nodes()))
+        .epsilon(epsilon)
+        .seed(seed);
+    Ok(vanilla_ic(g, &cfg)?.seeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comic_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn high_degree_picks_hubs() {
+        let g = gen::star(30, 1.0);
+        assert_eq!(high_degree(&g, 1), vec![NodeId(0)]);
+        let top3 = high_degree(&g, 3);
+        assert_eq!(top3[0], NodeId(0));
+        assert_eq!(top3.len(), 3);
+    }
+
+    #[test]
+    fn random_nodes_distinct_and_in_range() {
+        let g = gen::path(50, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let s = random_nodes(&g, 10, &mut rng);
+            assert_eq!(s.len(), 10);
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 10);
+            assert!(s.iter().all(|v| v.index() < 50));
+        }
+        // k > n clamps.
+        assert_eq!(random_nodes(&g, 99, &mut rng).len(), 50);
+    }
+
+    #[test]
+    fn copying_truncates_or_tops_up() {
+        let g = gen::star(10, 1.0);
+        let opp: Vec<NodeId> = vec![NodeId(3), NodeId(4), NodeId(5)];
+        assert_eq!(copying(&g, &opp, 2), vec![NodeId(3), NodeId(4)]);
+        let filled = copying(&g, &opp, 5);
+        assert_eq!(filled.len(), 5);
+        assert_eq!(&filled[..3], &opp[..]);
+        // Top-up prefers the hub.
+        assert!(filled.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn vanilla_ic_finds_the_hub() {
+        let g = gen::star(60, 1.0);
+        let r = vanilla_ic(&g, &TimConfig::new(1)).unwrap();
+        assert_eq!(r.seeds, vec![NodeId(0)]);
+        let ranking = vanilla_ic_ranking(&g, 5, 0.5, 7).unwrap();
+        assert_eq!(ranking.len(), 5);
+        assert_eq!(ranking[0], NodeId(0));
+    }
+}

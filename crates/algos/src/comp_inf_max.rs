@@ -1,0 +1,262 @@
+//! CompInfMax (Problem 2): pick `k` B-seeds maximizing the *boost*
+//! `σ_A(S_A, S_B) − σ_A(S_A, ∅)` for a fixed A-seed set under mutual
+//! complementarity.
+
+use comic_core::gap::{Gap, Regime};
+use comic_core::seeds::SeedPair;
+use comic_core::spread::SpreadEstimator;
+use comic_graph::{DiGraph, NodeId};
+use comic_ris::tim::{general_tim, TimConfig};
+use rand::{Rng, RngExt};
+
+use crate::error::AlgoError;
+use crate::greedy::{greedy_comp_inf_max, GreedyConfig};
+use crate::rr_cim::RrCimSampler;
+use crate::sandwich::{SandwichCandidate, SandwichReport};
+use crate::self_inf_max::{Solution, Strategy};
+
+/// CompInfMax solver (builder-style).
+///
+/// # Example
+/// ```
+/// use comic_algos::CompInfMax;
+/// use comic_core::Gap;
+/// use comic_core::seeds::seeds;
+/// use comic_graph::gen;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// // A star whose hub seeds A with q_{A|∅} low: boosting works by seeding
+/// // B where A's information already reaches.
+/// let g = gen::star(40, 0.8);
+/// let gap = Gap::new(0.2, 0.9, 0.6, 1.0).unwrap(); // q_{B|A} = 1: direct
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let sol = CompInfMax::new(&g, gap, seeds(&[0]))
+///     .eval_iterations(2000)
+///     .solve(1, &mut rng)
+///     .unwrap();
+/// assert_eq!(sol.seeds.len(), 1);
+/// ```
+pub struct CompInfMax<'g> {
+    g: &'g DiGraph,
+    gap: Gap,
+    seeds_a: Vec<NodeId>,
+    epsilon: f64,
+    ell: f64,
+    max_rr_sets: Option<u64>,
+    eval_iterations: usize,
+    threads: usize,
+    with_greedy_candidate: Option<GreedyConfig>,
+}
+
+impl<'g> CompInfMax<'g> {
+    /// New solver for graph `g`, GAPs `gap`, and the fixed A-seed set.
+    pub fn new(g: &'g DiGraph, gap: Gap, seeds_a: Vec<NodeId>) -> Self {
+        CompInfMax {
+            g,
+            gap,
+            seeds_a,
+            epsilon: 0.5,
+            ell: 1.0,
+            max_rr_sets: None,
+            eval_iterations: 10_000,
+            threads: 0,
+            with_greedy_candidate: None,
+        }
+    }
+
+    /// Set ε (default 0.5).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Set ℓ (default 1).
+    pub fn ell(mut self, ell: f64) -> Self {
+        self.ell = ell;
+        self
+    }
+
+    /// Cap θ (forfeits the approximation guarantee when hit).
+    pub fn max_rr_sets(mut self, cap: u64) -> Self {
+        self.max_rr_sets = Some(cap);
+        self
+    }
+
+    /// Monte-Carlo iterations for candidate evaluation (default 10,000).
+    pub fn eval_iterations(mut self, iters: usize) -> Self {
+        self.eval_iterations = iters;
+        self
+    }
+
+    /// Worker threads for evaluations (0 = all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Also run MC greedy on the true boost as a sandwich candidate.
+    pub fn with_greedy_candidate(mut self, cfg: GreedyConfig) -> Self {
+        self.with_greedy_candidate = Some(cfg);
+        self
+    }
+
+    fn tim_config(&self, k: usize, seed: u64) -> TimConfig {
+        let mut cfg = TimConfig::new(k).epsilon(self.epsilon).seed(seed);
+        cfg.ell = self.ell;
+        cfg.max_rr_sets = self.max_rr_sets;
+        cfg
+    }
+
+    /// MC estimate of the boost `σ_A(S_A, seeds) − σ_A(S_A, ∅)` under `gap`.
+    fn boost(&self, gap: Gap, seeds_b: &[NodeId], seed: u64) -> f64 {
+        let est = SpreadEstimator::new(self.g, gap);
+        let sp = SeedPair::new(self.seeds_a.clone(), seeds_b.to_vec());
+        est.estimate_boost(&sp, self.eval_iterations, seed, self.threads)
+    }
+
+    /// Solve for `k` B-seeds.
+    ///
+    /// * `q_{B|A} = 1`: direct GeneralTIM with RR-CIM (Theorem 8).
+    /// * General `Q⁺`: sandwich with the upper surrogate `q_{B|A} → 1`
+    ///   (§6.4; no lower surrogate exists for CompInfMax, matching the
+    ///   paper, which "disregards S_µ" here).
+    pub fn solve<R: Rng>(&self, k: usize, rng: &mut R) -> Result<Solution, AlgoError> {
+        if self.gap.regime() != Regime::MutualComplement {
+            return Err(AlgoError::UnsupportedRegime(format!(
+                "CompInfMax is defined for mutual complementarity (Q+); got {}",
+                self.gap
+            )));
+        }
+        let seed: u64 = rng.random();
+
+        if self.gap.is_cim_submodular() {
+            let mut sampler = RrCimSampler::new(self.g, self.gap, self.seeds_a.clone())?;
+            let tim = general_tim(&mut sampler, &self.tim_config(k, seed))?;
+            let objective = self.boost(self.gap, &tim.seeds, seed ^ 1);
+            return Ok(Solution {
+                seeds: tim.seeds.clone(),
+                objective,
+                strategy: Strategy::Direct,
+                tim,
+                sandwich: None,
+            });
+        }
+
+        // Sandwich upper bound: raise q_{B|A} to 1 (Theorem 10 monotonicity).
+        let nu_gap = self.gap.with_q_ba(1.0)?;
+        let mut sampler = RrCimSampler::new(self.g, nu_gap, self.seeds_a.clone())?;
+        let tim_nu = general_tim(&mut sampler, &self.tim_config(k, seed))?;
+
+        let mut candidates = vec![SandwichCandidate {
+            name: "nu",
+            objective: self.boost(self.gap, &tim_nu.seeds, seed ^ 3),
+            seeds: tim_nu.seeds.clone(),
+        }];
+        if let Some(gcfg) = &self.with_greedy_candidate {
+            let gr = greedy_comp_inf_max(self.g, self.gap, &self.seeds_a, k, gcfg);
+            candidates.push(SandwichCandidate {
+                name: "sigma",
+                objective: self.boost(self.gap, &gr.seeds, seed ^ 3),
+                seeds: gr.seeds,
+            });
+        }
+        let nu_value = self.boost(nu_gap, &tim_nu.seeds, seed ^ 4);
+        let ratio = if nu_value > 0.0 {
+            candidates[0].objective / nu_value
+        } else {
+            1.0
+        };
+        let report = SandwichReport::assemble(candidates, ratio);
+        let winner = report.winner();
+        Ok(Solution {
+            seeds: winner.seeds.clone(),
+            objective: winner.objective,
+            strategy: Strategy::Sandwich,
+            tim: tim_nu,
+            sandwich: Some(report),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comic_core::seeds::seeds;
+    use comic_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_non_q_plus() {
+        let g = gen::path(4, 1.0);
+        let gap = Gap::new(0.8, 0.2, 0.9, 0.3).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(matches!(
+            CompInfMax::new(&g, gap, seeds(&[0])).solve(1, &mut rng),
+            Err(AlgoError::UnsupportedRegime(_))
+        ));
+    }
+
+    #[test]
+    fn direct_route_when_q_ba_is_one() {
+        // Two disjoint certain stars, A seeded at hub 0: the only useful
+        // B-seeds live inside star 0 (boost elsewhere is zero).
+        let mut b = comic_graph::GraphBuilder::new(40);
+        for v in 1..20u32 {
+            b.add_edge(0, v, 1.0);
+        }
+        for v in 21..40u32 {
+            b.add_edge(20, v, 1.0);
+        }
+        let g = b.build().unwrap();
+        let gap = Gap::new(0.2, 1.0, 1.0, 1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let sol = CompInfMax::new(&g, gap, seeds(&[0]))
+            .eval_iterations(3000)
+            .threads(1)
+            .solve(1, &mut rng)
+            .unwrap();
+        assert_eq!(sol.strategy, Strategy::Direct);
+        assert!(sol.seeds[0].0 < 20, "picked {} outside A's star", sol.seeds[0]);
+        assert!(sol.objective > 0.0);
+    }
+
+    #[test]
+    fn sandwich_route_when_q_ba_below_one() {
+        let mut grng = SmallRng::seed_from_u64(3);
+        let topo = gen::gnm(60, 360, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.3).apply(&topo, &mut grng);
+        let gap = Gap::new(0.1, 0.9, 0.4, 0.8).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let sol = CompInfMax::new(&g, gap, seeds(&[0, 1, 2]))
+            .eval_iterations(3000)
+            .threads(1)
+            .solve(2, &mut rng)
+            .unwrap();
+        assert_eq!(sol.strategy, Strategy::Sandwich);
+        assert_eq!(sol.seeds.len(), 2);
+        let report = sol.sandwich.unwrap();
+        assert_eq!(report.candidates[0].name, "nu");
+        assert!(report.upper_bound_ratio > 0.0);
+    }
+
+    #[test]
+    fn zero_boost_when_b_cannot_help() {
+        // A's component is unreachable from anywhere B could matter:
+        // disconnected singleton A-seed.
+        let g = comic_graph::builder::from_edges(5, &[(1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let gap = Gap::new(0.3, 0.9, 0.5, 1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let sol = CompInfMax::new(&g, gap, seeds(&[0]))
+            .eval_iterations(2000)
+            .threads(1)
+            .solve(1, &mut rng)
+            .unwrap();
+        assert!(
+            sol.objective.abs() < 0.05,
+            "no boost is possible, got {}",
+            sol.objective
+        );
+    }
+}

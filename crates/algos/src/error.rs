@@ -1,0 +1,63 @@
+//! Error type for the algorithms crate.
+
+use std::fmt;
+
+/// Errors from seed-selection algorithms.
+#[derive(Debug)]
+pub enum AlgoError {
+    /// The GAP vector is outside the regime the requested algorithm
+    /// supports (e.g. RR-SIM without one-way complementarity).
+    UnsupportedRegime(String),
+    /// Underlying RIS framework error.
+    Ris(comic_ris::RisError),
+    /// Underlying model error.
+    Model(comic_core::ModelError),
+    /// A structurally invalid request.
+    InvalidRequest(String),
+}
+
+impl fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgoError::UnsupportedRegime(msg) => write!(f, "unsupported GAP regime: {msg}"),
+            AlgoError::Ris(e) => write!(f, "ris: {e}"),
+            AlgoError::Model(e) => write!(f, "model: {e}"),
+            AlgoError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgoError::Ris(e) => Some(e),
+            AlgoError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<comic_ris::RisError> for AlgoError {
+    fn from(e: comic_ris::RisError) -> Self {
+        AlgoError::Ris(e)
+    }
+}
+
+impl From<comic_core::ModelError> for AlgoError {
+    fn from(e: comic_core::ModelError) -> Self {
+        AlgoError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: AlgoError = comic_ris::RisError::KTooLarge { k: 9, n: 3 }.into();
+        assert!(e.to_string().contains("9"));
+        let e = AlgoError::UnsupportedRegime("x".into());
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # comic-algos
+//!
+//! Seed-selection algorithms for the two optimization problems of the paper:
+//!
+//! * **SelfInfMax** (Problem 1): given a fixed B-seed set, pick `k` A-seeds
+//!   maximizing `σ_A(S_A, S_B)` — solved by GeneralTIM with the
+//!   [`rr_sim`]/[`rr_sim_plus`] samplers (Theorems 4/7), with the
+//!   [`sandwich`] approximation covering general mutual complementarity.
+//! * **CompInfMax** (Problem 2): given a fixed A-seed set, pick `k` B-seeds
+//!   maximizing the *boost* `σ_A(S_A, S_B) − σ_A(S_A, ∅)` — solved by
+//!   GeneralTIM with the [`rr_cim`] sampler (Theorems 5/8) plus sandwich.
+//!
+//! The paper's baselines are here too: CELF-accelerated Monte-Carlo
+//! [`greedy`], [`baselines`] (HighDegree, Random, Copying, VanillaIC) and
+//! [`pagerank`]. The [`reference`] module carries brute-force Definition-1
+//! samplers used as ground truth when validating the RR-set constructions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod comp_inf_max;
+pub mod error;
+pub mod greedy;
+pub mod pagerank;
+pub mod reference;
+pub mod rr_cim;
+pub mod rr_sim;
+pub mod rr_sim_plus;
+pub mod sandwich;
+pub mod self_inf_max;
+
+pub use comp_inf_max::CompInfMax;
+pub use error::AlgoError;
+pub use rr_cim::RrCimSampler;
+pub use rr_sim::RrSimSampler;
+pub use rr_sim_plus::RrSimPlusSampler;
+pub use self_inf_max::SelfInfMax;

@@ -1,0 +1,136 @@
+//! PageRank — one of the paper's heuristic baselines (§7.3).
+
+use comic_graph::{DiGraph, NodeId};
+
+/// Configuration for [`pagerank`].
+#[derive(Clone, Copy, Debug)]
+pub struct PageRankConfig {
+    /// Damping factor (the conventional 0.85).
+    pub damping: f64,
+    /// Convergence threshold on the L1 change per iteration.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            damping: 0.85,
+            tolerance: 1e-9,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// Power-iteration PageRank over the graph's edge directions.
+///
+/// Influence-maximization papers rank nodes by PageRank on the *transpose*
+/// graph (a node pointed at by influential nodes is influential); pass
+/// `g.transpose()` if that convention is wanted — the paper's baseline
+/// simply "chooses the k nodes with highest PageRank score", which we
+/// interpret on the influence direction with dangling-mass redistribution.
+pub fn pagerank(g: &DiGraph, cfg: &PageRankConfig) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nf = n as f64;
+    let mut rank = vec![1.0 / nf; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..cfg.max_iterations {
+        next.fill((1.0 - cfg.damping) / nf);
+        let mut dangling = 0.0;
+        for u in g.nodes() {
+            let deg = g.out_degree(u);
+            if deg == 0 {
+                dangling += rank[u.index()];
+                continue;
+            }
+            let share = cfg.damping * rank[u.index()] / deg as f64;
+            for adj in g.out_edges(u) {
+                next[adj.node.index()] += share;
+            }
+        }
+        if dangling > 0.0 {
+            let spread = cfg.damping * dangling / nf;
+            for x in next.iter_mut() {
+                *x += spread;
+            }
+        }
+        let delta: f64 = rank
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < cfg.tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+/// The `k` highest-PageRank nodes (ties broken by lower id, scores from
+/// [`pagerank`] with the given config).
+pub fn pagerank_top_k(g: &DiGraph, k: usize, cfg: &PageRankConfig) -> Vec<NodeId> {
+    let scores = pagerank(g, cfg);
+    let mut order: Vec<u32> = (0..g.num_nodes() as u32).collect();
+    order.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order.into_iter().take(k).map(NodeId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comic_graph::gen;
+
+    #[test]
+    fn uniform_on_a_ring() {
+        let g = gen::ring(10, 1.0);
+        let r = pagerank(&g, &PageRankConfig::default());
+        for &x in &r {
+            assert!((x - 0.1).abs() < 1e-6, "ring PageRank should be uniform");
+        }
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sums_to_one_with_dangling_nodes() {
+        let g = gen::star(20, 1.0); // leaves dangle
+        let r = pagerank(&g, &PageRankConfig::default());
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn in_star_concentrates_on_the_hub() {
+        // Everyone points at node 0.
+        let g = gen::star(20, 1.0).transpose();
+        let r = pagerank(&g, &PageRankConfig::default());
+        for v in 1..20 {
+            assert!(r[0] > r[v], "hub should dominate leaf {v}");
+        }
+        let top = pagerank_top_k(&g, 1, &PageRankConfig::default());
+        assert_eq!(top, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn top_k_is_sorted_by_score() {
+        let g = gen::star(10, 1.0).transpose();
+        let top = pagerank_top_k(&g, 3, &PageRankConfig::default());
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0], NodeId(0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = comic_graph::builder::from_edges(0, &[]).unwrap();
+        assert!(pagerank(&g, &PageRankConfig::default()).is_empty());
+        assert!(pagerank_top_k(&g, 3, &PageRankConfig::default()).is_empty());
+    }
+}

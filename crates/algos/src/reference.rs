@@ -1,0 +1,168 @@
+//! Brute-force Definition-1 reference samplers.
+//!
+//! Definition 1 of the paper defines an RR-set extensionally: fix a possible
+//! world, then `u ∈ R_W(v)` iff the singleton seed `{u}` activates `v` in
+//! `W`. These functions compute that set literally, by replaying the
+//! deterministic cascade once per candidate node *in the same lazily-shared
+//! world*. Cost is `O(n · cascade)` per world — exponential in usefulness,
+//! linear in confidence — so they serve as ground truth for the optimized
+//! RR-SIM / RR-SIM+ / RR-CIM constructions in tests, and as a debugging aid
+//! for anyone extending the samplers to new GAP regimes.
+
+use comic_core::gap::Gap;
+use comic_core::item::Item;
+use comic_core::oracle::Oracle;
+use comic_core::possible_world::LazyWorld;
+use comic_core::seeds::SeedPair;
+use comic_core::simulate::CascadeEngine;
+use comic_graph::{DiGraph, EdgeId, NodeId};
+use rand::Rng;
+
+/// An [`Oracle`] over a *borrowed* [`LazyWorld`] whose `reset` is a no-op:
+/// every cascade run through it shares (and extends) the same world.
+pub struct BorrowedWorldOracle<'w, R> {
+    world: &'w mut LazyWorld,
+    rng: &'w mut R,
+}
+
+impl<'w, R: Rng> BorrowedWorldOracle<'w, R> {
+    /// Wrap a world and RNG.
+    pub fn new(world: &'w mut LazyWorld, rng: &'w mut R) -> Self {
+        BorrowedWorldOracle { world, rng }
+    }
+}
+
+impl<R: Rng> Oracle for BorrowedWorldOracle<'_, R> {
+    #[inline]
+    fn edge_live(&mut self, e: EdgeId, p: f64) -> bool {
+        self.world.edge_live(e, p, self.rng)
+    }
+    #[inline]
+    fn adopt(&mut self, v: NodeId, item: Item, other_adopted: bool, gap: &Gap) -> bool {
+        self.world.passes(item, v, other_adopted, gap, self.rng)
+    }
+    #[inline]
+    fn reconsider(&mut self, v: NodeId, item: Item, gap: &Gap) -> bool {
+        self.world.passes(item, v, true, gap, self.rng)
+    }
+    #[inline]
+    fn tie_priority(&mut self, e: EdgeId) -> u64 {
+        self.world.priority(e, self.rng)
+    }
+    #[inline]
+    fn seed_a_first(&mut self, v: NodeId) -> bool {
+        self.world.tau(v, self.rng)
+    }
+    /// No-op by design: the borrowed world persists across runs.
+    fn reset(&mut self) {}
+}
+
+/// Whether the root adopts A when diffusing `seeds` in (a shared view of)
+/// `world`.
+fn root_adopts_a<R: Rng>(
+    engine: &mut CascadeEngine<'_>,
+    gap: &Gap,
+    seeds: &SeedPair,
+    root: NodeId,
+    world: &mut LazyWorld,
+    rng: &mut R,
+) -> bool {
+    let mut oracle = BorrowedWorldOracle::new(world, rng);
+    engine.run(gap, seeds, &mut oracle);
+    engine.final_state(root).adopted(Item::A)
+}
+
+/// Definition-1 RR-set for **SelfInfMax**: all `u` such that `S_A = {u}`
+/// (with the fixed `seeds_b`) makes `root` A-adopted in `world`.
+pub fn reference_rr_sim<R: Rng>(
+    g: &DiGraph,
+    gap: Gap,
+    seeds_b: &[NodeId],
+    root: NodeId,
+    world: &mut LazyWorld,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let mut engine = CascadeEngine::new(g);
+    let mut out = Vec::new();
+    for u in g.nodes() {
+        let sp = SeedPair::new(vec![u], seeds_b.to_vec());
+        if root_adopts_a(&mut engine, &gap, &sp, root, world, rng) {
+            out.push(u);
+        }
+    }
+    out
+}
+
+/// Definition-1 RR-set for **CompInfMax**: empty if `root` is A-adopted
+/// with no B-seeds at all; otherwise all `u` such that `S_B = {u}` flips
+/// `root` to A-adopted in `world`.
+pub fn reference_rr_cim<R: Rng>(
+    g: &DiGraph,
+    gap: Gap,
+    seeds_a: &[NodeId],
+    root: NodeId,
+    world: &mut LazyWorld,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let mut engine = CascadeEngine::new(g);
+    let baseline = SeedPair::new(seeds_a.to_vec(), Vec::new());
+    if root_adopts_a(&mut engine, &gap, &baseline, root, world, rng) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for u in g.nodes() {
+        let sp = SeedPair::new(seeds_a.to_vec(), vec![u]);
+        if root_adopts_a(&mut engine, &gap, &sp, root, world, rng) {
+            out.push(u);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comic_core::seeds::seeds;
+    use comic_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn borrowed_world_survives_engine_resets() {
+        let g = gen::path(4, 0.5);
+        let gap = Gap::new(0.5, 0.9, 0.5, 0.9).unwrap();
+        let mut world = LazyWorld::new(4, 3);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut engine = CascadeEngine::new(&g);
+        let sp = SeedPair::a_only(seeds(&[0]));
+        let first = root_adopts_a(&mut engine, &gap, &sp, NodeId(3), &mut world, &mut rng);
+        for _ in 0..10 {
+            assert_eq!(
+                root_adopts_a(&mut engine, &gap, &sp, NodeId(3), &mut world, &mut rng),
+                first,
+                "same world must give the same outcome"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_sim_contains_root_when_reachable() {
+        // The root seeded directly always adopts, so root ∈ reference set.
+        let g = gen::path(3, 1.0);
+        let gap = Gap::new(0.5, 0.9, 0.5, 0.5).unwrap();
+        let mut world = LazyWorld::new(3, 2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let set = reference_rr_sim(&g, gap, &[], NodeId(2), &mut world, &mut rng);
+        assert!(set.contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn reference_cim_empty_when_root_self_adopts() {
+        let g = gen::path(2, 1.0);
+        let gap = Gap::new(1.0, 1.0, 0.5, 1.0).unwrap();
+        let mut world = LazyWorld::new(2, 1);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let set = reference_rr_cim(&g, gap, &seeds(&[0]), NodeId(1), &mut world, &mut rng);
+        assert!(set.is_empty());
+    }
+}

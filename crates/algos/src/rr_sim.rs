@@ -1,0 +1,337 @@
+//! RR-SIM — RR-set generation for SelfInfMax (paper §6.2.1, Algorithm 2).
+//!
+//! Valid in the *one-way complementarity* regime (`q_{A|∅} ≤ q_{A|B}`,
+//! `q_{B|∅} = q_{B|A}`), where B's diffusion is independent of A (Lemma 3)
+//! and `σ_A` is self-submodular (Theorem 4). The sampler works in two
+//! phases over one lazily-sampled possible world:
+//!
+//! 1. **Forward B-labeling** from the fixed B-seed set: a node is B-adopted
+//!    iff it has a live path from `S_B` through nodes with
+//!    `α_B ≤ q_{B|∅}`.
+//! 2. **Backward BFS** from the root: a dequeued node is always a member of
+//!    the RR-set; its in-neighbours are explored only if the node could
+//!    adopt A *without* being the seed — i.e. `α_A ≤ q_{A|B}` when
+//!    B-adopted, `α_A ≤ q_{A|∅}` otherwise (Theorem 7).
+
+use comic_core::gap::Gap;
+use comic_core::item::Item;
+use comic_core::possible_world::LazyWorld;
+use comic_graph::scratch::StampedSet;
+use comic_graph::{DiGraph, NodeId};
+use comic_ris::sampler::RrSampler;
+use rand::Rng;
+
+use crate::error::AlgoError;
+
+/// The RR-SIM sampler (Algorithm 2).
+pub struct RrSimSampler<'g> {
+    g: &'g DiGraph,
+    gap: Gap,
+    seeds_b: Vec<NodeId>,
+    world: LazyWorld,
+    b_adopted: StampedSet,
+    b_tested: StampedSet,
+    visited: StampedSet,
+    queue: Vec<NodeId>,
+}
+
+impl<'g> RrSimSampler<'g> {
+    /// Create a sampler; `gap` must satisfy one-way complementarity.
+    pub fn new(g: &'g DiGraph, gap: Gap, seeds_b: Vec<NodeId>) -> Result<Self, AlgoError> {
+        if !gap.is_one_way_complement() {
+            return Err(AlgoError::UnsupportedRegime(format!(
+                "RR-SIM requires q_A|0 <= q_A|B and q_B|0 == q_B|A, got {gap}"
+            )));
+        }
+        for &s in &seeds_b {
+            if s.index() >= g.num_nodes() {
+                return Err(AlgoError::Model(comic_core::ModelError::SeedOutOfRange {
+                    node: s.0,
+                    n: g.num_nodes(),
+                }));
+            }
+        }
+        Ok(RrSimSampler {
+            g,
+            gap,
+            seeds_b,
+            world: LazyWorld::new(g.num_nodes(), g.num_edges()),
+            b_adopted: StampedSet::new(g.num_nodes()),
+            b_tested: StampedSet::new(g.num_nodes()),
+            visited: StampedSet::new(g.num_nodes()),
+            queue: Vec::new(),
+        })
+    }
+
+    /// The GAP vector in use.
+    pub fn gap(&self) -> Gap {
+        self.gap
+    }
+
+    /// Phase II: forward B-labeling from `S_B` in the current world.
+    /// A non-seed node adopts B iff reachable from `S_B` via live edges
+    /// through B-adopting nodes and `α_B ≤ q_{B|∅}` (B is independent of A
+    /// here, so no reconsideration can occur: ρ_B = 0).
+    fn forward_label_b<R: Rng>(&mut self, world: &mut LazyWorld, rng: &mut R) {
+        self.queue.clear();
+        for i in 0..self.seeds_b.len() {
+            let s = self.seeds_b[i];
+            if self.b_adopted.insert(s.index()) {
+                self.queue.push(s);
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for adj in self.g.out_edges(u) {
+                let v = adj.node;
+                if self.b_adopted.contains(v.index()) || self.b_tested.contains(v.index()) {
+                    continue;
+                }
+                if world.edge_live(adj.edge, adj.p, rng) {
+                    // First live inform: the node's single B-adoption test.
+                    self.b_tested.insert(v.index());
+                    if world.alpha(Item::B, v, rng) <= self.gap.q_b0 {
+                        self.b_adopted.insert(v.index());
+                        self.queue.push(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether `u` can transition from A-informed to A-adopted in the
+    /// current world, given its B status from the forward labeling.
+    #[inline]
+    fn passes_a<R: Rng>(&mut self, u: NodeId, world: &mut LazyWorld, rng: &mut R) -> bool {
+        let q = if self.b_adopted.contains(u.index()) {
+            self.gap.q_ab
+        } else {
+            self.gap.q_a0
+        };
+        world.alpha(Item::A, u, rng) <= q
+    }
+
+    /// Sample `R_W(root)` in the provided (already reset) world — exposed so
+    /// validation code can replay the identical world through the
+    /// brute-force reference sampler.
+    pub fn sample_in_world<R: Rng>(
+        &mut self,
+        root: NodeId,
+        world: &mut LazyWorld,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        self.b_adopted.clear();
+        self.b_tested.clear();
+        self.visited.clear();
+
+        // Phase II: determine B adoption in this world.
+        self.forward_label_b(world, rng);
+
+        // Phase III: backward BFS. Every dequeued node joins the RR-set;
+        // expansion continues only through nodes that pass their A test.
+        self.queue.clear();
+        self.visited.insert(root.index());
+        self.queue.push(root);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            out.push(u);
+            if !self.passes_a(u, world, rng) {
+                // u can only be A-adopted as the seed itself (Case 1(ii)/2(ii)).
+                continue;
+            }
+            for adj in self.g.in_edges(u) {
+                let w = adj.node;
+                if !self.visited.contains(w.index()) && world.edge_live(adj.edge, adj.p, rng) {
+                    self.visited.insert(w.index());
+                    self.queue.push(w);
+                }
+            }
+        }
+    }
+}
+
+impl RrSampler for RrSimSampler<'_> {
+    fn graph(&self) -> &DiGraph {
+        self.g
+    }
+
+    fn sample<R: Rng>(&mut self, root: NodeId, rng: &mut R, out: &mut Vec<NodeId>) {
+        // Detach the owned world to satisfy the borrow checker, then restore.
+        let mut world = std::mem::replace(&mut self.world, LazyWorld::new(0, 0));
+        world.reset();
+        self.sample_in_world(root, &mut world, rng, out);
+        self.world = world;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comic_core::seeds::seeds;
+    use comic_graph::builder::from_edges;
+    use comic_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn gap_one_way() -> Gap {
+        Gap::new(0.3, 0.9, 0.5, 0.5).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_one_way_gaps() {
+        let g = gen::path(3, 1.0);
+        assert!(RrSimSampler::new(&g, Gap::new(0.3, 0.9, 0.5, 0.8).unwrap(), vec![]).is_err());
+        assert!(RrSimSampler::new(&g, Gap::new(0.9, 0.3, 0.5, 0.5).unwrap(), vec![]).is_err());
+        assert!(RrSimSampler::new(&g, gap_one_way(), vec![]).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_b_seeds() {
+        let g = gen::path(3, 1.0);
+        assert!(RrSimSampler::new(&g, gap_one_way(), seeds(&[7])).is_err());
+    }
+
+    #[test]
+    fn root_is_always_a_member() {
+        let mut grng = SmallRng::seed_from_u64(1);
+        let g = gen::gnm(30, 120, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.4).apply(&g, &mut grng);
+        let mut s = RrSimSampler::new(&g, gap_one_way(), seeds(&[0, 1])).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        for v in g.nodes() {
+            s.sample(v, &mut rng, &mut out);
+            assert!(out.contains(&v));
+        }
+    }
+
+    #[test]
+    fn members_are_distinct_and_backward_reachable() {
+        use rand::RngExt;
+        let mut grng = SmallRng::seed_from_u64(3);
+        let g = gen::gnm(40, 200, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.5).apply(&g, &mut grng);
+        let mut s = RrSimSampler::new(&g, gap_one_way(), seeds(&[5])).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut out = Vec::new();
+        let reach_all = |root: NodeId| {
+            comic_graph::traversal::reachable(
+                &g,
+                &[root],
+                comic_graph::traversal::Direction::Backward,
+            )
+        };
+        for _ in 0..200 {
+            let root = NodeId(rng.random_range(0..40));
+            s.sample(root, &mut rng, &mut out);
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), out.len(), "duplicates in RR-set");
+            let reach = reach_all(root);
+            for v in &out {
+                assert!(reach.contains(v), "{v} not backward-reachable from {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn complementarity_enlarges_rr_sets() {
+        // With B seeded everywhere relevant and q_{A|B} >> q_{A|∅}, RR-sets
+        // should on average be larger than with no B-seeds at all.
+        let mut grng = SmallRng::seed_from_u64(5);
+        let g = gen::gnm(60, 350, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.6).apply(&g, &mut grng);
+        let gap = Gap::new(0.1, 0.95, 0.9, 0.9).unwrap();
+        let b_all: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let mut with_b = RrSimSampler::new(&g, gap, b_all).unwrap();
+        let mut without_b = RrSimSampler::new(&g, gap, vec![]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut out = Vec::new();
+        let mut size_with = 0usize;
+        let mut size_without = 0usize;
+        for _ in 0..2000 {
+            let root = with_b.random_root(&mut rng);
+            with_b.sample(root, &mut rng, &mut out);
+            size_with += out.len();
+            without_b.sample(root, &mut rng, &mut out);
+            size_without += out.len();
+        }
+        assert!(
+            size_with > size_without,
+            "complementary B-seeds should enlarge RR-sets: {size_with} vs {size_without}"
+        );
+    }
+
+    /// Replay-based validation against the brute-force Definition-1
+    /// reference: in the *same* possible world, Algorithm 2 must produce
+    /// exactly the set of nodes whose solo A-seeding makes the root adopt A.
+    #[test]
+    fn matches_definition_one_reference_per_world() {
+        use crate::reference::reference_rr_sim;
+        use rand::RngExt;
+        let mut grng = SmallRng::seed_from_u64(8);
+        for (gi, gap) in [
+            gap_one_way(),
+            Gap::new(0.0, 1.0, 0.6, 0.6).unwrap(),
+            Gap::new(0.5, 0.5, 0.3, 0.3).unwrap(), // A indifferent to B too
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let topo = gen::gnm(15, 50, &mut grng).unwrap();
+            let g = comic_graph::prob::ProbModel::Constant(0.6).apply(&topo, &mut grng);
+            let b_seeds = seeds(&[2, 3]);
+            let mut sampler = RrSimSampler::new(&g, gap, b_seeds.clone()).unwrap();
+            let mut rng = SmallRng::seed_from_u64(80 + gi as u64);
+            let mut world = LazyWorld::new(g.num_nodes(), g.num_edges());
+            let mut out = Vec::new();
+            for trial in 0..400 {
+                let root = NodeId(rng.random_range(0..g.num_nodes() as u32));
+                world.reset();
+                sampler.sample_in_world(root, &mut world, &mut rng, &mut out);
+                let reference = reference_rr_sim(&g, gap, &b_seeds, root, &mut world, &mut rng);
+                let mut alg = out.clone();
+                alg.sort_unstable();
+                assert_eq!(
+                    alg, reference,
+                    "gap {gi} trial {trial} root {root}: RR-SIM deviates from Definition 1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_rr_set_distribution_closed_form() {
+        // Path 0 -> 1 -> 2 with certain edges, no B seeds, q_{A|∅} = q.
+        // RR(2) contains 1 iff α_1^A... no: RR(2) = {2} ∪ {1 if 2 passes}
+        // ∪ {0 if 2 and 1 pass}: P(|R|≥2) = q, P(|R|=3) = q².
+        let g = from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let q = 0.6;
+        let gap = Gap::new(q, q, 0.5, 0.5).unwrap();
+        let mut s = RrSimSampler::new(&g, gap, vec![]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut out = Vec::new();
+        let trials = 60_000;
+        let (mut ge2, mut eq3) = (0usize, 0usize);
+        for _ in 0..trials {
+            s.sample(NodeId(2), &mut rng, &mut out);
+            if out.len() >= 2 {
+                ge2 += 1;
+            }
+            if out.len() == 3 {
+                eq3 += 1;
+            }
+        }
+        let p2 = ge2 as f64 / trials as f64;
+        let p3 = eq3 as f64 / trials as f64;
+        assert!((p2 - q).abs() < 0.01, "P(|R|>=2) = {p2}, want {q}");
+        assert!((p3 - q * q).abs() < 0.01, "P(|R|=3) = {p3}, want {}", q * q);
+    }
+}

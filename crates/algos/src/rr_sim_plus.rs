@@ -1,0 +1,313 @@
+//! RR-SIM+ — scoped RR-set generation for SelfInfMax (paper §6.2.2,
+//! Algorithm 3).
+//!
+//! RR-SIM pays for a full forward B-labeling from `S_B` per sample even when
+//! the root's neighbourhood never meets B's reach. RR-SIM+ first runs an
+//! *ungated* backward BFS from the root over live edges, collecting the set
+//! `T₁` of everything the RR-set could possibly touch; only the B-seeds
+//! inside `T₁` are then forward-labeled, restricted to `T₁` — sound because
+//! any live B-path to a node of `T₁` lies entirely within `T₁` (Lemma 7: its
+//! nodes are all backward-live-reachable from the root). A second, gated
+//! backward BFS then produces the RR-set exactly as RR-SIM's phase III,
+//! lazily testing any edges the first pass skipped between already-visited
+//! nodes.
+
+use comic_core::gap::Gap;
+use comic_core::item::Item;
+use comic_core::possible_world::LazyWorld;
+use comic_graph::scratch::StampedSet;
+use comic_graph::{DiGraph, NodeId};
+use comic_ris::sampler::RrSampler;
+use rand::Rng;
+
+use crate::error::AlgoError;
+
+/// The RR-SIM+ sampler (Algorithm 3).
+pub struct RrSimPlusSampler<'g> {
+    g: &'g DiGraph,
+    gap: Gap,
+    is_b_seed: Vec<bool>,
+    world: LazyWorld,
+    t1: StampedSet,
+    t1_list: Vec<NodeId>,
+    b_adopted: StampedSet,
+    b_tested: StampedSet,
+    visited2: StampedSet,
+    queue: Vec<NodeId>,
+}
+
+impl<'g> RrSimPlusSampler<'g> {
+    /// Create a sampler; `gap` must satisfy one-way complementarity
+    /// (`q_{A|∅} ≤ q_{A|B}`, `q_{B|∅} = q_{B|A}`).
+    pub fn new(g: &'g DiGraph, gap: Gap, seeds_b: Vec<NodeId>) -> Result<Self, AlgoError> {
+        if !gap.is_one_way_complement() {
+            return Err(AlgoError::UnsupportedRegime(format!(
+                "RR-SIM+ requires q_A|0 <= q_A|B and q_B|0 == q_B|A, got {gap}"
+            )));
+        }
+        let mut is_b_seed = vec![false; g.num_nodes()];
+        for &s in &seeds_b {
+            if s.index() >= g.num_nodes() {
+                return Err(AlgoError::Model(comic_core::ModelError::SeedOutOfRange {
+                    node: s.0,
+                    n: g.num_nodes(),
+                }));
+            }
+            is_b_seed[s.index()] = true;
+        }
+        Ok(RrSimPlusSampler {
+            g,
+            gap,
+            is_b_seed,
+            world: LazyWorld::new(g.num_nodes(), g.num_edges()),
+            t1: StampedSet::new(g.num_nodes()),
+            t1_list: Vec::new(),
+            b_adopted: StampedSet::new(g.num_nodes()),
+            b_tested: StampedSet::new(g.num_nodes()),
+            visited2: StampedSet::new(g.num_nodes()),
+            queue: Vec::new(),
+        })
+    }
+
+    /// The GAP vector in use.
+    pub fn gap(&self) -> Gap {
+        self.gap
+    }
+}
+
+impl RrSampler for RrSimPlusSampler<'_> {
+    fn graph(&self) -> &DiGraph {
+        self.g
+    }
+
+    fn sample<R: Rng>(&mut self, root: NodeId, rng: &mut R, out: &mut Vec<NodeId>) {
+        out.clear();
+        self.world.reset();
+        self.t1.clear();
+        self.t1_list.clear();
+        self.b_adopted.clear();
+        self.b_tested.clear();
+        self.visited2.clear();
+
+        // --- First backward BFS: the live backward-reachable scope T1. ---
+        self.queue.clear();
+        self.t1.insert(root.index());
+        self.t1_list.push(root);
+        self.queue.push(root);
+        let mut head = 0;
+        let mut any_b_seed_in_scope = false;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            if self.is_b_seed[u.index()] {
+                any_b_seed_in_scope = true;
+            }
+            for adj in self.g.in_edges(u) {
+                let w = adj.node;
+                // Edges into already-visited nodes are deliberately left
+                // untested here; the second pass tests them on demand.
+                if !self.t1.contains(w.index()) && self.world.edge_live(adj.edge, adj.p, rng) {
+                    self.t1.insert(w.index());
+                    self.t1_list.push(w);
+                    self.queue.push(w);
+                }
+            }
+        }
+
+        // --- Residual forward labeling, restricted to T1. ---
+        if any_b_seed_in_scope {
+            self.queue.clear();
+            for i in 0..self.t1_list.len() {
+                let s = self.t1_list[i];
+                if self.is_b_seed[s.index()] && self.b_adopted.insert(s.index()) {
+                    self.queue.push(s);
+                }
+            }
+            let mut head = 0;
+            while head < self.queue.len() {
+                let u = self.queue[head];
+                head += 1;
+                for adj in self.g.out_edges(u) {
+                    let v = adj.node;
+                    if !self.t1.contains(v.index())
+                        || self.b_adopted.contains(v.index())
+                        || self.b_tested.contains(v.index())
+                    {
+                        continue;
+                    }
+                    if self.world.edge_live(adj.edge, adj.p, rng) {
+                        self.b_tested.insert(v.index());
+                        if self.world.alpha(Item::B, v, rng) <= self.gap.q_b0 {
+                            self.b_adopted.insert(v.index());
+                            self.queue.push(v);
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Second backward BFS: gated exactly like RR-SIM phase III. ---
+        self.queue.clear();
+        self.visited2.insert(root.index());
+        self.queue.push(root);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            out.push(u);
+            let q = if self.b_adopted.contains(u.index()) {
+                self.gap.q_ab
+            } else {
+                self.gap.q_a0
+            };
+            if self.world.alpha(Item::A, u, rng) > q {
+                continue;
+            }
+            for adj in self.g.in_edges(u) {
+                let w = adj.node;
+                if !self.visited2.contains(w.index())
+                    && self.world.edge_live(adj.edge, adj.p, rng)
+                {
+                    debug_assert!(
+                        self.t1.contains(w.index()),
+                        "second backward BFS escaped T1 (Lemma 7 invariant)"
+                    );
+                    self.visited2.insert(w.index());
+                    self.queue.push(w);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rr_sim::RrSimSampler;
+    use comic_core::seeds::seeds;
+    use comic_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn rejects_bad_regime_and_seeds() {
+        let g = gen::path(3, 1.0);
+        assert!(
+            RrSimPlusSampler::new(&g, Gap::new(0.3, 0.9, 0.5, 0.8).unwrap(), vec![]).is_err()
+        );
+        assert!(RrSimPlusSampler::new(
+            &g,
+            Gap::new(0.3, 0.9, 0.5, 0.5).unwrap(),
+            seeds(&[9])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn root_membership_and_distinctness() {
+        let mut grng = SmallRng::seed_from_u64(1);
+        let g = gen::gnm(40, 200, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.4).apply(&g, &mut grng);
+        let gap = Gap::new(0.2, 0.9, 0.6, 0.6).unwrap();
+        let mut s = RrSimPlusSampler::new(&g, gap, seeds(&[3, 4])).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        for _ in 0..300 {
+            let root = NodeId(rng.random_range(0..40));
+            s.sample(root, &mut rng, &mut out);
+            assert!(out.contains(&root));
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), out.len());
+        }
+    }
+
+    /// RR-SIM and RR-SIM+ must generate identically-distributed RR-sets
+    /// (Lemma 7). We compare, for a few probe seed sets S, the estimated
+    /// coverage probability Pr[S ∩ R ≠ ∅] — the quantity that drives seed
+    /// selection — plus the mean RR-set size.
+    #[test]
+    fn distribution_matches_rr_sim() {
+        let mut grng = SmallRng::seed_from_u64(3);
+        let g = gen::gnm(60, 300, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.35).apply(&g, &mut grng);
+        let gap = Gap::new(0.25, 0.85, 0.5, 0.5).unwrap();
+        let b_seeds = seeds(&[7, 13, 21]);
+        let probes: Vec<Vec<NodeId>> = vec![seeds(&[0, 1]), seeds(&[10, 20, 30]), seeds(&[55])];
+        let trials = 30_000;
+
+        fn measure<S: RrSampler>(
+            sampler: &mut S,
+            n: u32,
+            probes: &[Vec<NodeId>],
+            trials: usize,
+            seed: u64,
+        ) -> (f64, Vec<f64>) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            let mut total_size = 0usize;
+            let mut hits = vec![0usize; probes.len()];
+            for _ in 0..trials {
+                let root = NodeId(rng.random_range(0..n));
+                sampler.sample(root, &mut rng, &mut out);
+                total_size += out.len();
+                for (i, p) in probes.iter().enumerate() {
+                    if out.iter().any(|v| p.contains(v)) {
+                        hits[i] += 1;
+                    }
+                }
+            }
+            (
+                total_size as f64 / trials as f64,
+                hits.iter().map(|&h| h as f64 / trials as f64).collect(),
+            )
+        }
+
+        let mut plain = RrSimSampler::new(&g, gap, b_seeds.clone()).unwrap();
+        let mut plus = RrSimPlusSampler::new(&g, gap, b_seeds.clone()).unwrap();
+        let (size_a, cov_a) = measure(&mut plain, 60, &probes, trials, 4);
+        let (size_b, cov_b) = measure(&mut plus, 60, &probes, trials, 5);
+        assert!(
+            (size_a - size_b).abs() / size_a.max(1.0) < 0.05,
+            "mean sizes diverge: {size_a} vs {size_b}"
+        );
+        for i in 0..probes.len() {
+            let sigma = (cov_a[i] * (1.0 - cov_a[i]) / trials as f64).sqrt();
+            assert!(
+                (cov_a[i] - cov_b[i]).abs() < 6.0 * sigma.max(0.003),
+                "probe {i}: coverage {} vs {}",
+                cov_a[i],
+                cov_b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn skips_forward_labeling_when_b_out_of_scope() {
+        // Disconnected components: B-seeds live in the far component, so the
+        // RR-sets match a B-less RR-SIM exactly (same seed = same world).
+        let mut b = comic_graph::GraphBuilder::new(20);
+        for v in 1..10u32 {
+            b.add_edge(0, v, 1.0);
+            b.add_edge(v, 0, 1.0);
+        }
+        for v in 11..20u32 {
+            b.add_edge(10, v, 1.0);
+        }
+        let g = b.build().unwrap();
+        let gap = Gap::new(0.5, 0.9, 0.5, 0.5).unwrap();
+        let mut with_b = RrSimPlusSampler::new(&g, gap, seeds(&[10])).unwrap();
+        let mut no_b = RrSimPlusSampler::new(&g, gap, vec![]).unwrap();
+        let mut out1 = Vec::new();
+        let mut out2 = Vec::new();
+        for trial in 0..50u64 {
+            // Same RNG stream: identical worlds, identical decisions.
+            let mut rng1 = SmallRng::seed_from_u64(100 + trial);
+            let mut rng2 = SmallRng::seed_from_u64(100 + trial);
+            with_b.sample(NodeId(5), &mut rng1, &mut out1);
+            no_b.sample(NodeId(5), &mut rng2, &mut out2);
+            assert_eq!(out1, out2);
+        }
+    }
+}

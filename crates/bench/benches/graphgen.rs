@@ -1,0 +1,54 @@
+//! Criterion: graph generator and substrate throughput.
+
+use comic_graph::gen::{self, ChungLuConfig};
+use comic_graph::prob::ProbModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_graphgen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphgen");
+    group.sample_size(10);
+
+    group.bench_function("chung_lu_10k_nodes", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            black_box(
+                gen::chung_lu(
+                    &ChungLuConfig {
+                        n: 10_000,
+                        target_edges: 50_000,
+                        exponent: 2.16,
+                    },
+                    &mut rng,
+                )
+                .unwrap(),
+            )
+        });
+    });
+
+    group.bench_function("gnm_10k_nodes", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            black_box(gen::gnm(10_000, 50_000, &mut rng).unwrap())
+        });
+    });
+
+    group.bench_function("weighted_cascade_assignment", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = gen::gnm(10_000, 50_000, &mut rng).unwrap();
+        b.iter(|| black_box(ProbModel::WeightedCascade.apply(&g, &mut rng)));
+    });
+
+    group.bench_function("tarjan_scc_10k", |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = gen::gnm(10_000, 50_000, &mut rng).unwrap();
+        b.iter(|| black_box(comic_graph::scc::tarjan_scc(&g).num_components));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_graphgen);
+criterion_main!(benches);

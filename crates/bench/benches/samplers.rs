@@ -1,0 +1,69 @@
+//! Criterion: RR-set generation rates for the four samplers — the inner
+//! loop of GeneralTIM and the quantity the paper's Figure 7 comparisons
+//! ultimately measure (EPT per sample).
+
+use comic_bench::datasets::Dataset;
+use comic_bench::exp::common::OppositeMode;
+use comic_core::Gap;
+use comic_ris::ic_sampler::IcRrSampler;
+use comic_ris::sampler::RrSampler;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_samplers(c: &mut Criterion) {
+    let g = Dataset::Flixster.instantiate(0.08);
+    let lg = Dataset::Flixster.learned_gap();
+    let gap_sim = Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, lg.q_b0).unwrap();
+    let gap_cim = Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, 1.0).unwrap();
+    let opposite = OppositeMode::Random100.seeds(&g, 100, 7);
+
+    let mut group = c.benchmark_group("rr_samplers");
+    group.sample_size(20);
+    let mut out = Vec::new();
+
+    group.bench_function("ic", |b| {
+        let mut s = IcRrSampler::new(&g);
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            s.sample_random(&mut rng, &mut out);
+            black_box(out.len())
+        });
+    });
+
+    group.bench_function("rr_sim", |b| {
+        let mut s =
+            comic_algos::RrSimSampler::new(&g, gap_sim, opposite.clone()).expect("valid regime");
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| {
+            s.sample_random(&mut rng, &mut out);
+            black_box(out.len())
+        });
+    });
+
+    group.bench_function("rr_sim_plus", |b| {
+        let mut s = comic_algos::RrSimPlusSampler::new(&g, gap_sim, opposite.clone())
+            .expect("valid regime");
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| {
+            s.sample_random(&mut rng, &mut out);
+            black_box(out.len())
+        });
+    });
+
+    group.bench_function("rr_cim", |b| {
+        let mut s =
+            comic_algos::RrCimSampler::new(&g, gap_cim, opposite.clone()).expect("valid regime");
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| {
+            s.sample_random(&mut rng, &mut out);
+            black_box(out.len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion: GeneralTIM end-to-end over growing power-law graphs — the
+//! microbenchmark twin of Figure 7(b). The shape to observe is near-linear
+//! growth of time with graph size for all three samplers.
+
+use comic_bench::datasets::{scalability_series, Dataset};
+use comic_bench::exp::common::OppositeMode;
+use comic_core::Gap;
+use comic_ris::tim::{general_tim, TimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_scalability(c: &mut Criterion) {
+    let lg = Dataset::Flixster.learned_gap();
+    let gap_sim = Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, lg.q_b0).unwrap();
+    let gap_cim = Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, 1.0).unwrap();
+
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(8));
+
+    for (n, g) in scalability_series(&[5_000, 10_000, 20_000]) {
+        let opposite = OppositeMode::Random100.seeds(&g, 100, 7);
+        let cfg = {
+            let mut cfg = TimConfig::new(10).epsilon(0.5).seed(1);
+            cfg.max_rr_sets = Some(100_000);
+            cfg
+        };
+        group.bench_with_input(BenchmarkId::new("rr_sim_plus", n), &g, |b, g| {
+            b.iter(|| {
+                let mut s =
+                    comic_algos::RrSimPlusSampler::new(g, gap_sim, opposite.clone()).unwrap();
+                black_box(general_tim(&mut s, &cfg).unwrap().covered)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rr_cim", n), &g, |b, g| {
+            b.iter(|| {
+                let mut s = comic_algos::RrCimSampler::new(g, gap_cim, opposite.clone()).unwrap();
+                black_box(general_tim(&mut s, &cfg).unwrap().covered)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

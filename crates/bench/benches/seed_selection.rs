@@ -1,0 +1,70 @@
+//! Criterion: the non-sampling halves of seed selection — KPT estimation,
+//! greedy max-coverage over a stored RR-set arena, and CELF on a cheap
+//! objective.
+
+use comic_algos::greedy::celf;
+use comic_bench::datasets::Dataset;
+use comic_graph::NodeId;
+use comic_ris::coverage::max_coverage;
+use comic_ris::ic_sampler::IcRrSampler;
+use comic_ris::kpt::kpt_star;
+use comic_ris::rr::RrStore;
+use comic_ris::sampler::RrSampler;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_seed_selection(c: &mut Criterion) {
+    let g = Dataset::Flixster.instantiate(0.08);
+    let n = g.num_nodes();
+
+    // Pre-sample a store of 200k IC RR-sets.
+    let mut sampler = IcRrSampler::new(&g);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut store = RrStore::with_capacity(200_000, 4);
+    let mut out = Vec::new();
+    for _ in 0..200_000 {
+        sampler.sample_random(&mut rng, &mut out);
+        store.push(&out, &g);
+    }
+
+    let mut group = c.benchmark_group("seed_selection");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(8));
+
+    group.bench_function("max_coverage_k50_200k_sets", |b| {
+        b.iter(|| black_box(max_coverage(&store, n, 50).covered));
+    });
+
+    group.bench_function("kpt_star_k50", |b| {
+        b.iter(|| {
+            let mut s = IcRrSampler::new(&g);
+            let mut rng = SmallRng::seed_from_u64(2);
+            black_box(kpt_star(&mut s, 50, 1.0, &mut rng).kpt)
+        });
+    });
+
+    group.bench_function("celf_coverage_objective", |b| {
+        // Deterministic weighted-coverage objective over 2k sets.
+        let sets: Vec<(f64, Vec<u32>)> = (0..2_000u32)
+            .map(|i| (1.0 + (i % 13) as f64, vec![i % 500, (i * 7) % 500]))
+            .collect();
+        let candidates: Vec<NodeId> = (0..500u32).map(NodeId).collect();
+        b.iter(|| {
+            let r = celf(&candidates, 20, |s: &[NodeId]| {
+                sets.iter()
+                    .filter(|(_, m)| m.iter().any(|&x| s.contains(&NodeId(x))))
+                    .map(|(w, _)| w)
+                    .sum()
+            });
+            black_box(r.seeds.len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_seed_selection);
+criterion_main!(benches);

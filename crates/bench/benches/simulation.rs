@@ -1,0 +1,54 @@
+//! Criterion: Monte-Carlo diffusion throughput — the engine behind every
+//! spread evaluation in the paper's tables (10K simulations each).
+
+use comic_bench::datasets::Dataset;
+use comic_core::oracle::CoinOracle;
+use comic_core::possible_world::WorldOracle;
+use comic_core::seeds::{seeds, SeedPair};
+use comic_core::simulate::CascadeEngine;
+use comic_core::Gap;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let g = Dataset::Flixster.instantiate(0.08);
+    let gap = Dataset::Flixster.learned_gap();
+    let sp = SeedPair::new(seeds(&[0, 1, 2, 3, 4]), seeds(&[5, 6, 7, 8, 9]));
+
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(20);
+
+    group.bench_function("comic_coin_oracle", |b| {
+        let mut engine = CascadeEngine::new(&g);
+        let mut oracle = CoinOracle::new(g.num_edges(), SmallRng::seed_from_u64(1));
+        b.iter(|| black_box(engine.run(&gap, &sp, &mut oracle)));
+    });
+
+    group.bench_function("comic_world_oracle", |b| {
+        let mut engine = CascadeEngine::new(&g);
+        let mut oracle =
+            WorldOracle::new(g.num_nodes(), g.num_edges(), SmallRng::seed_from_u64(2));
+        b.iter(|| black_box(engine.run(&gap, &sp, &mut oracle)));
+    });
+
+    group.bench_function("classic_ic", |b| {
+        let mut sim = comic_core::ic::IcSimulator::new(&g);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = seeds(&[0, 1, 2, 3, 4]);
+        b.iter(|| black_box(sim.run(&s, &mut rng)));
+    });
+
+    group.bench_function("pure_competition", |b| {
+        let mut engine = CascadeEngine::new(&g);
+        let mut oracle = CoinOracle::new(g.num_edges(), SmallRng::seed_from_u64(4));
+        let cgap = Gap::competitive_ic();
+        b.iter(|| black_box(engine.run(&cgap, &sp, &mut oracle)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

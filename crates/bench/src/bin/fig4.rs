@@ -1,0 +1,8 @@
+//! Regenerate Figure 4 (epsilon sweep) on Flixster and Douban-Book.
+use comic_bench::datasets::Dataset;
+fn main() {
+    let scale = comic_bench::Scale::from_args();
+    for d in [Dataset::Flixster, Dataset::DoubanBook] {
+        println!("{}", comic_bench::exp::fig4::run(&scale, d));
+    }
+}

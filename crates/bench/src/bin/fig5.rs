@@ -1,0 +1,8 @@
+//! Regenerate Figure 5 (A-spread vs |S_A|) on all four datasets.
+use comic_bench::datasets::Dataset;
+fn main() {
+    let scale = comic_bench::Scale::from_args();
+    for d in Dataset::ALL {
+        println!("{}", comic_bench::exp::fig5::run(&scale, d));
+    }
+}

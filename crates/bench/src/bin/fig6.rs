@@ -1,0 +1,8 @@
+//! Regenerate Figure 6 (boost vs |S_B|) on all four datasets.
+use comic_bench::datasets::Dataset;
+fn main() {
+    let scale = comic_bench::Scale::from_args();
+    for d in Dataset::ALL {
+        println!("{}", comic_bench::exp::fig6::run(&scale, d));
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerate Figure 7: (a) algorithm running times per dataset; with
+//! --scalability, (b) the power-law size sweep instead.
+use comic_bench::datasets::Dataset;
+fn main() {
+    let scale = comic_bench::Scale::from_args();
+    let scalability = std::env::args().any(|a| a == "--scalability");
+    if scalability {
+        // Paper: 0.2M..1M nodes; defaults here stay laptop-sized.
+        let sizes: Vec<usize> = if scale.size_factor >= 1.0 {
+            vec![200_000, 400_000, 600_000, 800_000, 1_000_000]
+        } else {
+            vec![20_000, 40_000, 60_000, 80_000, 100_000]
+        };
+        print!("{}", comic_bench::exp::fig7::run_scalability(&scale, &sizes));
+    } else {
+        let greedy_k = (scale.k / 5).max(2);
+        print!(
+            "{}",
+            comic_bench::exp::fig7::run_times(&scale, &Dataset::ALL, greedy_k, 1_000)
+        );
+    }
+}

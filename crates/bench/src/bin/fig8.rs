@@ -1,0 +1,8 @@
+//! Regenerate Figure 8 (sandwich stress test) on Flixster.
+fn main() {
+    let scale = comic_bench::Scale::from_args();
+    print!(
+        "{}",
+        comic_bench::exp::fig8::run(&scale, comic_bench::datasets::Dataset::Flixster, 1_000)
+    );
+}

@@ -1,0 +1,62 @@
+//! Run every table and figure in sequence (EXPERIMENTS.md is produced from
+//! this output). Flags: --full, --size-factor X, --k K, --mc N, --seed S.
+use comic_bench::datasets::Dataset;
+use comic_bench::exp;
+use comic_bench::exp::common::OppositeMode;
+use comic_bench::runtime::{fmt_secs, timed};
+
+fn section<T: std::fmt::Display>(name: &str, f: impl FnOnce() -> T) {
+    let (out, secs) = timed(f);
+    println!("{out}");
+    println!("[{name} took {}]\n", fmt_secs(secs));
+}
+
+fn main() {
+    let scale = comic_bench::Scale::from_args();
+    println!(
+        "# Com-IC experiment suite  (size-factor {:.2}, k = {}, {} MC iterations, seed {})\n",
+        scale.size_factor, scale.k, scale.mc_iterations, scale.seed
+    );
+    section("table1", || exp::table1::run(&scale));
+    section("table2", || {
+        exp::tables234::run(&scale, OppositeMode::Ranks101To200, &Dataset::ALL)
+    });
+    section("table3", || {
+        exp::tables234::run(&scale, OppositeMode::Random100, &Dataset::ALL)
+    });
+    section("table4", || {
+        exp::tables234::run(&scale, OppositeMode::Top100, &Dataset::ALL)
+    });
+    section("table5", || exp::tables567::run(&scale, Dataset::Flixster));
+    section("table6", || exp::tables567::run(&scale, Dataset::DoubanBook));
+    section("table7", || exp::tables567::run(&scale, Dataset::DoubanMovie));
+    section("table8", || exp::table8::run(&scale, &Dataset::ALL));
+    section("fig4", || {
+        format!(
+            "{}\n{}",
+            exp::fig4::run(&scale, Dataset::Flixster),
+            exp::fig4::run(&scale, Dataset::DoubanBook)
+        )
+    });
+    section("fig5", || {
+        Dataset::ALL
+            .iter()
+            .map(|&d| exp::fig5::run(&scale, d))
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    section("fig6", || {
+        Dataset::ALL
+            .iter()
+            .map(|&d| exp::fig6::run(&scale, d))
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    section("fig7a", || {
+        exp::fig7::run_times(&scale, &Dataset::ALL, (scale.k / 5).max(2), 1_000)
+    });
+    section("fig7b", || {
+        exp::fig7::run_scalability(&scale, &[10_000, 20_000, 40_000])
+    });
+    section("fig8", || exp::fig8::run(&scale, Dataset::Flixster, 1_000));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table 1. Flags: --full, --size-factor X.
+fn main() {
+    let scale = comic_bench::Scale::from_args();
+    print!("{}", comic_bench::exp::table1::run(&scale));
+}

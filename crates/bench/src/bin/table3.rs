@@ -1,0 +1,7 @@
+//! Regenerate Table 3 (opposite seeds = 100 random nodes).
+use comic_bench::datasets::Dataset;
+use comic_bench::exp::common::OppositeMode;
+fn main() {
+    let scale = comic_bench::Scale::from_args();
+    print!("{}", comic_bench::exp::tables234::run(&scale, OppositeMode::Random100, &Dataset::ALL));
+}

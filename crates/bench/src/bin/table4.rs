@@ -1,0 +1,7 @@
+//! Regenerate Table 4 (opposite seeds = VanillaIC top-100).
+use comic_bench::datasets::Dataset;
+use comic_bench::exp::common::OppositeMode;
+fn main() {
+    let scale = comic_bench::Scale::from_args();
+    print!("{}", comic_bench::exp::tables234::run(&scale, OppositeMode::Top100, &Dataset::ALL));
+}

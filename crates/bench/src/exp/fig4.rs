@@ -1,0 +1,101 @@
+//! Figure 4 — the effect of ε on running time (orders of magnitude) and on
+//! solution quality (nearly none), for RR-SIM, RR-SIM+ and RR-CIM.
+
+use crate::datasets::Dataset;
+use crate::exp::common::{boost, sigma_a, OppositeMode};
+use crate::report::Table;
+use crate::runtime::timed;
+use crate::Scale;
+use comic_algos::{RrCimSampler, RrSimPlusSampler, RrSimSampler};
+use comic_core::Gap;
+use comic_ris::tim::{general_tim, TimConfig};
+
+/// Regenerate Figure 4's series on one dataset.
+pub fn run(scale: &Scale, dataset: Dataset) -> String {
+    let g = dataset.instantiate(scale.size_factor);
+    let gap_sim = {
+        // One-way projection of the learned GAPs so all three samplers run
+        // in their direct regimes across the ε sweep.
+        let lg = dataset.learned_gap();
+        Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, lg.q_b0).unwrap()
+    };
+    let gap_cim = {
+        let lg = dataset.learned_gap();
+        Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, 1.0).unwrap()
+    };
+    let opposite = OppositeMode::Ranks101To200.seeds(&g, 100, scale.seed);
+
+    let mut t = Table::new(format!("Figure 4 — epsilon sweep on {}", dataset.name())).header(&[
+        "eps",
+        "RR-SIM time",
+        "RR-SIM+ time",
+        "RR-CIM time",
+        "SIM spread",
+        "CIM boost",
+    ]);
+
+    for eps in [0.1, 0.3, 0.5, 0.7, 1.0] {
+        let mk_cfg = |seed: u64| {
+            let mut cfg = TimConfig::new(scale.k).epsilon(eps).seed(seed);
+            cfg.max_rr_sets = scale.max_rr_sets;
+            cfg
+        };
+        let (sim_res, sim_t) = timed(|| {
+            let mut s = RrSimSampler::new(&g, gap_sim, opposite.clone()).unwrap();
+            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+        });
+        let (plus_res, plus_t) = timed(|| {
+            let mut s = RrSimPlusSampler::new(&g, gap_sim, opposite.clone()).unwrap();
+            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+        });
+        let (cim_res, cim_t) = timed(|| {
+            let mut s = RrCimSampler::new(&g, gap_cim, opposite.clone()).unwrap();
+            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+        });
+        let spread = sigma_a(
+            &g,
+            gap_sim,
+            &plus_res.seeds,
+            &opposite,
+            scale.mc_iterations,
+            11,
+        );
+        let cim_boost = boost(
+            &g,
+            gap_cim,
+            &opposite,
+            &cim_res.seeds,
+            scale.mc_iterations,
+            13,
+        );
+        let _ = sim_res;
+        t.row(vec![
+            format!("{eps}"),
+            format!("{sim_t:.2}s"),
+            format!("{plus_t:.2}s"),
+            format!("{cim_t:.2}s"),
+            format!("{spread:.0}"),
+            format!("{cim_boost:.1}"),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_tiny() {
+        let scale = Scale {
+            size_factor: 0.02,
+            mc_iterations: 300,
+            k: 3,
+            max_rr_sets: Some(20_000),
+            seed: 2,
+        };
+        let out = run(&scale, Dataset::Flixster);
+        assert!(out.contains("eps"));
+        assert!(out.lines().count() >= 7);
+    }
+}

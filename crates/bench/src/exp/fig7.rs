@@ -1,0 +1,143 @@
+//! Figure 7 — running time: (a) RR-set algorithms vs Monte-Carlo Greedy on
+//! the four datasets; (b) scalability of the samplers on power-law graphs
+//! of growing size (exponent 2.16, average degree ≈ 5).
+//!
+//! Absolute numbers are machine-specific; the shape to reproduce is
+//! *Greedy slower than the RR algorithms by orders of magnitude*,
+//! *RR-SIM+ at least as fast as RR-SIM*, and *near-linear growth* in (b).
+
+use crate::datasets::{scalability_series, Dataset};
+use crate::exp::common::OppositeMode;
+use crate::report::Table;
+use crate::runtime::{fmt_secs, timed};
+use crate::Scale;
+use comic_algos::greedy::{greedy_comp_inf_max, greedy_self_inf_max, GreedyConfig};
+use comic_algos::{RrCimSampler, RrSimPlusSampler, RrSimSampler};
+use comic_core::Gap;
+use comic_ris::tim::{general_tim, TimConfig};
+
+/// Figure 7(a): per-dataset running times. Greedy runs with a reduced
+/// budget (`greedy_k`, `greedy_mc`) — even so it dominates the wall clock,
+/// which is the point.
+pub fn run_times(scale: &Scale, datasets: &[Dataset], greedy_k: usize, greedy_mc: usize) -> String {
+    let mut t = Table::new(format!(
+        "Figure 7a — seed-selection time, k={} (Greedy at k={greedy_k}, {greedy_mc} MC)",
+        scale.k
+    ))
+    .header(&[
+        "dataset",
+        "Greedy(SIM)",
+        "RR-SIM",
+        "RR-SIM+",
+        "Greedy(CIM)",
+        "RR-CIM",
+    ]);
+    for &d in datasets {
+        let g = d.instantiate(scale.size_factor);
+        let lg = d.learned_gap();
+        let gap_sim = Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, lg.q_b0).unwrap();
+        let gap_cim = Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, 1.0).unwrap();
+        let opposite = OppositeMode::Ranks101To200.seeds(&g, 100, scale.seed);
+        let mk_cfg = |seed: u64| {
+            let mut cfg = TimConfig::new(scale.k).epsilon(0.5).seed(seed);
+            cfg.max_rr_sets = scale.max_rr_sets;
+            cfg
+        };
+        let gcfg = GreedyConfig {
+            mc_iterations: greedy_mc,
+            seed: scale.seed,
+            threads: 0,
+        };
+        let (_, greedy_sim_t) = timed(|| greedy_self_inf_max(&g, gap_sim, &opposite, greedy_k, &gcfg));
+        let (_, rr_sim_t) = timed(|| {
+            let mut s = RrSimSampler::new(&g, gap_sim, opposite.clone()).unwrap();
+            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+        });
+        let (_, rr_plus_t) = timed(|| {
+            let mut s = RrSimPlusSampler::new(&g, gap_sim, opposite.clone()).unwrap();
+            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+        });
+        let (_, greedy_cim_t) = timed(|| greedy_comp_inf_max(&g, gap_cim, &opposite, greedy_k, &gcfg));
+        let (_, rr_cim_t) = timed(|| {
+            let mut s = RrCimSampler::new(&g, gap_cim, opposite.clone()).unwrap();
+            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+        });
+        t.row(vec![
+            d.name().to_string(),
+            fmt_secs(greedy_sim_t),
+            fmt_secs(rr_sim_t),
+            fmt_secs(rr_plus_t),
+            fmt_secs(greedy_cim_t),
+            fmt_secs(rr_cim_t),
+        ]);
+    }
+    t.render()
+}
+
+/// Figure 7(b): scalability of the three samplers over a size series.
+pub fn run_scalability(scale: &Scale, sizes: &[usize]) -> String {
+    let gap = Dataset::Flixster.learned_gap(); // "we use the GAPs from Flixster"
+    let gap_sim = Gap::new(gap.q_a0, gap.q_ab, gap.q_b0, gap.q_b0).unwrap();
+    let gap_cim = Gap::new(gap.q_a0, gap.q_ab, gap.q_b0, 1.0).unwrap();
+    let mut t = Table::new("Figure 7b — scalability on power-law graphs (gamma = 2.16)")
+        .header(&["nodes", "edges", "RR-SIM", "RR-SIM+", "RR-CIM"]);
+    for (n, g) in scalability_series(sizes) {
+        let opposite = OppositeMode::Random100.seeds(&g, 100, scale.seed);
+        let mk_cfg = |seed: u64| {
+            let mut cfg = TimConfig::new(scale.k).epsilon(0.5).seed(seed);
+            cfg.max_rr_sets = scale.max_rr_sets;
+            cfg
+        };
+        let (_, sim_t) = timed(|| {
+            let mut s = RrSimSampler::new(&g, gap_sim, opposite.clone()).unwrap();
+            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+        });
+        let (_, plus_t) = timed(|| {
+            let mut s = RrSimPlusSampler::new(&g, gap_sim, opposite.clone()).unwrap();
+            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+        });
+        let (_, cim_t) = timed(|| {
+            let mut s = RrCimSampler::new(&g, gap_cim, opposite.clone()).unwrap();
+            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+        });
+        t.row(vec![
+            n.to_string(),
+            g.num_edges().to_string(),
+            fmt_secs(sim_t),
+            fmt_secs(plus_t),
+            fmt_secs(cim_t),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_run_tiny() {
+        let scale = Scale {
+            size_factor: 0.02,
+            mc_iterations: 200,
+            k: 3,
+            max_rr_sets: Some(10_000),
+            seed: 5,
+        };
+        let out = run_times(&scale, &[Dataset::Flixster], 1, 100);
+        assert!(out.contains("Greedy(SIM)"));
+    }
+
+    #[test]
+    fn scalability_runs_tiny() {
+        let scale = Scale {
+            size_factor: 1.0,
+            mc_iterations: 200,
+            k: 3,
+            max_rr_sets: Some(10_000),
+            seed: 6,
+        };
+        let out = run_scalability(&scale, &[500, 1000]);
+        assert!(out.contains("1000"));
+    }
+}

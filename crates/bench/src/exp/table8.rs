@@ -1,0 +1,116 @@
+//! Table 8 — the observable sandwich factor `σ(S_ν)/ν(S_ν)` under learned
+//! GAPs and under the paper's adversarial "stress-test" GAPs.
+//!
+//! Stress settings (§7.3): `q_{A|∅} = 0.3`, `q_{A|B} = 0.8`; for
+//! SelfInfMax fix `q_{B|A} = 1` and vary `q_{B|∅} ∈ {0.1, 0.5, 0.9}`; for
+//! CompInfMax fix `q_{B|∅} = 0.1` and vary `q_{B|A} ∈ {0.1, 0.5, 0.9}`.
+
+use crate::datasets::Dataset;
+use crate::exp::common::OppositeMode;
+use crate::report::Table;
+use crate::Scale;
+use comic_algos::{CompInfMax, SelfInfMax};
+use comic_core::Gap;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn sim_ratio(scale: &Scale, g: &comic_graph::DiGraph, gap: Gap, seed: u64) -> f64 {
+    let opposite = OppositeMode::Ranks101To200.seeds(g, 100, scale.seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut solver = SelfInfMax::new(g, gap, opposite)
+        .eval_iterations(scale.mc_iterations)
+        .epsilon(0.5);
+    if let Some(cap) = scale.max_rr_sets {
+        solver = solver.max_rr_sets(cap);
+    }
+    let sol = solver.solve(scale.k, &mut rng).expect("Q+ solves");
+    sol.sandwich
+        .map(|r| r.upper_bound_ratio)
+        .unwrap_or(1.0) // direct regime: σ = ν exactly
+}
+
+fn cim_ratio(scale: &Scale, g: &comic_graph::DiGraph, gap: Gap, seed: u64) -> f64 {
+    let a_seeds = OppositeMode::Ranks101To200.seeds(g, 100, scale.seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut solver = CompInfMax::new(g, gap, a_seeds)
+        .eval_iterations(scale.mc_iterations)
+        .epsilon(0.5);
+    if let Some(cap) = scale.max_rr_sets {
+        solver = solver.max_rr_sets(cap);
+    }
+    let sol = solver.solve(scale.k, &mut rng).expect("Q+ solves");
+    sol.sandwich
+        .map(|r| r.upper_bound_ratio)
+        .unwrap_or(1.0)
+}
+
+/// Regenerate Table 8 for the given datasets.
+pub fn run(scale: &Scale, datasets: &[Dataset]) -> String {
+    let mut t = Table::new(
+        "Table 8 — sandwich approximation: sigma(S_nu)/nu(S_nu)".to_string(),
+    )
+    .header(
+        &std::iter::once("setting")
+            .chain(datasets.iter().map(|d| d.name()))
+            .collect::<Vec<_>>(),
+    );
+
+    let graphs: Vec<_> = datasets
+        .iter()
+        .map(|d| (d, d.instantiate(scale.size_factor)))
+        .collect();
+
+    // SIM rows: learned + stress q_{B|∅} ∈ {0.1, 0.5, 0.9} with q_{B|A} = 1.
+    let mut row = vec!["SIM_learn".to_string()];
+    for (d, g) in &graphs {
+        let ratio = sim_ratio(scale, g, d.learned_gap(), scale.seed + 1);
+        row.push(format!("{ratio:.3}"));
+    }
+    t.row(row);
+    for q_b0 in [0.1, 0.5, 0.9] {
+        let gap = Gap::new(0.3, 0.8, q_b0, 1.0).unwrap();
+        let mut row = vec![format!("SIM_{q_b0}")];
+        for (_, g) in &graphs {
+            row.push(format!("{:.3}", sim_ratio(scale, g, gap, scale.seed + 2)));
+        }
+        t.row(row);
+    }
+    // CIM rows: learned + stress q_{B|A} ∈ {0.1, 0.5, 0.9} with q_{B|∅} = 0.1.
+    let mut row = vec!["CIM_learn".to_string()];
+    for (d, g) in &graphs {
+        row.push(format!(
+            "{:.3}",
+            cim_ratio(scale, g, d.learned_gap(), scale.seed + 3)
+        ));
+    }
+    t.row(row);
+    for q_ba in [0.1, 0.5, 0.9] {
+        // Maintain Q+ (q_{B|∅} ≤ q_{B|A}).
+        let gap = Gap::new(0.3, 0.8, 0.1f64.min(q_ba), q_ba).unwrap();
+        let mut row = vec![format!("CIM_{q_ba}")];
+        for (_, g) in &graphs {
+            row.push(format!("{:.3}", cim_ratio(scale, g, gap, scale.seed + 4)));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_on_one_dataset_tiny() {
+        let scale = Scale {
+            size_factor: 0.02,
+            mc_iterations: 400,
+            k: 4,
+            max_rr_sets: Some(30_000),
+            seed: 5,
+        };
+        let out = run(&scale, &[Dataset::Flixster]);
+        assert!(out.contains("SIM_learn"));
+        assert!(out.contains("CIM_0.9"));
+    }
+}

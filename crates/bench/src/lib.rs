@@ -1,0 +1,101 @@
+//! # comic-bench
+//!
+//! The experiment harness: everything needed to regenerate every table and
+//! figure of the paper's evaluation (§7) on the offline dataset stand-ins.
+//!
+//! * [`datasets`] — synthetic stand-ins for Flixster / Douban-Book /
+//!   Douban-Movie / Last.fm matched to Table 1's scale and degree profile
+//!   (see DESIGN.md §2 for the substitution rationale), at a scaled-down
+//!   default size with `--full` available for paper scale.
+//! * [`report`] — plain-text table/series rendering shaped like the paper's
+//!   tables, plus CSV output.
+//! * [`runtime`] — wall-clock measurement helpers.
+//! * [`exp`] — one module per table/figure; the `src/bin/*` drivers are
+//!   thin wrappers around these.
+//!
+//! Run everything: `cargo run -p comic-bench --release --bin run_all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod exp;
+pub mod report;
+pub mod runtime;
+
+/// Shared experiment scale knobs, parsed from CLI args by the drivers.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Fraction of the paper's dataset sizes to instantiate (default 0.12,
+    /// keeping the whole harness in the minutes range; `--full` = 1.0).
+    pub size_factor: f64,
+    /// Monte-Carlo iterations for quality evaluation (paper: 10,000).
+    pub mc_iterations: usize,
+    /// Seed budget k (paper: 50).
+    pub k: usize,
+    /// RR-set cap guarding the harness against degenerate θ blow-ups
+    /// (`None` = faithful θ).
+    pub max_rr_sets: Option<u64>,
+    /// Base RNG seed for the whole experiment.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            size_factor: 0.12,
+            mc_iterations: 10_000,
+            k: 50,
+            max_rr_sets: Some(4_000_000),
+            seed: 20160905, // VLDB'16 opening day
+        }
+    }
+}
+
+impl Scale {
+    /// Parse `--full`, `--size-factor X`, `--k K`, `--mc N`, `--seed S`
+    /// from the process arguments; unknown arguments are ignored so each
+    /// driver can add its own.
+    pub fn from_args() -> Scale {
+        let mut scale = Scale::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => scale.size_factor = 1.0,
+                "--size-factor" if i + 1 < args.len() => {
+                    scale.size_factor = args[i + 1].parse().unwrap_or(scale.size_factor);
+                    i += 1;
+                }
+                "--k" if i + 1 < args.len() => {
+                    scale.k = args[i + 1].parse().unwrap_or(scale.k);
+                    i += 1;
+                }
+                "--mc" if i + 1 < args.len() => {
+                    scale.mc_iterations = args[i + 1].parse().unwrap_or(scale.mc_iterations);
+                    i += 1;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    scale.seed = args[i + 1].parse().unwrap_or(scale.seed);
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_sane() {
+        let s = Scale::default();
+        assert!(s.size_factor > 0.0 && s.size_factor <= 1.0);
+        assert!(s.mc_iterations >= 1000);
+        assert_eq!(s.k, 50);
+    }
+}

@@ -1,0 +1,151 @@
+//! Plain-text table and series rendering shaped like the paper's output.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title (e.g. `"Table 2 — SelfInfMax"`).
+    pub fn new(title: impl Into<String>) -> Table {
+        Table {
+            title: title.into(),
+            ..Table::default()
+        }
+    }
+
+    /// Set the header row.
+    pub fn header(mut self, cols: &[&str]) -> Table {
+        self.header = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Append a data row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with column alignment.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        if !self.header.is_empty() {
+            let _ = writeln!(out, "{}", fmt_row(&self.header));
+            let _ = writeln!(
+                out,
+                "{}",
+                widths
+                    .iter()
+                    .map(|w| "-".repeat(*w))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            );
+        }
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r));
+        }
+        out
+    }
+
+    /// Render as CSV (for downstream plotting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        if !self.header.is_empty() {
+            let _ = writeln!(
+                out,
+                "{}",
+                self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Format a percentage improvement `new vs base` the way the paper's
+/// Tables 2–4 do.
+pub fn pct_improvement(new: f64, base: f64) -> String {
+    if base.abs() < 1e-9 {
+        return "n/a".to_string();
+    }
+    format!("{:+.1}%", 100.0 * (new - base) / base)
+}
+
+/// Format `value ± half_width` like the paper's Tables 5–7.
+pub fn pm(value: f64, half_width: f64) -> String {
+    format!("{value:.2} ± {half_width:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T").header(&["a", "long-col"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("long-col"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("T").header(&["x,y", "z"]);
+        t.row(vec!["a\"b".into(), "c".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"a\"\"b\""));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(pct_improvement(120.0, 100.0), "+20.0%");
+        assert_eq!(pct_improvement(80.0, 100.0), "-20.0%");
+        assert_eq!(pct_improvement(1.0, 0.0), "n/a");
+        assert_eq!(pm(0.876, 0.012), "0.88 ± 0.01");
+    }
+}

@@ -1,0 +1,41 @@
+//! Wall-clock measurement helpers for the experiment drivers.
+
+use std::time::Instant;
+
+/// Run `f`, returning its result and the elapsed seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Human-readable duration (`1.23s`, `4m05s`).
+pub fn fmt_secs(secs: f64) -> String {
+    if secs < 120.0 {
+        format!("{secs:.2}s")
+    } else {
+        let m = (secs / 60.0).floor() as u64;
+        format!("{m}m{:02.0}s", secs - 60.0 * m as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures_and_returns() {
+        let (v, secs) = timed(|| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            7
+        });
+        assert_eq!(v, 7);
+        assert!(secs >= 0.018, "measured {secs}");
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(fmt_secs(1.234), "1.23s");
+        assert_eq!(fmt_secs(125.0), "2m05s");
+    }
+}

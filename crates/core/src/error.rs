@@ -1,0 +1,63 @@
+//! Error type for the Com-IC model crate.
+
+use std::fmt;
+
+/// Errors produced by model construction and the exact-enumeration engine.
+#[derive(Debug)]
+pub enum ModelError {
+    /// A GAP value was outside `[0, 1]`.
+    InvalidGap(String),
+    /// A seed node id was out of range for the graph.
+    SeedOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// The exact enumeration would exceed the configured world budget.
+    TooManyWorlds {
+        /// Number of equivalence classes required (saturating).
+        required: u128,
+        /// The configured cap.
+        cap: u64,
+    },
+    /// A request was structurally invalid (e.g. k larger than |V|).
+    InvalidRequest(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidGap(msg) => write!(f, "invalid GAP: {msg}"),
+            ModelError::SeedOutOfRange { node, n } => {
+                write!(f, "seed node {node} out of range for graph with {n} nodes")
+            }
+            ModelError::TooManyWorlds { required, cap } => write!(
+                f,
+                "exact enumeration needs {required} equivalence classes, cap is {cap}"
+            ),
+            ModelError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(ModelError::InvalidGap("x".into()).to_string().contains("x"));
+        assert!(ModelError::SeedOutOfRange { node: 4, n: 2 }
+            .to_string()
+            .contains("4"));
+        assert!(ModelError::TooManyWorlds {
+            required: 100,
+            cap: 10
+        }
+        .to_string()
+        .contains("100"));
+    }
+}

@@ -1,0 +1,570 @@
+//! Exact expected spreads by enumeration of possible-world equivalence
+//! classes (paper §5.1).
+//!
+//! §5.1 observes that although possible worlds are uncountable (thresholds
+//! are reals), the diffusion outcome depends only on *which range* each
+//! `α` falls in relative to the two applicable GAPs, yielding finitely many
+//! **equivalence classes** with easily computed probability mass. This
+//! module enumerates:
+//!
+//! * live/blocked assignments of every probabilistic edge (`0 < p < 1`),
+//! * the α-range of each (relevant) node for each item,
+//! * tie-breaking permutations of in-neighbours (skipped under mutual
+//!   complementarity, where Lemma 2 proves them immaterial),
+//! * seed-order coins for nodes seeding both items (ditto),
+//!
+//! runs the deterministic cascade in each class, and sums
+//! `Pr[W] · σ_W` — Equation (2) of the paper. Feasible for the gadget-sized
+//! graphs used by the paper's counter-examples (Figures 9–12) and our
+//! property tests, where it serves as ground truth for the Monte-Carlo
+//! engines.
+
+use crate::error::ModelError;
+use crate::gap::{Gap, Regime};
+use crate::item::Item;
+use crate::oracle::Oracle;
+use crate::seeds::SeedPair;
+use crate::simulate::CascadeEngine;
+use comic_graph::traversal::{reachable, Direction};
+use comic_graph::{DiGraph, EdgeId, NodeId};
+
+/// Exact spreads and per-node adoption probabilities.
+#[derive(Clone, Debug)]
+pub struct ExactResult {
+    /// `σ_A` — exact expected number of A-adopted nodes.
+    pub sigma_a: f64,
+    /// `σ_B`.
+    pub sigma_b: f64,
+    /// `adopt_a[v]` — exact probability node `v` adopts A.
+    pub adopt_a: Vec<f64>,
+    /// `adopt_b[v]`.
+    pub adopt_b: Vec<f64>,
+    /// Number of equivalence classes enumerated.
+    pub worlds: u64,
+}
+
+/// Exact Com-IC evaluator for small graphs.
+///
+/// # Example
+/// ```
+/// use comic_core::exact::ExactComIc;
+/// use comic_core::{Gap, SeedPair};
+/// use comic_core::seeds::seeds;
+/// use comic_graph::gen;
+///
+/// // One edge 0 -> 1 with p = 0.5; σ_A = 1 + 0.5·q_{A|∅}.
+/// let g = gen::path(2, 0.5);
+/// let gap = Gap::new(0.4, 0.4, 0.0, 0.0).unwrap();
+/// let r = ExactComIc::new(&g, gap)
+///     .compute(&SeedPair::a_only(seeds(&[0])))
+///     .unwrap();
+/// assert!((r.sigma_a - 1.2).abs() < 1e-12);
+/// ```
+pub struct ExactComIc<'g> {
+    g: &'g DiGraph,
+    gap: Gap,
+    max_worlds: u64,
+}
+
+#[derive(Clone, Debug)]
+enum DimKind {
+    /// Probabilistic edge: options = [live, blocked].
+    Edge(EdgeId),
+    /// α-range of (item, node): options = surviving ranges.
+    Alpha(Item, NodeId),
+    /// Permutation of a node's in-edges: options = d! orders.
+    Perm(NodeId),
+    /// Seed-order coin of a dual seed: options = [A-first, B-first].
+    Tau(NodeId),
+}
+
+#[derive(Clone, Debug)]
+struct Dim {
+    kind: DimKind,
+    /// Probability of each option (sums to 1).
+    probs: Vec<f64>,
+    /// Representative value per option (interpretation depends on kind).
+    values: Vec<f64>,
+}
+
+/// Fully-specified world tables read by the exact oracle.
+struct Tables {
+    live: Vec<bool>,
+    alpha_a: Vec<f64>,
+    alpha_b: Vec<f64>,
+    prio: Vec<u64>,
+    tau: Vec<bool>,
+}
+
+struct ExactOracle<'t> {
+    t: &'t Tables,
+}
+
+impl Oracle for ExactOracle<'_> {
+    #[inline]
+    fn edge_live(&mut self, e: EdgeId, _p: f64) -> bool {
+        self.t.live[e.index()]
+    }
+
+    #[inline]
+    fn adopt(&mut self, v: NodeId, item: Item, other_adopted: bool, gap: &Gap) -> bool {
+        let alpha = match item {
+            Item::A => self.t.alpha_a[v.index()],
+            Item::B => self.t.alpha_b[v.index()],
+        };
+        debug_assert!(
+            !alpha.is_nan(),
+            "exact engine consulted a pruned threshold: node {v}, item {item}"
+        );
+        alpha <= gap.adopt_prob(item, other_adopted)
+    }
+
+    #[inline]
+    fn reconsider(&mut self, v: NodeId, item: Item, gap: &Gap) -> bool {
+        self.adopt(v, item, true, gap)
+    }
+
+    #[inline]
+    fn tie_priority(&mut self, e: EdgeId) -> u64 {
+        self.t.prio[e.index()]
+    }
+
+    #[inline]
+    fn seed_a_first(&mut self, v: NodeId) -> bool {
+        self.t.tau[v.index()]
+    }
+
+    fn reset(&mut self) {}
+}
+
+impl<'g> ExactComIc<'g> {
+    /// Create an exact evaluator (default budget: 20 million classes).
+    pub fn new(g: &'g DiGraph, gap: Gap) -> Self {
+        ExactComIc {
+            g,
+            gap,
+            max_worlds: 20_000_000,
+        }
+    }
+
+    /// Override the enumeration budget.
+    pub fn max_worlds(mut self, cap: u64) -> Self {
+        self.max_worlds = cap;
+        self
+    }
+
+    /// The α-ranges `[0,t₁), [t₁,t₂), [t₂,1]` (with `t₁ ≤ t₂` the sorted
+    /// GAPs for `item`), dropping zero-mass ranges. Returns (probs, reps):
+    /// representative values sit strictly inside each range so every
+    /// comparison `α ≤ q` resolves as it would for almost every real α.
+    fn alpha_ranges(&self, item: Item) -> (Vec<f64>, Vec<f64>) {
+        let (q0, qx) = match item {
+            Item::A => (self.gap.q_a0, self.gap.q_ab),
+            Item::B => (self.gap.q_b0, self.gap.q_ba),
+        };
+        let (t1, t2) = (q0.min(qx), q0.max(qx));
+        let bounds = [(0.0, t1), (t1, t2), (t2, 1.0)];
+        let mut probs = Vec::new();
+        let mut reps = Vec::new();
+        for (lo, hi) in bounds {
+            let mass = hi - lo;
+            if mass > 1e-15 {
+                probs.push(mass);
+                reps.push((lo + hi) / 2.0);
+            }
+        }
+        (probs, reps)
+    }
+
+    fn build_dims(&self, seeds: &SeedPair) -> Vec<Dim> {
+        let mut dims = Vec::new();
+        // Edges with genuine randomness.
+        for (eid, e) in self.g.edges() {
+            if e.p > 0.0 && e.p < 1.0 {
+                dims.push(Dim {
+                    kind: DimKind::Edge(eid),
+                    probs: vec![e.p, 1.0 - e.p],
+                    values: vec![1.0, 0.0],
+                });
+            }
+        }
+        // Only nodes reachable from some seed can ever be informed; others
+        // never consult their thresholds.
+        let mut all_seeds: Vec<NodeId> = seeds.a.iter().chain(seeds.b.iter()).copied().collect();
+        all_seeds.sort_unstable();
+        all_seeds.dedup();
+        let relevant = reachable(self.g, &all_seeds, Direction::Forward);
+        for &v in &relevant {
+            // A node with no in-edges can never be informed of anything.
+            if self.g.in_degree(v) == 0 {
+                continue;
+            }
+            for item in Item::BOTH {
+                // A seed of `item` adopts it at t=0 without testing the NLA.
+                let is_seed_of_item = match item {
+                    Item::A => seeds.a.binary_search(&v).is_ok(),
+                    Item::B => seeds.b.binary_search(&v).is_ok(),
+                };
+                if is_seed_of_item {
+                    continue;
+                }
+                let (probs, reps) = self.alpha_ranges(item);
+                if probs.len() > 1 {
+                    dims.push(Dim {
+                        kind: DimKind::Alpha(item, v),
+                        probs,
+                        values: reps,
+                    });
+                }
+            }
+        }
+        // Tie-breaking permutations and dual-seed coins matter only outside
+        // mutual complementarity (Lemma 2 and its dual-seed analogue).
+        if self.gap.regime() != Regime::MutualComplement {
+            for &v in &relevant {
+                let d = self.g.in_degree(v);
+                if d >= 2 {
+                    let fact: u64 = (1..=d as u64).product();
+                    dims.push(Dim {
+                        kind: DimKind::Perm(v),
+                        probs: vec![1.0 / fact as f64; fact as usize],
+                        values: Vec::new(),
+                    });
+                }
+            }
+            for v in seeds.common() {
+                dims.push(Dim {
+                    kind: DimKind::Tau(v),
+                    probs: vec![0.5, 0.5],
+                    values: vec![1.0, 0.0],
+                });
+            }
+        }
+        dims
+    }
+
+    /// Exactly evaluate the diffusion from `seeds`.
+    pub fn compute(&self, seeds: &SeedPair) -> Result<ExactResult, ModelError> {
+        let n = self.g.num_nodes();
+        for &s in seeds.a.iter().chain(seeds.b.iter()) {
+            if s.index() >= n {
+                return Err(ModelError::SeedOutOfRange { node: s.0, n });
+            }
+        }
+        let dims = self.build_dims(seeds);
+        let mut required: u128 = 1;
+        for d in &dims {
+            required = required.saturating_mul(d.probs.len() as u128);
+            if required > self.max_worlds as u128 {
+                return Err(ModelError::TooManyWorlds {
+                    required,
+                    cap: self.max_worlds,
+                });
+            }
+        }
+
+        // Tables with fixed defaults; dims overwrite their slots per world.
+        let mut tables = Tables {
+            live: vec![false; self.g.num_edges()],
+            alpha_a: vec![f64::NAN; n],
+            alpha_b: vec![f64::NAN; n],
+            prio: (0..self.g.num_edges() as u64).collect(),
+            tau: vec![true; n],
+        };
+        // Deterministic edges.
+        for (eid, e) in self.g.edges() {
+            tables.live[eid.index()] = e.p >= 1.0;
+        }
+        // Nodes whose α dim collapsed to a single range still need a value.
+        {
+            let (probs_a, reps_a) = self.alpha_ranges(Item::A);
+            let (probs_b, reps_b) = self.alpha_ranges(Item::B);
+            let single_a = (probs_a.len() == 1).then(|| reps_a[0]);
+            let single_b = (probs_b.len() == 1).then(|| reps_b[0]);
+            for v in 0..n {
+                if let Some(a) = single_a {
+                    tables.alpha_a[v] = a;
+                }
+                if let Some(b) = single_b {
+                    tables.alpha_b[v] = b;
+                }
+            }
+        }
+
+        let mut engine = CascadeEngine::new(self.g);
+        let mut idx = vec![0usize; dims.len()];
+        let mut adopt_a = vec![0.0f64; n];
+        let mut adopt_b = vec![0.0f64; n];
+        let mut worlds: u64 = 0;
+        let mut perm_scratch: Vec<u32> = Vec::new();
+        let mut elems_scratch: Vec<u32> = Vec::new();
+
+        loop {
+            // Apply the current assignment.
+            let mut weight = 1.0f64;
+            for (d, &i) in dims.iter().zip(idx.iter()) {
+                weight *= d.probs[i];
+                match d.kind {
+                    DimKind::Edge(e) => tables.live[e.index()] = d.values[i] > 0.5,
+                    DimKind::Alpha(Item::A, v) => tables.alpha_a[v.index()] = d.values[i],
+                    DimKind::Alpha(Item::B, v) => tables.alpha_b[v.index()] = d.values[i],
+                    DimKind::Perm(v) => {
+                        apply_permutation(
+                            self.g,
+                            v,
+                            i as u64,
+                            &mut tables.prio,
+                            &mut perm_scratch,
+                            &mut elems_scratch,
+                        );
+                    }
+                    DimKind::Tau(v) => tables.tau[v.index()] = d.values[i] > 0.5,
+                }
+            }
+
+            if weight > 0.0 {
+                let mut oracle = ExactOracle { t: &tables };
+                engine.run(&self.gap, seeds, &mut oracle);
+                for &v in engine.a_adopted() {
+                    adopt_a[v.index()] += weight;
+                }
+                for &v in engine.b_adopted() {
+                    adopt_b[v.index()] += weight;
+                }
+            }
+            worlds += 1;
+
+            // Odometer increment.
+            let mut pos = dims.len();
+            loop {
+                if pos == 0 {
+                    break;
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < dims[pos].probs.len() {
+                    break;
+                }
+                idx[pos] = 0;
+                if pos == 0 {
+                    pos = usize::MAX;
+                    break;
+                }
+            }
+            if dims.is_empty() || pos == usize::MAX {
+                break;
+            }
+        }
+
+        Ok(ExactResult {
+            sigma_a: adopt_a.iter().sum(),
+            sigma_b: adopt_b.iter().sum(),
+            adopt_a,
+            adopt_b,
+            worlds,
+        })
+    }
+
+    /// Convenience: exact `σ_A(S_A, S_B)`.
+    pub fn sigma_a(&self, seeds: &SeedPair) -> Result<f64, ModelError> {
+        Ok(self.compute(seeds)?.sigma_a)
+    }
+}
+
+/// Write the `k`-th permutation (Lehmer decoding) of `v`'s in-edges into the
+/// priority table: the edge at permuted position `r` gets priority `r`.
+fn apply_permutation(
+    g: &DiGraph,
+    v: NodeId,
+    mut k: u64,
+    prio: &mut [u64],
+    perm: &mut Vec<u32>,
+    elems: &mut Vec<u32>,
+) {
+    let d = g.in_degree(v);
+    elems.clear();
+    elems.extend(0..d as u32);
+    perm.clear();
+    let mut fact: u64 = (1..=d as u64).product();
+    for i in 0..d {
+        fact /= (d - i) as u64;
+        let digit = (k / fact) as usize;
+        k %= fact;
+        perm.push(elems.remove(digit));
+    }
+    // perm[rank] = position among in-edges.
+    let in_edges: Vec<EdgeId> = g.in_edges(v).map(|a| a.edge).collect();
+    for (rank, &posn) in perm.iter().enumerate() {
+        prio[in_edges[posn as usize].index()] = rank as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::seeds;
+    use crate::spread::SpreadEstimator;
+    use comic_graph::builder::from_edges;
+    use comic_graph::gen;
+
+    #[test]
+    fn single_edge_closed_form() {
+        let g = gen::path(2, 0.7);
+        let gap = Gap::new(0.4, 0.4, 0.0, 0.0).unwrap();
+        let r = ExactComIc::new(&g, gap)
+            .compute(&SeedPair::a_only(seeds(&[0])))
+            .unwrap();
+        assert!((r.sigma_a - (1.0 + 0.7 * 0.4)).abs() < 1e-12);
+        assert!((r.adopt_a[1] - 0.28).abs() < 1e-12);
+        assert_eq!(r.sigma_b, 0.0);
+    }
+
+    #[test]
+    fn reconsideration_gadget_closed_form() {
+        // 0 -> 1 <- 2 (both edges certain), S_A = {0}, S_B = {2}.
+        // Node 1 gets both informs at t=1. Under Q+ (order-free):
+        //   adopts B iff α_B ≤ q_b0  or (adopts A and α_B ≤ q_ba)
+        //   adopts A iff α_A ≤ q_a0 or (adopts B and α_A ≤ q_ab)
+        // With q = (a0, ab, b0, ba):
+        //   P(A) = a0 + (ab − a0)·b0_eff where b0_eff = P(B | A not direct)…
+        // Simplest independent-threshold expansion:
+        //   P(A) = a0 + (ab − a0)·b0   (A direct, or A boosted by B-direct)
+        //   (B boosted by A requires A adopted first, which keeps α_A ≤ a0,
+        //    already counted in the a0 term.)
+        let g = from_edges(3, &[(0, 1, 1.0), (2, 1, 1.0)]).unwrap();
+        let (a0, ab, b0, ba) = (0.3, 0.8, 0.4, 0.9);
+        let gap = Gap::new(a0, ab, b0, ba).unwrap();
+        let r = ExactComIc::new(&g, gap)
+            .compute(&SeedPair::new(seeds(&[0]), seeds(&[2])))
+            .unwrap();
+        let expect_a = a0 + (ab - a0) * b0;
+        let expect_b = b0 + (ba - b0) * a0;
+        assert!(
+            (r.adopt_a[1] - expect_a).abs() < 1e-12,
+            "P(A) = {} want {expect_a}",
+            r.adopt_a[1]
+        );
+        assert!(
+            (r.adopt_b[1] - expect_b).abs() < 1e-12,
+            "P(B) = {} want {expect_b}",
+            r.adopt_b[1]
+        );
+    }
+
+    fn assert_exact_matches_mc(g: &DiGraph, sp: &SeedPair, gaps: &[Gap]) {
+        for &gap in gaps {
+            let exact = ExactComIc::new(g, gap).compute(sp).unwrap();
+            let mc = SpreadEstimator::new(g, gap).estimate(sp, 60_000, 5);
+            let tol_a = 5.0 * mc.stderr_a().max(0.01);
+            let tol_b = 5.0 * mc.stderr_b().max(0.01);
+            assert!(
+                (exact.sigma_a - mc.sigma_a).abs() < tol_a,
+                "{gap}: exact σ_A {} vs MC {}",
+                exact.sigma_a,
+                mc.sigma_a
+            );
+            assert!(
+                (exact.sigma_b - mc.sigma_b).abs() < tol_b,
+                "{gap}: exact σ_B {} vs MC {}",
+                exact.sigma_b,
+                mc.sigma_b
+            );
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo_mutual_complement() {
+        // Lemma 2 spares the permutation dims in Q+, so a denser graph fits
+        // the enumeration budget.
+        let g = from_edges(
+            6,
+            &[
+                (0, 2, 0.8),
+                (1, 2, 0.6),
+                (2, 3, 0.7),
+                (3, 4, 1.0),
+                (1, 3, 0.5),
+                (4, 5, 0.9),
+                (0, 5, 0.3),
+            ],
+        )
+        .unwrap();
+        let sp = SeedPair::new(seeds(&[0]), seeds(&[1]));
+        assert_exact_matches_mc(
+            &g,
+            &sp,
+            &[
+                Gap::new(0.3, 0.8, 0.4, 0.9).unwrap(),
+                Gap::new(0.1, 0.9, 0.7, 0.7).unwrap(),
+            ],
+        );
+    }
+
+    #[test]
+    fn matches_monte_carlo_competitive_and_mixed() {
+        // Competitive / mixed regimes enumerate permutations and seed-order
+        // coins, so keep the gadget small.
+        let g = from_edges(
+            5,
+            &[(0, 2, 0.8), (1, 2, 0.6), (2, 3, 0.7), (1, 3, 0.5), (3, 4, 0.9)],
+        )
+        .unwrap();
+        let sp = SeedPair::new(seeds(&[0]), seeds(&[1]));
+        assert_exact_matches_mc(
+            &g,
+            &sp,
+            &[
+                Gap::new(0.8, 0.3, 0.9, 0.4).unwrap(),
+                Gap::new(0.3, 0.8, 0.9, 0.4).unwrap(),
+                Gap::competitive_ic(),
+            ],
+        );
+    }
+
+    #[test]
+    fn dual_seed_coin_enumerated_in_competition() {
+        // Node 0 seeds both items; in pure competition its single neighbour
+        // adopts whichever item 0 adopted first: P = 1/2 each.
+        let g = gen::path(2, 1.0);
+        let gap = Gap::competitive_ic();
+        let r = ExactComIc::new(&g, gap)
+            .compute(&SeedPair::new(seeds(&[0]), seeds(&[0])))
+            .unwrap();
+        assert!((r.adopt_a[1] - 0.5).abs() < 1e-12, "{}", r.adopt_a[1]);
+        assert!((r.adopt_b[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_break_permutations_enumerated_in_competition() {
+        // Two competing seeds race for node 2 through certain edges: the
+        // permutation decides, so each wins half the time.
+        let g = from_edges(3, &[(0, 2, 1.0), (1, 2, 1.0)]).unwrap();
+        let gap = Gap::competitive_ic();
+        let r = ExactComIc::new(&g, gap)
+            .compute(&SeedPair::new(seeds(&[0]), seeds(&[1])))
+            .unwrap();
+        assert!((r.adopt_a[2] - 0.5).abs() < 1e-12);
+        assert!((r.adopt_b[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn world_budget_enforced() {
+        let g = gen::complete(8, 0.5);
+        let gap = Gap::new(0.3, 0.8, 0.4, 0.9).unwrap();
+        let err = ExactComIc::new(&g, gap)
+            .max_worlds(1000)
+            .compute(&SeedPair::a_only(seeds(&[0])))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::TooManyWorlds { .. }));
+    }
+
+    #[test]
+    fn seed_validation() {
+        let g = gen::path(2, 1.0);
+        let gap = Gap::classic_ic();
+        let err = ExactComIc::new(&g, gap)
+            .compute(&SeedPair::a_only(seeds(&[9])))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::SeedOutOfRange { node: 9, n: 2 }));
+    }
+}

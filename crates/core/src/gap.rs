@@ -1,0 +1,313 @@
+//! Global Adoption Probabilities — the parameters of the node-level automaton.
+
+use crate::error::ModelError;
+use crate::item::Item;
+
+/// The four **Global Adoption Probabilities** (GAPs)
+/// `Q = (q_{A|∅}, q_{A|B}, q_{B|∅}, q_{B|A}) ∈ [0,1]⁴` of the Com-IC model
+/// (paper §3).
+///
+/// * `q_{A|∅}` — probability a user adopts A when informed of A while **not**
+///   B-adopted;
+/// * `q_{A|B}` — probability a user adopts A when informed of A while already
+///   B-adopted;
+/// * symmetrically for B.
+///
+/// A *competes with* B iff `q_{B|A} ≤ q_{B|∅}` and *complements* B iff
+/// `q_{B|A} ≥ q_{B|∅}` (equality — B indifferent to A — belongs to both by
+/// the paper's convention). The magnitude of the differences expresses the
+/// *degree* of competition/complementarity.
+///
+/// # Example
+/// ```
+/// use comic_core::gap::{Gap, Regime};
+/// // An Apple-Watch-like item A strongly complemented by a phone B,
+/// // with mild complementarity the other way (paper §3, "Design
+/// // Considerations"): (q_{A|B} − q_{A|∅}) > (q_{B|A} − q_{B|∅}) ≥ 0.
+/// let q = Gap::new(0.2, 0.9, 0.5, 0.6).unwrap();
+/// assert_eq!(q.regime(), Regime::MutualComplement);
+/// assert!(q.a_complements_b() && q.b_complements_a());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Gap {
+    /// `q_{A|∅}`: adopt A when informed, not B-adopted.
+    pub q_a0: f64,
+    /// `q_{A|B}`: adopt A when informed, already B-adopted.
+    pub q_ab: f64,
+    /// `q_{B|∅}`: adopt B when informed, not A-adopted.
+    pub q_b0: f64,
+    /// `q_{B|A}`: adopt B when informed, already A-adopted.
+    pub q_ba: f64,
+}
+
+/// Classification of a GAP vector by the relationship it encodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Regime {
+    /// `Q⁺`: mutual complementarity, `q_{A|∅} ≤ q_{A|B}` and
+    /// `q_{B|∅} ≤ q_{B|A}` (the setting of SelfInfMax / CompInfMax).
+    MutualComplement,
+    /// `Q⁻`: mutual competition, `q_{A|∅} ≥ q_{A|B}` and `q_{B|∅} ≥ q_{B|A}`.
+    MutualCompete,
+    /// One item complements while the other competes — the paper shows
+    /// monotonicity can fail here (Examples 1–2).
+    Mixed,
+}
+
+impl Gap {
+    /// Validate and construct a GAP vector `(q_{A|∅}, q_{A|B}, q_{B|∅}, q_{B|A})`.
+    pub fn new(q_a0: f64, q_ab: f64, q_b0: f64, q_ba: f64) -> Result<Gap, ModelError> {
+        for (name, v) in [
+            ("q_{A|∅}", q_a0),
+            ("q_{A|B}", q_ab),
+            ("q_{B|∅}", q_b0),
+            ("q_{B|A}", q_ba),
+        ] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(ModelError::InvalidGap(format!(
+                    "{name} must lie in [0,1], got {v}"
+                )));
+            }
+        }
+        Ok(Gap {
+            q_a0,
+            q_ab,
+            q_b0,
+            q_ba,
+        })
+    }
+
+    /// The GAPs that make Com-IC degenerate to the classic single-item IC
+    /// model for A: `Q = (1, 0, 0, 0)` (paper §3, "Design Considerations").
+    pub fn classic_ic() -> Gap {
+        Gap {
+            q_a0: 1.0,
+            q_ab: 0.0,
+            q_b0: 0.0,
+            q_ba: 0.0,
+        }
+    }
+
+    /// The purely *Competitive* IC special case:
+    /// `q_{A|∅} = q_{B|∅} = 1`, `q_{A|B} = q_{B|A} = 0`.
+    pub fn competitive_ic() -> Gap {
+        Gap {
+            q_a0: 1.0,
+            q_ab: 0.0,
+            q_b0: 1.0,
+            q_ba: 0.0,
+        }
+    }
+
+    /// Adoption probability used by the NLA when a node is first informed of
+    /// `item`: `q_{item|other}` if the node has adopted the other item,
+    /// `q_{item|∅}` otherwise.
+    #[inline]
+    pub fn adopt_prob(&self, item: Item, other_adopted: bool) -> f64 {
+        match (item, other_adopted) {
+            (Item::A, false) => self.q_a0,
+            (Item::A, true) => self.q_ab,
+            (Item::B, false) => self.q_b0,
+            (Item::B, true) => self.q_ba,
+        }
+    }
+
+    /// Reconsideration probability `ρ_item` (paper Figure 2, step 4):
+    /// the probability an `item`-suspended node adopts `item` upon adopting
+    /// the other item, defined so the overall adoption probability equals
+    /// `q_{item|other}`:
+    /// `ρ = max(q_{item|other} − q_{item|∅}, 0) / (1 − q_{item|∅})`.
+    ///
+    /// When `q_{item|∅} = 1` a node can never be suspended, so ρ is
+    /// immaterial and defined as 0.
+    #[inline]
+    pub fn reconsider_prob(&self, item: Item) -> f64 {
+        let (q0, q_other) = match item {
+            Item::A => (self.q_a0, self.q_ab),
+            Item::B => (self.q_b0, self.q_ba),
+        };
+        if q0 >= 1.0 {
+            0.0
+        } else {
+            (q_other - q0).max(0.0) / (1.0 - q0)
+        }
+    }
+
+    /// Whether A complements B (`q_{B|A} ≥ q_{B|∅}`; equality = indifferent).
+    #[inline]
+    pub fn a_complements_b(&self) -> bool {
+        self.q_ba >= self.q_b0
+    }
+
+    /// Whether B complements A (`q_{A|B} ≥ q_{A|∅}`).
+    #[inline]
+    pub fn b_complements_a(&self) -> bool {
+        self.q_ab >= self.q_a0
+    }
+
+    /// Whether A competes with B (`q_{B|A} ≤ q_{B|∅}`).
+    #[inline]
+    pub fn a_competes_with_b(&self) -> bool {
+        self.q_ba <= self.q_b0
+    }
+
+    /// Whether B competes with A (`q_{A|B} ≤ q_{A|∅}`).
+    #[inline]
+    pub fn b_competes_with_a(&self) -> bool {
+        self.q_ab <= self.q_a0
+    }
+
+    /// Classify this GAP vector. Fully indifferent vectors (both equalities)
+    /// are reported as [`Regime::MutualComplement`].
+    pub fn regime(&self) -> Regime {
+        match (
+            self.b_complements_a() && self.a_complements_b(),
+            self.b_competes_with_a() && self.a_competes_with_b(),
+        ) {
+            (true, _) => Regime::MutualComplement,
+            (false, true) => Regime::MutualCompete,
+            (false, false) => Regime::Mixed,
+        }
+    }
+
+    /// The *one-way complementarity* condition of Theorem 4 under which
+    /// `σ_A` is self-submodular and RR-SIM is exact: B complements A
+    /// (`q_{A|∅} ≤ q_{A|B}`) while B is indifferent to A
+    /// (`q_{B|∅} = q_{B|A}`, Lemma 3).
+    pub fn is_one_way_complement(&self) -> bool {
+        self.q_a0 <= self.q_ab && self.q_b0 == self.q_ba
+    }
+
+    /// The condition of Theorem 5 / Theorem 8 under which `σ_A` is
+    /// cross-submodular and RR-CIM is exact: mutual complementarity with
+    /// `q_{B|A} = 1`.
+    pub fn is_cim_submodular(&self) -> bool {
+        self.regime() == Regime::MutualComplement && self.q_ba == 1.0
+    }
+
+    /// Copy with `q_{B|∅}` replaced (used by the sandwich upper bound for
+    /// SelfInfMax: raise `q_{B|∅}` to `q_{B|A}`).
+    pub fn with_q_b0(&self, q_b0: f64) -> Result<Gap, ModelError> {
+        Gap::new(self.q_a0, self.q_ab, q_b0, self.q_ba)
+    }
+
+    /// Copy with `q_{B|A}` replaced (used by the sandwich lower bound for
+    /// SelfInfMax and the upper bound for CompInfMax).
+    pub fn with_q_ba(&self, q_ba: f64) -> Result<Gap, ModelError> {
+        Gap::new(self.q_a0, self.q_ab, self.q_b0, q_ba)
+    }
+
+    /// Degree of complementarity B exerts on A, `q_{A|B} − q_{A|∅}`
+    /// (negative = competition).
+    pub fn boost_on_a(&self) -> f64 {
+        self.q_ab - self.q_a0
+    }
+
+    /// Degree of complementarity A exerts on B, `q_{B|A} − q_{B|∅}`.
+    pub fn boost_on_b(&self) -> f64 {
+        self.q_ba - self.q_b0
+    }
+}
+
+impl std::fmt::Display for Gap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Q=(q_A|0={}, q_A|B={}, q_B|0={}, q_B|A={})",
+            self.q_a0, self.q_ab, self.q_b0, self.q_ba
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Gap::new(0.0, 0.5, 1.0, 0.7).is_ok());
+        assert!(Gap::new(-0.1, 0.5, 0.5, 0.5).is_err());
+        assert!(Gap::new(0.5, 1.5, 0.5, 0.5).is_err());
+        assert!(Gap::new(0.5, 0.5, f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn adopt_prob_selects_the_right_gap() {
+        let q = Gap::new(0.1, 0.2, 0.3, 0.4).unwrap();
+        assert_eq!(q.adopt_prob(Item::A, false), 0.1);
+        assert_eq!(q.adopt_prob(Item::A, true), 0.2);
+        assert_eq!(q.adopt_prob(Item::B, false), 0.3);
+        assert_eq!(q.adopt_prob(Item::B, true), 0.4);
+    }
+
+    #[test]
+    fn reconsideration_identity() {
+        // ρ must satisfy q_{A|∅} + (1 − q_{A|∅})·ρ_A = q_{A|B} in Q+.
+        let q = Gap::new(0.3, 0.8, 0.5, 0.9).unwrap();
+        let rho_a = q.reconsider_prob(Item::A);
+        assert!((q.q_a0 + (1.0 - q.q_a0) * rho_a - q.q_ab).abs() < 1e-12);
+        let rho_b = q.reconsider_prob(Item::B);
+        assert!((q.q_b0 + (1.0 - q.q_b0) * rho_b - q.q_ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconsideration_zero_under_competition() {
+        let q = Gap::new(0.8, 0.3, 0.5, 0.2).unwrap();
+        assert_eq!(q.reconsider_prob(Item::A), 0.0);
+        assert_eq!(q.reconsider_prob(Item::B), 0.0);
+    }
+
+    #[test]
+    fn reconsideration_defined_at_q0_one() {
+        let q = Gap::new(1.0, 1.0, 0.5, 0.5).unwrap();
+        assert_eq!(q.reconsider_prob(Item::A), 0.0);
+    }
+
+    #[test]
+    fn regimes() {
+        assert_eq!(
+            Gap::new(0.2, 0.8, 0.3, 0.9).unwrap().regime(),
+            Regime::MutualComplement
+        );
+        assert_eq!(
+            Gap::new(0.8, 0.2, 0.9, 0.3).unwrap().regime(),
+            Regime::MutualCompete
+        );
+        assert_eq!(
+            Gap::new(0.2, 0.8, 0.9, 0.3).unwrap().regime(),
+            Regime::Mixed
+        );
+        // Fully indifferent classifies as complementary (both hold).
+        assert_eq!(
+            Gap::new(0.5, 0.5, 0.5, 0.5).unwrap().regime(),
+            Regime::MutualComplement
+        );
+    }
+
+    #[test]
+    fn special_cases() {
+        let ic = Gap::classic_ic();
+        assert_eq!((ic.q_a0, ic.q_ab, ic.q_b0, ic.q_ba), (1.0, 0.0, 0.0, 0.0));
+        let cic = Gap::competitive_ic();
+        assert_eq!(cic.regime(), Regime::MutualCompete);
+    }
+
+    #[test]
+    fn submodularity_region_predicates() {
+        assert!(Gap::new(0.2, 0.8, 0.5, 0.5).unwrap().is_one_way_complement());
+        assert!(!Gap::new(0.2, 0.8, 0.5, 0.6).unwrap().is_one_way_complement());
+        assert!(Gap::new(0.2, 0.8, 0.5, 1.0).unwrap().is_cim_submodular());
+        assert!(!Gap::new(0.2, 0.8, 0.5, 0.9).unwrap().is_cim_submodular());
+        assert!(!Gap::new(0.8, 0.2, 0.5, 1.0).unwrap().is_cim_submodular());
+    }
+
+    #[test]
+    fn sandwich_surrogates() {
+        let q = Gap::new(0.2, 0.8, 0.4, 0.9).unwrap();
+        let upper = q.with_q_b0(q.q_ba).unwrap();
+        assert!(upper.is_one_way_complement());
+        let lower = q.with_q_ba(q.q_b0).unwrap();
+        assert!(lower.is_one_way_complement());
+        let cim_upper = q.with_q_ba(1.0).unwrap();
+        assert!(cim_upper.is_cim_submodular());
+    }
+}

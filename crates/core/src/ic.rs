@@ -1,0 +1,135 @@
+//! The classic single-item Independent Cascade model.
+//!
+//! Com-IC degenerates to IC for `Q = (1, 0, 0, 0)` with no B-seeds (paper
+//! §3); the **VanillaIC** baseline of the experiments and the TIM lower-bound
+//! machinery both want a lean single-item simulator without the two-item
+//! bookkeeping, provided here. A statistical test pins the reduction.
+
+use comic_graph::scratch::StampedSet;
+use comic_graph::{DiGraph, NodeId};
+use rand::{Rng, RngExt};
+
+/// Reusable classic-IC simulator (single item, no NLA).
+///
+/// In IC each newly-active node makes one activation attempt per out-edge;
+/// since a node activates at most once, every edge is attempted at most once
+/// and a fresh coin per attempt is faithful.
+pub struct IcSimulator<'g> {
+    g: &'g DiGraph,
+    active: StampedSet,
+    queue: Vec<NodeId>,
+}
+
+impl<'g> IcSimulator<'g> {
+    /// Create a simulator for `g`.
+    pub fn new(g: &'g DiGraph) -> Self {
+        IcSimulator {
+            g,
+            active: StampedSet::new(g.num_nodes()),
+            queue: Vec::new(),
+        }
+    }
+
+    /// Run one cascade from `seeds`; returns the number of active nodes.
+    pub fn run<R: Rng>(&mut self, seeds: &[NodeId], rng: &mut R) -> u32 {
+        self.active.clear();
+        self.queue.clear();
+        for &s in seeds {
+            if self.active.insert(s.index()) {
+                self.queue.push(s);
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for adj in self.g.out_edges(u) {
+                if !self.active.contains(adj.node.index()) && rng.random_bool(adj.p) {
+                    self.active.insert(adj.node.index());
+                    self.queue.push(adj.node);
+                }
+            }
+        }
+        self.queue.len() as u32
+    }
+
+    /// The nodes activated by the last [`IcSimulator::run`] call.
+    pub fn active_nodes(&self) -> &[NodeId] {
+        &self.queue
+    }
+}
+
+/// Monte-Carlo estimate of the classic-IC spread `σ_IC(seeds)`.
+pub fn ic_spread<R: Rng>(g: &DiGraph, seeds: &[NodeId], iterations: usize, rng: &mut R) -> f64 {
+    let mut sim = IcSimulator::new(g);
+    let mut total = 0u64;
+    for _ in 0..iterations {
+        total += sim.run(seeds, rng) as u64;
+    }
+    total as f64 / iterations as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gap::Gap;
+    use crate::seeds::{seeds, SeedPair};
+    use crate::spread::SpreadEstimator;
+    use comic_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn certain_path_activates_all() {
+        let g = gen::path(5, 1.0);
+        let mut sim = IcSimulator::new(&g);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(sim.run(&seeds(&[0]), &mut rng), 5);
+        assert_eq!(sim.active_nodes().len(), 5);
+    }
+
+    #[test]
+    fn blocked_path_activates_seed_only() {
+        let g = gen::path(5, 0.0);
+        let mut sim = IcSimulator::new(&g);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(sim.run(&seeds(&[0]), &mut rng), 1);
+    }
+
+    #[test]
+    fn duplicate_seeds_counted_once() {
+        let g = gen::path(3, 1.0);
+        let mut sim = IcSimulator::new(&g);
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(sim.run(&seeds(&[0, 0, 1]), &mut rng), 3);
+    }
+
+    #[test]
+    fn path_spread_closed_form() {
+        // σ_IC({0}) on a p-path of length L: sum_{i=0..L-1} p^i.
+        let p = 0.6;
+        let g = gen::path(6, p);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let est = ic_spread(&g, &seeds(&[0]), 60_000, &mut rng);
+        let expect: f64 = (0..6).map(|i| p.powi(i)).sum();
+        assert!((est - expect).abs() < 0.02, "got {est} want {expect}");
+    }
+
+    /// The Com-IC → IC reduction of §3: Q = (1, 0, 0, 0), S_B = ∅.
+    #[test]
+    fn comic_reduces_to_ic() {
+        let mut grng = SmallRng::seed_from_u64(5);
+        let g = gen::gnm(50, 300, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.25).apply(&g, &mut grng);
+        let s = seeds(&[0, 1, 2]);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let ic = ic_spread(&g, &s, 40_000, &mut rng);
+        let comic = SpreadEstimator::new(&g, Gap::classic_ic())
+            .estimate(&SeedPair::a_only(s), 40_000, 7);
+        assert!(
+            (ic - comic.sigma_a).abs() < 6.0 * comic.stderr_a().max(0.02),
+            "IC {ic} vs Com-IC {}",
+            comic.sigma_a
+        );
+    }
+}

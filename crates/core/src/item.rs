@@ -1,0 +1,58 @@
+//! The two propagating items.
+
+/// One of the two items propagating through the network.
+///
+/// The paper (and this workspace) fixes the convention that **A** is the item
+/// whose spread `σ_A` is being maximized; **B** is the other item (the fixed
+/// competitor/complement in `SelfInfMax`, the boosting item in
+/// `CompInfMax`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Item {
+    /// The focal item.
+    A,
+    /// The comparative item.
+    B,
+}
+
+impl Item {
+    /// The other item.
+    #[inline]
+    pub fn other(self) -> Item {
+        match self {
+            Item::A => Item::B,
+            Item::B => Item::A,
+        }
+    }
+
+    /// Both items, A first.
+    pub const BOTH: [Item; 2] = [Item::A, Item::B];
+}
+
+impl std::fmt::Display for Item {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Item::A => write!(f, "A"),
+            Item::B => write!(f, "B"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_involution() {
+        assert_eq!(Item::A.other(), Item::B);
+        assert_eq!(Item::B.other(), Item::A);
+        for i in Item::BOTH {
+            assert_eq!(i.other().other(), i);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Item::A.to_string(), "A");
+        assert_eq!(Item::B.to_string(), "B");
+    }
+}

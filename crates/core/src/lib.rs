@@ -1,0 +1,55 @@
+//! # comic-core
+//!
+//! The **Com-IC** (Comparative Independent Cascade) diffusion model of
+//! Lu, Chen & Lakshmanan, *"From Competition to Complementarity: Comparative
+//! Influence Diffusion and Maximization"* (VLDB 2016), implemented from
+//! scratch.
+//!
+//! Com-IC propagates **two** items, A and B, over a directed social graph.
+//! It separates *edge-level information propagation* (edges open
+//! information channels with probability `p(u,v)`, tested at most once per
+//! diffusion) from *node-level adoption decisions*, made by a Node-Level
+//! Automaton (NLA) parameterized by four **Global Adoption Probabilities**
+//! ([`gap::Gap`]): `q_{A|∅}`, `q_{A|B}`, `q_{B|∅}`, `q_{B|A}`. The GAPs
+//! express anything from pure competition (`q_{X|Y} < q_{X|∅}`) to
+//! arbitrary-degree complementarity (`q_{X|Y} > q_{X|∅}`).
+//!
+//! The crate provides three interchangeable execution modes over one
+//! cascade engine ([`simulate::CascadeEngine`]):
+//!
+//! * [`oracle::CoinOracle`] — the model-faithful forward process of the
+//!   paper's Figure 2 (fresh adoption coins, explicit reconsideration
+//!   probabilities ρ).
+//! * [`possible_world`] — the equivalent possible-world model of §5.1
+//!   (lazily-sampled α thresholds, live edges, tie-break permutations, seed
+//!   order coins). Lemma 1 equivalence between the two is covered by
+//!   statistical tests.
+//! * [`exact`] — exact expected spreads by enumeration of possible-world
+//!   *equivalence classes* (§5.1), feasible for the small gadget graphs used
+//!   in the paper's counter-examples and our property tests.
+//!
+//! Monte-Carlo spread estimation (sequential and multi-threaded) lives in
+//! [`spread`]; the classic single-item IC model — the special case
+//! `Q = (1, 0, 0, 0)` — has a dedicated fast path in [`ic`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod exact;
+pub mod gap;
+pub mod ic;
+pub mod item;
+pub mod oracle;
+pub mod possible_world;
+pub mod seeds;
+pub mod simulate;
+pub mod spread;
+pub mod state;
+
+pub use error::ModelError;
+pub use gap::{Gap, Regime};
+pub use item::Item;
+pub use seeds::SeedPair;
+pub use simulate::{CascadeEngine, CascadeStats};
+pub use spread::{SpreadEstimate, SpreadEstimator};

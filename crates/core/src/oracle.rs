@@ -1,0 +1,162 @@
+//! The decision oracle abstraction: one cascade engine, three sources of
+//! randomness.
+//!
+//! Every stochastic choice the Com-IC process makes is routed through an
+//! [`Oracle`]:
+//!
+//! * edge live/blocked tests (memoized — each edge is tested at most once
+//!   per diffusion, Figure 2 step 1);
+//! * first-inform adoption decisions (Figure 2 step 3);
+//! * reconsideration decisions (Figure 2 step 4);
+//! * tie-breaking priorities among same-step informers (Figure 2 step 2);
+//! * the fair coin ordering A/B adoption for nodes seeding both items.
+//!
+//! [`CoinOracle`] implements the paper's forward process literally (fresh
+//! coins, explicit ρ); [`crate::possible_world::WorldOracle`] implements the
+//! equivalent possible-world semantics (fixed α thresholds); the exact
+//! engine supplies a fully-enumerated oracle. Lemma 1 of the paper says the
+//! first two induce identical outcome distributions — a property our
+//! integration tests check statistically.
+
+use crate::gap::Gap;
+use crate::item::Item;
+use comic_graph::scratch::StampedVec;
+use comic_graph::{EdgeId, NodeId};
+use rand::{Rng, RngExt};
+
+/// Source of all stochastic decisions for one diffusion.
+///
+/// Implementations must be *consistent within a diffusion* (e.g. asking the
+/// status of the same edge twice returns the same answer) and are reset
+/// between diffusions via [`Oracle::reset`].
+pub trait Oracle {
+    /// Live/blocked status of edge `e` whose influence probability is `p`.
+    fn edge_live(&mut self, e: EdgeId, p: f64) -> bool;
+
+    /// First-inform adoption decision for `v` w.r.t. `item`; `other_adopted`
+    /// tells whether `v` has already adopted the other item.
+    fn adopt(&mut self, v: NodeId, item: Item, other_adopted: bool, gap: &Gap) -> bool;
+
+    /// Whether an `item`-suspended node `v` adopts `item` upon adopting the
+    /// other item (reconsideration).
+    fn reconsider(&mut self, v: NodeId, item: Item, gap: &Gap) -> bool;
+
+    /// Tie-breaking priority of in-edge `e`; informers of a node in the same
+    /// step are processed in increasing priority order.
+    fn tie_priority(&mut self, e: EdgeId) -> u64;
+
+    /// For a node seeding both items: whether A is adopted before B.
+    fn seed_a_first(&mut self, v: NodeId) -> bool;
+
+    /// Forget all memoized decisions (start a new diffusion).
+    fn reset(&mut self);
+}
+
+/// The model-faithful oracle: fresh coins for every NLA decision, memoized
+/// coins for edge tests, reconsideration with probability
+/// `ρ = max(q_{X|Y} − q_{X|∅}, 0)/(1 − q_{X|∅})`.
+#[derive(Debug)]
+pub struct CoinOracle<R> {
+    rng: R,
+    edges: StampedVec<bool>,
+}
+
+impl<R: Rng> CoinOracle<R> {
+    /// Create an oracle for a graph with `num_edges` edges.
+    pub fn new(num_edges: usize, rng: R) -> Self {
+        CoinOracle {
+            rng,
+            edges: StampedVec::new(num_edges),
+        }
+    }
+
+    /// Access the underlying RNG (e.g. to reseed between experiments).
+    pub fn rng_mut(&mut self) -> &mut R {
+        &mut self.rng
+    }
+}
+
+impl<R: Rng> Oracle for CoinOracle<R> {
+    #[inline]
+    fn edge_live(&mut self, e: EdgeId, p: f64) -> bool {
+        let rng = &mut self.rng;
+        self.edges
+            .get_or_insert_with(e.index(), || rng.random_bool(p))
+    }
+
+    #[inline]
+    fn adopt(&mut self, _v: NodeId, item: Item, other_adopted: bool, gap: &Gap) -> bool {
+        self.rng.random_bool(gap.adopt_prob(item, other_adopted))
+    }
+
+    #[inline]
+    fn reconsider(&mut self, _v: NodeId, item: Item, gap: &Gap) -> bool {
+        let rho = gap.reconsider_prob(item);
+        rho > 0.0 && self.rng.random_bool(rho)
+    }
+
+    #[inline]
+    fn tie_priority(&mut self, _e: EdgeId) -> u64 {
+        self.rng.random()
+    }
+
+    #[inline]
+    fn seed_a_first(&mut self, _v: NodeId) -> bool {
+        self.rng.random_bool(0.5)
+    }
+
+    fn reset(&mut self) {
+        self.edges.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_tests_are_memoized() {
+        let mut o = CoinOracle::new(4, SmallRng::seed_from_u64(1));
+        let first = o.edge_live(EdgeId(2), 0.5);
+        for _ in 0..64 {
+            assert_eq!(o.edge_live(EdgeId(2), 0.5), first);
+        }
+    }
+
+    #[test]
+    fn reset_redraws_edges() {
+        let mut o = CoinOracle::new(1, SmallRng::seed_from_u64(2));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            o.reset();
+            seen.insert(o.edge_live(EdgeId(0), 0.5));
+        }
+        assert_eq!(seen.len(), 2, "both outcomes should occur across worlds");
+    }
+
+    #[test]
+    fn adopt_frequency_tracks_gap() {
+        let gap = Gap::new(0.3, 0.9, 0.5, 0.5).unwrap();
+        let mut o = CoinOracle::new(0, SmallRng::seed_from_u64(3));
+        let n = 40_000;
+        let hits = (0..n)
+            .filter(|_| o.adopt(NodeId(0), Item::A, false, &gap))
+            .count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.02, "freq {freq}");
+        let hits = (0..n)
+            .filter(|_| o.adopt(NodeId(0), Item::A, true, &gap))
+            .count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.9).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn reconsider_never_fires_under_competition() {
+        let gap = Gap::new(0.9, 0.2, 0.5, 0.5).unwrap();
+        let mut o = CoinOracle::new(0, SmallRng::seed_from_u64(4));
+        assert!((0..1000).all(|_| !o.reconsider(NodeId(0), Item::A, &gap)));
+    }
+}

@@ -1,0 +1,349 @@
+//! The possible-world (PW) view of Com-IC (paper §5.1).
+//!
+//! A possible world fixes every random quantity of a diffusion up front:
+//!
+//! * a live/blocked coin per edge,
+//! * thresholds `α_A(v), α_B(v) ~ U[0,1]` per node (compared against the
+//!   GAPs in adoption and reconsideration decisions),
+//! * a tie-breaking permutation `π_v` of each node's in-neighbours,
+//! * a seed-order coin `τ_v` for nodes seeding both items.
+//!
+//! Given a world, the cascade is fully deterministic; Lemma 1 of the paper
+//! proves the induced outcome distribution equals the forward process.
+//!
+//! [`LazyWorld`] materializes these quantities *on demand* ("lazy sampling",
+//! §6.2.1) and memoizes them for the lifetime of the world. The RR-set
+//! samplers in `comic-algos` drive it directly; [`WorldOracle`] adapts it to
+//! the [`Oracle`] interface so the shared cascade engine can replay a world.
+
+use crate::gap::Gap;
+use crate::item::Item;
+use crate::oracle::Oracle;
+use comic_graph::scratch::StampedVec;
+use comic_graph::{EdgeId, NodeId};
+use rand::{Rng, RngExt};
+
+/// Lazily-sampled possible world state over a graph with `n` nodes and `m`
+/// edges. `reset` is O(1).
+#[derive(Debug)]
+pub struct LazyWorld {
+    alpha_a: StampedVec<f64>,
+    alpha_b: StampedVec<f64>,
+    live: StampedVec<bool>,
+    prio: StampedVec<u64>,
+    tau: StampedVec<bool>,
+}
+
+impl LazyWorld {
+    /// Create world storage for a graph with `n` nodes and `m` edges.
+    pub fn new(n: usize, m: usize) -> Self {
+        LazyWorld {
+            alpha_a: StampedVec::new(n),
+            alpha_b: StampedVec::new(n),
+            live: StampedVec::new(m),
+            prio: StampedVec::new(m),
+            tau: StampedVec::new(n),
+        }
+    }
+
+    /// Start a fresh world (forget all memoized samples) in O(1).
+    pub fn reset(&mut self) {
+        self.alpha_a.clear();
+        self.alpha_b.clear();
+        self.live.clear();
+        self.prio.clear();
+        self.tau.clear();
+    }
+
+    /// The threshold `α_item(v)`, sampling it on first access.
+    #[inline]
+    pub fn alpha<R: Rng>(&mut self, item: Item, v: NodeId, rng: &mut R) -> f64 {
+        let vec = match item {
+            Item::A => &mut self.alpha_a,
+            Item::B => &mut self.alpha_b,
+        };
+        vec.get_or_insert_with(v.index(), || rng.random())
+    }
+
+    /// Live/blocked status of edge `e` with probability `p`, sampling the
+    /// coin on first access (each edge is tested at most once per world).
+    #[inline]
+    pub fn edge_live<R: Rng>(&mut self, e: EdgeId, p: f64, rng: &mut R) -> bool {
+        self.live
+            .get_or_insert_with(e.index(), || rng.random_bool(p))
+    }
+
+    /// The status of `e` if it has already been tested in this world
+    /// (used by RR-SIM+'s residual forward labeling, which must *not*
+    /// re-flip coins).
+    #[inline]
+    pub fn edge_status(&self, e: EdgeId) -> Option<bool> {
+        self.live.get_copied(e.index())
+    }
+
+    /// Tie-breaking priority of in-edge `e` (lower = processed earlier).
+    /// Sampling i.i.d. priorities per edge realizes a uniform permutation of
+    /// each node's informers.
+    #[inline]
+    pub fn priority<R: Rng>(&mut self, e: EdgeId, rng: &mut R) -> u64 {
+        self.prio.get_or_insert_with(e.index(), || rng.random())
+    }
+
+    /// Seed-order coin `τ_v`: whether a dual seed adopts A before B.
+    #[inline]
+    pub fn tau<R: Rng>(&mut self, v: NodeId, rng: &mut R) -> bool {
+        self.tau.get_or_insert_with(v.index(), || rng.random_bool(0.5))
+    }
+
+    /// Whether `v` would pass the adoption test for `item` in this world,
+    /// given its other-item adoption status: `α_item(v) ≤ q_{item|·}`.
+    #[inline]
+    pub fn passes<R: Rng>(
+        &mut self,
+        item: Item,
+        v: NodeId,
+        other_adopted: bool,
+        gap: &Gap,
+        rng: &mut R,
+    ) -> bool {
+        self.alpha(item, v, rng) <= gap.adopt_prob(item, other_adopted)
+    }
+}
+
+/// Adapter running the shared cascade engine against a [`LazyWorld`].
+#[derive(Debug)]
+pub struct WorldOracle<R> {
+    world: LazyWorld,
+    rng: R,
+}
+
+impl<R: Rng> WorldOracle<R> {
+    /// Create an oracle for a graph with `n` nodes and `m` edges.
+    pub fn new(n: usize, m: usize, rng: R) -> Self {
+        WorldOracle {
+            world: LazyWorld::new(n, m),
+            rng,
+        }
+    }
+
+    /// Access the current world (e.g. to inspect sampled thresholds).
+    pub fn world(&self) -> &LazyWorld {
+        &self.world
+    }
+
+    /// Mutable access to world and RNG for custom sampling steps.
+    pub fn parts_mut(&mut self) -> (&mut LazyWorld, &mut R) {
+        (&mut self.world, &mut self.rng)
+    }
+}
+
+impl<R: Rng> Oracle for WorldOracle<R> {
+    #[inline]
+    fn edge_live(&mut self, e: EdgeId, p: f64) -> bool {
+        self.world.edge_live(e, p, &mut self.rng)
+    }
+
+    #[inline]
+    fn adopt(&mut self, v: NodeId, item: Item, other_adopted: bool, gap: &Gap) -> bool {
+        self.world.passes(item, v, other_adopted, gap, &mut self.rng)
+    }
+
+    #[inline]
+    fn reconsider(&mut self, v: NodeId, item: Item, gap: &Gap) -> bool {
+        // Reconsideration happens exactly when the node adopts the other
+        // item, so the test is α_item(v) ≤ q_{item|other}. Under competition
+        // (q_{item|other} ≤ q_{item|∅}) a suspended node has
+        // α > q_{item|∅} ≥ q_{item|other}, so this never fires — matching
+        // ρ = 0 in the forward process.
+        self.world.passes(item, v, true, gap, &mut self.rng)
+    }
+
+    #[inline]
+    fn tie_priority(&mut self, e: EdgeId) -> u64 {
+        self.world.priority(e, &mut self.rng)
+    }
+
+    #[inline]
+    fn seed_a_first(&mut self, v: NodeId) -> bool {
+        self.world.tau(v, &mut self.rng)
+    }
+
+    fn reset(&mut self) {
+        self.world.reset();
+    }
+}
+
+/// A [`WorldOracle`] that survives engine resets: the world persists across
+/// multiple cascade runs until [`FrozenWorldOracle::new_world`] is called.
+///
+/// This is what "evaluating different seed sets *in the same possible
+/// world*" means operationally — the device behind every per-world
+/// monotonicity/submodularity argument in §5 of the paper, and behind the
+/// brute-force Definition-1 reference samplers used to validate RR-SIM /
+/// RR-CIM. Quantities are still lazily sampled on first use; they are
+/// simply never forgotten between runs.
+#[derive(Debug)]
+pub struct FrozenWorldOracle<R> {
+    inner: WorldOracle<R>,
+}
+
+impl<R: Rng> FrozenWorldOracle<R> {
+    /// Create a frozen-world oracle for a graph with `n` nodes, `m` edges.
+    pub fn new(n: usize, m: usize, rng: R) -> Self {
+        FrozenWorldOracle {
+            inner: WorldOracle::new(n, m, rng),
+        }
+    }
+
+    /// Discard the current world and start a fresh one.
+    pub fn new_world(&mut self) {
+        self.inner.reset();
+    }
+
+    /// Access to the underlying world and RNG.
+    pub fn parts_mut(&mut self) -> (&mut LazyWorld, &mut R) {
+        self.inner.parts_mut()
+    }
+}
+
+impl<R: Rng> Oracle for FrozenWorldOracle<R> {
+    #[inline]
+    fn edge_live(&mut self, e: EdgeId, p: f64) -> bool {
+        self.inner.edge_live(e, p)
+    }
+    #[inline]
+    fn adopt(&mut self, v: NodeId, item: Item, other_adopted: bool, gap: &Gap) -> bool {
+        self.inner.adopt(v, item, other_adopted, gap)
+    }
+    #[inline]
+    fn reconsider(&mut self, v: NodeId, item: Item, gap: &Gap) -> bool {
+        self.inner.reconsider(v, item, gap)
+    }
+    #[inline]
+    fn tie_priority(&mut self, e: EdgeId) -> u64 {
+        self.inner.tie_priority(e)
+    }
+    #[inline]
+    fn seed_a_first(&mut self, v: NodeId) -> bool {
+        self.inner.seed_a_first(v)
+    }
+    /// Deliberately a no-op: the world outlives engine runs.
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::{seeds, SeedPair};
+    use crate::simulate::CascadeEngine;
+    use crate::spread::SpreadEstimator;
+    use comic_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn world_quantities_are_memoized() {
+        let mut w = LazyWorld::new(4, 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a1 = w.alpha(Item::A, NodeId(2), &mut rng);
+        let a2 = w.alpha(Item::A, NodeId(2), &mut rng);
+        assert_eq!(a1, a2);
+        let b = w.alpha(Item::B, NodeId(2), &mut rng);
+        // A and B thresholds are independent samples.
+        assert_ne!(a1, b);
+        let l1 = w.edge_live(EdgeId(0), 0.5, &mut rng);
+        assert_eq!(w.edge_live(EdgeId(0), 0.5, &mut rng), l1);
+        assert_eq!(w.edge_status(EdgeId(0)), Some(l1));
+        assert_eq!(w.edge_status(EdgeId(1)), None);
+        let p = w.priority(EdgeId(3), &mut rng);
+        assert_eq!(w.priority(EdgeId(3), &mut rng), p);
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut w = LazyWorld::new(1, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut statuses = std::collections::HashSet::new();
+        for _ in 0..64 {
+            w.reset();
+            statuses.insert(w.edge_live(EdgeId(0), 0.5, &mut rng));
+        }
+        assert_eq!(statuses.len(), 2);
+    }
+
+    #[test]
+    fn frozen_world_is_consistent_across_runs() {
+        // In one frozen world, running the cascade twice from the same seeds
+        // gives identical adopted sets; monotonicity in a fixed world says a
+        // superset of A-seeds adopts a superset of nodes (Theorem 3, Q+).
+        let mut grng = SmallRng::seed_from_u64(21);
+        let g = gen::gnm(30, 150, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.4).apply(&g, &mut grng);
+        let gap = Gap::new(0.3, 0.8, 0.4, 0.9).unwrap();
+        let mut engine = CascadeEngine::new(&g);
+        let mut oracle =
+            FrozenWorldOracle::new(g.num_nodes(), g.num_edges(), SmallRng::seed_from_u64(22));
+        for _ in 0..10 {
+            oracle.new_world();
+            let sp_small = SeedPair::new(seeds(&[0]), seeds(&[5]));
+            engine.run(&gap, &sp_small, &mut oracle);
+            let a1: std::collections::HashSet<_> =
+                engine.a_adopted().iter().copied().collect();
+            engine.run(&gap, &sp_small, &mut oracle);
+            let a1_again: std::collections::HashSet<_> =
+                engine.a_adopted().iter().copied().collect();
+            assert_eq!(a1, a1_again, "same world + same seeds = same outcome");
+
+            let sp_big = SeedPair::new(seeds(&[0, 1, 2]), seeds(&[5]));
+            engine.run(&gap, &sp_big, &mut oracle);
+            let a2: std::collections::HashSet<_> =
+                engine.a_adopted().iter().copied().collect();
+            assert!(
+                a1.is_subset(&a2),
+                "per-world monotonicity violated in Q+"
+            );
+        }
+    }
+
+    /// Lemma 1 (statistical check): the PW cascade and the forward coin
+    /// process produce the same expected spreads.
+    #[test]
+    fn lemma1_world_oracle_matches_coin_oracle() {
+        let mut grng = SmallRng::seed_from_u64(3);
+        let g = gen::gnm(40, 220, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.35).apply(&g, &mut grng);
+        let sp = SeedPair::new(seeds(&[0, 1]), seeds(&[2, 3]));
+        for gap in [
+            Gap::new(0.3, 0.8, 0.4, 0.9).unwrap(),  // Q+
+            Gap::new(0.8, 0.2, 0.9, 0.1).unwrap(),  // Q-
+            Gap::new(0.3, 0.9, 0.9, 0.2).unwrap(),  // mixed
+        ] {
+            let iters = 30_000;
+            // Forward process.
+            let coin = SpreadEstimator::new(&g, gap).estimate(&sp, iters, 11);
+            // PW process.
+            let mut engine = CascadeEngine::new(&g);
+            let mut oracle =
+                WorldOracle::new(g.num_nodes(), g.num_edges(), SmallRng::seed_from_u64(13));
+            let (mut sa, mut sb) = (0.0, 0.0);
+            for _ in 0..iters {
+                let stats = engine.run(&gap, &sp, &mut oracle);
+                sa += stats.a_count as f64;
+                sb += stats.b_count as f64;
+            }
+            let (pw_a, pw_b) = (sa / iters as f64, sb / iters as f64);
+            let tol_a = 6.0 * coin.stderr_a().max(0.02);
+            let tol_b = 6.0 * coin.stderr_b().max(0.02);
+            assert!(
+                (coin.sigma_a - pw_a).abs() < tol_a,
+                "{gap}: σ_A coin {} vs pw {pw_a} (tol {tol_a})",
+                coin.sigma_a
+            );
+            assert!(
+                (coin.sigma_b - pw_b).abs() < tol_b,
+                "{gap}: σ_B coin {} vs pw {pw_b} (tol {tol_b})",
+                coin.sigma_b
+            );
+        }
+    }
+}

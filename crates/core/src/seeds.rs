@@ -1,0 +1,83 @@
+//! Seed sets for the two items.
+
+use comic_graph::NodeId;
+
+/// A pair of seed sets `(S_A, S_B)`.
+///
+/// Seeds adopt their item at time step 0 *without* running the node-level
+/// automaton (paper §3, footnote 1). A node may seed both items, in which
+/// case the adoption order is decided with a fair coin per diffusion.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SeedPair {
+    /// Seeds of item A.
+    pub a: Vec<NodeId>,
+    /// Seeds of item B.
+    pub b: Vec<NodeId>,
+}
+
+impl SeedPair {
+    /// Construct from two seed lists (duplicates within a list are removed).
+    pub fn new(a: impl Into<Vec<NodeId>>, b: impl Into<Vec<NodeId>>) -> SeedPair {
+        let mut a = a.into();
+        let mut b = b.into();
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        SeedPair { a, b }
+    }
+
+    /// Seeds for A only.
+    pub fn a_only(a: impl Into<Vec<NodeId>>) -> SeedPair {
+        SeedPair::new(a, Vec::new())
+    }
+
+    /// Seeds for B only.
+    pub fn b_only(b: impl Into<Vec<NodeId>>) -> SeedPair {
+        SeedPair::new(Vec::new(), b)
+    }
+
+    /// Nodes seeding both items.
+    pub fn common(&self) -> Vec<NodeId> {
+        // Both lists are sorted post-construction.
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.a.len() && j < self.b.len() {
+            match self.a[i].cmp(&self.b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Convenience for building seed lists from raw u32 ids in tests/examples.
+pub fn seeds(ids: &[u32]) -> Vec<NodeId> {
+    ids.iter().copied().map(NodeId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_sorts() {
+        let s = SeedPair::new(seeds(&[3, 1, 3]), seeds(&[2, 2]));
+        assert_eq!(s.a, seeds(&[1, 3]));
+        assert_eq!(s.b, seeds(&[2]));
+    }
+
+    #[test]
+    fn common_intersection() {
+        let s = SeedPair::new(seeds(&[0, 2, 4, 6]), seeds(&[1, 2, 3, 6]));
+        assert_eq!(s.common(), seeds(&[2, 6]));
+        let s = SeedPair::a_only(seeds(&[0, 1]));
+        assert!(s.common().is_empty());
+    }
+}

@@ -1,0 +1,608 @@
+//! The Com-IC diffusion engine (paper §3, Figure 2).
+//!
+//! One engine drives all three execution modes (model-faithful coins,
+//! possible worlds, exact enumeration) by delegating every stochastic
+//! decision to an [`Oracle`](crate::oracle::Oracle). The dynamics follow
+//! Figure 2 of the paper exactly:
+//!
+//! 1. **Edge transition** — when a node adopts an item at step `t−1`, each of
+//!    its untested outgoing edges is tested once; live edges deliver the
+//!    information at step `t`.
+//! 2. **Tie-breaking** — a node informed by several in-neighbours in the same
+//!    step processes them in a random order; an informer that adopted both
+//!    items delivers them in its own adoption order.
+//! 3. **Adoption** — the node-level automaton consumes the *first* inform
+//!    event per item: adopt with the applicable GAP, otherwise become
+//!    suspended (not yet other-adopted) or rejected (already other-adopted).
+//! 4. **Reconsideration** — a node suspended on X that adopts Y re-tests X
+//!    (probability ρ_X under the coin oracle, `α_X ≤ q_{X|Y}` under possible
+//!    worlds).
+
+use crate::gap::Gap;
+use crate::item::Item;
+use crate::oracle::Oracle;
+use crate::seeds::SeedPair;
+use crate::state::{ItemState, JointState};
+use comic_graph::scratch::StampedVec;
+use comic_graph::{DiGraph, EdgeId, NodeId};
+
+/// Which item(s) a node newly adopted within one time step, in order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AdoptKind {
+    /// Adopted A only (placeholder default — never emitted for real events).
+    #[default]
+    A,
+    /// Adopted B only.
+    B,
+    /// Adopted A first, then B in the same step.
+    AThenB,
+    /// Adopted B first, then A in the same step.
+    BThenA,
+}
+
+impl AdoptKind {
+    fn single(item: Item) -> AdoptKind {
+        match item {
+            Item::A => AdoptKind::A,
+            Item::B => AdoptKind::B,
+        }
+    }
+
+    fn merge(self, later: Item) -> AdoptKind {
+        match (self, later) {
+            (AdoptKind::A, Item::B) => AdoptKind::AThenB,
+            (AdoptKind::B, Item::A) => AdoptKind::BThenA,
+            // A node cannot adopt the same item twice; other combinations
+            // indicate an engine bug.
+            _ => unreachable!("invalid adoption merge: {self:?} + {later}"),
+        }
+    }
+
+    /// The items in adoption order.
+    pub fn items(self) -> &'static [Item] {
+        match self {
+            AdoptKind::A => &[Item::A],
+            AdoptKind::B => &[Item::B],
+            AdoptKind::AThenB => &[Item::A, Item::B],
+            AdoptKind::BThenA => &[Item::B, Item::A],
+        }
+    }
+}
+
+/// What happened to a node, for event recording.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// First informed of the item.
+    Informed,
+    /// Adopted the item.
+    Adopted,
+    /// Entered the suspended state for the item.
+    Suspended,
+    /// Rejected the item.
+    Rejected,
+}
+
+/// A timestamped state-transition event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Time step (seeds adopt at 0).
+    pub t: u32,
+    /// The node.
+    pub node: NodeId,
+    /// The item concerned.
+    pub item: Item,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Summary of one diffusion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CascadeStats {
+    /// Number of A-adopted nodes (including A-seeds).
+    pub a_count: u32,
+    /// Number of B-adopted nodes (including B-seeds).
+    pub b_count: u32,
+    /// Number of steps until quiescence (0 = nothing propagated past seeds).
+    pub steps: u32,
+}
+
+/// Reusable Com-IC diffusion engine over a fixed graph.
+///
+/// All scratch state lives in generation-stamped arrays, so back-to-back
+/// [`CascadeEngine::run`] calls perform no allocation in the steady state —
+/// the property that makes Monte-Carlo spread estimation and RR-set
+/// sampling affordable.
+///
+/// # Example
+/// ```
+/// use comic_core::{CascadeEngine, Gap, SeedPair};
+/// use comic_core::oracle::CoinOracle;
+/// use comic_core::seeds::seeds;
+/// use comic_graph::gen;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let g = gen::path(4, 1.0); // 0 -> 1 -> 2 -> 3, all edges certain
+/// let gap = Gap::new(1.0, 1.0, 0.0, 0.0).unwrap(); // A always adopted
+/// let mut engine = CascadeEngine::new(&g);
+/// let mut oracle = CoinOracle::new(g.num_edges(), SmallRng::seed_from_u64(1));
+/// let stats = engine.run(&gap, &SeedPair::a_only(seeds(&[0])), &mut oracle);
+/// assert_eq!(stats.a_count, 4);
+/// ```
+pub struct CascadeEngine<'g> {
+    g: &'g DiGraph,
+    state: StampedVec<JointState>,
+    // Per-step inform registry: target -> slot into `informed` / `lists`.
+    inform_slot: StampedVec<u32>,
+    informed: Vec<NodeId>,
+    lists: Vec<Vec<(EdgeId, AdoptKind)>>,
+    // Sort buffer for tie-breaking: (priority, edge, kind).
+    sort_buf: Vec<(u64, EdgeId, AdoptKind)>,
+    // Within-step newly-adopted registry.
+    newly_kind: StampedVec<AdoptKind>,
+    newly: Vec<NodeId>,
+    // Frontier adopted at the previous step.
+    cur: Vec<(NodeId, AdoptKind)>,
+    // Outputs.
+    a_adopted: Vec<NodeId>,
+    b_adopted: Vec<NodeId>,
+    events: Vec<Event>,
+    record_events: bool,
+}
+
+impl<'g> CascadeEngine<'g> {
+    /// Create an engine for `g`.
+    pub fn new(g: &'g DiGraph) -> Self {
+        CascadeEngine {
+            g,
+            state: StampedVec::new(g.num_nodes()),
+            inform_slot: StampedVec::new(g.num_nodes()),
+            informed: Vec::new(),
+            lists: Vec::new(),
+            sort_buf: Vec::new(),
+            newly_kind: StampedVec::new(g.num_nodes()),
+            newly: Vec::new(),
+            cur: Vec::new(),
+            a_adopted: Vec::new(),
+            b_adopted: Vec::new(),
+            events: Vec::new(),
+            record_events: false,
+        }
+    }
+
+    /// Enable or disable event recording (disabled by default; recording
+    /// allocates proportionally to cascade size).
+    pub fn record_events(&mut self, on: bool) -> &mut Self {
+        self.record_events = on;
+        self
+    }
+
+    /// The graph this engine runs on.
+    pub fn graph(&self) -> &'g DiGraph {
+        self.g
+    }
+
+    /// Nodes that adopted A in the last run (seeds first, then in adoption
+    /// order).
+    pub fn a_adopted(&self) -> &[NodeId] {
+        &self.a_adopted
+    }
+
+    /// Nodes that adopted B in the last run.
+    pub fn b_adopted(&self) -> &[NodeId] {
+        &self.b_adopted
+    }
+
+    /// Events of the last run (empty unless [`Self::record_events`] is on).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Final joint state of `v` after the last run.
+    pub fn final_state(&self, v: NodeId) -> JointState {
+        self.state.get_copied(v.index()).unwrap_or_default()
+    }
+
+    /// Run one diffusion from `seeds` under `gap`, drawing every stochastic
+    /// decision from `oracle`.
+    ///
+    /// # Panics
+    /// Panics if a seed node id is out of range for the graph.
+    pub fn run<O: Oracle>(&mut self, gap: &Gap, seeds: &SeedPair, oracle: &mut O) -> CascadeStats {
+        self.state.clear();
+        self.inform_slot.clear();
+        self.newly_kind.clear();
+        self.informed.clear();
+        self.newly.clear();
+        self.cur.clear();
+        self.a_adopted.clear();
+        self.b_adopted.clear();
+        self.events.clear();
+        oracle.reset();
+
+        // --- Step 0: seeds adopt without running the NLA. ---
+        for &u in &seeds.a {
+            let mut st = self.state.get_copied(u.index()).unwrap_or_default();
+            st.set(Item::A, ItemState::Adopted);
+            self.state.set(u.index(), st);
+            self.a_adopted.push(u);
+            self.push_event(0, u, Item::A, EventKind::Adopted);
+            self.newly_kind.set(u.index(), AdoptKind::A);
+            self.newly.push(u);
+        }
+        for &u in &seeds.b {
+            let mut st = self.state.get_copied(u.index()).unwrap_or_default();
+            st.set(Item::B, ItemState::Adopted);
+            self.state.set(u.index(), st);
+            self.b_adopted.push(u);
+            self.push_event(0, u, Item::B, EventKind::Adopted);
+            if self.newly_kind.contains(u.index()) {
+                // Seed of both items: a fair coin decides the adoption order,
+                // which governs the order the node informs its neighbours.
+                let kind = if oracle.seed_a_first(u) {
+                    AdoptKind::AThenB
+                } else {
+                    AdoptKind::BThenA
+                };
+                self.newly_kind.set(u.index(), kind);
+            } else {
+                self.newly_kind.set(u.index(), AdoptKind::B);
+                self.newly.push(u);
+            }
+        }
+        self.drain_newly();
+
+        // --- Steps t >= 1. ---
+        let mut steps: u32 = 0;
+        let mut t: u32 = 1;
+        while !self.cur.is_empty() {
+            steps = t;
+            // Phase 1: test out-edges of the previous step's adopters and
+            // register inform events on live edges. Edges whose target can no
+            // longer react to the delivered items are skipped — the coin is
+            // deferred, which is distributionally identical (the oracle
+            // memoizes per-edge outcomes).
+            for i in 0..self.cur.len() {
+                let (u, kind) = self.cur[i];
+                for adj in self.g.out_edges(u) {
+                    let st = self.state.get_copied(adj.node.index()).unwrap_or_default();
+                    let relevant = kind
+                        .items()
+                        .iter()
+                        .any(|&it| st.get(it) == ItemState::Idle);
+                    if relevant && oracle.edge_live(adj.edge, adj.p) {
+                        self.register_inform(adj.node, adj.edge, kind);
+                    }
+                }
+            }
+            // Phase 2: each informed node processes its informers in a
+            // random order (fresh priorities are a uniform permutation; the
+            // possible-world oracle supplies its fixed permutation instead).
+            for i in 0..self.informed.len() {
+                let v = self.informed[i];
+                let mut list = std::mem::take(&mut self.lists[i]);
+                if list.len() > 1 {
+                    self.sort_buf.clear();
+                    for &(e, kind) in &list {
+                        self.sort_buf.push((oracle.tie_priority(e), e, kind));
+                    }
+                    self.sort_buf.sort_unstable_by_key(|&(p, e, _)| (p, e.0));
+                    list.clear();
+                    list.extend(self.sort_buf.iter().map(|&(_, e, k)| (e, k)));
+                }
+                for &(_, kind) in &list {
+                    for &item in kind.items() {
+                        self.process_inform(v, item, gap, oracle, t);
+                    }
+                }
+                list.clear();
+                self.lists[i] = list;
+            }
+            self.informed.clear();
+            self.inform_slot.clear();
+            self.drain_newly();
+            t += 1;
+        }
+
+        CascadeStats {
+            a_count: self.a_adopted.len() as u32,
+            b_count: self.b_adopted.len() as u32,
+            steps: if self.a_adopted.is_empty() && self.b_adopted.is_empty() {
+                0
+            } else {
+                steps.saturating_sub(1)
+            },
+        }
+    }
+
+    fn drain_newly(&mut self) {
+        self.cur.clear();
+        for i in 0..self.newly.len() {
+            let v = self.newly[i];
+            let kind = self
+                .newly_kind
+                .get_copied(v.index())
+                .expect("newly-adopted nodes always have a kind");
+            self.cur.push((v, kind));
+        }
+        self.newly.clear();
+        self.newly_kind.clear();
+    }
+
+    fn register_inform(&mut self, v: NodeId, e: EdgeId, kind: AdoptKind) {
+        let slot = match self.inform_slot.get_copied(v.index()) {
+            Some(s) => s as usize,
+            None => {
+                let s = self.informed.len();
+                self.inform_slot.set(v.index(), s as u32);
+                self.informed.push(v);
+                if self.lists.len() <= s {
+                    self.lists.push(Vec::new());
+                }
+                s
+            }
+        };
+        self.lists[slot].push((e, kind));
+    }
+
+    fn process_inform<O: Oracle>(
+        &mut self,
+        v: NodeId,
+        item: Item,
+        gap: &Gap,
+        oracle: &mut O,
+        t: u32,
+    ) {
+        let mut st = self.state.get_copied(v.index()).unwrap_or_default();
+        if st.get(item) != ItemState::Idle {
+            return; // the NLA consumes only the first inform per item
+        }
+        self.push_event(t, v, item, EventKind::Informed);
+        let other = item.other();
+        let other_adopted = st.get(other) == ItemState::Adopted;
+        if oracle.adopt(v, item, other_adopted, gap) {
+            st.set(item, ItemState::Adopted);
+            self.on_adopt(v, item, t);
+            // Reconsideration: adopting `item` may rescue the other item from
+            // suspension (Figure 2, step 4).
+            if st.get(other) == ItemState::Suspended {
+                if oracle.reconsider(v, other, gap) {
+                    st.set(other, ItemState::Adopted);
+                    self.on_adopt(v, other, t);
+                } else {
+                    st.set(other, ItemState::Rejected);
+                    self.push_event(t, v, other, EventKind::Rejected);
+                }
+            }
+        } else if other_adopted {
+            st.set(item, ItemState::Rejected);
+            self.push_event(t, v, item, EventKind::Rejected);
+        } else {
+            st.set(item, ItemState::Suspended);
+            self.push_event(t, v, item, EventKind::Suspended);
+        }
+        self.state.set(v.index(), st);
+    }
+
+    fn on_adopt(&mut self, v: NodeId, item: Item, t: u32) {
+        match item {
+            Item::A => self.a_adopted.push(v),
+            Item::B => self.b_adopted.push(v),
+        }
+        self.push_event(t, v, item, EventKind::Adopted);
+        match self.newly_kind.get_copied(v.index()) {
+            Some(k) => self.newly_kind.set(v.index(), k.merge(item)),
+            None => {
+                self.newly_kind.set(v.index(), AdoptKind::single(item));
+                self.newly.push(v);
+            }
+        }
+    }
+
+    #[inline]
+    fn push_event(&mut self, t: u32, node: NodeId, item: Item, kind: EventKind) {
+        if self.record_events {
+            self.events.push(Event {
+                t,
+                node,
+                item,
+                kind,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CoinOracle;
+    use crate::seeds::seeds;
+    use comic_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn engine_run(
+        g: &DiGraph,
+        gap: &Gap,
+        sp: &SeedPair,
+        seed: u64,
+    ) -> (CascadeStats, Vec<NodeId>, Vec<NodeId>) {
+        let mut eng = CascadeEngine::new(g);
+        let mut o = CoinOracle::new(g.num_edges(), SmallRng::seed_from_u64(seed));
+        let stats = eng.run(gap, sp, &mut o);
+        (stats, eng.a_adopted().to_vec(), eng.b_adopted().to_vec())
+    }
+
+    #[test]
+    fn certain_path_full_adoption() {
+        let g = gen::path(6, 1.0);
+        let gap = Gap::new(1.0, 1.0, 1.0, 1.0).unwrap();
+        let (stats, a, _) = engine_run(&g, &gap, &SeedPair::a_only(seeds(&[0])), 1);
+        assert_eq!(stats.a_count, 6);
+        assert_eq!(a.len(), 6);
+        assert_eq!(stats.b_count, 0);
+    }
+
+    #[test]
+    fn blocked_edges_stop_diffusion() {
+        let g = gen::path(6, 0.0);
+        let gap = Gap::new(1.0, 1.0, 1.0, 1.0).unwrap();
+        let (stats, ..) = engine_run(&g, &gap, &SeedPair::a_only(seeds(&[0])), 2);
+        assert_eq!(stats.a_count, 1);
+        assert_eq!(stats.steps, 0);
+    }
+
+    #[test]
+    fn zero_gap_blocks_all_nonseeds() {
+        let g = gen::complete(5, 1.0);
+        let gap = Gap::new(0.0, 0.0, 0.0, 0.0).unwrap();
+        let (stats, ..) = engine_run(&g, &gap, &SeedPair::new(seeds(&[0]), seeds(&[1])), 3);
+        assert_eq!(stats.a_count, 1);
+        assert_eq!(stats.b_count, 1);
+    }
+
+    #[test]
+    fn pure_competition_splits_the_ring() {
+        // Competitive IC on a certain ring: every node adopts exactly one item.
+        let g = gen::ring(10, 1.0);
+        let gap = Gap::competitive_ic();
+        let (stats, a, b) = engine_run(&g, &gap, &SeedPair::new(seeds(&[0]), seeds(&[5])), 4);
+        assert_eq!(stats.a_count + stats.b_count, 10);
+        let a: std::collections::HashSet<_> = a.into_iter().collect();
+        let b: std::collections::HashSet<_> = b.into_iter().collect();
+        assert!(a.is_disjoint(&b), "pure competition forbids dual adoption");
+    }
+
+    #[test]
+    fn perfect_complements_travel_together() {
+        // q_{X|other} = 1: once one item is adopted, the other always follows
+        // where informed.
+        let g = gen::path(5, 1.0);
+        let gap = Gap::new(1.0, 1.0, 1.0, 1.0).unwrap();
+        let (stats, ..) = engine_run(&g, &gap, &SeedPair::new(seeds(&[0]), seeds(&[0])), 5);
+        assert_eq!(stats.a_count, 5);
+        assert_eq!(stats.b_count, 5);
+    }
+
+    #[test]
+    fn reconsideration_rescues_suspended_nodes() {
+        // Node 1 on a path 0->1 with A-seed 0; q_{A|∅} = 0 so node 1 always
+        // suspends on A. B arrives from seed 2 via 2->1; q_{A|B} = 1 forces
+        // reconsideration to adopt A.
+        let g = comic_graph::builder::from_edges(3, &[(0, 1, 1.0), (2, 1, 1.0)]).unwrap();
+        let gap = Gap::new(0.0, 1.0, 1.0, 1.0).unwrap();
+        for seed in 0..20 {
+            let (stats, a, _) =
+                engine_run(&g, &gap, &SeedPair::new(seeds(&[0]), seeds(&[2])), seed);
+            assert_eq!(stats.a_count, 2, "seed {seed}");
+            assert!(a.contains(&NodeId(1)));
+        }
+    }
+
+    #[test]
+    fn no_reconsideration_under_competition() {
+        // Same gadget but B competes with A (q_{A|B} = 0 < q_{A|∅} = 0.0)...
+        // make q_{A|∅}=0.0, q_{A|B}=0.0: node 1 never adopts A.
+        let g = comic_graph::builder::from_edges(3, &[(0, 1, 1.0), (2, 1, 1.0)]).unwrap();
+        let gap = Gap::new(0.0, 0.0, 1.0, 1.0).unwrap();
+        for seed in 0..10 {
+            let (stats, ..) = engine_run(&g, &gap, &SeedPair::new(seeds(&[0]), seeds(&[2])), seed);
+            assert_eq!(stats.a_count, 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn final_states_are_reachable_joint_states() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let g = gen::gnm(60, 400, &mut rng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.4).apply(&g, &mut rng);
+        // A mixed regime stresses all transitions.
+        for gap in [
+            Gap::new(0.3, 0.9, 0.6, 0.2).unwrap(),
+            Gap::new(0.9, 0.1, 0.2, 0.8).unwrap(),
+            Gap::new(0.5, 0.5, 0.5, 0.5).unwrap(),
+        ] {
+            let mut eng = CascadeEngine::new(&g);
+            let mut o = CoinOracle::new(g.num_edges(), SmallRng::seed_from_u64(7));
+            for _ in 0..50 {
+                eng.run(
+                    &gap,
+                    &SeedPair::new(seeds(&[0, 1, 2]), seeds(&[3, 4, 5])),
+                    &mut o,
+                );
+                for v in g.nodes() {
+                    let st = eng.final_state(v);
+                    assert!(
+                        st.is_reachable(),
+                        "unreachable joint state {st:?} at {v} (Appendix A.1)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adoption_counts_match_adopted_lists() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let g = gen::gnm(40, 200, &mut rng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.3).apply(&g, &mut rng);
+        let gap = Gap::new(0.4, 0.8, 0.3, 0.7).unwrap();
+        let mut eng = CascadeEngine::new(&g);
+        let mut o = CoinOracle::new(g.num_edges(), SmallRng::seed_from_u64(5));
+        for _ in 0..30 {
+            let stats = eng.run(&gap, &SeedPair::new(seeds(&[1, 2]), seeds(&[3])), &mut o);
+            assert_eq!(stats.a_count as usize, eng.a_adopted().len());
+            assert_eq!(stats.b_count as usize, eng.b_adopted().len());
+            // No duplicates in adopted lists.
+            let mut a = eng.a_adopted().to_vec();
+            a.sort_unstable();
+            a.dedup();
+            assert_eq!(a.len(), stats.a_count as usize);
+            // Each adopted node's final state agrees.
+            for &v in eng.a_adopted() {
+                assert!(eng.final_state(v).adopted(Item::A));
+            }
+        }
+    }
+
+    #[test]
+    fn events_recorded_in_time_order() {
+        let g = gen::path(4, 1.0);
+        let gap = Gap::new(1.0, 1.0, 0.5, 0.5).unwrap();
+        let mut eng = CascadeEngine::new(&g);
+        eng.record_events(true);
+        let mut o = CoinOracle::new(g.num_edges(), SmallRng::seed_from_u64(8));
+        eng.run(&gap, &SeedPair::a_only(seeds(&[0])), &mut o);
+        let events = eng.events();
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].t <= w[1].t));
+        // Node 3 is informed at t=3 and adopts.
+        assert!(events.contains(&Event {
+            t: 3,
+            node: NodeId(3),
+            item: Item::A,
+            kind: EventKind::Adopted
+        }));
+    }
+
+    #[test]
+    fn seed_of_both_items_adopts_both() {
+        let g = gen::path(2, 1.0);
+        let gap = Gap::new(0.0, 0.0, 0.0, 0.0).unwrap();
+        let (stats, a, b) = engine_run(&g, &gap, &SeedPair::new(seeds(&[0]), seeds(&[0])), 6);
+        assert_eq!(stats.a_count, 1);
+        assert_eq!(stats.b_count, 1);
+        assert_eq!(a, seeds(&[0]));
+        assert_eq!(b, seeds(&[0]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_seed_panics() {
+        let g = gen::path(3, 1.0);
+        let gap = Gap::classic_ic();
+        let mut eng = CascadeEngine::new(&g);
+        let mut o = CoinOracle::new(g.num_edges(), SmallRng::seed_from_u64(1));
+        eng.run(&gap, &SeedPair::a_only(seeds(&[99])), &mut o);
+    }
+}

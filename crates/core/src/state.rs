@@ -1,0 +1,106 @@
+//! Node adoption states of the Com-IC node-level automaton.
+
+use crate::item::Item;
+
+/// The state of a node with respect to one item (paper §3, Figure 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Hash)]
+pub enum ItemState {
+    /// Not yet informed of the item.
+    #[default]
+    Idle,
+    /// Informed but declined the `q_{X|∅}` adoption test; may still adopt
+    /// later via reconsideration if the other item's adoption boosts it.
+    Suspended,
+    /// Adopted the item (absorbing).
+    Adopted,
+    /// Definitively declined the item (absorbing).
+    Rejected,
+}
+
+/// The joint state of a node w.r.t. both items.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Hash)]
+pub struct JointState {
+    /// State w.r.t. item A.
+    pub a: ItemState,
+    /// State w.r.t. item B.
+    pub b: ItemState,
+}
+
+impl JointState {
+    /// State w.r.t. `item`.
+    #[inline]
+    pub fn get(&self, item: Item) -> ItemState {
+        match item {
+            Item::A => self.a,
+            Item::B => self.b,
+        }
+    }
+
+    /// Set the state w.r.t. `item`.
+    #[inline]
+    pub fn set(&mut self, item: Item, s: ItemState) {
+        match item {
+            Item::A => self.a = s,
+            Item::B => self.b = s,
+        }
+    }
+
+    /// Whether `item` is adopted.
+    #[inline]
+    pub fn adopted(&self, item: Item) -> bool {
+        self.get(item) == ItemState::Adopted
+    }
+
+    /// Whether this joint state is reachable from (A-idle, B-idle) under the
+    /// Com-IC dynamics. Appendix A.1 of the paper proves exactly five joint
+    /// states unreachable: (idle, rejected), (suspended, rejected),
+    /// (rejected, idle), (rejected, suspended), (rejected, rejected).
+    pub fn is_reachable(&self) -> bool {
+        use ItemState::*;
+        !matches!(
+            (self.a, self.b),
+            (Idle, Rejected)
+                | (Suspended, Rejected)
+                | (Rejected, Idle)
+                | (Rejected, Suspended)
+                | (Rejected, Rejected)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_idle_idle() {
+        let s = JointState::default();
+        assert_eq!(s.a, ItemState::Idle);
+        assert_eq!(s.b, ItemState::Idle);
+        assert!(!s.adopted(Item::A));
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut s = JointState::default();
+        s.set(Item::A, ItemState::Suspended);
+        s.set(Item::B, ItemState::Adopted);
+        assert_eq!(s.get(Item::A), ItemState::Suspended);
+        assert_eq!(s.get(Item::B), ItemState::Adopted);
+        assert!(s.adopted(Item::B));
+    }
+
+    #[test]
+    fn exactly_five_unreachable_states() {
+        use ItemState::*;
+        let all = [Idle, Suspended, Adopted, Rejected];
+        let unreachable: Vec<(ItemState, ItemState)> = all
+            .iter()
+            .flat_map(|&a| all.iter().map(move |&b| (a, b)))
+            .filter(|&(a, b)| !JointState { a, b }.is_reachable())
+            .collect();
+        assert_eq!(unreachable.len(), 5);
+        assert!(unreachable.contains(&(Idle, Rejected)));
+        assert!(unreachable.contains(&(Rejected, Rejected)));
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building, generating, or (de)serializing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node id `>= n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The declared number of nodes.
+        n: usize,
+    },
+    /// An edge probability was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// Source of the offending edge.
+        source: u32,
+        /// Target of the offending edge.
+        target: u32,
+        /// The offending probability value.
+        p: f64,
+    },
+    /// A generator was asked for an impossible configuration
+    /// (e.g. more edges than `n·(n−1)`).
+    InvalidGeneratorConfig(String),
+    /// A parse error while reading a text edge list.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+    /// A binary payload failed validation.
+    Corrupt(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node id {node} out of range for graph with {n} nodes")
+            }
+            GraphError::InvalidProbability { source, target, p } => {
+                write!(f, "edge ({source}, {target}) has invalid probability {p}")
+            }
+            GraphError::InvalidGeneratorConfig(msg) => {
+                write!(f, "invalid generator configuration: {msg}")
+            }
+            GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Corrupt(msg) => write!(f, "corrupt graph payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfRange { node: 9, n: 5 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("5"));
+        let e = GraphError::InvalidProbability {
+            source: 1,
+            target: 2,
+            p: 1.5,
+        };
+        assert!(e.to_string().contains("1.5"));
+        let e = GraphError::Parse {
+            line: 3,
+            msg: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Deterministic gadget graphs for tests, examples, and the paper's
+//! counter-example constructions (Figures 9–12).
+
+use crate::builder::GraphBuilder;
+use crate::csr::DiGraph;
+
+/// Directed path `0 → 1 → … → n−1`, all edges with probability `p`.
+pub fn path(n: usize, p: f64) -> DiGraph {
+    let mut b = GraphBuilder::new(n);
+    for u in 1..n {
+        b.add_edge(u as u32 - 1, u as u32, p);
+    }
+    b.build().expect("path gadget is always valid")
+}
+
+/// Directed ring `0 → 1 → … → n−1 → 0`, all edges with probability `p`.
+pub fn ring(n: usize, p: f64) -> DiGraph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        b.add_edge(u as u32, ((u + 1) % n) as u32, p);
+    }
+    b.build().expect("ring gadget is always valid")
+}
+
+/// Out-star: hub `0` pointing at leaves `1..n`, probability `p`.
+pub fn star(n: usize, p: f64) -> DiGraph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v as u32, p);
+    }
+    b.build().expect("star gadget is always valid")
+}
+
+/// Complete directed graph on `n` nodes (both directions), probability `p`.
+pub fn complete(n: usize, p: f64) -> DiGraph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v {
+                b.add_edge(u, v, p);
+            }
+        }
+    }
+    b.build().expect("complete gadget is always valid")
+}
+
+/// Complete `branching`-ary out-tree of the given `depth` (root = node 0),
+/// probability `p`. A tree of depth 0 is a single node.
+pub fn tree(branching: usize, depth: usize, p: f64) -> DiGraph {
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= branching;
+        n += level;
+    }
+    let mut b = GraphBuilder::new(n);
+    // Children of node i are branching*i + 1 ..= branching*i + branching.
+    for u in 0..n {
+        for c in 1..=branching {
+            let child = branching * u + c;
+            if child < n {
+                b.add_edge(u as u32, child as u32, p);
+            }
+        }
+    }
+    b.build().expect("tree gadget is always valid")
+}
+
+/// Layered DAG: `layers` layers of `width` nodes each; every node in layer i
+/// points at every node in layer i+1 with probability `p`. Node id of the
+/// j-th node in layer i is `i * width + j`.
+pub fn layered(layers: usize, width: usize, p: f64) -> DiGraph {
+    let n = layers * width;
+    let mut b = GraphBuilder::new(n);
+    for i in 1..layers {
+        for a in 0..width {
+            for bnode in 0..width {
+                b.add_edge(
+                    ((i - 1) * width + a) as u32,
+                    (i * width + bnode) as u32,
+                    p,
+                );
+            }
+        }
+    }
+    b.build().expect("layered gadget is always valid")
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::NodeId;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5, 0.5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(NodeId(0)), 1);
+        assert_eq!(g.out_degree(NodeId(4)), 0);
+        assert!(g.has_edge(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(4, 1.0);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(NodeId(3), NodeId(0)));
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 1);
+            assert_eq!(g.in_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6, 0.7);
+        assert_eq!(g.out_degree(NodeId(0)), 5);
+        for v in 1..6 {
+            assert_eq!(g.in_degree(NodeId(v)), 1);
+            assert_eq!(g.out_degree(NodeId(v)), 0);
+        }
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(4, 0.3);
+        assert_eq!(g.num_edges(), 12);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 3);
+            assert_eq!(g.in_degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn tree_shape() {
+        let g = tree(2, 3, 1.0);
+        assert_eq!(g.num_nodes(), 1 + 2 + 4 + 8);
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        // Leaves have no children.
+        for v in 7..15 {
+            assert_eq!(g.out_degree(NodeId(v)), 0);
+        }
+        let g0 = tree(3, 0, 1.0);
+        assert_eq!(g0.num_nodes(), 1);
+        assert_eq!(g0.num_edges(), 0);
+    }
+
+    #[test]
+    fn layered_shape() {
+        let g = layered(3, 2, 0.9);
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 8);
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(g.has_edge(NodeId(1), NodeId(3)));
+        assert!(g.has_edge(NodeId(2), NodeId(5)));
+        assert!(!g.has_edge(NodeId(0), NodeId(4)));
+    }
+}

@@ -1,0 +1,20 @@
+//! Random-graph generators and deterministic gadget builders.
+//!
+//! All generators take an explicit RNG so that every experiment in the
+//! workspace is reproducible from a logged `u64` seed. Edge probabilities
+//! are *not* assigned here — generators produce topology with a placeholder
+//! probability of `1.0`; callers apply a [`crate::prob`] model afterwards
+//! (mirroring how the paper first obtains a network and then learns / assigns
+//! influence probabilities).
+
+mod gadgets;
+mod power_law;
+mod pref_attach;
+mod random;
+mod small_world;
+
+pub use gadgets::{complete, layered, path, ring, star, tree};
+pub use power_law::{chung_lu, power_law_weights, ChungLuConfig};
+pub use pref_attach::barabasi_albert;
+pub use random::{gnm, gnp};
+pub use small_world::watts_strogatz;

@@ -1,0 +1,219 @@
+//! Chung–Lu power-law random graphs.
+//!
+//! The paper's scalability experiment (Figure 7b) uses "power-law random
+//! graphs ... with a power-law degree exponent of 2.16" and an average degree
+//! of about 5; its four real datasets all have heavy-tailed out-degree
+//! distributions (Table 1). The Chung–Lu model reproduces a prescribed
+//! expected-degree sequence: node `i` gets weight `w_i ∝ (i + i0)^(−1/(γ−1))`
+//! and edge `(u, v)` exists with probability `min(1, w_u · w_v / Σw)`.
+
+use crate::builder::{DuplicatePolicy, GraphBuilder};
+use crate::csr::DiGraph;
+use crate::error::GraphError;
+use rand::{Rng, RngExt};
+
+/// Configuration for [`chung_lu`].
+#[derive(Clone, Debug)]
+pub struct ChungLuConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Target *expected* number of directed edges.
+    pub target_edges: usize,
+    /// Power-law exponent γ of the degree distribution (the paper uses 2.16).
+    pub exponent: f64,
+}
+
+/// Expected-degree weights for a power law with exponent `gamma`, scaled so
+/// they sum to `target_sum`.
+///
+/// Weights follow `w_i = (i + i0)^(−1/(γ−1))`, the standard Chung–Lu
+/// parameterization that yields `P(deg = d) ∝ d^(−γ)`.
+pub fn power_law_weights(n: usize, gamma: f64, target_sum: f64) -> Vec<f64> {
+    let alpha = 1.0 / (gamma - 1.0);
+    // Offset keeps the maximum weight from concentrating all edges on node 0.
+    let i0 = (n as f64).powf(1.0 - alpha * 0.5).max(1.0) / 10.0;
+    let mut w: Vec<f64> = (0..n).map(|i| (i as f64 + i0).powf(-alpha)).collect();
+    let s: f64 = w.iter().sum();
+    let scale = target_sum / s;
+    for x in &mut w {
+        *x *= scale;
+    }
+    w
+}
+
+/// Generate a directed Chung–Lu graph.
+///
+/// Out-degree weights follow the power law; in-degrees are near-uniform
+/// (each edge's head is chosen uniformly), matching the shape of
+/// follower-style social graphs where a few users broadcast widely.
+/// Generation is O(expected edges) via weighted sampling of sources with a
+/// precomputed alias-free cumulative table and uniform targets.
+pub fn chung_lu(cfg: &ChungLuConfig, rng: &mut impl Rng) -> Result<DiGraph, GraphError> {
+    let ChungLuConfig {
+        n,
+        target_edges,
+        exponent,
+    } = *cfg;
+    if n < 2 {
+        return Err(GraphError::InvalidGeneratorConfig(
+            "chung_lu requires n >= 2".into(),
+        ));
+    }
+    if exponent <= 1.0 {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "chung_lu requires exponent > 1, got {exponent}"
+        )));
+    }
+    let max_edges = (n as u64) * (n as u64 - 1);
+    if target_edges as u64 > max_edges / 2 {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "chung_lu: target_edges {target_edges} too dense for n={n}"
+        )));
+    }
+
+    let weights = power_law_weights(n, exponent, target_edges as f64);
+    // Cumulative distribution over sources, proportional to weight.
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &w in &weights {
+        acc += w;
+        cdf.push(acc);
+    }
+    let total = acc;
+
+    // Draw edges until we have target_edges distinct pairs. Duplicates are
+    // re-drawn; with density <= 1/2 the expected number of retries is small.
+    let mut b =
+        GraphBuilder::with_capacity(n, target_edges).duplicate_policy(DuplicatePolicy::KeepFirst);
+    let mut chosen = crate::fasthash::FxHashSet::default();
+    chosen.reserve(target_edges);
+    let mut guard: u64 = 0;
+    let guard_max = 100 * target_edges as u64 + 10_000;
+    while chosen.len() < target_edges {
+        guard += 1;
+        if guard > guard_max {
+            return Err(GraphError::InvalidGeneratorConfig(
+                "chung_lu failed to place edges (too dense for the weight skew)".into(),
+            ));
+        }
+        let x = rng.random::<f64>() * total;
+        let src = match cdf.binary_search_by(|probe| probe.partial_cmp(&x).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i,
+        }
+        .min(n - 1) as u32;
+        let dst = rng.random_range(0..n as u32);
+        if src == dst {
+            continue;
+        }
+        if chosen.insert((src, dst)) {
+            b.add_edge(src, dst, 1.0);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::NodeId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_requested_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = chung_lu(
+            &ChungLuConfig {
+                n: 500,
+                target_edges: 2500,
+                exponent: 2.16,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(g.num_nodes(), 500);
+        assert_eq!(g.num_edges(), 2500);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let n = 2000;
+        let g = chung_lu(
+            &ChungLuConfig {
+                n,
+                target_edges: 10_000,
+                exponent: 2.16,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let mut degs: Vec<usize> = (0..n).map(|i| g.out_degree(NodeId(i as u32))).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let avg = 10_000.0 / n as f64;
+        // Heavy tail: the max degree should be far above the average, and the
+        // top 1% of nodes should hold a disproportionate share of edges.
+        assert!(degs[0] as f64 > 8.0 * avg, "max degree {} vs avg {avg}", degs[0]);
+        let top1pct: usize = degs[..n / 100].iter().sum();
+        assert!(
+            top1pct as f64 > 0.1 * 10_000.0,
+            "top 1% holds only {top1pct} edges"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        assert!(chung_lu(
+            &ChungLuConfig {
+                n: 1,
+                target_edges: 0,
+                exponent: 2.0
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(chung_lu(
+            &ChungLuConfig {
+                n: 10,
+                target_edges: 5,
+                exponent: 0.9
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(chung_lu(
+            &ChungLuConfig {
+                n: 10,
+                target_edges: 80,
+                exponent: 2.0
+            },
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn weights_sum_to_target() {
+        let w = power_law_weights(100, 2.16, 555.0);
+        let s: f64 = w.iter().sum();
+        assert!((s - 555.0).abs() < 1e-6);
+        // Monotone decreasing.
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = ChungLuConfig {
+            n: 100,
+            target_edges: 400,
+            exponent: 2.2,
+        };
+        let g1 = chung_lu(&cfg, &mut SmallRng::seed_from_u64(42)).unwrap();
+        let g2 = chung_lu(&cfg, &mut SmallRng::seed_from_u64(42)).unwrap();
+        let e1: Vec<_> = g1.edges().map(|(_, e)| (e.source, e.target)).collect();
+        let e2: Vec<_> = g2.edges().map(|(_, e)| (e.source, e.target)).collect();
+        assert_eq!(e1, e2);
+    }
+}

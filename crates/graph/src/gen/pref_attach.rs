@@ -1,0 +1,127 @@
+//! Barabási–Albert preferential attachment.
+
+use crate::builder::{DuplicatePolicy, GraphBuilder};
+use crate::csr::DiGraph;
+use crate::error::GraphError;
+use rand::{Rng, RngExt};
+
+/// Barabási–Albert preferential attachment with `m_attach` out-links per new
+/// node, directed both ways (new → old and old → new) to mimic the paper's
+/// bidirectionalized friendship networks.
+///
+/// Starts from a small seed clique of `m_attach + 1` nodes. Each subsequent
+/// node attaches to `m_attach` distinct existing nodes chosen proportionally
+/// to their current degree (implemented with the classic repeated-endpoint
+/// trick: sampling a uniform entry of the running endpoint list).
+pub fn barabasi_albert(
+    n: usize,
+    m_attach: usize,
+    rng: &mut impl Rng,
+) -> Result<DiGraph, GraphError> {
+    if m_attach == 0 {
+        return Err(GraphError::InvalidGeneratorConfig(
+            "barabasi_albert requires m_attach >= 1".into(),
+        ));
+    }
+    if n < m_attach + 1 {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "barabasi_albert requires n >= m_attach + 1 (n={n}, m_attach={m_attach})"
+        )));
+    }
+    let mut b = GraphBuilder::with_capacity(n, 2 * n * m_attach)
+        .duplicate_policy(DuplicatePolicy::KeepFirst);
+    // Endpoint multiset: each node appears once per incident edge.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_attach);
+
+    // Seed clique on nodes 0..=m_attach.
+    let clique = m_attach + 1;
+    for u in 0..clique as u32 {
+        for v in 0..clique as u32 {
+            if u < v {
+                b.add_undirected(u, v, 1.0);
+                endpoints.push(u);
+                endpoints.push(v);
+            }
+        }
+    }
+
+    let mut picked: Vec<u32> = Vec::with_capacity(m_attach);
+    for new in clique as u32..n as u32 {
+        picked.clear();
+        let mut guard = 0u32;
+        while picked.len() < m_attach {
+            guard += 1;
+            let target = endpoints[rng.random_range(0..endpoints.len())];
+            if !picked.contains(&target) {
+                picked.push(target);
+            } else if guard > 10_000 {
+                // Degenerate corner: fall back to any unused node.
+                for cand in 0..new {
+                    if !picked.contains(&cand) {
+                        picked.push(cand);
+                        break;
+                    }
+                }
+            }
+        }
+        for &t in &picked {
+            b.add_undirected(new, t, 1.0);
+            endpoints.push(new);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::NodeId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let n = 300;
+        let m = 3;
+        let g = barabasi_albert(n, m, &mut rng).unwrap();
+        assert_eq!(g.num_nodes(), n);
+        // Each direction of each undirected link: clique + attachments.
+        let clique_edges = (m + 1) * m; // directed
+        let attach_edges = 2 * m * (n - m - 1);
+        assert_eq!(g.num_edges(), clique_edges + attach_edges);
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let n = 1000;
+        let g = barabasi_albert(n, 2, &mut rng).unwrap();
+        let max_deg = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
+        let avg = g.num_edges() as f64 / n as f64;
+        assert!(max_deg as f64 > 5.0 * avg, "max {max_deg} vs avg {avg}");
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        assert!(barabasi_albert(5, 0, &mut rng).is_err());
+        assert!(barabasi_albert(2, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn graph_is_symmetric() {
+        let mut rng = SmallRng::seed_from_u64(24);
+        let g = barabasi_albert(100, 2, &mut rng).unwrap();
+        for (_, e) in g.edges() {
+            assert!(
+                g.has_edge(e.target, e.source),
+                "missing reverse of ({}, {})",
+                e.source,
+                e.target
+            );
+        }
+        let _ = NodeId(0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Erdős–Rényi random graphs.
+
+use crate::builder::{DuplicatePolicy, GraphBuilder};
+use crate::csr::DiGraph;
+use crate::error::GraphError;
+use crate::fasthash::FxHashSet;
+use rand::{Rng, RngExt};
+
+/// Directed `G(n, p)`: every ordered pair `(u, v)`, `u ≠ v`, is an edge
+/// independently with probability `p_edge`.
+///
+/// Uses geometric skipping so the cost is proportional to the number of
+/// edges generated rather than `n²`.
+pub fn gnp(n: usize, p_edge: f64, rng: &mut impl Rng) -> Result<DiGraph, GraphError> {
+    if !(0.0..=1.0).contains(&p_edge) || !p_edge.is_finite() {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "gnp requires p in [0,1], got {p_edge}"
+        )));
+    }
+    let mut b = GraphBuilder::new(n);
+    if n == 0 || p_edge == 0.0 {
+        return b.build();
+    }
+    if p_edge >= 1.0 {
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v {
+                    b.add_edge(u, v, 1.0);
+                }
+            }
+        }
+        return b.build();
+    }
+    // Iterate over the n*(n-1) candidate slots with geometric jumps.
+    let total: u64 = (n as u64) * (n as u64 - 1);
+    let log_q = (1.0 - p_edge).ln();
+    let mut slot: u64 = 0;
+    loop {
+        // Sample the gap to the next selected slot: floor(ln(U)/ln(1-p)).
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let gap = (u.ln() / log_q).floor() as u64;
+        slot = slot.saturating_add(gap);
+        if slot >= total {
+            break;
+        }
+        let src = (slot / (n as u64 - 1)) as u32;
+        let mut dst = (slot % (n as u64 - 1)) as u32;
+        if dst >= src {
+            dst += 1; // skip the diagonal
+        }
+        b.add_edge(src, dst, 1.0);
+        slot += 1;
+    }
+    b.build()
+}
+
+/// Directed `G(n, m)`: exactly `m` distinct directed edges chosen uniformly
+/// at random among the `n·(n−1)` possibilities.
+pub fn gnm(n: usize, m: usize, rng: &mut impl Rng) -> Result<DiGraph, GraphError> {
+    let max_edges = (n as u64).saturating_mul((n as u64).saturating_sub(1));
+    if (m as u64) > max_edges {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "gnm: {m} edges requested but only {max_edges} possible with n={n}"
+        )));
+    }
+    let mut chosen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    chosen.reserve(m);
+    let mut b = GraphBuilder::with_capacity(n, m).duplicate_policy(DuplicatePolicy::KeepFirst);
+    while chosen.len() < m {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        if chosen.insert((u, v)) {
+            b.add_edge(u, v, 1.0);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = gnm(50, 200, &mut rng).unwrap();
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn gnm_rejects_too_many_edges() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(gnm(3, 7, &mut rng).is_err());
+        assert!(gnm(3, 6, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn gnp_zero_and_one() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = gnp(10, 0.0, &mut rng).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        let g = gnp(10, 1.0, &mut rng).unwrap();
+        assert_eq!(g.num_edges(), 90);
+    }
+
+    #[test]
+    fn gnp_expected_density() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 200;
+        let p = 0.05;
+        let g = gnp(n, p, &mut rng).unwrap();
+        let expected = (n * (n - 1)) as f64 * p;
+        let got = g.num_edges() as f64;
+        // 5 sigma tolerance for a binomial with ~1990 expected successes.
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (got - expected).abs() < 5.0 * sigma,
+            "got {got}, expected {expected} ± {}",
+            5.0 * sigma
+        );
+    }
+
+    #[test]
+    fn gnp_no_self_loops_or_duplicates() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = gnp(60, 0.1, &mut rng).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for (_, e) in g.edges() {
+            assert_ne!(e.source, e.target);
+            assert!(seen.insert((e.source, e.target)));
+        }
+    }
+
+    #[test]
+    fn gnp_rejects_bad_p() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(gnp(5, -0.5, &mut rng).is_err());
+        assert!(gnp(5, 1.5, &mut rng).is_err());
+        assert!(gnp(5, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = gnm(30, 100, &mut SmallRng::seed_from_u64(7)).unwrap();
+        let g2 = gnm(30, 100, &mut SmallRng::seed_from_u64(7)).unwrap();
+        let e1: Vec<_> = g1.edges().map(|(_, e)| (e.source, e.target)).collect();
+        let e2: Vec<_> = g2.edges().map(|(_, e)| (e.source, e.target)).collect();
+        assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Watts–Strogatz small-world graphs.
+
+use crate::builder::{DuplicatePolicy, GraphBuilder};
+use crate::csr::DiGraph;
+use crate::error::GraphError;
+use rand::{Rng, RngExt};
+
+/// Watts–Strogatz small-world graph: a ring lattice where each node links to
+/// its `k_half` clockwise neighbours (made bidirectional), with each link
+/// rewired to a uniform random target with probability `beta`.
+pub fn watts_strogatz(
+    n: usize,
+    k_half: usize,
+    beta: f64,
+    rng: &mut impl Rng,
+) -> Result<DiGraph, GraphError> {
+    if n < 3 || k_half == 0 || 2 * k_half >= n {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "watts_strogatz requires n >= 3 and 0 < 2*k_half < n (n={n}, k_half={k_half})"
+        )));
+    }
+    if !(0.0..=1.0).contains(&beta) || !beta.is_finite() {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "watts_strogatz requires beta in [0,1], got {beta}"
+        )));
+    }
+    let mut b =
+        GraphBuilder::with_capacity(n, 2 * n * k_half).duplicate_policy(DuplicatePolicy::KeepFirst);
+    for u in 0..n {
+        for j in 1..=k_half {
+            let mut v = (u + j) % n;
+            if rng.random_bool(beta) {
+                // Rewire to a uniform non-self target.
+                let mut guard = 0;
+                loop {
+                    let cand = rng.random_range(0..n);
+                    guard += 1;
+                    if cand != u || guard > 1000 {
+                        v = cand;
+                        break;
+                    }
+                }
+                if v == u {
+                    v = (u + j) % n; // give up rewiring in a pathological draw
+                }
+            }
+            b.add_undirected(u as u32, v as u32, 1.0);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lattice_without_rewiring() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let g = watts_strogatz(20, 2, 0.0, &mut rng).unwrap();
+        assert_eq!(g.num_nodes(), 20);
+        // Ring with k_half=2: every node has exactly 4 out-links (2 fwd + 2 back).
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 4, "node {v}");
+        }
+    }
+
+    #[test]
+    fn rewiring_preserves_scale() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        let g = watts_strogatz(200, 3, 0.3, &mut rng).unwrap();
+        // Duplicate merges can only remove edges, never add.
+        assert!(g.num_edges() <= 2 * 200 * 3);
+        assert!(g.num_edges() > 200 * 3);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let mut rng = SmallRng::seed_from_u64(33);
+        assert!(watts_strogatz(2, 1, 0.1, &mut rng).is_err());
+        assert!(watts_strogatz(10, 0, 0.1, &mut rng).is_err());
+        assert!(watts_strogatz(10, 5, 0.1, &mut rng).is_err());
+        assert!(watts_strogatz(10, 2, 1.5, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Graph serialization: whitespace-separated text edge lists and a compact
+//! little-endian binary format.
+
+use crate::builder::GraphBuilder;
+use crate::csr::DiGraph;
+use crate::error::GraphError;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Write `g` as a text edge list: a header line `# nodes <n> edges <m>`
+/// followed by one `source target probability` triple per line.
+pub fn write_edge_list<W: Write>(g: &DiGraph, w: W) -> Result<(), GraphError> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for (_, e) in g.edges() {
+        writeln!(out, "{} {} {}", e.source, e.target, e.p)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read a text edge list produced by [`write_edge_list`] (or hand-written:
+/// the header is optional, in which case `n` = max node id + 1; a missing
+/// probability column defaults to 1.0; `#`-prefixed lines are comments).
+pub fn read_edge_list<R: Read>(r: R) -> Result<DiGraph, GraphError> {
+    let reader = BufReader::new(r);
+    let mut declared_n: Option<usize> = None;
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    let mut max_node: u32 = 0;
+    let mut saw_node = false;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_num = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            // Recognise the canonical header; ignore other comments.
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() >= 4 && toks[0] == "nodes" && toks[2] == "edges" {
+                declared_n = Some(toks[1].parse().map_err(|_| GraphError::Parse {
+                    line: line_num,
+                    msg: format!("bad node count '{}'", toks[1]),
+                })?);
+            }
+            continue;
+        }
+        let toks: Vec<&str> = trimmed.split_whitespace().collect();
+        if toks.len() < 2 {
+            return Err(GraphError::Parse {
+                line: line_num,
+                msg: format!("expected 'source target [p]', got '{trimmed}'"),
+            });
+        }
+        let u: u32 = toks[0].parse().map_err(|_| GraphError::Parse {
+            line: line_num,
+            msg: format!("bad source '{}'", toks[0]),
+        })?;
+        let v: u32 = toks[1].parse().map_err(|_| GraphError::Parse {
+            line: line_num,
+            msg: format!("bad target '{}'", toks[1]),
+        })?;
+        let p: f64 = if toks.len() >= 3 {
+            toks[2].parse().map_err(|_| GraphError::Parse {
+                line: line_num,
+                msg: format!("bad probability '{}'", toks[2]),
+            })?
+        } else {
+            1.0
+        };
+        max_node = max_node.max(u).max(v);
+        saw_node = true;
+        edges.push((u, v, p));
+    }
+
+    let n = declared_n.unwrap_or(if saw_node { max_node as usize + 1 } else { 0 });
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v, p) in edges {
+        b.add_edge(u, v, p);
+    }
+    b.build()
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"COMICGR1";
+
+/// Write `g` in the compact binary format: magic, `n`, `m`, then `m`
+/// `(u32, u32, f64)` little-endian records in canonical order.
+pub fn write_binary<W: Write>(g: &DiGraph, w: W) -> Result<(), GraphError> {
+    let mut out = BufWriter::new(w);
+    out.write_all(BINARY_MAGIC)?;
+    out.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
+    out.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for (_, e) in g.edges() {
+        out.write_all(&e.source.0.to_le_bytes())?;
+        out.write_all(&e.target.0.to_le_bytes())?;
+        out.write_all(&e.p.to_le_bytes())?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read a graph written by [`write_binary`].
+pub fn read_binary<R: Read>(r: R) -> Result<DiGraph, GraphError> {
+    let mut reader = BufReader::new(r);
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(GraphError::Corrupt("bad magic".into()));
+    }
+    let mut buf8 = [0u8; 8];
+    reader.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    reader.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8) as usize;
+    if m > (1 << 40) {
+        return Err(GraphError::Corrupt(format!("implausible edge count {m}")));
+    }
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut buf4 = [0u8; 4];
+    for _ in 0..m {
+        reader.read_exact(&mut buf4)?;
+        let u = u32::from_le_bytes(buf4);
+        reader.read_exact(&mut buf4)?;
+        let v = u32::from_le_bytes(buf4);
+        reader.read_exact(&mut buf8)?;
+        let p = f64::from_le_bytes(buf8);
+        b.add_edge(u, v, p);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn assert_graph_eq(a: &DiGraph, b: &DiGraph) {
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        let ea: Vec<_> = a.edges().map(|(_, e)| e).collect();
+        let eb: Vec<_> = b.edges().map(|(_, e)| e).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = crate::prob::ProbModel::Uniform { lo: 0.1, hi: 0.9 }
+            .apply(&gen::gnm(40, 150, &mut rng).unwrap(), &mut rng);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_graph_eq(&g, &g2);
+    }
+
+    #[test]
+    fn text_without_header_or_probs() {
+        let src = "0 1\n1 2 0.5\n\n# comment\n2 0\n";
+        let g = read_edge_list(src.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        let probs: Vec<f64> = g.edges().map(|(_, e)| e.p).collect();
+        assert_eq!(probs, vec![1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn text_header_allows_isolated_tail_nodes() {
+        let src = "# nodes 10 edges 1\n0 1 0.3\n";
+        let g = read_edge_list(src.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn text_parse_errors_carry_line_numbers() {
+        let src = "0 1 0.5\nnot an edge\n";
+        match read_edge_list(src.as_bytes()) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = crate::prob::ProbModel::trivalency()
+            .apply(&gen::gnm(30, 90, &mut rng).unwrap(), &mut rng);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_graph_eq(&g, &g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = b"NOTMAGIC\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0".to_vec();
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn binary_truncated_payload_errors() {
+        let g = gen::path(3, 0.5);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = crate::builder::from_edges(0, &[]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g2.num_nodes(), 0);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g2.num_nodes(), 0);
+    }
+}

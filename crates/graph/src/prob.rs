@@ -1,0 +1,116 @@
+//! Edge influence-probability assignment models.
+//!
+//! Generators in [`crate::gen`] produce topology only; these models assign
+//! `p(u, v)`. The paper learns probabilities from action logs with the
+//! method of Goyal et al. [12]; the standard synthetic proxies used across
+//! the influence-maximization literature (and in the papers the authors
+//! compare with) are implemented here.
+
+use crate::builder::GraphBuilder;
+use crate::csr::DiGraph;
+use rand::{Rng, RngExt};
+
+/// An edge-probability model, applied to an existing topology.
+#[derive(Clone, Debug)]
+pub enum ProbModel {
+    /// Every edge gets the same probability.
+    Constant(f64),
+    /// `p(u, v) = 1 / indeg(v)` — the *weighted cascade* model of Kempe et
+    /// al., which makes every node's expected number of in-activations 1.
+    WeightedCascade,
+    /// Each edge independently draws one of the given values uniformly —
+    /// the *trivalency* model is `Trivalency(&[0.1, 0.01, 0.001])`.
+    Choice(Vec<f64>),
+    /// Each edge draws uniformly from `[lo, hi]`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl ProbModel {
+    /// The classic trivalency model `{0.1, 0.01, 0.001}`.
+    pub fn trivalency() -> ProbModel {
+        ProbModel::Choice(vec![0.1, 0.01, 0.001])
+    }
+
+    /// Return a copy of `g` with probabilities reassigned by this model.
+    ///
+    /// `rng` is only consulted by the stochastic models ([`ProbModel::Choice`]
+    /// and [`ProbModel::Uniform`]).
+    pub fn apply(&self, g: &DiGraph, rng: &mut impl Rng) -> DiGraph {
+        let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges());
+        for (_, e) in g.edges() {
+            let p = match self {
+                ProbModel::Constant(p) => *p,
+                ProbModel::WeightedCascade => 1.0 / g.in_degree(e.target) as f64,
+                ProbModel::Choice(vals) => vals[rng.random_range(0..vals.len())],
+                ProbModel::Uniform { lo, hi } => rng.random_range(*lo..=*hi),
+            };
+            b.add_edge(e.source.0, e.target.0, p);
+        }
+        b.build().expect("reassigning probabilities preserves validity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_assigns_everywhere() {
+        let g = gen::complete(5, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g2 = ProbModel::Constant(0.37).apply(&g, &mut rng);
+        assert!(g2.edges().all(|(_, e)| e.p == 0.37));
+        assert_eq!(g2.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn weighted_cascade_inverse_indegree() {
+        let g = gen::layered(2, 4, 1.0); // each layer-1 node has indeg 4
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g2 = ProbModel::WeightedCascade.apply(&g, &mut rng);
+        for (_, e) in g2.edges() {
+            assert!((e.p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_cascade_sums_to_one_per_node() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = gen::gnm(60, 400, &mut rng).unwrap();
+        let g2 = ProbModel::WeightedCascade.apply(&g, &mut rng);
+        for v in g2.nodes() {
+            if g2.in_degree(v) > 0 {
+                let s: f64 = g2.in_edges(v).map(|a| a.p).sum();
+                assert!((s - 1.0).abs() < 1e-9, "node {v}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn trivalency_values_only() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = gen::gnm(50, 300, &mut rng).unwrap();
+        let g2 = ProbModel::trivalency().apply(&g, &mut rng);
+        for (_, e) in g2.edges() {
+            assert!([0.1, 0.01, 0.001].contains(&e.p), "unexpected p {}", e.p);
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = gen::gnm(30, 100, &mut rng).unwrap();
+        let g2 = ProbModel::Uniform { lo: 0.2, hi: 0.4 }.apply(&g, &mut rng);
+        for (_, e) in g2.edges() {
+            assert!((0.2..=0.4).contains(&e.p));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Strongly connected components (iterative Tarjan) and SCC extraction.
+//!
+//! The paper evaluates on "a strongly connected component" of Flixster; the
+//! dataset stand-ins use [`largest_scc`] the same way.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{DiGraph, NodeId};
+
+/// Assignment of every node to an SCC id (`0..num_components`), components
+/// numbered in reverse topological order of the condensation.
+#[derive(Clone, Debug)]
+pub struct SccResult {
+    /// `component[v]` = SCC id of node `v`.
+    pub component: Vec<u32>,
+    /// Number of SCCs.
+    pub num_components: usize,
+}
+
+impl SccResult {
+    /// Sizes of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_components];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Id of the largest component (ties broken by lowest id).
+    pub fn largest(&self) -> Option<u32> {
+        let sizes = self.sizes();
+        sizes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i as u32)
+    }
+}
+
+/// Iterative Tarjan SCC. No recursion, so million-node graphs are safe.
+pub fn tarjan_scc(g: &DiGraph) -> SccResult {
+    let n = g.num_nodes();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![0u32; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index: u32 = 0;
+    let mut num_components: usize = 0;
+
+    // Explicit DFS frames: (node, iterator position into its out-edges).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let out: Vec<u32> = g.out_edges(NodeId(v)).map(|a| a.node.0).collect();
+            if *pos < out.len() {
+                let w = out[*pos];
+                *pos += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = num_components as u32;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_components += 1;
+                }
+            }
+        }
+    }
+
+    SccResult {
+        component,
+        num_components,
+    }
+}
+
+/// Extract the largest SCC of `g` as a standalone graph (nodes renumbered
+/// densely), together with the mapping `new id → old id`.
+pub fn largest_scc(g: &DiGraph) -> (DiGraph, Vec<NodeId>) {
+    let scc = tarjan_scc(g);
+    let Some(target) = scc.largest() else {
+        return (GraphBuilder::new(0).build().unwrap(), Vec::new());
+    };
+    let mut old_of_new: Vec<NodeId> = Vec::new();
+    let mut new_of_old = vec![u32::MAX; g.num_nodes()];
+    for v in g.nodes() {
+        if scc.component[v.index()] == target {
+            new_of_old[v.index()] = old_of_new.len() as u32;
+            old_of_new.push(v);
+        }
+    }
+    let mut b = GraphBuilder::new(old_of_new.len());
+    for (_, e) in g.edges() {
+        let (u, v) = (new_of_old[e.source.index()], new_of_old[e.target.index()]);
+        if u != u32::MAX && v != u32::MAX {
+            b.add_edge(u, v, e.p);
+        }
+    }
+    (b.build().expect("scc subgraph is valid"), old_of_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::gen;
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = gen::path(5, 1.0);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 5);
+        // All components distinct.
+        let mut comps = scc.component.clone();
+        comps.sort_unstable();
+        comps.dedup();
+        assert_eq!(comps.len(), 5);
+    }
+
+    #[test]
+    fn ring_is_one_component() {
+        let g = gen::ring(7, 1.0);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 1);
+    }
+
+    #[test]
+    fn two_rings_bridged() {
+        // ring {0,1,2}, ring {3,4,5}, bridge 2 -> 3.
+        let g = from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 3, 1.0),
+                (2, 3, 1.0),
+            ],
+        )
+        .unwrap();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 2);
+        assert_eq!(scc.component[0], scc.component[1]);
+        assert_eq!(scc.component[1], scc.component[2]);
+        assert_eq!(scc.component[3], scc.component[4]);
+        assert_eq!(scc.component[4], scc.component[5]);
+        assert_ne!(scc.component[0], scc.component[3]);
+        assert_eq!(scc.sizes(), vec![3, 3]);
+    }
+
+    #[test]
+    fn largest_scc_extraction() {
+        // ring {0,1,2,3} plus tail 3 -> 4 -> 5.
+        let g = from_edges(
+            6,
+            &[
+                (0, 1, 0.5),
+                (1, 2, 0.5),
+                (2, 3, 0.5),
+                (3, 0, 0.5),
+                (3, 4, 0.5),
+                (4, 5, 0.5),
+            ],
+        )
+        .unwrap();
+        let (sub, mapping) = largest_scc(&g);
+        assert_eq!(sub.num_nodes(), 4);
+        assert_eq!(sub.num_edges(), 4);
+        let olds: Vec<u32> = mapping.iter().map(|v| v.0).collect();
+        assert_eq!(olds, vec![0, 1, 2, 3]);
+        // Probabilities preserved.
+        assert!(sub.edges().all(|(_, e)| e.p == 0.5));
+    }
+
+    #[test]
+    fn largest_scc_of_empty_graph() {
+        let g = from_edges(0, &[]).unwrap();
+        let (sub, mapping) = largest_scc(&g);
+        assert_eq!(sub.num_nodes(), 0);
+        assert!(mapping.is_empty());
+    }
+
+    #[test]
+    fn deep_graph_does_not_overflow_stack() {
+        // 200k-node path: recursive Tarjan would blow the stack.
+        let g = gen::path(200_000, 1.0);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 200_000);
+    }
+}

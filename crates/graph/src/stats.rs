@@ -1,0 +1,173 @@
+//! Graph statistics in the shape of the paper's Table 1.
+
+use crate::csr::DiGraph;
+use std::fmt;
+
+/// Summary statistics for a graph: the columns of Table 1 in the paper
+/// (node count, edge count, average out-degree, maximum out-degree) plus a
+/// few extras useful when validating generated stand-ins.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub nodes: usize,
+    /// `|E|` (directed).
+    pub edges: usize,
+    /// Average out-degree `|E| / |V|`.
+    pub avg_out_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Number of nodes with no incident edges at all.
+    pub isolated_nodes: usize,
+    /// Mean edge probability.
+    pub mean_edge_prob: f64,
+}
+
+/// Compute [`GraphStats`] for `g`.
+pub fn stats(g: &DiGraph) -> GraphStats {
+    let n = g.num_nodes();
+    let m = g.num_edges();
+    let mut max_out = 0;
+    let mut max_in = 0;
+    let mut isolated = 0;
+    for v in g.nodes() {
+        let od = g.out_degree(v);
+        let id = g.in_degree(v);
+        max_out = max_out.max(od);
+        max_in = max_in.max(id);
+        if od == 0 && id == 0 {
+            isolated += 1;
+        }
+    }
+    GraphStats {
+        nodes: n,
+        edges: m,
+        avg_out_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        isolated_nodes: isolated,
+        mean_edge_prob: if m == 0 {
+            0.0
+        } else {
+            g.total_edge_weight() / m as f64
+        },
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} avg-out={:.1} max-out={} max-in={} isolated={} mean-p={:.4}",
+            self.nodes,
+            self.edges,
+            self.avg_out_degree,
+            self.max_out_degree,
+            self.max_in_degree,
+            self.isolated_nodes,
+            self.mean_edge_prob
+        )
+    }
+}
+
+/// Out-degree histogram: `hist[d]` = number of nodes with out-degree `d`.
+pub fn out_degree_histogram(g: &DiGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; 1];
+    for v in g.nodes() {
+        let d = g.out_degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Least-squares slope of `log(count)` against `log(degree)` over the
+/// non-empty histogram buckets with degree ≥ `min_degree`. For a power-law
+/// graph with exponent γ this is approximately `−γ`.
+pub fn log_log_degree_slope(g: &DiGraph, min_degree: usize) -> Option<f64> {
+    let hist = out_degree_histogram(g);
+    let pts: Vec<(f64, f64)> = hist
+        .iter()
+        .enumerate()
+        .filter(|&(d, &c)| d >= min_degree.max(1) && c > 0)
+        .map(|(d, &c)| ((d as f64).ln(), (c as f64).ln()))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stats_on_star() {
+        let g = gen::star(11, 0.5);
+        let s = stats(&g);
+        assert_eq!(s.nodes, 11);
+        assert_eq!(s.edges, 10);
+        assert_eq!(s.max_out_degree, 10);
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.isolated_nodes, 0);
+        assert!((s.mean_edge_prob - 0.5).abs() < 1e-12);
+        assert!((s.avg_out_degree - 10.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_nodes_counted() {
+        let g = crate::builder::from_edges(5, &[(0, 1, 1.0)]).unwrap();
+        assert_eq!(stats(&g).isolated_nodes, 3);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = gen::gnm(100, 500, &mut rng).unwrap();
+        let hist = out_degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 100);
+        let total_edges: usize = hist.iter().enumerate().map(|(d, c)| d * c).sum();
+        assert_eq!(total_edges, 500);
+    }
+
+    #[test]
+    fn power_law_slope_is_negative_and_steep() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = gen::chung_lu(
+            &gen::ChungLuConfig {
+                n: 5000,
+                target_edges: 25_000,
+                exponent: 2.16,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let slope = log_log_degree_slope(&g, 2).unwrap();
+        assert!(slope < -0.8, "slope {slope} not heavy-tailed");
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::builder::from_edges(0, &[]).unwrap();
+        let s = stats(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.avg_out_degree, 0.0);
+        assert_eq!(s.mean_edge_prob, 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Graph traversal helpers: BFS/DFS reachability in either direction.
+
+use crate::csr::{DiGraph, NodeId};
+use crate::scratch::StampedSet;
+
+/// Direction of traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow out-edges (diffusion direction).
+    Forward,
+    /// Follow in-edges (reverse-reachability direction).
+    Backward,
+}
+
+/// Nodes reachable from `sources` following edges in `dir`, including the
+/// sources themselves, in BFS order.
+pub fn reachable(g: &DiGraph, sources: &[NodeId], dir: Direction) -> Vec<NodeId> {
+    let mut visited = StampedSet::new(g.num_nodes());
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for &s in sources {
+        if visited.insert(s.index()) {
+            queue.push_back(s);
+            order.push(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let push = |order: &mut Vec<NodeId>, queue: &mut std::collections::VecDeque<NodeId>,
+                    visited: &mut StampedSet,
+                    w: NodeId| {
+            if visited.insert(w.index()) {
+                order.push(w);
+                queue.push_back(w);
+            }
+        };
+        match dir {
+            Direction::Forward => {
+                for adj in g.out_edges(u) {
+                    push(&mut order, &mut queue, &mut visited, adj.node);
+                }
+            }
+            Direction::Backward => {
+                for adj in g.in_edges(u) {
+                    push(&mut order, &mut queue, &mut visited, adj.node);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// BFS distance (hop count) from `sources` to every node; `None` if
+/// unreachable.
+pub fn bfs_distances(g: &DiGraph, sources: &[NodeId], dir: Direction) -> Vec<Option<u32>> {
+    let mut dist: Vec<Option<u32>> = vec![None; g.num_nodes()];
+    let mut queue = std::collections::VecDeque::new();
+    for &s in sources {
+        if dist[s.index()].is_none() {
+            dist[s.index()] = Some(0);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()].expect("queued nodes have distances");
+        let mut visit = |w: NodeId| {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(d + 1);
+                queue.push_back(w);
+            }
+        };
+        match dir {
+            Direction::Forward => g.out_edges(u).for_each(|a| visit(a.node)),
+            Direction::Backward => g.in_edges(u).for_each(|a| visit(a.node)),
+        }
+    }
+    dist
+}
+
+/// Whether `target` is reachable from any of `sources` going forwards.
+pub fn is_reachable(g: &DiGraph, sources: &[NodeId], target: NodeId) -> bool {
+    bfs_distances(g, sources, Direction::Forward)[target.index()].is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::gen;
+
+    #[test]
+    fn forward_reachability_on_path() {
+        let g = gen::path(5, 1.0);
+        let r = reachable(&g, &[NodeId(2)], Direction::Forward);
+        assert_eq!(r, vec![NodeId(2), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn backward_reachability_on_path() {
+        let g = gen::path(5, 1.0);
+        let r = reachable(&g, &[NodeId(2)], Direction::Backward);
+        assert_eq!(r, vec![NodeId(2), NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn multi_source_dedup() {
+        let g = gen::path(4, 1.0);
+        let r = reachable(&g, &[NodeId(0), NodeId(1), NodeId(0)], Direction::Forward);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn distances() {
+        let g = from_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (0, 3, 1.0)]).unwrap();
+        let d = bfs_distances(&g, &[NodeId(0)], Direction::Forward);
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], Some(2));
+        assert_eq!(d[3], Some(1));
+        assert_eq!(d[4], None);
+    }
+
+    #[test]
+    fn is_reachable_checks() {
+        let g = gen::path(3, 1.0);
+        assert!(is_reachable(&g, &[NodeId(0)], NodeId(2)));
+        assert!(!is_reachable(&g, &[NodeId(2)], NodeId(0)));
+        assert!(is_reachable(&g, &[NodeId(1)], NodeId(1)));
+    }
+}

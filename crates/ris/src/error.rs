@@ -1,0 +1,43 @@
+//! Error type for the RIS framework.
+
+use std::fmt;
+
+/// Errors from GeneralTIM configuration and execution.
+#[derive(Debug)]
+pub enum RisError {
+    /// A configuration parameter was out of range.
+    InvalidConfig(String),
+    /// The seed-set size `k` exceeds the number of nodes.
+    KTooLarge {
+        /// Requested seed count.
+        k: usize,
+        /// Number of nodes.
+        n: usize,
+    },
+}
+
+impl fmt::Display for RisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RisError::InvalidConfig(msg) => write!(f, "invalid RIS configuration: {msg}"),
+            RisError::KTooLarge { k, n } => {
+                write!(f, "seed budget k={k} exceeds node count n={n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(RisError::InvalidConfig("eps".into())
+            .to_string()
+            .contains("eps"));
+        assert!(RisError::KTooLarge { k: 5, n: 3 }.to_string().contains("5"));
+    }
+}

@@ -1,0 +1,145 @@
+//! KPT* estimation — TIM's Algorithm 2 generalized to arbitrary RR-sets.
+//!
+//! GeneralTIM needs a lower bound `LB ≤ OPT_k` to size θ (Equation 3 of the
+//! paper). TIM estimates one by measuring random RR-sets: for a set `R`,
+//! `κ(R) = 1 − (1 − ω(R)/m)^k` is an unbiased estimate of the probability
+//! that a *random* k-seed-set (drawn by picking k edges) covers `R`, whose
+//! expectation times `n` lower-bounds `OPT_k` within a constant factor. The
+//! estimator doubles its sample budget geometrically until the measured mean
+//! clears the `2^{-i}` threshold — as in TIM, the paper's analysis only
+//! relies on the activation-equivalence property, so the identical procedure
+//! applies to RR-SIM / RR-CIM sets.
+
+use crate::sampler::RrSampler;
+use rand::Rng;
+
+/// Outcome of the KPT* estimation.
+#[derive(Clone, Copy, Debug)]
+pub struct KptEstimate {
+    /// The lower-bound estimate of `OPT_k` (≥ 1; the paper's experiments
+    /// treat `k ≥ KPT* ≥ 1` as the degenerate fallback).
+    pub kpt: f64,
+    /// RR-sets sampled during estimation.
+    pub samples: u64,
+    /// Total members across the sampled sets (for EPT accounting).
+    pub total_members: u64,
+}
+
+/// Estimate `KPT*` for a sampler and budget `k` (TIM Algorithm 2).
+///
+/// `ell` is the confidence exponent (failure probability `n^{-ell}`).
+pub fn kpt_star<S: RrSampler, R: Rng>(
+    sampler: &mut S,
+    k: usize,
+    ell: f64,
+    rng: &mut R,
+) -> KptEstimate {
+    let n = sampler.graph().num_nodes();
+    let m = sampler.graph().num_edges();
+    let mut samples: u64 = 0;
+    let mut total_members: u64 = 0;
+    if n < 2 || m == 0 {
+        return KptEstimate {
+            kpt: 1.0,
+            samples,
+            total_members,
+        };
+    }
+    let nf = n as f64;
+    let mf = m as f64;
+    let log2n = nf.log2();
+    let rounds = (log2n as i64 - 1).max(1);
+    let mut out = Vec::new();
+    for i in 1..=rounds {
+        let c_i = ((6.0 * ell * nf.ln() + 6.0 * log2n.ln().max(1.0)) * 2f64.powi(i as i32))
+            .ceil()
+            .max(1.0) as u64;
+        let mut sum = 0.0f64;
+        for _ in 0..c_i {
+            sampler.sample_random(rng, &mut out);
+            samples += 1;
+            total_members += out.len() as u64;
+            let width: u64 = out
+                .iter()
+                .map(|&v| sampler.graph().in_degree(v) as u64)
+                .sum();
+            let kappa = 1.0 - (1.0 - width as f64 / mf).powi(k as i32);
+            sum += kappa;
+        }
+        if sum / c_i as f64 > 1.0 / 2f64.powi(i as i32) {
+            return KptEstimate {
+                kpt: (nf * sum / (2.0 * c_i as f64)).max(1.0),
+                samples,
+                total_members,
+            };
+        }
+    }
+    KptEstimate {
+        kpt: 1.0,
+        samples,
+        total_members,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ic_sampler::IcRrSampler;
+    use comic_core::ic::ic_spread;
+    use comic_core::seeds::seeds;
+    use comic_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kpt_lower_bounds_opt_on_star() {
+        // Star with certain edges: OPT_1 = spread of the hub = n.
+        let g = gen::star(200, 1.0);
+        let mut sampler = IcRrSampler::new(&g);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let est = kpt_star(&mut sampler, 1, 1.0, &mut rng);
+        let opt = 200.0;
+        // Correctness of GeneralTIM only needs KPT* ≤ OPT (θ = λ/LB then
+        // oversamples). The hub star is TIM's adversarial case for the
+        // estimator: κ measures the spread of *random edge targets* (leaves,
+        // spread 1), so KPT* legitimately collapses to its floor of 1 here —
+        // trading run time (huge θ), never correctness.
+        assert!(est.kpt <= opt * 1.05, "kpt {} exceeds OPT {opt}", est.kpt);
+        assert!(est.kpt >= 1.0);
+        assert!(est.samples > 0);
+    }
+
+    #[test]
+    fn kpt_reasonable_on_random_graph() {
+        let mut grng = SmallRng::seed_from_u64(2);
+        let g = gen::gnm(300, 1500, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::WeightedCascade.apply(&g, &mut grng);
+        let k = 5;
+        let mut sampler = IcRrSampler::new(&g);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let est = kpt_star(&mut sampler, k, 1.0, &mut rng);
+        // Compare against the spread of a decent heuristic k-set (high degree):
+        // KPT* must not exceed OPT, and a high-degree set lower-bounds OPT.
+        let mut by_deg: Vec<u32> = (0..300).collect();
+        by_deg.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(comic_graph::NodeId(v))));
+        let hd: Vec<u32> = by_deg[..k].to_vec();
+        let hd_spread = ic_spread(&g, &seeds(&hd), 20_000, &mut rng);
+        // OPT >= hd_spread, and kpt <= OPT. We can't observe OPT directly, so
+        // check kpt is within a generous window around the heuristic spread.
+        assert!(
+            est.kpt <= hd_spread * 2.0,
+            "kpt {} vs high-degree spread {hd_spread}",
+            est.kpt
+        );
+        assert!(est.kpt >= 1.0);
+    }
+
+    #[test]
+    fn degenerate_graphs_return_floor() {
+        let g = gen::path(1, 1.0);
+        let mut sampler = IcRrSampler::new(&g);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let est = kpt_star(&mut sampler, 1, 1.0, &mut rng);
+        assert_eq!(est.kpt, 1.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # comic-ris
+//!
+//! The generalized **reverse-reachable set** (RR-set) framework of the paper's
+//! §6.1 — a from-scratch implementation of the TIM algorithm of Tang et al.
+//! (SIGMOD'14) lifted to *any* diffusion model with an equivalent possible
+//! world model satisfying properties (P1)/(P2) (monotonicity and
+//! submodularity of the per-world activation indicator, Lemmas 4–5).
+//!
+//! The framework is agnostic to how a single RR-set is produced: a
+//! [`sampler::RrSampler`] implements Definition 1 ("all nodes `u` such that
+//! the singleton seed `{u}` would activate the root in the sampled world").
+//! This crate ships the classic-IC sampler ([`ic_sampler::IcRrSampler`],
+//! powering the paper's *VanillaIC* baseline); the Com-IC samplers RR-SIM,
+//! RR-SIM+ and RR-CIM live in `comic-algos`.
+//!
+//! Pipeline (`GeneralTIM`, Algorithm 1 of the paper):
+//!
+//! 1. estimate a lower bound `KPT*` of the optimal spread
+//!    ([`kpt::kpt_star`], TIM's Algorithm 2 generalized to arbitrary
+//!    RR-sets);
+//! 2. derive the sample count θ from Equation (3) ([`tim::theta`]);
+//! 3. sample θ random RR-sets ([`rr::RrStore`]);
+//! 4. greedily pick the `k` nodes covering the most sets
+//!    ([`coverage::max_coverage`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod error;
+pub mod ic_sampler;
+pub mod kpt;
+pub mod rr;
+pub mod sampler;
+pub mod tim;
+
+pub use error::RisError;
+pub use rr::RrStore;
+pub use sampler::RrSampler;
+pub use tim::{general_tim, TimConfig, TimResult};

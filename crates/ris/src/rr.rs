@@ -1,0 +1,154 @@
+//! Compact storage for large collections of RR-sets.
+
+use comic_graph::{DiGraph, NodeId};
+
+/// A flat arena of RR-sets.
+///
+/// θ routinely reaches millions, with small average set size; storing each
+/// set as its own `Vec` would pay an allocation and pointer chase per set.
+/// `RrStore` keeps all members in one flat array with an offsets table
+/// (exactly the CSR idea applied to set storage) and tracks the aggregate
+/// *width* `ω(R)` (number of in-edges pointing into each set) that the KPT
+/// estimator and the EPT accounting of Lemmas 6/8 need.
+#[derive(Clone, Debug, Default)]
+pub struct RrStore {
+    offsets: Vec<u64>,
+    nodes: Vec<NodeId>,
+    widths: Vec<u64>,
+}
+
+impl RrStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        RrStore {
+            offsets: vec![0],
+            nodes: Vec::new(),
+            widths: Vec::new(),
+        }
+    }
+
+    /// Empty store pre-allocated for `sets` sets of ~`avg` members.
+    pub fn with_capacity(sets: usize, avg: usize) -> Self {
+        let mut offsets = Vec::with_capacity(sets + 1);
+        offsets.push(0);
+        RrStore {
+            offsets,
+            nodes: Vec::with_capacity(sets * avg),
+            widths: Vec::with_capacity(sets),
+        }
+    }
+
+    /// Append one RR-set, computing its width from `g`.
+    ///
+    /// Members must be distinct (samplers guarantee this via visited marks);
+    /// debug builds assert it.
+    pub fn push(&mut self, members: &[NodeId], g: &DiGraph) {
+        debug_assert!(
+            {
+                let mut m: Vec<NodeId> = members.to_vec();
+                m.sort_unstable();
+                m.windows(2).all(|w| w[0] != w[1])
+            },
+            "RR-set contains duplicate members"
+        );
+        let width: u64 = members.iter().map(|&v| g.in_degree(v) as u64).sum();
+        self.nodes.extend_from_slice(members);
+        self.offsets.push(self.nodes.len() as u64);
+        self.widths.push(width);
+    }
+
+    /// Number of stored sets.
+    pub fn len(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.widths.is_empty()
+    }
+
+    /// Members of set `i`.
+    pub fn set(&self, i: usize) -> &[NodeId] {
+        &self.nodes[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Width `ω(R_i)` — number of edges pointing into set `i`.
+    pub fn width(&self, i: usize) -> u64 {
+        self.widths[i]
+    }
+
+    /// Total number of stored members across all sets.
+    pub fn total_members(&self) -> u64 {
+        self.nodes.len() as u64
+    }
+
+    /// Iterator over the sets.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        (0..self.len()).map(move |i| self.set(i))
+    }
+
+    /// Fraction of sets intersecting `seed_mark` (a dense membership mask);
+    /// this is the unbiased estimator of `spread / n` by the activation
+    /// equivalence property.
+    pub fn coverage_fraction(&self, seed_mark: &[bool]) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let covered = self
+            .iter()
+            .filter(|set| set.iter().any(|v| seed_mark[v.index()]))
+            .count();
+        covered as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comic_graph::gen;
+
+    #[test]
+    fn push_and_read_back() {
+        let g = gen::path(5, 1.0);
+        let mut store = RrStore::new();
+        store.push(&[NodeId(0)], &g);
+        store.push(&[NodeId(1), NodeId(2)], &g);
+        store.push(&[], &g);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.set(0), &[NodeId(0)]);
+        assert_eq!(store.set(1), &[NodeId(1), NodeId(2)]);
+        assert!(store.set(2).is_empty());
+        assert_eq!(store.total_members(), 3);
+    }
+
+    #[test]
+    fn widths_are_indegree_sums() {
+        // Path 0 -> 1 -> 2: in-degrees 0, 1, 1.
+        let g = gen::path(3, 1.0);
+        let mut store = RrStore::new();
+        store.push(&[NodeId(0), NodeId(1), NodeId(2)], &g);
+        assert_eq!(store.width(0), 2);
+        store.push(&[NodeId(0)], &g);
+        assert_eq!(store.width(1), 0);
+    }
+
+    #[test]
+    fn coverage_fraction_counts_intersections() {
+        let g = gen::path(4, 1.0);
+        let mut store = RrStore::new();
+        store.push(&[NodeId(0), NodeId(1)], &g);
+        store.push(&[NodeId(2)], &g);
+        store.push(&[NodeId(3)], &g);
+        let mut mark = vec![false; 4];
+        mark[1] = true;
+        mark[3] = true;
+        assert!((store.coverage_fraction(&mark) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_store_coverage_is_zero() {
+        let store = RrStore::new();
+        assert_eq!(store.coverage_fraction(&[]), 0.0);
+        assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! GeneralTIM — Algorithm 1 of the paper.
+
+use crate::coverage::max_coverage;
+use crate::error::RisError;
+use crate::kpt::kpt_star;
+use crate::rr::RrStore;
+use crate::sampler::RrSampler;
+use comic_graph::NodeId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for [`general_tim`].
+#[derive(Clone, Debug)]
+pub struct TimConfig {
+    /// Seed budget `k`.
+    pub k: usize,
+    /// Approximation/efficiency trade-off ε (the paper uses 0.5 by default
+    /// and shows spread is insensitive over `[0.1, 1.0]`, Figure 4).
+    pub epsilon: f64,
+    /// Confidence exponent ℓ: success probability at least `1 − n^{−ℓ}`.
+    pub ell: f64,
+    /// Optional cap on θ; when hit, the (1−1/e−ε) guarantee is forfeited and
+    /// [`TimResult::capped`] is set. Intended for the experiment harness.
+    pub max_rr_sets: Option<u64>,
+    /// RNG seed for the whole pipeline.
+    pub seed: u64,
+}
+
+impl TimConfig {
+    /// The paper's default configuration: `ε = 0.5`, `ℓ = 1`.
+    pub fn new(k: usize) -> TimConfig {
+        TimConfig {
+            k,
+            epsilon: 0.5,
+            ell: 1.0,
+            max_rr_sets: None,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Set ε.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Cap the number of RR-sets.
+    pub fn max_rr_sets(mut self, cap: u64) -> Self {
+        self.max_rr_sets = Some(cap);
+        self
+    }
+
+    fn validate(&self, n: usize) -> Result<(), RisError> {
+        if self.k == 0 {
+            return Err(RisError::InvalidConfig("k must be >= 1".into()));
+        }
+        if self.k > n {
+            return Err(RisError::KTooLarge { k: self.k, n });
+        }
+        if self.epsilon <= 0.0 || !self.epsilon.is_finite() {
+            return Err(RisError::InvalidConfig(format!(
+                "epsilon must be positive, got {}",
+                self.epsilon
+            )));
+        }
+        if self.ell <= 0.0 || !self.ell.is_finite() {
+            return Err(RisError::InvalidConfig(format!(
+                "ell must be positive, got {}",
+                self.ell
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Output of [`general_tim`].
+#[derive(Clone, Debug)]
+pub struct TimResult {
+    /// Selected seeds, in greedy pick order.
+    pub seeds: Vec<NodeId>,
+    /// The θ actually used.
+    pub theta: u64,
+    /// The KPT* lower-bound estimate.
+    pub kpt: f64,
+    /// RR-sets covered by the selection.
+    pub covered: u64,
+    /// RIS estimate of the selection's spread: `n · covered / θ`.
+    pub est_spread: f64,
+    /// Whether θ was clamped by [`TimConfig::max_rr_sets`].
+    pub capped: bool,
+}
+
+/// `ln C(n, k)` without overflow: `Σ_{i=1..k} ln((n−k+i)/i)`.
+pub fn ln_choose(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    (1..=k)
+        .map(|i| (((n - k + i) as f64) / i as f64).ln())
+        .sum()
+}
+
+/// The sample bound of Equation (3):
+/// `θ = λ / LB` with `λ = (8 + 2ε) · n · (ℓ·ln n + ln C(n,k) + ln 2) / ε²`.
+pub fn theta(n: usize, k: usize, epsilon: f64, ell: f64, lower_bound: f64) -> u64 {
+    let nf = n as f64;
+    let lambda = (8.0 + 2.0 * epsilon) * nf * (ell * nf.ln() + ln_choose(n, k) + 2f64.ln())
+        / (epsilon * epsilon);
+    (lambda / lower_bound.max(1.0)).ceil().max(1.0) as u64
+}
+
+/// Run GeneralTIM over any [`RrSampler`] (Algorithm 1).
+///
+/// For samplers whose per-world activation indicator is monotone and
+/// submodular (Lemmas 4–5 / Theorem 6), the result is a
+/// `(1 − 1/e − ε)`-approximation with probability ≥ `1 − n^{−ℓ}`
+/// (unless capped).
+pub fn general_tim<S: RrSampler>(sampler: &mut S, cfg: &TimConfig) -> Result<TimResult, RisError> {
+    let n = sampler.graph().num_nodes();
+    cfg.validate(n)?;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Phase 1: lower-bound estimation.
+    let kpt = kpt_star(sampler, cfg.k, cfg.ell, &mut rng);
+
+    // Phase 2: θ from Equation (3).
+    let mut theta_n = theta(n, cfg.k, cfg.epsilon, cfg.ell, kpt.kpt);
+    let mut capped = false;
+    if let Some(cap) = cfg.max_rr_sets {
+        if theta_n > cap {
+            theta_n = cap;
+            capped = true;
+        }
+    }
+
+    // Phase 3: sample θ RR-sets.
+    let avg = (kpt.total_members / kpt.samples.max(1)).max(1) as usize;
+    let mut store = RrStore::with_capacity(theta_n.min(1 << 24) as usize, avg);
+    let mut out = Vec::new();
+    for _ in 0..theta_n {
+        sampler.sample_random(&mut rng, &mut out);
+        store.push(&out, sampler.graph());
+    }
+
+    // Phase 4: greedy max coverage.
+    let cov = max_coverage(&store, n, cfg.k);
+    let est_spread = n as f64 * cov.covered as f64 / theta_n as f64;
+    Ok(TimResult {
+        seeds: cov.seeds,
+        theta: theta_n,
+        kpt: kpt.kpt,
+        covered: cov.covered,
+        est_spread,
+        capped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ic_sampler::IcRrSampler;
+    use comic_core::ic::ic_spread;
+    use comic_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ln_choose_matches_small_cases() {
+        assert!((ln_choose(5, 2) - (10f64).ln()).abs() < 1e-12);
+        assert!((ln_choose(10, 0) - 0.0).abs() < 1e-12);
+        assert!((ln_choose(10, 10) - 0.0).abs() < 1e-12);
+        assert!((ln_choose(52, 5) - (2_598_960f64).ln()).abs() < 1e-9);
+        assert_eq!(ln_choose(3, 7), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn theta_scales_inversely_with_lower_bound() {
+        let t1 = theta(1000, 10, 0.5, 1.0, 10.0);
+        let t2 = theta(1000, 10, 0.5, 1.0, 100.0);
+        assert!(t1 > t2);
+        assert!((t1 as f64 / t2 as f64 - 10.0).abs() < 0.5);
+        // Smaller epsilon = more samples.
+        let t3 = theta(1000, 10, 0.1, 1.0, 10.0);
+        assert!(t3 > t1);
+    }
+
+    #[test]
+    fn config_validation() {
+        let g = gen::path(5, 1.0);
+        let mut s = IcRrSampler::new(&g);
+        assert!(general_tim(&mut s, &TimConfig::new(0)).is_err());
+        assert!(general_tim(&mut s, &TimConfig::new(9)).is_err());
+        assert!(general_tim(&mut s, &TimConfig::new(2).epsilon(-1.0)).is_err());
+    }
+
+    #[test]
+    fn finds_the_hub_of_a_star() {
+        let g = gen::star(100, 1.0);
+        let mut s = IcRrSampler::new(&g);
+        let r = general_tim(&mut s, &TimConfig::new(1)).unwrap();
+        assert_eq!(r.seeds, vec![NodeId(0)]);
+        assert!(!r.capped);
+        assert!(
+            (r.est_spread - 100.0).abs() < 10.0,
+            "est_spread {}",
+            r.est_spread
+        );
+    }
+
+    #[test]
+    fn finds_both_hubs_of_two_stars() {
+        // Hub 0 -> 1..=59, hub 60 -> 61..=99 (certain edges).
+        let mut b = comic_graph::GraphBuilder::new(100);
+        for v in 1..60 {
+            b.add_edge(0, v, 1.0);
+        }
+        for v in 61..100 {
+            b.add_edge(60, v, 1.0);
+        }
+        let g = b.build().unwrap();
+        let mut s = IcRrSampler::new(&g);
+        let r = general_tim(&mut s, &TimConfig::new(2)).unwrap();
+        let mut seeds: Vec<u32> = r.seeds.iter().map(|v| v.0).collect();
+        seeds.sort_unstable();
+        assert_eq!(seeds, vec![0, 60]);
+    }
+
+    #[test]
+    fn tim_seeds_beat_random_seeds_on_random_graph() {
+        let mut grng = SmallRng::seed_from_u64(10);
+        let g = gen::gnm(400, 2400, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::WeightedCascade.apply(&g, &mut grng);
+        let k = 5;
+        let mut s = IcRrSampler::new(&g);
+        let r = general_tim(&mut s, &TimConfig::new(k).seed(3)).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let tim_spread = ic_spread(&g, &r.seeds, 20_000, &mut rng);
+        let random_seeds: Vec<NodeId> = (0..k as u32).map(NodeId).collect();
+        let rnd_spread = ic_spread(&g, &random_seeds, 20_000, &mut rng);
+        assert!(
+            tim_spread > rnd_spread,
+            "TIM {tim_spread} vs random {rnd_spread}"
+        );
+        // The RIS internal estimate should agree with forward MC.
+        assert!(
+            (r.est_spread - tim_spread).abs() / tim_spread < 0.15,
+            "RIS estimate {} vs MC {tim_spread}",
+            r.est_spread
+        );
+    }
+
+    #[test]
+    fn cap_limits_theta() {
+        let g = gen::star(50, 1.0);
+        let mut s = IcRrSampler::new(&g);
+        let r = general_tim(&mut s, &TimConfig::new(1).max_rr_sets(100)).unwrap();
+        assert!(r.capped);
+        assert_eq!(r.theta, 100);
+        // Even capped, the hub of a certain star is unmissable.
+        assert_eq!(r.seeds, vec![NodeId(0)]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Sweep the GAP space "from competition to complementarity" — the
+//! spectrum the paper's title promises. Holding everything else fixed, we
+//! vary how item B's presence modulates A's adoption (q_{A|B} from 0 to 1)
+//! and watch σ_A respond, including the pure-competition and classic-IC
+//! special cases of §3.
+//!
+//! Run with: `cargo run --release --example competition_spectrum`
+
+use comic::model::seeds::seeds;
+use comic::prelude::*;
+use comic_graph::gen;
+use comic_graph::prob::ProbModel;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    let topo = gen::watts_strogatz(1_500, 4, 0.2, &mut rng).expect("valid config");
+    let g = ProbModel::Constant(0.15).apply(&topo, &mut rng);
+    println!("network: {}", comic_graph::stats::stats(&g));
+
+    let sp = SeedPair::new(seeds(&[0, 10, 20, 30, 40]), seeds(&[5, 15, 25, 35, 45]));
+    let q_a0 = 0.4;
+
+    println!("\nvarying q_A|B with q_A|0 = {q_a0} (B's effect on A):");
+    println!("{:>8} {:>10} {:>10} {:>14}", "q_A|B", "sigma_A", "sigma_B", "relationship");
+    for q_ab in [0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let gap = Gap::new(q_a0, q_ab, 0.4, 0.4).unwrap();
+        let est = SpreadEstimator::new(&g, gap).estimate_parallel(&sp, 20_000, 1, 0);
+        let rel = if q_ab < q_a0 {
+            "B competes with A"
+        } else if q_ab > q_a0 {
+            "B complements A"
+        } else {
+            "independent"
+        };
+        println!(
+            "{q_ab:>8.2} {:>10.1} {:>10.1}   {rel}",
+            est.sigma_a, est.sigma_b
+        );
+    }
+
+    println!("\nspecial cases of §3:");
+    for (name, gap, sp) in [
+        (
+            "classic IC (A only)",
+            Gap::classic_ic(),
+            SeedPair::a_only(seeds(&[0, 10, 20, 30, 40])),
+        ),
+        ("competitive IC", Gap::competitive_ic(), sp.clone()),
+        (
+            "perfect complements",
+            Gap::new(0.4, 1.0, 0.4, 1.0).unwrap(),
+            sp.clone(),
+        ),
+    ] {
+        let est = SpreadEstimator::new(&g, gap).estimate_parallel(&sp, 20_000, 2, 0);
+        println!(
+            "  {name:<22} sigma_A = {:>7.1}  sigma_B = {:>7.1}",
+            est.sigma_a, est.sigma_b
+        );
+    }
+
+    // Monotonicity along the complementarity axis (Theorem 10): raising
+    // q_{B|A} within Q+ should never lower sigma_A.
+    println!("\nTheorem 10 in action — raising q_B|A (A's pull on B):");
+    let mut last = 0.0;
+    for q_ba in [0.4, 0.6, 0.8, 1.0] {
+        let gap = Gap::new(0.3, 0.7, 0.4, q_ba).unwrap();
+        let est = SpreadEstimator::new(&g, gap).estimate_parallel(&sp, 20_000, 3, 0);
+        let marker = if est.sigma_a + 3.0 * est.stderr_a() < last {
+            "  <-- UNEXPECTED DROP"
+        } else {
+            ""
+        };
+        println!("  q_B|A = {q_ba:.1}: sigma_A = {:.1}{marker}", est.sigma_a);
+        last = est.sigma_a;
+    }
+}

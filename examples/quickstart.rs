@@ -1,0 +1,60 @@
+//! Quickstart: build a network, define GAPs, and pick seeds for both
+//! SelfInfMax and CompInfMax.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use comic::model::seeds::seeds;
+use comic::prelude::*;
+use comic_graph::gen;
+use comic_graph::prob::ProbModel;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(42);
+
+    // 1. A power-law social network with weighted-cascade probabilities.
+    let topo = gen::chung_lu(
+        &gen::ChungLuConfig {
+            n: 2_000,
+            target_edges: 12_000,
+            exponent: 2.16,
+        },
+        &mut rng,
+    )
+    .expect("valid generator config");
+    let g = ProbModel::WeightedCascade.apply(&topo, &mut rng);
+    println!("network: {}", comic_graph::stats::stats(&g));
+
+    // 2. Two mutually complementary items (think: a phone A, a watch B).
+    let gap = Gap::new(0.3, 0.8, 0.5, 0.5).unwrap();
+    println!("GAPs: {gap}  (regime {:?})", gap.regime());
+
+    // 3. SelfInfMax: B's marketer has committed to seeds 100..105; pick 10
+    //    seeds for A that exploit the complementarity.
+    let b_seeds = seeds(&[100, 101, 102, 103, 104]);
+    let sol = SelfInfMax::new(&g, gap, b_seeds.clone())
+        .epsilon(0.5)
+        .eval_iterations(10_000)
+        .solve(10, &mut rng)
+        .expect("Q+ instance solves");
+    println!(
+        "\nSelfInfMax: strategy {:?}, θ = {}, KPT* = {:.1}",
+        sol.strategy, sol.tim.theta, sol.tim.kpt
+    );
+    println!("  seeds: {:?}", sol.seeds);
+    println!("  E[A-adoptions] = {:.1}", sol.objective);
+
+    // 4. CompInfMax: with A's seeds now fixed to the solution above, pick 10
+    //    B-seeds maximizing the *boost* they give A.
+    let gap_cim = Gap::new(0.3, 0.8, 0.5, 1.0).unwrap();
+    let boost_sol = CompInfMax::new(&g, gap_cim, sol.seeds.clone())
+        .eval_iterations(10_000)
+        .solve(10, &mut rng)
+        .expect("Q+ instance solves");
+    println!(
+        "\nCompInfMax: strategy {:?}, boost = {:.1} extra A-adoptions",
+        boost_sol.strategy, boost_sol.objective
+    );
+    println!("  B-seeds: {:?}", boost_sol.seeds);
+}

@@ -1,0 +1,55 @@
+//! # comic — Comparative Influence Diffusion and Maximization
+//!
+//! Facade crate for the reproduction of *"From Competition to
+//! Complementarity: Comparative Influence Diffusion and Maximization"*
+//! (Lu, Chen, Lakshmanan — PVLDB 9(2) / VLDB 2016).
+//!
+//! Re-exports the workspace crates under one roof so that examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`graph`] — directed probabilistic graphs, generators, statistics.
+//! * [`model`] — the Com-IC diffusion model, simulation, possible worlds.
+//! * [`ris`] — the generalized reverse-reachable-set (GeneralTIM) framework.
+//! * [`algos`] — SelfInfMax / CompInfMax solvers, sandwich approximation,
+//!   greedy and heuristic baselines.
+//! * [`actionlog`] — action logs, GAP learning, edge-probability learning.
+//!
+//! ## Quickstart
+//! ```
+//! use comic::prelude::*;
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! // A small social network with weighted-cascade probabilities.
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let topo = comic::graph::gen::gnm(200, 1000, &mut rng).unwrap();
+//! let g = comic::graph::prob::ProbModel::WeightedCascade.apply(&topo, &mut rng);
+//!
+//! // Mutually complementary items (e.g. a phone and a watch).
+//! let gap = Gap::new(0.4, 0.8, 0.4, 0.8).unwrap();
+//!
+//! // Fix B's seeds, pick 5 seeds for A maximizing A's expected adoption.
+//! let b_seeds: Vec<NodeId> = vec![NodeId(0), NodeId(1)];
+//! let sol = SelfInfMax::new(&g, gap, b_seeds.clone())
+//!     .epsilon(0.5)
+//!     .solve(5, &mut rng)
+//!     .unwrap();
+//! assert_eq!(sol.seeds.len(), 5);
+//! ```
+
+pub use comic_actionlog as actionlog;
+pub use comic_algos as algos;
+pub use comic_core as model;
+pub use comic_graph as graph;
+pub use comic_ris as ris;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use comic_algos::comp_inf_max::CompInfMax;
+    pub use comic_algos::self_inf_max::SelfInfMax;
+    pub use comic_core::gap::{Gap, Regime};
+    pub use comic_core::item::Item;
+    pub use comic_core::seeds::SeedPair;
+    pub use comic_core::spread::SpreadEstimator;
+    pub use comic_graph::{DiGraph, GraphBuilder, NodeId};
+}

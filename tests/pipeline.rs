@@ -1,0 +1,222 @@
+//! End-to-end pipeline tests across crates: solvers vs. baselines on
+//! synthetic social networks, solver-internal consistency, and the
+//! learning-to-optimization loop.
+
+use comic::algos::baselines::{high_degree, random_nodes};
+use comic::algos::greedy::{greedy_self_inf_max, GreedyConfig};
+use comic::model::seeds::seeds;
+use comic::prelude::*;
+use comic_graph::gen;
+use comic_graph::prob::ProbModel;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn testnet(seed: u64, n: usize, m: usize) -> DiGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let topo = gen::chung_lu(
+        &gen::ChungLuConfig {
+            n,
+            target_edges: m,
+            exponent: 2.16,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    ProbModel::WeightedCascade.apply(&topo, &mut rng)
+}
+
+#[test]
+fn selfinfmax_beats_baselines_on_powerlaw_network() {
+    let g = testnet(1, 600, 3600);
+    let gap = Gap::new(0.3, 0.75, 0.5, 0.5).unwrap();
+    let b_seeds = seeds(&[50, 51, 52, 53, 54]);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let k = 8;
+
+    let sol = SelfInfMax::new(&g, gap, b_seeds.clone())
+        .eval_iterations(4000)
+        .threads(2)
+        .solve(k, &mut rng)
+        .unwrap();
+
+    let est = SpreadEstimator::new(&g, gap);
+    let eval = |s: Vec<NodeId>| {
+        est.estimate_parallel(&SeedPair::new(s, b_seeds.clone()), 4000, 99, 2)
+            .sigma_a
+    };
+    let hd = eval(high_degree(&g, k));
+    let rnd = eval(random_nodes(&g, k, &mut rng));
+
+    assert!(
+        sol.objective >= hd * 0.95,
+        "TIM ({}) should not lose to HighDegree ({hd})",
+        sol.objective
+    );
+    assert!(
+        sol.objective > rnd * 1.1,
+        "TIM ({}) should clearly beat Random ({rnd})",
+        sol.objective
+    );
+}
+
+#[test]
+fn compinfmax_boost_beats_random_b_seeds() {
+    let g = testnet(3, 400, 2400);
+    let gap = Gap::new(0.1, 0.9, 0.5, 1.0).unwrap(); // direct RR-CIM regime
+    let mut rng = SmallRng::seed_from_u64(4);
+    let a_seeds = high_degree(&g, 5);
+    let k = 5;
+
+    let sol = CompInfMax::new(&g, gap, a_seeds.clone())
+        .eval_iterations(4000)
+        .threads(2)
+        .solve(k, &mut rng)
+        .unwrap();
+
+    let est = SpreadEstimator::new(&g, gap);
+    let rnd_seeds = random_nodes(&g, k, &mut rng);
+    let rnd_boost = est.estimate_boost(
+        &SeedPair::new(a_seeds.clone(), rnd_seeds),
+        4000,
+        7,
+        2,
+    );
+    assert!(
+        sol.objective > rnd_boost,
+        "RR-CIM boost {} vs random boost {rnd_boost}",
+        sol.objective
+    );
+    assert!(sol.objective > 0.0, "boost must be positive here");
+}
+
+#[test]
+fn rr_sim_and_rr_sim_plus_agree_on_seed_quality() {
+    let g = testnet(5, 400, 2000);
+    let gap = Gap::new(0.25, 0.8, 0.5, 0.5).unwrap();
+    let b_seeds = seeds(&[10, 20, 30]);
+    let mut rng = SmallRng::seed_from_u64(6);
+    let k = 6;
+
+    let plus = SelfInfMax::new(&g, gap, b_seeds.clone())
+        .use_rr_sim_plus(true)
+        .eval_iterations(4000)
+        .threads(2)
+        .solve(k, &mut rng)
+        .unwrap();
+    let plain = SelfInfMax::new(&g, gap, b_seeds.clone())
+        .use_rr_sim_plus(false)
+        .eval_iterations(4000)
+        .threads(2)
+        .solve(k, &mut rng)
+        .unwrap();
+    let rel = (plus.objective - plain.objective).abs() / plus.objective.max(1.0);
+    assert!(
+        rel < 0.05,
+        "RR-SIM and RR-SIM+ seed quality diverged: {} vs {}",
+        plus.objective,
+        plain.objective
+    );
+}
+
+#[test]
+fn greedy_and_tim_agree_on_small_instances() {
+    // The paper: "the spread [greedy] achieves is almost identical to
+    // GeneralTIM". Small instance so MC greedy stays affordable.
+    let g = testnet(7, 120, 700);
+    let gap = Gap::new(0.3, 0.8, 0.5, 0.5).unwrap();
+    let b_seeds = seeds(&[5, 6]);
+    let mut rng = SmallRng::seed_from_u64(8);
+    let k = 3;
+
+    let tim = SelfInfMax::new(&g, gap, b_seeds.clone())
+        .eval_iterations(6000)
+        .threads(2)
+        .solve(k, &mut rng)
+        .unwrap();
+    let greedy = greedy_self_inf_max(
+        &g,
+        gap,
+        &b_seeds,
+        k,
+        &GreedyConfig {
+            mc_iterations: 3000,
+            seed: 9,
+            threads: 2,
+        },
+    );
+    let est = SpreadEstimator::new(&g, gap);
+    let greedy_sigma = est
+        .estimate_parallel(
+            &SeedPair::new(greedy.seeds.clone(), b_seeds.clone()),
+            6000,
+            10,
+            2,
+        )
+        .sigma_a;
+    let rel = (tim.objective - greedy_sigma).abs() / tim.objective.max(1.0);
+    assert!(
+        rel < 0.08,
+        "TIM {} vs Greedy {greedy_sigma}: divergence {rel}",
+        tim.objective
+    );
+}
+
+#[test]
+fn sandwich_ratio_close_to_one_for_narrow_gaps() {
+    // When q_{B|∅} and q_{B|A} are close (the learned-GAP situation of
+    // Table 8's first row), σ(S_ν)/ν(S_ν) should be nearly 1.
+    let g = testnet(11, 300, 1800);
+    let gap = Gap::new(0.3, 0.8, 0.55, 0.6).unwrap();
+    let mut rng = SmallRng::seed_from_u64(12);
+    let sol = SelfInfMax::new(&g, gap, seeds(&[1, 2]))
+        .eval_iterations(4000)
+        .threads(2)
+        .solve(5, &mut rng)
+        .unwrap();
+    let report = sol.sandwich.expect("general Q+ must go through sandwich");
+    assert!(
+        report.upper_bound_ratio > 0.9,
+        "narrow-gap sandwich ratio should approach 1, got {}",
+        report.upper_bound_ratio
+    );
+}
+
+#[test]
+fn learned_gaps_feed_the_solver() {
+    // §7.3's loop: synthesize a log, learn GAPs, solve SelfInfMax with them.
+    use comic::actionlog::synth::{synthesize_pair_log, SynthConfig};
+    use comic::actionlog::{learn_gaps, ItemId};
+
+    let g = testnet(13, 200, 1200);
+    let truth = Gap::new(0.4, 0.7, 0.5, 0.5).unwrap();
+    let mut rng = SmallRng::seed_from_u64(14);
+    let log = synthesize_pair_log(
+        &g,
+        truth,
+        ItemId(0),
+        ItemId(1),
+        &SynthConfig {
+            sessions: 150,
+            seeds_per_item: 3,
+            fresh_cohorts: true,
+        },
+        &mut rng,
+    );
+    let learned = learn_gaps(&log, ItemId(0), ItemId(1)).unwrap();
+    let mut gap = learned.gap().unwrap();
+    // Point estimates can land epsilon outside Q+; project like the
+    // experiment harness does.
+    if gap.q_ab < gap.q_a0 {
+        gap = Gap::new(gap.q_a0, gap.q_a0, gap.q_b0, gap.q_ba).unwrap();
+    }
+    if gap.q_ba < gap.q_b0 {
+        gap = Gap::new(gap.q_a0, gap.q_ab, gap.q_b0, gap.q_b0).unwrap();
+    }
+    let sol = SelfInfMax::new(&g, gap, seeds(&[0]))
+        .eval_iterations(2000)
+        .threads(2)
+        .solve(4, &mut rng)
+        .unwrap();
+    assert_eq!(sol.seeds.len(), 4);
+    assert!(sol.objective > 4.0, "seeds alone give sigma_a >= k");
+}

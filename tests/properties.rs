@@ -1,0 +1,193 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use comic::model::oracle::CoinOracle;
+use comic::model::seeds::seeds;
+use comic::prelude::*;
+use comic::ris::sampler::RrSampler;
+use comic_core::simulate::CascadeEngine;
+use comic_graph::builder::from_edges;
+use comic_graph::gen;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Strategy: a small random graph as an edge list with probabilities.
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (2usize..20, proptest::collection::vec((0u32..20, 0u32..20, 0.0f64..=1.0), 0..60)).prop_map(
+        |(n, edges)| {
+            let n = n.max(
+                edges
+                    .iter()
+                    .map(|&(a, b, _)| a.max(b) as usize + 1)
+                    .max()
+                    .unwrap_or(0),
+            );
+            let mut b = comic_graph::GraphBuilder::new(n);
+            for (u, v, p) in edges {
+                b.add_edge(u, v, p);
+            }
+            b.build().expect("arbitrary edges within range are valid")
+        },
+    )
+}
+
+fn arb_gap() -> impl Strategy<Value = Gap> {
+    (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0)
+        .prop_map(|(a, b, c, d)| Gap::new(a, b, c, d).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cascade engine never produces unreachable joint states, never
+    /// double-counts, and adoption sets contain the seeds.
+    #[test]
+    fn cascade_invariants(g in arb_graph(), gap in arb_gap(), seed in 0u64..1000) {
+        let n = g.num_nodes() as u32;
+        let sp = SeedPair::new(
+            seeds(&[0 % n.max(1)]),
+            seeds(&[(n.saturating_sub(1)).min(1)]),
+        );
+        let mut engine = CascadeEngine::new(&g);
+        let mut oracle = CoinOracle::new(g.num_edges(), SmallRng::seed_from_u64(seed));
+        let stats = engine.run(&gap, &sp, &mut oracle);
+        prop_assert_eq!(stats.a_count as usize, engine.a_adopted().len());
+        prop_assert_eq!(stats.b_count as usize, engine.b_adopted().len());
+        prop_assert!(stats.a_count as usize <= g.num_nodes());
+        for &s in &sp.a {
+            prop_assert!(engine.a_adopted().contains(&s));
+        }
+        for &s in &sp.b {
+            prop_assert!(engine.b_adopted().contains(&s));
+        }
+        for v in g.nodes() {
+            prop_assert!(engine.final_state(v).is_reachable());
+        }
+        let mut a = engine.a_adopted().to_vec();
+        a.sort_unstable();
+        a.dedup();
+        prop_assert_eq!(a.len(), stats.a_count as usize);
+    }
+
+    /// IC RR-sets: root membership, distinctness, and backward reachability.
+    #[test]
+    fn ic_rr_set_invariants(g in arb_graph(), seed in 0u64..1000) {
+        let mut sampler = comic::ris::ic_sampler::IcRrSampler::new(&g);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for root in g.nodes().take(5) {
+            sampler.sample(root, &mut rng, &mut out);
+            prop_assert!(out.contains(&root));
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), out.len());
+            let reach = comic_graph::traversal::reachable(
+                &g, &[root], comic_graph::traversal::Direction::Backward);
+            for v in &out {
+                prop_assert!(reach.contains(v));
+            }
+        }
+    }
+
+    /// Spread estimates are bounded by |V| and at least |seeds|.
+    #[test]
+    fn spread_bounds(g in arb_graph(), gap in arb_gap(), seed in 0u64..100) {
+        prop_assume!(g.num_nodes() >= 2);
+        let sp = SeedPair::new(seeds(&[0]), seeds(&[1]));
+        let est = SpreadEstimator::new(&g, gap).estimate(&sp, 200, seed);
+        prop_assert!(est.sigma_a >= 1.0 - 1e-9);
+        prop_assert!(est.sigma_a <= g.num_nodes() as f64 + 1e-9);
+        prop_assert!(est.sigma_b >= 1.0 - 1e-9);
+        prop_assert!(est.sigma_b <= g.num_nodes() as f64 + 1e-9);
+    }
+
+    /// Reconsideration probability always satisfies the defining identity
+    /// in the complementary direction and is zero in the competitive one.
+    #[test]
+    fn reconsideration_identity(gap in arb_gap()) {
+        for item in comic::model::Item::BOTH {
+            let rho = gap.reconsider_prob(item);
+            prop_assert!((0.0..=1.0).contains(&rho));
+            let (q0, qx) = match item {
+                comic::model::Item::A => (gap.q_a0, gap.q_ab),
+                comic::model::Item::B => (gap.q_b0, gap.q_ba),
+            };
+            if qx >= q0 && q0 < 1.0 {
+                prop_assert!((q0 + (1.0 - q0) * rho - qx).abs() < 1e-9);
+            } else {
+                prop_assert_eq!(rho, 0.0);
+            }
+        }
+    }
+
+    /// Graph serialization round-trips exactly.
+    #[test]
+    fn graph_io_roundtrip(g in arb_graph()) {
+        let mut text = Vec::new();
+        comic_graph::io::write_edge_list(&g, &mut text).unwrap();
+        let g2 = comic_graph::io::read_edge_list(&text[..]).unwrap();
+        prop_assert_eq!(g.num_nodes(), g2.num_nodes());
+        let e1: Vec<_> = g.edges().map(|(_, e)| e).collect();
+        let e2: Vec<_> = g2.edges().map(|(_, e)| e).collect();
+        prop_assert_eq!(e1, e2);
+
+        let mut bin = Vec::new();
+        comic_graph::io::write_binary(&g, &mut bin).unwrap();
+        let g3 = comic_graph::io::read_binary(&bin[..]).unwrap();
+        prop_assert_eq!(g.num_edges(), g3.num_edges());
+    }
+
+    /// Classic-IC special case: Com-IC with Q=(1,0,0,0) equals plain IC in
+    /// distribution (compared on the same seed with generous tolerance).
+    #[test]
+    fn classic_ic_reduction(seed in 0u64..50) {
+        let mut grng = SmallRng::seed_from_u64(seed);
+        let topo = gen::gnm(30, 120, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.3).apply(&topo, &mut grng);
+        let s = seeds(&[0, 1]);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xabc);
+        let ic = comic::model::ic::ic_spread(&g, &s, 4000, &mut rng);
+        let comic_est = SpreadEstimator::new(&g, Gap::classic_ic())
+            .estimate(&SeedPair::a_only(s), 4000, seed);
+        let tol = 8.0 * comic_est.stderr_a().max(0.05);
+        prop_assert!((ic - comic_est.sigma_a).abs() < tol,
+            "IC {} vs Com-IC {}", ic, comic_est.sigma_a);
+    }
+}
+
+#[test]
+fn seedpair_common_is_sorted_intersection() {
+    let sp = SeedPair::new(seeds(&[5, 1, 9, 3]), seeds(&[3, 9, 11]));
+    assert_eq!(sp.common(), seeds(&[3, 9]));
+}
+
+#[test]
+fn rr_sim_empty_b_matches_ic_rr_distribution_under_full_gaps() {
+    // With q_{A|∅} = q_{A|B} = 1 and no B-seeds, every node passes its A
+    // test, so RR-SIM's sets are exactly the classic-IC backward-reachable
+    // sets in distribution. Compare mean sizes statistically.
+    let g = from_edges(6, &[(0, 1, 0.6), (1, 2, 0.7), (3, 2, 0.4), (4, 5, 0.9)]).unwrap();
+    let gap = Gap::new(1.0, 1.0, 0.5, 0.5).unwrap();
+    let mut sim = comic::algos::RrSimSampler::new(&g, gap, vec![]).unwrap();
+    let mut ic = comic::ris::ic_sampler::IcRrSampler::new(&g);
+    let mut out = Vec::new();
+    let trials = 30_000;
+    let mut r1 = SmallRng::seed_from_u64(1);
+    let mut size_sim = 0usize;
+    for _ in 0..trials {
+        sim.sample(NodeId(2), &mut r1, &mut out);
+        size_sim += out.len();
+    }
+    let mut r2 = SmallRng::seed_from_u64(2);
+    let mut size_ic = 0usize;
+    for _ in 0..trials {
+        ic.sample(NodeId(2), &mut r2, &mut out);
+        size_ic += out.len();
+    }
+    let (a, b) = (
+        size_sim as f64 / trials as f64,
+        size_ic as f64 / trials as f64,
+    );
+    assert!((a - b).abs() < 0.02, "mean RR sizes: RR-SIM {a} vs IC {b}");
+}

@@ -1,0 +1,227 @@
+//! Positive theory of §5 verified exactly: monotonicity (Theorem 3),
+//! submodularity in the tractable regions (Theorems 4, 5), the CompInfMax
+//! special case (Theorem 2), and GAP monotonicity (Theorem 10).
+
+use comic::model::exact::ExactComIc;
+use comic::model::{Gap, SeedPair};
+use comic_graph::builder::from_edges;
+use comic_graph::{DiGraph, NodeId};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+fn seeds(ids: &[u32]) -> Vec<NodeId> {
+    ids.iter().copied().map(NodeId).collect()
+}
+
+fn random_gadget(rng: &mut SmallRng, n: u32, m: usize, p: f64) -> DiGraph {
+    let mut edges = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    while edges.len() < m {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a != b && seen.insert((a, b)) {
+            edges.push((a, b, p));
+        }
+    }
+    from_edges(n as usize, &edges).unwrap()
+}
+
+/// Theorem 3 on Q+: σ_A increases in S_A and in S_B; σ_B symmetric.
+#[test]
+fn theorem_3_monotonicity_q_plus_exact() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let gap = Gap::new(0.3, 0.8, 0.4, 0.9).unwrap();
+    for _ in 0..5 {
+        let g = random_gadget(&mut rng, 6, 8, 1.0);
+        let exact = ExactComIc::new(&g, gap);
+        let sigma = |sa: &[u32], sb: &[u32]| {
+            let r = exact
+                .compute(&SeedPair::new(seeds(sa), seeds(sb)))
+                .unwrap();
+            (r.sigma_a, r.sigma_b)
+        };
+        let chains: [&[u32]; 3] = [&[0], &[0, 1], &[0, 1, 2]];
+        // Growing S_A with fixed S_B.
+        let mut prev = (0.0, 0.0);
+        for (i, sa) in chains.iter().enumerate() {
+            let cur = sigma(sa, &[3]);
+            if i > 0 {
+                assert!(cur.0 >= prev.0 - 1e-9, "σ_A not increasing in S_A");
+                assert!(cur.1 >= prev.1 - 1e-9, "σ_B not increasing in S_A (Q+)");
+            }
+            prev = cur;
+        }
+        // Growing S_B with fixed S_A.
+        let mut prev = (0.0, 0.0);
+        for (i, sb) in chains.iter().enumerate() {
+            let cur = sigma(&[3], sb);
+            if i > 0 {
+                assert!(cur.0 >= prev.0 - 1e-9, "σ_A not increasing in S_B (Q+)");
+                assert!(cur.1 >= prev.1 - 1e-9, "σ_B not increasing in S_B");
+            }
+            prev = cur;
+        }
+    }
+}
+
+/// Theorem 3 on Q−: σ_A increases in S_A and *decreases* in S_B.
+#[test]
+fn theorem_3_monotonicity_q_minus_exact() {
+    let mut rng = SmallRng::seed_from_u64(8);
+    let gap = Gap::new(0.8, 0.2, 0.9, 0.1).unwrap();
+    for _ in 0..4 {
+        let g = random_gadget(&mut rng, 5, 7, 1.0);
+        let exact = ExactComIc::new(&g, gap);
+        let sigma_a = |sa: &[u32], sb: &[u32]| {
+            exact
+                .compute(&SeedPair::new(seeds(sa), seeds(sb)))
+                .unwrap()
+                .sigma_a
+        };
+        assert!(sigma_a(&[0, 1], &[2]) >= sigma_a(&[0], &[2]) - 1e-9);
+        assert!(
+            sigma_a(&[0], &[2, 3]) <= sigma_a(&[0], &[2]) + 1e-9,
+            "σ_A must decrease as the competitor's seeds grow"
+        );
+    }
+}
+
+/// Theorem 4: one-way complementarity (`q_{B|∅} = q_{B|A}`) makes σ_A
+/// self-submodular — exhaustively checked on random gadgets.
+#[test]
+fn theorem_4_self_submodularity_one_way_exact() {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let gap = Gap::new(0.2, 0.9, 0.5, 0.5).unwrap();
+    assert!(gap.is_one_way_complement());
+    for trial in 0..5 {
+        let g = random_gadget(&mut rng, 6, 8, 1.0);
+        let exact = ExactComIc::new(&g, gap);
+        let sigma = |sa: &[u32]| {
+            exact
+                .compute(&SeedPair::new(seeds(sa), seeds(&[5])))
+                .unwrap()
+                .sigma_a
+        };
+        let subsets: [&[u32]; 3] = [&[], &[0], &[0, 1]];
+        for i in 0..subsets.len() {
+            for j in i + 1..subsets.len() {
+                for u in [2u32, 3, 4] {
+                    let with = |base: &[u32]| {
+                        let mut v = base.to_vec();
+                        v.push(u);
+                        v
+                    };
+                    let marg_s = sigma(&with(subsets[i])) - sigma(subsets[i]);
+                    let marg_t = sigma(&with(subsets[j])) - sigma(subsets[j]);
+                    assert!(
+                        marg_s >= marg_t - 1e-9,
+                        "trial {trial}, u={u}: Theorem 4 violated ({marg_s} < {marg_t})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 5: mutual complementarity with `q_{B|A} = 1` makes σ_A
+/// cross-submodular in S_B.
+#[test]
+fn theorem_5_cross_submodularity_exact() {
+    let mut rng = SmallRng::seed_from_u64(10);
+    let gap = Gap::new(0.2, 0.8, 0.4, 1.0).unwrap();
+    assert!(gap.is_cim_submodular());
+    for trial in 0..5 {
+        let g = random_gadget(&mut rng, 6, 8, 1.0);
+        let exact = ExactComIc::new(&g, gap);
+        let sigma = |sb: &[u32]| {
+            exact
+                .compute(&SeedPair::new(seeds(&[5]), seeds(sb)))
+                .unwrap()
+                .sigma_a
+        };
+        let subsets: [&[u32]; 3] = [&[], &[0], &[0, 1]];
+        for i in 0..subsets.len() {
+            for j in i + 1..subsets.len() {
+                for u in [2u32, 3, 4] {
+                    let with = |base: &[u32]| {
+                        let mut v = base.to_vec();
+                        v.push(u);
+                        v
+                    };
+                    let marg_s = sigma(&with(subsets[i])) - sigma(subsets[i]);
+                    let marg_t = sigma(&with(subsets[j])) - sigma(subsets[j]);
+                    assert!(
+                        marg_s >= marg_t - 1e-9,
+                        "trial {trial}, u={u}: Theorem 5 violated ({marg_s} < {marg_t})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 2: with `q_{B|∅} = 1` and `k ≥ |S_A|`, copying the A-seeds as
+/// B-seeds is optimal for CompInfMax — checked against *all* k-subsets.
+#[test]
+fn theorem_2_copying_optimal_exact() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let gap = Gap::new(0.3, 0.9, 1.0, 1.0).unwrap();
+    for _ in 0..4 {
+        let g = random_gadget(&mut rng, 6, 8, 1.0);
+        let exact = ExactComIc::new(&g, gap);
+        let sa = seeds(&[0, 1]);
+        let sigma = |sb: Vec<NodeId>| {
+            exact
+                .compute(&SeedPair::new(sa.clone(), sb))
+                .unwrap()
+                .sigma_a
+        };
+        let k = 2;
+        let copy_value = sigma(sa.clone());
+        // Exhaust all 2-subsets of the 6 nodes.
+        let mut best = f64::MIN;
+        for a in 0..6u32 {
+            for b in (a + 1)..6u32 {
+                best = best.max(sigma(seeds(&[a, b])));
+            }
+        }
+        assert!(
+            copy_value >= best - 1e-9,
+            "copying S_A (value {copy_value}) must match the best 2-set ({best})"
+        );
+        let _ = k;
+    }
+}
+
+/// Theorem 10: in Q+, σ_A is monotone in each GAP coordinate (staying
+/// within Q+) — the property that justifies the sandwich surrogates.
+#[test]
+fn theorem_10_gap_monotonicity_exact() {
+    let mut rng = SmallRng::seed_from_u64(12);
+    let base = Gap::new(0.3, 0.7, 0.4, 0.8).unwrap();
+    for _ in 0..4 {
+        let g = random_gadget(&mut rng, 6, 8, 1.0);
+        let sp = SeedPair::new(seeds(&[0]), seeds(&[1]));
+        let sigma = |gap: Gap| ExactComIc::new(&g, gap).compute(&sp).unwrap().sigma_a;
+        let s0 = sigma(base);
+        // Raise each coordinate without leaving Q+.
+        let raised = [
+            Gap::new(0.5, 0.7, 0.4, 0.8).unwrap(), // q_a0 up (still <= q_ab)
+            Gap::new(0.3, 0.9, 0.4, 0.8).unwrap(), // q_ab up
+            Gap::new(0.3, 0.7, 0.6, 0.8).unwrap(), // q_b0 up (still <= q_ba)
+            Gap::new(0.3, 0.7, 0.4, 1.0).unwrap(), // q_ba up
+        ];
+        for (i, gap) in raised.into_iter().enumerate() {
+            let s1 = sigma(gap);
+            assert!(
+                s1 >= s0 - 1e-9,
+                "coordinate {i}: raising a GAP within Q+ lowered σ_A ({s0} -> {s1})"
+            );
+        }
+        // The sandwich surrogates bound the true value: ν ≥ σ ≥ µ.
+        let nu = sigma(base.with_q_b0(base.q_ba).unwrap());
+        let mu = sigma(base.with_q_ba(base.q_b0).unwrap());
+        assert!(nu >= s0 - 1e-9, "ν must upper-bound σ_A");
+        assert!(mu <= s0 + 1e-9, "µ must lower-bound σ_A");
+    }
+}
