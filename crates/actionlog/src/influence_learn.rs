@@ -81,7 +81,8 @@ pub fn learn_influence(g: &DiGraph, log: &ActionLog, cfg: &InfluenceLearnConfig)
         };
         b.add_edge(u, v, p.max(cfg.default_p).min(1.0));
     }
-    b.build().expect("probability relearning preserves topology")
+    b.build()
+        .expect("probability relearning preserves topology")
 }
 
 #[cfg(test)]

@@ -65,10 +65,7 @@ pub fn synthesize_pair_log<R: Rng>(
     let n = g.num_nodes();
     let mut engine = CascadeEngine::new(g);
     engine.record_events(true);
-    let mut oracle = CoinOracle::new(
-        g.num_edges(),
-        SmallRng::seed_from_u64(rng.random::<u64>()),
-    );
+    let mut oracle = CoinOracle::new(g.num_edges(), SmallRng::seed_from_u64(rng.random::<u64>()));
     let mut log = ActionLog::new();
     for session in 0..cfg.sessions {
         let seeds_a = random_seeds(n, cfg.seeds_per_item, rng);

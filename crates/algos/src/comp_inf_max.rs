@@ -218,7 +218,11 @@ mod tests {
             .solve(1, &mut rng)
             .unwrap();
         assert_eq!(sol.strategy, Strategy::Direct);
-        assert!(sol.seeds[0].0 < 20, "picked {} outside A's star", sol.seeds[0]);
+        assert!(
+            sol.seeds[0].0 < 20,
+            "picked {} outside A's star",
+            sol.seeds[0]
+        );
         assert!(sol.objective > 0.0);
     }
 

@@ -179,7 +179,7 @@ mod tests {
                 let mut trial = selected.clone();
                 trial.push(v);
                 let gain = eval(&trial) - cur;
-                if best.map_or(true, |(bg, bv)| gain > bg || (gain == bg && v < bv)) {
+                if best.is_none_or(|(bg, bv)| gain > bg || (gain == bg && v < bv)) {
                     best = Some((gain, v));
                 }
             }
@@ -205,18 +205,16 @@ mod tests {
         let mut f2 = coverage_objective(sets);
         assert_eq!(f1(&celf_r.seeds), f2(&naive));
         assert_eq!(celf_r.trajectory.len(), 4);
-        assert!(celf_r
-            .trajectory
-            .windows(2)
-            .all(|w| w[1] >= w[0] - 1e-12));
+        assert!(celf_r.trajectory.windows(2).all(|w| w[1] >= w[0] - 1e-12));
     }
 
     #[test]
     fn celf_saves_evaluations() {
         // 50 candidates, k=5: naive would need 1 + 50 + 49 + ... evals;
         // CELF should use far fewer than naive's ~246.
-        let sets: Vec<(f64, Vec<u32>)> =
-            (0..50u32).map(|i| (1.0 + (i % 7) as f64, vec![i])).collect();
+        let sets: Vec<(f64, Vec<u32>)> = (0..50u32)
+            .map(|i| (1.0 + (i % 7) as f64, vec![i]))
+            .collect();
         let candidates: Vec<NodeId> = (0..50u32).map(NodeId).collect();
         let r = celf(&candidates, 5, coverage_objective(sets));
         assert_eq!(r.seeds.len(), 5);

@@ -208,8 +208,7 @@ impl<'g> RrCimSampler<'g> {
             head += 1;
             for adj in self.g.in_edges(x) {
                 let w = adj.node;
-                if self.sec_b_visited.contains(w.index())
-                    || !world.edge_live(adj.edge, adj.p, rng)
+                if self.sec_b_visited.contains(w.index()) || !world.edge_live(adj.edge, adj.p, rng)
                 {
                     continue;
                 }
@@ -225,12 +224,7 @@ impl<'g> RrCimSampler<'g> {
     /// Case 4: can `u`, seeding B, route B forward through B-diffusible
     /// nodes to an A-suspended unlocker `u₀` that routes A back to `u`
     /// through AB-diffusible labeled nodes? (Figure 3.)
-    fn case4_loop_exists<R: Rng>(
-        &mut self,
-        u: NodeId,
-        world: &mut LazyWorld,
-        rng: &mut R,
-    ) -> bool {
+    fn case4_loop_exists<R: Rng>(&mut self, u: NodeId, world: &mut LazyWorld, rng: &mut R) -> bool {
         // Forward sweep (S_f): B-diffusible interior, endpoints included.
         self.sf.clear();
         self.sf_list.clear();
@@ -453,8 +447,7 @@ mod tests {
                 let root = NodeId(rng.random_range(0..g.num_nodes() as u32));
                 world.reset();
                 sampler.sample_in_world(root, &mut world, &mut rng, &mut out);
-                let reference =
-                    reference_rr_cim(&g, gap, &seeds_a, root, &mut world, &mut rng);
+                let reference = reference_rr_cim(&g, gap, &seeds_a, root, &mut world, &mut rng);
                 let alg: std::collections::BTreeSet<NodeId> = out.iter().copied().collect();
                 let rf: std::collections::BTreeSet<NodeId> = reference.into_iter().collect();
                 assert!(

@@ -165,8 +165,7 @@ impl RrSampler for RrSimPlusSampler<'_> {
             }
             for adj in self.g.in_edges(u) {
                 let w = adj.node;
-                if !self.visited2.contains(w.index())
-                    && self.world.edge_live(adj.edge, adj.p, rng)
+                if !self.visited2.contains(w.index()) && self.world.edge_live(adj.edge, adj.p, rng)
                 {
                     debug_assert!(
                         self.t1.contains(w.index()),
@@ -192,15 +191,10 @@ mod tests {
     #[test]
     fn rejects_bad_regime_and_seeds() {
         let g = gen::path(3, 1.0);
+        assert!(RrSimPlusSampler::new(&g, Gap::new(0.3, 0.9, 0.5, 0.8).unwrap(), vec![]).is_err());
         assert!(
-            RrSimPlusSampler::new(&g, Gap::new(0.3, 0.9, 0.5, 0.8).unwrap(), vec![]).is_err()
+            RrSimPlusSampler::new(&g, Gap::new(0.3, 0.9, 0.5, 0.5).unwrap(), seeds(&[9])).is_err()
         );
-        assert!(RrSimPlusSampler::new(
-            &g,
-            Gap::new(0.3, 0.9, 0.5, 0.5).unwrap(),
-            seeds(&[9])
-        )
-        .is_err());
     }
 
     #[test]

@@ -55,17 +55,14 @@ impl SandwichReport {
             .max_by(|a, b| a.1.objective.total_cmp(&b.1.objective))
             .map(|(i, _)| i)
             .expect("non-empty");
-        let sa_error = candidates
-            .iter()
-            .find(|c| c.name == "sigma")
-            .map(|sigma| {
-                let s = sigma.objective;
-                candidates
-                    .iter()
-                    .filter(|c| c.name != "sigma")
-                    .map(|c| (s - c.objective).abs() / s.abs().max(1e-12))
-                    .fold(0.0f64, f64::max)
-            });
+        let sa_error = candidates.iter().find(|c| c.name == "sigma").map(|sigma| {
+            let s = sigma.objective;
+            candidates
+                .iter()
+                .filter(|c| c.name != "sigma")
+                .map(|c| (s - c.objective).abs() / s.abs().max(1e-12))
+                .fold(0.0f64, f64::max)
+        });
         SandwichReport {
             candidates,
             chosen,

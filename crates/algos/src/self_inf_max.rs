@@ -284,8 +284,11 @@ mod tests {
         assert_eq!(sol.strategy, Strategy::Sandwich);
         let report = sol.sandwich.as_ref().unwrap();
         assert_eq!(report.candidates.len(), 2);
-        assert!(report.upper_bound_ratio > 0.0 && report.upper_bound_ratio <= 1.05,
-            "ratio {}", report.upper_bound_ratio);
+        assert!(
+            report.upper_bound_ratio > 0.0 && report.upper_bound_ratio <= 1.05,
+            "ratio {}",
+            report.upper_bound_ratio
+        );
         assert_eq!(sol.seeds.len(), 3);
         // Winner's objective is the max across candidates.
         for c in &report.candidates {

@@ -28,8 +28,7 @@ fn bench_simulation(c: &mut Criterion) {
 
     group.bench_function("comic_world_oracle", |b| {
         let mut engine = CascadeEngine::new(&g);
-        let mut oracle =
-            WorldOracle::new(g.num_nodes(), g.num_edges(), SmallRng::seed_from_u64(2));
+        let mut oracle = WorldOracle::new(g.num_nodes(), g.num_edges(), SmallRng::seed_from_u64(2));
         b.iter(|| black_box(engine.run(&gap, &sp, &mut oracle)));
     });
 

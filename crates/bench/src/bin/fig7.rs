@@ -11,7 +11,10 @@ fn main() {
         } else {
             vec![20_000, 40_000, 60_000, 80_000, 100_000]
         };
-        print!("{}", comic_bench::exp::fig7::run_scalability(&scale, &sizes));
+        print!(
+            "{}",
+            comic_bench::exp::fig7::run_scalability(&scale, &sizes)
+        );
     } else {
         let greedy_k = (scale.k / 5).max(2);
         print!(

@@ -28,8 +28,12 @@ fn main() {
         exp::tables234::run(&scale, OppositeMode::Top100, &Dataset::ALL)
     });
     section("table5", || exp::tables567::run(&scale, Dataset::Flixster));
-    section("table6", || exp::tables567::run(&scale, Dataset::DoubanBook));
-    section("table7", || exp::tables567::run(&scale, Dataset::DoubanMovie));
+    section("table6", || {
+        exp::tables567::run(&scale, Dataset::DoubanBook)
+    });
+    section("table7", || {
+        exp::tables567::run(&scale, Dataset::DoubanMovie)
+    });
     section("table8", || exp::table8::run(&scale, &Dataset::ALL));
     section("fig4", || {
         format!(

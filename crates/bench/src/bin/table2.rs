@@ -3,5 +3,8 @@ use comic_bench::datasets::Dataset;
 use comic_bench::exp::common::OppositeMode;
 fn main() {
     let scale = comic_bench::Scale::from_args();
-    print!("{}", comic_bench::exp::tables234::run(&scale, OppositeMode::Ranks101To200, &Dataset::ALL));
+    print!(
+        "{}",
+        comic_bench::exp::tables234::run(&scale, OppositeMode::Ranks101To200, &Dataset::ALL)
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerate Table 5 (learned GAPs, Flixster pairs).
 fn main() {
     let scale = comic_bench::Scale::from_args();
-    print!("{}", comic_bench::exp::tables567::run(&scale, comic_bench::datasets::Dataset::Flixster));
+    print!(
+        "{}",
+        comic_bench::exp::tables567::run(&scale, comic_bench::datasets::Dataset::Flixster)
+    );
 }

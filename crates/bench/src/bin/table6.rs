@@ -1,5 +1,8 @@
 //! Regenerate Table 6 (learned GAPs, Douban-Book pairs).
 fn main() {
     let scale = comic_bench::Scale::from_args();
-    print!("{}", comic_bench::exp::tables567::run(&scale, comic_bench::datasets::Dataset::DoubanBook));
+    print!(
+        "{}",
+        comic_bench::exp::tables567::run(&scale, comic_bench::datasets::Dataset::DoubanBook)
+    );
 }

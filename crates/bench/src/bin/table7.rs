@@ -1,5 +1,8 @@
 //! Regenerate Table 7 (learned GAPs, Douban-Movie pairs).
 fn main() {
     let scale = comic_bench::Scale::from_args();
-    print!("{}", comic_bench::exp::tables567::run(&scale, comic_bench::datasets::Dataset::DoubanMovie));
+    print!(
+        "{}",
+        comic_bench::exp::tables567::run(&scale, comic_bench::datasets::Dataset::DoubanMovie)
+    );
 }

@@ -41,13 +41,13 @@ impl OppositeMode {
             // Both VanillaIC modes slice the same 2·count ranking so that
             // "top-100" and "ranks 101–200" are disjoint by construction.
             OppositeMode::Top100 => {
-                let ranking = vanilla_ic_ranking(g, 2 * count, 0.5, seed)
-                    .expect("vanilla ranking succeeds");
+                let ranking =
+                    vanilla_ic_ranking(g, 2 * count, 0.5, seed).expect("vanilla ranking succeeds");
                 ranking[..count].to_vec()
             }
             OppositeMode::Ranks101To200 => {
-                let ranking = vanilla_ic_ranking(g, 2 * count, 0.5, seed)
-                    .expect("vanilla ranking succeeds");
+                let ranking =
+                    vanilla_ic_ranking(g, 2 * count, 0.5, seed).expect("vanilla ranking succeeds");
                 ranking[count..].to_vec()
             }
         }

@@ -37,11 +37,17 @@ pub fn run(scale: &Scale, dataset: Dataset) -> String {
         dataset.name()
     ))
     .header(&["|S_B|", "RR-CIM", "HighDegree", "PageRank", "Random"]);
-    let budgets: Vec<usize> =
-        [1usize, scale.k / 5, 2 * scale.k / 5, 3 * scale.k / 5, 4 * scale.k / 5, scale.k]
-            .into_iter()
-            .filter(|&b| b >= 1)
-            .collect();
+    let budgets: Vec<usize> = [
+        1usize,
+        scale.k / 5,
+        2 * scale.k / 5,
+        3 * scale.k / 5,
+        4 * scale.k / 5,
+        scale.k,
+    ]
+    .into_iter()
+    .filter(|&b| b >= 1)
+    .collect();
     for &b in &budgets {
         let eval = |s: &[comic_graph::NodeId]| {
             boost(

@@ -48,7 +48,8 @@ pub fn run_times(scale: &Scale, datasets: &[Dataset], greedy_k: usize, greedy_mc
             seed: scale.seed,
             threads: 0,
         };
-        let (_, greedy_sim_t) = timed(|| greedy_self_inf_max(&g, gap_sim, &opposite, greedy_k, &gcfg));
+        let (_, greedy_sim_t) =
+            timed(|| greedy_self_inf_max(&g, gap_sim, &opposite, greedy_k, &gcfg));
         let (_, rr_sim_t) = timed(|| {
             let mut s = RrSimSampler::new(&g, gap_sim, opposite.clone()).unwrap();
             general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
@@ -57,7 +58,8 @@ pub fn run_times(scale: &Scale, datasets: &[Dataset], greedy_k: usize, greedy_mc
             let mut s = RrSimPlusSampler::new(&g, gap_sim, opposite.clone()).unwrap();
             general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
         });
-        let (_, greedy_cim_t) = timed(|| greedy_comp_inf_max(&g, gap_cim, &opposite, greedy_k, &gcfg));
+        let (_, greedy_cim_t) =
+            timed(|| greedy_comp_inf_max(&g, gap_cim, &opposite, greedy_k, &gcfg));
         let (_, rr_cim_t) = timed(|| {
             let mut s = RrCimSampler::new(&g, gap_cim, opposite.clone()).unwrap();
             general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()

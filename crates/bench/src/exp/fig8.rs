@@ -33,7 +33,13 @@ pub fn run(scale: &Scale, dataset: Dataset, greedy_mc: usize) -> String {
         "Figure 8 — sandwich candidates under true GAPs, on {}",
         dataset.name()
     ))
-    .header(&["setting", "sigma(S_sigma)", "sigma(S_mu)", "sigma(S_nu)", "SA_error"]);
+    .header(&[
+        "setting",
+        "sigma(S_sigma)",
+        "sigma(S_mu)",
+        "sigma(S_nu)",
+        "SA_error",
+    ]);
 
     // SelfInfMax rows.
     for q_b0 in [0.1, 0.5, 0.9] {

@@ -24,9 +24,7 @@ fn sim_ratio(scale: &Scale, g: &comic_graph::DiGraph, gap: Gap, seed: u64) -> f6
         solver = solver.max_rr_sets(cap);
     }
     let sol = solver.solve(scale.k, &mut rng).expect("Q+ solves");
-    sol.sandwich
-        .map(|r| r.upper_bound_ratio)
-        .unwrap_or(1.0) // direct regime: σ = ν exactly
+    sol.sandwich.map(|r| r.upper_bound_ratio).unwrap_or(1.0) // direct regime: σ = ν exactly
 }
 
 fn cim_ratio(scale: &Scale, g: &comic_graph::DiGraph, gap: Gap, seed: u64) -> f64 {
@@ -39,21 +37,17 @@ fn cim_ratio(scale: &Scale, g: &comic_graph::DiGraph, gap: Gap, seed: u64) -> f6
         solver = solver.max_rr_sets(cap);
     }
     let sol = solver.solve(scale.k, &mut rng).expect("Q+ solves");
-    sol.sandwich
-        .map(|r| r.upper_bound_ratio)
-        .unwrap_or(1.0)
+    sol.sandwich.map(|r| r.upper_bound_ratio).unwrap_or(1.0)
 }
 
 /// Regenerate Table 8 for the given datasets.
 pub fn run(scale: &Scale, datasets: &[Dataset]) -> String {
-    let mut t = Table::new(
-        "Table 8 — sandwich approximation: sigma(S_nu)/nu(S_nu)".to_string(),
-    )
-    .header(
-        &std::iter::once("setting")
-            .chain(datasets.iter().map(|d| d.name()))
-            .collect::<Vec<_>>(),
-    );
+    let mut t = Table::new("Table 8 — sandwich approximation: sigma(S_nu)/nu(S_nu)".to_string())
+        .header(
+            &std::iter::once("setting")
+                .chain(datasets.iter().map(|d| d.name()))
+                .collect::<Vec<_>>(),
+        );
 
     let graphs: Vec<_> = datasets
         .iter()

@@ -76,7 +76,13 @@ pub fn run(scale: &Scale, mode: OppositeMode, datasets: &[Dataset]) -> String {
          A-seeds = {}",
         mode.label()
     ))
-    .header(&["dataset", "q_B|0", "TIM boost", "vs VanillaIC", "vs Copying"]);
+    .header(&[
+        "dataset",
+        "q_B|0",
+        "TIM boost",
+        "vs VanillaIC",
+        "vs Copying",
+    ]);
     for &d in datasets {
         let g = d.instantiate(scale.size_factor);
         let a_seeds = mode.seeds(&g, 100, scale.seed);

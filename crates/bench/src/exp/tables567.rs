@@ -156,10 +156,26 @@ pub fn run(scale: &Scale, dataset: Dataset) -> String {
                 t.row(vec![
                     pair.item_a.to_string(),
                     pair.item_b.to_string(),
-                    format!("{} ({:.2})", pm(l.q_a0.value, l.q_a0.ci_half_width), truth.q_a0),
-                    format!("{} ({:.2})", pm(l.q_ab.value, l.q_ab.ci_half_width), truth.q_ab),
-                    format!("{} ({:.2})", pm(l.q_b0.value, l.q_b0.ci_half_width), truth.q_b0),
-                    format!("{} ({:.2})", pm(l.q_ba.value, l.q_ba.ci_half_width), truth.q_ba),
+                    format!(
+                        "{} ({:.2})",
+                        pm(l.q_a0.value, l.q_a0.ci_half_width),
+                        truth.q_a0
+                    ),
+                    format!(
+                        "{} ({:.2})",
+                        pm(l.q_ab.value, l.q_ab.ci_half_width),
+                        truth.q_ab
+                    ),
+                    format!(
+                        "{} ({:.2})",
+                        pm(l.q_b0.value, l.q_b0.ci_half_width),
+                        truth.q_b0
+                    ),
+                    format!(
+                        "{} ({:.2})",
+                        pm(l.q_ba.value, l.q_ba.ci_half_width),
+                        truth.q_ba
+                    ),
                     format!("{covered}/4"),
                 ]);
             }

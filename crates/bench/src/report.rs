@@ -88,7 +88,11 @@ impl Table {
             let _ = writeln!(
                 out,
                 "{}",
-                self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+                self.header
+                    .iter()
+                    .map(|c| esc(c))
+                    .collect::<Vec<_>>()
+                    .join(",")
             );
         }
         for r in &self.rows {

@@ -506,7 +506,13 @@ mod tests {
         // coins, so keep the gadget small.
         let g = from_edges(
             5,
-            &[(0, 2, 0.8), (1, 2, 0.6), (2, 3, 0.7), (1, 3, 0.5), (3, 4, 0.9)],
+            &[
+                (0, 2, 0.8),
+                (1, 2, 0.6),
+                (2, 3, 0.7),
+                (1, 3, 0.5),
+                (3, 4, 0.9),
+            ],
         )
         .unwrap();
         let sp = SeedPair::new(seeds(&[0]), seeds(&[1]));

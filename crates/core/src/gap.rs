@@ -293,8 +293,12 @@ mod tests {
 
     #[test]
     fn submodularity_region_predicates() {
-        assert!(Gap::new(0.2, 0.8, 0.5, 0.5).unwrap().is_one_way_complement());
-        assert!(!Gap::new(0.2, 0.8, 0.5, 0.6).unwrap().is_one_way_complement());
+        assert!(Gap::new(0.2, 0.8, 0.5, 0.5)
+            .unwrap()
+            .is_one_way_complement());
+        assert!(!Gap::new(0.2, 0.8, 0.5, 0.6)
+            .unwrap()
+            .is_one_way_complement());
         assert!(Gap::new(0.2, 0.8, 0.5, 1.0).unwrap().is_cim_submodular());
         assert!(!Gap::new(0.2, 0.8, 0.5, 0.9).unwrap().is_cim_submodular());
         assert!(!Gap::new(0.8, 0.2, 0.5, 1.0).unwrap().is_cim_submodular());

@@ -124,8 +124,8 @@ mod tests {
         let s = seeds(&[0, 1, 2]);
         let mut rng = SmallRng::seed_from_u64(6);
         let ic = ic_spread(&g, &s, 40_000, &mut rng);
-        let comic = SpreadEstimator::new(&g, Gap::classic_ic())
-            .estimate(&SeedPair::a_only(s), 40_000, 7);
+        let comic =
+            SpreadEstimator::new(&g, Gap::classic_ic()).estimate(&SeedPair::a_only(s), 40_000, 7);
         assert!(
             (ic - comic.sigma_a).abs() < 6.0 * comic.stderr_a().max(0.02),
             "IC {ic} vs Com-IC {}",

@@ -92,7 +92,8 @@ impl LazyWorld {
     /// Seed-order coin `τ_v`: whether a dual seed adopts A before B.
     #[inline]
     pub fn tau<R: Rng>(&mut self, v: NodeId, rng: &mut R) -> bool {
-        self.tau.get_or_insert_with(v.index(), || rng.random_bool(0.5))
+        self.tau
+            .get_or_insert_with(v.index(), || rng.random_bool(0.5))
     }
 
     /// Whether `v` would pass the adoption test for `item` in this world,
@@ -145,7 +146,8 @@ impl<R: Rng> Oracle for WorldOracle<R> {
 
     #[inline]
     fn adopt(&mut self, v: NodeId, item: Item, other_adopted: bool, gap: &Gap) -> bool {
-        self.world.passes(item, v, other_adopted, gap, &mut self.rng)
+        self.world
+            .passes(item, v, other_adopted, gap, &mut self.rng)
     }
 
     #[inline]
@@ -287,8 +289,7 @@ mod tests {
             oracle.new_world();
             let sp_small = SeedPair::new(seeds(&[0]), seeds(&[5]));
             engine.run(&gap, &sp_small, &mut oracle);
-            let a1: std::collections::HashSet<_> =
-                engine.a_adopted().iter().copied().collect();
+            let a1: std::collections::HashSet<_> = engine.a_adopted().iter().copied().collect();
             engine.run(&gap, &sp_small, &mut oracle);
             let a1_again: std::collections::HashSet<_> =
                 engine.a_adopted().iter().copied().collect();
@@ -296,12 +297,8 @@ mod tests {
 
             let sp_big = SeedPair::new(seeds(&[0, 1, 2]), seeds(&[5]));
             engine.run(&gap, &sp_big, &mut oracle);
-            let a2: std::collections::HashSet<_> =
-                engine.a_adopted().iter().copied().collect();
-            assert!(
-                a1.is_subset(&a2),
-                "per-world monotonicity violated in Q+"
-            );
+            let a2: std::collections::HashSet<_> = engine.a_adopted().iter().copied().collect();
+            assert!(a1.is_subset(&a2), "per-world monotonicity violated in Q+");
         }
     }
 
@@ -314,9 +311,9 @@ mod tests {
         let g = comic_graph::prob::ProbModel::Constant(0.35).apply(&g, &mut grng);
         let sp = SeedPair::new(seeds(&[0, 1]), seeds(&[2, 3]));
         for gap in [
-            Gap::new(0.3, 0.8, 0.4, 0.9).unwrap(),  // Q+
-            Gap::new(0.8, 0.2, 0.9, 0.1).unwrap(),  // Q-
-            Gap::new(0.3, 0.9, 0.9, 0.2).unwrap(),  // mixed
+            Gap::new(0.3, 0.8, 0.4, 0.9).unwrap(), // Q+
+            Gap::new(0.8, 0.2, 0.9, 0.1).unwrap(), // Q-
+            Gap::new(0.3, 0.9, 0.9, 0.2).unwrap(), // mixed
         ] {
             let iters = 30_000;
             // Forward process.

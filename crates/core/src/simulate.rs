@@ -266,10 +266,7 @@ impl<'g> CascadeEngine<'g> {
                 let (u, kind) = self.cur[i];
                 for adj in self.g.out_edges(u) {
                     let st = self.state.get_copied(adj.node.index()).unwrap_or_default();
-                    let relevant = kind
-                        .items()
-                        .iter()
-                        .any(|&it| st.get(it) == ItemState::Idle);
+                    let relevant = kind.items().iter().any(|&it| st.get(it) == ItemState::Idle);
                     if relevant && oracle.edge_live(adj.edge, adj.p) {
                         self.register_inform(adj.node, adj.edge, kind);
                     }
@@ -604,5 +601,159 @@ mod tests {
         let mut eng = CascadeEngine::new(&g);
         let mut o = CoinOracle::new(g.num_edges(), SmallRng::seed_from_u64(1));
         eng.run(&gap, &SeedPair::a_only(seeds(&[99])), &mut o);
+    }
+}
+
+/// Statistical tests that the NLA drives adoption exactly as §3 of the
+/// paper specifies under each of the four GAP orderings: pure competition,
+/// one-way complementarity, mutual complementarity, and independence.
+///
+/// The gadget is two certain edges 0→2 and 1→2 with A seeded at 0 and
+/// (optionally) B at 1, so node 2 is always informed of every seeded item.
+/// The NLA is built so that whenever B is (eventually) adopted at a node,
+/// the node's overall probability of adopting A is exactly `q_{A|B}` —
+/// regardless of whether B arrived before A (direct `q_{A|B}` test) or
+/// after (suspension + reconsideration with ρ chosen to compose to
+/// `q_{A|B}`). Without B it is `q_{A|∅}`. Each test measures the empirical
+/// frequency over many independent cascades.
+#[cfg(test)]
+mod nla_gap_ordering_tests {
+    use super::*;
+    use crate::gap::Regime;
+    use crate::oracle::CoinOracle;
+    use crate::seeds::seeds;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const TRIALS: u32 = 20_000;
+    // 3.9 sigma at p=0.5, n=20_000 — deterministic seeds keep this stable.
+    const TOL: f64 = 0.015;
+
+    /// Frequency with which node 2 adopts `item` on `g`, under `gap` and
+    /// the given seed placement.
+    fn freq_on(g: &DiGraph, gap: &Gap, sp: &SeedPair, item: Item, rng_seed: u64) -> f64 {
+        let mut eng = CascadeEngine::new(g);
+        let mut o = CoinOracle::new(g.num_edges(), SmallRng::seed_from_u64(rng_seed));
+        let mut hits = 0u32;
+        for _ in 0..TRIALS {
+            eng.run(gap, sp, &mut o);
+            if eng.final_state(NodeId(2)).adopted(item) {
+                hits += 1;
+            }
+        }
+        hits as f64 / TRIALS as f64
+    }
+
+    /// The co-arrival gadget: certain edges 0→2 and 1→2, so node 2 hears
+    /// of A (seed 0) and B (seed 1) in the same step and tie-breaks.
+    fn adoption_freq(gap: &Gap, sp: &SeedPair, item: Item, rng_seed: u64) -> f64 {
+        let g = comic_graph::builder::from_edges(3, &[(0, 2, 1.0), (1, 2, 1.0)]).unwrap();
+        freq_on(&g, gap, sp, item, rng_seed)
+    }
+
+    /// The B-first gadget: B (seed 1) reaches node 2 at t=1, A (seed 0)
+    /// only at t=2 through relay node 3.
+    fn b_first_freq(gap: &Gap, item: Item, rng_seed: u64) -> f64 {
+        let g =
+            comic_graph::builder::from_edges(4, &[(0, 3, 1.0), (3, 2, 1.0), (1, 2, 1.0)]).unwrap();
+        freq_on(&g, gap, &both(), item, rng_seed)
+    }
+
+    fn both() -> SeedPair {
+        SeedPair::new(seeds(&[0]), seeds(&[1]))
+    }
+
+    #[test]
+    fn pure_competition_suppresses_adoption_to_q_ab() {
+        // q_{A|B} < q_{A|∅} and q_{B|A} < q_{B|∅}: each item hurts the
+        // other. B is certainly adopted at node 2 (q_{B|∅} = q_{B|A} = 1
+        // would be complementary-indifferent, so instead B seeds only and
+        // q_{B|∅} = 1 with q_{B|A} = 0.9 < 1 keeps the ordering strict
+        // while B still nearly always lands first or co-arrives).
+        let gap = Gap::new(0.8, 0.2, 1.0, 0.9).unwrap();
+        assert_eq!(gap.regime(), Regime::MutualCompete);
+        let alone = adoption_freq(&gap, &SeedPair::a_only(seeds(&[0])), Item::A, 11);
+        assert!((alone - gap.q_a0).abs() < TOL, "alone {alone}");
+        let with_b = adoption_freq(&gap, &both(), Item::A, 12);
+        // The two informs co-arrive and tie-break uniformly: A first gives
+        // q_{A|∅} = 0.8 (suspension is final, ρ_A = 0); B first gives
+        // q_{A|B} = 0.2. Expected frequency (0.8 + 0.2) / 2 = 0.5.
+        assert!((with_b - 0.5).abs() < TOL, "with B {with_b}");
+        assert!(
+            with_b < alone - 0.2,
+            "competition must suppress A: {with_b} vs {alone}"
+        );
+    }
+
+    #[test]
+    fn competition_with_b_first_hits_q_ab_exactly() {
+        // On the B-first gadget B is adopted at node 2 (q_{B|∅} = 1,
+        // certain edge) before A's inform arrives, so the NLA tests A with
+        // exactly q_{A|B}. q_{A|∅} = 1 keeps the relay node 3 certain.
+        let gap = Gap::new(1.0, 0.25, 1.0, 1.0).unwrap();
+        assert!(gap.b_competes_with_a());
+        let f = b_first_freq(&gap, Item::A, 13);
+        assert!((f - gap.q_ab).abs() < TOL, "freq {f} vs q_ab {}", gap.q_ab);
+    }
+
+    #[test]
+    fn one_way_complement_boosts_a_via_reconsideration() {
+        // B complements A (q_{A|B} > q_{A|∅}), A indifferent to B
+        // (q_{B|A} = q_{B|∅} = 1): the Theorem-4 one-way regime. B is
+        // certain at node 2, so A-adoption frequency must equal q_{A|B},
+        // strictly above the no-B baseline q_{A|∅}.
+        let gap = Gap::new(0.2, 0.9, 1.0, 1.0).unwrap();
+        assert!(gap.is_one_way_complement());
+        let alone = adoption_freq(&gap, &SeedPair::a_only(seeds(&[0])), Item::A, 21);
+        let with_b = adoption_freq(&gap, &both(), Item::A, 22);
+        assert!((alone - gap.q_a0).abs() < TOL, "alone {alone}");
+        assert!((with_b - gap.q_ab).abs() < TOL, "with B {with_b}");
+        assert!(with_b > alone + 0.5);
+    }
+
+    #[test]
+    fn reconsideration_only_path_composes_to_q_ab() {
+        // q_{A|∅} = 0: node 2 always suspends on A first contact, so the
+        // *only* route to A-adoption is reconsideration after adopting B.
+        // The frequency must still compose to exactly q_{A|B}.
+        let gap = Gap::new(0.0, 0.6, 1.0, 1.0).unwrap();
+        let f = adoption_freq(&gap, &both(), Item::A, 31);
+        assert!((f - gap.q_ab).abs() < TOL, "freq {f} vs q_ab {}", gap.q_ab);
+    }
+
+    #[test]
+    fn mutual_complementarity_boosts_both_items() {
+        // Q+ with strict boosts both ways: seeding the other item raises
+        // each item's adoption frequency at the shared target.
+        let gap = Gap::new(0.3, 0.8, 0.4, 0.9).unwrap();
+        assert_eq!(gap.regime(), Regime::MutualComplement);
+        let a_alone = adoption_freq(&gap, &SeedPair::a_only(seeds(&[0])), Item::A, 41);
+        let a_with_b = adoption_freq(&gap, &both(), Item::A, 42);
+        // Exact law of total probability over the uniform tie-break:
+        // B first: 0.4·q_{A|B} + 0.6·q_{A|∅} = 0.32 + 0.18 = 0.5;
+        // A first: q_{A|∅} + (1−q_{A|∅})·q_{B|∅}·ρ_A = 0.3 + 0.7·0.4·5/7
+        //        = 0.5. Either order: 0.5 > q_{A|∅} = 0.3.
+        assert!((a_alone - gap.q_a0).abs() < TOL, "alone {a_alone}");
+        assert!((a_with_b - 0.5).abs() < TOL, "with B {a_with_b}");
+        assert!(a_with_b > a_alone + 0.1, "{a_with_b} vs {a_alone}");
+        let b_alone = adoption_freq(&gap, &SeedPair::b_only(seeds(&[1])), Item::B, 43);
+        let b_with_a = adoption_freq(&gap, &both(), Item::B, 44);
+        // Symmetrically for B: both orders compose to 0.55 > q_{B|∅} = 0.4.
+        assert!((b_alone - gap.q_b0).abs() < TOL, "alone {b_alone}");
+        assert!((b_with_a - 0.55).abs() < TOL, "with A {b_with_a}");
+        assert!(b_with_a > b_alone + 0.1, "{b_with_a} vs {b_alone}");
+    }
+
+    #[test]
+    fn independence_leaves_marginals_untouched() {
+        // q_{X|∅} = q_{X|Y}: the items are indifferent to each other and
+        // each marginal must match its GAP with and without the other item.
+        let gap = Gap::new(0.6, 0.6, 0.7, 0.7).unwrap();
+        let a_alone = adoption_freq(&gap, &SeedPair::a_only(seeds(&[0])), Item::A, 51);
+        let a_with_b = adoption_freq(&gap, &both(), Item::A, 52);
+        assert!((a_alone - 0.6).abs() < TOL, "alone {a_alone}");
+        assert!((a_with_b - 0.6).abs() < TOL, "with B {a_with_b}");
+        let b_with_a = adoption_freq(&gap, &both(), Item::B, 53);
+        assert!((b_with_a - 0.7).abs() < TOL, "B with A {b_with_a}");
     }
 }

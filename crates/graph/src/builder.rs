@@ -115,8 +115,7 @@ impl GraphBuilder {
             }
         }
         // Stable sort so KeepFirst/KeepLast see duplicates in insertion order.
-        self.edges
-            .sort_by_key(|e| (e.source, e.target));
+        self.edges.sort_by_key(|e| (e.source, e.target));
         let policy = self.policy;
         let mut deduped: Vec<Edge> = Vec::with_capacity(self.edges.len());
         for e in self.edges {

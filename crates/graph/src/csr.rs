@@ -136,9 +136,9 @@ impl DiGraph {
     /// source-major order with no duplicates. Intended to be called by
     /// [`crate::builder::GraphBuilder`]; invariants are debug-asserted.
     pub(crate) fn from_sorted_edges(n: usize, edges: &[Edge]) -> DiGraph {
-        debug_assert!(edges.windows(2).all(|w| {
-            (w[0].source, w[0].target) < (w[1].source, w[1].target)
-        }));
+        debug_assert!(edges
+            .windows(2)
+            .all(|w| { (w[0].source, w[0].target) < (w[1].source, w[1].target) }));
         let m = edges.len();
         let mut out_offsets = vec![0u32; n + 1];
         let mut out_targets = Vec::with_capacity(m);
@@ -262,12 +262,8 @@ impl DiGraph {
         // The source is the last node whose offset is <= slot (offsets are
         // non-decreasing; empty ranges of isolated nodes collapse to runs of
         // equal offsets, which partition_point handles correctly).
-        let source = NodeId(
-            (self
-                .out_offsets
-                .partition_point(|&off| off <= slot as u32)
-                - 1) as u32,
-        );
+        let source =
+            NodeId((self.out_offsets.partition_point(|&off| off <= slot as u32) - 1) as u32);
         Edge {
             source,
             target: self.out_targets[slot],

@@ -75,17 +75,12 @@ pub fn layered(layers: usize, width: usize, p: f64) -> DiGraph {
     for i in 1..layers {
         for a in 0..width {
             for bnode in 0..width {
-                b.add_edge(
-                    ((i - 1) * width + a) as u32,
-                    (i * width + bnode) as u32,
-                    p,
-                );
+                b.add_edge(((i - 1) * width + a) as u32, (i * width + bnode) as u32, p);
             }
         }
     }
     b.build().expect("layered gadget is always valid")
 }
-
 
 #[cfg(test)]
 mod tests {

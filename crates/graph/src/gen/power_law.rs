@@ -154,7 +154,11 @@ mod tests {
         let avg = 10_000.0 / n as f64;
         // Heavy tail: the max degree should be far above the average, and the
         // top 1% of nodes should hold a disproportionate share of edges.
-        assert!(degs[0] as f64 > 8.0 * avg, "max degree {} vs avg {avg}", degs[0]);
+        assert!(
+            degs[0] as f64 > 8.0 * avg,
+            "max degree {} vs avg {avg}",
+            degs[0]
+        );
         let top1pct: usize = degs[..n / 100].iter().sum();
         assert!(
             top1pct as f64 > 0.1 * 10_000.0,

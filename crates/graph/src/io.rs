@@ -197,10 +197,7 @@ mod tests {
     #[test]
     fn binary_rejects_bad_magic() {
         let buf = b"NOTMAGIC\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0".to_vec();
-        assert!(matches!(
-            read_binary(&buf[..]),
-            Err(GraphError::Corrupt(_))
-        ));
+        assert!(matches!(read_binary(&buf[..]), Err(GraphError::Corrupt(_))));
     }
 
     #[test]

@@ -51,7 +51,8 @@ impl ProbModel {
             };
             b.add_edge(e.source.0, e.target.0, p);
         }
-        b.build().expect("reassigning probabilities preserves validity")
+        b.build()
+            .expect("reassigning probabilities preserves validity")
     }
 }
 

@@ -25,7 +25,8 @@ pub fn reachable(g: &DiGraph, sources: &[NodeId], dir: Direction) -> Vec<NodeId>
         }
     }
     while let Some(u) = queue.pop_front() {
-        let push = |order: &mut Vec<NodeId>, queue: &mut std::collections::VecDeque<NodeId>,
+        let push = |order: &mut Vec<NodeId>,
+                    queue: &mut std::collections::VecDeque<NodeId>,
                     visited: &mut StampedSet,
                     w: NodeId| {
             if visited.insert(w.index()) {

@@ -1,0 +1,182 @@
+//! Offline stand-in for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API used by the
+//! workspace benches (the build environment has no crates-registry access;
+//! see crates/shims/README.md).
+//!
+//! Implements a simple wall-clock measurement loop behind the familiar
+//! `Criterion` / `BenchmarkGroup` / `Bencher` surface and the
+//! `criterion_group!` / `criterion_main!` macros. Results are printed as
+//! `bench-name ... <median> ns/iter` lines; there is no statistical
+//! analysis, plotting, or HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `use criterion::black_box` keeps working; benches in this
+/// workspace import it from `std::hint` directly.
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark, e.g.
+/// `BenchmarkId::new("rr_sim", n)`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    measurement_time: Duration,
+    elapsed: Duration,
+    performed: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording total wall-clock time. The number of
+    /// iterations is the configured sample size, capped so one benchmark
+    /// stays within the configured measurement time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up / calibration run.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed();
+        let budget = self.measurement_time;
+        let affordable = if once.is_zero() {
+            self.iters
+        } else {
+            (budget.as_nanos() / once.as_nanos().max(1)).max(1) as u64
+        };
+        let iters = self.iters.min(affordable).max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.performed = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Cap the wall-clock budget for each benchmark in the group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this shim folds warm-up into the
+    /// calibration pass of [`Bencher::iter`].
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            measurement_time: self.measurement_time,
+            elapsed: Duration::ZERO,
+            performed: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.performed == 0 {
+            0
+        } else {
+            b.elapsed.as_nanos() / b.performed as u128
+        };
+        println!(
+            "bench: {}/{} ... {} ns/iter ({} iters)",
+            self.name, id, per_iter, b.performed
+        );
+    }
+
+    /// Time a single benchmark closure.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        self.run_one(id, |b| f(b));
+        self
+    }
+
+    /// Time a benchmark closure parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = id.id;
+        self.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra in this shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            _criterion: self,
+        }
+    }
+
+    /// Time a single stand-alone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.benchmark_group("crate").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a named group runner, like the real
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, like the real
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

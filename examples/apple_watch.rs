@@ -1,14 +1,14 @@
-//! The paper's motivating campaign (§1): a phone (B) and a watch (A) with
-//! *asymmetric* complementarity — the watch is nearly useless without the
-//! phone, while the phone benefits mildly from the watch:
-//! `(q_{A|B} − q_{A|∅}) > (q_{B|A} − q_{B|∅}) ≥ 0`.
-//!
-//! The campaign question is CompInfMax's flip side composed with
-//! SelfInfMax: given the phone's existing seeding, where should the watch
-//! team seed, and how much does a complementary watch seeding boost the
-//! phone in return?
-//!
-//! Run with: `cargo run --release --example apple_watch`
+// The paper's motivating campaign (§1): a phone (B) and a watch (A) with
+// *asymmetric* complementarity — the watch is nearly useless without the
+// phone, while the phone benefits mildly from the watch:
+// `(q_{A|B} − q_{A|∅}) > (q_{B|A} − q_{B|∅}) ≥ 0`.
+//
+// The campaign question is CompInfMax's flip side composed with
+// SelfInfMax: given the phone's existing seeding, where should the watch
+// team seed, and how much does a complementary watch seeding boost the
+// phone in return?
+//
+// Run with: `cargo run --release --example apple_watch`
 
 use comic::algos::baselines::high_degree;
 use comic::model::seeds::seeds;
@@ -68,7 +68,12 @@ fn main() {
         )
         .sigma_b;
     let without = est
-        .estimate_parallel(&SeedPair::new(Vec::new(), phone_seeds.clone()), 10_000, 1, 0)
+        .estimate_parallel(
+            &SeedPair::new(Vec::new(), phone_seeds.clone()),
+            10_000,
+            1,
+            0,
+        )
         .sigma_b;
     println!(
         "\nphone adoptions: {without:.0} alone -> {with:.0} with the watch campaign \

@@ -1,10 +1,10 @@
-//! Sweep the GAP space "from competition to complementarity" — the
-//! spectrum the paper's title promises. Holding everything else fixed, we
-//! vary how item B's presence modulates A's adoption (q_{A|B} from 0 to 1)
-//! and watch σ_A respond, including the pure-competition and classic-IC
-//! special cases of §3.
-//!
-//! Run with: `cargo run --release --example competition_spectrum`
+// Sweep the GAP space "from competition to complementarity" — the
+// spectrum the paper's title promises. Holding everything else fixed, we
+// vary how item B's presence modulates A's adoption (q_{A|B} from 0 to 1)
+// and watch σ_A respond, including the pure-competition and classic-IC
+// special cases of §3.
+//
+// Run with: `cargo run --release --example competition_spectrum`
 
 use comic::model::seeds::seeds;
 use comic::prelude::*;
@@ -23,7 +23,10 @@ fn main() {
     let q_a0 = 0.4;
 
     println!("\nvarying q_A|B with q_A|0 = {q_a0} (B's effect on A):");
-    println!("{:>8} {:>10} {:>10} {:>14}", "q_A|B", "sigma_A", "sigma_B", "relationship");
+    println!(
+        "{:>8} {:>10} {:>10} {:>14}",
+        "q_A|B", "sigma_A", "sigma_B", "relationship"
+    );
     for q_ab in [0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let gap = Gap::new(q_a0, q_ab, 0.4, 0.4).unwrap();
         let est = SpreadEstimator::new(&g, gap).estimate_parallel(&sp, 20_000, 1, 0);

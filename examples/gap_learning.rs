@@ -1,8 +1,8 @@
-//! §7.2 end to end: synthesize a rating/wishlist action log from known
-//! ground-truth GAPs, learn the GAPs back with 95% confidence intervals
-//! (the Tables 5–7 methodology), then drive seed selection with them.
-//!
-//! Run with: `cargo run --release --example gap_learning`
+// §7.2 end to end: synthesize a rating/wishlist action log from known
+// ground-truth GAPs, learn the GAPs back with 95% confidence intervals
+// (the Tables 5–7 methodology), then drive seed selection with them.
+//
+// Run with: `cargo run --release --example gap_learning`
 
 use comic::actionlog::synth::{synthesize_pair_log, SynthConfig};
 use comic::actionlog::{learn_gaps, ItemId};
@@ -43,10 +43,22 @@ fn main() {
 
     let learned = learn_gaps(&log, ItemId(0), ItemId(1)).expect("enough data");
     println!("\nlearned GAPs (95% CI):");
-    println!("  q_A|0 = {}   [n = {}]", learned.q_a0, learned.q_a0.samples);
-    println!("  q_A|B = {}   [n = {}]", learned.q_ab, learned.q_ab.samples);
-    println!("  q_B|0 = {}   [n = {}]", learned.q_b0, learned.q_b0.samples);
-    println!("  q_B|A = {}   [n = {}]", learned.q_ba, learned.q_ba.samples);
+    println!(
+        "  q_A|0 = {}   [n = {}]",
+        learned.q_a0, learned.q_a0.samples
+    );
+    println!(
+        "  q_A|B = {}   [n = {}]",
+        learned.q_ab, learned.q_ab.samples
+    );
+    println!(
+        "  q_B|0 = {}   [n = {}]",
+        learned.q_b0, learned.q_b0.samples
+    );
+    println!(
+        "  q_B|A = {}   [n = {}]",
+        learned.q_ba, learned.q_ba.samples
+    );
     for (name, est, t) in [
         ("q_A|0", learned.q_a0, truth.q_a0),
         ("q_A|B", learned.q_ab, truth.q_ab),

@@ -1,7 +1,7 @@
-//! Quickstart: build a network, define GAPs, and pick seeds for both
-//! SelfInfMax and CompInfMax.
-//!
-//! Run with: `cargo run --release --example quickstart`
+// Quickstart: build a network, define GAPs, and pick seeds for both
+// SelfInfMax and CompInfMax.
+//
+// Run with: `cargo run --release --example quickstart`
 
 use comic::model::seeds::seeds;
 use comic::prelude::*;

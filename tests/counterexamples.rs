@@ -27,11 +27,7 @@ fn seeds(ids: &[u32]) -> Vec<NodeId> {
 #[test]
 fn example_1_non_monotonicity_exact() {
     // v=0, w=1, y=2, s1=3, s2=4.
-    let g = from_edges(
-        5,
-        &[(3, 0, 1.0), (4, 1, 1.0), (2, 1, 1.0), (1, 0, 1.0)],
-    )
-    .unwrap();
+    let g = from_edges(5, &[(3, 0, 1.0), (4, 1, 1.0), (2, 1, 1.0), (1, 0, 1.0)]).unwrap();
     for q in [0.25, 0.5, 0.75] {
         let gap = Gap::new(q, 1.0, 1.0, 0.0).unwrap();
         let exact = ExactComIc::new(&g, gap);
@@ -173,11 +169,7 @@ fn example_4_non_cross_submodularity_exact() {
 #[test]
 fn q_minus_monotone_and_theorem_11_submodular() {
     // Example 1 gadget, competitive reading.
-    let g = from_edges(
-        5,
-        &[(3, 0, 1.0), (4, 1, 1.0), (2, 1, 1.0), (1, 0, 1.0)],
-    )
-    .unwrap();
+    let g = from_edges(5, &[(3, 0, 1.0), (4, 1, 1.0), (2, 1, 1.0), (1, 0, 1.0)]).unwrap();
     let q = 0.5;
     let gap = Gap::new(q, 0.0, 1.0, 0.0).unwrap();
     assert_eq!(gap.regime(), comic::model::Regime::MutualCompete);

@@ -1,0 +1,54 @@
+//! Smoke tests that *execute* every example end-to-end, so the examples
+//! can never silently rot. Each example is compiled into this test crate
+//! via `include!` (its `main` stays private to its module) and run as an
+//! ordinary test.
+
+#![allow(clippy::duplicate_mod)]
+
+mod quickstart {
+    include!("../examples/quickstart.rs");
+    pub(crate) fn run() {
+        main()
+    }
+}
+
+mod apple_watch {
+    include!("../examples/apple_watch.rs");
+    pub(crate) fn run() {
+        main()
+    }
+}
+
+mod competition_spectrum {
+    include!("../examples/competition_spectrum.rs");
+    pub(crate) fn run() {
+        main()
+    }
+}
+
+mod gap_learning {
+    include!("../examples/gap_learning.rs");
+    pub(crate) fn run() {
+        main()
+    }
+}
+
+#[test]
+fn quickstart_example_runs() {
+    quickstart::run();
+}
+
+#[test]
+fn apple_watch_example_runs() {
+    apple_watch::run();
+}
+
+#[test]
+fn competition_spectrum_example_runs() {
+    competition_spectrum::run();
+}
+
+#[test]
+fn gap_learning_example_runs() {
+    gap_learning::run();
+}

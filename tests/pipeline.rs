@@ -75,12 +75,7 @@ fn compinfmax_boost_beats_random_b_seeds() {
 
     let est = SpreadEstimator::new(&g, gap);
     let rnd_seeds = random_nodes(&g, k, &mut rng);
-    let rnd_boost = est.estimate_boost(
-        &SeedPair::new(a_seeds.clone(), rnd_seeds),
-        4000,
-        7,
-        2,
-    );
+    let rnd_boost = est.estimate_boost(&SeedPair::new(a_seeds.clone(), rnd_seeds), 4000, 7, 2);
     assert!(
         sol.objective > rnd_boost,
         "RR-CIM boost {} vs random boost {rnd_boost}",

@@ -13,8 +13,11 @@ use rand::SeedableRng;
 
 /// Strategy: a small random graph as an edge list with probabilities.
 fn arb_graph() -> impl Strategy<Value = DiGraph> {
-    (2usize..20, proptest::collection::vec((0u32..20, 0u32..20, 0.0f64..=1.0), 0..60)).prop_map(
-        |(n, edges)| {
+    (
+        2usize..20,
+        proptest::collection::vec((0u32..20, 0u32..20, 0.0f64..=1.0), 0..60),
+    )
+        .prop_map(|(n, edges)| {
             let n = n.max(
                 edges
                     .iter()
@@ -27,8 +30,7 @@ fn arb_graph() -> impl Strategy<Value = DiGraph> {
                 b.add_edge(u, v, p);
             }
             b.build().expect("arbitrary edges within range are valid")
-        },
-    )
+        })
 }
 
 fn arb_gap() -> impl Strategy<Value = Gap> {

@@ -35,9 +35,7 @@ fn theorem_3_monotonicity_q_plus_exact() {
         let g = random_gadget(&mut rng, 6, 8, 1.0);
         let exact = ExactComIc::new(&g, gap);
         let sigma = |sa: &[u32], sb: &[u32]| {
-            let r = exact
-                .compute(&SeedPair::new(seeds(sa), seeds(sb)))
-                .unwrap();
+            let r = exact.compute(&SeedPair::new(seeds(sa), seeds(sb))).unwrap();
             (r.sigma_a, r.sigma_b)
         };
         let chains: [&[u32]; 3] = [&[0], &[0, 1], &[0, 1, 2]];
