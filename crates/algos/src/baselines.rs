@@ -3,7 +3,7 @@
 
 use comic_graph::{DiGraph, NodeId};
 use comic_ris::ic_sampler::IcRrSampler;
-use comic_ris::tim::{general_tim, TimConfig, TimResult};
+use comic_ris::tim::{general_tim_with, TimConfig, TimResult};
 use rand::{Rng, RngExt};
 
 use crate::error::AlgoError;
@@ -49,10 +49,10 @@ pub fn copying(g: &DiGraph, opposite_seeds: &[NodeId], k: usize) -> Vec<NodeId> 
 }
 
 /// **VanillaIC**: run TIM under the classic IC model, ignoring the second
-/// item and the node-level automaton entirely.
+/// item and the node-level automaton entirely. RR-set generation is sharded
+/// across [`TimConfig::threads`] workers.
 pub fn vanilla_ic(g: &DiGraph, cfg: &TimConfig) -> Result<TimResult, AlgoError> {
-    let mut sampler = IcRrSampler::new(g);
-    Ok(general_tim(&mut sampler, cfg)?)
+    Ok(general_tim_with(|| IcRrSampler::new(g), cfg)?)
 }
 
 /// The first `count` seeds in VanillaIC's greedy pick order — the paper's

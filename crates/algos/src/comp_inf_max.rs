@@ -6,7 +6,7 @@ use comic_core::gap::{Gap, Regime};
 use comic_core::seeds::SeedPair;
 use comic_core::spread::SpreadEstimator;
 use comic_graph::{DiGraph, NodeId};
-use comic_ris::tim::{general_tim, TimConfig};
+use comic_ris::tim::{general_tim_with, TimConfig, TimResult};
 use rand::{Rng, RngExt};
 
 use crate::error::AlgoError;
@@ -89,7 +89,8 @@ impl<'g> CompInfMax<'g> {
         self
     }
 
-    /// Worker threads for evaluations (0 = all cores).
+    /// Worker threads for RR-set generation and MC evaluations
+    /// (0 = all cores).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -105,7 +106,20 @@ impl<'g> CompInfMax<'g> {
         let mut cfg = TimConfig::new(k).epsilon(self.epsilon).seed(seed);
         cfg.ell = self.ell;
         cfg.max_rr_sets = self.max_rr_sets;
+        cfg.threads = self.threads;
         cfg
+    }
+
+    /// Run GeneralTIM with per-thread RR-CIM samplers under `gap`.
+    fn run_tim(&self, gap: Gap, k: usize, seed: u64) -> Result<TimResult, AlgoError> {
+        // Validate the regime and seed set once, then hand the sharded
+        // generator an infallible per-thread factory.
+        RrCimSampler::new(self.g, gap, self.seeds_a.clone())?;
+        let factory = || {
+            RrCimSampler::new(self.g, gap, self.seeds_a.clone())
+                .expect("validated RR-CIM construction")
+        };
+        Ok(general_tim_with(factory, &self.tim_config(k, seed))?)
     }
 
     /// MC estimate of the boost `σ_A(S_A, seeds) − σ_A(S_A, ∅)` under `gap`.
@@ -131,8 +145,7 @@ impl<'g> CompInfMax<'g> {
         let seed: u64 = rng.random();
 
         if self.gap.is_cim_submodular() {
-            let mut sampler = RrCimSampler::new(self.g, self.gap, self.seeds_a.clone())?;
-            let tim = general_tim(&mut sampler, &self.tim_config(k, seed))?;
+            let tim = self.run_tim(self.gap, k, seed)?;
             let objective = self.boost(self.gap, &tim.seeds, seed ^ 1);
             return Ok(Solution {
                 seeds: tim.seeds.clone(),
@@ -145,8 +158,7 @@ impl<'g> CompInfMax<'g> {
 
         // Sandwich upper bound: raise q_{B|A} to 1 (Theorem 10 monotonicity).
         let nu_gap = self.gap.with_q_ba(1.0)?;
-        let mut sampler = RrCimSampler::new(self.g, nu_gap, self.seeds_a.clone())?;
-        let tim_nu = general_tim(&mut sampler, &self.tim_config(k, seed))?;
+        let tim_nu = self.run_tim(nu_gap, k, seed)?;
 
         let mut candidates = vec![SandwichCandidate {
             name: "nu",

@@ -72,6 +72,7 @@ pub struct RrCimSampler<'g> {
     queue: Vec<NodeId>,
     queue2: Vec<NodeId>,
     sf_list: Vec<NodeId>,
+    last_width: u64,
 }
 
 impl<'g> RrCimSampler<'g> {
@@ -106,6 +107,7 @@ impl<'g> RrCimSampler<'g> {
             queue: Vec::new(),
             queue2: Vec::new(),
             sf_list: Vec::new(),
+            last_width: 0,
         })
     }
 
@@ -185,6 +187,8 @@ impl<'g> RrCimSampler<'g> {
     fn add_to_r(&mut self, v: NodeId, out: &mut Vec<NodeId>) {
         if self.in_r.insert(v.index()) {
             out.push(v);
+            // Every member enters through here, so ω(R) is tallied in place.
+            self.last_width += self.g.in_degree(v) as u64;
         }
     }
 
@@ -292,6 +296,7 @@ impl<'g> RrCimSampler<'g> {
         self.in_r.clear();
         self.prim_visited.clear();
         self.sec_b_visited.clear();
+        self.last_width = 0;
 
         self.forward_label(world, rng);
 
@@ -351,6 +356,16 @@ impl RrSampler for RrCimSampler<'_> {
         world.reset();
         self.sample_in_world(root, &mut world, rng, out);
         self.world = world;
+    }
+
+    fn sample_with_width<R: Rng>(
+        &mut self,
+        root: NodeId,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) -> u64 {
+        self.sample(root, rng, out);
+        self.last_width
     }
 }
 
@@ -486,6 +501,22 @@ mod tests {
             sorted.sort_unstable();
             sorted.dedup();
             assert_eq!(sorted.len(), out.len());
+        }
+    }
+
+    #[test]
+    fn width_accumulated_in_add_to_r_matches_indegree_sum() {
+        let mut grng = SmallRng::seed_from_u64(11);
+        let topo = gen::gnm(30, 150, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.5).apply(&topo, &mut grng);
+        let mut s = RrCimSampler::new(&g, cim_gap(), seeds(&[0, 1, 2])).unwrap();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut out = Vec::new();
+        for _ in 0..300 {
+            let root = NodeId(rng.random_range(0..30));
+            let w = s.sample_with_width(root, &mut rng, &mut out);
+            let expect: u64 = out.iter().map(|&v| g.in_degree(v) as u64).sum();
+            assert_eq!(w, expect);
         }
     }
 }

@@ -33,6 +33,7 @@ pub struct RrSimSampler<'g> {
     b_tested: StampedSet,
     visited: StampedSet,
     queue: Vec<NodeId>,
+    last_width: u64,
 }
 
 impl<'g> RrSimSampler<'g> {
@@ -60,6 +61,7 @@ impl<'g> RrSimSampler<'g> {
             b_tested: StampedSet::new(g.num_nodes()),
             visited: StampedSet::new(g.num_nodes()),
             queue: Vec::new(),
+            last_width: 0,
         })
     }
 
@@ -131,16 +133,20 @@ impl<'g> RrSimSampler<'g> {
         // Phase II: determine B adoption in this world.
         self.forward_label_b(world, rng);
 
-        // Phase III: backward BFS. Every dequeued node joins the RR-set;
-        // expansion continues only through nodes that pass their A test.
+        // Phase III: backward BFS. Every dequeued node joins the RR-set
+        // (its width contribution is tallied here, while the in-CSR offsets
+        // are hot); expansion continues only through nodes that pass their
+        // A test.
         self.queue.clear();
         self.visited.insert(root.index());
         self.queue.push(root);
+        let mut width: u64 = 0;
         let mut head = 0;
         while head < self.queue.len() {
             let u = self.queue[head];
             head += 1;
             out.push(u);
+            width += self.g.in_degree(u) as u64;
             if !self.passes_a(u, world, rng) {
                 // u can only be A-adopted as the seed itself (Case 1(ii)/2(ii)).
                 continue;
@@ -153,6 +159,7 @@ impl<'g> RrSimSampler<'g> {
                 }
             }
         }
+        self.last_width = width;
     }
 }
 
@@ -167,6 +174,16 @@ impl RrSampler for RrSimSampler<'_> {
         world.reset();
         self.sample_in_world(root, &mut world, rng, out);
         self.world = world;
+    }
+
+    fn sample_with_width<R: Rng>(
+        &mut self,
+        root: NodeId,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) -> u64 {
+        self.sample(root, rng, out);
+        self.last_width
     }
 }
 
@@ -238,6 +255,23 @@ mod tests {
             for v in &out {
                 assert!(reach.contains(v), "{v} not backward-reachable from {root}");
             }
+        }
+    }
+
+    #[test]
+    fn width_accumulated_during_bfs_matches_indegree_sum() {
+        use rand::RngExt;
+        let mut grng = SmallRng::seed_from_u64(11);
+        let g = gen::gnm(40, 200, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.5).apply(&g, &mut grng);
+        let mut s = RrSimSampler::new(&g, gap_one_way(), seeds(&[2, 3])).unwrap();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            let root = NodeId(rng.random_range(0..40));
+            let w = s.sample_with_width(root, &mut rng, &mut out);
+            let expect: u64 = out.iter().map(|&v| g.in_degree(v) as u64).sum();
+            assert_eq!(w, expect);
         }
     }
 

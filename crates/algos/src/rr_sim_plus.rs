@@ -34,6 +34,7 @@ pub struct RrSimPlusSampler<'g> {
     b_tested: StampedSet,
     visited2: StampedSet,
     queue: Vec<NodeId>,
+    last_width: u64,
 }
 
 impl<'g> RrSimPlusSampler<'g> {
@@ -66,6 +67,7 @@ impl<'g> RrSimPlusSampler<'g> {
             b_tested: StampedSet::new(g.num_nodes()),
             visited2: StampedSet::new(g.num_nodes()),
             queue: Vec::new(),
+            last_width: 0,
         })
     }
 
@@ -146,15 +148,18 @@ impl RrSampler for RrSimPlusSampler<'_> {
             }
         }
 
-        // --- Second backward BFS: gated exactly like RR-SIM phase III. ---
+        // --- Second backward BFS: gated exactly like RR-SIM phase III,
+        // accumulating ω(R) as members are dequeued. ---
         self.queue.clear();
         self.visited2.insert(root.index());
         self.queue.push(root);
+        let mut width: u64 = 0;
         let mut head = 0;
         while head < self.queue.len() {
             let u = self.queue[head];
             head += 1;
             out.push(u);
+            width += self.g.in_degree(u) as u64;
             let q = if self.b_adopted.contains(u.index()) {
                 self.gap.q_ab
             } else {
@@ -176,6 +181,17 @@ impl RrSampler for RrSimPlusSampler<'_> {
                 }
             }
         }
+        self.last_width = width;
+    }
+
+    fn sample_with_width<R: Rng>(
+        &mut self,
+        root: NodeId,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) -> u64 {
+        self.sample(root, rng, out);
+        self.last_width
     }
 }
 
@@ -214,6 +230,23 @@ mod tests {
             sorted.sort_unstable();
             sorted.dedup();
             assert_eq!(sorted.len(), out.len());
+        }
+    }
+
+    #[test]
+    fn width_accumulated_during_bfs_matches_indegree_sum() {
+        let mut grng = SmallRng::seed_from_u64(11);
+        let g = gen::gnm(40, 200, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.4).apply(&g, &mut grng);
+        let gap = Gap::new(0.2, 0.9, 0.6, 0.6).unwrap();
+        let mut s = RrSimPlusSampler::new(&g, gap, seeds(&[3, 4])).unwrap();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            let root = NodeId(rng.random_range(0..40));
+            let w = s.sample_with_width(root, &mut rng, &mut out);
+            let expect: u64 = out.iter().map(|&v| g.in_degree(v) as u64).sum();
+            assert_eq!(w, expect);
         }
     }
 

@@ -5,7 +5,7 @@ use comic_core::gap::{Gap, Regime};
 use comic_core::seeds::SeedPair;
 use comic_core::spread::SpreadEstimator;
 use comic_graph::{DiGraph, NodeId};
-use comic_ris::tim::{general_tim, TimConfig, TimResult};
+use comic_ris::tim::{general_tim_with, TimConfig, TimResult};
 use rand::{Rng, RngExt};
 
 use crate::error::AlgoError;
@@ -122,7 +122,8 @@ impl<'g> SelfInfMax<'g> {
         self
     }
 
-    /// Worker threads for evaluations (0 = all cores).
+    /// Worker threads for RR-set generation and MC evaluations
+    /// (0 = all cores).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -139,16 +140,27 @@ impl<'g> SelfInfMax<'g> {
         let mut cfg = TimConfig::new(k).epsilon(self.epsilon).seed(seed);
         cfg.ell = self.ell;
         cfg.max_rr_sets = self.max_rr_sets;
+        cfg.threads = self.threads;
         cfg
     }
 
     fn run_tim(&self, gap: Gap, k: usize, seed: u64) -> Result<TimResult, AlgoError> {
+        // Validate the regime and seed set once up front, so the per-thread
+        // factory below can construct samplers infallibly.
         if self.use_plus {
-            let mut sampler = RrSimPlusSampler::new(self.g, gap, self.seeds_b.clone())?;
-            Ok(general_tim(&mut sampler, &self.tim_config(k, seed))?)
+            RrSimPlusSampler::new(self.g, gap, self.seeds_b.clone())?;
+            let factory = || {
+                RrSimPlusSampler::new(self.g, gap, self.seeds_b.clone())
+                    .expect("validated Rr-SIM+ construction")
+            };
+            Ok(general_tim_with(factory, &self.tim_config(k, seed))?)
         } else {
-            let mut sampler = RrSimSampler::new(self.g, gap, self.seeds_b.clone())?;
-            Ok(general_tim(&mut sampler, &self.tim_config(k, seed))?)
+            RrSimSampler::new(self.g, gap, self.seeds_b.clone())?;
+            let factory = || {
+                RrSimSampler::new(self.g, gap, self.seeds_b.clone())
+                    .expect("validated RR-SIM construction")
+            };
+            Ok(general_tim_with(factory, &self.tim_config(k, seed))?)
         }
     }
 

@@ -8,7 +8,7 @@ use crate::runtime::timed;
 use crate::Scale;
 use comic_algos::{RrCimSampler, RrSimPlusSampler, RrSimSampler};
 use comic_core::Gap;
-use comic_ris::tim::{general_tim, TimConfig};
+use comic_ris::tim::{general_tim_with, TimConfig};
 
 /// Regenerate Figure 4's series on one dataset.
 pub fn run(scale: &Scale, dataset: Dataset) -> String {
@@ -38,19 +38,29 @@ pub fn run(scale: &Scale, dataset: Dataset) -> String {
         let mk_cfg = |seed: u64| {
             let mut cfg = TimConfig::new(scale.k).epsilon(eps).seed(seed);
             cfg.max_rr_sets = scale.max_rr_sets;
+            cfg.threads = scale.threads;
             cfg
         };
         let (sim_res, sim_t) = timed(|| {
-            let mut s = RrSimSampler::new(&g, gap_sim, opposite.clone()).unwrap();
-            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+            general_tim_with(
+                || RrSimSampler::new(&g, gap_sim, opposite.clone()).unwrap(),
+                &mk_cfg(scale.seed),
+            )
+            .unwrap()
         });
         let (plus_res, plus_t) = timed(|| {
-            let mut s = RrSimPlusSampler::new(&g, gap_sim, opposite.clone()).unwrap();
-            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+            general_tim_with(
+                || RrSimPlusSampler::new(&g, gap_sim, opposite.clone()).unwrap(),
+                &mk_cfg(scale.seed),
+            )
+            .unwrap()
         });
         let (cim_res, cim_t) = timed(|| {
-            let mut s = RrCimSampler::new(&g, gap_cim, opposite.clone()).unwrap();
-            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+            general_tim_with(
+                || RrCimSampler::new(&g, gap_cim, opposite.clone()).unwrap(),
+                &mk_cfg(scale.seed),
+            )
+            .unwrap()
         });
         let spread = sigma_a(
             &g,
@@ -93,6 +103,7 @@ mod tests {
             k: 3,
             max_rr_sets: Some(20_000),
             seed: 2,
+            threads: 1,
         };
         let out = run(&scale, Dataset::Flixster);
         assert!(out.contains("eps"));

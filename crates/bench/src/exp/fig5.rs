@@ -22,6 +22,7 @@ pub fn run(scale: &Scale, dataset: Dataset) -> String {
     // (greedy pick order is nested).
     let mut solver = SelfInfMax::new(&g, gap, opposite.clone())
         .eval_iterations(scale.mc_iterations)
+        .threads(scale.threads)
         .epsilon(0.5);
     if let Some(cap) = scale.max_rr_sets {
         solver = solver.max_rr_sets(cap);
@@ -81,6 +82,7 @@ mod tests {
             k: 5,
             max_rr_sets: Some(20_000),
             seed: 3,
+            threads: 1,
         };
         let out = run(&scale, Dataset::DoubanBook);
         assert!(out.contains("HighDegree"));

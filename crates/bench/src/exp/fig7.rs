@@ -14,7 +14,7 @@ use crate::Scale;
 use comic_algos::greedy::{greedy_comp_inf_max, greedy_self_inf_max, GreedyConfig};
 use comic_algos::{RrCimSampler, RrSimPlusSampler, RrSimSampler};
 use comic_core::Gap;
-use comic_ris::tim::{general_tim, TimConfig};
+use comic_ris::tim::{general_tim_with, TimConfig};
 
 /// Figure 7(a): per-dataset running times. Greedy runs with a reduced
 /// budget (`greedy_k`, `greedy_mc`) — even so it dominates the wall clock,
@@ -41,28 +41,38 @@ pub fn run_times(scale: &Scale, datasets: &[Dataset], greedy_k: usize, greedy_mc
         let mk_cfg = |seed: u64| {
             let mut cfg = TimConfig::new(scale.k).epsilon(0.5).seed(seed);
             cfg.max_rr_sets = scale.max_rr_sets;
+            cfg.threads = scale.threads;
             cfg
         };
         let gcfg = GreedyConfig {
             mc_iterations: greedy_mc,
             seed: scale.seed,
-            threads: 0,
+            threads: scale.threads,
         };
         let (_, greedy_sim_t) =
             timed(|| greedy_self_inf_max(&g, gap_sim, &opposite, greedy_k, &gcfg));
         let (_, rr_sim_t) = timed(|| {
-            let mut s = RrSimSampler::new(&g, gap_sim, opposite.clone()).unwrap();
-            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+            general_tim_with(
+                || RrSimSampler::new(&g, gap_sim, opposite.clone()).unwrap(),
+                &mk_cfg(scale.seed),
+            )
+            .unwrap()
         });
         let (_, rr_plus_t) = timed(|| {
-            let mut s = RrSimPlusSampler::new(&g, gap_sim, opposite.clone()).unwrap();
-            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+            general_tim_with(
+                || RrSimPlusSampler::new(&g, gap_sim, opposite.clone()).unwrap(),
+                &mk_cfg(scale.seed),
+            )
+            .unwrap()
         });
         let (_, greedy_cim_t) =
             timed(|| greedy_comp_inf_max(&g, gap_cim, &opposite, greedy_k, &gcfg));
         let (_, rr_cim_t) = timed(|| {
-            let mut s = RrCimSampler::new(&g, gap_cim, opposite.clone()).unwrap();
-            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+            general_tim_with(
+                || RrCimSampler::new(&g, gap_cim, opposite.clone()).unwrap(),
+                &mk_cfg(scale.seed),
+            )
+            .unwrap()
         });
         t.row(vec![
             d.name().to_string(),
@@ -88,19 +98,29 @@ pub fn run_scalability(scale: &Scale, sizes: &[usize]) -> String {
         let mk_cfg = |seed: u64| {
             let mut cfg = TimConfig::new(scale.k).epsilon(0.5).seed(seed);
             cfg.max_rr_sets = scale.max_rr_sets;
+            cfg.threads = scale.threads;
             cfg
         };
         let (_, sim_t) = timed(|| {
-            let mut s = RrSimSampler::new(&g, gap_sim, opposite.clone()).unwrap();
-            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+            general_tim_with(
+                || RrSimSampler::new(&g, gap_sim, opposite.clone()).unwrap(),
+                &mk_cfg(scale.seed),
+            )
+            .unwrap()
         });
         let (_, plus_t) = timed(|| {
-            let mut s = RrSimPlusSampler::new(&g, gap_sim, opposite.clone()).unwrap();
-            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+            general_tim_with(
+                || RrSimPlusSampler::new(&g, gap_sim, opposite.clone()).unwrap(),
+                &mk_cfg(scale.seed),
+            )
+            .unwrap()
         });
         let (_, cim_t) = timed(|| {
-            let mut s = RrCimSampler::new(&g, gap_cim, opposite.clone()).unwrap();
-            general_tim(&mut s, &mk_cfg(scale.seed)).unwrap()
+            general_tim_with(
+                || RrCimSampler::new(&g, gap_cim, opposite.clone()).unwrap(),
+                &mk_cfg(scale.seed),
+            )
+            .unwrap()
         });
         t.row(vec![
             n.to_string(),
@@ -125,6 +145,7 @@ mod tests {
             k: 3,
             max_rr_sets: Some(10_000),
             seed: 5,
+            threads: 1,
         };
         let out = run_times(&scale, &[Dataset::Flixster], 1, 100);
         assert!(out.contains("Greedy(SIM)"));
@@ -138,6 +159,7 @@ mod tests {
             k: 3,
             max_rr_sets: Some(10_000),
             seed: 6,
+            threads: 1,
         };
         let out = run_scalability(&scale, &[500, 1000]);
         assert!(out.contains("1000"));

@@ -47,6 +47,7 @@ pub fn run(scale: &Scale, dataset: Dataset, greedy_mc: usize) -> String {
         let mut rng = SmallRng::seed_from_u64(scale.seed + 81);
         let mut solver = SelfInfMax::new(&g, gap, opposite.clone())
             .eval_iterations(scale.mc_iterations)
+            .threads(scale.threads)
             .with_greedy_candidate(gcfg);
         if let Some(cap) = scale.max_rr_sets {
             solver = solver.max_rr_sets(cap);
@@ -79,6 +80,7 @@ pub fn run(scale: &Scale, dataset: Dataset, greedy_mc: usize) -> String {
         let mut rng = SmallRng::seed_from_u64(scale.seed + 82);
         let mut solver = CompInfMax::new(&g, gap, opposite.clone())
             .eval_iterations(scale.mc_iterations)
+            .threads(scale.threads)
             .with_greedy_candidate(gcfg);
         if let Some(cap) = scale.max_rr_sets {
             solver = solver.max_rr_sets(cap);
@@ -119,6 +121,7 @@ mod tests {
             k: 2,
             max_rr_sets: Some(10_000),
             seed: 7,
+            threads: 1,
         };
         let out = run(&scale, Dataset::Flixster, 100);
         assert!(out.contains("SIM q_B|0=0.1"));

@@ -19,6 +19,7 @@ fn sim_ratio(scale: &Scale, g: &comic_graph::DiGraph, gap: Gap, seed: u64) -> f6
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut solver = SelfInfMax::new(g, gap, opposite)
         .eval_iterations(scale.mc_iterations)
+        .threads(scale.threads)
         .epsilon(0.5);
     if let Some(cap) = scale.max_rr_sets {
         solver = solver.max_rr_sets(cap);
@@ -32,6 +33,7 @@ fn cim_ratio(scale: &Scale, g: &comic_graph::DiGraph, gap: Gap, seed: u64) -> f6
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut solver = CompInfMax::new(g, gap, a_seeds)
         .eval_iterations(scale.mc_iterations)
+        .threads(scale.threads)
         .epsilon(0.5);
     if let Some(cap) = scale.max_rr_sets {
         solver = solver.max_rr_sets(cap);
@@ -102,6 +104,7 @@ mod tests {
             k: 4,
             max_rr_sets: Some(30_000),
             seed: 5,
+            threads: 1,
         };
         let out = run(&scale, &[Dataset::Flixster]);
         assert!(out.contains("SIM_learn"));

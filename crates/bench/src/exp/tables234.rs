@@ -46,6 +46,7 @@ pub fn run(scale: &Scale, mode: OppositeMode, datasets: &[Dataset]) -> String {
             let mut rng = SmallRng::seed_from_u64(scale.seed + qi as u64);
             let mut solver = SelfInfMax::new(&g, gap, opposite.clone())
                 .eval_iterations(scale.mc_iterations)
+                .threads(scale.threads)
                 .epsilon(0.5);
             if let Some(cap) = scale.max_rr_sets {
                 solver = solver.max_rr_sets(cap);
@@ -91,6 +92,7 @@ pub fn run(scale: &Scale, mode: OppositeMode, datasets: &[Dataset]) -> String {
             let mut rng = SmallRng::seed_from_u64(scale.seed + 100 + qi as u64);
             let mut solver = CompInfMax::new(&g, gap, a_seeds.clone())
                 .eval_iterations(scale.mc_iterations)
+                .threads(scale.threads)
                 .epsilon(0.5);
             if let Some(cap) = scale.max_rr_sets {
                 solver = solver.max_rr_sets(cap);
@@ -129,6 +131,7 @@ mod tests {
             k: 5,
             max_rr_sets: Some(50_000),
             seed: 1,
+            threads: 1,
         };
         let out = run(&scale, OppositeMode::Random100, &[Dataset::Flixster]);
         assert!(out.contains("SelfInfMax"));

@@ -38,6 +38,11 @@ pub struct Scale {
     pub max_rr_sets: Option<u64>,
     /// Base RNG seed for the whole experiment.
     pub seed: u64,
+    /// Worker threads for RR-set generation and MC evaluation (`0` = one
+    /// per core). Results are deterministic for a fixed `(seed, threads)`
+    /// pair, so pin `--threads` when regenerating paper tables for
+    /// comparison across machines.
+    pub threads: usize,
 }
 
 impl Default for Scale {
@@ -48,14 +53,15 @@ impl Default for Scale {
             k: 50,
             max_rr_sets: Some(4_000_000),
             seed: 20160905, // VLDB'16 opening day
+            threads: 0,
         }
     }
 }
 
 impl Scale {
-    /// Parse `--full`, `--size-factor X`, `--k K`, `--mc N`, `--seed S`
-    /// from the process arguments; unknown arguments are ignored so each
-    /// driver can add its own.
+    /// Parse `--full`, `--size-factor X`, `--k K`, `--mc N`, `--seed S`,
+    /// `--threads T` from the process arguments; unknown arguments are
+    /// ignored so each driver can add its own.
     pub fn from_args() -> Scale {
         let mut scale = Scale::default();
         let args: Vec<String> = std::env::args().collect();
@@ -77,6 +83,10 @@ impl Scale {
                 }
                 "--seed" if i + 1 < args.len() => {
                     scale.seed = args[i + 1].parse().unwrap_or(scale.seed);
+                    i += 1;
+                }
+                "--threads" if i + 1 < args.len() => {
+                    scale.threads = args[i + 1].parse().unwrap_or(scale.threads);
                     i += 1;
                 }
                 _ => {}

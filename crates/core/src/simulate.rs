@@ -136,6 +136,9 @@ pub struct CascadeEngine<'g> {
     inform_slot: StampedVec<u32>,
     informed: Vec<NodeId>,
     lists: Vec<Vec<(EdgeId, AdoptKind)>>,
+    // Recycled inform-lists: popped lists return here with their capacity
+    // intact, so steady-state runs never allocate fresh list storage.
+    free_lists: Vec<Vec<(EdgeId, AdoptKind)>>,
     // Sort buffer for tie-breaking: (priority, edge, kind).
     sort_buf: Vec<(u64, EdgeId, AdoptKind)>,
     // Within-step newly-adopted registry.
@@ -159,6 +162,7 @@ impl<'g> CascadeEngine<'g> {
             inform_slot: StampedVec::new(g.num_nodes()),
             informed: Vec::new(),
             lists: Vec::new(),
+            free_lists: Vec::new(),
             sort_buf: Vec::new(),
             newly_kind: StampedVec::new(g.num_nodes()),
             newly: Vec::new(),
@@ -213,6 +217,12 @@ impl<'g> CascadeEngine<'g> {
         self.inform_slot.clear();
         self.newly_kind.clear();
         self.informed.clear();
+        // Normally empty here; a list survives only if a previous run
+        // unwound mid-step, so recycle (cleared) rather than leak or drop.
+        for mut list in self.lists.drain(..) {
+            list.clear();
+            self.free_lists.push(list);
+        }
         self.newly.clear();
         self.cur.clear();
         self.a_adopted.clear();
@@ -293,8 +303,9 @@ impl<'g> CascadeEngine<'g> {
                     }
                 }
                 list.clear();
-                self.lists[i] = list;
+                self.free_lists.push(list);
             }
+            self.lists.clear();
             self.informed.clear();
             self.inform_slot.clear();
             self.drain_newly();
@@ -333,9 +344,7 @@ impl<'g> CascadeEngine<'g> {
                 let s = self.informed.len();
                 self.inform_slot.set(v.index(), s as u32);
                 self.informed.push(v);
-                if self.lists.len() <= s {
-                    self.lists.push(Vec::new());
-                }
+                self.lists.push(self.free_lists.pop().unwrap_or_default());
                 s
             }
         };

@@ -11,6 +11,7 @@ use crate::gap::Gap;
 use crate::oracle::CoinOracle;
 use crate::seeds::SeedPair;
 use crate::simulate::CascadeEngine;
+use comic_graph::fasthash::splitmix64;
 use comic_graph::DiGraph;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -193,14 +194,6 @@ impl<'g> SpreadEstimator<'g> {
         let without_b = self.estimate_parallel(&baseline, iterations, seed, threads);
         with_b.sigma_a - without_b.sigma_a
     }
-}
-
-/// SplitMix64 — used to derive independent RNG streams per worker thread.
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e3779b97f4a7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
-    x ^ (x >> 31)
 }
 
 #[cfg(test)]

@@ -255,6 +255,18 @@ impl DiGraph {
         })
     }
 
+    /// Raw in-CSR slices for `v`: sources and probabilities, index-aligned.
+    ///
+    /// The RR-set samplers' inner loop wants direct slice access (for
+    /// geometric skip-sampling over uniform-probability runs) without paying
+    /// the iterator's per-element `Adj` construction.
+    #[inline]
+    pub fn in_sources_probs(&self, v: NodeId) -> (&[NodeId], &[f64]) {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        (&self.in_sources[lo..hi], &self.in_probs[lo..hi])
+    }
+
     /// The endpoints and probability of a canonical edge id.
     pub fn edge(&self, e: EdgeId) -> Edge {
         let slot = e.index();
@@ -348,6 +360,21 @@ mod tests {
                 assert_eq!(e.source, adj.node);
                 assert_eq!(e.target, v);
                 assert_eq!(e.p, adj.p);
+            }
+        }
+    }
+
+    #[test]
+    fn in_sources_probs_match_in_edges() {
+        let g = diamond();
+        for v in g.nodes() {
+            let (srcs, probs) = g.in_sources_probs(v);
+            let via_iter: Vec<(NodeId, f64)> = g.in_edges(v).map(|a| (a.node, a.p)).collect();
+            assert_eq!(srcs.len(), via_iter.len());
+            assert_eq!(probs.len(), via_iter.len());
+            for (i, &(node, p)) in via_iter.iter().enumerate() {
+                assert_eq!(srcs[i], node);
+                assert_eq!(probs[i], p);
             }
         }
     }

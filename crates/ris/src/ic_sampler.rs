@@ -11,21 +11,75 @@ use rand::{Rng, RngExt};
 /// `p(w, u)`; the RR-set is every node with a live path *to* the root.
 ///
 /// Each in-edge is coin-flipped the first time its head is dequeued, which
-/// tests every edge at most once per world.
+/// tests every edge at most once per world. Two hot-path optimizations on
+/// top of the textbook loop:
+///
+/// * the RR-set width `ω(R)` is accumulated during the BFS itself (the
+///   in-CSR offsets are already in cache), so consumers never pay a second
+///   `in_degree` pass over the members;
+/// * nodes whose in-edges all share one probability `p` — the whole graph
+///   under `ProbModel::Constant`, every node under weighted cascade — use
+///   *geometric skip-sampling*: instead of one coin per edge, the distance
+///   to the next live edge is drawn as `⌊ln(U)/ln(1−p)⌋`, flipping
+///   O(successes) coins instead of O(edges). For low-`p` graphs this removes
+///   almost every RNG call from the inner loop.
 pub struct IcRrSampler<'g> {
     g: &'g DiGraph,
     visited: StampedSet,
     queue: Vec<NodeId>,
+    // Per node: the shared in-probability (NaN = mixed probabilities, take
+    // the per-edge path) and the precomputed 1/ln(1-p) for the skip draw.
+    uni_p: Vec<f64>,
+    uni_inv_ln_q: Vec<f64>,
+    last_width: u64,
 }
 
 impl<'g> IcRrSampler<'g> {
     /// Create a sampler for `g`.
+    ///
+    /// Cheap enough (one O(m) scan for uniform-probability runs) to call
+    /// once per worker thread; the parallel generator constructs one
+    /// instance per shard through its sampler factory.
     pub fn new(g: &'g DiGraph) -> Self {
+        let n = g.num_nodes();
+        let mut uni_p = vec![f64::NAN; n];
+        let mut uni_inv_ln_q = vec![0.0; n];
+        for v in g.nodes() {
+            let (_, probs) = g.in_sources_probs(v);
+            if let Some((&first, rest)) = probs.split_first() {
+                if rest.iter().all(|&p| p == first) {
+                    uni_p[v.index()] = first;
+                    if first > 0.0 && first < 1.0 {
+                        uni_inv_ln_q[v.index()] = (1.0 - first).ln().recip();
+                    }
+                }
+            }
+        }
         IcRrSampler {
             g,
-            visited: StampedSet::new(g.num_nodes()),
+            visited: StampedSet::new(n),
             queue: Vec::new(),
+            uni_p,
+            uni_inv_ln_q,
+            last_width: 0,
         }
+    }
+
+    #[inline]
+    fn try_visit(&mut self, w: NodeId) {
+        if self.visited.insert(w.index()) {
+            self.queue.push(w);
+        }
+    }
+
+    /// Distance to the next live edge in a run of success probability `p`,
+    /// drawn as `⌊ln(U) / ln(1−p)⌋` with `U` uniform on `(0, 1]`
+    /// (`inv_ln_q = 1/ln(1−p)`). Saturates instead of overflowing for the
+    /// astronomically long skips a tiny `p` can produce.
+    #[inline]
+    fn geometric_skip<R: Rng>(rng: &mut R, inv_ln_q: f64) -> usize {
+        let u = 1.0 - rng.random::<f64>();
+        (u.ln() * inv_ln_q) as usize
     }
 }
 
@@ -40,18 +94,49 @@ impl RrSampler for IcRrSampler<'_> {
         self.queue.clear();
         self.visited.insert(root.index());
         self.queue.push(root);
+        let mut width: u64 = 0;
         let mut head = 0;
         while head < self.queue.len() {
             let u = self.queue[head];
             head += 1;
             out.push(u);
-            for adj in self.g.in_edges(u) {
-                if !self.visited.contains(adj.node.index()) && rng.random_bool(adj.p) {
-                    self.visited.insert(adj.node.index());
-                    self.queue.push(adj.node);
+            let (srcs, probs) = self.g.in_sources_probs(u);
+            width += srcs.len() as u64;
+            let p = self.uni_p[u.index()];
+            if p.is_nan() {
+                // Mixed in-probabilities: one coin per edge.
+                for (i, &w) in srcs.iter().enumerate() {
+                    if !self.visited.contains(w.index()) && rng.random_bool(probs[i]) {
+                        self.visited.insert(w.index());
+                        self.queue.push(w);
+                    }
                 }
-            }
+            } else if p >= 1.0 {
+                for &w in srcs {
+                    self.try_visit(w);
+                }
+            } else if p > 0.0 {
+                let inv_ln_q = self.uni_inv_ln_q[u.index()];
+                let mut idx = Self::geometric_skip(rng, inv_ln_q);
+                while idx < srcs.len() {
+                    self.try_visit(srcs[idx]);
+                    idx = idx
+                        .saturating_add(1)
+                        .saturating_add(Self::geometric_skip(rng, inv_ln_q));
+                }
+            } // p <= 0.0: no in-edge of u is ever live.
         }
+        self.last_width = width;
+    }
+
+    fn sample_with_width<R: Rng>(
+        &mut self,
+        root: NodeId,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) -> u64 {
+        self.sample(root, rng, out);
+        self.last_width
     }
 }
 
@@ -94,6 +179,80 @@ mod tests {
         let mut out = Vec::new();
         s.sample(NodeId(4), &mut rng, &mut out);
         assert_eq!(out, vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn width_accumulated_during_bfs_matches_indegree_sum() {
+        let mut grng = SmallRng::seed_from_u64(6);
+        let g = comic_graph::gen::gnm(40, 200, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::trivalency().apply(&g, &mut grng);
+        let mut s = IcRrSampler::new(&g);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut out = Vec::new();
+        for v in g.nodes() {
+            let w = s.sample_with_width(v, &mut rng, &mut out);
+            let expect: u64 = out.iter().map(|&v| g.in_degree(v) as u64).sum();
+            assert_eq!(w, expect, "width mismatch at root {v}");
+        }
+    }
+
+    /// Skip-sampling must preserve the per-edge Bernoulli distribution. A
+    /// fan graph (many sources, one sink, uniform `p`) makes the live count
+    /// Binomial(d, p); a mixed-probability fan checks the fallback path.
+    #[test]
+    fn skip_sampling_matches_binomial_on_uniform_fan() {
+        let d = 40u32;
+        let root = d; // node `d` is the sink; 0..d point at it
+        for p in [0.03, 0.25, 0.75] {
+            let edges: Vec<(u32, u32, f64)> = (0..d).map(|i| (i, root, p)).collect();
+            let g = comic_graph::builder::from_edges(d as usize + 1, &edges).unwrap();
+            let mut s = IcRrSampler::new(&g);
+            assert!(!s.uni_p[root as usize].is_nan(), "fan should be uniform");
+            let mut rng = SmallRng::seed_from_u64(p.to_bits());
+            let mut out = Vec::new();
+            let trials = 40_000;
+            let mut total = 0usize;
+            for _ in 0..trials {
+                s.sample(NodeId(root), &mut rng, &mut out);
+                total += out.len() - 1; // minus the root itself
+            }
+            let mean = total as f64 / trials as f64;
+            let expect = d as f64 * p;
+            let sigma = (d as f64 * p * (1.0 - p) / trials as f64).sqrt();
+            assert!(
+                (mean - expect).abs() < 5.0 * sigma.max(0.01),
+                "p={p}: mean {mean} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_probability_fan_uses_per_edge_coins() {
+        let d = 30u32;
+        let root = d;
+        let edges: Vec<(u32, u32, f64)> = (0..d)
+            .map(|i| (i, root, 0.1 + 0.8 * i as f64 / d as f64))
+            .collect();
+        let g = comic_graph::builder::from_edges(d as usize + 1, &edges).unwrap();
+        let mut s = IcRrSampler::new(&g);
+        assert!(
+            s.uni_p[root as usize].is_nan(),
+            "fan must register as mixed"
+        );
+        let expect: f64 = edges.iter().map(|&(_, _, p)| p).sum();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut out = Vec::new();
+        let trials = 40_000;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            s.sample(NodeId(root), &mut rng, &mut out);
+            total += out.len() - 1;
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(
+            (mean - expect).abs() < 0.1,
+            "mean {mean} vs expected {expect}"
+        );
     }
 
     /// The activation-equivalence property (Definition 2 / Proposition 1):

@@ -10,6 +10,7 @@
 //! relies on the activation-equivalence property, so the identical procedure
 //! applies to RR-SIM / RR-CIM sets.
 
+use crate::parallel::{resolve_threads, ShardedGenerator};
 use crate::sampler::RrSampler;
 use rand::Rng;
 
@@ -25,6 +26,69 @@ pub struct KptEstimate {
     pub total_members: u64,
 }
 
+impl KptEstimate {
+    /// The degenerate floor: no round cleared its threshold (or the graph
+    /// cannot support estimation at all).
+    fn floor(samples: u64, total_members: u64) -> KptEstimate {
+        KptEstimate {
+            kpt: 1.0,
+            samples,
+            total_members,
+        }
+    }
+}
+
+/// The geometric round schedule of TIM's Algorithm 2 — shared by the
+/// sequential and sharded estimators so the constants cannot drift apart.
+struct RoundPlan {
+    nf: f64,
+    mf: f64,
+    k: usize,
+    ell: f64,
+    rounds: i64,
+}
+
+impl RoundPlan {
+    /// `None` means the graph is too degenerate to estimate on (the caller
+    /// returns the floor immediately).
+    fn new(n: usize, m: usize, k: usize, ell: f64) -> Option<RoundPlan> {
+        if n < 2 || m == 0 {
+            return None;
+        }
+        let nf = n as f64;
+        Some(RoundPlan {
+            nf,
+            mf: m as f64,
+            k,
+            ell,
+            rounds: (nf.log2() as i64 - 1).max(1),
+        })
+    }
+
+    /// Sample budget `c_i` of round `i`.
+    fn budget(&self, i: i64) -> u64 {
+        let log2n = self.nf.log2();
+        ((6.0 * self.ell * self.nf.ln() + 6.0 * log2n.ln().max(1.0)) * 2f64.powi(i as i32))
+            .ceil()
+            .max(1.0) as u64
+    }
+
+    /// `κ(R) = 1 − (1 − ω(R)/m)^k` for one RR-set of width `width`.
+    fn kappa(&self, width: u64) -> f64 {
+        1.0 - (1.0 - width as f64 / self.mf).powi(self.k as i32)
+    }
+
+    /// If round `i`'s κ-sum clears the `2^{-i}` threshold, the final
+    /// estimate `n · Σκ / (2 c_i)` (floored at 1).
+    fn verdict(&self, i: i64, sum: f64, c_i: u64) -> Option<f64> {
+        if sum / c_i as f64 > 1.0 / 2f64.powi(i as i32) {
+            Some((self.nf * sum / (2.0 * c_i as f64)).max(1.0))
+        } else {
+            None
+        }
+    }
+}
+
 /// Estimate `KPT*` for a sampler and budget `k` (TIM Algorithm 2).
 ///
 /// `ell` is the confidence exponent (failure probability `n^{-ell}`).
@@ -36,49 +100,104 @@ pub fn kpt_star<S: RrSampler, R: Rng>(
 ) -> KptEstimate {
     let n = sampler.graph().num_nodes();
     let m = sampler.graph().num_edges();
+    let Some(plan) = RoundPlan::new(n, m, k, ell) else {
+        return KptEstimate::floor(0, 0);
+    };
     let mut samples: u64 = 0;
     let mut total_members: u64 = 0;
-    if n < 2 || m == 0 {
-        return KptEstimate {
-            kpt: 1.0,
-            samples,
-            total_members,
-        };
-    }
-    let nf = n as f64;
-    let mf = m as f64;
-    let log2n = nf.log2();
-    let rounds = (log2n as i64 - 1).max(1);
     let mut out = Vec::new();
-    for i in 1..=rounds {
-        let c_i = ((6.0 * ell * nf.ln() + 6.0 * log2n.ln().max(1.0)) * 2f64.powi(i as i32))
-            .ceil()
-            .max(1.0) as u64;
+    for i in 1..=plan.rounds {
+        let c_i = plan.budget(i);
         let mut sum = 0.0f64;
         for _ in 0..c_i {
-            sampler.sample_random(rng, &mut out);
+            // The sampler accumulates ω(R) during its reverse BFS, so no
+            // second in_degree pass over the members is needed here.
+            let (_, width) = sampler.sample_random_with_width(rng, &mut out);
             samples += 1;
             total_members += out.len() as u64;
-            let width: u64 = out
-                .iter()
-                .map(|&v| sampler.graph().in_degree(v) as u64)
-                .sum();
-            let kappa = 1.0 - (1.0 - width as f64 / mf).powi(k as i32);
-            sum += kappa;
+            sum += plan.kappa(width);
         }
-        if sum / c_i as f64 > 1.0 / 2f64.powi(i as i32) {
+        if let Some(kpt) = plan.verdict(i, sum, c_i) {
             return KptEstimate {
-                kpt: (nf * sum / (2.0 * c_i as f64)).max(1.0),
+                kpt,
                 samples,
                 total_members,
             };
         }
     }
-    KptEstimate {
-        kpt: 1.0,
-        samples,
-        total_members,
+    KptEstimate::floor(samples, total_members)
+}
+
+/// Workers below this per-shard sample share cost more in sampler
+/// construction (each worker builds a fresh instance: O(n + m) scans and
+/// n-sized scratch tables) than they save, so early rounds clamp their
+/// thread count. The clamp is a pure function of the round budget, keeping
+/// the `(seed, threads)` determinism contract intact.
+const MIN_SAMPLES_PER_SHARD: u64 = 512;
+
+/// Parallel KPT* estimation over per-thread sampler instances (the sharded
+/// twin of [`kpt_star`]).
+///
+/// Each geometric round generates its `c_i` RR-sets through a
+/// [`ShardedGenerator`] seeded with a round-distinct stream derived from
+/// `seed`, then folds `κ` over the merged store in shard order — so the
+/// estimate is deterministic for a fixed `(seed, threads)` pair. `threads`
+/// follows the [`crate::parallel`] convention (`0` = all cores).
+pub fn kpt_star_with<S, F>(factory: F, k: usize, ell: f64, seed: u64, threads: usize) -> KptEstimate
+where
+    S: RrSampler,
+    F: Fn() -> S + Sync,
+{
+    let (n, m) = {
+        let probe = factory();
+        (probe.graph().num_nodes(), probe.graph().num_edges())
+    };
+    kpt_star_with_dims(factory, k, ell, seed, threads, n, m)
+}
+
+/// [`kpt_star_with`] for callers that already know the graph dimensions
+/// (GeneralTIM probes the factory once for validation and passes them on,
+/// avoiding a second throwaway sampler construction).
+pub(crate) fn kpt_star_with_dims<S, F>(
+    factory: F,
+    k: usize,
+    ell: f64,
+    seed: u64,
+    threads: usize,
+    n: usize,
+    m: usize,
+) -> KptEstimate
+where
+    S: RrSampler,
+    F: Fn() -> S + Sync,
+{
+    let Some(plan) = RoundPlan::new(n, m, k, ell) else {
+        return KptEstimate::floor(0, 0);
+    };
+    let threads = resolve_threads(threads);
+    let mut samples: u64 = 0;
+    let mut total_members: u64 = 0;
+    for i in 1..=plan.rounds {
+        let c_i = plan.budget(i);
+        let avg = (total_members / samples.max(1)).max(1) as usize;
+        let round_seed = comic_graph::fasthash::splitmix64(seed ^ (0x6b70_7400 + i as u64));
+        let round_threads = threads.min((c_i / MIN_SAMPLES_PER_SHARD).max(1) as usize);
+        let store = ShardedGenerator::new(&factory, round_seed, round_threads).generate(c_i, avg);
+        samples += store.len() as u64;
+        total_members += store.total_members();
+        let mut sum = 0.0f64;
+        for j in 0..store.len() {
+            sum += plan.kappa(store.width(j));
+        }
+        if let Some(kpt) = plan.verdict(i, sum, c_i) {
+            return KptEstimate {
+                kpt,
+                samples,
+                total_members,
+            };
+        }
     }
+    KptEstimate::floor(samples, total_members)
 }
 
 #[cfg(test)]
@@ -141,5 +260,31 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let est = kpt_star(&mut sampler, 1, 1.0, &mut rng);
         assert_eq!(est.kpt, 1.0);
+        let est = kpt_star_with(|| IcRrSampler::new(&g), 1, 1.0, 4, 2);
+        assert_eq!(est.kpt, 1.0);
+    }
+
+    #[test]
+    fn parallel_kpt_is_deterministic_and_agrees_with_sequential() {
+        let mut grng = SmallRng::seed_from_u64(5);
+        let g = gen::gnm(300, 1500, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::WeightedCascade.apply(&g, &mut grng);
+        let k = 5;
+        let par1 = kpt_star_with(|| IcRrSampler::new(&g), k, 1.0, 99, 4);
+        let par2 = kpt_star_with(|| IcRrSampler::new(&g), k, 1.0, 99, 4);
+        assert_eq!(par1.kpt, par2.kpt, "same (seed, threads) must reproduce");
+        assert_eq!(par1.samples, par2.samples);
+        assert_eq!(par1.total_members, par2.total_members);
+        // Against the sequential estimator: both are noisy estimates of the
+        // same quantity; they must land in the same ballpark.
+        let mut sampler = IcRrSampler::new(&g);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let seq = kpt_star(&mut sampler, k, 1.0, &mut rng);
+        assert!(
+            par1.kpt <= seq.kpt * 3.0 && seq.kpt <= par1.kpt * 3.0,
+            "parallel {} vs sequential {}",
+            par1.kpt,
+            seq.kpt
+        );
     }
 }

@@ -22,6 +22,11 @@
 //! 3. sample θ random RR-sets ([`rr::RrStore`]);
 //! 4. greedily pick the `k` nodes covering the most sets
 //!    ([`coverage::max_coverage`]).
+//!
+//! Steps 1 and 3 — the wall-clock bottleneck at paper scale — can run
+//! sharded across worker threads through [`parallel::ShardedGenerator`];
+//! [`tim::general_tim_with`] is the parallel entry point and is
+//! deterministic for a fixed `(seed, threads)` configuration.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,11 +35,13 @@ pub mod coverage;
 pub mod error;
 pub mod ic_sampler;
 pub mod kpt;
+pub mod parallel;
 pub mod rr;
 pub mod sampler;
 pub mod tim;
 
 pub use error::RisError;
+pub use parallel::ShardedGenerator;
 pub use rr::RrStore;
 pub use sampler::RrSampler;
-pub use tim::{general_tim, TimConfig, TimResult};
+pub use tim::{general_tim, general_tim_with, TimConfig, TimResult};

@@ -2,6 +2,11 @@
 
 use comic_graph::{DiGraph, NodeId};
 
+/// Cap on set-count preallocation for RR arenas (θ-loop and per-thread
+/// shards), so a degenerate θ cannot ask for a terabyte up front; the
+/// arenas still grow on demand beyond it.
+pub(crate) const MAX_PREALLOC_SETS: u64 = 1 << 24;
+
 /// A flat arena of RR-sets.
 ///
 /// θ routinely reaches millions, with small average set size; storing each
@@ -10,11 +15,19 @@ use comic_graph::{DiGraph, NodeId};
 /// (exactly the CSR idea applied to set storage) and tracks the aggregate
 /// *width* `ω(R)` (number of in-edges pointing into each set) that the KPT
 /// estimator and the EPT accounting of Lemmas 6/8 need.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RrStore {
     offsets: Vec<u64>,
     nodes: Vec<NodeId>,
     widths: Vec<u64>,
+}
+
+impl Default for RrStore {
+    /// Same as [`RrStore::new`] — a derived `Default` would leave out the
+    /// leading `0` offset every accessor relies on.
+    fn default() -> Self {
+        RrStore::new()
+    }
 }
 
 impl RrStore {
@@ -39,10 +52,18 @@ impl RrStore {
     }
 
     /// Append one RR-set, computing its width from `g`.
+    pub fn push(&mut self, members: &[NodeId], g: &DiGraph) {
+        let width: u64 = members.iter().map(|&v| g.in_degree(v) as u64).sum();
+        self.push_with_width(members, width);
+    }
+
+    /// Append one RR-set whose width `ω(R)` the sampler already computed
+    /// during its reverse BFS (see [`crate::sampler::RrSampler::sample_with_width`]),
+    /// skipping the second `in_degree` pass over the members.
     ///
     /// Members must be distinct (samplers guarantee this via visited marks);
     /// debug builds assert it.
-    pub fn push(&mut self, members: &[NodeId], g: &DiGraph) {
+    pub fn push_with_width(&mut self, members: &[NodeId], width: u64) {
         debug_assert!(
             {
                 let mut m: Vec<NodeId> = members.to_vec();
@@ -51,10 +72,20 @@ impl RrStore {
             },
             "RR-set contains duplicate members"
         );
-        let width: u64 = members.iter().map(|&v| g.in_degree(v) as u64).sum();
         self.nodes.extend_from_slice(members);
         self.offsets.push(self.nodes.len() as u64);
         self.widths.push(width);
+    }
+
+    /// Append every set of `other`, rebasing its offsets — an O(members)
+    /// memcpy-style concat with no per-set work, which is what makes merging
+    /// per-thread shards from parallel generation cheap.
+    pub fn absorb(&mut self, other: RrStore) {
+        let base = self.nodes.len() as u64;
+        self.nodes.extend_from_slice(&other.nodes);
+        self.offsets
+            .extend(other.offsets[1..].iter().map(|&o| o + base));
+        self.widths.extend_from_slice(&other.widths);
     }
 
     /// Number of stored sets.
@@ -143,6 +174,57 @@ mod tests {
         mark[1] = true;
         mark[3] = true;
         assert!((store.coverage_fraction(&mark) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_rebases_offsets_and_matches_sequential_pushes() {
+        let g = gen::path(6, 1.0);
+        let sets: [&[NodeId]; 5] = [
+            &[NodeId(0)],
+            &[NodeId(1), NodeId(2)],
+            &[],
+            &[NodeId(3), NodeId(4), NodeId(5)],
+            &[NodeId(2)],
+        ];
+        // Reference: everything pushed into one store.
+        let mut whole = RrStore::new();
+        for s in sets {
+            whole.push(s, &g);
+        }
+        // Shards merged via absorb, including an empty middle shard.
+        let mut a = RrStore::new();
+        a.push(sets[0], &g);
+        a.push(sets[1], &g);
+        let b = RrStore::new();
+        let mut c = RrStore::with_capacity(3, 2);
+        c.push(sets[2], &g);
+        c.push(sets[3], &g);
+        c.push(sets[4], &g);
+        let mut merged = RrStore::new();
+        merged.absorb(a);
+        merged.absorb(b);
+        merged.absorb(c);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.len(), 5);
+        assert_eq!(merged.set(3), sets[3]);
+        assert_eq!(merged.width(3), whole.width(3));
+    }
+
+    #[test]
+    fn default_is_a_usable_empty_store() {
+        let mut d = RrStore::default();
+        assert_eq!(d, RrStore::new());
+        d.absorb(RrStore::default());
+        d.push(&[NodeId(0)], &gen::path(2, 1.0));
+        assert_eq!(d.set(0), &[NodeId(0)]);
+    }
+
+    #[test]
+    fn push_with_width_trusts_the_caller() {
+        let mut store = RrStore::new();
+        store.push_with_width(&[NodeId(0), NodeId(7)], 42);
+        assert_eq!(store.width(0), 42);
+        assert_eq!(store.set(0), &[NodeId(0), NodeId(7)]);
     }
 
     #[test]

@@ -25,6 +25,24 @@ pub trait RrSampler {
     /// singleton seed can activate `root` in this world.
     fn sample<R: Rng>(&mut self, root: NodeId, rng: &mut R, out: &mut Vec<NodeId>);
 
+    /// Like [`RrSampler::sample`], but also return the RR-set's width
+    /// `ω(R)` — the number of in-edges pointing into the set, which the KPT
+    /// estimator and [`crate::rr::RrStore`] need for every set.
+    ///
+    /// The default recomputes it with an `in_degree` pass over the members;
+    /// samplers override it to accumulate the width during the reverse BFS
+    /// itself, where the CSR offsets are already hot.
+    fn sample_with_width<R: Rng>(
+        &mut self,
+        root: NodeId,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) -> u64 {
+        self.sample(root, rng, out);
+        let g = self.graph();
+        out.iter().map(|&v| g.in_degree(v) as u64).sum()
+    }
+
     /// Draw a uniformly random root. Overridable for models where certain
     /// roots are statically irrelevant.
     fn random_root<R: Rng>(&self, rng: &mut R) -> NodeId {
@@ -36,6 +54,17 @@ pub trait RrSampler {
         let root = self.random_root(rng);
         self.sample(root, rng, out);
         root
+    }
+
+    /// Sample with a uniformly random root, returning `(root, width)`.
+    fn sample_random_with_width<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) -> (NodeId, u64) {
+        let root = self.random_root(rng);
+        let width = self.sample_with_width(root, rng, out);
+        (root, width)
     }
 }
 
@@ -82,5 +111,17 @@ mod tests {
         let mut out = Vec::new();
         let root = s.sample_random(&mut rng, &mut out);
         assert_eq!(out, vec![root]);
+    }
+
+    #[test]
+    fn default_width_is_indegree_sum_of_members() {
+        let g = comic_graph::gen::path(5, 1.0); // in-degrees 0,1,1,1,1
+        let mut s = SelfOnly { g: &g };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        assert_eq!(s.sample_with_width(NodeId(0), &mut rng, &mut out), 0);
+        assert_eq!(s.sample_with_width(NodeId(3), &mut rng, &mut out), 1);
+        let (root, width) = s.sample_random_with_width(&mut rng, &mut out);
+        assert_eq!(width, g.in_degree(root) as u64);
     }
 }

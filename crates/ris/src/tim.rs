@@ -2,9 +2,11 @@
 
 use crate::coverage::max_coverage;
 use crate::error::RisError;
-use crate::kpt::kpt_star;
-use crate::rr::RrStore;
+use crate::kpt::{kpt_star, kpt_star_with_dims};
+use crate::parallel::ShardedGenerator;
+use crate::rr::{RrStore, MAX_PREALLOC_SETS};
 use crate::sampler::RrSampler;
+use comic_graph::fasthash::splitmix64;
 use comic_graph::NodeId;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -24,6 +26,11 @@ pub struct TimConfig {
     pub max_rr_sets: Option<u64>,
     /// RNG seed for the whole pipeline.
     pub seed: u64,
+    /// Worker threads for RR-set generation in [`general_tim_with`]
+    /// (`0` = one per available core; default `1`). Results are
+    /// deterministic for a fixed `(seed, threads)` pair. The borrowing
+    /// [`general_tim`] entry point always runs on the calling thread.
+    pub threads: usize,
 }
 
 impl TimConfig {
@@ -35,6 +42,7 @@ impl TimConfig {
             ell: 1.0,
             max_rr_sets: None,
             seed: 0x5eed,
+            threads: 1,
         }
     }
 
@@ -53,6 +61,13 @@ impl TimConfig {
     /// Cap the number of RR-sets.
     pub fn max_rr_sets(mut self, cap: u64) -> Self {
         self.max_rr_sets = Some(cap);
+        self
+    }
+
+    /// Set the worker-thread count for [`general_tim_with`] (`0` = all
+    /// cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -116,12 +131,48 @@ pub fn theta(n: usize, k: usize, epsilon: f64, ell: f64, lower_bound: f64) -> u6
     (lambda / lower_bound.max(1.0)).ceil().max(1.0) as u64
 }
 
-/// Run GeneralTIM over any [`RrSampler`] (Algorithm 1).
+fn cap_theta(cfg: &TimConfig, mut theta_n: u64) -> (u64, bool) {
+    let mut capped = false;
+    if let Some(cap) = cfg.max_rr_sets {
+        if theta_n > cap {
+            theta_n = cap;
+            capped = true;
+        }
+    }
+    (theta_n, capped)
+}
+
+fn assemble(
+    n: usize,
+    cfg: &TimConfig,
+    kpt: f64,
+    theta_n: u64,
+    capped: bool,
+    store: &RrStore,
+) -> TimResult {
+    let cov = max_coverage(store, n, cfg.k);
+    let est_spread = n as f64 * cov.covered as f64 / theta_n as f64;
+    TimResult {
+        seeds: cov.seeds,
+        theta: theta_n,
+        kpt,
+        covered: cov.covered,
+        est_spread,
+        capped,
+    }
+}
+
+/// Run GeneralTIM over any [`RrSampler`] (Algorithm 1), single-threaded.
 ///
 /// For samplers whose per-world activation indicator is monotone and
 /// submodular (Lemmas 4–5 / Theorem 6), the result is a
 /// `(1 − 1/e − ε)`-approximation with probability ≥ `1 − n^{−ℓ}`
 /// (unless capped).
+///
+/// This entry point borrows one sampler and therefore always runs on the
+/// calling thread ([`TimConfig::threads`] is ignored); [`general_tim_with`]
+/// takes a sampler *factory* instead and shards RR-set generation across
+/// worker threads.
 pub fn general_tim<S: RrSampler>(sampler: &mut S, cfg: &TimConfig) -> Result<TimResult, RisError> {
     let n = sampler.graph().num_nodes();
     cfg.validate(n)?;
@@ -131,35 +182,56 @@ pub fn general_tim<S: RrSampler>(sampler: &mut S, cfg: &TimConfig) -> Result<Tim
     let kpt = kpt_star(sampler, cfg.k, cfg.ell, &mut rng);
 
     // Phase 2: θ from Equation (3).
-    let mut theta_n = theta(n, cfg.k, cfg.epsilon, cfg.ell, kpt.kpt);
-    let mut capped = false;
-    if let Some(cap) = cfg.max_rr_sets {
-        if theta_n > cap {
-            theta_n = cap;
-            capped = true;
-        }
-    }
+    let (theta_n, capped) = cap_theta(cfg, theta(n, cfg.k, cfg.epsilon, cfg.ell, kpt.kpt));
 
-    // Phase 3: sample θ RR-sets.
+    // Phase 3: sample θ RR-sets into an arena pre-sized from the average
+    // set size observed during KPT*.
     let avg = (kpt.total_members / kpt.samples.max(1)).max(1) as usize;
-    let mut store = RrStore::with_capacity(theta_n.min(1 << 24) as usize, avg);
+    let mut store = RrStore::with_capacity(theta_n.min(MAX_PREALLOC_SETS) as usize, avg);
     let mut out = Vec::new();
     for _ in 0..theta_n {
-        sampler.sample_random(&mut rng, &mut out);
-        store.push(&out, sampler.graph());
+        let (_, width) = sampler.sample_random_with_width(&mut rng, &mut out);
+        store.push_with_width(&out, width);
     }
 
     // Phase 4: greedy max coverage.
-    let cov = max_coverage(&store, n, cfg.k);
-    let est_spread = n as f64 * cov.covered as f64 / theta_n as f64;
-    Ok(TimResult {
-        seeds: cov.seeds,
-        theta: theta_n,
-        kpt: kpt.kpt,
-        covered: cov.covered,
-        est_spread,
-        capped,
-    })
+    Ok(assemble(n, cfg, kpt.kpt, theta_n, capped, &store))
+}
+
+/// Run GeneralTIM with sharded, multi-threaded RR-set generation.
+///
+/// `factory` builds one sampler per worker thread (plus one probe on the
+/// calling thread); both the KPT* rounds and the θ-loop generate their
+/// RR-sets through a [`ShardedGenerator`] honoring [`TimConfig::threads`].
+/// The output — selected seeds, θ, coverage — is **bit-for-bit
+/// deterministic for a fixed `(seed, threads)` configuration** (see the
+/// [`crate::parallel`] module docs for the stream-derivation contract).
+pub fn general_tim_with<S, F>(factory: F, cfg: &TimConfig) -> Result<TimResult, RisError>
+where
+    S: RrSampler,
+    F: Fn() -> S + Sync,
+{
+    // One probe construction serves validation and the graph dimensions.
+    let (n, m) = {
+        let probe = factory();
+        (probe.graph().num_nodes(), probe.graph().num_edges())
+    };
+    cfg.validate(n)?;
+
+    // Phase 1: lower-bound estimation (sharded rounds).
+    let kpt_seed = splitmix64(cfg.seed ^ 0x006b_7074);
+    let kpt = kpt_star_with_dims(&factory, cfg.k, cfg.ell, kpt_seed, cfg.threads, n, m);
+
+    // Phase 2: θ from Equation (3).
+    let (theta_n, capped) = cap_theta(cfg, theta(n, cfg.k, cfg.epsilon, cfg.ell, kpt.kpt));
+
+    // Phase 3: sample θ RR-sets across the worker shards.
+    let avg = (kpt.total_members / kpt.samples.max(1)).max(1) as usize;
+    let theta_seed = splitmix64(cfg.seed ^ 0x74_6865_7461);
+    let store = ShardedGenerator::new(&factory, theta_seed, cfg.threads).generate(theta_n, avg);
+
+    // Phase 4: greedy max coverage over the merged arena.
+    Ok(assemble(n, cfg, kpt.kpt, theta_n, capped, &store))
 }
 
 #[cfg(test)]
@@ -254,6 +326,63 @@ mod tests {
             "RIS estimate {} vs MC {tim_spread}",
             r.est_spread
         );
+    }
+
+    #[test]
+    fn parallel_tim_is_bit_for_bit_deterministic() {
+        let mut grng = SmallRng::seed_from_u64(20);
+        let g = gen::gnm(300, 1800, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::WeightedCascade.apply(&g, &mut grng);
+        for threads in [1, 3, 4] {
+            let cfg = TimConfig::new(5)
+                .seed(77)
+                .max_rr_sets(40_000)
+                .threads(threads);
+            let r1 = general_tim_with(|| IcRrSampler::new(&g), &cfg).unwrap();
+            let r2 = general_tim_with(|| IcRrSampler::new(&g), &cfg).unwrap();
+            assert_eq!(r1.seeds, r2.seeds, "threads = {threads}");
+            assert_eq!(r1.theta, r2.theta);
+            assert_eq!(r1.kpt, r2.kpt);
+            assert_eq!(r1.covered, r2.covered);
+            assert_eq!(r1.est_spread, r2.est_spread);
+        }
+    }
+
+    #[test]
+    fn parallel_tim_quality_matches_sequential_across_thread_counts() {
+        // Different thread counts draw different RR samples, but the seed
+        // sets they pick must have statistically indistinguishable spread
+        // (the 4σ pattern from spread.rs).
+        let mut grng = SmallRng::seed_from_u64(21);
+        let g = gen::gnm(400, 2400, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::WeightedCascade.apply(&g, &mut grng);
+        let k = 5;
+        let mut s = IcRrSampler::new(&g);
+        let seq = general_tim(&mut s, &TimConfig::new(k).seed(3)).unwrap();
+        let par = general_tim_with(
+            || IcRrSampler::new(&g),
+            &TimConfig::new(k).seed(3).threads(4),
+        )
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(22);
+        let trials = 20_000;
+        let seq_spread = ic_spread(&g, &seq.seeds, trials, &mut rng);
+        let par_spread = ic_spread(&g, &par.seeds, trials, &mut rng);
+        // Spread per run is bounded by n; a very generous σ bound for the
+        // MC means keeps this robust while catching real regressions.
+        let sigma = 400.0 / (trials as f64).sqrt();
+        assert!(
+            (seq_spread - par_spread).abs() < 4.0 * (2.0 * sigma).max(seq_spread * 0.05),
+            "sequential {seq_spread} vs parallel {par_spread}"
+        );
+    }
+
+    #[test]
+    fn parallel_tim_finds_the_hub_of_a_star() {
+        let g = gen::star(100, 1.0);
+        let r = general_tim_with(|| IcRrSampler::new(&g), &TimConfig::new(1).threads(0)).unwrap();
+        assert_eq!(r.seeds, vec![NodeId(0)]);
+        assert!(!r.capped);
     }
 
     #[test]

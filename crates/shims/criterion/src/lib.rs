@@ -8,6 +8,15 @@
 //! `criterion_group!` / `criterion_main!` macros. Results are printed as
 //! `bench-name ... <median> ns/iter` lines; there is no statistical
 //! analysis, plotting, or HTML report.
+//!
+//! # Quick mode
+//!
+//! Setting the `COMIC_BENCH_QUICK` environment variable (to anything but
+//! `0`) or passing `--quick` to the bench binary clamps every benchmark to
+//! a single timed iteration within a ~100 ms budget, overriding per-group
+//! `sample_size` / `measurement_time` settings. CI uses this to smoke-run
+//! the benches on every PR — catching bench-code rot without paying for
+//! real measurements.
 
 #![forbid(unsafe_code)]
 
@@ -38,6 +47,7 @@ impl BenchmarkId {
 pub struct Bencher {
     iters: u64,
     measurement_time: Duration,
+    quick: bool,
     elapsed: Duration,
     performed: u64,
 }
@@ -51,6 +61,13 @@ impl Bencher {
         let start = Instant::now();
         black_box(f());
         let once = start.elapsed();
+        if self.quick {
+            // Quick mode reports the calibration run itself: one execution
+            // per benchmark, enough to prove the code still runs.
+            self.elapsed = once;
+            self.performed = 1;
+            return;
+        }
         let budget = self.measurement_time;
         let affordable = if once.is_zero() {
             self.iters
@@ -72,19 +89,26 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: u64,
     measurement_time: Duration,
+    quick: bool,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Set the number of timed iterations per benchmark.
+    /// Set the number of timed iterations per benchmark (ignored in quick
+    /// mode, which pins a single iteration).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1) as u64;
+        if !self.quick {
+            self.sample_size = n.max(1) as u64;
+        }
         self
     }
 
-    /// Cap the wall-clock budget for each benchmark in the group.
+    /// Cap the wall-clock budget for each benchmark in the group (quick
+    /// mode keeps its own ~100 ms clamp).
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.measurement_time = d;
+        if !self.quick {
+            self.measurement_time = d;
+        }
         self
     }
 
@@ -98,6 +122,7 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             iters: self.sample_size,
             measurement_time: self.measurement_time,
+            quick: self.quick,
             elapsed: Duration::ZERO,
             performed: 0,
         };
@@ -137,16 +162,37 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Entry point mirroring `criterion::Criterion`.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: quick_mode(),
+        }
+    }
+}
+
+/// Whether quick mode is active for this process (see the module docs).
+pub fn quick_mode() -> bool {
+    std::env::var_os("COMIC_BENCH_QUICK").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--quick")
+}
 
 impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let quick = self.quick;
         BenchmarkGroup {
             name: name.into(),
-            sample_size: 10,
-            measurement_time: Duration::from_secs(5),
+            sample_size: if quick { 1 } else { 10 },
+            measurement_time: if quick {
+                Duration::from_millis(100)
+            } else {
+                Duration::from_secs(5)
+            },
+            quick,
             _criterion: self,
         }
     }
