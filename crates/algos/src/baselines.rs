@@ -3,7 +3,8 @@
 
 use comic_graph::{DiGraph, NodeId};
 use comic_ris::ic_sampler::IcRrSampler;
-use comic_ris::tim::{general_tim_with, TimConfig, TimResult};
+use comic_ris::tim::{TimConfig, TimResult};
+use comic_ris::RisPipeline;
 use rand::{Rng, RngExt};
 
 use crate::error::AlgoError;
@@ -48,11 +49,12 @@ pub fn copying(g: &DiGraph, opposite_seeds: &[NodeId], k: usize) -> Vec<NodeId> 
     out
 }
 
-/// **VanillaIC**: run TIM under the classic IC model, ignoring the second
-/// item and the node-level automaton entirely. RR-set generation is sharded
-/// across [`TimConfig::threads`] workers.
+/// **VanillaIC**: run the RIS pipeline under the classic IC model, ignoring
+/// the second item and the node-level automaton entirely. RR-set generation
+/// is sharded across [`TimConfig::threads`] workers and seed selection uses
+/// the configured [`TimConfig::selector`].
 pub fn vanilla_ic(g: &DiGraph, cfg: &TimConfig) -> Result<TimResult, AlgoError> {
-    Ok(general_tim_with(|| IcRrSampler::new(g), cfg)?)
+    Ok(RisPipeline::new(cfg.clone()).run(|| IcRrSampler::new(g))?)
 }
 
 /// The first `count` seeds in VanillaIC's greedy pick order — the paper's

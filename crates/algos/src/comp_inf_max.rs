@@ -6,13 +6,15 @@ use comic_core::gap::{Gap, Regime};
 use comic_core::seeds::SeedPair;
 use comic_core::spread::SpreadEstimator;
 use comic_graph::{DiGraph, NodeId};
-use comic_ris::tim::{general_tim_with, TimConfig, TimResult};
+use comic_ris::select::SelectorKind;
+use comic_ris::tim::{TimConfig, TimResult};
+use comic_ris::RisPipeline;
 use rand::{Rng, RngExt};
 
 use crate::error::AlgoError;
 use crate::greedy::{greedy_comp_inf_max, GreedyConfig};
 use crate::rr_cim::RrCimSampler;
-use crate::sandwich::{SandwichCandidate, SandwichReport};
+use crate::sandwich::{solve_sandwich, SandwichCandidate};
 use crate::self_inf_max::{Solution, Strategy};
 
 /// CompInfMax solver (builder-style).
@@ -46,6 +48,7 @@ pub struct CompInfMax<'g> {
     max_rr_sets: Option<u64>,
     eval_iterations: usize,
     threads: usize,
+    selector: SelectorKind,
     with_greedy_candidate: Option<GreedyConfig>,
 }
 
@@ -61,6 +64,7 @@ impl<'g> CompInfMax<'g> {
             max_rr_sets: None,
             eval_iterations: 10_000,
             threads: 0,
+            selector: SelectorKind::default(),
             with_greedy_candidate: None,
         }
     }
@@ -96,6 +100,14 @@ impl<'g> CompInfMax<'g> {
         self
     }
 
+    /// Max-coverage strategy for the pipeline's selection phase (default
+    /// CELF; selectors return identical seed sets, so this is a
+    /// performance knob).
+    pub fn selector(mut self, selector: SelectorKind) -> Self {
+        self.selector = selector;
+        self
+    }
+
     /// Also run MC greedy on the true boost as a sandwich candidate.
     pub fn with_greedy_candidate(mut self, cfg: GreedyConfig) -> Self {
         self.with_greedy_candidate = Some(cfg);
@@ -103,23 +115,25 @@ impl<'g> CompInfMax<'g> {
     }
 
     fn tim_config(&self, k: usize, seed: u64) -> TimConfig {
-        let mut cfg = TimConfig::new(k).epsilon(self.epsilon).seed(seed);
+        let mut cfg = TimConfig::new(k)
+            .epsilon(self.epsilon)
+            .seed(seed)
+            .selector(self.selector);
         cfg.ell = self.ell;
         cfg.max_rr_sets = self.max_rr_sets;
         cfg.threads = self.threads;
         cfg
     }
 
-    /// Run GeneralTIM with per-thread RR-CIM samplers under `gap`.
+    /// One pipeline run with per-thread RR-CIM samplers under `gap`.
     fn run_tim(&self, gap: Gap, k: usize, seed: u64) -> Result<TimResult, AlgoError> {
-        // Validate the regime and seed set once, then hand the sharded
-        // generator an infallible per-thread factory.
-        RrCimSampler::new(self.g, gap, self.seeds_a.clone())?;
-        let factory = || {
-            RrCimSampler::new(self.g, gap, self.seeds_a.clone())
-                .expect("validated RR-CIM construction")
-        };
-        Ok(general_tim_with(factory, &self.tim_config(k, seed))?)
+        Ok(
+            RisPipeline::new(self.tim_config(k, seed)).run(RrCimSampler::factory(
+                self.g,
+                gap,
+                &self.seeds_a,
+            )?)?,
+        )
     }
 
     /// MC estimate of the boost `σ_A(S_A, seeds) − σ_A(S_A, ∅)` under `gap`.
@@ -179,15 +193,7 @@ impl<'g> CompInfMax<'g> {
         } else {
             1.0
         };
-        let report = SandwichReport::assemble(candidates, ratio);
-        let winner = report.winner();
-        Ok(Solution {
-            seeds: winner.seeds.clone(),
-            objective: winner.objective,
-            strategy: Strategy::Sandwich,
-            tim: tim_nu,
-            sandwich: Some(report),
-        })
+        Ok(solve_sandwich(candidates, ratio, vec![("nu", tim_nu)]))
     }
 }
 
@@ -255,6 +261,30 @@ mod tests {
         let report = sol.sandwich.unwrap();
         assert_eq!(report.candidates[0].name, "nu");
         assert!(report.upper_bound_ratio > 0.0);
+    }
+
+    #[test]
+    fn selector_choice_is_invisible_in_solutions() {
+        // RR-CIM through the pipeline: CELF and the naive oracle must
+        // return byte-identical B-seed sets for a fixed (seed, threads).
+        let mut grng = SmallRng::seed_from_u64(8);
+        let topo = gen::gnm(80, 480, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.3).apply(&topo, &mut grng);
+        let gap = Gap::new(0.2, 0.9, 0.6, 1.0).unwrap(); // q_{B|A} = 1: direct
+        let solve = |selector| {
+            let mut rng = SmallRng::seed_from_u64(44);
+            CompInfMax::new(&g, gap, seeds(&[0, 1]))
+                .eval_iterations(500)
+                .threads(2)
+                .max_rr_sets(20_000)
+                .selector(selector)
+                .solve(3, &mut rng)
+                .unwrap()
+        };
+        let celf = solve(SelectorKind::Celf);
+        let naive = solve(SelectorKind::NaiveGreedy);
+        assert_eq!(celf.seeds, naive.seeds);
+        assert_eq!(celf.tim.covered, naive.tim.covered);
     }
 
     #[test]

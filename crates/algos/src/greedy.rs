@@ -73,22 +73,24 @@ where
         eval(s)
     };
     let base = eval_counted(&[]);
-    let mut heap: BinaryHeap<(OrdF64, u32, NodeId)> = BinaryHeap::new();
+    // Max-heap on (cached gain, Reverse(node id)): among equal gains the
+    // smallest node id pops first, so tie-breaking is stable by id — the
+    // same rule as the RIS coverage selectors in `comic_ris::select`.
+    let mut heap: BinaryHeap<(OrdF64, std::cmp::Reverse<NodeId>, u32)> = BinaryHeap::new();
     let mut buf: Vec<NodeId> = Vec::with_capacity(k + 1);
     for &v in candidates {
         buf.clear();
         buf.push(v);
         let gain = eval_counted(&buf) - base;
-        // Round tag encodes the selection size the gain was computed at;
-        // u32::MAX - size keeps the heap a max-heap on (gain, freshness).
-        heap.push((OrdF64(gain), 0, v));
+        // Round tag encodes the selection size the gain was computed at.
+        heap.push((OrdF64(gain), std::cmp::Reverse(v), 0));
     }
 
     let mut selected: Vec<NodeId> = Vec::with_capacity(k);
     let mut trajectory = vec![base];
     let mut current = base;
     while selected.len() < k {
-        let Some((OrdF64(gain), round, v)) = heap.pop() else {
+        let Some((OrdF64(gain), std::cmp::Reverse(v), round)) = heap.pop() else {
             break;
         };
         if round as usize == selected.len() {
@@ -100,7 +102,7 @@ where
             buf.extend_from_slice(&selected);
             buf.push(v);
             let fresh = eval_counted(&buf) - current;
-            heap.push((OrdF64(fresh), selected.len() as u32, v));
+            heap.push((OrdF64(fresh), std::cmp::Reverse(v), selected.len() as u32));
         }
     }
 

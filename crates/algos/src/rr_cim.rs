@@ -116,6 +116,20 @@ impl<'g> RrCimSampler<'g> {
         self.gap
     }
 
+    /// Validate the regime and seed set once, then return an infallible
+    /// per-thread sampler factory for the sharded
+    /// [`comic_ris::RisPipeline`].
+    pub fn factory(
+        g: &'g DiGraph,
+        gap: Gap,
+        seeds_a: &'g [NodeId],
+    ) -> Result<impl Fn() -> RrCimSampler<'g> + Sync + 'g, AlgoError> {
+        RrCimSampler::new(g, gap, seeds_a.to_vec())?;
+        Ok(move || {
+            RrCimSampler::new(g, gap, seeds_a.to_vec()).expect("validated RR-CIM construction")
+        })
+    }
+
     #[inline]
     fn get_label(&self, v: NodeId) -> FLabel {
         self.label.get_copied(v.index()).unwrap_or_default()

@@ -70,6 +70,21 @@ impl<'g> RrSimSampler<'g> {
         self.gap
     }
 
+    /// Validate the regime and seed set once, then return an infallible
+    /// per-thread sampler factory for the sharded
+    /// [`comic_ris::RisPipeline`] (samplers own scratch state, so each
+    /// worker needs its own instance).
+    pub fn factory(
+        g: &'g DiGraph,
+        gap: Gap,
+        seeds_b: &'g [NodeId],
+    ) -> Result<impl Fn() -> RrSimSampler<'g> + Sync + 'g, AlgoError> {
+        RrSimSampler::new(g, gap, seeds_b.to_vec())?;
+        Ok(move || {
+            RrSimSampler::new(g, gap, seeds_b.to_vec()).expect("validated RR-SIM construction")
+        })
+    }
+
     /// Phase II: forward B-labeling from `S_B` in the current world.
     /// A non-seed node adopts B iff reachable from `S_B` via live edges
     /// through B-adopting nodes and `α_B ≤ q_{B|∅}` (B is independent of A

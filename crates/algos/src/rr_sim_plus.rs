@@ -75,6 +75,20 @@ impl<'g> RrSimPlusSampler<'g> {
     pub fn gap(&self) -> Gap {
         self.gap
     }
+
+    /// Validate the regime and seed set once, then return an infallible
+    /// per-thread sampler factory for the sharded
+    /// [`comic_ris::RisPipeline`].
+    pub fn factory(
+        g: &'g DiGraph,
+        gap: Gap,
+        seeds_b: &'g [NodeId],
+    ) -> Result<impl Fn() -> RrSimPlusSampler<'g> + Sync + 'g, AlgoError> {
+        RrSimPlusSampler::new(g, gap, seeds_b.to_vec())?;
+        Ok(move || {
+            RrSimPlusSampler::new(g, gap, seeds_b.to_vec()).expect("validated RR-SIM+ construction")
+        })
+    }
 }
 
 impl RrSampler for RrSimPlusSampler<'_> {

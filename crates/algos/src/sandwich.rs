@@ -16,7 +16,9 @@
 //! `q_{B|A}` to `q_{B|∅}` can only decrease it, and both moves land in the
 //! provably-submodular one-way regime.
 
+use crate::self_inf_max::{Solution, Strategy};
 use comic_graph::NodeId;
+use comic_ris::tim::TimResult;
 
 /// One candidate seed set inside a sandwich run.
 #[derive(Clone, Debug)]
@@ -77,6 +79,37 @@ impl SandwichReport {
     }
 }
 
+/// Assemble the final [`Solution`] of a sandwich run — the shared last step
+/// of both solvers' sandwich routes: pick the best candidate under the true
+/// objective and attach the RIS diagnostics of the winning surrogate.
+///
+/// `tims` maps candidate names to their pipeline runs; a winner without one
+/// (the MC-greedy `"sigma"` candidate) reports the first surrogate's
+/// diagnostics, matching the paper's convention of reporting ν's θ.
+pub fn solve_sandwich(
+    candidates: Vec<SandwichCandidate>,
+    upper_bound_ratio: f64,
+    mut tims: Vec<(&'static str, TimResult)>,
+) -> Solution {
+    assert!(
+        !tims.is_empty(),
+        "sandwich needs at least one surrogate run"
+    );
+    let report = SandwichReport::assemble(candidates, upper_bound_ratio);
+    let winner = report.winner();
+    let idx = tims
+        .iter()
+        .position(|(name, _)| *name == winner.name)
+        .unwrap_or(0);
+    Solution {
+        seeds: winner.seeds.clone(),
+        objective: winner.objective,
+        strategy: Strategy::Sandwich,
+        tim: tims.swap_remove(idx).1,
+        sandwich: Some(report),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +146,34 @@ mod tests {
     #[should_panic]
     fn empty_candidates_panics() {
         SandwichReport::assemble(vec![], 1.0);
+    }
+
+    #[test]
+    fn solve_sandwich_attaches_the_matching_tim_run() {
+        let tim = |theta| TimResult {
+            seeds: vec![NodeId(0)],
+            theta,
+            kpt: 1.0,
+            covered: 1,
+            est_spread: 1.0,
+            capped: false,
+        };
+        let sol = solve_sandwich(
+            vec![cand("nu", 5.0), cand("mu", 7.0)],
+            0.9,
+            vec![("nu", tim(10)), ("mu", tim(20))],
+        );
+        assert_eq!(sol.strategy, Strategy::Sandwich);
+        assert_eq!(sol.objective, 7.0);
+        assert_eq!(sol.tim.theta, 20, "winner mu carries mu's diagnostics");
+        // A winner without its own TIM run (MC greedy) falls back to the
+        // first surrogate's diagnostics.
+        let sol = solve_sandwich(
+            vec![cand("nu", 5.0), cand("sigma", 9.0)],
+            0.9,
+            vec![("nu", tim(10))],
+        );
+        assert_eq!(sol.tim.theta, 10);
+        assert_eq!(sol.sandwich.unwrap().winner().name, "sigma");
     }
 }

@@ -5,14 +5,16 @@ use comic_core::gap::{Gap, Regime};
 use comic_core::seeds::SeedPair;
 use comic_core::spread::SpreadEstimator;
 use comic_graph::{DiGraph, NodeId};
-use comic_ris::tim::{general_tim_with, TimConfig, TimResult};
+use comic_ris::select::SelectorKind;
+use comic_ris::tim::{TimConfig, TimResult};
+use comic_ris::RisPipeline;
 use rand::{Rng, RngExt};
 
 use crate::error::AlgoError;
 use crate::greedy::{greedy_self_inf_max, GreedyConfig};
 use crate::rr_sim::RrSimSampler;
 use crate::rr_sim_plus::RrSimPlusSampler;
-use crate::sandwich::{SandwichCandidate, SandwichReport};
+use crate::sandwich::{solve_sandwich, SandwichCandidate, SandwichReport};
 
 /// How a solution was obtained.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,6 +74,7 @@ pub struct SelfInfMax<'g> {
     use_plus: bool,
     eval_iterations: usize,
     threads: usize,
+    selector: SelectorKind,
     with_greedy_candidate: Option<GreedyConfig>,
 }
 
@@ -88,6 +91,7 @@ impl<'g> SelfInfMax<'g> {
             use_plus: true,
             eval_iterations: 10_000,
             threads: 0,
+            selector: SelectorKind::default(),
             with_greedy_candidate: None,
         }
     }
@@ -129,6 +133,14 @@ impl<'g> SelfInfMax<'g> {
         self
     }
 
+    /// Max-coverage strategy for the pipeline's selection phase (default
+    /// CELF; selectors return identical seed sets, so this is a
+    /// performance knob).
+    pub fn selector(mut self, selector: SelectorKind) -> Self {
+        self.selector = selector;
+        self
+    }
+
     /// Also run MC greedy on the true objective as a sandwich candidate
     /// `S_σ` (expensive; the paper does this for its Greedy+SA runs).
     pub fn with_greedy_candidate(mut self, cfg: GreedyConfig) -> Self {
@@ -137,30 +149,23 @@ impl<'g> SelfInfMax<'g> {
     }
 
     fn tim_config(&self, k: usize, seed: u64) -> TimConfig {
-        let mut cfg = TimConfig::new(k).epsilon(self.epsilon).seed(seed);
+        let mut cfg = TimConfig::new(k)
+            .epsilon(self.epsilon)
+            .seed(seed)
+            .selector(self.selector);
         cfg.ell = self.ell;
         cfg.max_rr_sets = self.max_rr_sets;
         cfg.threads = self.threads;
         cfg
     }
 
+    /// One pipeline run under `gap` with the configured RR-SIM(+) sampler.
     fn run_tim(&self, gap: Gap, k: usize, seed: u64) -> Result<TimResult, AlgoError> {
-        // Validate the regime and seed set once up front, so the per-thread
-        // factory below can construct samplers infallibly.
+        let pipeline = RisPipeline::new(self.tim_config(k, seed));
         if self.use_plus {
-            RrSimPlusSampler::new(self.g, gap, self.seeds_b.clone())?;
-            let factory = || {
-                RrSimPlusSampler::new(self.g, gap, self.seeds_b.clone())
-                    .expect("validated Rr-SIM+ construction")
-            };
-            Ok(general_tim_with(factory, &self.tim_config(k, seed))?)
+            Ok(pipeline.run(RrSimPlusSampler::factory(self.g, gap, &self.seeds_b)?)?)
         } else {
-            RrSimSampler::new(self.g, gap, self.seeds_b.clone())?;
-            let factory = || {
-                RrSimSampler::new(self.g, gap, self.seeds_b.clone())
-                    .expect("validated RR-SIM construction")
-            };
-            Ok(general_tim_with(factory, &self.tim_config(k, seed))?)
+            Ok(pipeline.run(RrSimSampler::factory(self.g, gap, &self.seeds_b)?)?)
         }
     }
 
@@ -233,16 +238,11 @@ impl<'g> SelfInfMax<'g> {
         } else {
             1.0
         };
-        let report = SandwichReport::assemble(candidates, ratio);
-        let winner = report.winner();
-        let tim = if winner.name == "mu" { tim_mu } else { tim_nu };
-        Ok(Solution {
-            seeds: winner.seeds.clone(),
-            objective: winner.objective,
-            strategy: Strategy::Sandwich,
-            tim,
-            sandwich: Some(report),
-        })
+        Ok(solve_sandwich(
+            candidates,
+            ratio,
+            vec![("nu", tim_nu), ("mu", tim_mu)],
+        ))
     }
 }
 
@@ -305,6 +305,35 @@ mod tests {
         // Winner's objective is the max across candidates.
         for c in &report.candidates {
             assert!(sol.objective >= c.objective - 1e-9);
+        }
+    }
+
+    #[test]
+    fn selector_choice_is_invisible_in_solutions() {
+        // Both the RR-SIM and RR-SIM+ routes must pick byte-identical
+        // seeds under CELF and the naive-greedy oracle for a fixed
+        // (seed, threads) — the select-engine determinism contract
+        // surfaced at the solver level.
+        let mut grng = SmallRng::seed_from_u64(9);
+        let topo = gen::gnm(100, 600, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::WeightedCascade.apply(&topo, &mut grng);
+        let gap = Gap::new(0.3, 0.8, 0.5, 0.5).unwrap(); // one-way: direct route
+        for use_plus in [false, true] {
+            let solve = |selector| {
+                let mut rng = SmallRng::seed_from_u64(33);
+                SelfInfMax::new(&g, gap, seeds(&[1, 2]))
+                    .eval_iterations(500)
+                    .threads(2)
+                    .max_rr_sets(20_000)
+                    .use_rr_sim_plus(use_plus)
+                    .selector(selector)
+                    .solve(4, &mut rng)
+                    .unwrap()
+            };
+            let celf = solve(SelectorKind::Celf);
+            let naive = solve(SelectorKind::NaiveGreedy);
+            assert_eq!(celf.seeds, naive.seeds, "use_plus = {use_plus}");
+            assert_eq!(celf.tim.covered, naive.tim.covered);
         }
     }
 

@@ -156,36 +156,37 @@ fn bench_rr_generation(c: &mut Criterion) {
         );
     }
 
-    if let Ok(path) = std::env::var("COMIC_BENCH_JSON") {
-        let mut json = String::new();
-        json.push_str("{\n");
-        json.push_str("  \"bench\": \"rr_generation\",\n");
-        json.push_str(&format!("  \"host_cores\": {},\n", resolve_threads(0)));
-        json.push_str(&format!(
-            "  \"graph\": {{ \"model\": \"chung_lu(2.16) + weighted_cascade\", \"nodes\": {}, \"edges\": {} }},\n",
-            n,
-            g.num_edges()
-        ));
-        json.push_str(&format!("  \"theta\": {theta},\n"));
-        json.push_str(
-            "  \"note\": \"shards are fully independent, so throughput scales with physical cores; on a host where host_cores <= threads the extra workers only add oversubscription overhead\",\n",
-        );
-        json.push_str("  \"runs\": [\n");
-        for (i, r) in results.iter().enumerate() {
-            json.push_str(&format!(
-                "    {{ \"label\": \"{}\", \"threads\": {}, \"secs\": {:.4}, \"sets_per_sec\": {:.0}, \"members_per_sec\": {:.0} }}{}\n",
-                r.label,
-                r.threads,
-                r.secs,
-                r.sets_per_sec,
-                r.members_per_sec,
-                if i + 1 < results.len() { "," } else { "" }
-            ));
-        }
-        json.push_str("  ]\n}\n");
-        std::fs::write(&path, json).expect("write COMIC_BENCH_JSON snapshot");
-        println!("bench: rr_generation snapshot written to {path}");
-    }
+    comic_bench::runtime::write_json_snapshot(
+        "rr_generation",
+        &[
+            ("host_cores", resolve_threads(0).to_string()),
+            (
+                "graph",
+                format!(
+                    "{{ \"model\": \"chung_lu(2.16) + weighted_cascade\", \"nodes\": {}, \"edges\": {} }}",
+                    n,
+                    g.num_edges()
+                ),
+            ),
+            ("theta", theta.to_string()),
+            (
+                "note",
+                "\"shards are fully independent, so throughput scales with physical cores; on a host where host_cores <= threads the extra workers only add oversubscription overhead\"".into(),
+            ),
+        ],
+        &results
+            .iter()
+            .map(|r| {
+                vec![
+                    ("label", format!("\"{}\"", r.label)),
+                    ("threads", r.threads.to_string()),
+                    ("secs", format!("{:.4}", r.secs)),
+                    ("sets_per_sec", format!("{:.0}", r.sets_per_sec)),
+                    ("members_per_sec", format!("{:.0}", r.members_per_sec)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
 }
 
 criterion_group!(benches, bench_scalability, bench_rr_generation);

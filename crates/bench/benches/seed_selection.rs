@@ -1,41 +1,62 @@
 //! Criterion: the non-sampling halves of seed selection — KPT estimation,
-//! greedy max-coverage over a stored RR-set arena, and CELF on a cheap
-//! objective.
+//! the coverage-index build, and the selector strategies of the
+//! `comic_ris::select` engine over a stored RR-set arena.
+//!
+//! The `selector_comparison` section measures the extracted selection
+//! engine end-to-end on the scalability dataset: [`CoverageIndex::build`]
+//! at 1 / 4 / all-cores threads, then [`NaiveGreedy`] vs [`CelfGreedy`]
+//! at `k = 50`. It also **asserts** the determinism contract — parallel
+//! index builds byte-identical to sequential ones, CELF seed sets
+//! byte-identical to the naive oracle's — so the quick-mode CI smoke run
+//! fails if a selector ever diverges. Set `COMIC_BENCH_JSON=<path>` to
+//! write the numbers as a JSON snapshot (committed as
+//! `BENCH_seed_selection.json` at the repo root).
 
 use comic_algos::greedy::celf;
 use comic_bench::datasets::Dataset;
+use comic_bench::runtime::timed;
 use comic_graph::NodeId;
-use comic_ris::coverage::max_coverage;
 use comic_ris::ic_sampler::IcRrSampler;
 use comic_ris::kpt::kpt_star;
+use comic_ris::parallel::resolve_threads;
 use comic_ris::rr::RrStore;
 use comic_ris::sampler::RrSampler;
+use comic_ris::select::{CelfGreedy, CoverageIndex, NaiveGreedy, SeedSelector};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
+fn sample_store(g: &comic_graph::DiGraph, count: usize) -> RrStore {
+    let mut sampler = IcRrSampler::new(g);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut store = RrStore::with_capacity(count, 4);
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let (_, width) = sampler.sample_random_with_width(&mut rng, &mut out);
+        store.push_with_width(&out, width);
+    }
+    store
+}
+
 fn bench_seed_selection(c: &mut Criterion) {
     let g = Dataset::Flixster.instantiate(0.08);
     let n = g.num_nodes();
-
-    // Pre-sample a store of 200k IC RR-sets.
-    let mut sampler = IcRrSampler::new(&g);
-    let mut rng = SmallRng::seed_from_u64(1);
-    let mut store = RrStore::with_capacity(200_000, 4);
-    let mut out = Vec::new();
-    for _ in 0..200_000 {
-        sampler.sample_random(&mut rng, &mut out);
-        store.push(&out, &g);
-    }
+    let quick = criterion::quick_mode();
+    let store = sample_store(&g, if quick { 5_000 } else { 200_000 });
 
     let mut group = c.benchmark_group("seed_selection");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(8));
 
-    group.bench_function("max_coverage_k50_200k_sets", |b| {
-        b.iter(|| black_box(max_coverage(&store, n, 50).covered));
+    group.bench_function("coverage_index_build_1t", |b| {
+        b.iter(|| black_box(CoverageIndex::build(&store, n, 1).total_entries()));
+    });
+
+    group.bench_function("celf_select_k50", |b| {
+        let index = CoverageIndex::build(&store, n, 1);
+        b.iter(|| black_box(CelfGreedy { threads: 1 }.select(&index, &store, 50).covered));
     });
 
     group.bench_function("kpt_star_k50", |b| {
@@ -46,8 +67,9 @@ fn bench_seed_selection(c: &mut Criterion) {
         });
     });
 
-    group.bench_function("celf_coverage_objective", |b| {
-        // Deterministic weighted-coverage objective over 2k sets.
+    group.bench_function("celf_mc_objective", |b| {
+        // The Monte-Carlo CELF of comic_algos on a deterministic
+        // weighted-coverage objective over 2k sets.
         let sets: Vec<(f64, Vec<u32>)> = (0..2_000u32)
             .map(|i| (1.0 + (i % 13) as f64, vec![i % 500, (i * 7) % 500]))
             .collect();
@@ -66,5 +88,121 @@ fn bench_seed_selection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_seed_selection);
+/// One wall-clock measurement of the selector_comparison section.
+struct Run {
+    label: String,
+    threads: usize,
+    secs: f64,
+}
+
+/// Whole-batch wall-clock comparison of the selection engine, with the
+/// naive-vs-CELF cross-check assertion CI relies on.
+fn bench_selector_comparison(c: &mut Criterion) {
+    // The group exists so the section shows up in criterion's output
+    // ordering; the real measurements below need whole-batch wall-clock
+    // numbers for the JSON snapshot, not per-iter medians.
+    let mut group = c.benchmark_group("selector_comparison");
+    group.finish();
+
+    let quick = criterion::quick_mode();
+    let sets: usize = if quick { 5_000 } else { 200_000 };
+    let k = 50;
+    let g = Dataset::Flixster.instantiate(if quick { 0.04 } else { 0.08 });
+    let n = g.num_nodes();
+    let store = sample_store(&g, sets);
+
+    let mut runs: Vec<Run> = Vec::new();
+
+    // Index builds: sequential, 4 workers, all cores.
+    let (index, secs) = timed(|| CoverageIndex::build(&store, n, 1));
+    runs.push(Run {
+        label: "index_build".into(),
+        threads: 1,
+        secs,
+    });
+    let max_threads = resolve_threads(0);
+    let mut thread_counts = vec![4usize, max_threads];
+    thread_counts.retain(|&t| t != 1);
+    thread_counts.dedup();
+    for threads in thread_counts {
+        let (parallel, secs) = timed(|| CoverageIndex::build(&store, n, threads));
+        assert_eq!(
+            parallel, index,
+            "parallel index build diverged at {threads} threads"
+        );
+        runs.push(Run {
+            label: "index_build".into(),
+            threads,
+            secs,
+        });
+    }
+
+    // Selectors: the naive oracle vs CELF (sequential and parallel sweeps).
+    let (naive, secs) = timed(|| NaiveGreedy.select(&index, &store, k));
+    runs.push(Run {
+        label: "select_naive".into(),
+        threads: 1,
+        secs,
+    });
+    let mut celf_threads = vec![1usize, max_threads];
+    celf_threads.dedup();
+    for threads in celf_threads {
+        let (celf_r, secs) = timed(|| CelfGreedy { threads }.select(&index, &store, k));
+        // The determinism contract CI enforces: byte-identical seed sets.
+        assert_eq!(
+            celf_r, naive,
+            "CELF diverged from the naive-greedy oracle at {threads} threads"
+        );
+        runs.push(Run {
+            label: "select_celf".into(),
+            threads,
+            secs,
+        });
+    }
+
+    for r in &runs {
+        println!(
+            "bench: selector_comparison/{}/threads={} ... {:.4}s",
+            r.label, r.threads, r.secs
+        );
+    }
+    println!(
+        "bench: selector_comparison cross-check OK — CELF == naive greedy on {} sets (k={k})",
+        store.len()
+    );
+
+    comic_bench::runtime::write_json_snapshot(
+        "seed_selection",
+        &[
+            ("host_cores", resolve_threads(0).to_string()),
+            (
+                "graph",
+                format!(
+                    "{{ \"model\": \"flixster stand-in (chung_lu + weighted_cascade)\", \"nodes\": {}, \"edges\": {} }}",
+                    n,
+                    g.num_edges()
+                ),
+            ),
+            ("rr_sets", store.len().to_string()),
+            ("k", k.to_string()),
+            ("total_members", store.total_members().to_string()),
+            (
+                "note",
+                "\"selectors return byte-identical seed sets (asserted); on a host where host_cores = 1 the multi-thread rows measure pure oversubscription overhead\"".into(),
+            ),
+        ],
+        &runs
+            .iter()
+            .map(|r| {
+                vec![
+                    ("label", format!("\"{}\"", r.label)),
+                    ("threads", r.threads.to_string()),
+                    ("secs", format!("{:.4}", r.secs)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+criterion_group!(benches, bench_seed_selection, bench_selector_comparison);
 criterion_main!(benches);

@@ -39,6 +39,7 @@ pub fn run(scale: &Scale, dataset: Dataset) -> String {
             let mut cfg = TimConfig::new(scale.k).epsilon(eps).seed(seed);
             cfg.max_rr_sets = scale.max_rr_sets;
             cfg.threads = scale.threads;
+            cfg.selector = scale.selector;
             cfg
         };
         let (sim_res, sim_t) = timed(|| {
@@ -104,6 +105,7 @@ mod tests {
             max_rr_sets: Some(20_000),
             seed: 2,
             threads: 1,
+            selector: Default::default(),
         };
         let out = run(&scale, Dataset::Flixster);
         assert!(out.contains("eps"));

@@ -23,6 +23,7 @@ pub fn run(scale: &Scale, dataset: Dataset) -> String {
     let mut solver = SelfInfMax::new(&g, gap, opposite.clone())
         .eval_iterations(scale.mc_iterations)
         .threads(scale.threads)
+        .selector(scale.selector)
         .epsilon(0.5);
     if let Some(cap) = scale.max_rr_sets {
         solver = solver.max_rr_sets(cap);
@@ -83,6 +84,7 @@ mod tests {
             max_rr_sets: Some(20_000),
             seed: 3,
             threads: 1,
+            selector: Default::default(),
         };
         let out = run(&scale, Dataset::DoubanBook);
         assert!(out.contains("HighDegree"));

@@ -24,6 +24,7 @@ pub fn run(scale: &Scale, dataset: Dataset) -> String {
     let mut solver = CompInfMax::new(&g, gap, a_seeds.clone())
         .eval_iterations(scale.mc_iterations)
         .threads(scale.threads)
+        .selector(scale.selector)
         .epsilon(0.5);
     if let Some(cap) = scale.max_rr_sets {
         solver = solver.max_rr_sets(cap);
@@ -84,6 +85,7 @@ mod tests {
             max_rr_sets: Some(20_000),
             seed: 4,
             threads: 1,
+            selector: Default::default(),
         };
         let out = run(&scale, Dataset::LastFm);
         assert!(out.contains("RR-CIM"));

@@ -42,6 +42,7 @@ pub fn run_times(scale: &Scale, datasets: &[Dataset], greedy_k: usize, greedy_mc
             let mut cfg = TimConfig::new(scale.k).epsilon(0.5).seed(seed);
             cfg.max_rr_sets = scale.max_rr_sets;
             cfg.threads = scale.threads;
+            cfg.selector = scale.selector;
             cfg
         };
         let gcfg = GreedyConfig {
@@ -99,6 +100,7 @@ pub fn run_scalability(scale: &Scale, sizes: &[usize]) -> String {
             let mut cfg = TimConfig::new(scale.k).epsilon(0.5).seed(seed);
             cfg.max_rr_sets = scale.max_rr_sets;
             cfg.threads = scale.threads;
+            cfg.selector = scale.selector;
             cfg
         };
         let (_, sim_t) = timed(|| {
@@ -146,6 +148,7 @@ mod tests {
             max_rr_sets: Some(10_000),
             seed: 5,
             threads: 1,
+            selector: Default::default(),
         };
         let out = run_times(&scale, &[Dataset::Flixster], 1, 100);
         assert!(out.contains("Greedy(SIM)"));
@@ -160,6 +163,7 @@ mod tests {
             max_rr_sets: Some(10_000),
             seed: 6,
             threads: 1,
+            selector: Default::default(),
         };
         let out = run_scalability(&scale, &[500, 1000]);
         assert!(out.contains("1000"));

@@ -48,6 +48,7 @@ pub fn run(scale: &Scale, dataset: Dataset, greedy_mc: usize) -> String {
         let mut solver = SelfInfMax::new(&g, gap, opposite.clone())
             .eval_iterations(scale.mc_iterations)
             .threads(scale.threads)
+            .selector(scale.selector)
             .with_greedy_candidate(gcfg);
         if let Some(cap) = scale.max_rr_sets {
             solver = solver.max_rr_sets(cap);
@@ -81,6 +82,7 @@ pub fn run(scale: &Scale, dataset: Dataset, greedy_mc: usize) -> String {
         let mut solver = CompInfMax::new(&g, gap, opposite.clone())
             .eval_iterations(scale.mc_iterations)
             .threads(scale.threads)
+            .selector(scale.selector)
             .with_greedy_candidate(gcfg);
         if let Some(cap) = scale.max_rr_sets {
             solver = solver.max_rr_sets(cap);
@@ -122,6 +124,7 @@ mod tests {
             max_rr_sets: Some(10_000),
             seed: 7,
             threads: 1,
+            selector: Default::default(),
         };
         let out = run(&scale, Dataset::Flixster, 100);
         assert!(out.contains("SIM q_B|0=0.1"));

@@ -20,6 +20,7 @@ fn sim_ratio(scale: &Scale, g: &comic_graph::DiGraph, gap: Gap, seed: u64) -> f6
     let mut solver = SelfInfMax::new(g, gap, opposite)
         .eval_iterations(scale.mc_iterations)
         .threads(scale.threads)
+        .selector(scale.selector)
         .epsilon(0.5);
     if let Some(cap) = scale.max_rr_sets {
         solver = solver.max_rr_sets(cap);
@@ -34,6 +35,7 @@ fn cim_ratio(scale: &Scale, g: &comic_graph::DiGraph, gap: Gap, seed: u64) -> f6
     let mut solver = CompInfMax::new(g, gap, a_seeds)
         .eval_iterations(scale.mc_iterations)
         .threads(scale.threads)
+        .selector(scale.selector)
         .epsilon(0.5);
     if let Some(cap) = scale.max_rr_sets {
         solver = solver.max_rr_sets(cap);
@@ -105,6 +107,7 @@ mod tests {
             max_rr_sets: Some(30_000),
             seed: 5,
             threads: 1,
+            selector: Default::default(),
         };
         let out = run(&scale, &[Dataset::Flixster]);
         assert!(out.contains("SIM_learn"));

@@ -47,6 +47,7 @@ pub fn run(scale: &Scale, mode: OppositeMode, datasets: &[Dataset]) -> String {
             let mut solver = SelfInfMax::new(&g, gap, opposite.clone())
                 .eval_iterations(scale.mc_iterations)
                 .threads(scale.threads)
+                .selector(scale.selector)
                 .epsilon(0.5);
             if let Some(cap) = scale.max_rr_sets {
                 solver = solver.max_rr_sets(cap);
@@ -93,6 +94,7 @@ pub fn run(scale: &Scale, mode: OppositeMode, datasets: &[Dataset]) -> String {
             let mut solver = CompInfMax::new(&g, gap, a_seeds.clone())
                 .eval_iterations(scale.mc_iterations)
                 .threads(scale.threads)
+                .selector(scale.selector)
                 .epsilon(0.5);
             if let Some(cap) = scale.max_rr_sets {
                 solver = solver.max_rr_sets(cap);
@@ -132,6 +134,7 @@ mod tests {
             max_rr_sets: Some(50_000),
             seed: 1,
             threads: 1,
+            selector: Default::default(),
         };
         let out = run(&scale, OppositeMode::Random100, &[Dataset::Flixster]);
         assert!(out.contains("SelfInfMax"));

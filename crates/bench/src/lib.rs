@@ -18,6 +18,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use comic_ris::select::SelectorKind;
+
 pub mod datasets;
 pub mod exp;
 pub mod report;
@@ -43,6 +45,10 @@ pub struct Scale {
     /// pair, so pin `--threads` when regenerating paper tables for
     /// comparison across machines.
     pub threads: usize,
+    /// Max-coverage selection strategy for every RIS pipeline run
+    /// (`--selector naive|celf`; default CELF). Selectors return identical
+    /// seed sets, so this only moves the selection-phase wall clock.
+    pub selector: SelectorKind,
 }
 
 impl Default for Scale {
@@ -54,14 +60,15 @@ impl Default for Scale {
             max_rr_sets: Some(4_000_000),
             seed: 20160905, // VLDB'16 opening day
             threads: 0,
+            selector: SelectorKind::default(),
         }
     }
 }
 
 impl Scale {
     /// Parse `--full`, `--size-factor X`, `--k K`, `--mc N`, `--seed S`,
-    /// `--threads T` from the process arguments; unknown arguments are
-    /// ignored so each driver can add its own.
+    /// `--threads T`, `--selector naive|celf` from the process arguments;
+    /// unknown arguments are ignored so each driver can add its own.
     pub fn from_args() -> Scale {
         let mut scale = Scale::default();
         let args: Vec<String> = std::env::args().collect();
@@ -87,6 +94,10 @@ impl Scale {
                 }
                 "--threads" if i + 1 < args.len() => {
                     scale.threads = args[i + 1].parse().unwrap_or(scale.threads);
+                    i += 1;
+                }
+                "--selector" if i + 1 < args.len() => {
+                    scale.selector = SelectorKind::parse(&args[i + 1]).unwrap_or(scale.selector);
                     i += 1;
                 }
                 _ => {}

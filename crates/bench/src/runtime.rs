@@ -19,6 +19,46 @@ pub fn fmt_secs(secs: f64) -> String {
     }
 }
 
+/// Render a bench snapshot as JSON: the shared shape of the committed
+/// `BENCH_*.json` files — top-level `bench` name, header fields, then a
+/// `runs` array of flat objects. Values are **pre-rendered JSON fragments**
+/// (strings must arrive quoted, nested objects as `{ .. }` literals), so
+/// the caller controls formatting and this stays a dumb assembler.
+pub fn render_json_snapshot(
+    bench: &str,
+    header: &[(&str, String)],
+    runs: &[Vec<(&str, String)>],
+) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"bench\": \"{bench}\",\n"));
+    for (k, v) in header {
+        json.push_str(&format!("  \"{k}\": {v},\n"));
+    }
+    json.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let fields: Vec<String> = run.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+        json.push_str(&format!(
+            "    {{ {} }}{}\n",
+            fields.join(", "),
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Write a snapshot to the path in `COMIC_BENCH_JSON`, if set — the shared
+/// epilogue of the `rr_generation` and `seed_selection` bench sections.
+pub fn write_json_snapshot(bench: &str, header: &[(&str, String)], runs: &[Vec<(&str, String)>]) {
+    let Ok(path) = std::env::var("COMIC_BENCH_JSON") else {
+        return;
+    };
+    let json = render_json_snapshot(bench, header, runs);
+    std::fs::write(&path, json).expect("write COMIC_BENCH_JSON snapshot");
+    println!("bench: {bench} snapshot written to {path}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,5 +77,24 @@ mod tests {
     fn formats() {
         assert_eq!(fmt_secs(1.234), "1.23s");
         assert_eq!(fmt_secs(125.0), "2m05s");
+    }
+
+    #[test]
+    fn snapshot_renders_headers_runs_and_commas() {
+        let json = render_json_snapshot(
+            "demo",
+            &[("host_cores", "4".into()), ("note", "\"hi\"".into())],
+            &[
+                vec![("label", "\"a\"".into()), ("secs", "0.5000".into())],
+                vec![("label", "\"b\"".into()), ("secs", "1.2500".into())],
+            ],
+        );
+        assert!(json.starts_with("{\n  \"bench\": \"demo\",\n"));
+        assert!(json.contains("  \"host_cores\": 4,\n"));
+        assert!(json.contains("    { \"label\": \"a\", \"secs\": 0.5000 },\n"));
+        assert!(json.contains("    { \"label\": \"b\", \"secs\": 1.2500 }\n"));
+        assert!(json.ends_with("  ]\n}\n"));
+        // No trailing comma after the last run.
+        assert!(!json.contains("1.2500 },"));
     }
 }

@@ -21,6 +21,12 @@ pub fn write_edge_list<W: Write>(g: &DiGraph, w: W) -> Result<(), GraphError> {
 /// Read a text edge list produced by [`write_edge_list`] (or hand-written:
 /// the header is optional, in which case `n` = max node id + 1; a missing
 /// probability column defaults to 1.0; `#`-prefixed lines are comments).
+///
+/// SNAP-style files are accepted as-is: the `# Nodes: N Edges: M` header
+/// (any capitalisation, with or without colons) is recognised alongside the
+/// canonical `# nodes N edges M`, other `#` comment lines (`# Directed
+/// graph …`, `# FromNodeId  ToNodeId`) are skipped, and pairs may be
+/// tab-separated with no probability column.
 pub fn read_edge_list<R: Read>(r: R) -> Result<DiGraph, GraphError> {
     let reader = BufReader::new(r);
     let mut declared_n: Option<usize> = None;
@@ -36,9 +42,11 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<DiGraph, GraphError> {
             continue;
         }
         if let Some(rest) = trimmed.strip_prefix('#') {
-            // Recognise the canonical header; ignore other comments.
+            // Recognise the canonical and SNAP headers ("# nodes N edges M"
+            // / "# Nodes: N Edges: M"); ignore other comments.
             let toks: Vec<&str> = rest.split_whitespace().collect();
-            if toks.len() >= 4 && toks[0] == "nodes" && toks[2] == "edges" {
+            let keyword = |t: &str| t.trim_end_matches(':').to_ascii_lowercase();
+            if toks.len() >= 4 && keyword(toks[0]) == "nodes" && keyword(toks[2]) == "edges" {
                 declared_n = Some(toks[1].parse().map_err(|_| GraphError::Parse {
                     line: line_num,
                     msg: format!("bad node count '{}'", toks[1]),
@@ -74,7 +82,12 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<DiGraph, GraphError> {
         edges.push((u, v, p));
     }
 
-    let n = declared_n.unwrap_or(if saw_node { max_node as usize + 1 } else { 0 });
+    // SNAP's "Nodes:" header counts *distinct* nodes, not max id + 1, and
+    // real SNAP files have non-contiguous ids (e.g. web-Google declares
+    // 875,713 nodes but contains id 916,427) — so a declared count only
+    // ever widens the universe, never shrinks it below what the edges need.
+    let inferred = if saw_node { max_node as usize + 1 } else { 0 };
+    let n = declared_n.map_or(inferred, |d| d.max(inferred));
     let mut b = GraphBuilder::with_capacity(n, edges.len());
     for (u, v, p) in edges {
         b.add_edge(u, v, p);
@@ -172,6 +185,45 @@ mod tests {
         let g = read_edge_list(src.as_bytes()).unwrap();
         assert_eq!(g.num_nodes(), 10);
         assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn snap_format_with_tabs_and_colon_header() {
+        // A verbatim SNAP-style prelude: descriptive comments, the
+        // "# Nodes: N Edges: M" header, a column-caption comment, then
+        // tab-separated pairs without probabilities.
+        let src = "# Directed graph (each unordered pair of nodes is saved once)\n\
+                   # Example social network\n\
+                   # Nodes: 7 Edges: 3\n\
+                   # FromNodeId\tToNodeId\n\
+                   0\t1\n\
+                   1\t2\n\
+                   4\t0\n";
+        let g = read_edge_list(src.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.edges().all(|(_, e)| e.p == 1.0));
+        // Lower-case colon variant also works.
+        let g = read_edge_list("# nodes: 4 edges: 1\n2\t3\n".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn snap_undercounting_header_does_not_reject_sparse_ids() {
+        // SNAP headers count distinct nodes; ids can exceed the count.
+        // The declared 2 must not shrink the universe below max id + 1.
+        let g = read_edge_list("# Nodes: 2 Edges: 2\n0 9\n9 5\n".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn snap_header_with_bad_count_is_an_error() {
+        match read_edge_list("# Nodes: many Edges: 3\n0 1\n".as_bytes()) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]

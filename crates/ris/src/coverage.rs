@@ -1,100 +1,34 @@
-//! Greedy maximum coverage over an [`RrStore`] — GeneralTIM lines 4–8.
+//! Greedy maximum coverage over an [`RrStore`] — compatibility façade over
+//! the [`crate::select`] engine (GeneralTIM lines 4–8).
+//!
+//! The index construction and the selection strategies live in
+//! [`crate::select`]; this module keeps the original one-shot entry point
+//! and re-exports [`CoverageResult`] for existing callers.
 
 use crate::rr::RrStore;
-use comic_graph::NodeId;
-use std::collections::BinaryHeap;
+use crate::select::{CelfGreedy, CoverageIndex, SeedSelector};
 
-/// Result of the greedy coverage phase.
-#[derive(Clone, Debug)]
-pub struct CoverageResult {
-    /// The selected seeds in pick order.
-    pub seeds: Vec<NodeId>,
-    /// Number of RR-sets covered by the selection.
-    pub covered: u64,
-    /// Marginal number of sets newly covered by each successive pick.
-    pub marginals: Vec<u64>,
-}
+pub use crate::select::CoverageResult;
 
 /// Greedily pick `k` nodes maximizing the number of covered RR-sets.
 ///
-/// Uses an inverted node→sets index in CSR layout plus a lazy max-heap: a
-/// popped candidate whose cached gain is stale is re-pushed with its current
-/// gain (gains only shrink — the same lazy-forward insight as CELF). The
-/// overall cost is `O(total members + n log n)`.
+/// One-shot convenience over the select engine: builds a single-threaded
+/// [`CoverageIndex`] and runs the CELF lazy-greedy selector
+/// ([`CelfGreedy`]). Ties are broken by smallest node id, so the result is
+/// identical to the [`crate::select::NaiveGreedy`] oracle. Callers that
+/// reuse the store for several selections, want parallel index builds and
+/// invalidation sweeps, or need a different strategy should use
+/// [`crate::select`] (or the full [`crate::pipeline::RisPipeline`])
+/// directly.
 pub fn max_coverage(store: &RrStore, n: usize, k: usize) -> CoverageResult {
-    // Build the inverted index: for each node, which sets contain it.
-    let mut counts = vec![0u32; n];
-    for set in store.iter() {
-        for &v in set {
-            counts[v.index()] += 1;
-        }
-    }
-    let mut offsets = vec![0u64; n + 1];
-    for v in 0..n {
-        offsets[v + 1] = offsets[v] + counts[v] as u64;
-    }
-    let mut cursor: Vec<u64> = offsets[..n].to_vec();
-    let mut inv = vec![0u32; store.total_members() as usize];
-    for (set_id, set) in store.iter().enumerate() {
-        for &v in set {
-            inv[cursor[v.index()] as usize] = set_id as u32;
-            cursor[v.index()] += 1;
-        }
-    }
-
-    let mut gain: Vec<u32> = counts;
-    let mut covered_set = vec![false; store.len()];
-    let mut picked = vec![false; n];
-    // Max-heap of (cached gain, node); stale entries are detected by
-    // comparing the cached gain against the live `gain` array.
-    let mut heap: BinaryHeap<(u32, u32)> = (0..n as u32).map(|v| (gain[v as usize], v)).collect();
-
-    let mut seeds = Vec::with_capacity(k);
-    let mut marginals = Vec::with_capacity(k);
-    let mut covered: u64 = 0;
-
-    while seeds.len() < k {
-        let Some((cached, v)) = heap.pop() else {
-            break;
-        };
-        let vi = v as usize;
-        if picked[vi] {
-            continue;
-        }
-        if cached > gain[vi] {
-            heap.push((gain[vi], v));
-            continue;
-        }
-        // Fresh maximum: pick it.
-        picked[vi] = true;
-        seeds.push(NodeId(v));
-        marginals.push(gain[vi] as u64);
-        covered += gain[vi] as u64;
-        // Mark its sets covered and decrement members' gains.
-        for idx in offsets[vi]..offsets[vi + 1] {
-            let set_id = inv[idx as usize] as usize;
-            if covered_set[set_id] {
-                continue;
-            }
-            covered_set[set_id] = true;
-            for &w in store.set(set_id) {
-                gain[w.index()] = gain[w.index()].saturating_sub(1);
-            }
-        }
-        debug_assert_eq!(gain[vi], 0);
-    }
-
-    CoverageResult {
-        seeds,
-        covered,
-        marginals,
-    }
+    let index = CoverageIndex::build(store, n, 1);
+    CelfGreedy { threads: 1 }.select(&index, store, k)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use comic_graph::gen;
+    use comic_graph::{gen, NodeId};
 
     fn store_from(sets: &[&[u32]]) -> (RrStore, usize) {
         let n = 1 + sets

@@ -13,20 +13,26 @@
 //! powering the paper's *VanillaIC* baseline); the Com-IC samplers RR-SIM,
 //! RR-SIM+ and RR-CIM live in `comic-algos`.
 //!
-//! Pipeline (`GeneralTIM`, Algorithm 1 of the paper):
+//! Pipeline ([`pipeline::RisPipeline`], running `GeneralTIM` = Algorithm 1
+//! of the paper):
 //!
 //! 1. estimate a lower bound `KPT*` of the optimal spread
 //!    ([`kpt::kpt_star`], TIM's Algorithm 2 generalized to arbitrary
 //!    RR-sets);
 //! 2. derive the sample count θ from Equation (3) ([`tim::theta`]);
 //! 3. sample θ random RR-sets ([`rr::RrStore`]);
-//! 4. greedily pick the `k` nodes covering the most sets
-//!    ([`coverage::max_coverage`]).
+//! 4. greedily pick the `k` nodes covering the most sets through the
+//!    [`select`] engine: an inverted [`select::CoverageIndex`] plus an
+//!    interchangeable [`select::SeedSelector`] (CELF lazy-greedy by
+//!    default, exhaustive greedy as the oracle).
 //!
-//! Steps 1 and 3 — the wall-clock bottleneck at paper scale — can run
-//! sharded across worker threads through [`parallel::ShardedGenerator`];
-//! [`tim::general_tim_with`] is the parallel entry point and is
-//! deterministic for a fixed `(seed, threads)` configuration.
+//! Steps 1 and 3 — the wall-clock bottleneck at paper scale — run sharded
+//! across worker threads through [`parallel::ShardedGenerator`]; step 4's
+//! index build and invalidation sweeps are partitioned over the same
+//! `std::thread::scope` pattern. [`tim::general_tim_with`] is the classic
+//! parallel entry point; everything is deterministic for a fixed
+//! `(seed, threads)` configuration, and seed *selection* is additionally
+//! identical across thread counts and selectors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,12 +42,16 @@ pub mod error;
 pub mod ic_sampler;
 pub mod kpt;
 pub mod parallel;
+pub mod pipeline;
 pub mod rr;
 pub mod sampler;
+pub mod select;
 pub mod tim;
 
 pub use error::RisError;
 pub use parallel::ShardedGenerator;
+pub use pipeline::RisPipeline;
 pub use rr::RrStore;
 pub use sampler::RrSampler;
+pub use select::{CoverageIndex, SeedSelector, SelectorKind};
 pub use tim::{general_tim, general_tim_with, TimConfig, TimResult};

@@ -1,0 +1,195 @@
+//! The shared RIS pipeline: config → sharded RR-set generation → coverage
+//! index → seed selector.
+//!
+//! Every RIS-based solver in the workspace — GeneralTIM under the classic
+//! IC sampler (VanillaIC) and under the Com-IC samplers RR-SIM, RR-SIM+
+//! and RR-CIM, plus both sandwich surrogates — runs through
+//! [`RisPipeline`], so generation sharding, index construction and
+//! selector choice are configured in exactly one place
+//! ([`TimConfig`]). Stage by stage:
+//!
+//! 1. **KPT\*** lower-bound estimation, sharded
+//!    ([`crate::kpt::kpt_star_with_dims`]);
+//! 2. **θ** from Equation (3) ([`crate::tim::theta`]), optionally capped;
+//! 3. **generation** of θ RR-sets over per-thread sampler instances
+//!    ([`crate::parallel::ShardedGenerator`]);
+//! 4. **selection** — [`CoverageIndex::build`] then the configured
+//!    [`SelectorKind`] ([`select_seeds`] runs this stage alone, for reuse
+//!    over pre-sampled stores in benches and tests).
+//!
+//! The output is bit-for-bit deterministic for a fixed `(seed, threads)`
+//! pair, and the *selection* stage is additionally identical across thread
+//! counts and selectors (see the [`crate::select`] determinism contract).
+
+use crate::error::RisError;
+use crate::kpt::kpt_star_with_dims;
+use crate::parallel::ShardedGenerator;
+use crate::rr::RrStore;
+use crate::sampler::RrSampler;
+use crate::select::{CoverageIndex, CoverageResult};
+use crate::tim::{theta, TimConfig, TimResult};
+use comic_graph::fasthash::splitmix64;
+
+/// The unified seed-selection engine (stages 1–4 above).
+///
+/// # Example
+/// ```
+/// use comic_ris::ic_sampler::IcRrSampler;
+/// use comic_ris::pipeline::RisPipeline;
+/// use comic_ris::select::SelectorKind;
+/// use comic_ris::tim::TimConfig;
+/// use comic_graph::gen;
+///
+/// let g = gen::star(100, 1.0);
+/// let cfg = TimConfig::new(1).threads(2).selector(SelectorKind::Celf);
+/// let r = RisPipeline::new(cfg).run(|| IcRrSampler::new(&g)).unwrap();
+/// assert_eq!(r.seeds, vec![comic_graph::NodeId(0)]); // the hub
+/// ```
+#[derive(Clone, Debug)]
+pub struct RisPipeline {
+    cfg: TimConfig,
+}
+
+impl RisPipeline {
+    /// A pipeline running under `cfg`.
+    pub fn new(cfg: TimConfig) -> RisPipeline {
+        RisPipeline { cfg }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &TimConfig {
+        &self.cfg
+    }
+
+    /// Run all stages. `factory` builds one sampler per worker thread
+    /// (plus one probe on the calling thread).
+    pub fn run<S, F>(&self, factory: F) -> Result<TimResult, RisError>
+    where
+        S: RrSampler,
+        F: Fn() -> S + Sync,
+    {
+        let cfg = &self.cfg;
+        // One probe construction serves validation and the graph dimensions.
+        let (n, m) = {
+            let probe = factory();
+            (probe.graph().num_nodes(), probe.graph().num_edges())
+        };
+        cfg.validate(n)?;
+
+        // Stage 1: lower-bound estimation (sharded rounds).
+        let kpt_seed = splitmix64(cfg.seed ^ 0x006b_7074);
+        let kpt = kpt_star_with_dims(&factory, cfg.k, cfg.ell, kpt_seed, cfg.threads, n, m);
+
+        // Stage 2: θ from Equation (3).
+        let (theta_n, capped) = cfg.cap_theta(theta(n, cfg.k, cfg.epsilon, cfg.ell, kpt.kpt));
+
+        // Stage 3: sample θ RR-sets across the worker shards.
+        let avg = (kpt.total_members / kpt.samples.max(1)).max(1) as usize;
+        let theta_seed = splitmix64(cfg.seed ^ 0x74_6865_7461);
+        let store = ShardedGenerator::new(&factory, theta_seed, cfg.threads).generate(theta_n, avg);
+
+        // Stage 4: coverage index + selector.
+        Ok(assemble(n, cfg, kpt.kpt, theta_n, capped, &store))
+    }
+}
+
+/// Stage 4 alone: build the inverted index over an existing `store` and run
+/// the configured selector. Selection is deterministic regardless of
+/// `cfg.threads` and identical across selectors (the contract verified by
+/// `benches/seed_selection.rs` and the cross-selector property tests).
+pub fn select_seeds(cfg: &TimConfig, n: usize, store: &RrStore) -> CoverageResult {
+    let index = CoverageIndex::build(store, n, cfg.threads);
+    cfg.selector.select(&index, store, cfg.k, cfg.threads)
+}
+
+/// Wrap a selection over `store` into a [`TimResult`] (shared by the
+/// borrowing [`crate::tim::general_tim`] and the sharded pipeline).
+pub(crate) fn assemble(
+    n: usize,
+    cfg: &TimConfig,
+    kpt: f64,
+    theta_n: u64,
+    capped: bool,
+    store: &RrStore,
+) -> TimResult {
+    let cov = select_seeds(cfg, n, store);
+    let est_spread = n as f64 * cov.covered as f64 / theta_n as f64;
+    TimResult {
+        seeds: cov.seeds,
+        theta: theta_n,
+        kpt,
+        covered: cov.covered,
+        est_spread,
+        capped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ic_sampler::IcRrSampler;
+    use crate::select::SelectorKind;
+    use comic_graph::{gen, NodeId};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn test_graph() -> comic_graph::DiGraph {
+        let mut grng = SmallRng::seed_from_u64(31);
+        let g = gen::gnm(300, 1800, &mut grng).unwrap();
+        comic_graph::prob::ProbModel::WeightedCascade.apply(&g, &mut grng)
+    }
+
+    #[test]
+    fn pipeline_runs_are_deterministic_with_consistent_diagnostics() {
+        // (general_tim_with is a literal delegation to RisPipeline, so an
+        // equivalence test between them would be tautological; pin the
+        // pipeline's own contract instead.)
+        let g = test_graph();
+        let cfg = TimConfig::new(5).seed(7).max_rr_sets(30_000).threads(3);
+        let a = RisPipeline::new(cfg.clone())
+            .run(|| IcRrSampler::new(&g))
+            .unwrap();
+        let b = RisPipeline::new(cfg).run(|| IcRrSampler::new(&g)).unwrap();
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.theta, b.theta);
+        assert_eq!(a.covered, b.covered);
+        // Diagnostics are internally consistent.
+        assert_eq!(a.seeds.len(), 5);
+        assert!(a.covered <= a.theta);
+        let expect_spread = g.num_nodes() as f64 * a.covered as f64 / a.theta as f64;
+        assert!((a.est_spread - expect_spread).abs() < 1e-9);
+        assert!(a.capped || a.theta > 0);
+    }
+
+    #[test]
+    fn selector_choice_does_not_change_seeds() {
+        let g = test_graph();
+        for threads in [1, 4] {
+            let base = TimConfig::new(8)
+                .seed(5)
+                .max_rr_sets(20_000)
+                .threads(threads);
+            let celf = RisPipeline::new(base.clone().selector(SelectorKind::Celf))
+                .run(|| IcRrSampler::new(&g))
+                .unwrap();
+            let naive = RisPipeline::new(base.selector(SelectorKind::NaiveGreedy))
+                .run(|| IcRrSampler::new(&g))
+                .unwrap();
+            assert_eq!(celf.seeds, naive.seeds, "threads {threads}");
+            assert_eq!(celf.covered, naive.covered);
+            assert_eq!(celf.est_spread, naive.est_spread);
+        }
+    }
+
+    #[test]
+    fn select_seeds_stage_is_reusable_and_thread_independent() {
+        let g = gen::star(50, 1.0);
+        let store = ShardedGenerator::new(|| IcRrSampler::new(&g), 3, 2).generate(2_000, 2);
+        let cfg1 = TimConfig::new(1).threads(1);
+        let cfg4 = TimConfig::new(1).threads(4);
+        let a = select_seeds(&cfg1, 50, &store);
+        let b = select_seeds(&cfg4, 50, &store);
+        assert_eq!(a, b);
+        assert_eq!(a.seeds, vec![NodeId(0)]);
+    }
+}

@@ -1,0 +1,735 @@
+//! Seed selection over an [`RrStore`] — the greedy max-coverage phase of
+//! GeneralTIM (Algorithm 1, lines 4–8), extracted into a reusable engine.
+//!
+//! The subsystem has two halves:
+//!
+//! * [`CoverageIndex`] — an inverted node→RR-set index in CSR layout
+//!   (which sets contain each node, ascending by set id), built in
+//!   parallel over contiguous shards of the store with the same
+//!   `std::thread::scope` + deterministic-merge pattern as
+//!   [`crate::parallel::ShardedGenerator`];
+//! * [`SeedSelector`] — interchangeable max-coverage strategies sharing the
+//!   index: [`NaiveGreedy`], an exhaustive-rescan oracle, and
+//!   [`CelfGreedy`], a CELF lazy-greedy over a max-heap of stale marginal
+//!   counts with partitioned parallel coverage-invalidation sweeps.
+//!
+//! # Determinism contract
+//!
+//! Selection is **bit-for-bit deterministic and thread-count independent**:
+//! the index is an exact structure (parallel builds produce byte-identical
+//! arrays), marginal gains are exact integers, and ties are broken by the
+//! *smallest node id* among maximum-gain candidates. Because the marginal
+//! coverage objective is monotone and submodular (a stale cached gain is an
+//! upper bound on the fresh gain), CELF's lazy-forward rule selects exactly
+//! the same argmax sequence as the exhaustive oracle, so **every selector
+//! returns the identical seed set** on the same store — the contract the
+//! cross-selector tests and the CI bench smoke enforce.
+
+use crate::parallel::resolve_threads;
+use crate::rr::RrStore;
+use comic_graph::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a greedy coverage phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoverageResult {
+    /// The selected seeds in pick order.
+    pub seeds: Vec<NodeId>,
+    /// Number of RR-sets covered by the selection.
+    pub covered: u64,
+    /// Marginal number of sets newly covered by each successive pick.
+    pub marginals: Vec<u64>,
+}
+
+/// Inverted node→RR-set index in CSR layout.
+///
+/// For each node, the ids of the sets containing it, ascending. One flat
+/// `u32` array plus an offsets table — the same storage idea as
+/// [`RrStore`] itself, pointing the other way.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoverageIndex {
+    num_nodes: usize,
+    num_sets: usize,
+    offsets: Vec<u64>,
+    sets: Vec<u32>,
+}
+
+impl CoverageIndex {
+    /// Build the index over `store` for node universe `0..n`, fanning the
+    /// scan out over `threads` workers (`0` = one per core).
+    ///
+    /// Each worker counts and locally indexes a contiguous range of sets;
+    /// the final gather copies every node's per-shard runs in shard order,
+    /// so within a node's slice set ids are globally ascending and the
+    /// result is **byte-identical for every thread count**.
+    pub fn build(store: &RrStore, n: usize, threads: usize) -> CoverageIndex {
+        let threads = resolve_threads(threads).min(store.len().max(1)).max(1);
+        if threads == 1 {
+            return Self::build_sequential(store, n);
+        }
+
+        // Shard the set range contiguously, like ShardedGenerator.
+        let per = store.len() / threads;
+        let extra = store.len() % threads;
+        let mut ranges = Vec::with_capacity(threads);
+        let mut start = 0usize;
+        for t in 0..threads {
+            let share = per + usize::from(t < extra);
+            ranges.push(start..start + share);
+            start += share;
+        }
+
+        // Each worker builds a local CSR over its set range.
+        let mut locals: Vec<(Vec<u64>, Vec<u32>)> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for range in &ranges {
+                let range = range.clone();
+                handles.push(scope.spawn(move || csr_over_range(store, n, range)));
+            }
+            for h in handles {
+                locals.push(h.join().expect("coverage-index worker panicked"));
+            }
+        });
+
+        // Global offsets = per-node sums of the shard counts.
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            let total: u64 = locals.iter().map(|(o, _)| o[v + 1] - o[v]).sum();
+            offsets[v + 1] = offsets[v] + total;
+        }
+        let mut sets = vec![0u32; offsets[n] as usize];
+
+        // Parallel gather: partition the *node* range so each worker owns a
+        // contiguous (and therefore disjointly borrowable) slice of the
+        // output, balanced by membership mass.
+        let bounds = partition_nodes(&offsets, threads);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [u32] = &mut sets;
+            let mut consumed = 0u64;
+            for w in bounds.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                let len = (offsets[hi] - offsets[lo]) as usize;
+                let (mine, tail) = rest.split_at_mut(len);
+                rest = tail;
+                debug_assert_eq!(consumed, offsets[lo]);
+                consumed += len as u64;
+                let locals = &locals;
+                scope.spawn(move || {
+                    let mut out = 0usize;
+                    for v in lo..hi {
+                        for (o, s) in locals {
+                            let run = &s[o[v] as usize..o[v + 1] as usize];
+                            mine[out..out + run.len()].copy_from_slice(run);
+                            out += run.len();
+                        }
+                    }
+                    debug_assert_eq!(out, mine.len());
+                });
+            }
+        });
+
+        CoverageIndex {
+            num_nodes: n,
+            num_sets: store.len(),
+            offsets,
+            sets,
+        }
+    }
+
+    fn build_sequential(store: &RrStore, n: usize) -> CoverageIndex {
+        let (offsets, sets) = csr_over_range(store, n, 0..store.len());
+        CoverageIndex {
+            num_nodes: n,
+            num_sets: store.len(),
+            offsets,
+            sets,
+        }
+    }
+
+    /// Size of the node universe the index was built for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of indexed RR-sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Ids of the sets containing `v`, ascending.
+    pub fn sets_containing(&self, v: NodeId) -> &[u32] {
+        &self.sets[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
+    }
+
+    /// Number of sets containing `v` (the node's initial marginal gain).
+    pub fn count(&self, v: NodeId) -> u32 {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as u32
+    }
+
+    /// Total membership entries (= `store.total_members()`).
+    pub fn total_entries(&self) -> u64 {
+        self.sets.len() as u64
+    }
+}
+
+/// Two-pass CSR build of the inverted node→set index over one contiguous
+/// range of `store`'s sets: count per-node memberships, prefix-sum into
+/// offsets, then scatter set ids in range order (so each node's list comes
+/// out ascending). The sequential build is the full-range instance; the
+/// parallel build runs one per shard.
+fn csr_over_range(
+    store: &RrStore,
+    n: usize,
+    range: std::ops::Range<usize>,
+) -> (Vec<u64>, Vec<u32>) {
+    let mut counts = vec![0u32; n];
+    for i in range.clone() {
+        for &v in store.set(i) {
+            counts[v.index()] += 1;
+        }
+    }
+    let mut offsets = vec![0u64; n + 1];
+    for v in 0..n {
+        offsets[v + 1] = offsets[v] + counts[v] as u64;
+    }
+    let mut cursor: Vec<u64> = offsets[..n].to_vec();
+    let mut sets = vec![0u32; offsets[n] as usize];
+    for i in range {
+        for &v in store.set(i) {
+            sets[cursor[v.index()] as usize] = i as u32;
+            cursor[v.index()] += 1;
+        }
+    }
+    (offsets, sets)
+}
+
+/// Split `0..n` (as recorded in `offsets`) into at most `parts` contiguous
+/// node ranges of roughly equal membership mass. Returns the boundary list
+/// `[0, b1, …, n]`.
+fn partition_nodes(offsets: &[u64], parts: usize) -> Vec<usize> {
+    let n = offsets.len() - 1;
+    let total = offsets[n];
+    let parts = parts.min(n.max(1)).max(1);
+    let mut bounds = vec![0usize];
+    let mut v = 0usize;
+    for p in 1..parts {
+        let target = total * p as u64 / parts as u64;
+        while v < n && offsets[v] < target {
+            v += 1;
+        }
+        if v > *bounds.last().expect("non-empty") && v < n {
+            bounds.push(v);
+        }
+    }
+    bounds.push(n);
+    bounds
+}
+
+/// A max-coverage seed-selection strategy over a prebuilt [`CoverageIndex`].
+///
+/// Implementations must obey the module-level determinism contract: for the
+/// same `(index, store, k)` every selector returns the identical
+/// [`CoverageResult`], with ties broken by smallest node id.
+pub trait SeedSelector {
+    /// Human-readable strategy name (used in bench reports).
+    fn name(&self) -> &'static str;
+
+    /// Pick up to `k` seeds maximizing covered RR-sets.
+    fn select(&self, index: &CoverageIndex, store: &RrStore, k: usize) -> CoverageResult;
+}
+
+/// The exhaustive-rescan greedy: every round recounts each candidate's
+/// marginal gain from the index and picks the smallest-id argmax.
+///
+/// `O(k · total_members)` — far slower than [`CelfGreedy`] but so simple it
+/// serves as the test oracle the lazy selector is checked against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NaiveGreedy;
+
+impl SeedSelector for NaiveGreedy {
+    fn name(&self) -> &'static str {
+        "naive-greedy"
+    }
+
+    fn select(&self, index: &CoverageIndex, store: &RrStore, k: usize) -> CoverageResult {
+        let n = index.num_nodes();
+        let mut covered_set = vec![false; store.len()];
+        let mut picked = vec![false; n];
+        let mut seeds = Vec::with_capacity(k.min(n));
+        let mut marginals = Vec::with_capacity(k.min(n));
+        let mut covered = 0u64;
+        while seeds.len() < k.min(n) {
+            let mut best: Option<(u32, usize)> = None;
+            for (v, &is_picked) in picked.iter().enumerate() {
+                if is_picked {
+                    continue;
+                }
+                let gain = index
+                    .sets_containing(NodeId(v as u32))
+                    .iter()
+                    .filter(|&&s| !covered_set[s as usize])
+                    .count() as u32;
+                // Strict `>` over ascending ids = smallest id wins ties.
+                if best.is_none_or(|(bg, _)| gain > bg) {
+                    best = Some((gain, v));
+                }
+            }
+            let Some((gain, v)) = best else { break };
+            picked[v] = true;
+            seeds.push(NodeId(v as u32));
+            marginals.push(gain as u64);
+            covered += gain as u64;
+            for &s in index.sets_containing(NodeId(v as u32)) {
+                covered_set[s as usize] = true;
+            }
+        }
+        CoverageResult {
+            seeds,
+            covered,
+            marginals,
+        }
+    }
+}
+
+/// Invalidation sweeps below this many member touches run inline; above it
+/// they are partitioned across the selector's worker threads. Each
+/// partitioned sweep pays one scoped spawn+join per worker (~hundreds of
+/// microseconds total), so the threshold sits high enough that the inline
+/// work it replaces clearly dominates that overhead.
+const PARALLEL_SWEEP_MIN_WORK: u64 = 1 << 17;
+
+/// Set-major member lists sorted ascending by node id — the transpose of
+/// the [`CoverageIndex`] back to set order, materialized once per
+/// [`CelfGreedy`] run (threads > 1 only) so each invalidation-sweep worker
+/// can binary-search the segment of a set that falls inside its node range
+/// and touch nothing else. Built in O(total members) by walking the index
+/// node-ascending (no per-set sort needed).
+struct SweepStore {
+    offsets: Vec<u64>,
+    members: Vec<u32>,
+}
+
+impl SweepStore {
+    fn build(index: &CoverageIndex, store: &RrStore) -> SweepStore {
+        let mut offsets = vec![0u64; store.len() + 1];
+        for i in 0..store.len() {
+            offsets[i + 1] = offsets[i] + store.set(i).len() as u64;
+        }
+        let mut cursor: Vec<u64> = offsets[..store.len()].to_vec();
+        let mut members = vec![0u32; store.total_members() as usize];
+        for v in 0..index.num_nodes() as u32 {
+            for &s in index.sets_containing(NodeId(v)) {
+                members[cursor[s as usize] as usize] = v;
+                cursor[s as usize] += 1;
+            }
+        }
+        SweepStore { offsets, members }
+    }
+
+    fn set(&self, s: usize) -> &[u32] {
+        &self.members[self.offsets[s] as usize..self.offsets[s + 1] as usize]
+    }
+}
+
+/// CELF lazy-greedy max coverage.
+///
+/// A max-heap caches each candidate's marginal gain; a popped entry whose
+/// cache is stale (gains only shrink under submodularity) is re-pushed with
+/// its live gain, so each round touches only the few heads that changed.
+/// After a pick, the *coverage-invalidation sweep* — marking the pick's
+/// uncovered sets covered and decrementing every member's live gain — is
+/// the remaining linear cost; when it is large it is partitioned by node
+/// range across `threads` workers. Each worker owns a disjoint slice of the
+/// gain array and binary-searches its node range inside node-sorted per-set
+/// member lists (a [`SweepStore`] built once per run), so per-worker work is
+/// its share of the decrements plus `O(sets · log)` search — and the exact
+/// integer decrements commute, keeping the result thread-count independent.
+#[derive(Clone, Copy, Debug)]
+pub struct CelfGreedy {
+    /// Worker threads for invalidation sweeps (`0` = one per core).
+    pub threads: usize,
+}
+
+impl Default for CelfGreedy {
+    fn default() -> Self {
+        CelfGreedy { threads: 1 }
+    }
+}
+
+impl SeedSelector for CelfGreedy {
+    fn name(&self) -> &'static str {
+        "celf"
+    }
+
+    fn select(&self, index: &CoverageIndex, store: &RrStore, k: usize) -> CoverageResult {
+        let n = index.num_nodes();
+        let threads = resolve_threads(self.threads).min(n.max(1)).max(1);
+        let mut gain: Vec<u32> = (0..n).map(|v| index.count(NodeId(v as u32))).collect();
+        let mut covered_set = vec![false; store.len()];
+        let mut picked = vec![false; n];
+        // Max-heap on (cached gain, Reverse(node id)): among equal cached
+        // gains the smallest id pops first, matching NaiveGreedy's rule.
+        let mut heap: BinaryHeap<(u32, Reverse<u32>)> = (0..n as u32)
+            .map(|v| (gain[v as usize], Reverse(v)))
+            .collect();
+        let bounds = if threads > 1 {
+            partition_nodes(&index.offsets, threads)
+        } else {
+            Vec::new()
+        };
+        // The node-sorted transpose costs O(total members); build it lazily
+        // on the first sweep heavy enough for the parallel path, so sparse
+        // stores whose sweeps all run inline never pay for it.
+        let mut sweep_store: Option<SweepStore> = None;
+
+        let mut seeds = Vec::with_capacity(k.min(n));
+        let mut marginals = Vec::with_capacity(k.min(n));
+        let mut covered = 0u64;
+        let mut newly: Vec<u32> = Vec::new();
+
+        while seeds.len() < k {
+            let Some((cached, Reverse(v))) = heap.pop() else {
+                break;
+            };
+            let vi = v as usize;
+            if picked[vi] {
+                continue;
+            }
+            if cached > gain[vi] {
+                heap.push((gain[vi], Reverse(v)));
+                continue;
+            }
+            // Fresh maximum (smallest id among ties): pick it.
+            picked[vi] = true;
+            seeds.push(NodeId(v));
+            marginals.push(gain[vi] as u64);
+            covered += gain[vi] as u64;
+            newly.clear();
+            for &s in index.sets_containing(NodeId(v)) {
+                if !covered_set[s as usize] {
+                    covered_set[s as usize] = true;
+                    newly.push(s);
+                }
+            }
+            let work: u64 = newly
+                .iter()
+                .map(|&s| store.set(s as usize).len() as u64)
+                .sum();
+            if bounds.len() > 2 && work >= PARALLEL_SWEEP_MIN_WORK {
+                let sorted = sweep_store.get_or_insert_with(|| SweepStore::build(index, store));
+                sweep_parallel(&mut gain, &newly, sorted, &bounds);
+            } else {
+                sweep_inline(&mut gain, &newly, store);
+            }
+            debug_assert_eq!(gain[vi], 0);
+        }
+
+        CoverageResult {
+            seeds,
+            covered,
+            marginals,
+        }
+    }
+}
+
+/// Partitioned parallel invalidation sweep: decrement the live gain of
+/// every member of the newly covered sets.
+///
+/// The sweep fans out over scoped workers along the node-range `bounds`
+/// (from [`partition_nodes`]): each owns one disjoint sub-slice of `gain`
+/// and binary-searches its node range inside every newly covered set's
+/// node-sorted member list, so it reads and writes only its own segment.
+/// Every member entry is applied exactly once — same as [`sweep_inline`] —
+/// so the resulting gain array is identical regardless of threading.
+fn sweep_parallel(gain: &mut [u32], newly: &[u32], sorted: &SweepStore, bounds: &[usize]) {
+    std::thread::scope(|scope| {
+        let mut rest: &mut [u32] = gain;
+        let mut consumed = 0usize;
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let (mine, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            debug_assert_eq!(consumed, lo);
+            consumed = hi;
+            scope.spawn(move || {
+                for &s in newly {
+                    let mem = sorted.set(s as usize);
+                    let a = mem.partition_point(|&x| (x as usize) < lo);
+                    let b = a + mem[a..].partition_point(|&x| (x as usize) < hi);
+                    for &x in &mem[a..b] {
+                        mine[x as usize - lo] -= 1;
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn sweep_inline(gain: &mut [u32], newly: &[u32], store: &RrStore) {
+    for &s in newly {
+        for &w in store.set(s as usize) {
+            gain[w.index()] -= 1;
+        }
+    }
+}
+
+/// Which [`SeedSelector`] the pipeline runs — the config-level knob wired
+/// through [`crate::tim::TimConfig::selector`] and the bench drivers'
+/// `--selector` flag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SelectorKind {
+    /// Exhaustive-rescan greedy ([`NaiveGreedy`]) — the slow oracle.
+    NaiveGreedy,
+    /// CELF lazy-greedy ([`CelfGreedy`]) — the default fast path.
+    #[default]
+    Celf,
+}
+
+impl SelectorKind {
+    /// Parse a CLI spelling (`"naive"` / `"celf"`).
+    pub fn parse(s: &str) -> Option<SelectorKind> {
+        match s {
+            "naive" | "naive-greedy" => Some(SelectorKind::NaiveGreedy),
+            "celf" => Some(SelectorKind::Celf),
+            _ => None,
+        }
+    }
+
+    /// The strategy's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectorKind::NaiveGreedy => NaiveGreedy.name(),
+            SelectorKind::Celf => CelfGreedy::default().name(),
+        }
+    }
+
+    /// Run the chosen selector (`threads` only affects [`CelfGreedy`]'s
+    /// invalidation sweeps; results are thread-count independent).
+    pub fn select(
+        self,
+        index: &CoverageIndex,
+        store: &RrStore,
+        k: usize,
+        threads: usize,
+    ) -> CoverageResult {
+        match self {
+            SelectorKind::NaiveGreedy => NaiveGreedy.select(index, store, k),
+            SelectorKind::Celf => CelfGreedy { threads }.select(index, store, k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comic_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn store_from(sets: &[&[u32]]) -> (RrStore, usize) {
+        let n = 1 + sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .copied()
+            .max()
+            .unwrap_or(0) as usize;
+        let g = gen::complete(n.max(2), 1.0);
+        let mut store = RrStore::new();
+        for s in sets {
+            let members: Vec<NodeId> = s.iter().copied().map(NodeId).collect();
+            store.push(&members, &g);
+        }
+        (store, n.max(2))
+    }
+
+    fn random_store(seed: u64, n: u32, sets: usize, max_size: usize) -> RrStore {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut store = RrStore::new();
+        for _ in 0..sets {
+            let size = rng.random_range(0..max_size);
+            let mut members: Vec<NodeId> = Vec::new();
+            while members.len() < size {
+                let v = NodeId(rng.random_range(0..n));
+                if !members.contains(&v) {
+                    members.push(v);
+                }
+            }
+            store.push_with_width(&members, 0);
+        }
+        store
+    }
+
+    #[test]
+    fn index_counts_match_bruteforce() {
+        let store = random_store(1, 25, 300, 6);
+        let index = CoverageIndex::build(&store, 25, 1);
+        assert_eq!(index.num_sets(), 300);
+        assert_eq!(index.total_entries(), store.total_members());
+        for v in 0..25u32 {
+            let expect: Vec<u32> = (0..store.len())
+                .filter(|&i| store.set(i).contains(&NodeId(v)))
+                .map(|i| i as u32)
+                .collect();
+            assert_eq!(index.sets_containing(NodeId(v)), &expect[..], "node {v}");
+            assert_eq!(index.count(NodeId(v)) as usize, expect.len());
+        }
+    }
+
+    #[test]
+    fn parallel_index_build_is_byte_identical() {
+        let store = random_store(2, 40, 1000, 8);
+        let base = CoverageIndex::build(&store, 40, 1);
+        for threads in [2, 3, 7, 16] {
+            assert_eq!(
+                CoverageIndex::build(&store, 40, threads),
+                base,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_store_and_tiny_universes() {
+        let store = RrStore::new();
+        let index = CoverageIndex::build(&store, 0, 4);
+        assert_eq!(index.num_nodes(), 0);
+        assert_eq!(index.total_entries(), 0);
+        let r = CelfGreedy { threads: 4 }.select(&index, &store, 3);
+        assert!(r.seeds.is_empty());
+        assert_eq!(r.covered, 0);
+        let r = NaiveGreedy.select(&index, &store, 3);
+        assert!(r.seeds.is_empty());
+    }
+
+    #[test]
+    fn selectors_agree_including_ties() {
+        // Nodes 1 and 2 tie on gain; both selectors must take node 1.
+        let (store, n) = store_from(&[&[1, 3], &[2, 3], &[1], &[2]]);
+        let index = CoverageIndex::build(&store, n, 1);
+        let naive = NaiveGreedy.select(&index, &store, 2);
+        let celf = CelfGreedy { threads: 1 }.select(&index, &store, 2);
+        assert_eq!(naive, celf);
+        assert_eq!(naive.seeds[0], NodeId(1), "smallest id wins the tie");
+    }
+
+    #[test]
+    fn celf_matches_naive_on_random_stores_across_threads() {
+        for trial in 0..10 {
+            let store = random_store(100 + trial, 30, 400, 5);
+            let index = CoverageIndex::build(&store, 30, 2);
+            let naive = NaiveGreedy.select(&index, &store, 6);
+            for threads in [1, 3] {
+                let celf = CelfGreedy { threads }.select(&index, &store, 6);
+                assert_eq!(naive, celf, "trial {trial} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn marginals_match_per_set_recounts_after_invalidation() {
+        // After each pick the invalidation sweep must leave gains equal to
+        // a from-scratch recount: the reported marginal of pick i equals
+        // the number of sets containing seed i and none of seeds 0..i.
+        let store = random_store(7, 20, 250, 5);
+        let index = CoverageIndex::build(&store, 20, 1);
+        let r = CelfGreedy { threads: 1 }.select(&index, &store, 8);
+        for (i, (&seed, &marginal)) in r.seeds.iter().zip(&r.marginals).enumerate() {
+            let recount = (0..store.len())
+                .filter(|&s| {
+                    let members = store.set(s);
+                    members.contains(&seed)
+                        && !r.seeds[..i].iter().any(|prev| members.contains(prev))
+                })
+                .count() as u64;
+            assert_eq!(marginal, recount, "pick {i} (node {seed})");
+        }
+        assert_eq!(r.covered, r.marginals.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn parallel_sweep_path_is_exercised_and_identical() {
+        // Big dense sets so a single pick invalidates > the inline
+        // threshold, forcing the partitioned sweep: the top node sits in
+        // roughly sets·density ≈ 800 sets of 200 members, ~160k member
+        // touches > PARALLEL_SWEEP_MIN_WORK.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut store = RrStore::new();
+        let n = 300u32;
+        let mut in_set = vec![false; n as usize];
+        for _ in 0..1200 {
+            let mut members: Vec<NodeId> = Vec::new();
+            while members.len() < 200 {
+                let v = rng.random_range(0..n);
+                if !in_set[v as usize] {
+                    in_set[v as usize] = true;
+                    members.push(NodeId(v));
+                }
+            }
+            for m in &members {
+                in_set[m.index()] = false;
+            }
+            store.push_with_width(&members, 0);
+        }
+        let index = CoverageIndex::build(&store, n as usize, 4);
+        let seq = CelfGreedy { threads: 1 }.select(&index, &store, 10);
+        let par = CelfGreedy { threads: 4 }.select(&index, &store, 10);
+        assert_eq!(seq, par);
+        assert_eq!(seq, NaiveGreedy.select(&index, &store, 10));
+    }
+
+    #[test]
+    fn sweep_store_is_the_node_sorted_transpose() {
+        let store = random_store(11, 40, 300, 7);
+        let index = CoverageIndex::build(&store, 40, 1);
+        let sorted = SweepStore::build(&index, &store);
+        for s in 0..store.len() {
+            let mem = sorted.set(s);
+            assert!(mem.windows(2).all(|w| w[0] < w[1]), "set {s} not sorted");
+            let mut expect: Vec<u32> = store.set(s).iter().map(|v| v.0).collect();
+            expect.sort_unstable();
+            assert_eq!(mem, &expect[..], "set {s}");
+        }
+    }
+
+    #[test]
+    fn k_beyond_useful_nodes_fills_with_smallest_ids() {
+        let (store, n) = store_from(&[&[0], &[0]]);
+        let index = CoverageIndex::build(&store, n, 1);
+        let naive = NaiveGreedy.select(&index, &store, n + 5);
+        let celf = CelfGreedy { threads: 1 }.select(&index, &store, n + 5);
+        assert_eq!(naive, celf);
+        assert_eq!(naive.covered, 2);
+        assert!(naive.seeds.len() <= n);
+    }
+
+    #[test]
+    fn selector_kind_parses_and_dispatches() {
+        assert_eq!(
+            SelectorKind::parse("naive"),
+            Some(SelectorKind::NaiveGreedy)
+        );
+        assert_eq!(SelectorKind::parse("celf"), Some(SelectorKind::Celf));
+        assert_eq!(SelectorKind::parse("bogus"), None);
+        assert_eq!(SelectorKind::default(), SelectorKind::Celf);
+        let (store, n) = store_from(&[&[0, 1], &[2]]);
+        let index = CoverageIndex::build(&store, n, 1);
+        let a = SelectorKind::NaiveGreedy.select(&index, &store, 1, 1);
+        let b = SelectorKind::Celf.select(&index, &store, 1, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partition_bounds_are_monotone_and_cover() {
+        let store = random_store(3, 50, 600, 6);
+        let index = CoverageIndex::build(&store, 50, 1);
+        for parts in [1, 2, 5, 13, 64] {
+            let b = partition_nodes(&index.offsets, parts);
+            assert_eq!(*b.first().unwrap(), 0);
+            assert_eq!(*b.last().unwrap(), 50);
+            assert!(b.windows(2).all(|w| w[0] < w[1]), "{b:?}");
+            assert!(b.len() <= parts + 1);
+        }
+    }
+}

@@ -1,12 +1,15 @@
 //! GeneralTIM — Algorithm 1 of the paper.
+//!
+//! The orchestration lives in [`crate::pipeline::RisPipeline`]; this module
+//! holds the configuration ([`TimConfig`]), the θ math of Equation (3), and
+//! the two classic entry points [`general_tim`] / [`general_tim_with`].
 
-use crate::coverage::max_coverage;
 use crate::error::RisError;
-use crate::kpt::{kpt_star, kpt_star_with_dims};
-use crate::parallel::ShardedGenerator;
+use crate::kpt::kpt_star;
+use crate::pipeline::{assemble, RisPipeline};
 use crate::rr::{RrStore, MAX_PREALLOC_SETS};
 use crate::sampler::RrSampler;
-use comic_graph::fasthash::splitmix64;
+use crate::select::SelectorKind;
 use comic_graph::NodeId;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -29,8 +32,15 @@ pub struct TimConfig {
     /// Worker threads for RR-set generation in [`general_tim_with`]
     /// (`0` = one per available core; default `1`). Results are
     /// deterministic for a fixed `(seed, threads)` pair. The borrowing
-    /// [`general_tim`] entry point always runs on the calling thread.
+    /// [`general_tim`] entry point always samples on the calling thread
+    /// (only the coverage-index build and invalidation sweeps honor the
+    /// knob there).
     pub threads: usize,
+    /// Max-coverage strategy for the selection phase (default
+    /// [`SelectorKind::Celf`]). Every selector returns identical seeds for
+    /// the same sampled store — see the [`crate::select`] determinism
+    /// contract — so this is purely a performance knob.
+    pub selector: SelectorKind,
 }
 
 impl TimConfig {
@@ -43,6 +53,7 @@ impl TimConfig {
             max_rr_sets: None,
             seed: 0x5eed,
             threads: 1,
+            selector: SelectorKind::default(),
         }
     }
 
@@ -71,7 +82,13 @@ impl TimConfig {
         self
     }
 
-    fn validate(&self, n: usize) -> Result<(), RisError> {
+    /// Choose the max-coverage selection strategy.
+    pub fn selector(mut self, selector: SelectorKind) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    pub(crate) fn validate(&self, n: usize) -> Result<(), RisError> {
         if self.k == 0 {
             return Err(RisError::InvalidConfig("k must be >= 1".into()));
         }
@@ -91,6 +108,17 @@ impl TimConfig {
             )));
         }
         Ok(())
+    }
+
+    pub(crate) fn cap_theta(&self, mut theta_n: u64) -> (u64, bool) {
+        let mut capped = false;
+        if let Some(cap) = self.max_rr_sets {
+            if theta_n > cap {
+                theta_n = cap;
+                capped = true;
+            }
+        }
+        (theta_n, capped)
     }
 }
 
@@ -131,37 +159,6 @@ pub fn theta(n: usize, k: usize, epsilon: f64, ell: f64, lower_bound: f64) -> u6
     (lambda / lower_bound.max(1.0)).ceil().max(1.0) as u64
 }
 
-fn cap_theta(cfg: &TimConfig, mut theta_n: u64) -> (u64, bool) {
-    let mut capped = false;
-    if let Some(cap) = cfg.max_rr_sets {
-        if theta_n > cap {
-            theta_n = cap;
-            capped = true;
-        }
-    }
-    (theta_n, capped)
-}
-
-fn assemble(
-    n: usize,
-    cfg: &TimConfig,
-    kpt: f64,
-    theta_n: u64,
-    capped: bool,
-    store: &RrStore,
-) -> TimResult {
-    let cov = max_coverage(store, n, cfg.k);
-    let est_spread = n as f64 * cov.covered as f64 / theta_n as f64;
-    TimResult {
-        seeds: cov.seeds,
-        theta: theta_n,
-        kpt,
-        covered: cov.covered,
-        est_spread,
-        capped,
-    }
-}
-
 /// Run GeneralTIM over any [`RrSampler`] (Algorithm 1), single-threaded.
 ///
 /// For samplers whose per-world activation indicator is monotone and
@@ -169,10 +166,10 @@ fn assemble(
 /// `(1 − 1/e − ε)`-approximation with probability ≥ `1 − n^{−ℓ}`
 /// (unless capped).
 ///
-/// This entry point borrows one sampler and therefore always runs on the
-/// calling thread ([`TimConfig::threads`] is ignored); [`general_tim_with`]
-/// takes a sampler *factory* instead and shards RR-set generation across
-/// worker threads.
+/// This entry point borrows one sampler and therefore always *samples* on
+/// the calling thread ([`TimConfig::threads`] only parallelizes the
+/// selection phase); [`general_tim_with`] takes a sampler *factory* instead
+/// and shards RR-set generation across worker threads.
 pub fn general_tim<S: RrSampler>(sampler: &mut S, cfg: &TimConfig) -> Result<TimResult, RisError> {
     let n = sampler.graph().num_nodes();
     cfg.validate(n)?;
@@ -182,7 +179,7 @@ pub fn general_tim<S: RrSampler>(sampler: &mut S, cfg: &TimConfig) -> Result<Tim
     let kpt = kpt_star(sampler, cfg.k, cfg.ell, &mut rng);
 
     // Phase 2: θ from Equation (3).
-    let (theta_n, capped) = cap_theta(cfg, theta(n, cfg.k, cfg.epsilon, cfg.ell, kpt.kpt));
+    let (theta_n, capped) = cfg.cap_theta(theta(n, cfg.k, cfg.epsilon, cfg.ell, kpt.kpt));
 
     // Phase 3: sample θ RR-sets into an arena pre-sized from the average
     // set size observed during KPT*.
@@ -202,36 +199,20 @@ pub fn general_tim<S: RrSampler>(sampler: &mut S, cfg: &TimConfig) -> Result<Tim
 ///
 /// `factory` builds one sampler per worker thread (plus one probe on the
 /// calling thread); both the KPT* rounds and the θ-loop generate their
-/// RR-sets through a [`ShardedGenerator`] honoring [`TimConfig::threads`].
-/// The output — selected seeds, θ, coverage — is **bit-for-bit
-/// deterministic for a fixed `(seed, threads)` configuration** (see the
-/// [`crate::parallel`] module docs for the stream-derivation contract).
+/// RR-sets through a [`crate::parallel::ShardedGenerator`] honoring
+/// [`TimConfig::threads`]. The output — selected seeds, θ, coverage — is
+/// **bit-for-bit deterministic for a fixed `(seed, threads)`
+/// configuration** (see the [`crate::parallel`] module docs for the
+/// stream-derivation contract).
+///
+/// This is a thin wrapper over [`RisPipeline`], which exposes the stages
+/// individually.
 pub fn general_tim_with<S, F>(factory: F, cfg: &TimConfig) -> Result<TimResult, RisError>
 where
     S: RrSampler,
     F: Fn() -> S + Sync,
 {
-    // One probe construction serves validation and the graph dimensions.
-    let (n, m) = {
-        let probe = factory();
-        (probe.graph().num_nodes(), probe.graph().num_edges())
-    };
-    cfg.validate(n)?;
-
-    // Phase 1: lower-bound estimation (sharded rounds).
-    let kpt_seed = splitmix64(cfg.seed ^ 0x006b_7074);
-    let kpt = kpt_star_with_dims(&factory, cfg.k, cfg.ell, kpt_seed, cfg.threads, n, m);
-
-    // Phase 2: θ from Equation (3).
-    let (theta_n, capped) = cap_theta(cfg, theta(n, cfg.k, cfg.epsilon, cfg.ell, kpt.kpt));
-
-    // Phase 3: sample θ RR-sets across the worker shards.
-    let avg = (kpt.total_members / kpt.samples.max(1)).max(1) as usize;
-    let theta_seed = splitmix64(cfg.seed ^ 0x74_6865_7461);
-    let store = ShardedGenerator::new(&factory, theta_seed, cfg.threads).generate(theta_n, avg);
-
-    // Phase 4: greedy max coverage over the merged arena.
-    Ok(assemble(n, cfg, kpt.kpt, theta_n, capped, &store))
+    RisPipeline::new(cfg.clone()).run(factory)
 }
 
 #[cfg(test)]

@@ -5,9 +5,17 @@
 //!
 //! Provides the [`strategy::Strategy`] trait with `prop_map`, range and
 //! tuple strategies, [`collection::vec`], the [`proptest!`] macro, and the
-//! `prop_assert*` / `prop_assume!` macros. Unlike the real crate there is
-//! no shrinking: a failing case panics with the generating seed so it can
-//! be replayed deterministically.
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Failing cases are **shrunk by greedy bisection**: integer/float range
+//! strategies bisect toward the range start, vec strategies bisect the
+//! length, drop single elements and shrink elements in place, and tuples
+//! shrink component-wise ([`strategy::Strategy::shrink`]). Unlike the real
+//! crate there is no value tree, so `prop_map` outputs do not shrink
+//! (the mapping is not invertible); the shrink loop simply stops at
+//! whatever granularity the underlying strategies expose. The minimal
+//! counter-example is printed and re-run so the test fails with its
+//! assertion message.
 
 #![forbid(unsafe_code)]
 
@@ -27,13 +35,22 @@ pub mod strategy {
 
     /// A generator of values of type `Value`. The real crate separates
     /// strategies from value trees to support shrinking; this shim
-    /// generates values directly.
+    /// generates values directly and shrinks concrete values in place.
     pub trait Strategy {
         /// The type of generated values.
         type Value;
 
         /// Generate one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Candidate simplifications of a failing `value`, most aggressive
+        /// first (greedy bisection). The shrink driver re-tests candidates
+        /// in order and recurses on the first one that still fails; an
+        /// empty list (the default) means the value is not shrinkable.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
 
         /// Transform generated values with `f`.
         fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -44,7 +61,9 @@ pub mod strategy {
         }
     }
 
-    /// Strategy returned by [`Strategy::prop_map`].
+    /// Strategy returned by [`Strategy::prop_map`]. Does not shrink: the
+    /// mapping is not invertible, so the source value of a failing output
+    /// cannot be recovered (the real crate shrinks the source value tree).
     #[derive(Clone, Debug)]
     pub struct Map<S, F> {
         source: S,
@@ -59,12 +78,15 @@ pub mod strategy {
         }
     }
 
-    macro_rules! impl_range_strategy {
+    macro_rules! impl_int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
                 type Value = $t;
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.random_range(self.clone())
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink(self.start, *value)
                 }
             }
             impl Strategy for RangeInclusive<$t> {
@@ -72,31 +94,121 @@ pub mod strategy {
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.random_range(self.clone())
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink(*self.start(), *value)
+                }
+            }
+
+        )*};
+    }
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    float_shrink(self.start, *value)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    float_shrink(*self.start(), *value)
+                }
             }
         )*};
     }
 
-    impl_range_strategy!(u32, u64, usize, f32, f64);
+    impl_int_range_strategy!(u32, u64, usize);
+    impl_float_range_strategy!(f32, f64);
+
+    /// Greedy bisection toward the lower bound: the bound itself, the
+    /// midpoint, and one step down (ascending & deduplicated, all < value).
+    fn int_shrink<T>(lo: T, value: T) -> Vec<T>
+    where
+        T: Copy + PartialOrd + core::ops::Sub<Output = T> + core::ops::Add<Output = T>,
+        T: core::ops::Div<Output = T> + From<u8> + PartialEq,
+    {
+        if value.partial_cmp(&lo) != Some(core::cmp::Ordering::Greater) {
+            return Vec::new();
+        }
+        let mut out = vec![lo, lo + (value - lo) / T::from(2u8), value - T::from(1u8)];
+        out.dedup();
+        out
+    }
+
+    fn float_shrink<T>(lo: T, value: T) -> Vec<T>
+    where
+        T: Copy + PartialOrd + core::ops::Sub<Output = T> + core::ops::Add<Output = T>,
+        T: core::ops::Div<Output = T> + From<u8>,
+    {
+        if value.partial_cmp(&lo) != Some(core::cmp::Ordering::Greater) {
+            return Vec::new();
+        }
+        let mid = lo + (value - lo) / T::from(2u8);
+        let mut out = vec![lo];
+        if mid > lo && mid < value {
+            out.push(mid);
+        }
+        out
+    }
+
+    /// One shrink block per tuple component: munches the `(strategy,
+    /// binding)` pair list while carrying the full binding list, because a
+    /// repetition cannot be re-expanded inside itself. The `for` loop
+    /// variable shadows the focused component's binding, so reconstructing
+    /// the tuple from all bindings splices the candidate into the right
+    /// position.
+    macro_rules! shrink_components {
+        ($out:ident, $value:ident, [], [$($all:ident),+]) => {};
+        ($out:ident, $value:ident, [($S:ident, $cur:ident) $(, $rest:tt)*], [$($all:ident),+]) => {
+            {
+                let ($($all,)+) = $value.clone();
+                for $cur in $S.shrink(&$cur) {
+                    $out.push(($($all.clone(),)+));
+                }
+            }
+            shrink_components!($out, $value, [$($rest),*], [$($all),+]);
+        };
+    }
 
     macro_rules! impl_tuple_strategy {
-        ($($name:ident),+) => {
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
-                type Value = ($($name::Value,)+);
+        ($(($S:ident, $v:ident)),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+)
+            where
+                $($S::Value: Clone),+
+            {
+                type Value = ($($S::Value,)+);
                 #[allow(non_snake_case)]
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                    let ($($name,)+) = self;
-                    ($($name.generate(rng),)+)
+                    let ($($S,)+) = self;
+                    ($($S.generate(rng),)+)
+                }
+                #[allow(non_snake_case, unused_variables)]
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // Component-wise: every candidate simplifies exactly
+                    // one component, holding the others fixed.
+                    let ($($S,)+) = self;
+                    let mut out: Vec<Self::Value> = Vec::new();
+                    shrink_components!(out, value, [$(($S, $v)),+], [$($v),+]);
+                    out
                 }
             }
         };
     }
 
-    impl_tuple_strategy!(A);
-    impl_tuple_strategy!(A, B);
-    impl_tuple_strategy!(A, B, C);
-    impl_tuple_strategy!(A, B, C, D);
-    impl_tuple_strategy!(A, B, C, D, E);
-    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!((A, a));
+    impl_tuple_strategy!((A, a), (B, b));
+    impl_tuple_strategy!((A, a), (B, b), (C, c));
+    impl_tuple_strategy!((A, a), (B, b), (C, c), (D, d));
+    impl_tuple_strategy!((A, a), (B, b), (C, c), (D, d), (E, e));
+    impl_tuple_strategy!((A, a), (B, b), (C, c), (D, d), (E, e), (F, f));
 
     /// The `Just` strategy: always yields a clone of the given value.
     #[derive(Clone, Debug)]
@@ -132,7 +244,10 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
@@ -142,6 +257,36 @@ pub mod collection {
                 rng.random_range(self.len.clone())
             };
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Greedy bisection on the structure, then on the contents:
+        /// truncate to the minimum length, halve, drop one trailing
+        /// element, drop each single element, and finally shrink each
+        /// element in place via the element strategy.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let min = self.len.start;
+            let mut out: Vec<Self::Value> = Vec::new();
+            if value.len() > min {
+                for target in [min, value.len() / 2, value.len() - 1] {
+                    if target >= min && target < value.len() {
+                        out.push(value[..target].to_vec());
+                    }
+                }
+                out.dedup_by_key(|v| v.len());
+                for i in 0..value.len() {
+                    let mut removed = value.clone();
+                    removed.remove(i);
+                    out.push(removed);
+                }
+            }
+            for (i, elem) in value.iter().enumerate() {
+                for candidate in self.element.shrink(elem) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -172,6 +317,69 @@ pub mod test_runner {
             // latency while keeping the same deterministic seed schedule.
             Config { cases: 64 }
         }
+    }
+}
+
+/// The shrink-aware case driver behind the [`proptest!`] macro.
+pub mod runner {
+    use crate::strategy::Strategy;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Cap on candidate evaluations while shrinking one failing case, so
+    /// pathological strategies (e.g. float bisection) always terminate.
+    const MAX_SHRINK_STEPS: usize = 512;
+
+    /// Run one generated case; on failure, greedily shrink it to a minimal
+    /// counter-example and re-run that so the test fails with the minimal
+    /// case's own assertion message.
+    ///
+    /// The greedy loop asks the strategy for candidates
+    /// ([`Strategy::shrink`]), takes the first one that still fails, and
+    /// repeats until no candidate fails (a local minimum) or the step cap
+    /// trips. The default panic hook is silenced while probing candidates
+    /// so the output stays readable.
+    pub fn run_case<S, F>(name: &str, case: u64, strategy: &S, value: S::Value, test: F)
+    where
+        S: Strategy,
+        S::Value: Clone + std::fmt::Debug,
+        F: Fn(S::Value),
+    {
+        if catch_unwind(AssertUnwindSafe(|| test(value.clone()))).is_ok() {
+            return;
+        }
+        // The panic hook is process-global and libtest runs tests on
+        // concurrent threads: serialize the silence-probe-restore window so
+        // two shrinking properties can never interleave their take/set
+        // pairs (which would permanently mute the default hook). A failing
+        // unrelated test during this window loses its message — transient,
+        // and bounded by MAX_SHRINK_STEPS.
+        static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut current = value;
+        let mut steps = 0usize;
+        'outer: while steps < MAX_SHRINK_STEPS {
+            for candidate in strategy.shrink(&current) {
+                steps += 1;
+                if catch_unwind(AssertUnwindSafe(|| test(candidate.clone()))).is_err() {
+                    current = candidate;
+                    continue 'outer;
+                }
+                if steps >= MAX_SHRINK_STEPS {
+                    break;
+                }
+            }
+            break;
+        }
+        std::panic::set_hook(hook);
+        drop(guard);
+        eprintln!(
+            "proptest: property '{name}' case {case} failed; \
+             minimal counter-example after {steps} shrink probes: {current:?}"
+        );
+        test(current);
+        unreachable!("shrunken counter-example no longer fails");
     }
 }
 
@@ -214,8 +422,9 @@ macro_rules! prop_assume {
 }
 
 /// Define property tests. Each `fn name(arg in strategy, ...) { body }`
-/// becomes a `#[test]` running `cases` deterministic cases; a failure
-/// panics with the case number baked into the assertion backtrace.
+/// becomes a `#[test]` running `cases` deterministic cases; a failing case
+/// is shrunk by greedy bisection ([`runner::run_case`]) and the test fails
+/// on the minimal counter-example, which is printed to stderr.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -228,6 +437,11 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
+                // One tuple strategy over all arguments keeps generation
+                // byte-compatible with the old per-argument scheme (tuples
+                // generate components left to right) while giving the
+                // shrink driver one joint value to simplify.
+                let strategy = ( $( ($strat), )+ );
                 for case in 0..config.cases as u64 {
                     // Derive the stream from the property name so distinct
                     // properties explore distinct inputs.
@@ -237,11 +451,16 @@ macro_rules! proptest {
                     }
                     let mut rng: $crate::TestRng =
                         <$crate::TestRng as $crate::__rand::SeedableRng>::seed_from_u64(seed);
-                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng); )+
+                    let value = $crate::strategy::Strategy::generate(&strategy, &mut rng);
                     // The closure gives `prop_assume!`'s early `return` a
                     // per-case scope instead of ending the whole test.
-                    #[allow(clippy::redundant_closure_call)]
-                    (|| $body)();
+                    $crate::runner::run_case(
+                        stringify!($name),
+                        case,
+                        &strategy,
+                        value,
+                        |($($arg,)+)| $body,
+                    );
                 }
             }
         )*
@@ -287,5 +506,90 @@ mod tests {
             let v = crate::strategy::Strategy::generate(&strat, &mut rng);
             assert!(v == 10 || v == 20 || v == 30);
         }
+    }
+
+    #[test]
+    fn int_range_shrink_bisects_toward_the_start() {
+        use crate::strategy::Strategy;
+        let strat = 3u32..1000;
+        assert_eq!(strat.shrink(&900), vec![3, 451, 899]);
+        assert_eq!(strat.shrink(&4), vec![3]);
+        assert_eq!(strat.shrink(&3), Vec::<u32>::new());
+        let incl = 0u64..=10;
+        assert_eq!(incl.shrink(&10), vec![0, 5, 9]);
+    }
+
+    #[test]
+    fn vec_shrink_offers_structural_then_element_candidates() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u32..100, 1..10);
+        let cands = strat.shrink(&vec![8, 40]);
+        // Structural: truncate to min length, drop each element.
+        assert!(cands.contains(&vec![8]));
+        assert!(cands.contains(&vec![40]));
+        // Element-wise: bisect 40 in place.
+        assert!(cands.contains(&vec![8, 20]));
+        // Nothing grows.
+        assert!(cands.iter().all(|c| c.len() <= 2));
+        // At minimum length only element shrinks remain.
+        assert!(strat.shrink(&vec![0]).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_simplifies_one_component_at_a_time() {
+        use crate::strategy::Strategy;
+        let strat = (0u32..10, 0u32..10);
+        let cands = strat.shrink(&(4, 6));
+        assert!(cands.contains(&(0, 6)));
+        assert!(cands.contains(&(2, 6)));
+        assert!(cands.contains(&(4, 0)));
+        assert!(cands.contains(&(4, 3)));
+        assert!(!cands.contains(&(0, 0)), "joint moves are not candidates");
+    }
+
+    #[test]
+    fn runner_shrinks_to_the_minimal_failing_int() {
+        use std::cell::Cell;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let last_tested = Cell::new(0u32);
+        let strat = 0u32..1000;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            crate::runner::run_case("meta_int", 0, &strat, 900, |x| {
+                last_tested.set(x);
+                assert!(x < 17, "fails for every x >= 17");
+            });
+        }));
+        assert!(outcome.is_err(), "the property must still fail");
+        assert_eq!(
+            last_tested.get(),
+            17,
+            "greedy bisection should land on the smallest failing value"
+        );
+    }
+
+    #[test]
+    fn runner_shrinks_vecs_to_a_single_offending_element() {
+        use std::cell::RefCell;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let last_tested = RefCell::new(Vec::new());
+        let strat = crate::collection::vec(0u32..100, 0..20);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            crate::runner::run_case("meta_vec", 0, &strat, vec![50, 3, 12, 99], |v| {
+                *last_tested.borrow_mut() = v.clone();
+                assert!(v.iter().all(|&x| x < 10), "fails when any element >= 10");
+            });
+        }));
+        assert!(outcome.is_err());
+        assert_eq!(
+            *last_tested.borrow(),
+            vec![10],
+            "minimal counter-example is one element at the failure threshold"
+        );
+    }
+
+    #[test]
+    fn runner_passes_clean_cases_through() {
+        let strat = 0u32..10;
+        crate::runner::run_case("meta_ok", 0, &strat, 5, |x| assert!(x < 10));
     }
 }

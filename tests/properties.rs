@@ -123,6 +123,45 @@ proptest! {
         }
     }
 
+    /// The CELF lazy-greedy selector returns exactly the same seeds,
+    /// coverage and marginals as the exhaustive naive-greedy oracle on
+    /// arbitrary RR-set collections, for every thread count — the
+    /// determinism contract of `comic_ris::select`.
+    #[test]
+    fn celf_selection_matches_naive_greedy(
+        raw_sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..24, 0..7), 0..60),
+        k in 1usize..10,
+    ) {
+        use comic::ris::select::{CelfGreedy, CoverageIndex, NaiveGreedy, SeedSelector};
+        let n = 24usize;
+        let mut store = comic::ris::RrStore::new();
+        for raw in &raw_sets {
+            let mut members: Vec<NodeId> = raw.iter().copied().map(NodeId).collect();
+            members.sort_unstable();
+            members.dedup();
+            store.push_with_width(&members, 0);
+        }
+        let index = CoverageIndex::build(&store, n, 1);
+        prop_assert_eq!(CoverageIndex::build(&store, n, 3), index.clone());
+        let naive = NaiveGreedy.select(&index, &store, k);
+        for threads in [1usize, 4] {
+            let celf = CelfGreedy { threads }.select(&index, &store, k);
+            prop_assert_eq!(&celf.seeds, &naive.seeds, "threads {}", threads);
+            prop_assert_eq!(celf.covered, naive.covered);
+            prop_assert_eq!(&celf.marginals, &naive.marginals);
+        }
+        // Coverage really is the number of intersected sets.
+        let mut mark = vec![false; n];
+        for s in &naive.seeds {
+            mark[s.index()] = true;
+        }
+        let recount = (0..store.len())
+            .filter(|&i| store.set(i).iter().any(|v| mark[v.index()]))
+            .count() as u64;
+        prop_assert_eq!(naive.covered, recount);
+    }
+
     /// Graph serialization round-trips exactly.
     #[test]
     fn graph_io_roundtrip(g in arb_graph()) {
