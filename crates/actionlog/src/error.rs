@@ -17,6 +17,15 @@ pub enum LogError {
     UnknownItem(u32),
     /// An invalid configuration value.
     InvalidConfig(String),
+    /// A parse error while reading a text log file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for LogError {
@@ -27,11 +36,20 @@ impl fmt::Display for LogError {
             }
             LogError::UnknownItem(i) => write!(f, "item {i} not present in the log"),
             LogError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            LogError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            LogError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
 }
 
-impl std::error::Error for LogError {}
+impl std::error::Error for LogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,144 @@
+//! Action-log serialization: a line-oriented text format so that fixture
+//! logs can be committed next to fixture graphs and fed to the learners
+//! without any synthesis step.
+//!
+//! Format: `#`-prefixed comment lines, then one record per line as
+//! `t<TAB>user<TAB>item<TAB>action` with `action ∈ {informed, rated}`
+//! (any whitespace between columns is accepted on read).
+
+use crate::error::LogError;
+use crate::log::{Action, ActionLog, ItemId, LogRecord, UserId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Write `log` in the text format, preceded by a small descriptive header.
+pub fn write_log<W: Write>(log: &ActionLog, w: W) -> Result<(), LogError> {
+    let mut out = BufWriter::new(w);
+    (|| {
+        writeln!(out, "# comic action log v1")?;
+        writeln!(out, "# records {}", log.len())?;
+        writeln!(out, "# t\tuser\titem\taction")?;
+        for r in log.records() {
+            let action = match r.action {
+                Action::Informed => "informed",
+                Action::Rated => "rated",
+            };
+            writeln!(out, "{}\t{}\t{}\t{}", r.t, r.user.0, r.item.0, action)?;
+        }
+        out.flush()
+    })()
+    .map_err(LogError::Io)
+}
+
+/// Read a log written by [`write_log`] (records are re-sorted by time, so
+/// hand-edited files need not stay ordered).
+pub fn read_log<R: Read>(r: R) -> Result<ActionLog, LogError> {
+    let reader = BufReader::new(r);
+    let mut records = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(LogError::Io)?;
+        let line_num = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = trimmed.split_whitespace().collect();
+        if toks.len() != 4 {
+            return Err(LogError::Parse {
+                line: line_num,
+                msg: format!("expected 't user item action', got '{trimmed}'"),
+            });
+        }
+        fn parse_num<T: std::str::FromStr>(
+            tok: &str,
+            what: &str,
+            line: usize,
+        ) -> Result<T, LogError> {
+            tok.parse().map_err(|_| LogError::Parse {
+                line,
+                msg: format!("bad {what} '{tok}'"),
+            })
+        }
+        let t: u64 = parse_num(toks[0], "timestamp", line_num)?;
+        let user: u32 = parse_num(toks[1], "user id", line_num)?;
+        let item: u32 = parse_num(toks[2], "item id", line_num)?;
+        let action = match toks[3] {
+            "informed" => Action::Informed,
+            "rated" => Action::Rated,
+            other => {
+                return Err(LogError::Parse {
+                    line: line_num,
+                    msg: format!("bad action '{other}' (expected informed|rated)"),
+                })
+            }
+        };
+        records.push(LogRecord {
+            user: UserId(user),
+            item: ItemId(item),
+            action,
+            t,
+        });
+    }
+    Ok(ActionLog::from_records(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(user: u32, item: u32, action: Action, t: u64) -> LogRecord {
+        LogRecord {
+            user: UserId(user),
+            item: ItemId(item),
+            action,
+            t,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let log = ActionLog::from_records(vec![
+            rec(3, 0, Action::Informed, 7),
+            rec(1, 1, Action::Rated, 2),
+            rec(2, 0, Action::Rated, 5),
+        ]);
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        let log2 = read_log(&buf[..]).unwrap();
+        assert_eq!(log.records(), log2.records());
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_on_read() {
+        let src = "9\t0\t0\trated\n1\t1\t0\tinformed\n";
+        let log = read_log(src.as_bytes()).unwrap();
+        assert_eq!(log.records()[0].t, 1);
+        assert_eq!(log.records()[1].t, 9);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let src = "# comic action log v1\n\n# records 1\n4\t2\t1\trated\n";
+        let log = read_log(src.as_bytes()).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.records()[0].user, UserId(2));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        for (src, wants) in [
+            ("1\t2\t3\n", "expected"),
+            ("x\t2\t3\trated\n", "timestamp"),
+            ("1\t2\t3\tpurchased\n", "action"),
+            // u32 overflow must be rejected, not silently wrapped.
+            ("1\t4294967297\t3\trated\n", "user id"),
+        ] {
+            match read_log(format!("# header\n{src}").as_bytes()) {
+                Err(LogError::Parse { line, msg }) => {
+                    assert_eq!(line, 2, "{src}");
+                    assert!(msg.contains(wants), "{msg}");
+                }
+                other => panic!("expected parse error for {src:?}, got {other:?}"),
+            }
+        }
+    }
+}

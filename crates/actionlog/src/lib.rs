@@ -14,6 +14,8 @@
 //! * [`influence_learn`] — static Bernoulli edge-probability learning in the
 //!   spirit of Goyal, Bonchi & Lakshmanan [12], which the paper uses to
 //!   obtain `p(u, v)`.
+//! * [`io`] — a line-oriented text format for logs, so fixture logs can be
+//!   committed next to fixture graphs and replayed deterministically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +23,7 @@
 pub mod error;
 pub mod gap_learn;
 pub mod influence_learn;
+pub mod io;
 pub mod log;
 pub mod synth;
 

@@ -2,7 +2,7 @@
 //! loop of GeneralTIM and the quantity the paper's Figure 7 comparisons
 //! ultimately measure (EPT per sample).
 
-use comic_bench::datasets::Dataset;
+use comic_bench::datasets::{bench_source, Dataset};
 use comic_bench::exp::common::OppositeMode;
 use comic_core::Gap;
 use comic_ris::ic_sampler::IcRrSampler;
@@ -13,8 +13,9 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_samplers(c: &mut Criterion) {
-    let g = Dataset::Flixster.instantiate(0.08);
-    let lg = Dataset::Flixster.learned_gap();
+    let src = bench_source(Dataset::Flixster);
+    let g = src.graph(0.08);
+    let lg = src.gap();
     let gap_sim = Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, lg.q_b0).unwrap();
     let gap_cim = Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, 1.0).unwrap();
     let opposite = OppositeMode::Random100.seeds(&g, 100, 7);

@@ -9,7 +9,7 @@
 //! `COMIC_BENCH_JSON=<path>` to also write the numbers as a JSON snapshot
 //! (committed as `BENCH_rr_generation.json` at the repo root).
 
-use comic_bench::datasets::{scalability_series, Dataset};
+use comic_bench::datasets::{bench_source, scalability_series, Dataset};
 use comic_bench::exp::common::OppositeMode;
 use comic_bench::runtime::timed;
 use comic_core::Gap;
@@ -24,7 +24,7 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_scalability(c: &mut Criterion) {
-    let lg = Dataset::Flixster.learned_gap();
+    let lg = bench_source(Dataset::Flixster).gap();
     let gap_sim = Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, lg.q_b0).unwrap();
     let gap_cim = Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, 1.0).unwrap();
 

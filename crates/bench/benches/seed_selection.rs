@@ -13,7 +13,7 @@
 //! `BENCH_seed_selection.json` at the repo root).
 
 use comic_algos::greedy::celf;
-use comic_bench::datasets::Dataset;
+use comic_bench::datasets::{bench_source, Dataset};
 use comic_bench::runtime::timed;
 use comic_graph::NodeId;
 use comic_ris::ic_sampler::IcRrSampler;
@@ -40,7 +40,7 @@ fn sample_store(g: &comic_graph::DiGraph, count: usize) -> RrStore {
 }
 
 fn bench_seed_selection(c: &mut Criterion) {
-    let g = Dataset::Flixster.instantiate(0.08);
+    let g = bench_source(Dataset::Flixster).graph(0.08);
     let n = g.num_nodes();
     let quick = criterion::quick_mode();
     let store = sample_store(&g, if quick { 5_000 } else { 200_000 });
@@ -107,7 +107,7 @@ fn bench_selector_comparison(c: &mut Criterion) {
     let quick = criterion::quick_mode();
     let sets: usize = if quick { 5_000 } else { 200_000 };
     let k = 50;
-    let g = Dataset::Flixster.instantiate(if quick { 0.04 } else { 0.08 });
+    let g = bench_source(Dataset::Flixster).graph(if quick { 0.04 } else { 0.08 });
     let n = g.num_nodes();
     let store = sample_store(&g, sets);
 

@@ -1,7 +1,7 @@
 //! Criterion: Monte-Carlo diffusion throughput — the engine behind every
 //! spread evaluation in the paper's tables (10K simulations each).
 
-use comic_bench::datasets::Dataset;
+use comic_bench::datasets::{bench_source, Dataset};
 use comic_core::oracle::CoinOracle;
 use comic_core::possible_world::WorldOracle;
 use comic_core::seeds::{seeds, SeedPair};
@@ -13,8 +13,9 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_simulation(c: &mut Criterion) {
-    let g = Dataset::Flixster.instantiate(0.08);
-    let gap = Dataset::Flixster.learned_gap();
+    let src = bench_source(Dataset::Flixster);
+    let g = src.graph(0.08);
+    let gap = src.gap();
     let sp = SeedPair::new(seeds(&[0, 1, 2, 3, 4]), seeds(&[5, 6, 7, 8, 9]));
 
     let mut group = c.benchmark_group("simulation");

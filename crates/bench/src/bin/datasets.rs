@@ -1,0 +1,156 @@
+//! `comic-bench datasets` — list, validate, and prepare the dataset
+//! registry.
+//!
+//! ```text
+//! cargo run -p comic-bench --bin datasets --                 # list the registry
+//! cargo run -p comic-bench --bin datasets -- --validate      # full ingestion check
+//! cargo run -p comic-bench --bin datasets -- --prepare       # (re)build binary caches
+//! cargo run -p comic-bench --bin datasets -- --validate --dataset fixture-small
+//! ```
+//!
+//! `--validate` pulls every resolvable entry through the complete path —
+//! text parse, probability model, manifest check, cache write, then a
+//! second digest-validated cache load — and exits non-zero if any required
+//! dataset is missing or any loaded one contradicts its manifest.
+
+use comic_bench::datasets::{load_spec, CacheMode, DatasetSpec, REGISTRY};
+use comic_bench::report::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let validate = args.iter().any(|a| a == "--validate");
+    let prepare = args.iter().any(|a| a == "--prepare");
+    let only: Option<&str> = args
+        .iter()
+        .position(|a| a == "--dataset")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    if let Some(bad) = args.iter().find(|a| {
+        a.starts_with("--")
+            && !["--validate", "--prepare", "--list", "--dataset"].contains(&a.as_str())
+    }) {
+        eprintln!("unknown flag {bad}; try --list, --validate, --prepare, --dataset NAME");
+        std::process::exit(2);
+    }
+
+    let specs: Vec<&DatasetSpec> = REGISTRY
+        .iter()
+        .filter(|s| only.is_none_or(|n| s.name == n))
+        .collect();
+    if specs.is_empty() {
+        eprintln!(
+            "no registry entry named '{}'; known: {}",
+            only.unwrap_or(""),
+            REGISTRY
+                .iter()
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    }
+
+    if !validate && !prepare {
+        list(&specs);
+        return;
+    }
+
+    // Both --validate and --prepare must exercise the full text-parse path,
+    // never an existing cache — validation of a stale cache would vouch for
+    // a source file that no longer parses or matches the manifest.
+    let mode = CacheMode::Refresh;
+    let mut failures = 0usize;
+    for spec in &specs {
+        let source = spec.source_path();
+        if !source.exists() {
+            if spec.required {
+                println!(
+                    "FAIL {:<16} missing required file {}",
+                    spec.name,
+                    source.display()
+                );
+                failures += 1;
+            } else {
+                println!(
+                    "skip {:<16} not downloaded ({})",
+                    spec.name,
+                    source.display()
+                );
+            }
+            continue;
+        }
+        match load_spec(spec, mode) {
+            Ok(first) => {
+                // Round-trip the cache: the second load must come from the
+                // binary file and reproduce the digest exactly.
+                match load_spec(spec, CacheMode::Use) {
+                    Ok(second) if second.from_cache && second.digest == first.digest => {
+                        println!(
+                            "ok   {:<16} {} (digest {:#018x}, cache {})",
+                            spec.name,
+                            first.stats(),
+                            first.digest,
+                            if first.from_cache { "hit" } else { "built" },
+                        );
+                    }
+                    Ok(second) => {
+                        println!(
+                            "FAIL {:<16} cache round-trip mismatch (from_cache={}, {:#018x} vs {:#018x})",
+                            spec.name, second.from_cache, second.digest, first.digest
+                        );
+                        failures += 1;
+                    }
+                    Err(e) => {
+                        println!("FAIL {:<16} cache reload failed: {e}", spec.name);
+                        failures += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                println!("FAIL {:<16} {e}", spec.name);
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} dataset(s) failed validation");
+        std::process::exit(1);
+    }
+}
+
+fn list(specs: &[&DatasetSpec]) {
+    let mut t = Table::new("Dataset registry".to_string()).header(&[
+        "name",
+        "file",
+        "prob",
+        "expected |V|",
+        "expected |E|",
+        "status",
+        "note",
+    ]);
+    for spec in specs {
+        let source = spec.source_path();
+        let status = if !source.exists() {
+            if spec.required {
+                "MISSING (required)"
+            } else {
+                "not downloaded"
+            }
+        } else if spec.cache_path().exists() {
+            "present + cached"
+        } else {
+            "present"
+        };
+        let fmt_opt = |v: Option<usize>| v.map_or("-".to_string(), |v| v.to_string());
+        t.row(vec![
+            spec.name.to_string(),
+            spec.path.to_string(),
+            spec.prob.label(),
+            fmt_opt(spec.expected_nodes),
+            fmt_opt(spec.expected_edges),
+            status.to_string(),
+            spec.note.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,8 +1,17 @@
-//! Regenerate Figure 4 (epsilon sweep) on Flixster and Douban-Book.
-use comic_bench::datasets::Dataset;
+//! Regenerate Figure 4 (epsilon sweep) on Flixster and Douban-Book, or on
+//! the single --dataset when one is given.
+use comic_bench::datasets::{DataSource, Dataset};
 fn main() {
     let scale = comic_bench::Scale::from_args();
-    for d in [Dataset::Flixster, Dataset::DoubanBook] {
-        println!("{}", comic_bench::exp::fig4::run(&scale, d));
+    let sources = if scale.dataset.is_some() {
+        scale.sources_or_exit()
+    } else {
+        vec![
+            DataSource::Synthetic(Dataset::Flixster),
+            DataSource::Synthetic(Dataset::DoubanBook),
+        ]
+    };
+    for src in &sources {
+        println!("{}", comic_bench::exp::fig4::run(&scale, src));
     }
 }

@@ -1,8 +1,7 @@
-//! Regenerate Figure 5 (A-spread vs |S_A|) on all four datasets.
-use comic_bench::datasets::Dataset;
+//! Regenerate Figure 5 (A-spread vs |S_A|) on all sources.
 fn main() {
     let scale = comic_bench::Scale::from_args();
-    for d in Dataset::ALL {
-        println!("{}", comic_bench::exp::fig5::run(&scale, d));
+    for src in &scale.sources_or_exit() {
+        println!("{}", comic_bench::exp::fig5::run(&scale, src));
     }
 }

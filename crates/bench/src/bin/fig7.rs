@@ -1,6 +1,5 @@
 //! Regenerate Figure 7: (a) algorithm running times per dataset; with
 //! --scalability, (b) the power-law size sweep instead.
-use comic_bench::datasets::Dataset;
 fn main() {
     let scale = comic_bench::Scale::from_args();
     let scalability = std::env::args().any(|a| a == "--scalability");
@@ -17,9 +16,10 @@ fn main() {
         );
     } else {
         let greedy_k = (scale.k / 5).max(2);
+        let sources = scale.sources_or_exit();
         print!(
             "{}",
-            comic_bench::exp::fig7::run_times(&scale, &Dataset::ALL, greedy_k, 1_000)
+            comic_bench::exp::fig7::run_times(&scale, &sources, greedy_k, 1_000)
         );
     }
 }

@@ -1,8 +1,7 @@
-//! Regenerate Figure 8 (sandwich stress test) on Flixster.
+//! Regenerate Figure 8 (sandwich stress test) on Flixster, or on --dataset.
+use comic_bench::datasets::Dataset;
 fn main() {
     let scale = comic_bench::Scale::from_args();
-    print!(
-        "{}",
-        comic_bench::exp::fig8::run(&scale, comic_bench::datasets::Dataset::Flixster, 1_000)
-    );
+    let source = scale.source_or_exit(Dataset::Flixster);
+    print!("{}", comic_bench::exp::fig8::run(&scale, &source, 1_000));
 }

@@ -1,6 +1,8 @@
 //! Run every table and figure in sequence (EXPERIMENTS.md is produced from
-//! this output). Flags: --full, --size-factor X, --k K, --mc N, --seed S.
-use comic_bench::datasets::Dataset;
+//! this output). Flags: --full, --size-factor X, --k K, --mc N, --seed S,
+//! --dataset NAME|PATH (swap the synthetic stand-ins for one on-disk
+//! dataset pulled through the ingestion pipeline).
+use comic_bench::datasets::{DataSource, Dataset};
 use comic_bench::exp;
 use comic_bench::exp::common::OppositeMode;
 use comic_bench::runtime::{fmt_secs, timed};
@@ -13,54 +15,84 @@ fn section<T: std::fmt::Display>(name: &str, f: impl FnOnce() -> T) {
 
 fn main() {
     let scale = comic_bench::Scale::from_args();
+    let sources = scale.sources_or_exit();
     println!(
         "# Com-IC experiment suite  (size-factor {:.2}, k = {}, {} MC iterations, seed {})\n",
         scale.size_factor, scale.k, scale.mc_iterations, scale.seed
     );
-    section("table1", || exp::table1::run(&scale));
+    if let Some(l) = sources.iter().find_map(|s| s.loaded()) {
+        println!(
+            "# dataset: {} from {} ({}, digest {:#018x})\n",
+            l.name,
+            l.source.display(),
+            if l.from_cache {
+                "binary cache"
+            } else {
+                "text parse"
+            },
+            l.digest
+        );
+    }
+    section("table1", || exp::table1::run(&scale, &sources));
     section("table2", || {
-        exp::tables234::run(&scale, OppositeMode::Ranks101To200, &Dataset::ALL)
+        exp::tables234::run(&scale, OppositeMode::Ranks101To200, &sources)
     });
     section("table3", || {
-        exp::tables234::run(&scale, OppositeMode::Random100, &Dataset::ALL)
+        exp::tables234::run(&scale, OppositeMode::Random100, &sources)
     });
     section("table4", || {
-        exp::tables234::run(&scale, OppositeMode::Top100, &Dataset::ALL)
+        exp::tables234::run(&scale, OppositeMode::Top100, &sources)
     });
-    section("table5", || exp::tables567::run(&scale, Dataset::Flixster));
-    section("table6", || {
-        exp::tables567::run(&scale, Dataset::DoubanBook)
+    section("tables5-7", || {
+        sources
+            .iter()
+            .filter(|s| s.synthetic() != Some(Dataset::LastFm))
+            .map(|s| exp::tables567::run(&scale, s))
+            .collect::<Vec<_>>()
+            .join("\n")
     });
-    section("table7", || {
-        exp::tables567::run(&scale, Dataset::DoubanMovie)
-    });
-    section("table8", || exp::table8::run(&scale, &Dataset::ALL));
+    section("table8", || exp::table8::run(&scale, &sources));
     section("fig4", || {
-        format!(
-            "{}\n{}",
-            exp::fig4::run(&scale, Dataset::Flixster),
-            exp::fig4::run(&scale, Dataset::DoubanBook)
-        )
+        let fig4_sources: Vec<DataSource> = if scale.dataset.is_some() {
+            sources.clone()
+        } else {
+            vec![
+                DataSource::Synthetic(Dataset::Flixster),
+                DataSource::Synthetic(Dataset::DoubanBook),
+            ]
+        };
+        fig4_sources
+            .iter()
+            .map(|s| exp::fig4::run(&scale, s))
+            .collect::<Vec<_>>()
+            .join("\n")
     });
     section("fig5", || {
-        Dataset::ALL
+        sources
             .iter()
-            .map(|&d| exp::fig5::run(&scale, d))
+            .map(|s| exp::fig5::run(&scale, s))
             .collect::<Vec<_>>()
             .join("\n")
     });
     section("fig6", || {
-        Dataset::ALL
+        sources
             .iter()
-            .map(|&d| exp::fig6::run(&scale, d))
+            .map(|s| exp::fig6::run(&scale, s))
             .collect::<Vec<_>>()
             .join("\n")
     });
     section("fig7a", || {
-        exp::fig7::run_times(&scale, &Dataset::ALL, (scale.k / 5).max(2), 1_000)
+        exp::fig7::run_times(&scale, &sources, (scale.k / 5).max(2), 1_000)
     });
     section("fig7b", || {
         exp::fig7::run_scalability(&scale, &[10_000, 20_000, 40_000])
     });
-    section("fig8", || exp::fig8::run(&scale, Dataset::Flixster, 1_000));
+    section("fig8", || {
+        // Reuse the already-loaded source rather than ingesting it again.
+        let source = match &sources[..] {
+            [only] if scale.dataset.is_some() => only.clone(),
+            _ => DataSource::Synthetic(Dataset::Flixster),
+        };
+        exp::fig8::run(&scale, &source, 1_000)
+    });
 }

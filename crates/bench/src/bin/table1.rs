@@ -1,5 +1,6 @@
-//! Regenerate Table 1. Flags: --full, --size-factor X.
+//! Regenerate Table 1. Flags: --full, --size-factor X, --dataset NAME|PATH.
 fn main() {
     let scale = comic_bench::Scale::from_args();
-    print!("{}", comic_bench::exp::table1::run(&scale));
+    let sources = scale.sources_or_exit();
+    print!("{}", comic_bench::exp::table1::run(&scale, &sources));
 }

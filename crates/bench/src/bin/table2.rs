@@ -1,10 +1,10 @@
 //! Regenerate Table 2 (opposite seeds = VanillaIC ranks 101-200).
-use comic_bench::datasets::Dataset;
 use comic_bench::exp::common::OppositeMode;
 fn main() {
     let scale = comic_bench::Scale::from_args();
+    let sources = scale.sources_or_exit();
     print!(
         "{}",
-        comic_bench::exp::tables234::run(&scale, OppositeMode::Ranks101To200, &Dataset::ALL)
+        comic_bench::exp::tables234::run(&scale, OppositeMode::Ranks101To200, &sources)
     );
 }

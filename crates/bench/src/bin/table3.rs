@@ -1,10 +1,10 @@
 //! Regenerate Table 3 (opposite seeds = 100 random nodes).
-use comic_bench::datasets::Dataset;
 use comic_bench::exp::common::OppositeMode;
 fn main() {
     let scale = comic_bench::Scale::from_args();
+    let sources = scale.sources_or_exit();
     print!(
         "{}",
-        comic_bench::exp::tables234::run(&scale, OppositeMode::Random100, &Dataset::ALL)
+        comic_bench::exp::tables234::run(&scale, OppositeMode::Random100, &sources)
     );
 }

@@ -1,10 +1,10 @@
 //! Regenerate Table 4 (opposite seeds = VanillaIC top-100).
-use comic_bench::datasets::Dataset;
 use comic_bench::exp::common::OppositeMode;
 fn main() {
     let scale = comic_bench::Scale::from_args();
+    let sources = scale.sources_or_exit();
     print!(
         "{}",
-        comic_bench::exp::tables234::run(&scale, OppositeMode::Top100, &Dataset::ALL)
+        comic_bench::exp::tables234::run(&scale, OppositeMode::Top100, &sources)
     );
 }

@@ -1,8 +1,7 @@
-//! Regenerate Table 5 (learned GAPs, Flixster pairs).
+//! Regenerate Table 5 (learned GAPs on Flixster, or on --dataset).
+use comic_bench::datasets::Dataset;
 fn main() {
     let scale = comic_bench::Scale::from_args();
-    print!(
-        "{}",
-        comic_bench::exp::tables567::run(&scale, comic_bench::datasets::Dataset::Flixster)
-    );
+    let source = scale.source_or_exit(Dataset::Flixster);
+    print!("{}", comic_bench::exp::tables567::run(&scale, &source));
 }

@@ -1,8 +1,7 @@
-//! Regenerate Table 6 (learned GAPs, Douban-Book pairs).
+//! Regenerate Table 6 (learned GAPs on Douban-Book, or on --dataset).
+use comic_bench::datasets::Dataset;
 fn main() {
     let scale = comic_bench::Scale::from_args();
-    print!(
-        "{}",
-        comic_bench::exp::tables567::run(&scale, comic_bench::datasets::Dataset::DoubanBook)
-    );
+    let source = scale.source_or_exit(Dataset::DoubanBook);
+    print!("{}", comic_bench::exp::tables567::run(&scale, &source));
 }

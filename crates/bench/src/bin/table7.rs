@@ -1,8 +1,7 @@
-//! Regenerate Table 7 (learned GAPs, Douban-Movie pairs).
+//! Regenerate Table 7 (learned GAPs on Douban-Movie, or on --dataset).
+use comic_bench::datasets::Dataset;
 fn main() {
     let scale = comic_bench::Scale::from_args();
-    print!(
-        "{}",
-        comic_bench::exp::tables567::run(&scale, comic_bench::datasets::Dataset::DoubanMovie)
-    );
+    let source = scale.source_or_exit(Dataset::DoubanMovie);
+    print!("{}", comic_bench::exp::tables567::run(&scale, &source));
 }

@@ -1,6 +1,6 @@
 //! Regenerate Table 8 (sandwich factors, learned + stress GAPs).
-use comic_bench::datasets::Dataset;
 fn main() {
     let scale = comic_bench::Scale::from_args();
-    print!("{}", comic_bench::exp::table8::run(&scale, &Dataset::ALL));
+    let sources = scale.sources_or_exit();
+    print!("{}", comic_bench::exp::table8::run(&scale, &sources));
 }

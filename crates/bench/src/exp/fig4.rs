@@ -1,7 +1,7 @@
 //! Figure 4 — the effect of ε on running time (orders of magnitude) and on
 //! solution quality (nearly none), for RR-SIM, RR-SIM+ and RR-CIM.
 
-use crate::datasets::Dataset;
+use crate::datasets::DataSource;
 use crate::exp::common::{boost, sigma_a, OppositeMode};
 use crate::report::Table;
 use crate::runtime::timed;
@@ -10,22 +10,22 @@ use comic_algos::{RrCimSampler, RrSimPlusSampler, RrSimSampler};
 use comic_core::Gap;
 use comic_ris::tim::{general_tim_with, TimConfig};
 
-/// Regenerate Figure 4's series on one dataset.
-pub fn run(scale: &Scale, dataset: Dataset) -> String {
-    let g = dataset.instantiate(scale.size_factor);
+/// Regenerate Figure 4's series on one source.
+pub fn run(scale: &Scale, source: &DataSource) -> String {
+    let g = source.graph(scale.size_factor);
     let gap_sim = {
         // One-way projection of the learned GAPs so all three samplers run
         // in their direct regimes across the ε sweep.
-        let lg = dataset.learned_gap();
+        let lg = source.gap();
         Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, lg.q_b0).unwrap()
     };
     let gap_cim = {
-        let lg = dataset.learned_gap();
+        let lg = source.gap();
         Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, 1.0).unwrap()
     };
     let opposite = OppositeMode::Ranks101To200.seeds(&g, 100, scale.seed);
 
-    let mut t = Table::new(format!("Figure 4 — epsilon sweep on {}", dataset.name())).header(&[
+    let mut t = Table::new(format!("Figure 4 — epsilon sweep on {}", source.name())).header(&[
         "eps",
         "RR-SIM time",
         "RR-SIM+ time",
@@ -105,9 +105,12 @@ mod tests {
             max_rr_sets: Some(20_000),
             seed: 2,
             threads: 1,
-            selector: Default::default(),
+            ..Scale::default()
         };
-        let out = run(&scale, Dataset::Flixster);
+        let out = run(
+            &scale,
+            &DataSource::Synthetic(crate::datasets::Dataset::Flixster),
+        );
         assert!(out.contains("eps"));
         assert!(out.lines().count() >= 7);
     }

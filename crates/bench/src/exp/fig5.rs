@@ -1,7 +1,7 @@
 //! Figure 5 — SelfInfMax A-spread as a function of |S_A| for GeneralTIM
 //! (RR) vs HighDegree / PageRank / Random, per dataset.
 
-use crate::datasets::Dataset;
+use crate::datasets::DataSource;
 use crate::exp::common::{sigma_a, OppositeMode};
 use crate::report::Table;
 use crate::Scale;
@@ -11,10 +11,10 @@ use comic_algos::SelfInfMax;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-/// Regenerate Figure 5's series on one dataset.
-pub fn run(scale: &Scale, dataset: Dataset) -> String {
-    let g = dataset.instantiate(scale.size_factor);
-    let gap = dataset.learned_gap();
+/// Regenerate Figure 5's series on one source.
+pub fn run(scale: &Scale, source: &DataSource) -> String {
+    let g = source.graph(scale.size_factor);
+    let gap = source.gap();
     let opposite = OppositeMode::Ranks101To200.seeds(&g, 100, scale.seed);
     let mut rng = SmallRng::seed_from_u64(scale.seed);
 
@@ -35,7 +35,7 @@ pub fn run(scale: &Scale, dataset: Dataset) -> String {
 
     let mut t = Table::new(format!(
         "Figure 5 — A-spread vs |S_A| on {} (B-seeds = VanillaIC ranks 101-200)",
-        dataset.name()
+        source.name()
     ))
     .header(&["|S_A|", "RR", "HighDegree", "PageRank", "Random"]);
     let budgets: Vec<usize> = [
@@ -84,9 +84,12 @@ mod tests {
             max_rr_sets: Some(20_000),
             seed: 3,
             threads: 1,
-            selector: Default::default(),
+            ..Scale::default()
         };
-        let out = run(&scale, Dataset::DoubanBook);
+        let out = run(
+            &scale,
+            &DataSource::Synthetic(crate::datasets::Dataset::DoubanBook),
+        );
         assert!(out.contains("HighDegree"));
         assert!(out.contains("Random"));
     }

@@ -2,7 +2,7 @@
 //! GeneralTIM (RR-CIM) vs HighDegree / PageRank / Random, per dataset,
 //! with the σ_A(S_A, ∅) anchor the paper reports in each subcaption.
 
-use crate::datasets::Dataset;
+use crate::datasets::DataSource;
 use crate::exp::common::{boost, sigma_a, OppositeMode};
 use crate::report::Table;
 use crate::Scale;
@@ -12,10 +12,10 @@ use comic_algos::CompInfMax;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-/// Regenerate Figure 6's series on one dataset.
-pub fn run(scale: &Scale, dataset: Dataset) -> String {
-    let g = dataset.instantiate(scale.size_factor);
-    let gap = dataset.learned_gap();
+/// Regenerate Figure 6's series on one source.
+pub fn run(scale: &Scale, source: &DataSource) -> String {
+    let g = source.graph(scale.size_factor);
+    let gap = source.gap();
     let a_seeds = OppositeMode::Ranks101To200.seeds(&g, 100, scale.seed);
     let mut rng = SmallRng::seed_from_u64(scale.seed ^ 6);
 
@@ -36,7 +36,7 @@ pub fn run(scale: &Scale, dataset: Dataset) -> String {
 
     let mut t = Table::new(format!(
         "Figure 6 — boost vs |S_B| on {} (sigma_A(S_A, {{}}) = {anchor:.0})",
-        dataset.name()
+        source.name()
     ))
     .header(&["|S_B|", "RR-CIM", "HighDegree", "PageRank", "Random"]);
     let budgets: Vec<usize> = [
@@ -85,9 +85,12 @@ mod tests {
             max_rr_sets: Some(20_000),
             seed: 4,
             threads: 1,
-            selector: Default::default(),
+            ..Scale::default()
         };
-        let out = run(&scale, Dataset::LastFm);
+        let out = run(
+            &scale,
+            &DataSource::Synthetic(crate::datasets::Dataset::LastFm),
+        );
         assert!(out.contains("RR-CIM"));
         assert!(out.contains("sigma_A"));
     }

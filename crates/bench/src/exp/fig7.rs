@@ -6,7 +6,7 @@
 //! *Greedy slower than the RR algorithms by orders of magnitude*,
 //! *RR-SIM+ at least as fast as RR-SIM*, and *near-linear growth* in (b).
 
-use crate::datasets::{scalability_series, Dataset};
+use crate::datasets::{scalability_series, DataSource, Dataset};
 use crate::exp::common::OppositeMode;
 use crate::report::Table;
 use crate::runtime::{fmt_secs, timed};
@@ -19,7 +19,12 @@ use comic_ris::tim::{general_tim_with, TimConfig};
 /// Figure 7(a): per-dataset running times. Greedy runs with a reduced
 /// budget (`greedy_k`, `greedy_mc`) — even so it dominates the wall clock,
 /// which is the point.
-pub fn run_times(scale: &Scale, datasets: &[Dataset], greedy_k: usize, greedy_mc: usize) -> String {
+pub fn run_times(
+    scale: &Scale,
+    sources: &[DataSource],
+    greedy_k: usize,
+    greedy_mc: usize,
+) -> String {
     let mut t = Table::new(format!(
         "Figure 7a — seed-selection time, k={} (Greedy at k={greedy_k}, {greedy_mc} MC)",
         scale.k
@@ -32,9 +37,9 @@ pub fn run_times(scale: &Scale, datasets: &[Dataset], greedy_k: usize, greedy_mc
         "Greedy(CIM)",
         "RR-CIM",
     ]);
-    for &d in datasets {
-        let g = d.instantiate(scale.size_factor);
-        let lg = d.learned_gap();
+    for d in sources {
+        let g = d.graph(scale.size_factor);
+        let lg = d.gap();
         let gap_sim = Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, lg.q_b0).unwrap();
         let gap_cim = Gap::new(lg.q_a0, lg.q_ab, lg.q_b0, 1.0).unwrap();
         let opposite = OppositeMode::Ranks101To200.seeds(&g, 100, scale.seed);
@@ -76,7 +81,7 @@ pub fn run_times(scale: &Scale, datasets: &[Dataset], greedy_k: usize, greedy_mc
             .unwrap()
         });
         t.row(vec![
-            d.name().to_string(),
+            d.name(),
             fmt_secs(greedy_sim_t),
             fmt_secs(rr_sim_t),
             fmt_secs(rr_plus_t),
@@ -148,9 +153,9 @@ mod tests {
             max_rr_sets: Some(10_000),
             seed: 5,
             threads: 1,
-            selector: Default::default(),
+            ..Scale::default()
         };
-        let out = run_times(&scale, &[Dataset::Flixster], 1, 100);
+        let out = run_times(&scale, &[DataSource::Synthetic(Dataset::Flixster)], 1, 100);
         assert!(out.contains("Greedy(SIM)"));
     }
 
@@ -163,7 +168,7 @@ mod tests {
             max_rr_sets: Some(10_000),
             seed: 6,
             threads: 1,
-            selector: Default::default(),
+            ..Scale::default()
         };
         let out = run_scalability(&scale, &[500, 1000]);
         assert!(out.contains("1000"));

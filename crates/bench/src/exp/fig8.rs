@@ -8,7 +8,7 @@
 //! `q_{B|∅} ∈ {0.1, 0.5, 0.9}` at `q_{B|A} = 0.96`; CompInfMax varies
 //! `q_{B|A} ∈ {0.1, 0.5, 0.9}` at `q_{B|∅} = 0.1`.
 
-use crate::datasets::Dataset;
+use crate::datasets::DataSource;
 use crate::exp::common::OppositeMode;
 use crate::report::Table;
 use crate::Scale;
@@ -18,10 +18,10 @@ use comic_core::Gap;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-/// Regenerate Figure 8 on one dataset. `greedy_mc` controls the Greedy
+/// Regenerate Figure 8 on one source. `greedy_mc` controls the Greedy
 /// candidate's per-evaluation MC budget (the dominant cost).
-pub fn run(scale: &Scale, dataset: Dataset, greedy_mc: usize) -> String {
-    let g = dataset.instantiate(scale.size_factor);
+pub fn run(scale: &Scale, source: &DataSource, greedy_mc: usize) -> String {
+    let g = source.graph(scale.size_factor);
     let opposite = OppositeMode::Ranks101To200.seeds(&g, 100, scale.seed);
     let gcfg = GreedyConfig {
         mc_iterations: greedy_mc,
@@ -31,7 +31,7 @@ pub fn run(scale: &Scale, dataset: Dataset, greedy_mc: usize) -> String {
 
     let mut t = Table::new(format!(
         "Figure 8 — sandwich candidates under true GAPs, on {}",
-        dataset.name()
+        source.name()
     ))
     .header(&[
         "setting",
@@ -124,9 +124,13 @@ mod tests {
             max_rr_sets: Some(10_000),
             seed: 7,
             threads: 1,
-            selector: Default::default(),
+            ..Scale::default()
         };
-        let out = run(&scale, Dataset::Flixster, 100);
+        let out = run(
+            &scale,
+            &DataSource::Synthetic(crate::datasets::Dataset::Flixster),
+            100,
+        );
         assert!(out.contains("SIM q_B|0=0.1"));
         assert!(out.contains("CIM q_B|A=0.9"));
     }

@@ -1,12 +1,11 @@
 //! Table 1 — dataset statistics.
 
-use crate::datasets::Dataset;
+use crate::datasets::DataSource;
 use crate::report::Table;
 use crate::Scale;
-use comic_graph::stats::stats;
 
-/// Regenerate Table 1 for the stand-ins at the configured scale.
-pub fn run(scale: &Scale) -> String {
+/// Regenerate Table 1 for the given sources at the configured scale.
+pub fn run(scale: &Scale, sources: &[DataSource]) -> String {
     let mut t = Table::new(format!(
         "Table 1 — graph statistics (stand-ins at {:.0}% of paper scale)",
         100.0 * scale.size_factor
@@ -19,19 +18,41 @@ pub fn run(scale: &Scale) -> String {
         "max out-degree",
         "paper |V|",
         "paper |E|",
+        "dup-merged",
     ]);
-    for d in Dataset::ALL {
-        let g = d.instantiate(scale.size_factor);
-        let s = stats(&g);
-        let (pn, pm) = d.paper_scale();
+    for src in sources {
+        let (s, dup) = match src.loaded() {
+            Some(l) => (
+                l.stats(),
+                // Unknown on cache hits: the merged graph was loaded
+                // without re-reading the text.
+                l.duplicates_merged
+                    .map_or("?".to_string(), |d| d.to_string()),
+            ),
+            None => {
+                let g = src.graph(scale.size_factor);
+                (comic_graph::stats::stats(&g), "-".to_string())
+            }
+        };
+        let (pn, pm) = match src.synthetic() {
+            Some(d) => {
+                let (pn, pm) = d.paper_scale();
+                (
+                    format!("{:.1}K", pn as f64 / 1000.0),
+                    format!("{:.0}K", pm as f64 / 1000.0),
+                )
+            }
+            None => ("-".to_string(), "-".to_string()),
+        };
         t.row(vec![
-            d.name().to_string(),
+            src.name(),
             s.nodes.to_string(),
             s.edges.to_string(),
             format!("{:.1}", s.avg_out_degree),
             s.max_out_degree.to_string(),
-            format!("{:.1}K", pn as f64 / 1000.0),
-            format!("{:.0}K", pm as f64 / 1000.0),
+            pn,
+            pm,
+            dup,
         ]);
     }
     t.render()
@@ -43,10 +64,13 @@ mod tests {
 
     #[test]
     fn renders_all_datasets() {
-        let out = run(&Scale {
-            size_factor: 0.03,
-            ..Scale::default()
-        });
+        let out = run(
+            &Scale {
+                size_factor: 0.03,
+                ..Scale::default()
+            },
+            &DataSource::default_sources(),
+        );
         for name in ["Douban-Book", "Douban-Movie", "Flixster", "Last.fm"] {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }

@@ -5,7 +5,7 @@
 //! SelfInfMax fix `q_{B|A} = 1` and vary `q_{B|∅} ∈ {0.1, 0.5, 0.9}`; for
 //! CompInfMax fix `q_{B|∅} = 0.1` and vary `q_{B|A} ∈ {0.1, 0.5, 0.9}`.
 
-use crate::datasets::Dataset;
+use crate::datasets::DataSource;
 use crate::exp::common::OppositeMode;
 use crate::report::Table;
 use crate::Scale;
@@ -44,24 +44,27 @@ fn cim_ratio(scale: &Scale, g: &comic_graph::DiGraph, gap: Gap, seed: u64) -> f6
     sol.sandwich.map(|r| r.upper_bound_ratio).unwrap_or(1.0)
 }
 
-/// Regenerate Table 8 for the given datasets.
-pub fn run(scale: &Scale, datasets: &[Dataset]) -> String {
+/// Regenerate Table 8 for the given sources.
+pub fn run(scale: &Scale, sources: &[DataSource]) -> String {
     let mut t = Table::new("Table 8 — sandwich approximation: sigma(S_nu)/nu(S_nu)".to_string())
         .header(
-            &std::iter::once("setting")
-                .chain(datasets.iter().map(|d| d.name()))
+            &std::iter::once("setting".to_string())
+                .chain(sources.iter().map(|s| s.name()))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(String::as_str)
                 .collect::<Vec<_>>(),
         );
 
-    let graphs: Vec<_> = datasets
+    let graphs: Vec<_> = sources
         .iter()
-        .map(|d| (d, d.instantiate(scale.size_factor)))
+        .map(|s| (s, s.graph(scale.size_factor)))
         .collect();
 
     // SIM rows: learned + stress q_{B|∅} ∈ {0.1, 0.5, 0.9} with q_{B|A} = 1.
     let mut row = vec!["SIM_learn".to_string()];
     for (d, g) in &graphs {
-        let ratio = sim_ratio(scale, g, d.learned_gap(), scale.seed + 1);
+        let ratio = sim_ratio(scale, g, d.gap(), scale.seed + 1);
         row.push(format!("{ratio:.3}"));
     }
     t.row(row);
@@ -78,7 +81,7 @@ pub fn run(scale: &Scale, datasets: &[Dataset]) -> String {
     for (d, g) in &graphs {
         row.push(format!(
             "{:.3}",
-            cim_ratio(scale, g, d.learned_gap(), scale.seed + 3)
+            cim_ratio(scale, g, d.gap(), scale.seed + 3)
         ));
     }
     t.row(row);
@@ -107,9 +110,12 @@ mod tests {
             max_rr_sets: Some(30_000),
             seed: 5,
             threads: 1,
-            selector: Default::default(),
+            ..Scale::default()
         };
-        let out = run(&scale, &[Dataset::Flixster]);
+        let out = run(
+            &scale,
+            &[DataSource::Synthetic(crate::datasets::Dataset::Flixster)],
+        );
         assert!(out.contains("SIM_learn"));
         assert!(out.contains("CIM_0.9"));
     }

@@ -6,7 +6,7 @@
 //! `q_{B|∅} = 0.5`, `q_{A|∅} ∈ {0.1, 0.3, 0.5}`; CompInfMax uses
 //! `q_{A|∅} = 0.1`, `q_{A|B} = q_{B|A} = 0.9`, `q_{B|∅} ∈ {0.1, 0.5, 0.8}`.
 
-use crate::datasets::Dataset;
+use crate::datasets::DataSource;
 use crate::exp::common::{boost, sigma_a, OppositeMode};
 use crate::report::{pct_improvement, Table};
 use crate::Scale;
@@ -17,7 +17,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 /// Run the Tables 2/3/4 experiment for the given opposite-seed mode.
-pub fn run(scale: &Scale, mode: OppositeMode, datasets: &[Dataset]) -> String {
+pub fn run(scale: &Scale, mode: OppositeMode, sources: &[DataSource]) -> String {
     let table_no = match mode {
         OppositeMode::Ranks101To200 => 2,
         OppositeMode::Random100 => 3,
@@ -38,8 +38,8 @@ pub fn run(scale: &Scale, mode: OppositeMode, datasets: &[Dataset]) -> String {
         "vs VanillaIC",
         "vs Copying",
     ]);
-    for &d in datasets {
-        let g = d.instantiate(scale.size_factor);
+    for src in sources {
+        let g = src.graph(scale.size_factor);
         let opposite = mode.seeds(&g, 100, scale.seed);
         for (qi, q_a0) in [0.1, 0.3, 0.5].into_iter().enumerate() {
             let gap = Gap::new(q_a0, 0.75, 0.5, 0.75).unwrap();
@@ -61,7 +61,7 @@ pub fn run(scale: &Scale, mode: OppositeMode, datasets: &[Dataset]) -> String {
             let copy_sigma = sigma_a(&g, gap, &copy_seeds, &opposite, scale.mc_iterations, 3);
 
             t.row(vec![
-                d.name().to_string(),
+                src.name(),
                 format!("{q_a0}"),
                 format!("{:.0}", sol.objective),
                 pct_improvement(sol.objective, vic_sigma),
@@ -85,8 +85,8 @@ pub fn run(scale: &Scale, mode: OppositeMode, datasets: &[Dataset]) -> String {
         "vs VanillaIC",
         "vs Copying",
     ]);
-    for &d in datasets {
-        let g = d.instantiate(scale.size_factor);
+    for src in sources {
+        let g = src.graph(scale.size_factor);
         let a_seeds = mode.seeds(&g, 100, scale.seed);
         for (qi, q_b0) in [0.1, 0.5, 0.8].into_iter().enumerate() {
             let gap = Gap::new(0.1, 0.9, q_b0, 0.9).unwrap();
@@ -108,7 +108,7 @@ pub fn run(scale: &Scale, mode: OppositeMode, datasets: &[Dataset]) -> String {
             let copy_boost = boost(&g, gap, &a_seeds, &copy_seeds, scale.mc_iterations, 5);
 
             t.row(vec![
-                d.name().to_string(),
+                src.name(),
                 format!("{q_b0}"),
                 format!("{:.1}", sol.objective),
                 pct_improvement(sol.objective, vic_boost),
@@ -134,9 +134,13 @@ mod tests {
             max_rr_sets: Some(50_000),
             seed: 1,
             threads: 1,
-            selector: Default::default(),
+            ..Scale::default()
         };
-        let out = run(&scale, OppositeMode::Random100, &[Dataset::Flixster]);
+        let out = run(
+            &scale,
+            OppositeMode::Random100,
+            &[DataSource::Synthetic(crate::datasets::Dataset::Flixster)],
+        );
         assert!(out.contains("SelfInfMax"));
         assert!(out.contains("CompInfMax"));
         assert!(out.contains("Flixster"));

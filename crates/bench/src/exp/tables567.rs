@@ -7,7 +7,7 @@
 //! whether the truth is covered — an end-to-end validation of the §7.2
 //! estimators.
 
-use crate::datasets::Dataset;
+use crate::datasets::{DataSource, Dataset};
 use crate::report::{pm, Table};
 use crate::Scale;
 use comic_actionlog::synth::{synthesize_pair_log, SynthConfig};
@@ -99,20 +99,38 @@ pub fn pairs_for(dataset: Dataset) -> Vec<PairRow> {
     }
 }
 
-/// Regenerate one of Tables 5–7 for `dataset`.
-pub fn run(scale: &Scale, dataset: Dataset) -> String {
-    let table_no = match dataset {
-        Dataset::Flixster => 5,
-        Dataset::DoubanBook => 6,
-        Dataset::DoubanMovie => 7,
-        Dataset::LastFm => {
+/// The pair rows for any source: the paper's selections for the synthetic
+/// stand-ins, and a single registry-GAP pair for loaded on-disk datasets
+/// (whose true item catalogues we do not have).
+pub fn pairs_for_source(source: &DataSource) -> Vec<PairRow> {
+    match source.synthetic() {
+        Some(d) => pairs_for(d),
+        None => {
+            let gap = source.gap();
+            vec![PairRow {
+                item_a: "item-A (registry GAP preset)",
+                item_b: "item-B (registry GAP preset)",
+                truth: (gap.q_a0, gap.q_ab, gap.q_b0, gap.q_ba),
+            }]
+        }
+    }
+}
+
+/// Regenerate one of Tables 5–7 for `source`.
+pub fn run(scale: &Scale, source: &DataSource) -> String {
+    let table_no = match source.synthetic() {
+        Some(Dataset::Flixster) => "5".to_string(),
+        Some(Dataset::DoubanBook) => "6".to_string(),
+        Some(Dataset::DoubanMovie) => "7".to_string(),
+        Some(Dataset::LastFm) => {
             return "Last.fm has no informing signal; the paper uses synthetic GAPs (§7.3).\n"
                 .to_string()
         }
+        None => "5-7".to_string(),
     };
     let mut t = Table::new(format!(
         "Table {table_no} — learned GAPs on {} (synthetic logs, truth = paper's values)",
-        dataset.name()
+        source.name()
     ))
     .header(&[
         "A",
@@ -124,9 +142,9 @@ pub fn run(scale: &Scale, dataset: Dataset) -> String {
         "covered",
     ]);
     // A small diffusion substrate is plenty for log generation.
-    let g = dataset.instantiate((scale.size_factor * 0.25).max(0.01));
+    let g = source.graph((scale.size_factor * 0.25).max(0.01));
     let sessions = (400.0 * scale.size_factor.max(0.05) * 8.0) as usize;
-    for (i, pair) in pairs_for(dataset).into_iter().enumerate() {
+    for (i, pair) in pairs_for_source(source).into_iter().enumerate() {
         let truth = Gap::new(pair.truth.0, pair.truth.1, pair.truth.2, pair.truth.3)
             .expect("paper GAPs are valid");
         let mut rng = SmallRng::seed_from_u64(scale.seed + i as u64);
@@ -205,14 +223,14 @@ mod tests {
             size_factor: 0.05,
             ..Scale::default()
         };
-        let out = run(&scale, Dataset::Flixster);
+        let out = run(&scale, &DataSource::Synthetic(Dataset::Flixster));
         assert!(out.contains("Monster Inc."));
         assert!(out.contains("±"));
     }
 
     #[test]
     fn lastfm_is_explained_away() {
-        let out = run(&Scale::default(), Dataset::LastFm);
+        let out = run(&Scale::default(), &DataSource::Synthetic(Dataset::LastFm));
         assert!(out.contains("no informing signal"));
     }
 }

@@ -3,10 +3,12 @@
 //! The experiment harness: everything needed to regenerate every table and
 //! figure of the paper's evaluation (§7) on the offline dataset stand-ins.
 //!
-//! * [`datasets`] — synthetic stand-ins for Flixster / Douban-Book /
-//!   Douban-Movie / Last.fm matched to Table 1's scale and degree profile
-//!   (see DESIGN.md §2 for the substitution rationale), at a scaled-down
-//!   default size with `--full` available for paper scale.
+//! * [`datasets`] — the dataset registry: committed fixture corpora and
+//!   real SNAP files behind `--dataset <name|path>` (file → probability
+//!   model → manifest validation → digest-checked binary cache), plus
+//!   synthetic stand-ins for Flixster / Douban-Book / Douban-Movie /
+//!   Last.fm matched to Table 1's scale and degree profile (see DESIGN.md
+//!   §2), at a scaled-down default size with `--full` for paper scale.
 //! * [`report`] — plain-text table/series rendering shaped like the paper's
 //!   tables, plus CSV output.
 //! * [`runtime`] — wall-clock measurement helpers.
@@ -19,6 +21,8 @@
 #![warn(missing_docs)]
 
 use comic_ris::select::SelectorKind;
+use datasets::{DataSource, Dataset, DatasetError};
+use std::sync::Arc;
 
 pub mod datasets;
 pub mod exp;
@@ -26,7 +30,7 @@ pub mod report;
 pub mod runtime;
 
 /// Shared experiment scale knobs, parsed from CLI args by the drivers.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Scale {
     /// Fraction of the paper's dataset sizes to instantiate (default 0.12,
     /// keeping the whole harness in the minutes range; `--full` = 1.0).
@@ -49,6 +53,10 @@ pub struct Scale {
     /// (`--selector naive|celf`; default CELF). Selectors return identical
     /// seed sets, so this only moves the selection-phase wall clock.
     pub selector: SelectorKind,
+    /// On-disk dataset to run on instead of the synthetic stand-ins
+    /// (`--dataset <registry name | path[:prob-model]>`; see
+    /// [`datasets::load`]). `None` = the four Table 1 stand-ins.
+    pub dataset: Option<String>,
 }
 
 impl Default for Scale {
@@ -61,14 +69,16 @@ impl Default for Scale {
             seed: 20160905, // VLDB'16 opening day
             threads: 0,
             selector: SelectorKind::default(),
+            dataset: None,
         }
     }
 }
 
 impl Scale {
     /// Parse `--full`, `--size-factor X`, `--k K`, `--mc N`, `--seed S`,
-    /// `--threads T`, `--selector naive|celf` from the process arguments;
-    /// unknown arguments are ignored so each driver can add its own.
+    /// `--threads T`, `--selector naive|celf`, `--dataset NAME|PATH` from
+    /// the process arguments; unknown arguments are ignored so each driver
+    /// can add its own.
     pub fn from_args() -> Scale {
         let mut scale = Scale::default();
         let args: Vec<String> = std::env::args().collect();
@@ -100,11 +110,52 @@ impl Scale {
                     scale.selector = SelectorKind::parse(&args[i + 1]).unwrap_or(scale.selector);
                     i += 1;
                 }
+                "--dataset" if i + 1 < args.len() => {
+                    scale.dataset = Some(args[i + 1].clone());
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
         }
         scale
+    }
+
+    /// The data sources this run iterates: the single `--dataset` when one
+    /// was given (pulled through the full ingestion path, with the binary
+    /// cache), the four synthetic stand-ins otherwise.
+    pub fn sources(&self) -> Result<Vec<DataSource>, DatasetError> {
+        match &self.dataset {
+            Some(arg) => Ok(vec![DataSource::Loaded(Arc::new(datasets::load(arg)?))]),
+            None => Ok(DataSource::default_sources()),
+        }
+    }
+
+    /// Like [`Scale::sources`] for single-dataset drivers: the `--dataset`
+    /// when given, `default` otherwise.
+    pub fn source_or(&self, default: Dataset) -> Result<DataSource, DatasetError> {
+        match &self.dataset {
+            Some(arg) => Ok(DataSource::Loaded(Arc::new(datasets::load(arg)?))),
+            None => Ok(DataSource::Synthetic(default)),
+        }
+    }
+
+    /// [`Scale::sources`] for `main()`s: exit with a message on a bad
+    /// `--dataset` instead of returning an error.
+    pub fn sources_or_exit(&self) -> Vec<DataSource> {
+        self.sources().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// [`Scale::source_or`] for `main()`s: exit with a message on a bad
+    /// `--dataset`.
+    pub fn source_or_exit(&self, default: Dataset) -> DataSource {
+        self.source_or(default).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 }
 

@@ -92,7 +92,15 @@ impl GraphBuilder {
     }
 
     /// Validate, de-duplicate, sort, and produce the immutable [`DiGraph`].
-    pub fn build(mut self) -> Result<DiGraph, GraphError> {
+    pub fn build(self) -> Result<DiGraph, GraphError> {
+        self.build_with_report().map(|(g, _)| g)
+    }
+
+    /// Like [`GraphBuilder::build`], but also report how many queued edges
+    /// were merged away as duplicates (and how many self-loops were dropped
+    /// at [`GraphBuilder::add_edge`] time) — ingestion surfaces these so
+    /// that silently-messy input files are visible to callers.
+    pub fn build_with_report(mut self) -> Result<(DiGraph, BuildReport), GraphError> {
         for e in &self.edges {
             if e.source.index() >= self.n {
                 return Err(GraphError::NodeOutOfRange {
@@ -117,6 +125,7 @@ impl GraphBuilder {
         // Stable sort so KeepFirst/KeepLast see duplicates in insertion order.
         self.edges.sort_by_key(|e| (e.source, e.target));
         let policy = self.policy;
+        let queued = self.edges.len();
         let mut deduped: Vec<Edge> = Vec::with_capacity(self.edges.len());
         for e in self.edges {
             match deduped.last_mut() {
@@ -131,8 +140,21 @@ impl GraphBuilder {
                 _ => deduped.push(e),
             }
         }
-        Ok(DiGraph::from_sorted_edges(self.n, &deduped))
+        let report = BuildReport {
+            duplicate_edges_merged: queued - deduped.len(),
+            dropped_self_loops: self.dropped_self_loops,
+        };
+        Ok((DiGraph::from_sorted_edges(self.n, &deduped), report))
     }
+}
+
+/// Construction counters from [`GraphBuilder::build_with_report`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildReport {
+    /// Queued edges merged into an earlier `(u, v)` occurrence.
+    pub duplicate_edges_merged: usize,
+    /// Self-loops dropped at queue time.
+    pub dropped_self_loops: usize,
 }
 
 /// Convenience: build a graph from an explicit edge list
@@ -235,6 +257,20 @@ mod tests {
         let g = b.build().unwrap();
         assert!(g.has_edge(NodeId(0), NodeId(1)));
         assert!(g.has_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn build_report_counts_merges_and_loops() {
+        let mut b = GraphBuilder::new(3).duplicate_policy(DuplicatePolicy::KeepLast);
+        b.add_edge(0, 1, 0.2);
+        b.add_edge(0, 1, 0.8);
+        b.add_edge(1, 1, 0.5);
+        b.add_edge(1, 2, 0.4);
+        let (g, r) = b.build_with_report().unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(r.duplicate_edges_merged, 1);
+        assert_eq!(r.dropped_self_loops, 1);
+        assert_eq!(g.out_edges(NodeId(0)).next().unwrap().p, 0.8);
     }
 
     #[test]

@@ -35,6 +35,21 @@ pub enum GraphError {
     Io(std::io::Error),
     /// A binary payload failed validation.
     Corrupt(String),
+    /// A binary payload declared a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
+    /// A binary payload's content digest did not match its header — the
+    /// cache file is corrupt (or was produced from different content).
+    DigestMismatch {
+        /// Digest stored in the header.
+        expected: u64,
+        /// Digest recomputed from the payload.
+        found: u64,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -52,6 +67,18 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::Corrupt(msg) => write!(f, "corrupt graph payload: {msg}"),
+            GraphError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported binary format version {found} (this build reads <= {supported})"
+                )
+            }
+            GraphError::DigestMismatch { expected, found } => {
+                write!(
+                    f,
+                    "graph digest mismatch: header says {expected:#018x}, payload hashes to {found:#018x}"
+                )
+            }
         }
     }
 }
@@ -91,5 +118,15 @@ mod tests {
             msg: "bad".into(),
         };
         assert!(e.to_string().contains("line 3"));
+        let e = GraphError::UnsupportedVersion {
+            found: 9,
+            supported: 2,
+        };
+        assert!(e.to_string().contains("9"));
+        let e = GraphError::DigestMismatch {
+            expected: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("mismatch"));
     }
 }

@@ -1,9 +1,11 @@
-//! Graph serialization: whitespace-separated text edge lists and a compact
-//! little-endian binary format.
+//! Graph serialization: whitespace-separated text edge lists (including
+//! SNAP-style files) and a versioned, digest-validated binary cache format.
 
 use crate::builder::GraphBuilder;
 use crate::csr::DiGraph;
 use crate::error::GraphError;
+use crate::stats::{stats_with_merged, GraphStats};
+use std::hash::Hasher;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
 /// Write `g` as a text edge list: a header line `# nodes <n> edges <m>`
@@ -18,6 +20,35 @@ pub fn write_edge_list<W: Write>(g: &DiGraph, w: W) -> Result<(), GraphError> {
     Ok(())
 }
 
+/// What a text-edge-list ingestion produced, beyond the graph itself.
+///
+/// Real-world edge lists are messy: SNAP exports repeat edges (undirected
+/// pairs saved twice, concatenated crawls) and contain self-loops. The
+/// policy here is **last-wins** — of several `(u, v)` lines the final
+/// probability is kept — with the merge count surfaced so callers can
+/// decide whether the file was as clean as its manifest claimed.
+#[derive(Clone, Debug)]
+pub struct IngestReport {
+    /// The ingested graph.
+    pub graph: DiGraph,
+    /// Number of `(u, v)` lines merged into a later occurrence (last-wins).
+    pub duplicate_edges_merged: usize,
+    /// Number of self-loop lines dropped.
+    pub self_loops_dropped: usize,
+    /// Node count declared by a `# nodes N edges M` header, if any.
+    pub declared_nodes: Option<usize>,
+    /// Edge count declared by a `# nodes N edges M` header, if any.
+    pub declared_edges: Option<usize>,
+}
+
+impl IngestReport {
+    /// [`GraphStats`] for the ingested graph, with the ingestion-time
+    /// duplicate-merge count filled in.
+    pub fn stats(&self) -> GraphStats {
+        stats_with_merged(&self.graph, self.duplicate_edges_merged)
+    }
+}
+
 /// Read a text edge list produced by [`write_edge_list`] (or hand-written:
 /// the header is optional, in which case `n` = max node id + 1; a missing
 /// probability column defaults to 1.0; `#`-prefixed lines are comments).
@@ -27,9 +58,20 @@ pub fn write_edge_list<W: Write>(g: &DiGraph, w: W) -> Result<(), GraphError> {
 /// canonical `# nodes N edges M`, other `#` comment lines (`# Directed
 /// graph …`, `# FromNodeId  ToNodeId`) are skipped, and pairs may be
 /// tab-separated with no probability column.
+///
+/// Duplicate `(u, v)` lines are merged **last-wins** and self-loops are
+/// dropped; see [`read_edge_list_report`] to observe the counts.
 pub fn read_edge_list<R: Read>(r: R) -> Result<DiGraph, GraphError> {
+    read_edge_list_report(r).map(|rep| rep.graph)
+}
+
+/// Like [`read_edge_list`], but return the full [`IngestReport`] including
+/// the duplicate-merge and self-loop counts and any declared header sizes.
+pub fn read_edge_list_report<R: Read>(r: R) -> Result<IngestReport, GraphError> {
+    use crate::builder::DuplicatePolicy;
     let reader = BufReader::new(r);
     let mut declared_n: Option<usize> = None;
+    let mut declared_m: Option<usize> = None;
     let mut edges: Vec<(u32, u32, f64)> = Vec::new();
     let mut max_node: u32 = 0;
     let mut saw_node = false;
@@ -50,6 +92,10 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<DiGraph, GraphError> {
                 declared_n = Some(toks[1].parse().map_err(|_| GraphError::Parse {
                     line: line_num,
                     msg: format!("bad node count '{}'", toks[1]),
+                })?);
+                declared_m = Some(toks[3].parse().map_err(|_| GraphError::Parse {
+                    line: line_num,
+                    msg: format!("bad edge count '{}'", toks[3]),
                 })?);
             }
             continue;
@@ -88,22 +134,52 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<DiGraph, GraphError> {
     // ever widens the universe, never shrinks it below what the edges need.
     let inferred = if saw_node { max_node as usize + 1 } else { 0 };
     let n = declared_n.map_or(inferred, |d| d.max(inferred));
-    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    let mut b =
+        GraphBuilder::with_capacity(n, edges.len()).duplicate_policy(DuplicatePolicy::KeepLast);
     for (u, v, p) in edges {
         b.add_edge(u, v, p);
     }
-    b.build()
+    let (graph, report) = b.build_with_report()?;
+    Ok(IngestReport {
+        graph,
+        duplicate_edges_merged: report.duplicate_edges_merged,
+        self_loops_dropped: report.dropped_self_loops,
+        declared_nodes: declared_n,
+        declared_edges: declared_m,
+    })
 }
 
-const BINARY_MAGIC: &[u8; 8] = b"COMICGR1";
+/// Magic prefix of the binary cache format.
+pub const BINARY_MAGIC: &[u8; 8] = b"COMICGRB";
+/// Newest binary format version this build writes and reads.
+pub const BINARY_FORMAT_VERSION: u32 = 2;
 
-/// Write `g` in the compact binary format: magic, `n`, `m`, then `m`
-/// `(u32, u32, f64)` little-endian records in canonical order.
+/// Content digest of a graph: an Fx-hash fold over the node count and the
+/// canonical edge list (source, target, probability bits). Stored in the
+/// binary header so a cache file self-validates on load, and usable by
+/// callers to check that two load paths produced the same graph.
+pub fn graph_digest(g: &DiGraph) -> u64 {
+    let mut h = crate::fasthash::FxHasher::default();
+    h.write_u64(g.num_nodes() as u64);
+    h.write_u64(g.num_edges() as u64);
+    for (_, e) in g.edges() {
+        h.write_u32(e.source.0);
+        h.write_u32(e.target.0);
+        h.write_u64(e.p.to_bits());
+    }
+    h.finish()
+}
+
+/// Write `g` in the versioned binary cache format: 8-byte magic, `u32`
+/// format version, `u64` node and edge counts, the `u64` [`graph_digest`],
+/// then `m` `(u32, u32, f64)` little-endian records in canonical order.
 pub fn write_binary<W: Write>(g: &DiGraph, w: W) -> Result<(), GraphError> {
     let mut out = BufWriter::new(w);
     out.write_all(BINARY_MAGIC)?;
+    out.write_all(&BINARY_FORMAT_VERSION.to_le_bytes())?;
     out.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
     out.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    out.write_all(&graph_digest(g).to_le_bytes())?;
     for (_, e) in g.edges() {
         out.write_all(&e.source.0.to_le_bytes())?;
         out.write_all(&e.target.0.to_le_bytes())?;
@@ -113,13 +189,26 @@ pub fn write_binary<W: Write>(g: &DiGraph, w: W) -> Result<(), GraphError> {
     Ok(())
 }
 
-/// Read a graph written by [`write_binary`].
+/// Read a graph written by [`write_binary`], validating the magic, the
+/// format version, and the content digest. Corruption anywhere in the file
+/// — header or payload — yields a typed [`GraphError`], never a panic:
+/// [`GraphError::Corrupt`] for a foreign magic, [`GraphError::UnsupportedVersion`]
+/// for a future format, [`GraphError::DigestMismatch`] for payload damage.
 pub fn read_binary<R: Read>(r: R) -> Result<DiGraph, GraphError> {
     let mut reader = BufReader::new(r);
     let mut magic = [0u8; 8];
     reader.read_exact(&mut magic)?;
     if &magic != BINARY_MAGIC {
         return Err(GraphError::Corrupt("bad magic".into()));
+    }
+    let mut buf4 = [0u8; 4];
+    reader.read_exact(&mut buf4)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != BINARY_FORMAT_VERSION {
+        return Err(GraphError::UnsupportedVersion {
+            found: version,
+            supported: BINARY_FORMAT_VERSION,
+        });
     }
     let mut buf8 = [0u8; 8];
     reader.read_exact(&mut buf8)?;
@@ -129,8 +218,18 @@ pub fn read_binary<R: Read>(r: R) -> Result<DiGraph, GraphError> {
     if m > (1 << 40) {
         return Err(GraphError::Corrupt(format!("implausible edge count {m}")));
     }
-    let mut b = GraphBuilder::with_capacity(n, m);
-    let mut buf4 = [0u8; 4];
+    reader.read_exact(&mut buf8)?;
+    let declared_digest = u64::from_le_bytes(buf8);
+    // Digest-as-we-read, mirroring [`graph_digest`] over the canonical
+    // records the writer emitted, and verify BEFORE building: corruption of
+    // the node count must surface as a typed mismatch, not as an attempt to
+    // allocate a 2^60-slot CSR. Allocations until then are bounded by the
+    // actual bytes present (a truncated file fails `read_exact` long before
+    // a lying `m` can reserve anything).
+    let mut h = crate::fasthash::FxHasher::default();
+    h.write_u64(n as u64);
+    h.write_u64(m as u64);
+    let mut b = GraphBuilder::with_capacity(n, m.min(1 << 20));
     for _ in 0..m {
         reader.read_exact(&mut buf4)?;
         let u = u32::from_le_bytes(buf4);
@@ -138,7 +237,17 @@ pub fn read_binary<R: Read>(r: R) -> Result<DiGraph, GraphError> {
         let v = u32::from_le_bytes(buf4);
         reader.read_exact(&mut buf8)?;
         let p = f64::from_le_bytes(buf8);
+        h.write_u32(u);
+        h.write_u32(v);
+        h.write_u64(p.to_bits());
         b.add_edge(u, v, p);
+    }
+    let found = h.finish();
+    if found != declared_digest {
+        return Err(GraphError::DigestMismatch {
+            expected: declared_digest,
+            found,
+        });
     }
     b.build()
 }
@@ -227,6 +336,38 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_edges_merge_last_wins_and_are_counted() {
+        let src = "# Nodes: 3 Edges: 4\n0 1 0.2\n1 2 0.9\n0 1 0.7\n2 2 0.5\n";
+        let rep = read_edge_list_report(src.as_bytes()).unwrap();
+        assert_eq!(rep.graph.num_edges(), 2);
+        assert_eq!(rep.duplicate_edges_merged, 1);
+        assert_eq!(rep.self_loops_dropped, 1);
+        assert_eq!(rep.declared_nodes, Some(3));
+        assert_eq!(rep.declared_edges, Some(4));
+        // Last probability wins.
+        let p01 = rep
+            .graph
+            .out_edges(crate::NodeId(0))
+            .next()
+            .expect("edge (0,1) survives")
+            .p;
+        assert_eq!(p01, 0.7);
+        // And the count is surfaced through GraphStats.
+        let s = rep.stats();
+        assert_eq!(s.duplicate_edges_merged, 1);
+        assert!(s.to_string().contains("dup-merged=1"));
+    }
+
+    #[test]
+    fn clean_input_reports_zero_merges() {
+        let rep = read_edge_list_report("0 1 0.5\n1 2 0.5\n".as_bytes()).unwrap();
+        assert_eq!(rep.duplicate_edges_merged, 0);
+        assert_eq!(rep.self_loops_dropped, 0);
+        assert_eq!(rep.declared_nodes, None);
+        assert!(!rep.stats().to_string().contains("dup-merged"));
+    }
+
+    #[test]
     fn text_parse_errors_carry_line_numbers() {
         let src = "0 1 0.5\nnot an edge\n";
         match read_edge_list(src.as_bytes()) {
@@ -244,12 +385,64 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         let g2 = read_binary(&buf[..]).unwrap();
         assert_graph_eq(&g, &g2);
+        assert_eq!(graph_digest(&g), graph_digest(&g2));
     }
 
     #[test]
     fn binary_rejects_bad_magic() {
-        let buf = b"NOTMAGIC\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0".to_vec();
+        let g = gen::path(3, 0.5);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf[..8].copy_from_slice(b"NOTMAGIC");
         assert!(matches!(read_binary(&buf[..]), Err(GraphError::Corrupt(_))));
+    }
+
+    #[test]
+    fn binary_rejects_future_version() {
+        let g = gen::path(3, 0.5);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf[8..12].copy_from_slice(&99u32.to_le_bytes());
+        match read_binary(&buf[..]) {
+            Err(GraphError::UnsupportedVersion { found: 99, .. }) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_flipped_digest_byte() {
+        let g = gen::path(4, 0.5);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf[28] ^= 0x01; // inside the stored digest (bytes 28..36)
+        match read_binary(&buf[..]) {
+            Err(GraphError::DigestMismatch { .. }) => {}
+            other => panic!("expected DigestMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_corrupt_node_count_without_allocating() {
+        // Bytes 12..20 hold the u64 node count; a high-bit flip used to
+        // drive a ~2^63-slot CSR allocation (capacity overflow panic).
+        let g = gen::path(4, 0.5);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf[19] ^= 0x80;
+        match read_binary(&buf[..]) {
+            Err(GraphError::DigestMismatch { .. }) => {}
+            other => panic!("expected DigestMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_flipped_payload_byte() {
+        let g = gen::path(4, 0.7);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let last = buf.len() - 1; // high mantissa byte of the final probability
+        buf[last] ^= 0x04;
+        assert!(read_binary(&buf[..]).is_err());
     }
 
     #[test]

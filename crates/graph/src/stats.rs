@@ -22,6 +22,11 @@ pub struct GraphStats {
     pub isolated_nodes: usize,
     /// Mean edge probability.
     pub mean_edge_prob: f64,
+    /// Duplicate edges merged away while the graph was ingested (last-wins
+    /// for text edge lists — see `io::read_edge_list_report`). Always 0 when
+    /// the stats are computed directly from an in-memory graph, which by
+    /// construction holds no parallel edges.
+    pub duplicate_edges_merged: usize,
 }
 
 /// Compute [`GraphStats`] for `g`.
@@ -52,6 +57,17 @@ pub fn stats(g: &DiGraph) -> GraphStats {
         } else {
             g.total_edge_weight() / m as f64
         },
+        duplicate_edges_merged: 0,
+    }
+}
+
+/// [`stats`] with an ingestion-time duplicate-merge count folded in — the
+/// shared tail of `io::IngestReport::stats` and the bench loader's
+/// `LoadedDataset::stats`.
+pub fn stats_with_merged(g: &DiGraph, duplicate_edges_merged: usize) -> GraphStats {
+    GraphStats {
+        duplicate_edges_merged,
+        ..stats(g)
     }
 }
 
@@ -67,7 +83,11 @@ impl fmt::Display for GraphStats {
             self.max_in_degree,
             self.isolated_nodes,
             self.mean_edge_prob
-        )
+        )?;
+        if self.duplicate_edges_merged > 0 {
+            write!(f, " dup-merged={}", self.duplicate_edges_merged)?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,205 @@
+//! End-to-end tests over the committed fixture corpus: the complete
+//! file → ProbModel → solver path runs from real on-disk SNAP-format
+//! files, the binary cache round-trips byte-identically, and — the
+//! statistical heart — every RIS solver's reported objective agrees with
+//! an independent Monte-Carlo re-evaluation of its own seed set, which
+//! catches silent drift between the RR-set estimators/selectors and the
+//! diffusion model itself.
+
+use comic::algos::baselines::high_degree;
+use comic::prelude::*;
+use comic_bench::datasets::{
+    self, find_spec, load_spec, CacheMode, DataSource, FIXTURE_SMALL_EDGES, FIXTURE_SMALL_NODES,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Load `fixture-small` through the registry without touching the shared
+/// cache file (tests run concurrently; cache behaviour gets its own
+/// temp-dir test below).
+fn small() -> datasets::LoadedDataset {
+    load_spec(
+        find_spec("fixture-small").expect("registered"),
+        CacheMode::Off,
+    )
+    .expect("fixture-small ingests")
+}
+
+#[test]
+fn fixture_corpus_loads_and_matches_manifest() {
+    let d = small();
+    assert_eq!(d.graph.num_nodes(), FIXTURE_SMALL_NODES);
+    assert_eq!(d.graph.num_edges(), FIXTURE_SMALL_EDGES);
+    assert_eq!(d.duplicates_merged, Some(0), "committed fixtures are clean");
+    // Weighted cascade was applied: in-probabilities sum to 1 per node.
+    for v in d.graph.nodes().take(200) {
+        if d.graph.in_degree(v) > 0 {
+            let s: f64 = d.graph.in_edges(v).map(|a| a.p).sum();
+            assert!((s - 1.0).abs() < 1e-9, "node {v}: {s}");
+        }
+    }
+    // The registry GAP preset is the paper's mutually-complementary regime.
+    assert_eq!(d.gap.regime(), comic::model::gap::Regime::MutualComplement);
+
+    // The medium fixture ingests and carries trivalency probabilities.
+    let m = load_spec(
+        find_spec("fixture-medium").expect("registered"),
+        CacheMode::Off,
+    )
+    .expect("fixture-medium ingests");
+    assert!(m
+        .graph
+        .edges()
+        .all(|(_, e)| [0.1, 0.01, 0.001].contains(&e.p)));
+}
+
+#[test]
+fn binary_cache_is_produced_then_reused_byte_identically() {
+    // Work on a private copy so this test owns its cache file.
+    let dir = std::env::temp_dir().join(format!("comic-e2e-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("fixture-small.txt");
+    std::fs::copy(find_spec("fixture-small").unwrap().source_path(), &src).unwrap();
+
+    let arg = src.to_str().unwrap();
+    let cold = datasets::load_with(arg, CacheMode::Use).unwrap();
+    assert!(!cold.from_cache, "first load parses the text file");
+    assert!(cold.cache.exists(), "first load drops the binary cache");
+    let bytes = std::fs::read(&cold.cache).unwrap();
+
+    let warm = datasets::load_with(arg, CacheMode::Use).unwrap();
+    assert!(warm.from_cache, "second load is served from the cache");
+    assert_eq!(warm.digest, cold.digest, "digest-validated reuse");
+    assert_eq!(
+        std::fs::read(&warm.cache).unwrap(),
+        bytes,
+        "cache bytes untouched by the reuse"
+    );
+    let ge: Vec<_> = cold.graph.edges().map(|(_, e)| e).collect();
+    let we: Vec<_> = warm.graph.edges().map(|(_, e)| e).collect();
+    assert_eq!(ge, we, "cache load reproduces the parsed graph exactly");
+}
+
+/// The statistical end-to-end assertion: solve SelfInfMax with RR-SIM and
+/// RR-SIM+, and CompInfMax with RR-CIM, on the small fixture, then
+/// re-evaluate each returned seed set with an independent Monte-Carlo
+/// `SpreadEstimator` run (different seed) and require agreement within a
+/// bounded tolerance. A regression anywhere along sampler → coverage →
+/// selector → evaluator shows up as divergence here.
+#[test]
+fn solver_objectives_match_monte_carlo_reevaluation() {
+    let d = small();
+    let g = &d.graph;
+    let gap = d.gap;
+    let opposite = high_degree(g, 20);
+    let k = 10;
+    let mc = 6000;
+    let est = SpreadEstimator::new(g, gap);
+
+    let close = |label: &str, reported: f64, reevaluated: f64, rel: f64, abs: f64| {
+        let tol = (rel * reported.abs().max(reevaluated.abs())).max(abs);
+        assert!(
+            (reported - reevaluated).abs() <= tol,
+            "{label}: solver reported {reported:.2} but MC re-evaluation gives \
+             {reevaluated:.2} (tolerance {tol:.2})"
+        );
+    };
+
+    for (label, use_plus) in [("RR-SIM", false), ("RR-SIM+", true)] {
+        let mut rng = SmallRng::seed_from_u64(0xE2E);
+        let sol = SelfInfMax::new(g, gap, opposite.clone())
+            .use_rr_sim_plus(use_plus)
+            .eval_iterations(mc)
+            .threads(2)
+            .max_rr_sets(150_000)
+            .epsilon(0.5)
+            .solve(k, &mut rng)
+            .expect("Q+ solves");
+        assert_eq!(sol.seeds.len(), k);
+        let sigma = est
+            .estimate_parallel(
+                &SeedPair::new(sol.seeds.clone(), opposite.clone()),
+                mc,
+                0x5EED + u64::from(use_plus),
+                2,
+            )
+            .sigma_a;
+        assert!(sigma >= k as f64, "{label}: seeds alone give sigma_a >= k");
+        close(label, sol.objective, sigma, 0.05, 2.0);
+    }
+
+    let mut rng = SmallRng::seed_from_u64(0xC13);
+    let sol = CompInfMax::new(g, gap, opposite.clone())
+        .eval_iterations(mc)
+        .threads(2)
+        .max_rr_sets(150_000)
+        .epsilon(0.5)
+        .solve(k, &mut rng)
+        .expect("Q+ solves");
+    assert_eq!(sol.seeds.len(), k);
+    let boost = est.estimate_boost(
+        &SeedPair::new(opposite.clone(), sol.seeds.clone()),
+        mc,
+        0xB005,
+        2,
+    );
+    assert!(boost > 0.0, "complementary B-seeds must boost A");
+    close("RR-CIM", sol.objective, boost, 0.10, 1.5);
+}
+
+/// The committed action log feeds `influence_learn` deterministically and
+/// produces valid probabilities.
+#[test]
+fn influence_learning_on_the_fixture_log_is_deterministic() {
+    use comic::actionlog::influence_learn::{learn_influence, InfluenceLearnConfig};
+
+    let d = small();
+    let log_path = d.source.with_file_name("fixture-small.log");
+    let log = comic::actionlog::io::read_log(std::fs::File::open(&log_path).unwrap())
+        .expect("fixture log parses");
+    assert!(log.len() > 1_000, "log holds real mass: {}", log.len());
+
+    let cfg = InfluenceLearnConfig {
+        // Covers intra-session gaps (sequence stamps) without leaking
+        // credit across the 10^9 session stride (see comic_actionlog::synth).
+        tau: 100_000,
+        default_p: 0.0,
+    };
+    let a = learn_influence(&d.graph, &log, &cfg);
+    let b = learn_influence(&d.graph, &log, &cfg);
+
+    let ea: Vec<f64> = a.edges().map(|(_, e)| e.p).collect();
+    let eb: Vec<f64> = b.edges().map(|(_, e)| e.p).collect();
+    assert_eq!(ea, eb, "learning is deterministic across runs");
+    assert!(ea.iter().all(|p| (0.0..=1.0).contains(p)));
+    let informative = ea.iter().filter(|&&p| p > 0.0).count();
+    assert!(
+        informative > 100,
+        "the log should inform a real share of edges, got {informative}"
+    );
+}
+
+/// `DataSource` hands loaded fixtures to the experiment drivers: the same
+/// table code that runs the synthetic stand-ins runs the on-disk corpus.
+#[test]
+fn experiment_driver_runs_on_the_fixture_source() {
+    let scale = comic_bench::Scale {
+        mc_iterations: 400,
+        k: 4,
+        max_rr_sets: Some(30_000),
+        seed: 9,
+        threads: 1,
+        ..comic_bench::Scale::default()
+    };
+    let source = DataSource::Loaded(std::sync::Arc::new(small()));
+    let out = comic_bench::exp::table1::run(&scale, std::slice::from_ref(&source));
+    assert!(out.contains("fixture-small"), "{out}");
+    let out = comic_bench::exp::tables234::run(
+        &scale,
+        comic_bench::exp::common::OppositeMode::Random100,
+        std::slice::from_ref(&source),
+    );
+    assert!(out.contains("fixture-small"), "{out}");
+    assert!(out.contains("SelfInfMax"), "{out}");
+}

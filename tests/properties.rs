@@ -232,3 +232,87 @@ fn rr_sim_empty_b_matches_ic_rr_distribution_under_full_gaps() {
     );
     assert!((a - b).abs() < 0.02, "mean RR sizes: RR-SIM {a} vs IC {b}");
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The binary cache format round-trips arbitrary graphs bit-exactly:
+    /// the reloaded graph reproduces the content digest AND re-serializes
+    /// to the very same bytes.
+    #[test]
+    fn binary_cache_roundtrips_bit_exactly(g in arb_graph()) {
+        use comic::graph::io::{graph_digest, read_binary, write_binary};
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).expect("serialize");
+        let g2 = read_binary(&buf[..]).expect("deserialize");
+        prop_assert_eq!(g.num_nodes(), g2.num_nodes());
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        prop_assert_eq!(graph_digest(&g), graph_digest(&g2));
+        let mut buf2 = Vec::new();
+        write_binary(&g2, &mut buf2).expect("re-serialize");
+        prop_assert_eq!(buf, buf2);
+    }
+
+    /// Any single-bit corruption of a cache file — magic, version, counts,
+    /// digest, or payload — is rejected with a typed `GraphError`, never a
+    /// panic and never a silently-wrong graph (the header digest covers the
+    /// node count, the edge count, and every record).
+    #[test]
+    fn corrupted_binary_cache_is_rejected(
+        g in arb_graph(),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        use comic::graph::io::{read_binary, write_binary};
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).expect("serialize");
+        let pos = ((pos_frac * buf.len() as f64) as usize).min(buf.len() - 1);
+        buf[pos] ^= 1u8 << bit;
+        prop_assert!(
+            read_binary(&buf[..]).is_err(),
+            "flipping bit {} of byte {} went unnoticed", bit, pos
+        );
+    }
+
+    /// Truncating a cache anywhere strictly inside the file is an error.
+    #[test]
+    fn truncated_binary_cache_is_rejected(g in arb_graph(), cut_frac in 0.0f64..1.0) {
+        use comic::graph::io::{read_binary, write_binary};
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).expect("serialize");
+        let cut = ((cut_frac * buf.len() as f64) as usize).min(buf.len() - 1);
+        buf.truncate(cut);
+        prop_assert!(read_binary(&buf[..]).is_err(), "truncation at {} accepted", cut);
+    }
+
+    /// Text ingestion merges duplicate edges last-wins and reports exactly
+    /// how many lines were merged away.
+    #[test]
+    fn duplicate_edge_lines_merge_last_wins(
+        n in 2u32..12,
+        dups in proptest::collection::vec((0u32..12, 0u32..12, 0.0f64..=1.0), 1..30),
+    ) {
+        use comic::graph::io::read_edge_list_report;
+        let n = n.max(dups.iter().map(|&(a, b, _)| a.max(b) + 1).max().unwrap_or(0));
+        let mut text = format!("# nodes {n} edges {}\n", dups.len());
+        for (u, v, p) in &dups {
+            text.push_str(&format!("{u}\t{v}\t{p}\n"));
+        }
+        let rep = read_edge_list_report(text.as_bytes()).expect("parses");
+        // Expected survivors: last probability per distinct non-loop pair.
+        let mut last: std::collections::BTreeMap<(u32, u32), f64> = Default::default();
+        let mut loops = 0usize;
+        for &(u, v, p) in &dups {
+            if u == v { loops += 1; } else { last.insert((u, v), p); }
+        }
+        prop_assert_eq!(rep.graph.num_edges(), last.len());
+        prop_assert_eq!(rep.self_loops_dropped, loops);
+        prop_assert_eq!(
+            rep.duplicate_edges_merged,
+            dups.len() - loops - last.len()
+        );
+        for (_, e) in rep.graph.edges() {
+            prop_assert_eq!(e.p, last[&(e.source.0, e.target.0)]);
+        }
+    }
+}
