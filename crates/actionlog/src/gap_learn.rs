@@ -15,9 +15,21 @@
 //! `q̂_{B|∅}` / `q̂_{B|A}` are symmetric. Each estimate is a Bernoulli
 //! parameter, so its 95% CI is `q̂ ± 1.96·√(q̂(1−q̂)/n)`.
 
+//!
+//! # Parallelism and determinism
+//!
+//! Every estimator numerator/denominator is a sum of independent per-user
+//! indicator variables, so [`learn_gaps_with`] partitions the item-pair
+//! statistics across workers: the users informed of the focal item are
+//! chunked into fixed ranges, each worker tallies its range's four counts,
+//! and the partial counts are reduced by addition — an order-independent
+//! (commutative, associative, integer) reduction, so the learned estimates
+//! are **identical for every [`GapLearnConfig::threads`] value**.
+
 use crate::error::LogError;
-use crate::log::{ActionLog, ItemId};
+use crate::log::{ActionLog, ItemId, UserId, UserItemTimes};
 use comic_core::gap::Gap;
+use comic_graph::par::{fixed_ranges, run_sharded};
 
 /// A point estimate with normal-approximation confidence interval.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -92,59 +104,125 @@ impl LearnedGaps {
     }
 }
 
+/// Configuration for [`learn_gaps_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct GapLearnConfig {
+    /// Worker threads for the per-user tallies (`0` = one per available
+    /// core). Estimates are identical for every value — the reduction is a
+    /// plain integer sum.
+    pub threads: usize,
+}
+
+impl Default for GapLearnConfig {
+    fn default() -> Self {
+        GapLearnConfig { threads: 1 }
+    }
+}
+
+/// Users per tally shard — fixed, so the partition (and trivially the
+/// summed counts) never depends on the worker count.
+const USERS_PER_SHARD: usize = 4_096;
+
+/// The four per-orientation tallies, with the addition reduction that makes
+/// the sharded computation order-independent.
+#[derive(Clone, Copy, Debug, Default)]
+struct DirectedTallies {
+    rated_a_not_bfirst: usize,   // |R_A \ R_{B≺rateA}|
+    rated_bfirst: usize,         // |R_{B≺rateA}|
+    informed_a_not_b_pre: usize, // |I_A \ R_{B≺informA}|
+    b_pre_inform: usize,         // |R_{B≺informA}|
+}
+
+impl DirectedTallies {
+    fn absorb(&mut self, other: DirectedTallies) {
+        self.rated_a_not_bfirst += other.rated_a_not_bfirst;
+        self.rated_bfirst += other.rated_bfirst;
+        self.informed_a_not_b_pre += other.informed_a_not_b_pre;
+        self.b_pre_inform += other.b_pre_inform;
+    }
+
+    fn observe(&mut self, ta: &UserItemTimes, rated_b: Option<u64>) {
+        let Some(ia) = ta.informed_at else { return };
+        let b_before_inform = rated_b.is_some_and(|tb| tb < ia);
+        if b_before_inform {
+            self.b_pre_inform += 1;
+            if ta.rated_at.is_some() {
+                // Rated both, B first (B's rating precedes even the
+                // A inform, hence precedes A's rating).
+                self.rated_bfirst += 1;
+            }
+        } else {
+            self.informed_a_not_b_pre += 1;
+            if let Some(ra) = ta.rated_at {
+                let b_rated_first = rated_b.is_some_and(|tb| tb < ra);
+                if !b_rated_first {
+                    self.rated_a_not_bfirst += 1;
+                }
+                // else: adopted B between A-inform and A-rate — a
+                // reconsideration-style adoption; counted in neither
+                // numerator, exactly as the paper's set algebra does.
+            }
+        }
+    }
+}
+
 /// Directed counts for one orientation of the pair: everything needed for
 /// `q̂_{A|∅}` and `q̂_{A|B}` with A = `first`, B = `second`.
 fn directed_counts(
     log: &ActionLog,
     first: ItemId,
     second: ItemId,
+    threads: usize,
 ) -> Result<(Estimate, Estimate), LogError> {
     let idx_a = log.item_index(first);
     let idx_b = log.item_index(second);
+    // An indexable view of A's users for the fixed sharding. No sort: the
+    // reduction is a permutation-invariant integer sum, so any stable
+    // partition of this Vec yields identical totals for every thread count.
+    let users: Vec<(UserId, UserItemTimes)> = idx_a.into_iter().collect();
 
-    let mut rated_a_not_bfirst = 0usize; // |R_A \ R_{B≺rateA}|
-    let mut rated_bfirst = 0usize; // |R_{B≺rateA}|
-    let mut informed_a_not_b_pre = 0usize; // |I_A \ R_{B≺informA}|
-    let mut b_pre_inform = 0usize; // |R_{B≺informA}|
-
-    for (user, ta) in &idx_a {
-        let informed_a = ta.informed_at;
-        let rated_a = ta.rated_at;
-        let rated_b = idx_b.get(user).and_then(|tb| tb.rated_at);
-        if let Some(ia) = informed_a {
-            let b_before_inform = rated_b.is_some_and(|tb| tb < ia);
-            if b_before_inform {
-                b_pre_inform += 1;
-                if rated_a.is_some() {
-                    // Rated both, B first (B's rating precedes even the
-                    // A inform, hence precedes A's rating).
-                    rated_bfirst += 1;
-                }
-            } else {
-                informed_a_not_b_pre += 1;
-                if let Some(ra) = rated_a {
-                    let b_rated_first = rated_b.is_some_and(|tb| tb < ra);
-                    if !b_rated_first {
-                        rated_a_not_bfirst += 1;
-                    }
-                    // else: adopted B between A-inform and A-rate — a
-                    // reconsideration-style adoption; counted in neither
-                    // numerator, exactly as the paper's set algebra does.
-                }
-            }
+    let (shards, range_of) = fixed_ranges(users.len(), USERS_PER_SHARD);
+    let partials = run_sharded(shards, threads, |shard| {
+        let (lo, hi) = range_of(shard);
+        let mut t = DirectedTallies::default();
+        for (user, ta) in &users[lo..hi] {
+            let rated_b = idx_b.get(user).and_then(|tb| tb.rated_at);
+            t.observe(ta, rated_b);
         }
+        t
+    });
+    let mut total = DirectedTallies::default();
+    for p in partials {
+        total.absorb(p);
     }
 
-    let q_0 = Estimate::from_counts("q_{X|0}", rated_a_not_bfirst, informed_a_not_b_pre)?;
-    let q_cond = Estimate::from_counts("q_{X|Y}", rated_bfirst, b_pre_inform)?;
+    let q_0 = Estimate::from_counts(
+        "q_{X|0}",
+        total.rated_a_not_bfirst,
+        total.informed_a_not_b_pre,
+    )?;
+    let q_cond = Estimate::from_counts("q_{X|Y}", total.rated_bfirst, total.b_pre_inform)?;
     Ok((q_0, q_cond))
 }
 
-/// Learn the four GAPs for the ordered pair `(item_a, item_b)`.
+/// Learn the four GAPs for the ordered pair `(item_a, item_b)` on one
+/// worker thread. See [`learn_gaps_with`] for the parallel entry point.
 pub fn learn_gaps(
     log: &ActionLog,
     item_a: ItemId,
     item_b: ItemId,
+) -> Result<LearnedGaps, LogError> {
+    learn_gaps_with(log, item_a, item_b, &GapLearnConfig::default())
+}
+
+/// Learn the four GAPs for the ordered pair `(item_a, item_b)`, tallying
+/// per-user statistics across `cfg.threads` workers. Identical output for
+/// every thread count (see the module docs).
+pub fn learn_gaps_with(
+    log: &ActionLog,
+    item_a: ItemId,
+    item_b: ItemId,
+    cfg: &GapLearnConfig,
 ) -> Result<LearnedGaps, LogError> {
     if !log.has_item(item_a) {
         return Err(LogError::UnknownItem(item_a.0));
@@ -152,8 +230,8 @@ pub fn learn_gaps(
     if !log.has_item(item_b) {
         return Err(LogError::UnknownItem(item_b.0));
     }
-    let (q_a0, q_ab) = directed_counts(log, item_a, item_b)?;
-    let (q_b0, q_ba) = directed_counts(log, item_b, item_a)?;
+    let (q_a0, q_ab) = directed_counts(log, item_a, item_b, cfg.threads)?;
+    let (q_b0, q_ba) = directed_counts(log, item_b, item_a, cfg.threads)?;
     Ok(LearnedGaps {
         q_a0,
         q_ab,
@@ -254,6 +332,56 @@ mod tests {
             samples: 10,
         };
         assert_eq!(edge.interval().1, 1.0);
+    }
+
+    /// Sum-based reduction: estimates are identical for every thread count.
+    #[test]
+    fn estimates_are_thread_count_invariant() {
+        // A few hundred synthetic users with varied orderings.
+        let mut records = Vec::new();
+        for u in 0..600u32 {
+            match u % 5 {
+                0 => {
+                    records.push(rec(u, 0, Action::Informed, 1));
+                    records.push(rec(u, 0, Action::Rated, 2));
+                }
+                1 => records.push(rec(u, 0, Action::Informed, 1)),
+                2 => {
+                    records.push(rec(u, 1, Action::Rated, 1));
+                    records.push(rec(u, 0, Action::Informed, 2));
+                    records.push(rec(u, 0, Action::Rated, 3));
+                }
+                3 => {
+                    records.push(rec(u, 1, Action::Rated, 1));
+                    records.push(rec(u, 0, Action::Informed, 2));
+                }
+                _ => {
+                    // Rated A spontaneously, then informed of (and rated) B:
+                    // feeds the q_{B|A} denominator.
+                    records.push(rec(u, 0, Action::Rated, 1));
+                    records.push(rec(u, 1, Action::Informed, 2));
+                    records.push(rec(u, 1, Action::Rated, 3));
+                }
+            }
+        }
+        let log = ActionLog::from_records(records);
+        let base = learn_gaps_with(&log, ItemId(0), ItemId(1), &GapLearnConfig { threads: 1 })
+            .expect("enough data");
+        for threads in [2, 4, 7] {
+            let l = learn_gaps_with(&log, ItemId(0), ItemId(1), &GapLearnConfig { threads })
+                .expect("enough data");
+            for (a, b) in [
+                (base.q_a0, l.q_a0),
+                (base.q_ab, l.q_ab),
+                (base.q_b0, l.q_b0),
+                (base.q_ba, l.q_ba),
+            ] {
+                assert_eq!(a, b, "threads = {threads}");
+            }
+        }
+        // And the single-thread wrapper is the same computation.
+        let via_wrapper = learn_gaps(&log, ItemId(0), ItemId(1)).unwrap();
+        assert_eq!(via_wrapper.q_a0, base.q_a0);
     }
 
     #[test]

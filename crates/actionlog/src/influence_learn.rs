@@ -7,9 +7,23 @@
 //! is the number of those actions that *propagated* to `v`: `v` performed
 //! the same action strictly after `u` and within a propagation window τ,
 //! and the social link `u → v` exists.
+//!
+//! # Parallelism and determinism
+//!
+//! Credit distribution is independent per target node — whether `u`'s
+//! adoption of an item propagated to `v` reads only `u`'s and `v`'s
+//! first-adoption times — so the per-edge credit accumulation shards by
+//! *target-node ranges* over `std::thread::scope` (via
+//! [`comic_graph::par::run_sharded`]): each worker owns a fixed node range,
+//! scans its nodes' in-edges against the shared first-adoption index, and
+//! fills a private scratch list of `(edge, credit)` pairs. Shards are
+//! merged in node order, and every credit is an exact integer count, so the
+//! learned graph is **byte-identical for every
+//! [`InfluenceLearnConfig::threads`] value** — the sequential result is
+//! simply the `threads = 1` schedule of the same computation.
 
 use crate::log::{ActionLog, UserId};
-use comic_graph::fasthash::FxHashMap;
+use comic_graph::par::{fixed_ranges, run_sharded};
 use comic_graph::{DiGraph, GraphBuilder, NodeId};
 
 /// Configuration for [`learn_influence`].
@@ -22,6 +36,10 @@ pub struct InfluenceLearnConfig {
     /// learned graph usable for diffusion; the paper's pipelines do the
     /// same implicitly by falling back to weighted-cascade-style priors).
     pub default_p: f64,
+    /// Worker threads for the credit-accumulation pass (`0` = one per
+    /// available core). The output is identical for every value — see the
+    /// module docs.
+    pub threads: usize,
 }
 
 impl Default for InfluenceLearnConfig {
@@ -29,8 +47,38 @@ impl Default for InfluenceLearnConfig {
         InfluenceLearnConfig {
             tau: 1_000,
             default_p: 0.0,
+            threads: 1,
         }
     }
+}
+
+/// Target nodes per credit-accumulation shard: fixed (thread-count
+/// independent) so the shard decomposition, and with it the output bytes,
+/// never depend on the worker count.
+const NODES_PER_SHARD: usize = 1_024;
+
+/// Per-node first-adoption index: for each graph node, the `(item, t)`
+/// pairs of its earliest `Rated` records, sorted by item.
+fn first_adoptions(g: &DiGraph, log: &ActionLog) -> Vec<Vec<(u32, u64)>> {
+    let n = g.num_nodes();
+    let mut events: Vec<(u32, u32, u64)> = log
+        .records()
+        .iter()
+        .filter_map(|r| {
+            let UserId(u) = r.user;
+            (matches!(r.action, crate::log::Action::Rated) && (u as usize) < n)
+                .then_some((u, r.item.0, r.t))
+        })
+        .collect();
+    // First adoption wins: sort by (user, item, t) and keep the earliest
+    // record per (user, item) — duplicate timestamps collapse to one entry.
+    events.sort_unstable();
+    events.dedup_by_key(|&mut (u, item, _)| (u, item));
+    let mut adopt: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+    for (u, item, t) in events {
+        adopt[u as usize].push((item, t));
+    }
+    adopt
 }
 
 /// Learn `p̂(u, v)` for every edge of `g` from `log`, returning a copy of
@@ -38,45 +86,64 @@ impl Default for InfluenceLearnConfig {
 /// nodes (`UserId(x)` ↔ `NodeId(x)`); foreign users are ignored.
 pub fn learn_influence(g: &DiGraph, log: &ActionLog, cfg: &InfluenceLearnConfig) -> DiGraph {
     let n = g.num_nodes();
-    // Per (user, item) first adoption times.
-    let mut adoption: FxHashMap<(u32, u32), u64> = FxHashMap::default();
-    let mut actions_per_user = vec![0u32; n];
-    for r in log.records() {
-        if let crate::log::Action::Rated = r.action {
-            let UserId(u) = r.user;
-            if (u as usize) < n {
-                adoption
-                    .entry((u, r.item.0))
-                    .and_modify(|t| *t = (*t).min(r.t))
-                    .or_insert(r.t);
-            }
-        }
-    }
-    for (&(u, _), _) in adoption.iter() {
-        actions_per_user[u as usize] += 1;
-    }
+    let adopt = first_adoptions(g, log);
 
-    // Credit propagations along existing edges.
-    let mut propagated: FxHashMap<(u32, u32), u32> = FxHashMap::default();
-    for (&(u, item), &tu) in adoption.iter() {
-        for adj in g.out_edges(NodeId(u)) {
-            let v = adj.node.0;
-            if let Some(&tv) = adoption.get(&(v, item)) {
-                if tu < tv && tv <= tu + cfg.tau {
-                    *propagated.entry((u, v)).or_insert(0) += 1;
+    // Credit propagations along existing edges, sharded by target node.
+    let (shards, range_of) = fixed_ranges(n, NODES_PER_SHARD);
+    let locals = run_sharded(shards, cfg.threads, |shard| {
+        let (lo, hi) = range_of(shard);
+        let mut credit: Vec<(u32, u32)> = Vec::new();
+        for v in lo..hi {
+            let dst = &adopt[v];
+            if dst.is_empty() {
+                continue;
+            }
+            for adj in g.in_edges(NodeId(v as u32)) {
+                let src = &adopt[adj.node.index()];
+                if src.is_empty() {
+                    continue;
+                }
+                // Items both endpoints adopted: sorted-merge the two lists
+                // and test the propagation window on each match.
+                let (mut i, mut j, mut hits) = (0usize, 0usize, 0u32);
+                while i < src.len() && j < dst.len() {
+                    match src[i].0.cmp(&dst[j].0) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            let (tu, tv) = (src[i].1, dst[j].1);
+                            if tu < tv && tv <= tu.saturating_add(cfg.tau) {
+                                hits += 1;
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                if hits > 0 {
+                    credit.push((adj.edge.0, hits));
                 }
             }
+        }
+        credit
+    });
+    // Shards own disjoint target ranges, hence disjoint in-edge ids; the
+    // merge is a plain scatter into the per-edge credit table.
+    let mut credit = vec![0u32; g.num_edges()];
+    for local in locals {
+        for (edge, hits) in local {
+            credit[edge as usize] = hits;
         }
     }
 
     let mut b = GraphBuilder::with_capacity(n, g.num_edges());
-    for (_, e) in g.edges() {
+    for (eid, e) in g.edges() {
         let (u, v) = (e.source.0, e.target.0);
-        let a_u = actions_per_user[u as usize];
+        let a_u = adopt[u as usize].len() as u32;
         let p = if a_u == 0 {
             cfg.default_p
         } else {
-            let a_uv = propagated.get(&(u, v)).copied().unwrap_or(0);
+            let a_uv = credit[eid.index()];
             (a_uv as f64 / a_u as f64).min(1.0)
         };
         b.add_edge(u, v, p.max(cfg.default_p).min(1.0));
@@ -123,6 +190,7 @@ mod tests {
             &InfluenceLearnConfig {
                 tau: 50,
                 default_p: 0.0,
+                threads: 1,
             },
         );
         let p = learned.out_edges(NodeId(0)).next().unwrap().p;
@@ -148,9 +216,84 @@ mod tests {
             &InfluenceLearnConfig {
                 tau: 10,
                 default_p: 0.01,
+                threads: 1,
             },
         );
         assert_eq!(learned.out_edges(NodeId(0)).next().unwrap().p, 0.01);
+    }
+
+    #[test]
+    fn duplicate_timestamps_keep_the_first_adoption() {
+        // Two Rated records for the same (user, item) at equal and later
+        // times must collapse to one adoption at the earliest stamp.
+        let g = comic_graph::builder::from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let log = ActionLog::from_records(vec![
+            rated(0, 0, 10),
+            rated(0, 0, 10),
+            rated(0, 0, 90),
+            rated(1, 0, 15),
+            rated(1, 0, 15),
+        ]);
+        let learned = learn_influence(
+            &g,
+            &log,
+            &InfluenceLearnConfig {
+                tau: 20,
+                default_p: 0.0,
+                threads: 1,
+            },
+        );
+        // One action by user 0, one propagation (10 -> 15 within tau).
+        assert_eq!(learned.out_edges(NodeId(0)).next().unwrap().p, 1.0);
+    }
+
+    #[test]
+    fn foreign_users_are_ignored() {
+        let g = comic_graph::builder::from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let log = ActionLog::from_records(vec![rated(0, 0, 1), rated(7, 0, 2), rated(1, 0, 3)]);
+        let learned = learn_influence(&g, &log, &InfluenceLearnConfig::default());
+        assert_eq!(learned.out_edges(NodeId(0)).next().unwrap().p, 1.0);
+    }
+
+    /// The determinism contract: the learned graph is byte-identical for
+    /// every thread count, including the sequential `threads = 1` path.
+    #[test]
+    fn output_is_thread_count_invariant() {
+        let mut grng = SmallRng::seed_from_u64(5);
+        let topo = gen::gnm(60, 400, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.4).apply(&topo, &mut grng);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let log = synthesize_pair_log(
+            &g,
+            Gap::classic_ic(),
+            ItemId(0),
+            ItemId(1),
+            &SynthConfig {
+                sessions: 80,
+                seeds_per_item: 3,
+                fresh_cohorts: false,
+            },
+            &mut rng,
+        );
+        let learn = |threads: usize| {
+            learn_influence(
+                &g,
+                &log,
+                &InfluenceLearnConfig {
+                    tau: 100_000,
+                    default_p: 0.0,
+                    threads,
+                },
+            )
+        };
+        let base = comic_graph::io::graph_digest(&learn(1));
+        for threads in [2, 4, 7] {
+            assert_eq!(
+                comic_graph::io::graph_digest(&learn(threads)),
+                base,
+                "threads = {threads}"
+            );
+        }
     }
 
     /// End-to-end: cascades generated with constant edge probability are
@@ -184,6 +327,7 @@ mod tests {
             &InfluenceLearnConfig {
                 tau: 100_000,
                 default_p: 0.0,
+                threads: 2,
             },
         );
         // Average learned probability over edges with enough source actions

@@ -28,5 +28,6 @@ pub mod log;
 pub mod synth;
 
 pub use error::LogError;
-pub use gap_learn::{learn_gaps, Estimate, LearnedGaps};
+pub use gap_learn::{learn_gaps, learn_gaps_with, Estimate, GapLearnConfig, LearnedGaps};
+pub use influence_learn::{learn_influence, InfluenceLearnConfig};
 pub use log::{Action, ActionLog, ItemId, LogRecord, UserId};

@@ -116,6 +116,21 @@ impl<'g> RrCimSampler<'g> {
         self.gap
     }
 
+    /// Memoization pressure of the sampler's owned [`LazyWorld`],
+    /// accumulated over every [`RrSampler::sample`] call so far: how often
+    /// Phase II's backward searches (and especially the case-4 `S_f ∩ S_b`
+    /// loop test, which re-walks edges the primary search already flipped)
+    /// were answered from the per-world memo instead of drawing fresh
+    /// coins.
+    pub fn memo_stats(&self) -> comic_core::possible_world::MemoStats {
+        self.world.memo_stats()
+    }
+
+    /// Zero the [`RrCimSampler::memo_stats`] counters.
+    pub fn reset_memo_stats(&mut self) {
+        self.world.reset_memo_stats();
+    }
+
     /// Validate the regime and seed set once, then return an infallible
     /// per-thread sampler factory for the sharded
     /// [`comic_ris::RisPipeline`].
@@ -498,6 +513,49 @@ mod tests {
             (undercollected as f64) < 0.02 * total_sets as f64,
             "under-collection too frequent: {undercollected}/{total_sets}"
         );
+    }
+
+    /// The memo pressure counters are surfaced, deterministic for a fixed
+    /// seed, and show real re-probing in the case-4-heavy regime.
+    #[test]
+    fn memo_stats_are_surfaced_and_deterministic() {
+        let run = || {
+            let mut grng = SmallRng::seed_from_u64(77);
+            let topo = gen::gnm(60, 400, &mut grng).unwrap();
+            let g = comic_graph::prob::ProbModel::Constant(0.4).apply(&topo, &mut grng);
+            // Low q_{A|∅} keeps most labels potential/suspended, which is
+            // what drives Phase II into the case-4 loop test.
+            let gap = Gap::new(0.05, 0.9, 0.3, 1.0).unwrap();
+            let mut s = RrCimSampler::new(&g, gap, seeds(&[0, 1])).unwrap();
+            assert_eq!(s.memo_stats().probes(), 0);
+            let mut rng = SmallRng::seed_from_u64(78);
+            let mut out = Vec::new();
+            for _ in 0..300 {
+                let root = NodeId(rng.random_range(0..60));
+                s.sample(root, &mut rng, &mut out);
+            }
+            s.memo_stats()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "memo pressure must be reproducible per seed");
+        assert!(a.probes() > 0, "sampling must surface memo probes");
+        assert!(
+            a.hits > 0,
+            "phase II re-probes phase-I coins; zero hits means the memo broke: {a}"
+        );
+        assert!(a.hit_rate() < 1.0, "every world must draw fresh coins: {a}");
+        // reset_memo_stats really zeroes.
+        let mut grng = SmallRng::seed_from_u64(1);
+        let topo = gen::gnm(10, 30, &mut grng).unwrap();
+        let g = comic_graph::prob::ProbModel::Constant(0.5).apply(&topo, &mut grng);
+        let mut s = RrCimSampler::new(&g, cim_gap(), seeds(&[0])).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        s.sample(NodeId(3), &mut rng, &mut out);
+        assert!(s.memo_stats().probes() > 0);
+        s.reset_memo_stats();
+        assert_eq!(s.memo_stats().probes(), 0);
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! Criterion: the learning layer — edge influence-probability learning,
+//! GAP estimation, and the parallel graph generators — plus the
+//! `LazyWorld` memoization-pressure probe for RR-CIM's case-4 loop.
+//!
+//! The `learning_comparison` section measures `learn_influence` /
+//! `learn_gaps_with` / the `gen::par` generators at 1 / 4 / all-cores
+//! worker threads and **asserts** the learning-layer determinism contract
+//! (byte-identical output for every thread count) so the quick-mode CI
+//! smoke run fails on a divergence. The `lazy_world_memo` section surfaces
+//! the RR-CIM memo hit rate on the fixture-small corpus — the profiling
+//! gap the ROADMAP called out — and asserts it stays in a sane band. Set
+//! `COMIC_BENCH_JSON=<path>` to write the numbers as a JSON snapshot
+//! (committed as `BENCH_learning.json` at the repo root).
+
+use comic_actionlog::synth::{synthesize_pair_log, SynthConfig};
+use comic_actionlog::{
+    learn_gaps_with, learn_influence, GapLearnConfig, InfluenceLearnConfig, ItemId,
+};
+use comic_algos::rr_cim::RrCimSampler;
+use comic_bench::datasets::{find_spec, load_spec, CacheMode};
+use comic_bench::runtime::timed;
+use comic_core::Gap;
+use comic_graph::gen::{self, ParGen};
+use comic_graph::io::graph_digest;
+use comic_graph::par::resolve_threads;
+use comic_graph::prob::ProbModel;
+use comic_graph::{DiGraph, NodeId};
+use comic_ris::sampler::RrSampler;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+/// The learning substrate: a mid-size power-law graph plus a node-cohort
+/// action log synthesized on it (the shape `influence_learn` sees in the
+/// dataset pipeline).
+fn substrate(quick: bool) -> (DiGraph, comic_actionlog::ActionLog) {
+    let (n, m, sessions) = if quick {
+        (800, 4_000, 40)
+    } else {
+        (8_000, 40_000, 300)
+    };
+    let mut rng = SmallRng::seed_from_u64(0x1EA2);
+    let topo = gen::chung_lu(
+        &gen::ChungLuConfig {
+            n,
+            target_edges: m,
+            exponent: 2.16,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let g = ProbModel::WeightedCascade.apply(&topo, &mut rng);
+    let log = synthesize_pair_log(
+        &g,
+        Gap::new(0.5, 0.75, 0.5, 0.75).unwrap(),
+        ItemId(0),
+        ItemId(1),
+        &SynthConfig {
+            sessions,
+            seeds_per_item: 3,
+            fresh_cohorts: false,
+        },
+        &mut rng,
+    );
+    (g, log)
+}
+
+fn bench_learning(c: &mut Criterion) {
+    let quick = criterion::quick_mode();
+    let (g, log) = substrate(quick);
+
+    let mut group = c.benchmark_group("learning");
+    group.sample_size(10);
+
+    group.bench_function("influence_learn_1t", |b| {
+        let cfg = InfluenceLearnConfig {
+            tau: 100_000,
+            default_p: 0.0,
+            threads: 1,
+        };
+        b.iter(|| black_box(learn_influence(&g, &log, &cfg).num_edges()));
+    });
+
+    group.bench_function("influence_learn_4t", |b| {
+        let cfg = InfluenceLearnConfig {
+            tau: 100_000,
+            default_p: 0.0,
+            threads: 4,
+        };
+        b.iter(|| black_box(learn_influence(&g, &log, &cfg).num_edges()));
+    });
+
+    group.bench_function("learn_gaps_1t", |b| {
+        b.iter(|| {
+            black_box(
+                learn_gaps_with(&log, ItemId(0), ItemId(1), &GapLearnConfig { threads: 1 })
+                    .map(|l| l.q_a0.samples),
+            )
+        });
+    });
+
+    group.bench_function("chung_lu_par_4t", |b| {
+        let cfg = gen::ChungLuConfig {
+            n: if quick { 2_000 } else { 50_000 },
+            target_edges: if quick { 10_000 } else { 250_000 },
+            exponent: 2.16,
+        };
+        b.iter(|| {
+            black_box(
+                gen::chung_lu_par(&cfg, &ParGen::with_threads(5, 4))
+                    .unwrap()
+                    .num_edges(),
+            )
+        });
+    });
+
+    group.bench_function("gnm_par_4t", |b| {
+        let (n, m) = if quick {
+            (2_000, 10_000)
+        } else {
+            (50_000, 250_000)
+        };
+        b.iter(|| {
+            black_box(
+                gen::gnm_par(n, m, &ParGen::with_threads(6, 4))
+                    .unwrap()
+                    .num_edges(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+/// One wall-clock measurement of the learning_comparison section.
+struct Run {
+    label: String,
+    threads: usize,
+    secs: f64,
+}
+
+/// Whole-batch wall-clock comparison of the learning layer and the
+/// parallel generators, with the thread-invariance assertions CI relies
+/// on, plus the LazyWorld memo-pressure probe.
+fn bench_learning_comparison(c: &mut Criterion) {
+    // The group exists so the section shows up in criterion's output
+    // ordering; the real measurements below need whole-batch wall-clock
+    // numbers for the JSON snapshot, not per-iter medians.
+    let mut group = c.benchmark_group("learning_comparison");
+    group.finish();
+
+    let quick = criterion::quick_mode();
+    let (g, log) = substrate(quick);
+    let max_threads = resolve_threads(0);
+    let mut thread_counts = vec![1usize, 4, max_threads];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let mut runs: Vec<Run> = Vec::new();
+
+    // Influence learning: thread sweep, digest-asserted.
+    let mut influence_digest = None;
+    for &threads in &thread_counts {
+        let cfg = InfluenceLearnConfig {
+            tau: 100_000,
+            default_p: 0.0,
+            threads,
+        };
+        let (learned, secs) = timed(|| learn_influence(&g, &log, &cfg));
+        let d = graph_digest(&learned);
+        let base = *influence_digest.get_or_insert(d);
+        assert_eq!(d, base, "learn_influence diverged at {threads} threads");
+        runs.push(Run {
+            label: "influence_learn".into(),
+            threads,
+            secs,
+        });
+    }
+
+    // GAP learning: thread sweep, estimate-asserted.
+    let mut gap_bits = None;
+    for &threads in &thread_counts {
+        let (l, secs) = timed(|| {
+            learn_gaps_with(&log, ItemId(0), ItemId(1), &GapLearnConfig { threads })
+                .expect("synthetic log has every denominator")
+        });
+        let bits = [
+            l.q_a0.value.to_bits(),
+            l.q_ab.value.to_bits(),
+            l.q_b0.value.to_bits(),
+            l.q_ba.value.to_bits(),
+        ];
+        let base = *gap_bits.get_or_insert(bits);
+        assert_eq!(bits, base, "learn_gaps diverged at {threads} threads");
+        runs.push(Run {
+            label: "learn_gaps".into(),
+            threads,
+            secs,
+        });
+    }
+
+    // Generators: thread sweep on the heaviest par generator, digest-asserted.
+    let gen_cfg = gen::ChungLuConfig {
+        n: if quick { 2_000 } else { 50_000 },
+        target_edges: if quick { 10_000 } else { 250_000 },
+        exponent: 2.16,
+    };
+    let mut gen_digest = None;
+    for &threads in &thread_counts {
+        let (built, secs) =
+            timed(|| gen::chung_lu_par(&gen_cfg, &ParGen::with_threads(5, threads)).unwrap());
+        let d = graph_digest(&built);
+        let base = *gen_digest.get_or_insert(d);
+        assert_eq!(d, base, "chung_lu_par diverged at {threads} threads");
+        runs.push(Run {
+            label: "chung_lu_par".into(),
+            threads,
+            secs,
+        });
+    }
+
+    for r in &runs {
+        println!(
+            "bench: learning_comparison/{}/threads={} ... {:.4}s",
+            r.label, r.threads, r.secs
+        );
+    }
+    println!(
+        "bench: learning_comparison cross-check OK — learning layer byte-identical across \
+         threads {{1, 4, {max_threads}}}"
+    );
+
+    // LazyWorld memo pressure in RR-CIM (the ROADMAP's unprofiled corner):
+    // sample on the fixture-small corpus and surface the hit rate.
+    let fixture = load_spec(
+        find_spec("fixture-small").expect("fixture-small is registered"),
+        CacheMode::Off,
+    )
+    .expect("committed fixture loads");
+    let fg = &fixture.graph;
+    let gap = Gap::new(0.2, 0.8, 0.4, 1.0).unwrap();
+    let seeds: Vec<NodeId> = (0..10u32).map(NodeId).collect();
+    let samples = if quick { 300 } else { 3_000 };
+    let (memo, secs) = timed(|| {
+        let mut sampler = RrCimSampler::new(fg, gap, seeds.clone()).expect("CIM regime");
+        let mut rng = SmallRng::seed_from_u64(0xCA5E4);
+        let mut out = Vec::new();
+        for _ in 0..samples {
+            let root = NodeId(rng.random_range(0..fg.num_nodes() as u32));
+            sampler.sample(root, &mut rng, &mut out);
+        }
+        sampler.memo_stats()
+    });
+    println!(
+        "bench: lazy_world_memo/rr_cim_fixture_small ... {secs:.4}s — {memo} over {samples} samples"
+    );
+    assert!(memo.probes() > 0, "sampling must probe the memo");
+    assert!(
+        memo.hit_rate() > 0.0 && memo.hit_rate() < 1.0,
+        "memo hit rate out of band: {memo}"
+    );
+    runs.push(Run {
+        label: "rr_cim_memo_probe".into(),
+        threads: 1,
+        secs,
+    });
+
+    comic_bench::runtime::write_json_snapshot(
+        "learning",
+        &[
+            ("host_cores", max_threads.to_string()),
+            (
+                "graph",
+                format!(
+                    "{{ \"model\": \"chung_lu 2.16 + weighted_cascade\", \"nodes\": {}, \"edges\": {} }}",
+                    g.num_nodes(),
+                    g.num_edges()
+                ),
+            ),
+            ("log_records", log.len().to_string()),
+            (
+                "memo",
+                format!(
+                    "{{ \"probes\": {}, \"hits\": {}, \"hit_rate\": {:.4}, \"rr_cim_samples\": {samples} }}",
+                    memo.probes(),
+                    memo.hits,
+                    memo.hit_rate()
+                ),
+            ),
+            (
+                "note",
+                "\"learning output is byte-identical across thread counts (asserted); on a host where host_cores = 1 the multi-thread rows measure pure oversubscription overhead\"".into(),
+            ),
+        ],
+        &runs
+            .iter()
+            .map(|r| {
+                vec![
+                    ("label", format!("\"{}\"", r.label)),
+                    ("threads", r.threads.to_string()),
+                    ("secs", format!("{:.4}", r.secs)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+criterion_group!(benches, bench_learning, bench_learning_comparison);
+criterion_main!(benches);

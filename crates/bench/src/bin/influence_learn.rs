@@ -1,0 +1,118 @@
+//! `comic-bench influence_learn` — run the learning layer (edge influence
+//! probabilities + GAPs) over a dataset and an action log, on any number of
+//! worker threads.
+//!
+//! ```text
+//! cargo run -p comic-bench --bin influence_learn --                          # fixture-small
+//! cargo run -p comic-bench --bin influence_learn -- --threads 8
+//! cargo run -p comic-bench --bin influence_learn -- --dataset fixture-small \
+//!     --log tests/fixtures/fixture-small.log --tau 100000 --default-p 0.0
+//! ```
+//!
+//! The learned output is byte-identical for every `--threads` value (the
+//! learning-layer determinism contract); the bin prints the learned-graph
+//! digest so that is directly checkable from the shell:
+//!
+//! ```text
+//! for t in 1 4; do influence_learn --threads $t | grep digest; done
+//! ```
+
+use comic_actionlog::{learn_gaps_with, GapLearnConfig, InfluenceLearnConfig, ItemId};
+use comic_bench::datasets;
+use comic_bench::runtime::{fmt_secs, timed};
+use comic_bench::Scale;
+use comic_graph::io::graph_digest;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dataset = scale
+        .dataset
+        .clone()
+        .unwrap_or_else(|| "fixture-small".into());
+    let tau: u64 = arg_value(&args, "--tau")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let default_p: f64 = arg_value(&args, "--default-p")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+
+    let loaded = datasets::load(&dataset).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let log_path = arg_value(&args, "--log")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            // Default: the `<source>.log` sitting next to the dataset file
+            // (`fixture-small.txt` → `fixture-small.log`). Never silently
+            // substitute another dataset's log — user ids are node ids, so
+            // a mismatched log would "learn" plausible-looking garbage.
+            let candidate = loaded.source.with_extension("log");
+            if !candidate.exists() {
+                eprintln!(
+                    "error: no action log at {} — pass one explicitly with --log PATH \
+                     (the committed corpus ships tests/fixtures/fixture-small.log)",
+                    candidate.display()
+                );
+                std::process::exit(2);
+            }
+            candidate
+        });
+    let log = std::fs::File::open(&log_path)
+        .map_err(comic_actionlog::LogError::Io)
+        .and_then(comic_actionlog::io::read_log)
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot read action log {}: {e}", log_path.display());
+            std::process::exit(2);
+        });
+
+    println!(
+        "learning on '{}' ({} nodes, {} edges) from {} ({} records), threads={}",
+        loaded.name,
+        loaded.graph.num_nodes(),
+        loaded.graph.num_edges(),
+        log_path.display(),
+        log.len(),
+        scale.threads,
+    );
+
+    let cfg = InfluenceLearnConfig {
+        tau,
+        default_p,
+        threads: scale.threads,
+    };
+    let (learned, secs) = timed(|| comic_actionlog::learn_influence(&loaded.graph, &log, &cfg));
+    let informative = learned.edges().filter(|(_, e)| e.p > default_p).count();
+    let mean_p = learned.edges().map(|(_, e)| e.p).sum::<f64>() / learned.num_edges().max(1) as f64;
+    println!(
+        "influence: done in {} — {informative}/{} informative edges, mean p {mean_p:.4}, \
+         learned-graph digest {:#018x}",
+        fmt_secs(secs),
+        learned.num_edges(),
+        graph_digest(&learned),
+    );
+
+    let gap_cfg = GapLearnConfig {
+        threads: scale.threads,
+    };
+    let (gaps, gsecs) = timed(|| learn_gaps_with(&log, ItemId(0), ItemId(1), &gap_cfg));
+    match gaps {
+        Ok(l) => println!(
+            "gaps (items 0/1) in {}: q_A|0 = {}, q_A|B = {}, q_B|0 = {}, q_B|A = {}",
+            fmt_secs(gsecs),
+            l.q_a0,
+            l.q_ab,
+            l.q_b0,
+            l.q_ba
+        ),
+        Err(e) => println!("gaps (items 0/1): not learnable from this log ({e})"),
+    }
+}

@@ -26,7 +26,10 @@
 
 use comic_core::Gap;
 use comic_graph::gen::{chung_lu, ChungLuConfig};
-use comic_graph::io::{graph_digest, read_binary, read_edge_list_report, write_binary};
+use comic_graph::io::{
+    graph_digest, read_binary_for_source, read_edge_list_report, source_digest,
+    write_binary_with_source,
+};
 use comic_graph::prob::ProbModel;
 use comic_graph::scc::largest_scc;
 use comic_graph::stats::{stats_with_merged, GraphStats};
@@ -427,27 +430,16 @@ pub fn data_root() -> PathBuf {
 /// model (its [`ProbAssignment::file_tag`]), its seed, and the source's
 /// byte length — a different model, seed, or re-downloaded file of another
 /// size resolves to a different cache file, so one can never be mistaken
-/// for the other. (A same-length replacement is caught by the mtime check
-/// in the loader unless the new file's timestamp was deliberately kept
-/// older, e.g. `cp -p` — see the ROADMAP caveat.)
+/// for the other. Same-length replacements are caught by the **source
+/// content digest** embedded in the `COMICGRB` v3 header, which the loader
+/// verifies on every cache hit — no mtime heuristics, so even a `cp -p`
+/// replacement (same length, deliberately preserved older timestamp) is
+/// detected and the cache rebuilt.
 pub fn cache_path_for(source: &Path, prob_tag: &str, prob_seed: u64) -> PathBuf {
     let len = std::fs::metadata(source).map(|m| m.len()).unwrap_or(0);
     let mut os = source.as_os_str().to_os_string();
     os.push(format!(".{prob_tag}-{prob_seed:x}-{len:x}.cache"));
     PathBuf::from(os)
-}
-
-/// A cache is fresh when it exists and is not older than its source file
-/// (an edited or re-downloaded source invalidates the cache by mtime; a
-/// filesystem without mtimes falls back to trusting the digest check).
-fn cache_is_fresh(cache: &Path, source: &Path) -> bool {
-    let (Ok(c), Ok(s)) = (std::fs::metadata(cache), std::fs::metadata(source)) else {
-        return false;
-    };
-    match (c.modified(), s.modified()) {
-        (Ok(cm), Ok(sm)) => cm >= sm,
-        _ => true,
-    }
 }
 
 /// Whether and how the binary cache participates in a load.
@@ -713,13 +705,21 @@ fn load_file(
     cache: CacheMode,
 ) -> Result<LoadedDataset, DatasetError> {
     let cache_file = cache_path_for(source, &choice.file_tag(), prob_seed);
-    if cache == CacheMode::Use && cache_is_fresh(&cache_file, source) {
+    // Hash the source text up front: the digest keys both the cache-hit
+    // staleness check (v3 headers embed it) and the provenance recorded on
+    // a rebuild. Hashing is a single sequential read — far cheaper than
+    // parsing, and the price of making staleness a *content* property
+    // instead of an mtime guess.
+    let src_bytes = std::fs::read(source).map_err(GraphError::Io)?;
+    let src_digest = source_digest(&src_bytes);
+    if cache == CacheMode::Use {
         // A stale or corrupt cache (bad magic, old version, digest
-        // mismatch, short file) is not fatal — fall through and rebuild it
-        // from the source text.
+        // mismatch, short file, or a source content change — including the
+        // same-length `cp -p` replacement the old mtime check missed) is
+        // not fatal — fall through and rebuild it from the source text.
         if let Ok(graph) = File::open(&cache_file)
             .map_err(GraphError::Io)
-            .and_then(read_binary)
+            .and_then(|f| read_binary_for_source(f, src_digest))
         {
             let digest = graph_digest(&graph);
             return Ok(LoadedDataset {
@@ -735,7 +735,7 @@ fn load_file(
         }
     }
 
-    let rep = read_edge_list_report(File::open(source).map_err(GraphError::Io)?)?;
+    let rep = read_edge_list_report(&src_bytes[..])?;
     let graph = choice.resolve(&rep.graph).apply(&rep.graph, prob_seed);
     let digest = graph_digest(&graph);
     if cache != CacheMode::Off {
@@ -745,7 +745,7 @@ fn load_file(
         let tmp = cache_file.with_extension("cache.tmp");
         let write = File::create(&tmp)
             .map_err(GraphError::Io)
-            .and_then(|f| write_binary(&graph, f))
+            .and_then(|f| write_binary_with_source(&graph, src_digest, f))
             .and_then(|()| std::fs::rename(&tmp, &cache_file).map_err(GraphError::Io));
         if let Err(e) = write {
             let _ = std::fs::remove_file(&tmp);
@@ -983,6 +983,46 @@ mod tests {
         assert!(!healed.from_cache);
         assert_eq!(healed.digest, cold.digest);
         assert_eq!(std::fs::read(&healed.cache).unwrap(), cache_bytes);
+    }
+
+    /// The ROADMAP's one undetected staleness case, closed by the v3
+    /// source digest: replace the source with a same-length file whose
+    /// mtime is deliberately kept older than the cache (`cp -p`). The old
+    /// mtime heuristic served the stale cache; the content hash rebuilds.
+    #[test]
+    fn same_length_older_mtime_replacement_is_detected() {
+        let v1 = "0 1 0.25\n1 2 0.25\n";
+        let v2 = "0 1 0.75\n1 2 0.75\n"; // same byte length, new content
+        assert_eq!(v1.len(), v2.len());
+        let path = temp_dataset("cp-p", v1);
+        let arg = path.to_str().unwrap();
+
+        let cold = load_with(arg, CacheMode::Use).unwrap();
+        assert!(!cold.from_cache);
+        let warm = load_with(arg, CacheMode::Use).unwrap();
+        assert!(warm.from_cache, "sanity: unchanged source hits the cache");
+
+        // Replace the content but push the source mtime well behind the
+        // cache's, simulating `cp -p old-backup graph.txt`.
+        std::fs::write(&path, v2).unwrap();
+        let older = std::time::SystemTime::now() - std::time::Duration::from_secs(3_600);
+        std::fs::File::options()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_times(std::fs::FileTimes::new().set_modified(older))
+            .unwrap();
+
+        let healed = load_with(arg, CacheMode::Use).unwrap();
+        assert!(
+            !healed.from_cache,
+            "stale cache with older-mtime source must be rebuilt"
+        );
+        assert_ne!(healed.digest, cold.digest, "new content, new graph");
+        // And the rebuilt cache serves the new content from then on.
+        let warm2 = load_with(arg, CacheMode::Use).unwrap();
+        assert!(warm2.from_cache);
+        assert_eq!(warm2.digest, healed.digest);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::datasets::{DataSource, Dataset};
 use crate::report::{pm, Table};
 use crate::Scale;
 use comic_actionlog::synth::{synthesize_pair_log, SynthConfig};
-use comic_actionlog::{learn_gaps, ItemId};
+use comic_actionlog::{learn_gaps_with, GapLearnConfig, ItemId};
 use comic_core::Gap;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -160,7 +160,14 @@ pub fn run(scale: &Scale, source: &DataSource) -> String {
             },
             &mut rng,
         );
-        match learn_gaps(&log, ItemId(0), ItemId(1)) {
+        match learn_gaps_with(
+            &log,
+            ItemId(0),
+            ItemId(1),
+            &GapLearnConfig {
+                threads: scale.threads,
+            },
+        ) {
             Ok(l) => {
                 let covered = [
                     l.q_a0.covers(truth.q_a0),

@@ -1,0 +1,383 @@
+//! The thread-count-invariance test harness: one enforced API for the
+//! workspace's determinism contract.
+//!
+//! Every parallel subsystem in the repo promises one of two things:
+//!
+//! 1. **Thread-count invariance** — the output is byte-identical for every
+//!    worker count at a fixed seed. This is the contract of the learning
+//!    layer (`comic_actionlog::{learn_influence, learn_gaps_with}`), the
+//!    parallel generators (`comic_graph::gen::par`), and the seed-selection
+//!    engine (`comic_ris::select`: index builds and CELF sweeps). Checked
+//!    by [`assert_thread_invariance`] / [`check_thread_invariance`].
+//! 2. **Per-configuration reproducibility** — the output is byte-identical
+//!    when the *same* `(seed, threads)` pair is run twice, though different
+//!    thread counts legitimately produce different (equally distributed)
+//!    samples. This is the contract of RR-set generation
+//!    (`comic_ris::parallel::ShardedGenerator`) and spread estimation,
+//!    where per-shard RNG streams are keyed by shard id and the shard count
+//!    *is* the thread count. Checked by [`assert_reproducible`].
+//!
+//! Before this module each crate hand-rolled ad-hoc versions of these
+//! assertions; the harness turns them into one API so a new parallel code
+//! path gets the whole matrix (threads ∈ {1, 2, 4, 7} by default,
+//! overridable via `COMIC_TEST_THREADS=1,4` for CI's thread-matrix step)
+//! with two lines of test code. The subject under test is any
+//! `Fn(threads) -> T` with `T: Hash + PartialEq`; results are compared
+//! both structurally and by Fx digest, and the digests are reported so a
+//! violation message pinpoints the diverging thread count.
+
+use comic_graph::fasthash::FxHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The default worker-count matrix: sequential, even splits, and a prime
+/// that exercises uneven shard remainders.
+pub const DEFAULT_THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// The thread matrix in effect: `COMIC_TEST_THREADS` (a comma-separated
+/// list, e.g. `1,4`) when set and parseable, [`DEFAULT_THREAD_COUNTS`]
+/// otherwise. CI's thread-matrix step pins this so the same suite runs
+/// under different matrices without recompiling.
+pub fn thread_counts() -> Vec<usize> {
+    match std::env::var("COMIC_TEST_THREADS") {
+        Ok(raw) => parse_thread_counts(&raw),
+        Err(_) => DEFAULT_THREAD_COUNTS.to_vec(),
+    }
+}
+
+/// Parse a `COMIC_TEST_THREADS`-style matrix (`"1,4"`); an unparseable or
+/// empty list falls back to [`DEFAULT_THREAD_COUNTS`]. Split out from
+/// [`thread_counts`] so it is testable without mutating the process
+/// environment (which would race parallel tests and strip CI's pin).
+pub fn parse_thread_counts(raw: &str) -> Vec<usize> {
+    let parsed: Vec<usize> = raw
+        .split(',')
+        .filter_map(|tok| tok.trim().parse().ok())
+        .filter(|&t| t >= 1)
+        .collect();
+    if parsed.is_empty() {
+        DEFAULT_THREAD_COUNTS.to_vec()
+    } else {
+        parsed
+    }
+}
+
+/// Fx digest of any hashable value — the harness's comparison currency,
+/// also handy for callers that want to log what a run produced.
+pub fn digest<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// A passed check: which thread counts ran and the digest each produced
+/// (all equal, by construction, for the invariance check).
+#[derive(Clone, Debug)]
+pub struct InvarianceReport {
+    /// Label the caller gave the subject under test.
+    pub label: String,
+    /// `(threads, digest)` per run, in matrix order.
+    pub digests: Vec<(usize, u64)>,
+}
+
+/// A failed check: the first thread count whose result diverged from the
+/// baseline.
+#[derive(Clone, Debug)]
+pub struct InvarianceViolation {
+    /// Label the caller gave the subject under test.
+    pub label: String,
+    /// Thread count of the baseline run (first in the matrix).
+    pub baseline_threads: usize,
+    /// Digest of the baseline result.
+    pub baseline_digest: u64,
+    /// First diverging thread count.
+    pub offender_threads: usize,
+    /// Digest of the diverging result.
+    pub offender_digest: u64,
+}
+
+impl fmt::Display for InvarianceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: threads={} produced {:#018x}, but threads={} produced {:#018x} — \
+             output depends on the worker count",
+            self.label,
+            self.baseline_threads,
+            self.baseline_digest,
+            self.offender_threads,
+            self.offender_digest
+        )
+    }
+}
+
+impl std::error::Error for InvarianceViolation {}
+
+/// Run `subject` once per entry of `threads` and verify every result is
+/// identical (structurally via `PartialEq` and by Fx digest) to the first.
+///
+/// Returns the per-thread digests on success, the first divergence
+/// otherwise. [`assert_thread_invariance`] is the panicking wrapper tests
+/// want.
+pub fn check_thread_invariance<T, F>(
+    label: &str,
+    threads: &[usize],
+    subject: F,
+) -> Result<InvarianceReport, InvarianceViolation>
+where
+    T: Hash + PartialEq,
+    F: Fn(usize) -> T,
+{
+    assert!(!threads.is_empty(), "empty thread matrix for {label}");
+    let baseline = subject(threads[0]);
+    let baseline_digest = digest(&baseline);
+    let mut digests = vec![(threads[0], baseline_digest)];
+    for &t in &threads[1..] {
+        let run = subject(t);
+        let d = digest(&run);
+        if run != baseline || d != baseline_digest {
+            return Err(InvarianceViolation {
+                label: label.to_string(),
+                baseline_threads: threads[0],
+                baseline_digest,
+                offender_threads: t,
+                offender_digest: d,
+            });
+        }
+        digests.push((t, d));
+    }
+    Ok(InvarianceReport {
+        label: label.to_string(),
+        digests,
+    })
+}
+
+/// [`check_thread_invariance`] over the ambient [`thread_counts`] matrix,
+/// panicking with the violation message on divergence.
+pub fn assert_thread_invariance<T, F>(label: &str, subject: F) -> InvarianceReport
+where
+    T: Hash + PartialEq,
+    F: Fn(usize) -> T,
+{
+    match check_thread_invariance(label, &thread_counts(), subject) {
+        Ok(report) => report,
+        Err(v) => panic!("thread-count invariance violated — {v}"),
+    }
+}
+
+/// The weaker contract for subsystems whose sample streams are keyed by
+/// shard id (RR generation, spread estimation): for each thread count in
+/// the ambient matrix, running `subject` twice must produce identical
+/// results. Panics on the first non-reproducible configuration.
+pub fn assert_reproducible<T, F>(label: &str, subject: F) -> InvarianceReport
+where
+    T: Hash + PartialEq,
+    F: Fn(usize) -> T,
+{
+    let mut digests = Vec::new();
+    for t in thread_counts() {
+        let first = subject(t);
+        let again = subject(t);
+        let (d1, d2) = (digest(&first), digest(&again));
+        assert!(
+            first == again && d1 == d2,
+            "{label}: two runs at threads={t} disagree ({d1:#018x} vs {d2:#018x}) — \
+             the (seed, threads) reproducibility contract is broken"
+        );
+        digests.push((t, d1));
+    }
+    InvarianceReport {
+        label: label.to_string(),
+        digests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comic_actionlog::synth::{synthesize_pair_log, SynthConfig};
+    use comic_actionlog::{
+        learn_gaps_with, learn_influence, GapLearnConfig, InfluenceLearnConfig, ItemId,
+    };
+    use comic_core::gap::Gap;
+    use comic_graph::gen::{self, ParGen};
+    use comic_graph::io::graph_digest;
+    use comic_graph::prob::ProbModel;
+    use comic_ris::ic_sampler::IcRrSampler;
+    use comic_ris::parallel::ShardedGenerator;
+    use comic_ris::select::{CelfGreedy, CoverageIndex, SeedSelector};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn test_graph(n: usize, m: usize, seed: u64) -> comic_graph::DiGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let topo = gen::gnm(n, m, &mut rng).unwrap();
+        ProbModel::Constant(0.3).apply(&topo, &mut rng)
+    }
+
+    #[test]
+    fn harness_passes_an_invariant_subject_and_reports_digests() {
+        let counts = thread_counts();
+        let report = assert_thread_invariance("sum", |t| {
+            // Thread count changes scheduling, not the value.
+            comic_graph::par::run_sharded(10, t, |i| i as u64)
+                .into_iter()
+                .sum::<u64>()
+        });
+        assert_eq!(report.digests.len(), counts.len());
+        assert!(report.digests.windows(2).all(|w| w[0].1 == w[1].1));
+        assert_eq!(report.label, "sum");
+    }
+
+    #[test]
+    fn harness_catches_a_thread_dependent_subject() {
+        let err = check_thread_invariance("leaky", &[1, 2, 4], |t| t * 100)
+            .expect_err("a thread-dependent result must be flagged");
+        assert_eq!(err.baseline_threads, 1);
+        assert_eq!(err.offender_threads, 2);
+        let msg = err.to_string();
+        assert!(msg.contains("leaky"), "{msg}");
+        assert!(msg.contains("threads=2"), "{msg}");
+    }
+
+    #[test]
+    fn env_override_shapes_the_matrix() {
+        // The env var itself is CI's to set (and process-global, so tests
+        // must not mutate it); the parser carries the whole contract.
+        assert_eq!(parse_thread_counts("1, 3,9"), vec![1, 3, 9]);
+        assert_eq!(parse_thread_counts("4"), vec![4]);
+        assert_eq!(
+            parse_thread_counts("garbage"),
+            DEFAULT_THREAD_COUNTS.to_vec()
+        );
+        assert_eq!(parse_thread_counts(""), DEFAULT_THREAD_COUNTS.to_vec());
+        // Zero workers is meaningless for a matrix entry and is dropped.
+        assert_eq!(parse_thread_counts("0,2"), vec![2]);
+    }
+
+    /// Learning: `learn_influence` is thread-count invariant on a
+    /// synthesized log (the tentpole contract, via the shared harness).
+    #[test]
+    fn influence_learning_is_thread_invariant() {
+        let g = test_graph(80, 500, 3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let log = synthesize_pair_log(
+            &g,
+            Gap::classic_ic(),
+            ItemId(0),
+            ItemId(1),
+            &SynthConfig {
+                sessions: 60,
+                seeds_per_item: 3,
+                fresh_cohorts: false,
+            },
+            &mut rng,
+        );
+        assert_thread_invariance("learn_influence", |threads| {
+            graph_digest(&learn_influence(
+                &g,
+                &log,
+                &InfluenceLearnConfig {
+                    tau: 100_000,
+                    default_p: 0.01,
+                    threads,
+                },
+            ))
+        });
+    }
+
+    /// Learning: `learn_gaps_with` is thread-count invariant.
+    #[test]
+    fn gap_learning_is_thread_invariant() {
+        let g = test_graph(60, 400, 5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let truth = Gap::new(0.5, 0.75, 0.5, 0.75).unwrap();
+        let log = synthesize_pair_log(
+            &g,
+            truth,
+            ItemId(0),
+            ItemId(1),
+            &SynthConfig {
+                sessions: 150,
+                seeds_per_item: 3,
+                fresh_cohorts: true,
+            },
+            &mut rng,
+        );
+        assert_thread_invariance("learn_gaps", |threads| {
+            let l = learn_gaps_with(&log, ItemId(0), ItemId(1), &GapLearnConfig { threads })
+                .expect("synthetic log has every denominator");
+            [
+                l.q_a0.value.to_bits(),
+                l.q_ab.value.to_bits(),
+                l.q_b0.value.to_bits(),
+                l.q_ba.value.to_bits(),
+                l.q_a0.samples as u64,
+                l.q_ab.samples as u64,
+                l.q_b0.samples as u64,
+                l.q_ba.samples as u64,
+            ]
+        });
+    }
+
+    /// Generation: every parallel generator through the harness.
+    #[test]
+    fn generators_are_thread_invariant() {
+        assert_thread_invariance("gnp_par", |t| {
+            graph_digest(&gen::gnp_par(1_500, 0.004, &ParGen::with_threads(11, t)).unwrap())
+        });
+        assert_thread_invariance("gnm_par", |t| {
+            graph_digest(&gen::gnm_par(700, 4_000, &ParGen::with_threads(12, t)).unwrap())
+        });
+        assert_thread_invariance("chung_lu_par", |t| {
+            let cfg = gen::ChungLuConfig {
+                n: 1_000,
+                target_edges: 5_000,
+                exponent: 2.16,
+            };
+            graph_digest(&gen::chung_lu_par(&cfg, &ParGen::with_threads(13, t)).unwrap())
+        });
+        assert_thread_invariance("watts_strogatz_par", |t| {
+            graph_digest(
+                &gen::watts_strogatz_par(600, 3, 0.25, &ParGen::with_threads(14, t)).unwrap(),
+            )
+        });
+        assert_thread_invariance("barabasi_albert_par", |t| {
+            graph_digest(&gen::barabasi_albert_par(400, 3, &ParGen::with_threads(15, t)).unwrap())
+        });
+    }
+
+    /// RR generation: the weaker `(seed, threads)` reproducibility
+    /// contract, through the harness's second mode.
+    #[test]
+    fn rr_generation_is_reproducible_per_configuration() {
+        let g = test_graph(100, 600, 7);
+        assert_reproducible("sharded_rr_generation", |threads| {
+            let store =
+                ShardedGenerator::new(|| IcRrSampler::new(&g), 21, threads).generate(400, 4);
+            let mut acc: Vec<u64> = Vec::with_capacity(store.len() * 2);
+            for i in 0..store.len() {
+                acc.push(store.width(i));
+                acc.extend(store.set(i).iter().map(|v| v.0 as u64));
+            }
+            acc
+        });
+    }
+
+    /// Seed selection: given a fixed RR-set store, index builds and CELF
+    /// sweeps are fully thread-count invariant.
+    #[test]
+    fn seed_selection_is_thread_invariant() {
+        let g = test_graph(120, 700, 8);
+        let store = ShardedGenerator::new(|| IcRrSampler::new(&g), 9, 1).generate(3_000, 4);
+        let n = g.num_nodes();
+        assert_thread_invariance("coverage_index+celf", |threads| {
+            let index = CoverageIndex::build(&store, n, threads);
+            let sol = CelfGreedy { threads }.select(&index, &store, 10);
+            let mut acc: Vec<u64> = sol.seeds.iter().map(|s| s.0 as u64).collect();
+            acc.push(sol.covered);
+            acc.extend(sol.marginals.iter().copied());
+            acc
+        });
+    }
+}

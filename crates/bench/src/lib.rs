@@ -9,6 +9,9 @@
 //!   synthetic stand-ins for Flixster / Douban-Book / Douban-Movie /
 //!   Last.fm matched to Table 1's scale and degree profile (see DESIGN.md
 //!   §2), at a scaled-down default size with `--full` for paper scale.
+//! * [`invariance`] — the thread-count-invariance test harness enforcing
+//!   the workspace determinism contract (learning, generation,
+//!   RR-generation, seed selection) as one API.
 //! * [`report`] — plain-text table/series rendering shaped like the paper's
 //!   tables, plus CSV output.
 //! * [`runtime`] — wall-clock measurement helpers.
@@ -26,6 +29,7 @@ use std::sync::Arc;
 
 pub mod datasets;
 pub mod exp;
+pub mod invariance;
 pub mod report;
 pub mod runtime;
 

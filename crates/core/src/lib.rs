@@ -50,6 +50,7 @@ pub mod state;
 pub use error::ModelError;
 pub use gap::{Gap, Regime};
 pub use item::Item;
+pub use possible_world::MemoStats;
 pub use seeds::SeedPair;
 pub use simulate::{CascadeEngine, CascadeStats};
 pub use spread::{SpreadEstimate, SpreadEstimator};

@@ -23,6 +23,51 @@ use comic_graph::scratch::StampedVec;
 use comic_graph::{EdgeId, NodeId};
 use rand::{Rng, RngExt};
 
+/// Memoization pressure counters of a [`LazyWorld`]: how many quantity
+/// probes were served from the memo (`hits`) versus freshly sampled
+/// (`misses`).
+///
+/// The counters accumulate across worlds ([`LazyWorld::reset`] does *not*
+/// zero them — resetting forgets samples, not telemetry), so a long
+/// RR-generation run can be summarized with one read. A high hit rate means
+/// the same coins are being re-probed (e.g. RR-CIM's case-4 `S_f ∩ S_b`
+/// loop test re-walking edges the primary search already flipped); a low
+/// one means the memo is mostly paying its cost for nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Probes answered from the memo.
+    pub hits: u64,
+    /// Probes that sampled a fresh value.
+    pub misses: u64,
+}
+
+impl MemoStats {
+    /// Total probes.
+    pub fn probes(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// `hits / probes`, or 0 when nothing was probed.
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.probes() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for MemoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} probes, {:.1}% memo hits",
+            self.probes(),
+            100.0 * self.hit_rate()
+        )
+    }
+}
+
 /// Lazily-sampled possible world state over a graph with `n` nodes and `m`
 /// edges. `reset` is O(1).
 #[derive(Debug)]
@@ -32,6 +77,7 @@ pub struct LazyWorld {
     live: StampedVec<bool>,
     prio: StampedVec<u64>,
     tau: StampedVec<bool>,
+    stats: MemoStats,
 }
 
 impl LazyWorld {
@@ -43,16 +89,38 @@ impl LazyWorld {
             live: StampedVec::new(m),
             prio: StampedVec::new(m),
             tau: StampedVec::new(n),
+            stats: MemoStats::default(),
         }
     }
 
-    /// Start a fresh world (forget all memoized samples) in O(1).
+    /// Start a fresh world (forget all memoized samples) in O(1). The
+    /// [`MemoStats`] counters survive — see their docs.
     pub fn reset(&mut self) {
         self.alpha_a.clear();
         self.alpha_b.clear();
         self.live.clear();
         self.prio.clear();
         self.tau.clear();
+    }
+
+    /// Accumulated memoization counters (across every world since the last
+    /// [`LazyWorld::reset_memo_stats`]).
+    pub fn memo_stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    /// Zero the memoization counters.
+    pub fn reset_memo_stats(&mut self) {
+        self.stats = MemoStats::default();
+    }
+
+    #[inline]
+    fn count(&mut self, hit: bool) {
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
     }
 
     /// The threshold `α_item(v)`, sampling it on first access.
@@ -62,15 +130,20 @@ impl LazyWorld {
             Item::A => &mut self.alpha_a,
             Item::B => &mut self.alpha_b,
         };
-        vec.get_or_insert_with(v.index(), || rng.random())
+        let (val, hit) = vec.probe_or_insert_with(v.index(), || rng.random());
+        self.count(hit);
+        val
     }
 
     /// Live/blocked status of edge `e` with probability `p`, sampling the
     /// coin on first access (each edge is tested at most once per world).
     #[inline]
     pub fn edge_live<R: Rng>(&mut self, e: EdgeId, p: f64, rng: &mut R) -> bool {
-        self.live
-            .get_or_insert_with(e.index(), || rng.random_bool(p))
+        let (val, hit) = self
+            .live
+            .probe_or_insert_with(e.index(), || rng.random_bool(p));
+        self.count(hit);
+        val
     }
 
     /// The status of `e` if it has already been tested in this world
@@ -86,14 +159,19 @@ impl LazyWorld {
     /// each node's informers.
     #[inline]
     pub fn priority<R: Rng>(&mut self, e: EdgeId, rng: &mut R) -> u64 {
-        self.prio.get_or_insert_with(e.index(), || rng.random())
+        let (val, hit) = self.prio.probe_or_insert_with(e.index(), || rng.random());
+        self.count(hit);
+        val
     }
 
     /// Seed-order coin `τ_v`: whether a dual seed adopts A before B.
     #[inline]
     pub fn tau<R: Rng>(&mut self, v: NodeId, rng: &mut R) -> bool {
-        self.tau
-            .get_or_insert_with(v.index(), || rng.random_bool(0.5))
+        let (val, hit) = self
+            .tau
+            .probe_or_insert_with(v.index(), || rng.random_bool(0.5));
+        self.count(hit);
+        val
     }
 
     /// Whether `v` would pass the adoption test for `item` in this world,
@@ -259,6 +337,33 @@ mod tests {
         assert_eq!(w.edge_status(EdgeId(1)), None);
         let p = w.priority(EdgeId(3), &mut rng);
         assert_eq!(w.priority(EdgeId(3), &mut rng), p);
+    }
+
+    #[test]
+    fn memo_stats_count_hits_and_survive_resets() {
+        let mut w = LazyWorld::new(4, 4);
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(w.memo_stats(), MemoStats::default());
+        w.alpha(Item::A, NodeId(1), &mut rng); // miss
+        w.alpha(Item::A, NodeId(1), &mut rng); // hit
+        w.edge_live(EdgeId(0), 0.5, &mut rng); // miss
+        w.edge_live(EdgeId(0), 0.5, &mut rng); // hit
+        w.priority(EdgeId(1), &mut rng); // miss
+        w.tau(NodeId(0), &mut rng); // miss
+        w.tau(NodeId(0), &mut rng); // hit
+        let s = w.memo_stats();
+        assert_eq!((s.hits, s.misses), (3, 4));
+        assert_eq!(s.probes(), 7);
+        assert!((s.hit_rate() - 3.0 / 7.0).abs() < 1e-12);
+        assert!(s.to_string().contains("memo hits"));
+        // reset() forgets samples but keeps telemetry...
+        w.reset();
+        w.alpha(Item::A, NodeId(1), &mut rng); // miss again (fresh world)
+        assert_eq!(w.memo_stats().misses, 5);
+        // ...while reset_memo_stats() zeroes it.
+        w.reset_memo_stats();
+        assert_eq!(w.memo_stats().probes(), 0);
+        assert_eq!(MemoStats::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -50,6 +50,16 @@ pub enum GraphError {
         /// Digest recomputed from the payload.
         found: u64,
     },
+    /// A binary cache was built from a source file whose content digest no
+    /// longer matches the file on disk: the cache is intact but **stale**
+    /// (e.g. the source was replaced by a same-length file with a
+    /// deliberately preserved older mtime, `cp -p`), and must be rebuilt.
+    StaleSource {
+        /// Digest of the source file as it exists now.
+        expected: u64,
+        /// Source digest recorded in the cache header at write time.
+        found: u64,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -77,6 +87,13 @@ impl fmt::Display for GraphError {
                 write!(
                     f,
                     "graph digest mismatch: header says {expected:#018x}, payload hashes to {found:#018x}"
+                )
+            }
+            GraphError::StaleSource { expected, found } => {
+                write!(
+                    f,
+                    "stale binary cache: source file now hashes to {expected:#018x} but the \
+                     cache was built from {found:#018x} — rebuild from source"
                 )
             }
         }

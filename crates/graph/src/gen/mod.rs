@@ -1,19 +1,23 @@
 //! Random-graph generators and deterministic gadget builders.
 //!
-//! All generators take an explicit RNG so that every experiment in the
-//! workspace is reproducible from a logged `u64` seed. Edge probabilities
+//! All sequential generators take an explicit RNG so that every experiment
+//! in the workspace is reproducible from a logged `u64` seed; the [`par`]
+//! variants are seed-addressed instead and build on all cores with
+//! byte-identical output for every thread count. Edge probabilities
 //! are *not* assigned here — generators produce topology with a placeholder
 //! probability of `1.0`; callers apply a [`crate::prob`] model afterwards
 //! (mirroring how the paper first obtains a network and then learns / assigns
 //! influence probabilities).
 
 mod gadgets;
+pub mod par;
 mod power_law;
 mod pref_attach;
 mod random;
 mod small_world;
 
 pub use gadgets::{complete, layered, path, ring, star, tree};
+pub use par::{barabasi_albert_par, chung_lu_par, gnm_par, gnp_par, watts_strogatz_par, ParGen};
 pub use power_law::{chung_lu, power_law_weights, ChungLuConfig};
 pub use pref_attach::barabasi_albert;
 pub use random::{gnm, gnp};

@@ -152,7 +152,27 @@ pub fn read_edge_list_report<R: Read>(r: R) -> Result<IngestReport, GraphError> 
 /// Magic prefix of the binary cache format.
 pub const BINARY_MAGIC: &[u8; 8] = b"COMICGRB";
 /// Newest binary format version this build writes and reads.
-pub const BINARY_FORMAT_VERSION: u32 = 2;
+///
+/// v3 added the source content digest to the header (closing the
+/// `cp -p` staleness hole — a same-length, older-mtime source replacement
+/// is caught by content, not metadata); v2 caches are rejected as
+/// [`GraphError::UnsupportedVersion`] and transparently rebuilt by the
+/// dataset loader.
+pub const BINARY_FORMAT_VERSION: u32 = 3;
+
+/// The sentinel meaning "no source file digest was recorded" (plain
+/// [`write_binary`] calls, where the graph is its own provenance).
+/// Staleness checking is skipped for such files.
+pub const NO_SOURCE_DIGEST: u64 = 0;
+
+/// Fx content digest of raw source bytes, as embedded in the v3 header:
+/// length-prefixed so that truncation plus zero-padding cannot collide.
+pub fn source_digest(bytes: &[u8]) -> u64 {
+    let mut h = crate::fasthash::FxHasher::default();
+    h.write_u64(bytes.len() as u64);
+    h.write(bytes);
+    h.finish()
+}
 
 /// Content digest of a graph: an Fx-hash fold over the node count and the
 /// canonical edge list (source, target, probability bits). Stored in the
@@ -170,16 +190,31 @@ pub fn graph_digest(g: &DiGraph) -> u64 {
     h.finish()
 }
 
-/// Write `g` in the versioned binary cache format: 8-byte magic, `u32`
-/// format version, `u64` node and edge counts, the `u64` [`graph_digest`],
-/// then `m` `(u32, u32, f64)` little-endian records in canonical order.
+/// Write `g` in the versioned binary cache format (see
+/// [`write_binary_with_source`]) with no source provenance recorded.
 pub fn write_binary<W: Write>(g: &DiGraph, w: W) -> Result<(), GraphError> {
+    write_binary_with_source(g, NO_SOURCE_DIGEST, w)
+}
+
+/// Write `g` in the v3 binary cache format: 8-byte magic, `u32` format
+/// version, `u64` node and edge counts, the `u64` [`source_digest`] of the
+/// text file this graph was built from ([`NO_SOURCE_DIGEST`] when there is
+/// none), a `u64` header digest covering the counts, the source digest and
+/// every record, then `m` `(u32, u32, f64)` little-endian records in
+/// canonical order. Every byte of the file after the magic is covered by a
+/// validated quantity, so arbitrary corruption is always detected.
+pub fn write_binary_with_source<W: Write>(
+    g: &DiGraph,
+    src_digest: u64,
+    w: W,
+) -> Result<(), GraphError> {
     let mut out = BufWriter::new(w);
     out.write_all(BINARY_MAGIC)?;
     out.write_all(&BINARY_FORMAT_VERSION.to_le_bytes())?;
     out.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
     out.write_all(&(g.num_edges() as u64).to_le_bytes())?;
-    out.write_all(&graph_digest(g).to_le_bytes())?;
+    out.write_all(&src_digest.to_le_bytes())?;
+    out.write_all(&file_digest(g, src_digest).to_le_bytes())?;
     for (_, e) in g.edges() {
         out.write_all(&e.source.0.to_le_bytes())?;
         out.write_all(&e.target.0.to_le_bytes())?;
@@ -189,12 +224,45 @@ pub fn write_binary<W: Write>(g: &DiGraph, w: W) -> Result<(), GraphError> {
     Ok(())
 }
 
-/// Read a graph written by [`write_binary`], validating the magic, the
-/// format version, and the content digest. Corruption anywhere in the file
-/// — header or payload — yields a typed [`GraphError`], never a panic:
-/// [`GraphError::Corrupt`] for a foreign magic, [`GraphError::UnsupportedVersion`]
-/// for a future format, [`GraphError::DigestMismatch`] for payload damage.
+/// The validated header digest of the v3 format: [`graph_digest`]'s fold
+/// with the source digest mixed in after the counts, so a flipped bit in
+/// the recorded provenance is caught exactly like one in the payload.
+fn file_digest(g: &DiGraph, src_digest: u64) -> u64 {
+    let mut h = crate::fasthash::FxHasher::default();
+    h.write_u64(g.num_nodes() as u64);
+    h.write_u64(g.num_edges() as u64);
+    h.write_u64(src_digest);
+    for (_, e) in g.edges() {
+        h.write_u32(e.source.0);
+        h.write_u32(e.target.0);
+        h.write_u64(e.p.to_bits());
+    }
+    h.finish()
+}
+
+/// Read a graph written by [`write_binary`] /
+/// [`write_binary_with_source`], validating the magic, the format version,
+/// and the content digest — but **not** source freshness. Corruption
+/// anywhere in the file — header or payload — yields a typed
+/// [`GraphError`], never a panic: [`GraphError::Corrupt`] for a foreign
+/// magic, [`GraphError::UnsupportedVersion`] for another format version,
+/// [`GraphError::DigestMismatch`] for header or payload damage.
 pub fn read_binary<R: Read>(r: R) -> Result<DiGraph, GraphError> {
+    read_binary_impl(r, None)
+}
+
+/// Like [`read_binary`], but additionally require that the cache was built
+/// from a source whose [`source_digest`] equals `expected_source`: the
+/// loader-facing staleness gate. A mismatch is the typed
+/// [`GraphError::StaleSource`] — the file is intact, just built from
+/// different content (the `cp -p` case the mtime heuristic could never
+/// see). Caches written without provenance ([`NO_SOURCE_DIGEST`]) skip the
+/// check.
+pub fn read_binary_for_source<R: Read>(r: R, expected_source: u64) -> Result<DiGraph, GraphError> {
+    read_binary_impl(r, Some(expected_source))
+}
+
+fn read_binary_impl<R: Read>(r: R, expected_source: Option<u64>) -> Result<DiGraph, GraphError> {
     let mut reader = BufReader::new(r);
     let mut magic = [0u8; 8];
     reader.read_exact(&mut magic)?;
@@ -219,16 +287,19 @@ pub fn read_binary<R: Read>(r: R) -> Result<DiGraph, GraphError> {
         return Err(GraphError::Corrupt(format!("implausible edge count {m}")));
     }
     reader.read_exact(&mut buf8)?;
+    let recorded_source = u64::from_le_bytes(buf8);
+    reader.read_exact(&mut buf8)?;
     let declared_digest = u64::from_le_bytes(buf8);
-    // Digest-as-we-read, mirroring [`graph_digest`] over the canonical
-    // records the writer emitted, and verify BEFORE building: corruption of
-    // the node count must surface as a typed mismatch, not as an attempt to
-    // allocate a 2^60-slot CSR. Allocations until then are bounded by the
-    // actual bytes present (a truncated file fails `read_exact` long before
-    // a lying `m` can reserve anything).
+    // Digest-as-we-read, mirroring the writer's fold over the canonical
+    // records, and verify BEFORE building: corruption of the node count
+    // must surface as a typed mismatch, not as an attempt to allocate a
+    // 2^60-slot CSR. Allocations until then are bounded by the actual
+    // bytes present (a truncated file fails `read_exact` long before a
+    // lying `m` can reserve anything).
     let mut h = crate::fasthash::FxHasher::default();
     h.write_u64(n as u64);
     h.write_u64(m as u64);
+    h.write_u64(recorded_source);
     let mut b = GraphBuilder::with_capacity(n, m.min(1 << 20));
     for _ in 0..m {
         reader.read_exact(&mut buf4)?;
@@ -248,6 +319,16 @@ pub fn read_binary<R: Read>(r: R) -> Result<DiGraph, GraphError> {
             expected: declared_digest,
             found,
         });
+    }
+    // Staleness only after integrity: a corrupt file is "corrupt", not
+    // "stale", even when the recorded source digest happens to differ.
+    if let Some(expected) = expected_source {
+        if recorded_source != NO_SOURCE_DIGEST && recorded_source != expected {
+            return Err(GraphError::StaleSource {
+                expected,
+                found: recorded_source,
+            });
+        }
     }
     b.build()
 }
@@ -414,11 +495,72 @@ mod tests {
         let g = gen::path(4, 0.5);
         let mut buf = Vec::new();
         write_binary(&g, &mut buf).unwrap();
-        buf[28] ^= 0x01; // inside the stored digest (bytes 28..36)
+        buf[28] ^= 0x01; // inside the recorded source digest (bytes 28..36)
         match read_binary(&buf[..]) {
             Err(GraphError::DigestMismatch { .. }) => {}
             other => panic!("expected DigestMismatch, got {other:?}"),
         }
+        // And inside the validated header digest itself (bytes 36..44).
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf[40] ^= 0x10;
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphError::DigestMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn v2_era_caches_are_rejected_as_unsupported() {
+        // A v2 header (no source digest) must not parse as v3: the version
+        // gate fires before any payload is touched, and the dataset loader
+        // rebuilds such caches from source.
+        let g = gen::path(3, 0.5);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf[8..12].copy_from_slice(&2u32.to_le_bytes());
+        match read_binary(&buf[..]) {
+            Err(GraphError::UnsupportedVersion {
+                found: 2,
+                supported: BINARY_FORMAT_VERSION,
+            }) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_source_is_a_typed_error_and_fresh_sources_pass() {
+        let g = gen::path(4, 0.5);
+        let src_v1 = b"0 1 0.5\n1 2 0.5\n2 3 0.5\n";
+        let d1 = source_digest(src_v1);
+        let mut buf = Vec::new();
+        write_binary_with_source(&g, d1, &mut buf).unwrap();
+        // Same source content: passes, and the plain reader doesn't care.
+        assert!(read_binary_for_source(&buf[..], d1).is_ok());
+        assert!(read_binary(&buf[..]).is_ok());
+        // A same-length, different-content replacement (the cp -p case).
+        let src_v2 = b"0 1 0.5\n1 2 0.9\n2 3 0.5\n";
+        assert_eq!(src_v1.len(), src_v2.len());
+        let d2 = source_digest(src_v2);
+        assert_ne!(d1, d2);
+        match read_binary_for_source(&buf[..], d2) {
+            Err(GraphError::StaleSource { expected, found }) => {
+                assert_eq!(expected, d2);
+                assert_eq!(found, d1);
+            }
+            other => panic!("expected StaleSource, got {other:?}"),
+        }
+        // Provenance-free caches skip the check entirely.
+        let mut anon = Vec::new();
+        write_binary(&g, &mut anon).unwrap();
+        assert!(read_binary_for_source(&anon[..], d2).is_ok());
+    }
+
+    #[test]
+    fn source_digest_is_length_prefixed() {
+        assert_ne!(source_digest(b"ab"), source_digest(b"ab\0"));
+        assert_ne!(source_digest(b""), source_digest(b"\0"));
+        assert_eq!(source_digest(b"xyz"), source_digest(b"xyz"));
     }
 
     #[test]

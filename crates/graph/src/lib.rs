@@ -34,6 +34,7 @@ pub mod error;
 pub mod fasthash;
 pub mod gen;
 pub mod io;
+pub mod par;
 pub mod prob;
 pub mod scc;
 pub mod scratch;

@@ -113,12 +113,24 @@ impl<T: Default + Clone> StampedVec<T> {
     where
         T: Copy,
     {
+        self.probe_or_insert_with(idx, f).0
+    }
+
+    /// Like [`StampedVec::get_or_insert_with`], but also report whether the
+    /// value was already memoized (`true` = hit, `false` = freshly
+    /// sampled). This is what lets `LazyWorld` meter its memoization
+    /// pressure without a second lookup.
+    #[inline]
+    pub fn probe_or_insert_with(&mut self, idx: usize, f: impl FnOnce() -> T) -> (T, bool)
+    where
+        T: Copy,
+    {
         if !self.contains(idx) {
             let v = f();
             self.set(idx, v);
-            v
+            (v, false)
         } else {
-            self.values[idx]
+            (self.values[idx], true)
         }
     }
 }

@@ -25,16 +25,11 @@ use comic_graph::fasthash::splitmix64;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-/// Resolve a `threads` knob: `0` means one worker per available core.
-pub fn resolve_threads(threads: usize) -> usize {
-    if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-}
+// The workspace-wide `threads` knob semantics now live at the bottom of the
+// crate graph (`comic_graph::par`), shared with the learning layer and the
+// parallel generators; this re-export keeps the long-standing RIS-side path
+// working.
+pub use comic_graph::par::resolve_threads;
 
 /// Parallel RR-set generator over per-thread sampler instances.
 ///

@@ -165,6 +165,7 @@ fn influence_learning_on_the_fixture_log_is_deterministic() {
         // credit across the 10^9 session stride (see comic_actionlog::synth).
         tau: 100_000,
         default_p: 0.0,
+        threads: 2,
     };
     let a = learn_influence(&d.graph, &log, &cfg);
     let b = learn_influence(&d.graph, &log, &cfg);

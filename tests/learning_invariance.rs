@@ -1,0 +1,163 @@
+//! The learning-layer determinism contract, enforced through the shared
+//! `comic_bench::invariance` harness: parallel learning ≡ sequential
+//! learning on *arbitrary* inputs (proptest), and the `LazyWorld`
+//! memoization-pressure regression probe on the committed fixture corpus.
+//!
+//! CI runs this suite under a pinned thread matrix
+//! (`COMIC_TEST_THREADS=1,4`) in addition to the default {1, 2, 4, 7}.
+
+use comic::actionlog::influence_learn::{learn_influence, InfluenceLearnConfig};
+use comic::actionlog::{
+    learn_gaps_with, Action, ActionLog, GapLearnConfig, ItemId, LogRecord, UserId,
+};
+use comic_bench::invariance::{assert_thread_invariance, thread_counts};
+use comic_graph::io::graph_digest;
+use comic_graph::DiGraph;
+use proptest::prelude::*;
+
+/// Strategy: a small random graph as an edge list (same shape as
+/// `tests/properties.rs`).
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (
+        2usize..24,
+        proptest::collection::vec((0u32..24, 0u32..24, 0.0f64..=1.0), 0..70),
+    )
+        .prop_map(|(n, edges)| {
+            let n = n.max(
+                edges
+                    .iter()
+                    .map(|&(a, b, _)| a.max(b) as usize + 1)
+                    .max()
+                    .unwrap_or(0),
+            );
+            let mut b = comic_graph::GraphBuilder::new(n);
+            for (u, v, p) in edges {
+                b.add_edge(u, v, p);
+            }
+            b.build().expect("arbitrary edges within range are valid")
+        })
+}
+
+/// Strategy: an arbitrary action log. User ids run past any graph size the
+/// companion strategy produces (users absent from the graph must be
+/// ignored), timestamps are drawn from a tiny range so duplicates are
+/// common, and both action kinds appear.
+fn arb_log() -> impl Strategy<Value = ActionLog> {
+    proptest::collection::vec((0u32..40, 0u32..6, 0u32..2, 0u64..60), 0..160).prop_map(|raw| {
+        ActionLog::from_records(
+            raw.into_iter()
+                .map(|(user, item, rated, t)| LogRecord {
+                    user: UserId(user),
+                    item: ItemId(item),
+                    action: if rated == 1 {
+                        Action::Rated
+                    } else {
+                        Action::Informed
+                    },
+                    t,
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `learn_influence` parallel ≡ sequential on arbitrary synthesized
+    /// logs: random graphs, duplicate timestamps, users absent from the
+    /// graph — byte-identical learned graphs for every thread count.
+    #[test]
+    fn influence_learning_parallel_equals_sequential(
+        g in arb_graph(),
+        log in arb_log(),
+        tau in 0u64..80,
+        default_p in 0.0f64..=0.5,
+    ) {
+        let report = assert_thread_invariance("learn_influence(proptest)", |threads| {
+            graph_digest(&learn_influence(
+                &g,
+                &log,
+                &InfluenceLearnConfig { tau, default_p, threads },
+            ))
+        });
+        prop_assert_eq!(report.digests.len(), thread_counts().len());
+    }
+
+    /// `learn_gaps_with` parallel ≡ sequential on arbitrary logs; starved
+    /// estimators must starve identically on every thread count.
+    #[test]
+    fn gap_learning_parallel_equals_sequential(log in arb_log()) {
+        prop_assume!(log.has_item(ItemId(0)) && log.has_item(ItemId(1)));
+        assert_thread_invariance("learn_gaps(proptest)", |threads| {
+            match learn_gaps_with(&log, ItemId(0), ItemId(1), &GapLearnConfig { threads }) {
+                Ok(l) => vec![
+                    1u64,
+                    l.q_a0.value.to_bits(),
+                    l.q_ab.value.to_bits(),
+                    l.q_b0.value.to_bits(),
+                    l.q_ba.value.to_bits(),
+                    l.q_a0.samples as u64,
+                    l.q_ab.samples as u64,
+                    l.q_b0.samples as u64,
+                    l.q_ba.samples as u64,
+                ],
+                // Starvation is part of the contract: encode which way it
+                // failed so a thread-dependent error would be caught.
+                Err(e) => vec![0u64, comic_bench::invariance::digest(&e.to_string())],
+            }
+        });
+    }
+}
+
+/// The ROADMAP's unprofiled corner, pinned: RR-CIM's `LazyWorld` memo
+/// pressure on `fixture-small` is surfaced through
+/// `RrCimSampler::memo_stats`, deterministic for a fixed seed, and sits in
+/// a stable band (the committed `BENCH_learning.json` snapshot records
+/// ~2% hits for this workload — re-probing is real but far from dominant,
+/// so the memo's O(1)-reset arrays, not its hit rate, are what pay).
+#[test]
+fn rr_cim_memo_pressure_on_fixture_small_is_surfaced_and_stable() {
+    use comic::algos::rr_cim::RrCimSampler;
+    use comic::model::Gap;
+    use comic::ris::sampler::RrSampler;
+    use comic_bench::datasets::{find_spec, load_spec, CacheMode};
+    use comic_graph::NodeId;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    let fixture = load_spec(
+        find_spec("fixture-small").expect("fixture-small is registered"),
+        CacheMode::Off,
+    )
+    .expect("committed fixture loads");
+    let g = &fixture.graph;
+    let gap = Gap::new(0.2, 0.8, 0.4, 1.0).expect("CIM-submodular GAP");
+    let run = || {
+        let mut sampler =
+            RrCimSampler::new(g, gap, (0..10u32).map(NodeId).collect()).expect("valid regime");
+        let mut rng = SmallRng::seed_from_u64(0xCA5E4);
+        let mut out = Vec::new();
+        for _ in 0..500 {
+            let root = NodeId(rng.random_range(0..g.num_nodes() as u32));
+            sampler.sample(root, &mut rng, &mut out);
+        }
+        sampler.memo_stats()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "memo pressure must be reproducible for a fixed seed");
+    assert!(
+        a.probes() > 100_000,
+        "case-4 sampling probes the memo hard: {a}"
+    );
+    assert!(
+        a.hits > 0,
+        "zero hits means memoization stopped working: {a}"
+    );
+    let rate = a.hit_rate();
+    assert!(
+        (0.002..=0.30).contains(&rate),
+        "memo hit rate drifted out of the regression band: {a}"
+    );
+}

@@ -274,6 +274,48 @@ proptest! {
         );
     }
 
+    /// The v3 source-provenance header: a cache written for one source
+    /// digest round-trips for that digest, is a typed `StaleSource` error
+    /// for any other (the `cp -p` replacement case), and single-bit
+    /// corruption of the recorded digest itself is caught as corruption,
+    /// never misread as staleness.
+    #[test]
+    fn stale_source_caches_are_rejected_typed(
+        g in arb_graph(),
+        src_words in proptest::collection::vec(0u32..=255, 1..200),
+        flip_bit in 0u32..8,
+    ) {
+        use comic::graph::io::{
+            read_binary_for_source, source_digest, write_binary_with_source,
+        };
+        use comic::graph::GraphError;
+        let src: Vec<u8> = src_words.iter().map(|&w| w as u8).collect();
+        let d = source_digest(&src);
+        let mut buf = Vec::new();
+        write_binary_with_source(&g, d, &mut buf).expect("serialize");
+        prop_assert!(read_binary_for_source(&buf[..], d).is_ok());
+        // A modified source (flip one bit of one byte) must be stale.
+        let mut other = src.clone();
+        other[0] ^= 1u8 << flip_bit;
+        let d2 = source_digest(&other);
+        prop_assert_ne!(d, d2);
+        match read_binary_for_source(&buf[..], d2) {
+            Err(GraphError::StaleSource { expected, found }) => {
+                prop_assert_eq!(expected, d2);
+                prop_assert_eq!(found, d);
+            }
+            other => prop_assert!(false, "expected StaleSource, got {:?}", other),
+        }
+        // Corrupting the *recorded* source digest (header bytes 28..36) is
+        // integrity damage, not staleness.
+        let mut corrupt = buf.clone();
+        corrupt[28] ^= 1u8 << flip_bit;
+        prop_assert!(matches!(
+            read_binary_for_source(&corrupt[..], d),
+            Err(GraphError::DigestMismatch { .. })
+        ));
+    }
+
     /// Truncating a cache anywhere strictly inside the file is an error.
     #[test]
     fn truncated_binary_cache_is_rejected(g in arb_graph(), cut_frac in 0.0f64..1.0) {
