@@ -43,6 +43,7 @@ pub mod ic_sampler;
 pub mod kpt;
 pub mod parallel;
 pub mod pipeline;
+pub mod pool;
 pub mod rr;
 pub mod sampler;
 pub mod select;
@@ -51,6 +52,7 @@ pub mod tim;
 pub use error::RisError;
 pub use parallel::ShardedGenerator;
 pub use pipeline::RisPipeline;
+pub use pool::SketchPool;
 pub use rr::RrStore;
 pub use sampler::RrSampler;
 pub use select::{CoverageIndex, SeedSelector, SelectorKind};

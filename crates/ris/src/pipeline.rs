@@ -24,11 +24,13 @@
 use crate::error::RisError;
 use crate::kpt::kpt_star_with_dims;
 use crate::parallel::ShardedGenerator;
+use crate::pool::SketchPool;
 use crate::rr::RrStore;
 use crate::sampler::RrSampler;
 use crate::select::{CoverageIndex, CoverageResult};
 use crate::tim::{theta, TimConfig, TimResult};
 use comic_graph::fasthash::splitmix64;
+use std::sync::Arc;
 
 /// The unified seed-selection engine (stages 1–4 above).
 ///
@@ -63,7 +65,30 @@ impl RisPipeline {
 
     /// Run all stages. `factory` builds one sampler per worker thread
     /// (plus one probe on the calling thread).
+    ///
+    /// Since the pool refactor this is literally
+    /// [`RisPipeline::generate_pool`] followed by
+    /// [`RisPipeline::run_on_pool`]: the pipeline *consumes* an immutable
+    /// sketch pool rather than owning generation, and this entry point is
+    /// the one-shot composition (generate, select once, drop the pool).
     pub fn run<S, F>(&self, factory: F) -> Result<TimResult, RisError>
+    where
+        S: RrSampler,
+        F: Fn() -> S + Sync,
+    {
+        let pool = self.generate_pool(factory)?;
+        self.run_on_pool(&pool)
+    }
+
+    /// Stages 1–3: KPT* estimation, θ, and sharded generation of θ RR-sets
+    /// into an immutable [`SketchPool`] that any number of later
+    /// [`RisPipeline::run_on_pool`] calls (possibly under different
+    /// configs, concurrently) can select over.
+    ///
+    /// Only `k`, `epsilon`, `ell`, `max_rr_sets`, `seed`, and `threads`
+    /// matter here; the pool records them as its provenance. The pool's
+    /// bytes are deterministic for a fixed `(seed, threads)` pair.
+    pub fn generate_pool<S, F>(&self, factory: F) -> Result<SketchPool, RisError>
     where
         S: RrSampler,
         F: Fn() -> S + Sync,
@@ -88,8 +113,39 @@ impl RisPipeline {
         let theta_seed = splitmix64(cfg.seed ^ 0x74_6865_7461);
         let store = ShardedGenerator::new(&factory, theta_seed, cfg.threads).generate(theta_n, avg);
 
-        // Stage 4: coverage index + selector.
-        Ok(assemble(n, cfg, kpt.kpt, theta_n, capped, &store))
+        Ok(SketchPool::new(
+            Arc::new(store),
+            n,
+            cfg.seed,
+            cfg.threads,
+            cfg.k,
+            cfg.epsilon,
+            kpt.kpt,
+            capped,
+        ))
+    }
+
+    /// Stage 4 alone over a pre-generated pool: build the coverage index
+    /// and run the configured selector, with **no RR-set regeneration** —
+    /// the warm path a resident query service answers from. Honors this
+    /// config's `k`, `selector`, and `threads` (selection is thread-count
+    /// invariant, so `threads` is purely a latency knob here); θ, KPT*,
+    /// and the capped flag come from the pool's provenance.
+    ///
+    /// Errors if `k` exceeds the pool's node count. See the
+    /// [`crate::pool`] docs for when the approximation guarantee carries
+    /// over to `k ≠ design_k` queries.
+    pub fn run_on_pool(&self, pool: &SketchPool) -> Result<TimResult, RisError> {
+        let cfg = &self.cfg;
+        cfg.validate(pool.num_nodes())?;
+        Ok(assemble(
+            pool.num_nodes(),
+            cfg,
+            pool.kpt(),
+            pool.len() as u64,
+            pool.capped(),
+            pool.store(),
+        ))
     }
 }
 
@@ -179,6 +235,62 @@ mod tests {
             assert_eq!(celf.covered, naive.covered);
             assert_eq!(celf.est_spread, naive.est_spread);
         }
+    }
+
+    #[test]
+    fn run_is_generate_pool_then_run_on_pool() {
+        // The one-shot path must be bit-identical to the decomposed one —
+        // the refactor's compatibility contract.
+        let g = test_graph();
+        let cfg = TimConfig::new(5).seed(9).max_rr_sets(25_000).threads(2);
+        let pipe = RisPipeline::new(cfg);
+        let oneshot = pipe.run(|| IcRrSampler::new(&g)).unwrap();
+        let pool = pipe.generate_pool(|| IcRrSampler::new(&g)).unwrap();
+        let pooled = pipe.run_on_pool(&pool).unwrap();
+        assert_eq!(oneshot.seeds, pooled.seeds);
+        assert_eq!(oneshot.theta, pooled.theta);
+        assert_eq!(oneshot.kpt, pooled.kpt);
+        assert_eq!(oneshot.covered, pooled.covered);
+        assert_eq!(oneshot.est_spread, pooled.est_spread);
+        assert_eq!(oneshot.capped, pooled.capped);
+        // Pool provenance mirrors the generating config.
+        assert_eq!(pool.design_k(), 5);
+        assert_eq!(pool.seed(), 9);
+        assert_eq!(pool.threads(), 2);
+        assert_eq!(pool.len() as u64, oneshot.theta);
+    }
+
+    #[test]
+    fn one_pool_answers_many_query_shapes_without_regeneration() {
+        let g = test_graph();
+        let pool = RisPipeline::new(TimConfig::new(10).seed(4).max_rr_sets(20_000))
+            .generate_pool(|| IcRrSampler::new(&g))
+            .unwrap();
+        // Different k, selector, and thread count — all over the same
+        // immutable pool; k-prefix consistency of greedy selection and
+        // selector/thread invariance both hold.
+        let r10 = RisPipeline::new(TimConfig::new(10).threads(4))
+            .run_on_pool(&pool)
+            .unwrap();
+        let r3 = RisPipeline::new(TimConfig::new(3).selector(SelectorKind::NaiveGreedy))
+            .run_on_pool(&pool)
+            .unwrap();
+        assert_eq!(r10.seeds[..3], r3.seeds[..]);
+        assert_eq!(r10.theta, pool.len() as u64);
+        // Budgeted (prefix) queries run over fewer sketches and say so.
+        let cut = pool.prefix(pool.len() / 2);
+        let rb = RisPipeline::new(TimConfig::new(3))
+            .run_on_pool(&cut)
+            .unwrap();
+        assert!(rb.capped);
+        assert_eq!(rb.theta, cut.len() as u64);
+        // Validation still applies against the pool's graph.
+        assert!(RisPipeline::new(TimConfig::new(0))
+            .run_on_pool(&pool)
+            .is_err());
+        assert!(RisPipeline::new(TimConfig::new(10_000))
+            .run_on_pool(&pool)
+            .is_err());
     }
 
     #[test]

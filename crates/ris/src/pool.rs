@@ -1,0 +1,253 @@
+//! Immutable, shareable RR-sketch pools — the pipeline's generation stages
+//! reified as a value.
+//!
+//! [`crate::pipeline::RisPipeline::run`] historically owned its RR-sets:
+//! every call re-estimated KPT*, re-sampled θ sets, selected seeds, and
+//! threw the sets away. A long-running service answering many queries over
+//! one resident graph wants the opposite ownership: sample **once** into a
+//! [`SketchPool`] ([`crate::pipeline::RisPipeline::generate_pool`], stages
+//! 1–3), then run the selection stage as many times as there are queries
+//! ([`crate::pipeline::RisPipeline::run_on_pool`], stage 4 only) with
+//! per-query `k`, selector, and budget — each query costs an index build
+//! plus a greedy sweep instead of millions of reverse BFS walks.
+//!
+//! A pool is immutable after construction and hands its [`RrStore`] around
+//! behind an [`Arc`], so any number of concurrent readers (query worker
+//! threads, a background refresher swapping in a successor pool) share one
+//! arena with no locks and no copies. The pool records the provenance
+//! needed to reason about an answer computed from it: the `(seed, threads)`
+//! pair that fixes the sample stream byte-for-byte, the design `k` and ε
+//! its θ was derived for, the KPT* estimate, and a caller-maintained
+//! `generation` counter for refresh bookkeeping.
+//!
+//! # Guarantee semantics
+//!
+//! θ is a function of `(n, design_k, ε, KPT*)` — Equation (3). Queries at
+//! `k ≤ design_k` over an uncapped pool keep the `(1 − 1/e − ε)` guarantee
+//! (their λ requirement is no larger); queries at larger `k`, with a
+//! [`SketchPool::prefix`] budget, or over a capped pool are best-effort
+//! estimates, exactly like a capped [`crate::tim::TimResult`].
+
+use crate::rr::RrStore;
+use comic_graph::NodeId;
+use std::sync::Arc;
+
+/// An immutable pool of pre-generated RR-sketches plus the provenance of
+/// their generation. Built by
+/// [`crate::pipeline::RisPipeline::generate_pool`] (or [`SketchPool::new`]
+/// for pre-sampled stores); consumed by
+/// [`crate::pipeline::RisPipeline::run_on_pool`] and
+/// [`SketchPool::estimate_spread`].
+#[derive(Clone, Debug)]
+pub struct SketchPool {
+    store: Arc<RrStore>,
+    n: usize,
+    seed: u64,
+    threads: usize,
+    design_k: usize,
+    epsilon: f64,
+    kpt: f64,
+    capped: bool,
+    generation: u64,
+}
+
+impl SketchPool {
+    /// Wrap a pre-sampled store. `n` is the node count of the graph the
+    /// sets were sampled over; `seed`/`threads` document the generation
+    /// configuration; `design_k`/`epsilon` the θ derivation; `kpt` the
+    /// KPT* estimate (pass 1.0 for stores not produced by the pipeline);
+    /// `capped` whether θ was clamped below Equation (3)'s bound.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        store: Arc<RrStore>,
+        n: usize,
+        seed: u64,
+        threads: usize,
+        design_k: usize,
+        epsilon: f64,
+        kpt: f64,
+        capped: bool,
+    ) -> SketchPool {
+        SketchPool {
+            store,
+            n,
+            seed,
+            threads,
+            design_k,
+            epsilon,
+            kpt,
+            capped,
+            generation: 0,
+        }
+    }
+
+    /// The shared RR-set arena.
+    pub fn store(&self) -> &RrStore {
+        &self.store
+    }
+
+    /// Another handle to the arena (no copy).
+    pub fn store_arc(&self) -> Arc<RrStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Number of sketches in the pool.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the pool holds no sketches.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Node count of the graph the sketches were sampled over.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The RNG seed the generation streams were derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The worker-thread count generation ran under. Together with
+    /// [`SketchPool::seed`] this fixes the pool's bytes (the
+    /// [`crate::parallel`] `(seed, threads)` contract).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The `k` the pool's θ was derived for.
+    pub fn design_k(&self) -> usize {
+        self.design_k
+    }
+
+    /// The ε the pool's θ was derived for.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The KPT* lower-bound estimate from generation.
+    pub fn kpt(&self) -> f64 {
+        self.kpt
+    }
+
+    /// Whether θ was clamped below Equation (3)'s bound.
+    pub fn capped(&self) -> bool {
+        self.capped
+    }
+
+    /// Caller-maintained refresh counter (0 for a fresh build).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Same pool with the generation counter replaced — for refresh
+    /// bookkeeping by resident-pool owners.
+    pub fn with_generation(mut self, generation: u64) -> SketchPool {
+        self.generation = generation;
+        self
+    }
+
+    /// A pool over only the first `sets` sketches — the per-query *budget*
+    /// knob: coarser, proportionally faster answers from the same samples.
+    /// O(members copied); the original pool is untouched. The truncated
+    /// pool is marked [`SketchPool::capped`].
+    pub fn prefix(&self, sets: usize) -> SketchPool {
+        if sets >= self.len() {
+            return self.clone();
+        }
+        SketchPool {
+            store: Arc::new(self.store.prefix(sets)),
+            capped: true,
+            ..self.clone()
+        }
+    }
+
+    /// RIS spread estimate for an explicit seed set: `n · (fraction of
+    /// sketches hit)`. This is the unbiased estimator of the sampler's
+    /// objective by the activation-equivalence property — a spread *query*
+    /// answered from pooled sketches with zero sampling.
+    ///
+    /// Seeds outside the graph are ignored (callers validate; see
+    /// `comic-serve`'s typed errors).
+    pub fn estimate_spread(&self, seeds: &[NodeId]) -> f64 {
+        let mut mark = vec![false; self.n];
+        for &s in seeds {
+            if s.index() < self.n {
+                mark[s.index()] = true;
+            }
+        }
+        self.n as f64 * self.store.coverage_fraction(&mark)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ic_sampler::IcRrSampler;
+    use crate::parallel::ShardedGenerator;
+    use comic_graph::gen;
+
+    fn pool_over_star() -> SketchPool {
+        let g = gen::star(40, 1.0);
+        let store = ShardedGenerator::new(|| IcRrSampler::new(&g), 9, 2).generate(1_000, 2);
+        SketchPool::new(Arc::new(store), 40, 9, 2, 5, 0.5, 1.0, false)
+    }
+
+    #[test]
+    fn accessors_report_provenance() {
+        let pool = pool_over_star();
+        assert_eq!(pool.len(), 1_000);
+        assert!(!pool.is_empty());
+        assert_eq!(pool.num_nodes(), 40);
+        assert_eq!((pool.seed(), pool.threads()), (9, 2));
+        assert_eq!(pool.design_k(), 5);
+        assert_eq!(pool.epsilon(), 0.5);
+        assert_eq!(pool.generation(), 0);
+        assert!(!pool.capped());
+        assert_eq!(pool.clone().with_generation(3).generation(), 3);
+    }
+
+    #[test]
+    fn estimate_spread_matches_coverage_fraction() {
+        let pool = pool_over_star();
+        // The hub of a certain star intersects every RR-set.
+        let hub = pool.estimate_spread(&[NodeId(0)]);
+        assert!((hub - 40.0).abs() < 1e-9, "hub spread {hub}");
+        // A leaf only covers sets rooted at itself (and via the hub root's
+        // set membership): strictly less than the hub.
+        let leaf = pool.estimate_spread(&[NodeId(1)]);
+        assert!(leaf < hub);
+        // Out-of-range seeds are ignored, not a panic.
+        assert_eq!(pool.estimate_spread(&[NodeId(10_000)]), 0.0);
+        assert_eq!(pool.estimate_spread(&[]), 0.0);
+    }
+
+    #[test]
+    fn prefix_truncates_and_marks_capped() {
+        let pool = pool_over_star();
+        let cut = pool.prefix(100);
+        assert_eq!(cut.len(), 100);
+        assert!(cut.capped());
+        assert_eq!(cut.num_nodes(), pool.num_nodes());
+        for i in 0..100 {
+            assert_eq!(cut.store().set(i), pool.store().set(i));
+            assert_eq!(cut.store().width(i), pool.store().width(i));
+        }
+        // A budget at or above the pool size is the identity (shared arena,
+        // no copy).
+        let same = pool.prefix(1_000_000);
+        assert_eq!(same.len(), pool.len());
+        assert!(!same.capped());
+        assert!(Arc::ptr_eq(&same.store, &pool.store));
+    }
+
+    #[test]
+    fn store_arc_shares_the_arena() {
+        let pool = pool_over_star();
+        let a = pool.store_arc();
+        assert!(Arc::ptr_eq(&a, &pool.store));
+    }
+}

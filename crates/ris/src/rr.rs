@@ -88,6 +88,20 @@ impl RrStore {
         self.widths.extend_from_slice(&other.widths);
     }
 
+    /// A store holding only the first `sets` sets — the flat-arena dual of
+    /// [`RrStore::absorb`], an O(members-copied) truncation with no per-set
+    /// work. Clamped to [`RrStore::len`]. Backs the per-query *budget* knob
+    /// of pooled selection (`comic_ris::pool::SketchPool::prefix`).
+    pub fn prefix(&self, sets: usize) -> RrStore {
+        let sets = sets.min(self.len());
+        let end = self.offsets[sets] as usize;
+        RrStore {
+            offsets: self.offsets[..=sets].to_vec(),
+            nodes: self.nodes[..end].to_vec(),
+            widths: self.widths[..sets].to_vec(),
+        }
+    }
+
     /// Number of stored sets.
     pub fn len(&self) -> usize {
         self.widths.len()
@@ -208,6 +222,31 @@ mod tests {
         assert_eq!(merged.len(), 5);
         assert_eq!(merged.set(3), sets[3]);
         assert_eq!(merged.width(3), whole.width(3));
+    }
+
+    #[test]
+    fn prefix_matches_a_fresh_store_of_the_leading_sets() {
+        let g = gen::path(6, 1.0);
+        let sets: [&[NodeId]; 4] = [
+            &[NodeId(0)],
+            &[NodeId(1), NodeId(2)],
+            &[],
+            &[NodeId(3), NodeId(4)],
+        ];
+        let mut whole = RrStore::new();
+        for s in sets {
+            whole.push(s, &g);
+        }
+        for cut in 0..=sets.len() {
+            let mut expect = RrStore::new();
+            for s in &sets[..cut] {
+                expect.push(s, &g);
+            }
+            assert_eq!(whole.prefix(cut), expect, "cut {cut}");
+        }
+        // Oversized prefix clamps to the whole store.
+        assert_eq!(whole.prefix(99), whole);
+        assert_eq!(RrStore::new().prefix(5), RrStore::new());
     }
 
     #[test]

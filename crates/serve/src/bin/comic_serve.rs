@@ -1,0 +1,185 @@
+//! `comic-serve` — the resident influence query service.
+//!
+//! Loads a dataset once, warms the configured sketch pools, then answers
+//! newline-delimited JSON requests on stdin/stdout (default) or a TCP
+//! listener (`--tcp`). See the README "Serving" section for the protocol.
+
+use comic_serve::protocol::PoolKey;
+use comic_serve::server::{serve_lines, TcpServer};
+use comic_serve::service::{ComicService, ServeConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+comic-serve — online influence query service (newline-delimited JSON)
+
+USAGE:
+  comic-serve [OPTIONS]
+
+OPTIONS:
+  --dataset <name|path[:model]>  dataset to load (default: fixture-small)
+  --seed <u64>                   service seed (default: 0xC0111C)
+  --gen-threads <n>              pool-generation workers; part of pool
+                                 identity, fixed per instance (default: 2)
+  --threads <n>                  query-time selection workers; latency-only
+                                 knob (default: 2)
+  --design-k <n>                 k the pools' theta derivation targets
+                                 (default: 50)
+  --max-rr <n|none>              sketch cap per pool (default: 200000)
+  --other-seeds <n>              'other item' seed count for the Com-IC
+                                 samplers (default: 10)
+  --pool <sampler/preset/tier>   pool to warm; repeatable (default: one
+                                 pool per sampler at the coarse tier)
+  --tcp <addr>                   serve on a TCP listener (e.g.
+                                 127.0.0.1:7717) instead of stdio
+  --refresh-ms <n>               background-refresh all pools every n ms
+  -h, --help                     this help
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("comic-serve: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServeConfig::new("fixture-small");
+    let mut pools: Vec<PoolKey> = Vec::new();
+    let mut tcp: Option<String> = None;
+    let mut refresh_ms: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--dataset" => match value("--dataset") {
+                Ok(v) => cfg.dataset = v,
+                Err(e) => return fail(&e),
+            },
+            "--seed" => {
+                match value("--seed").and_then(|v| v.parse().map_err(|e| format!("--seed: {e}"))) {
+                    Ok(v) => cfg.seed = v,
+                    Err(e) => return fail(&e),
+                }
+            }
+            "--gen-threads" => match value("--gen-threads")
+                .and_then(|v| v.parse().map_err(|e| format!("--gen-threads: {e}")))
+            {
+                Ok(v) => cfg.gen_threads = v,
+                Err(e) => return fail(&e),
+            },
+            "--threads" => match value("--threads")
+                .and_then(|v| v.parse().map_err(|e| format!("--threads: {e}")))
+            {
+                Ok(v) => cfg.threads = v,
+                Err(e) => return fail(&e),
+            },
+            "--design-k" => match value("--design-k")
+                .and_then(|v| v.parse().map_err(|e| format!("--design-k: {e}")))
+            {
+                Ok(v) => cfg.design_k = v,
+                Err(e) => return fail(&e),
+            },
+            "--max-rr" => match value("--max-rr") {
+                Ok(v) if v == "none" => cfg.max_rr_sets = None,
+                Ok(v) => match v.parse() {
+                    Ok(n) => cfg.max_rr_sets = Some(n),
+                    Err(e) => return fail(&format!("--max-rr: {e}")),
+                },
+                Err(e) => return fail(&e),
+            },
+            "--other-seeds" => match value("--other-seeds")
+                .and_then(|v| v.parse().map_err(|e| format!("--other-seeds: {e}")))
+            {
+                Ok(v) => cfg.other_seeds = v,
+                Err(e) => return fail(&e),
+            },
+            "--pool" => match value("--pool") {
+                Ok(v) => match PoolKey::parse(&v) {
+                    Some(k) => pools.push(k),
+                    None => {
+                        return fail(&format!(
+                            "--pool: malformed key {v:?} (sampler/preset/tier)"
+                        ))
+                    }
+                },
+                Err(e) => return fail(&e),
+            },
+            "--tcp" => match value("--tcp") {
+                Ok(v) => tcp = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--refresh-ms" => match value("--refresh-ms")
+                .and_then(|v| v.parse().map_err(|e| format!("--refresh-ms: {e}")))
+            {
+                Ok(v) => refresh_ms = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    if !pools.is_empty() {
+        cfg.pools = pools;
+    }
+
+    eprintln!(
+        "comic-serve: loading {} (seed {:#x}, gen-threads {}, design-k {})...",
+        cfg.dataset, cfg.seed, cfg.gen_threads, cfg.design_k
+    );
+    let svc = match ComicService::start(cfg) {
+        Ok(svc) => Arc::new(svc),
+        Err(e) => {
+            eprintln!("comic-serve: startup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let g = svc.graph();
+    eprintln!(
+        "comic-serve: ready — {} nodes, {} edges, pools: {}",
+        g.num_nodes(),
+        g.num_edges(),
+        svc.pool_keys()
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let refresher = refresh_ms.map(|ms| svc.spawn_refresher(Duration::from_millis(ms)));
+
+    let result = match tcp {
+        Some(addr) => match TcpServer::bind(&addr) {
+            Ok(server) => {
+                eprintln!("comic-serve: listening on {}", server.local_addr());
+                server.run(&svc)
+            }
+            Err(e) => {
+                eprintln!("comic-serve: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            serve_lines(&svc, stdin.lock(), &mut stdout)
+        }
+    };
+    if let Some(h) = refresher {
+        let _ = h.join();
+    }
+    match result {
+        Ok(()) => {
+            eprintln!("comic-serve: drained, bye");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("comic-serve: transport error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

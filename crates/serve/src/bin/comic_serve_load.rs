@@ -1,0 +1,337 @@
+//! `comic-serve-load` — deterministic load driver for the query service.
+//!
+//! Starts an in-process [`ComicService`], replays a fixed query mix per
+//! class (warm selects at several shapes, warm estimates, and a cold
+//! full-pipeline baseline that re-samples from scratch), and writes
+//! `BENCH_serving.json` with queries/sec and p50/p99 latency per class.
+//! The query *mix* is deterministic; only the measured timings vary run to
+//! run. `--validate <path>` re-checks an existing snapshot against the
+//! schema and exits nonzero on a mismatch (the CI smoke step).
+
+use comic_graph::fasthash::splitmix64;
+use comic_ris::ic_sampler::IcRrSampler;
+use comic_ris::select::SelectorKind;
+use comic_ris::tim::TimConfig;
+use comic_ris::RisPipeline;
+use comic_serve::json::{self, build, Json};
+use comic_serve::protocol::{EpsTier, PoolKey, Request, SamplerKind};
+use comic_serve::service::{ComicService, ServeConfig};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "\
+comic-serve-load — deterministic load driver for comic-serve
+
+USAGE:
+  comic-serve-load [--dataset <name>] [--quick] [--out <path>]
+  comic-serve-load --validate <path>
+
+OPTIONS:
+  --dataset <name>   dataset to serve (default: fixture-small)
+  --quick            small repetition counts (CI smoke)
+  --out <path>       output path (default: BENCH_serving.json)
+  --validate <path>  schema-check an existing snapshot; write nothing
+  -h, --help         this help
+";
+
+struct Timings {
+    name: &'static str,
+    millis: Vec<f64>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+impl Timings {
+    fn row(&self) -> Json {
+        let mut sorted = self.millis.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let total_s: f64 = self.millis.iter().sum::<f64>() / 1_000.0;
+        let qps = if total_s > 0.0 {
+            self.millis.len() as f64 / total_s
+        } else {
+            0.0
+        };
+        build::obj(vec![
+            ("name", build::str(self.name)),
+            ("queries", build::num_u64(self.millis.len() as u64)),
+            ("qps", build::num(round3(qps))),
+            ("p50_ms", build::num(round3(percentile(&sorted, 0.50)))),
+            ("p99_ms", build::num(round3(percentile(&sorted, 0.99)))),
+            (
+                "mean_ms",
+                build::num(round3(
+                    self.millis.iter().sum::<f64>() / self.millis.len().max(1) as f64,
+                )),
+            ),
+        ])
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1_000.0).round() / 1_000.0
+}
+
+fn timed<F: FnMut()>(name: &'static str, reps: usize, mut f: F) -> Timings {
+    let mut millis = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        millis.push(t.elapsed().as_secs_f64() * 1_000.0);
+    }
+    Timings { name, millis }
+}
+
+/// Required schema of a `BENCH_serving.json` snapshot; the error names the
+/// first missing piece.
+fn validate_schema(v: &Json) -> Result<(), String> {
+    let expect_str = |f: &str| {
+        v.get(f)
+            .and_then(Json::as_str)
+            .map(|_| ())
+            .ok_or_else(|| format!("missing string field {f:?}"))
+    };
+    let expect_num = |f: &str| {
+        v.get(f)
+            .and_then(Json::as_f64)
+            .map(|_| ())
+            .ok_or_else(|| format!("missing numeric field {f:?}"))
+    };
+    if v.get("bench").and_then(Json::as_str) != Some("serving") {
+        return Err("field \"bench\" must be \"serving\"".into());
+    }
+    expect_str("dataset")?;
+    expect_str("pool")?;
+    expect_str("caveat")?;
+    for f in ["gen_threads", "threads", "design_k", "sketches"] {
+        expect_num(f)?;
+    }
+    let classes = v
+        .get("classes")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"classes\"")?;
+    if classes.is_empty() {
+        return Err("\"classes\" must be non-empty".into());
+    }
+    let mut names = Vec::new();
+    for (i, c) in classes.iter().enumerate() {
+        let name = c
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("classes[{i}]: missing \"name\""))?;
+        names.push(name.to_string());
+        for f in ["queries", "qps", "p50_ms", "p99_ms", "mean_ms"] {
+            if c.get(f).and_then(Json::as_f64).is_none() {
+                return Err(format!("classes[{i}] ({name}): missing numeric {f:?}"));
+            }
+        }
+    }
+    for required in ["warm_select_k10", "cold_pipeline_k10"] {
+        if !names.iter().any(|n| n == required) {
+            return Err(format!("required class {required:?} is absent"));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut dataset = "fixture-small".to_string();
+    let mut quick = false;
+    let mut out = "BENCH_serving.json".to_string();
+    let mut validate: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dataset" => match args.next() {
+                Some(v) => dataset = v,
+                None => return fail("--dataset needs a value"),
+            },
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(v) => out = v,
+                None => return fail("--out needs a value"),
+            },
+            "--validate" => match args.next() {
+                Some(v) => validate = Some(v),
+                None => return fail("--validate needs a value"),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(path) = validate {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        let v = match json::parse(&text) {
+            Ok(v) => v,
+            Err(e) => return fail(&format!("{path}: not valid JSON: {e}")),
+        };
+        return match validate_schema(&v) {
+            Ok(()) => {
+                println!("comic-serve-load: {path} matches the serving schema");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&format!("{path}: schema violation: {e}")),
+        };
+    }
+
+    let (warm_reps, cold_reps) = if quick { (5, 1) } else { (40, 3) };
+
+    let mut cfg = ServeConfig::new(&dataset);
+    cfg.design_k = 50;
+    cfg.max_rr_sets = Some(if quick { 20_000 } else { 60_000 });
+    let pool_key =
+        PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).expect("static key");
+    cfg.pools = vec![pool_key.clone()];
+    let gen_threads = cfg.gen_threads;
+    let threads = cfg.threads;
+    let design_k = cfg.design_k;
+    let max_rr = cfg.max_rr_sets;
+    let seed = cfg.seed;
+
+    eprintln!("comic-serve-load: warming {dataset}...");
+    let svc = match ComicService::start(cfg) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("startup failed: {e}")),
+    };
+    let pool = svc.pool(&pool_key).expect("warmed pool");
+    let sketches = pool.len();
+    let n = svc.graph().num_nodes() as u32;
+    let builds_before = svc.pool_builds();
+
+    let select = |k: usize, selector: Option<SelectorKind>, budget: Option<u64>| Request::Select {
+        pool: pool_key.clone(),
+        k,
+        selector,
+        budget,
+    };
+    // Deterministic estimate seed sets, spread over the id space.
+    let estimate_req = |i: u64| {
+        let seeds = (0..10)
+            .map(|j| (splitmix64(i ^ (j << 32)) % u64::from(n.max(1))) as u32)
+            .collect();
+        Request::Estimate {
+            pool: pool_key.clone(),
+            seeds,
+            budget: None,
+        }
+    };
+
+    eprintln!("comic-serve-load: replaying query mix ({warm_reps} warm reps/class)...");
+    let mut classes = Vec::new();
+    classes.push(timed("warm_select_k10", warm_reps, || {
+        assert_ok(&svc.handle(&select(10, None, None)));
+    }));
+    classes.push(timed("warm_select_k50", warm_reps, || {
+        assert_ok(&svc.handle(&select(50, None, None)));
+    }));
+    classes.push(timed("warm_select_k10_budget_half", warm_reps, || {
+        assert_ok(&svc.handle(&select(10, None, Some((sketches / 2).max(1) as u64))));
+    }));
+    classes.push(timed("warm_select_k10_naive", warm_reps, || {
+        assert_ok(&svc.handle(&select(10, Some(SelectorKind::NaiveGreedy), None)));
+    }));
+    {
+        let mut i = 0u64;
+        classes.push(timed("warm_estimate_10seeds", warm_reps, || {
+            i += 1;
+            assert_ok(&svc.handle(&estimate_req(i)));
+        }));
+    }
+    assert_eq!(
+        svc.pool_builds(),
+        builds_before,
+        "warm classes must not regenerate sketches"
+    );
+
+    // Cold baseline: a full pipeline run (KPT* + theta sampling + select)
+    // on the same graph and sampler — what every query would cost without
+    // the resident pool.
+    eprintln!("comic-serve-load: cold full-pipeline baseline ({cold_reps} reps)...");
+    let g = svc.graph().clone();
+    classes.push(timed("cold_pipeline_k10", cold_reps, || {
+        let mut tc = TimConfig::new(10)
+            .epsilon(EpsTier::Coarse.epsilon())
+            .seed(seed)
+            .threads(gen_threads);
+        if let Some(cap) = max_rr {
+            tc = tc.max_rr_sets(cap);
+        }
+        RisPipeline::new(tc)
+            .run(|| IcRrSampler::new(&g))
+            .expect("cold pipeline");
+    }));
+
+    let report = build::obj(vec![
+        ("bench", build::str("serving")),
+        ("dataset", build::str(&*dataset)),
+        ("quick", Json::Bool(quick)),
+        ("gen_threads", build::num_u64(gen_threads as u64)),
+        ("threads", build::num_u64(threads as u64)),
+        ("design_k", build::num_u64(design_k as u64)),
+        ("pool", build::str(pool_key.to_string())),
+        ("sketches", build::num_u64(sketches as u64)),
+        (
+            "classes",
+            Json::Arr(classes.iter().map(Timings::row).collect()),
+        ),
+        (
+            "caveat",
+            build::str(
+                "measured in a 1-core container: absolute latencies and qps are \
+                 indicative only; the warm-vs-cold ratio is the signal",
+            ),
+        ),
+    ]);
+    let text = report.serialize();
+    // Self-check before committing bytes to disk: the snapshot must parse
+    // and satisfy the same schema `--validate` enforces.
+    let reparsed = json::parse(&text).expect("self-emitted JSON parses");
+    if let Err(e) = validate_schema(&reparsed) {
+        return fail(&format!(
+            "internal error: emitted snapshot fails schema: {e}"
+        ));
+    }
+    if let Err(e) = std::fs::write(&out, format!("{text}\n")) {
+        return fail(&format!("cannot write {out}: {e}"));
+    }
+    println!("comic-serve-load: wrote {out}");
+    for t in &classes {
+        let mut sorted = t.millis.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        println!(
+            "  {:28} {:4} queries  p50 {:9.3} ms  p99 {:9.3} ms",
+            t.name,
+            t.millis.len(),
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.99),
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn assert_ok(resp: &comic_serve::protocol::Response) {
+    let line = resp.to_line();
+    assert!(
+        line.starts_with("{\"ok\":true"),
+        "query failed under load: {line}"
+    );
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("comic-serve-load: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}

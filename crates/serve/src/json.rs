@@ -1,0 +1,636 @@
+//! A minimal JSON value model with a panic-free parser and a deterministic
+//! serializer — the wire currency of the serve protocol.
+//!
+//! The build environment vendors no serde, so the protocol layer carries
+//! its own JSON subset: objects, arrays, strings (full escape handling,
+//! including surrogate pairs), finite numbers, booleans, and null. Two
+//! properties the service leans on:
+//!
+//! * **Panic freedom** — [`parse`] returns a typed [`JsonError`] for every
+//!   malformed input (fuzzed by the protocol proptests); nesting depth is
+//!   bounded so adversarial `[[[[…` input cannot blow the stack.
+//! * **Deterministic bytes** — objects preserve insertion order and
+//!   numbers print via Rust's shortest-round-trip `f64` formatting, so
+//!   `serialize ∘ parse ∘ serialize ≡ serialize` bit-exactly. Responses
+//!   built from the same data always serialize to the same bytes, which is
+//!   what lets the end-to-end suite assert byte-identical service output.
+
+use std::fmt;
+
+/// Maximum container nesting [`parse`] accepts. The protocol needs 3.
+pub const MAX_DEPTH: usize = 32;
+
+/// A JSON value. Numbers are `f64` (the protocol's integers — node ids,
+/// counts, budgets — all fit in the 2^53 exact range); object member order
+/// is preserved for deterministic serialization.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order (duplicate keys are a parse error).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match; parsing rejects duplicates).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer below 2^53, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 9_007_199_254_740_992.0 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object's members, if it is one.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Serialize to compact JSON (no whitespace), deterministically.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(x) => write_num(*x, out),
+            Json::Str(s) => write_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// `{}` on `f64` is shortest-round-trip: integral values print without a
+/// fraction (`5`, not `5.0`), which keeps re-serialization bit-stable.
+fn write_num(x: f64, out: &mut String) {
+    use fmt::Write as _;
+    debug_assert!(x.is_finite(), "non-finite numbers cannot enter Json::Num");
+    let _ = write!(out, "{x}");
+}
+
+fn write_str(s: &str, out: &mut String) {
+    use fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Why a parse failed, with the byte offset it failed at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub pos: usize,
+    /// Human-readable cause.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse one JSON value from `input` (the whole string; trailing non-space
+/// is an error). Never panics; depth-limited to [`MAX_DEPTH`].
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat("null") {
+                    Ok(Json::Null)
+                } else {
+                    Err(self.err("expected 'null'"))
+                }
+            }
+            Some(b't') => {
+                if self.eat("true") {
+                    Ok(Json::Bool(true))
+                } else {
+                    Err(self.err("expected 'true'"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat("false") {
+                    Ok(Json::Bool(false))
+                } else {
+                    Err(self.err("expected 'false'"))
+                }
+            }
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte 0x{c:02x}"))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // '{'
+        let mut members: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string key"));
+            }
+            let key = self.string()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate key {key:?}")));
+            }
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':' after key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // '"'
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue; // unicode_escape advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(_) => {
+                    // Consume one full UTF-8 scalar (input is &str, so the
+                    // bytes are valid UTF-8; find the next char boundary).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    // SAFETY-free: re-slice through str::from_utf8 is
+                    // guaranteed to succeed on scalar boundaries.
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                    }
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    /// Parse 4 hex digits (cursor at the first digit), combining surrogate
+    /// pairs; leaves the cursor past the last consumed digit.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: require a paired \uXXXX low surrogate.
+            if !self.eat("\\u") {
+                return Err(self.err("unpaired high surrogate"));
+            }
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"))
+        } else if (0xDC00..0xE000).contains(&hi) {
+            Err(self.err("unpaired low surrogate"))
+        } else {
+            char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return Err(self.err("expected 4 hex digits")),
+            };
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digits();
+        if int_digits == 0 {
+            return Err(self.err("expected a digit"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if self.digits() == 0 {
+                return Err(self.err("expected a digit after '.'"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return Err(self.err("expected a digit in exponent"));
+            }
+        }
+        // The scanned slice is ASCII by construction.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number slice is ASCII")
+            .to_string();
+        // JSON forbids leading zeros like 0123.
+        let unsigned = text.strip_prefix('-').unwrap_or(&text);
+        if unsigned.len() > 1
+            && unsigned.starts_with('0')
+            && !unsigned[1..].starts_with(['.', 'e', 'E'])
+        {
+            return Err(self.err("leading zero"));
+        }
+        let x: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("unparseable number {text:?}")))?;
+        if !x.is_finite() {
+            return Err(self.err(format!("number {text:?} overflows f64")));
+        }
+        Ok(Json::Num(x))
+    }
+
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+}
+
+/// Convenience constructors used by the protocol layer.
+pub mod build {
+    use super::Json;
+
+    /// An object from `(key, value)` pairs, preserving order.
+    pub fn obj(members: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// A number from anything convertible to f64 losslessly at protocol
+    /// scale.
+    pub fn num(x: impl Into<f64>) -> Json {
+        Json::Num(x.into())
+    }
+
+    /// A number from a u64 (protocol counters stay far below 2^53; values
+    /// above are clamped to keep serialization finite and monotone).
+    pub fn num_u64(x: u64) -> Json {
+        Json::Num(x.min(9_007_199_254_740_992) as f64)
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An array of u32s (node ids, seed lists).
+    pub fn arr_u32(xs: &[u32]) -> Json {
+        Json::Arr(xs.iter().map(|&x| Json::Num(x as f64)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(s: &str) -> String {
+        parse(s).unwrap().serialize()
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(roundtrip("null"), "null");
+        assert_eq!(roundtrip("true"), "true");
+        assert_eq!(roundtrip("false"), "false");
+        assert_eq!(roundtrip("0"), "0");
+        assert_eq!(roundtrip("-17"), "-17");
+        assert_eq!(roundtrip("0.3"), "0.3");
+        assert_eq!(roundtrip("1e3"), "1000");
+        assert_eq!(roundtrip("2.5e-2"), "0.025");
+        assert_eq!(roundtrip("\"hi\""), "\"hi\"");
+    }
+
+    #[test]
+    fn containers_round_trip_in_order() {
+        assert_eq!(roundtrip("[]"), "[]");
+        assert_eq!(roundtrip("[1, 2,3]"), "[1,2,3]");
+        assert_eq!(roundtrip("{}"), "{}");
+        assert_eq!(
+            roundtrip("{\"b\": 1, \"a\": [true, null]}"),
+            "{\"b\":1,\"a\":[true,null]}"
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        assert_eq!(roundtrip(r#""a\"b\\c\nd""#), r#""a\"b\\c\nd""#);
+        assert_eq!(parse(r#""\u0041""#).unwrap(), Json::Str("A".into()));
+        // Surrogate pair: U+1F600.
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), Json::Str("😀".into()));
+        // Non-ASCII passes through raw.
+        assert_eq!(roundtrip("\"héllo ☂\""), "\"héllo ☂\"");
+        // Control characters serialize as \u00XX.
+        assert_eq!(Json::Str("\u{1}".into()).serialize(), "\"\\u0001\"");
+        assert_eq!(roundtrip("\"\\u0001\""), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        for bad in [
+            "",
+            "   ",
+            "nul",
+            "truex",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{a:1}",
+            "{\"a\":1 \"b\":2}",
+            "{\"a\":1,\"a\":2}",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "\"\\u12g4\"",
+            "\"\\ud800\"",
+            "\"\\ud800\\ud800\"",
+            "\"\\udc00\"",
+            "01",
+            "-",
+            "1.",
+            ".5",
+            "1e",
+            "1e+",
+            "1e999",
+            "5 true",
+            "\u{1}",
+        ] {
+            let e = parse(bad).expect_err(&format!("{bad:?} must not parse"));
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_bombs_without_overflow() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.msg.contains("nesting"), "{e}");
+        // At or below the limit is fine.
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn accessors_discriminate_types() {
+        let v = parse(r#"{"k":3,"s":"x","f":0.5,"b":true,"a":[1],"o":{}}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("f").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(v.get("f").and_then(Json::as_u64), None);
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("o").and_then(Json::as_obj).map(<[_]>::len), Some(0));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("k"), None);
+        // Negative and fractional numbers are not u64s.
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn build_helpers_compose() {
+        let v = build::obj(vec![
+            ("op", build::str("select")),
+            ("k", build::num(10u32)),
+            ("seeds", build::arr_u32(&[1, 2, 3])),
+            ("n", build::num_u64(u64::MAX)),
+        ]);
+        let s = v.serialize();
+        assert_eq!(
+            s,
+            "{\"op\":\"select\",\"k\":10,\"seeds\":[1,2,3],\"n\":9007199254740992}"
+        );
+        // Serialized output re-parses to the same value.
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+}

@@ -1,0 +1,34 @@
+//! # comic-serve
+//!
+//! The online influence query service over the Com-IC RIS stack: load a
+//! dataset once, keep pre-generated RR-sketch pools resident per
+//! `(sampler, GAP preset, ε tier)` key, and answer seed-selection and
+//! spread-estimation queries by *reusing* pooled sketches — bounded,
+//! sampling-free latency per query instead of a full TIM run.
+//!
+//! Layers, bottom up:
+//!
+//! - [`json`] — a panic-free parser/serializer for the protocol's JSON
+//!   subset (std-only; no external dependencies by design);
+//! - [`protocol`] — pool keys, typed [`protocol::Request`] /
+//!   [`protocol::Response`], strict parsing with typed errors;
+//! - [`service`] — the resident [`service::ComicService`]: dataset + GAP
+//!   presets + sketch pools, the warm query paths, refresh, and graceful
+//!   shutdown draining. The determinism contract (byte-identical responses
+//!   across instances and thread counts) is documented there;
+//! - [`server`] — stdio and std-only TCP transports.
+//!
+//! Binaries: `comic-serve` (the service) and `comic-serve-load` (the
+//! deterministic load driver emitting `BENCH_serving.json`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use protocol::{EpsTier, PoolKey, Request, Response, SamplerKind};
+pub use server::{run_script, serve_lines, TcpServer};
+pub use service::{ComicService, ServeConfig, ServeError};

@@ -1,0 +1,833 @@
+//! The serve wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request line, in order.
+//! Requests are strict: unknown `op`s, unknown fields, wrong types, and
+//! malformed pool keys are all typed [`ProtoError`]s (never panics — the
+//! protocol proptests fuzz this parser with arbitrary bytes). Responses
+//! serialize with a fixed field order through [`crate::json`], so a
+//! response built from the same data is byte-identical everywhere — the
+//! foundation of the service determinism contract.
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"select","pool":"rr-sim/default/mid","k":10,"selector":"celf","budget":50000}
+//! {"op":"estimate","pool":"rr-sim/default/mid","seeds":[4,17,90]}
+//! {"op":"stats"}
+//! {"op":"refresh","pool":"rr-sim/default/mid"}
+//! {"op":"batch","requests":[{"op":"ping"},{"op":"stats"}]}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! A pool key is `sampler/preset/tier`: the RR-sampler kind, the named GAP
+//! preset registered at service start, and the ε tier the pool's θ was
+//! derived for — see [`PoolKey`].
+
+use crate::json::{self, build, Json};
+use comic_ris::select::SelectorKind;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Pool keys.
+// ---------------------------------------------------------------------------
+
+/// Which RR-set sampler a pool was generated with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SamplerKind {
+    /// Classic single-item IC (`comic_ris::ic_sampler::IcRrSampler`).
+    VanillaIc,
+    /// RR-SIM for SelfInfMax (one-way complementarity).
+    RrSim,
+    /// RR-SIM+ — RR-SIM with the early-terminating two-phase sampling.
+    RrSimPlus,
+    /// RR-CIM for CompInfMax (mutual complementarity, `q_{B|A} = 1`).
+    RrCim,
+}
+
+impl SamplerKind {
+    /// Every kind, in wire order.
+    pub const ALL: [SamplerKind; 4] = [
+        SamplerKind::VanillaIc,
+        SamplerKind::RrSim,
+        SamplerKind::RrSimPlus,
+        SamplerKind::RrCim,
+    ];
+
+    /// The wire spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplerKind::VanillaIc => "vanilla-ic",
+            SamplerKind::RrSim => "rr-sim",
+            SamplerKind::RrSimPlus => "rr-sim-plus",
+            SamplerKind::RrCim => "rr-cim",
+        }
+    }
+
+    /// Parse the wire spelling.
+    pub fn parse(s: &str) -> Option<SamplerKind> {
+        SamplerKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// Pre-derived θ coarseness: which ε the pool's sample count was computed
+/// for (Equation (3); smaller ε = more sketches = tighter answers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EpsTier {
+    /// ε = 0.5 — the paper's default operating point.
+    Coarse,
+    /// ε = 0.3.
+    Mid,
+    /// ε = 0.1 — the paper's tightest evaluated setting.
+    Fine,
+}
+
+impl EpsTier {
+    /// Every tier, coarse to fine.
+    pub const ALL: [EpsTier; 3] = [EpsTier::Coarse, EpsTier::Mid, EpsTier::Fine];
+
+    /// The ε this tier derives θ from.
+    pub fn epsilon(self) -> f64 {
+        match self {
+            EpsTier::Coarse => 0.5,
+            EpsTier::Mid => 0.3,
+            EpsTier::Fine => 0.1,
+        }
+    }
+
+    /// The wire spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            EpsTier::Coarse => "coarse",
+            EpsTier::Mid => "mid",
+            EpsTier::Fine => "fine",
+        }
+    }
+
+    /// Parse the wire spelling.
+    pub fn parse(s: &str) -> Option<EpsTier> {
+        EpsTier::ALL.into_iter().find(|t| t.name() == s)
+    }
+}
+
+/// A resident pool's identity: `(sampler kind, GAP preset name, ε tier)`,
+/// spelled `sampler/preset/tier` on the wire.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PoolKey {
+    /// RR-sampler kind.
+    pub sampler: SamplerKind,
+    /// Named GAP preset (registered at service start).
+    pub preset: String,
+    /// ε tier the pool's θ was derived for.
+    pub tier: EpsTier,
+}
+
+impl PoolKey {
+    /// Build a key; preset names may not be empty or contain `/`.
+    pub fn new(sampler: SamplerKind, preset: impl Into<String>, tier: EpsTier) -> Option<PoolKey> {
+        let preset = preset.into();
+        if preset.is_empty() || preset.contains('/') {
+            return None;
+        }
+        Some(PoolKey {
+            sampler,
+            preset,
+            tier,
+        })
+    }
+
+    /// Parse the wire spelling `sampler/preset/tier`.
+    pub fn parse(s: &str) -> Option<PoolKey> {
+        let (sampler, rest) = s.split_once('/')?;
+        let (preset, tier) = rest.rsplit_once('/')?;
+        PoolKey::new(SamplerKind::parse(sampler)?, preset, EpsTier::parse(tier)?)
+    }
+}
+
+impl fmt::Display for PoolKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}",
+            self.sampler.name(),
+            self.preset,
+            self.tier.name()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------------
+
+/// One typed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Service and per-pool statistics (includes wall-clock fields; see the
+    /// determinism note on [`Response`]).
+    Stats,
+    /// Begin graceful shutdown: drain in-flight queries, then stop.
+    Shutdown,
+    /// Regenerate one pool's sketches (generation + 1) and swap it in.
+    Refresh {
+        /// Which pool.
+        pool: PoolKey,
+    },
+    /// Seed selection over a resident pool.
+    Select {
+        /// Which pool.
+        pool: PoolKey,
+        /// Seed budget `k` (≥ 1).
+        k: usize,
+        /// Selection strategy; `None` = the service default (CELF).
+        selector: Option<SelectorKind>,
+        /// Max sketches consulted; `None` = the whole pool.
+        budget: Option<u64>,
+    },
+    /// Spread estimation for an explicit seed set over a resident pool.
+    Estimate {
+        /// Which pool.
+        pool: PoolKey,
+        /// The seed set (node ids).
+        seeds: Vec<u32>,
+        /// Max sketches consulted; `None` = the whole pool.
+        budget: Option<u64>,
+    },
+    /// A batch of non-batch requests answered in one response line.
+    Batch(Vec<Request>),
+}
+
+/// Why a request line was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtoError {
+    /// Not valid JSON at all.
+    Json(json::JsonError),
+    /// Valid JSON, but not a valid request.
+    Invalid(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Json(e) => write!(f, "{e}"),
+            ProtoError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn invalid(msg: impl Into<String>) -> ProtoError {
+    ProtoError::Invalid(msg.into())
+}
+
+/// Parse one request line. Strict: every field must be known, well-typed,
+/// and in range; `batch` may not nest.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let v = json::parse(line).map_err(ProtoError::Json)?;
+    request_from_json(&v, true)
+}
+
+fn request_from_json(v: &Json, allow_batch: bool) -> Result<Request, ProtoError> {
+    let members = v
+        .as_obj()
+        .ok_or_else(|| invalid("request must be a JSON object"))?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| invalid("missing string field 'op'"))?;
+    let allowed: &[&str] = match op {
+        "ping" | "stats" | "shutdown" => &["op"],
+        "refresh" => &["op", "pool"],
+        "select" => &["op", "pool", "k", "selector", "budget"],
+        "estimate" => &["op", "pool", "seeds", "budget"],
+        "batch" => &["op", "requests"],
+        other => return Err(invalid(format!("unknown op {other:?}"))),
+    };
+    if let Some((k, _)) = members.iter().find(|(k, _)| !allowed.contains(&k.as_str())) {
+        return Err(invalid(format!("unknown field {k:?} for op {op:?}")));
+    }
+
+    let pool = |field: &str| -> Result<PoolKey, ProtoError> {
+        let raw = v
+            .get(field)
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid(format!("op {op:?} needs a string field {field:?}")))?;
+        PoolKey::parse(raw).ok_or_else(|| {
+            invalid(format!(
+                "malformed pool key {raw:?} (expected sampler/preset/tier)"
+            ))
+        })
+    };
+    let budget = || -> Result<Option<u64>, ProtoError> {
+        match v.get("budget") {
+            None => Ok(None),
+            Some(b) => b
+                .as_u64()
+                .filter(|&b| b >= 1)
+                .map(Some)
+                .ok_or_else(|| invalid("'budget' must be a positive integer")),
+        }
+    };
+
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "refresh" => Ok(Request::Refresh {
+            pool: pool("pool")?,
+        }),
+        "select" => {
+            let k = v
+                .get("k")
+                .and_then(Json::as_u64)
+                .filter(|&k| k >= 1 && k <= u32::MAX as u64)
+                .ok_or_else(|| invalid("'k' must be an integer in [1, 2^32)"))?
+                as usize;
+            let selector = match v.get("selector") {
+                None => None,
+                Some(s) => Some(
+                    s.as_str()
+                        .and_then(SelectorKind::parse)
+                        .ok_or_else(|| invalid("'selector' must be \"naive\" or \"celf\""))?,
+                ),
+            };
+            Ok(Request::Select {
+                pool: pool("pool")?,
+                k,
+                selector,
+                budget: budget()?,
+            })
+        }
+        "estimate" => {
+            let seeds = v
+                .get("seeds")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| invalid("'seeds' must be an array of node ids"))?;
+            let seeds: Vec<u32> = seeds
+                .iter()
+                .map(|s| {
+                    s.as_u64()
+                        .filter(|&x| x <= u32::MAX as u64)
+                        .map(|x| x as u32)
+                        .ok_or_else(|| invalid("'seeds' entries must be u32 node ids"))
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(Request::Estimate {
+                pool: pool("pool")?,
+                seeds,
+                budget: budget()?,
+            })
+        }
+        "batch" => {
+            if !allow_batch {
+                return Err(invalid("'batch' may not nest"));
+            }
+            let reqs = v
+                .get("requests")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| invalid("'requests' must be an array"))?;
+            let reqs: Vec<Request> = reqs
+                .iter()
+                .map(|r| request_from_json(r, false))
+                .collect::<Result<_, _>>()?;
+            Ok(Request::Batch(reqs))
+        }
+        _ => unreachable!("op validated above"),
+    }
+}
+
+impl Request {
+    /// The request as JSON (the exact value [`parse_request`] inverts —
+    /// optional fields are omitted when `None`).
+    pub fn to_json(&self) -> Json {
+        let key = |p: &PoolKey| build::str(p.to_string());
+        match self {
+            Request::Ping => build::obj(vec![("op", build::str("ping"))]),
+            Request::Stats => build::obj(vec![("op", build::str("stats"))]),
+            Request::Shutdown => build::obj(vec![("op", build::str("shutdown"))]),
+            Request::Refresh { pool } => {
+                build::obj(vec![("op", build::str("refresh")), ("pool", key(pool))])
+            }
+            Request::Select {
+                pool,
+                k,
+                selector,
+                budget,
+            } => {
+                let mut m = vec![
+                    ("op", build::str("select")),
+                    ("pool", key(pool)),
+                    ("k", build::num_u64(*k as u64)),
+                ];
+                if let Some(sel) = selector {
+                    m.push((
+                        "selector",
+                        build::str(match sel {
+                            SelectorKind::NaiveGreedy => "naive",
+                            SelectorKind::Celf => "celf",
+                        }),
+                    ));
+                }
+                if let Some(b) = budget {
+                    m.push(("budget", build::num_u64(*b)));
+                }
+                build::obj(m)
+            }
+            Request::Estimate {
+                pool,
+                seeds,
+                budget,
+            } => {
+                let mut m = vec![
+                    ("op", build::str("estimate")),
+                    ("pool", key(pool)),
+                    ("seeds", build::arr_u32(seeds)),
+                ];
+                if let Some(b) = budget {
+                    m.push(("budget", build::num_u64(*b)));
+                }
+                build::obj(m)
+            }
+            Request::Batch(reqs) => build::obj(vec![
+                ("op", build::str("batch")),
+                (
+                    "requests",
+                    Json::Arr(reqs.iter().map(Request::to_json).collect()),
+                ),
+            ]),
+        }
+    }
+
+    /// One wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().serialize()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses.
+// ---------------------------------------------------------------------------
+
+/// Machine-readable error category on an error response line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line did not parse.
+    Parse,
+    /// The pool key names no resident pool.
+    UnknownPool,
+    /// The query parameters are invalid for the pool (e.g. `k` > n).
+    BadQuery,
+    /// The service is draining; no new queries.
+    ShuttingDown,
+    /// Pool (re)generation failed.
+    Pool,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::UnknownPool => "unknown_pool",
+            ErrorCode::BadQuery => "bad_query",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Pool => "pool",
+        }
+    }
+}
+
+/// The deterministic slice of a pool's identity and provenance that query
+/// responses carry. Wall-clock fields (age, refresh timings) live only in
+/// [`Response::Stats`], so select/estimate responses stay byte-identical
+/// across runs, instances, and thread counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PoolMeta {
+    /// The pool's key, in wire spelling.
+    pub key: String,
+    /// Sketch count.
+    pub sketches: u64,
+    /// Refresh generation (0 = the startup build).
+    pub generation: u64,
+    /// The `k` the pool's θ was derived for.
+    pub design_k: u64,
+    /// The tier's ε.
+    pub epsilon: f64,
+    /// Whether θ was clamped below Equation (3)'s bound.
+    pub capped: bool,
+}
+
+impl PoolMeta {
+    fn to_json(&self) -> Json {
+        build::obj(vec![
+            ("key", build::str(&*self.key)),
+            ("sketches", build::num_u64(self.sketches)),
+            ("generation", build::num_u64(self.generation)),
+            ("design_k", build::num_u64(self.design_k)),
+            ("epsilon", build::num(self.epsilon)),
+            ("capped", Json::Bool(self.capped)),
+        ])
+    }
+}
+
+/// Per-pool row in a stats response (wall-clock fields allowed here).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PoolStats {
+    /// Deterministic identity/provenance.
+    pub meta: PoolMeta,
+    /// Milliseconds since this pool's sketches were (re)generated.
+    pub age_ms: u64,
+    /// Completed refreshes.
+    pub refreshes: u64,
+    /// Queries answered from this pool (select + estimate).
+    pub queries: u64,
+}
+
+/// One typed response line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Reply to `ping`.
+    Pong,
+    /// Reply to `select`.
+    Selected {
+        /// Pool identity/provenance.
+        pool: PoolMeta,
+        /// Echo of the effective `k`.
+        k: u64,
+        /// Selector that ran (always echoed, defaulted or not).
+        selector: SelectorKind,
+        /// Sketches actually consulted (≤ pool sketches under a budget).
+        consulted: u64,
+        /// Selected seeds, greedy pick order.
+        seeds: Vec<u32>,
+        /// Sketches covered by the selection.
+        covered: u64,
+        /// RIS spread estimate `n · covered / consulted`.
+        est_spread: f64,
+        /// `true` when answered from resident sketches (no regeneration).
+        warm: bool,
+    },
+    /// Reply to `estimate`.
+    Estimated {
+        /// Pool identity/provenance.
+        pool: PoolMeta,
+        /// Number of seeds evaluated.
+        seeds: u64,
+        /// Sketches actually consulted.
+        consulted: u64,
+        /// RIS spread estimate.
+        est_spread: f64,
+        /// `true` when answered from resident sketches.
+        warm: bool,
+    },
+    /// Reply to `stats`.
+    Stats {
+        /// Dataset/graph label.
+        graph: String,
+        /// Node count.
+        nodes: u64,
+        /// Edge count.
+        edges: u64,
+        /// Milliseconds since service start.
+        uptime_ms: u64,
+        /// Total queries handled.
+        queries: u64,
+        /// Pool builds since start (startup warms + refreshes); a warm
+        /// query leaves this unchanged.
+        pool_builds: u64,
+        /// Per-pool rows, key order.
+        pools: Vec<PoolStats>,
+    },
+    /// Reply to `refresh`.
+    Refreshed {
+        /// The new pool's identity/provenance (generation incremented).
+        pool: PoolMeta,
+    },
+    /// Reply to `shutdown` (sent before the drain completes).
+    ShuttingDown,
+    /// Reply to a failed request.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Reply to `batch`: one response per batched request, in order.
+    Batch(Vec<Response>),
+}
+
+impl Response {
+    /// The response as JSON with a fixed field order.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Pong => {
+                build::obj(vec![("ok", Json::Bool(true)), ("op", build::str("pong"))])
+            }
+            Response::Selected {
+                pool,
+                k,
+                selector,
+                consulted,
+                seeds,
+                covered,
+                est_spread,
+                warm,
+            } => build::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", build::str("select")),
+                ("pool", pool.to_json()),
+                ("k", build::num_u64(*k)),
+                (
+                    "selector",
+                    build::str(match selector {
+                        SelectorKind::NaiveGreedy => "naive",
+                        SelectorKind::Celf => "celf",
+                    }),
+                ),
+                ("consulted", build::num_u64(*consulted)),
+                ("seeds", build::arr_u32(seeds)),
+                ("covered", build::num_u64(*covered)),
+                ("est_spread", build::num(*est_spread)),
+                ("warm", Json::Bool(*warm)),
+            ]),
+            Response::Estimated {
+                pool,
+                seeds,
+                consulted,
+                est_spread,
+                warm,
+            } => build::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", build::str("estimate")),
+                ("pool", pool.to_json()),
+                ("seeds", build::num_u64(*seeds)),
+                ("consulted", build::num_u64(*consulted)),
+                ("est_spread", build::num(*est_spread)),
+                ("warm", Json::Bool(*warm)),
+            ]),
+            Response::Stats {
+                graph,
+                nodes,
+                edges,
+                uptime_ms,
+                queries,
+                pool_builds,
+                pools,
+            } => build::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", build::str("stats")),
+                ("graph", build::str(&**graph)),
+                ("nodes", build::num_u64(*nodes)),
+                ("edges", build::num_u64(*edges)),
+                ("uptime_ms", build::num_u64(*uptime_ms)),
+                ("queries", build::num_u64(*queries)),
+                ("pool_builds", build::num_u64(*pool_builds)),
+                (
+                    "pools",
+                    Json::Arr(
+                        pools
+                            .iter()
+                            .map(|p| {
+                                build::obj(vec![
+                                    ("pool", p.meta.to_json()),
+                                    ("age_ms", build::num_u64(p.age_ms)),
+                                    ("refreshes", build::num_u64(p.refreshes)),
+                                    ("queries", build::num_u64(p.queries)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Refreshed { pool } => build::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", build::str("refresh")),
+                ("pool", pool.to_json()),
+            ]),
+            Response::ShuttingDown => build::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", build::str("shutdown")),
+                ("draining", Json::Bool(true)),
+            ]),
+            Response::Error { code, message } => build::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("error", build::str(code.name())),
+                ("message", build::str(&**message)),
+            ]),
+            Response::Batch(responses) => build::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", build::str("batch")),
+                (
+                    "responses",
+                    Json::Arr(responses.iter().map(Response::to_json).collect()),
+                ),
+            ]),
+        }
+    }
+
+    /// One wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().serialize()
+    }
+
+    /// The error response for a rejected line.
+    pub fn parse_error(e: &ProtoError) -> Response {
+        Response::Error {
+            code: ErrorCode::Parse,
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> PoolKey {
+        PoolKey::parse(s).unwrap()
+    }
+
+    #[test]
+    fn pool_keys_round_trip_and_reject_garbage() {
+        for s in [
+            "vanilla-ic/default/coarse",
+            "rr-sim/default/mid",
+            "rr-sim-plus/classic-ic/fine",
+            "rr-cim/pair_7/coarse",
+        ] {
+            assert_eq!(key(s).to_string(), s);
+        }
+        for bad in [
+            "",
+            "rr-sim",
+            "rr-sim/default",
+            "rr-sim//mid",
+            "nope/default/mid",
+            "rr-sim/default/huge",
+            "rr-sim/a/b/mid", // preset may not contain '/'
+        ] {
+            assert!(PoolKey::parse(bad).is_none(), "{bad:?}");
+        }
+        assert!(PoolKey::new(SamplerKind::RrSim, "a/b", EpsTier::Mid).is_none());
+        assert!(PoolKey::new(SamplerKind::RrSim, "", EpsTier::Mid).is_none());
+    }
+
+    #[test]
+    fn tiers_expose_their_epsilon() {
+        assert_eq!(EpsTier::Coarse.epsilon(), 0.5);
+        assert_eq!(EpsTier::Mid.epsilon(), 0.3);
+        assert_eq!(EpsTier::Fine.epsilon(), 0.1);
+        for t in EpsTier::ALL {
+            assert_eq!(EpsTier::parse(t.name()), Some(t));
+        }
+        for s in SamplerKind::ALL {
+            assert_eq!(SamplerKind::parse(s.name()), Some(s));
+        }
+    }
+
+    #[test]
+    fn requests_parse_and_round_trip() {
+        let cases = [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Refresh {
+                pool: key("rr-cim/default/fine"),
+            },
+            Request::Select {
+                pool: key("rr-sim/default/mid"),
+                k: 10,
+                selector: Some(SelectorKind::Celf),
+                budget: Some(5_000),
+            },
+            Request::Select {
+                pool: key("vanilla-ic/default/coarse"),
+                k: 1,
+                selector: None,
+                budget: None,
+            },
+            Request::Estimate {
+                pool: key("rr-sim-plus/default/mid"),
+                seeds: vec![0, 7, 42],
+                budget: None,
+            },
+            Request::Batch(vec![Request::Ping, Request::Stats]),
+        ];
+        for req in cases {
+            let line = req.to_line();
+            let parsed = parse_request(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(parsed, req, "{line}");
+            assert_eq!(parsed.to_line(), line);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_typed() {
+        for bad in [
+            "",                                                              // not JSON
+            "[]",                                                            // not an object
+            "{\"op\":\"nope\"}",                                             // unknown op
+            "{\"op\":\"ping\",\"x\":1}",                                     // unknown field
+            "{\"op\":\"select\",\"pool\":\"rr-sim/default/mid\"}",           // missing k
+            "{\"op\":\"select\",\"pool\":\"rr-sim/default/mid\",\"k\":0}",   // k = 0
+            "{\"op\":\"select\",\"pool\":\"rr-sim/default/mid\",\"k\":1.5}", // fractional k
+            "{\"op\":\"select\",\"pool\":\"bad\",\"k\":1}",                  // bad pool key
+            "{\"op\":\"select\",\"pool\":\"rr-sim/default/mid\",\"k\":1,\"selector\":\"x\"}",
+            "{\"op\":\"select\",\"pool\":\"rr-sim/default/mid\",\"k\":1,\"budget\":0}",
+            "{\"op\":\"estimate\",\"pool\":\"rr-sim/default/mid\",\"seeds\":[-1]}",
+            "{\"op\":\"estimate\",\"pool\":\"rr-sim/default/mid\",\"seeds\":\"x\"}",
+            "{\"op\":\"batch\",\"requests\":[{\"op\":\"batch\",\"requests\":[]}]}", // nested
+            "{\"op\":\"batch\",\"requests\":{}}",
+            "{\"op\":\"refresh\"}",
+        ] {
+            let e = parse_request(bad).expect_err(&format!("{bad:?} must be rejected"));
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn response_lines_have_fixed_field_order() {
+        let meta = PoolMeta {
+            key: "rr-sim/default/mid".into(),
+            sketches: 1000,
+            generation: 2,
+            design_k: 50,
+            epsilon: 0.3,
+            capped: false,
+        };
+        let r = Response::Selected {
+            pool: meta.clone(),
+            k: 2,
+            selector: SelectorKind::Celf,
+            consulted: 1000,
+            seeds: vec![4, 9],
+            covered: 713,
+            est_spread: 85.56,
+            warm: true,
+        };
+        assert_eq!(
+            r.to_line(),
+            "{\"ok\":true,\"op\":\"select\",\"pool\":{\"key\":\"rr-sim/default/mid\",\
+             \"sketches\":1000,\"generation\":2,\"design_k\":50,\"epsilon\":0.3,\
+             \"capped\":false},\"k\":2,\"selector\":\"celf\",\"consulted\":1000,\
+             \"seeds\":[4,9],\"covered\":713,\"est_spread\":85.56,\"warm\":true}"
+        );
+        let e = Response::Error {
+            code: ErrorCode::UnknownPool,
+            message: "no pool".into(),
+        };
+        assert_eq!(
+            e.to_line(),
+            "{\"ok\":false,\"error\":\"unknown_pool\",\"message\":\"no pool\"}"
+        );
+        // Every response line is itself valid JSON.
+        for r in [
+            Response::Pong,
+            Response::ShuttingDown,
+            Response::Refreshed { pool: meta },
+            Response::Batch(vec![Response::Pong]),
+        ] {
+            assert!(crate::json::parse(&r.to_line()).is_ok());
+        }
+    }
+}

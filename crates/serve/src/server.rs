@@ -1,0 +1,211 @@
+//! Transports: the newline-delimited protocol over stdio and over a
+//! std-only TCP listener. Both are thin loops around
+//! [`ComicService::handle_line`]; all semantics (and the determinism
+//! contract) live in the service layer.
+
+use crate::service::ComicService;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run the protocol over any line source/sink (stdin/stdout in the
+/// `comic-serve` bin; in-memory buffers in tests): one response line per
+/// request line, in order, flushed per line so a driver can pipeline.
+/// Returns after EOF or a `shutdown` request, with in-flight queries
+/// drained.
+pub fn serve_lines<R: BufRead, W: Write>(
+    svc: &ComicService,
+    input: R,
+    out: &mut W,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = svc.handle_line(&line);
+        writeln!(out, "{}", resp.to_line())?;
+        out.flush()?;
+        if svc.is_draining() {
+            break;
+        }
+    }
+    svc.begin_shutdown();
+    svc.drain();
+    Ok(())
+}
+
+/// Convenience for tests and drivers: run a whole scripted batch of lines
+/// and collect the response lines (exactly one per non-empty input line).
+pub fn run_script(svc: &ComicService, lines: &[&str]) -> Vec<String> {
+    lines
+        .iter()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| svc.handle_line(l).to_line())
+        .collect()
+}
+
+/// A std-only TCP front end: a nonblocking accept loop with one handler
+/// thread per connection, all scoped so shutdown joins everything.
+pub struct TcpServer {
+    listener: TcpListener,
+    local: SocketAddr,
+}
+
+impl TcpServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral test port).
+    pub fn bind(addr: &str) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        Ok(TcpServer { listener, local })
+    }
+
+    /// The bound address (report this when binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Accept and serve until the service starts draining (a `shutdown`
+    /// request on any connection, or [`ComicService::begin_shutdown`] from
+    /// another thread). Joins every connection handler, then drains
+    /// in-flight queries before returning.
+    pub fn run(&self, svc: &Arc<ComicService>) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| -> io::Result<()> {
+            while !svc.is_draining() {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let svc = Arc::clone(svc);
+                        scope.spawn(move || handle_connection(&svc, stream));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(())
+        })?;
+        svc.drain();
+        Ok(())
+    }
+}
+
+/// One connection: blocking line reads under a short timeout so the
+/// handler notices a drain initiated elsewhere within ~50 ms.
+fn handle_connection(svc: &ComicService, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let resp = svc.handle_line(line.trim_end());
+                if writeln!(writer, "{}", resp.to_line())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                if svc.is_draining() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if svc.is_draining() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{EpsTier, PoolKey, SamplerKind};
+    use crate::service::ServeConfig;
+
+    fn tiny_service() -> ComicService {
+        let mut cfg = ServeConfig::new("fixture-small");
+        cfg.design_k = 5;
+        cfg.max_rr_sets = Some(4_000);
+        cfg.pools = vec![PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).unwrap()];
+        ComicService::start(cfg).unwrap()
+    }
+
+    #[test]
+    fn stdio_loop_answers_one_line_per_request_and_stops_on_shutdown() {
+        let svc = tiny_service();
+        let script = "{\"op\":\"ping\"}\n\n{not json}\n\
+                      {\"op\":\"select\",\"pool\":\"vanilla-ic/default/coarse\",\"k\":3}\n\
+                      {\"op\":\"shutdown\"}\n{\"op\":\"ping\"}\n";
+        let mut out = Vec::new();
+        serve_lines(&svc, script.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // The trailing ping after shutdown is never answered (loop exits).
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[0].contains("pong"));
+        assert!(lines[1].contains("\"error\":\"parse\""));
+        assert!(lines[2].contains("\"seeds\":["));
+        assert!(lines[3].contains("\"draining\":true"));
+        assert!(svc.is_draining());
+    }
+
+    #[test]
+    fn eof_also_shuts_the_service_down() {
+        let svc = tiny_service();
+        let mut out = Vec::new();
+        serve_lines(&svc, "{\"op\":\"ping\"}\n".as_bytes(), &mut out).unwrap();
+        assert!(svc.is_draining());
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        use std::io::{BufRead, BufReader, Write};
+        let svc = Arc::new(tiny_service());
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let svc2 = Arc::clone(&svc);
+        let handle = std::thread::spawn(move || server.run(&svc2).unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+
+        writer.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("pong"), "{line}");
+
+        line.clear();
+        writer
+            .write_all(b"{\"op\":\"select\",\"pool\":\"vanilla-ic/default/coarse\",\"k\":2}\n")
+            .unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"warm\":true"), "{line}");
+
+        line.clear();
+        writer.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"draining\":true"), "{line}");
+
+        handle.join().unwrap();
+        assert!(svc.is_draining());
+    }
+}

@@ -1,0 +1,802 @@
+//! The resident query service: one loaded graph, a registry of GAP presets,
+//! and a pool of pre-generated RR-sketches per [`PoolKey`], answering typed
+//! [`Request`]s without regenerating samples.
+//!
+//! # Determinism contract
+//!
+//! Two service instances started from the same [`ServeConfig`] produce
+//! **byte-identical** response lines for every deterministic op (`ping`,
+//! `select`, `estimate`, `refresh`, `batch` thereof, and errors), because:
+//!
+//! - each pool's sketches are fixed by `(pool seed, gen_threads)` — the
+//!   [`comic_ris::parallel`] reproducibility contract — where the pool seed
+//!   is derived from the service seed, the pool key, and the refresh
+//!   generation, and `gen_threads` is part of the service config;
+//! - seed *selection* over a fixed store is thread-count invariant
+//!   ([`comic_ris::select`]), so [`ServeConfig::threads`] — the per-query
+//!   worker count — is purely a latency knob;
+//! - responses carry no wall-clock fields. Timing lives only in the
+//!   `stats` op ([`Response::Stats`]), which is exempt from the contract.
+//!
+//! The warm path never samples: a `select` is an index build plus a greedy
+//! sweep over resident sketches ([`comic_ris::RisPipeline::run_on_pool`]),
+//! an `estimate` a coverage count ([`SketchPool::estimate_spread`]). The
+//! [`ComicService::pool_builds`] counter makes "no regeneration" observable:
+//! it moves only on startup warming and explicit/background refresh.
+
+use crate::protocol::{ErrorCode, PoolKey, PoolMeta, PoolStats, Request, Response, SamplerKind};
+use comic_algos::rr_cim::RrCimSampler;
+use comic_algos::rr_sim::RrSimSampler;
+use comic_algos::rr_sim_plus::RrSimPlusSampler;
+use comic_bench::datasets;
+use comic_core::Gap;
+use comic_graph::fasthash::splitmix64;
+use comic_graph::{DiGraph, NodeId};
+use comic_ris::ic_sampler::IcRrSampler;
+use comic_ris::select::SelectorKind;
+use comic_ris::tim::TimConfig;
+use comic_ris::{RisPipeline, SketchPool};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Static configuration of a service instance. Everything that affects
+/// response *bytes* is here (dataset, seed, `gen_threads`, design `k`,
+/// sketch cap, pool set); [`ServeConfig::threads`] affects latency only.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Dataset argument ([`comic_bench::datasets::load`] syntax: a registry
+    /// name like `fixture-small`, or a path with optional `:model` suffix).
+    pub dataset: String,
+    /// Service seed; every pool's generation stream derives from it.
+    pub seed: u64,
+    /// Worker threads for pool *generation* — part of pool identity (the
+    /// `(seed, threads)` reproducibility contract), so it is fixed per
+    /// service instance, never per query.
+    pub gen_threads: usize,
+    /// Worker threads for query-time selection — thread-invariant, so this
+    /// is a pure latency knob.
+    pub threads: usize,
+    /// The `k` pool θ derivation targets (queries with `k` ≤ this keep the
+    /// approximation guarantee; see [`comic_ris::pool`]).
+    pub design_k: usize,
+    /// Hard cap on sketches per pool (bounds memory and startup latency;
+    /// pools clamped by it are marked `capped`).
+    pub max_rr_sets: Option<u64>,
+    /// How many "other item" seeds the Com-IC samplers condition on
+    /// (RR-SIM's `S_B`, RR-CIM's `S_A`): the top out-degree nodes,
+    /// ties broken toward smaller ids.
+    pub other_seeds: usize,
+    /// The pools to warm at startup. Every key's preset must exist and its
+    /// sampler must accept the preset's regime — violations fail startup.
+    pub pools: Vec<PoolKey>,
+}
+
+impl ServeConfig {
+    /// A config over `dataset` with the default pool set
+    /// ([`ServeConfig::default_pools`]) and conservative sizing.
+    pub fn new(dataset: impl Into<String>) -> ServeConfig {
+        ServeConfig {
+            dataset: dataset.into(),
+            seed: 0xC0111C,
+            gen_threads: 2,
+            threads: 2,
+            design_k: 50,
+            max_rr_sets: Some(200_000),
+            other_seeds: 10,
+            pools: ServeConfig::default_pools(),
+        }
+    }
+
+    /// One pool per sampler at the coarse tier, each under the preset whose
+    /// regime that sampler requires (see [`ComicService::start`] presets).
+    pub fn default_pools() -> Vec<PoolKey> {
+        vec![
+            PoolKey::new(
+                SamplerKind::VanillaIc,
+                "default",
+                crate::protocol::EpsTier::Coarse,
+            )
+            .expect("static key"),
+            PoolKey::new(
+                SamplerKind::RrSim,
+                "one-way",
+                crate::protocol::EpsTier::Coarse,
+            )
+            .expect("static key"),
+            PoolKey::new(
+                SamplerKind::RrSimPlus,
+                "one-way",
+                crate::protocol::EpsTier::Coarse,
+            )
+            .expect("static key"),
+            PoolKey::new(SamplerKind::RrCim, "cim", crate::protocol::EpsTier::Coarse)
+                .expect("static key"),
+        ]
+    }
+}
+
+/// Why a service failed to start or refresh a pool.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Dataset resolution or ingestion failed.
+    Dataset(String),
+    /// A configured pool key is unusable (unknown preset, regime mismatch,
+    /// or pipeline validation failure).
+    Pool {
+        /// The offending key's wire spelling.
+        key: String,
+        /// What went wrong.
+        cause: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Dataset(e) => write!(f, "dataset: {e}"),
+            ServeError::Pool { key, cause } => write!(f, "pool {key}: {cause}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One resident pool plus its bookkeeping. The sketch arena itself is
+/// shared via the pool's internal [`Arc`], so cloning out of the registry
+/// lock is O(1) and queries never hold the lock while selecting.
+#[derive(Debug)]
+struct PoolEntry {
+    pool: SketchPool,
+    built: Instant,
+    refreshes: u64,
+    /// Queries answered from this key (survives refresh swaps).
+    queries: Arc<AtomicU64>,
+}
+
+/// The long-running query service (tentpole of the serving layer). Owns
+/// the graph and pools; [`ComicService::handle`] is safe to call from any
+/// number of threads concurrently.
+#[derive(Debug)]
+pub struct ComicService {
+    cfg: ServeConfig,
+    graph: Arc<DiGraph>,
+    graph_name: String,
+    presets: BTreeMap<String, Gap>,
+    other_seeds: Vec<NodeId>,
+    pools: RwLock<BTreeMap<PoolKey, PoolEntry>>,
+    queries: AtomicU64,
+    pool_builds: AtomicU64,
+    in_flight: AtomicU64,
+    draining: AtomicBool,
+    started: Instant,
+}
+
+/// RAII in-flight marker so graceful shutdown can drain active queries.
+struct InFlight<'a>(&'a AtomicU64);
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn key_fingerprint(key: &PoolKey) -> u64 {
+    key.to_string()
+        .bytes()
+        .fold(0x636f_6d69_635f_7376, |h, b| splitmix64(h ^ u64::from(b)))
+}
+
+impl ComicService {
+    /// Load the dataset, derive the preset registry, and warm every
+    /// configured pool. Presets:
+    ///
+    /// - `default` — the dataset's registered GAP (its learned item pair);
+    /// - `one-way` — the one-way-complement projection `q_{B|A} := q_{B|∅}`
+    ///   (the regime RR-SIM/RR-SIM+ are exact for), when valid;
+    /// - `cim` — the CIM-submodular projection `q_{B|A} := 1` (RR-CIM's
+    ///   regime, per the Chen & Zhang correction), when valid.
+    ///
+    /// Sampler/preset regime compatibility is checked here, at
+    /// registration time, so a misconfigured pool is a startup error with
+    /// the key named — never a per-query surprise.
+    pub fn start(cfg: ServeConfig) -> Result<ComicService, ServeError> {
+        let loaded =
+            datasets::load(&cfg.dataset).map_err(|e| ServeError::Dataset(e.to_string()))?;
+        let gap = loaded.gap;
+        let graph = Arc::clone(&loaded.graph);
+        let graph_name = loaded.name.clone();
+
+        let mut presets = BTreeMap::new();
+        presets.insert("default".to_string(), gap);
+        if let Ok(one_way) = gap.with_q_ba(gap.q_b0) {
+            if one_way.is_one_way_complement() {
+                presets.insert("one-way".to_string(), one_way);
+            }
+        }
+        if let Ok(cim) = gap.with_q_ba(1.0) {
+            if cim.is_cim_submodular() {
+                presets.insert("cim".to_string(), cim);
+            }
+        }
+
+        // The "other item" seed set the Com-IC samplers condition on: top
+        // out-degree, ties toward smaller ids — deterministic, no RNG.
+        let mut by_degree: Vec<NodeId> = graph.nodes().collect();
+        by_degree.sort_by_key(|&v| (std::cmp::Reverse(graph.out_degree(v)), v.0));
+        by_degree.truncate(cfg.other_seeds.min(graph.num_nodes()));
+        let other_seeds = by_degree;
+
+        let svc = ComicService {
+            cfg,
+            graph,
+            graph_name,
+            presets,
+            other_seeds,
+            pools: RwLock::new(BTreeMap::new()),
+            queries: AtomicU64::new(0),
+            pool_builds: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            started: Instant::now(),
+        };
+
+        for key in svc.cfg.pools.clone() {
+            let pool = svc.build_pool(&key, 0).map_err(|cause| ServeError::Pool {
+                key: key.to_string(),
+                cause,
+            })?;
+            svc.pools.write().expect("pool lock").insert(
+                key,
+                PoolEntry {
+                    pool,
+                    built: Instant::now(),
+                    refreshes: 0,
+                    queries: Arc::new(AtomicU64::new(0)),
+                },
+            );
+        }
+        Ok(svc)
+    }
+
+    /// The loaded graph.
+    pub fn graph(&self) -> &Arc<DiGraph> {
+        &self.graph
+    }
+
+    /// The "other item" seed set Com-IC pools condition on.
+    pub fn other_seeds(&self) -> &[NodeId] {
+        &self.other_seeds
+    }
+
+    /// The config the service started under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Registered preset names and their GAPs, name order.
+    pub fn presets(&self) -> Vec<(String, Gap)> {
+        self.presets.iter().map(|(n, g)| (n.clone(), *g)).collect()
+    }
+
+    /// Resident pool keys, key order.
+    pub fn pool_keys(&self) -> Vec<PoolKey> {
+        self.pools
+            .read()
+            .expect("pool lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// A clone of one resident pool (O(1): the arena is shared). Tests use
+    /// this to run a cold [`RisPipeline::run_on_pool`] against the exact
+    /// sketches the service answers from.
+    pub fn pool(&self, key: &PoolKey) -> Option<SketchPool> {
+        self.pools
+            .read()
+            .expect("pool lock")
+            .get(key)
+            .map(|e| e.pool.clone())
+    }
+
+    /// Pool (re)builds since start — startup warming plus refreshes. A
+    /// warm query leaves this unchanged; tests assert exactly that.
+    pub fn pool_builds(&self) -> u64 {
+        self.pool_builds.load(Ordering::SeqCst)
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown: new queries are refused with `shutting_down`.
+    pub fn begin_shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until every in-flight query has finished (call after
+    /// [`ComicService::begin_shutdown`]).
+    pub fn drain(&self) {
+        while self.in_flight.load(Ordering::SeqCst) > 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Deterministic generation seed for `(key, generation)`.
+    fn pool_seed(&self, key: &PoolKey, generation: u64) -> u64 {
+        splitmix64(self.cfg.seed ^ key_fingerprint(key) ^ splitmix64(generation ^ 0x7265_6672))
+    }
+
+    /// Build the sketches for `key` at `generation` (stages 1–3 of the
+    /// pipeline, on `gen_threads` workers). The only sampling path in the
+    /// service; bumps [`ComicService::pool_builds`].
+    fn build_pool(&self, key: &PoolKey, generation: u64) -> Result<SketchPool, String> {
+        let gap = *self.presets.get(&key.preset).ok_or_else(|| {
+            let known: Vec<&str> = self.presets.keys().map(String::as_str).collect();
+            format!(
+                "unknown preset {:?} (registered: {})",
+                key.preset,
+                known.join(", ")
+            )
+        })?;
+        let mut tc = TimConfig::new(self.cfg.design_k)
+            .epsilon(key.tier.epsilon())
+            .seed(self.pool_seed(key, generation))
+            .threads(self.cfg.gen_threads);
+        if let Some(cap) = self.cfg.max_rr_sets {
+            tc = tc.max_rr_sets(cap);
+        }
+        let pipe = RisPipeline::new(tc);
+        let g = self.graph.as_ref();
+        let pool = match key.sampler {
+            SamplerKind::VanillaIc => pipe
+                .generate_pool(|| IcRrSampler::new(g))
+                .map_err(|e| e.to_string())?,
+            SamplerKind::RrSim => {
+                let f =
+                    RrSimSampler::factory(g, gap, &self.other_seeds).map_err(|e| e.to_string())?;
+                pipe.generate_pool(f).map_err(|e| e.to_string())?
+            }
+            SamplerKind::RrSimPlus => {
+                let f = RrSimPlusSampler::factory(g, gap, &self.other_seeds)
+                    .map_err(|e| e.to_string())?;
+                pipe.generate_pool(f).map_err(|e| e.to_string())?
+            }
+            SamplerKind::RrCim => {
+                let f =
+                    RrCimSampler::factory(g, gap, &self.other_seeds).map_err(|e| e.to_string())?;
+                pipe.generate_pool(f).map_err(|e| e.to_string())?
+            }
+        };
+        self.pool_builds.fetch_add(1, Ordering::SeqCst);
+        Ok(pool.with_generation(generation))
+    }
+
+    /// Regenerate one pool (generation + 1) and swap it in. Deterministic:
+    /// generation `g` of a key has the same bytes in every instance.
+    pub fn refresh(&self, key: &PoolKey) -> Result<PoolMeta, Response> {
+        let current = self.pool(key).ok_or_else(|| unknown_pool(key))?;
+        let next_gen = current.generation() + 1;
+        let pool = self
+            .build_pool(key, next_gen)
+            .map_err(|cause| Response::Error {
+                code: ErrorCode::Pool,
+                message: format!("refresh of {key} failed: {cause}"),
+            })?;
+        let meta = meta_of(key, &pool);
+        let mut pools = self.pools.write().expect("pool lock");
+        if let Some(entry) = pools.get_mut(key) {
+            entry.pool = pool;
+            entry.built = Instant::now();
+            entry.refreshes += 1;
+        }
+        Ok(meta)
+    }
+
+    /// Refresh every resident pool (the background refresher's body).
+    pub fn refresh_all(&self) {
+        for key in self.pool_keys() {
+            if self.is_draining() {
+                return;
+            }
+            let _ = self.refresh(&key);
+        }
+    }
+
+    /// Spawn the background refresh thread: every `every`, regenerate all
+    /// pools on the deterministic generation schedule; exits promptly once
+    /// shutdown begins. Join the handle after [`ComicService::drain`].
+    pub fn spawn_refresher(self: &Arc<Self>, every: Duration) -> std::thread::JoinHandle<()> {
+        let svc = Arc::clone(self);
+        std::thread::spawn(move || {
+            let tick = Duration::from_millis(25);
+            let mut since = Duration::ZERO;
+            while !svc.is_draining() {
+                std::thread::sleep(tick);
+                since += tick;
+                if since >= every {
+                    since = Duration::ZERO;
+                    svc.refresh_all();
+                }
+            }
+        })
+    }
+
+    /// Handle one raw request line (parse + [`ComicService::handle`]).
+    pub fn handle_line(&self, line: &str) -> Response {
+        match crate::protocol::parse_request(line) {
+            Ok(req) => self.handle(&req),
+            Err(e) => Response::parse_error(&e),
+        }
+    }
+
+    /// Handle one typed request.
+    pub fn handle(&self, req: &Request) -> Response {
+        match req {
+            Request::Ping => Response::Pong,
+            Request::Shutdown => {
+                self.begin_shutdown();
+                Response::ShuttingDown
+            }
+            Request::Stats => self.stats(),
+            Request::Refresh { pool } => match self.refresh(pool) {
+                Ok(meta) => Response::Refreshed { pool: meta },
+                Err(resp) => resp,
+            },
+            Request::Batch(reqs) => Response::Batch(reqs.iter().map(|r| self.handle(r)).collect()),
+            Request::Select { .. } | Request::Estimate { .. } => {
+                if self.is_draining() {
+                    return Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "service is draining; no new queries".to_string(),
+                    };
+                }
+                self.in_flight.fetch_add(1, Ordering::SeqCst);
+                let _guard = InFlight(&self.in_flight);
+                self.queries.fetch_add(1, Ordering::SeqCst);
+                match req {
+                    Request::Select {
+                        pool,
+                        k,
+                        selector,
+                        budget,
+                    } => self.select(pool, *k, *selector, *budget),
+                    Request::Estimate {
+                        pool,
+                        seeds,
+                        budget,
+                    } => self.estimate(pool, seeds, *budget),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    fn query_pool(&self, key: &PoolKey) -> Result<(SketchPool, Arc<AtomicU64>), Response> {
+        let pools = self.pools.read().expect("pool lock");
+        let entry = pools.get(key).ok_or_else(|| unknown_pool(key))?;
+        Ok((entry.pool.clone(), Arc::clone(&entry.queries)))
+    }
+
+    fn select(
+        &self,
+        key: &PoolKey,
+        k: usize,
+        selector: Option<SelectorKind>,
+        budget: Option<u64>,
+    ) -> Response {
+        let (pool, counter) = match self.query_pool(key) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        counter.fetch_add(1, Ordering::SeqCst);
+        let effective = apply_budget(&pool, budget);
+        let selector = selector.unwrap_or(SelectorKind::Celf);
+        let tc = TimConfig::new(k)
+            .selector(selector)
+            .threads(self.cfg.threads);
+        // Warm path: selection only, zero sampling (the pipeline consumes
+        // the resident pool).
+        let r = match RisPipeline::new(tc).run_on_pool(&effective) {
+            Ok(r) => r,
+            Err(e) => {
+                return Response::Error {
+                    code: ErrorCode::BadQuery,
+                    message: e.to_string(),
+                }
+            }
+        };
+        let mut meta = meta_of(key, &pool);
+        meta.capped = effective.capped();
+        Response::Selected {
+            pool: meta,
+            k: k as u64,
+            selector,
+            consulted: effective.len() as u64,
+            seeds: r.seeds.iter().map(|s| s.0).collect(),
+            covered: r.covered,
+            est_spread: r.est_spread,
+            warm: true,
+        }
+    }
+
+    fn estimate(&self, key: &PoolKey, seeds: &[u32], budget: Option<u64>) -> Response {
+        let (pool, counter) = match self.query_pool(key) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        counter.fetch_add(1, Ordering::SeqCst);
+        let n = pool.num_nodes();
+        if let Some(&bad) = seeds.iter().find(|&&s| s as usize >= n) {
+            return Response::Error {
+                code: ErrorCode::BadQuery,
+                message: format!("seed {bad} out of range for a {n}-node graph"),
+            };
+        }
+        let effective = apply_budget(&pool, budget);
+        let nodes: Vec<NodeId> = seeds.iter().map(|&s| NodeId(s)).collect();
+        let est = effective.estimate_spread(&nodes);
+        let mut meta = meta_of(key, &pool);
+        meta.capped = effective.capped();
+        Response::Estimated {
+            pool: meta,
+            seeds: seeds.len() as u64,
+            consulted: effective.len() as u64,
+            est_spread: est,
+            warm: true,
+        }
+    }
+
+    fn stats(&self) -> Response {
+        let pools = self.pools.read().expect("pool lock");
+        let rows = pools
+            .iter()
+            .map(|(key, entry)| PoolStats {
+                meta: meta_of(key, &entry.pool),
+                age_ms: entry.built.elapsed().as_millis() as u64,
+                refreshes: entry.refreshes,
+                queries: entry.queries.load(Ordering::SeqCst),
+            })
+            .collect();
+        Response::Stats {
+            graph: self.graph_name.clone(),
+            nodes: self.graph.num_nodes() as u64,
+            edges: self.graph.num_edges() as u64,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            queries: self.queries.load(Ordering::SeqCst),
+            pool_builds: self.pool_builds(),
+            pools: rows,
+        }
+    }
+}
+
+fn unknown_pool(key: &PoolKey) -> Response {
+    Response::Error {
+        code: ErrorCode::UnknownPool,
+        message: format!("no resident pool {key}"),
+    }
+}
+
+fn meta_of(key: &PoolKey, pool: &SketchPool) -> PoolMeta {
+    PoolMeta {
+        key: key.to_string(),
+        sketches: pool.len() as u64,
+        generation: pool.generation(),
+        design_k: pool.design_k() as u64,
+        epsilon: pool.epsilon(),
+        capped: pool.capped(),
+    }
+}
+
+/// A per-query sketch budget: consult only the first `budget` sketches
+/// (prefixes are deterministic, so budgeted answers are too).
+fn apply_budget(pool: &SketchPool, budget: Option<u64>) -> SketchPool {
+    match budget {
+        Some(b) if (b as usize) < pool.len() => pool.prefix(b as usize),
+        _ => pool.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::EpsTier;
+
+    fn small_cfg() -> ServeConfig {
+        let mut cfg = ServeConfig::new("fixture-small");
+        cfg.design_k = 10;
+        cfg.max_rr_sets = Some(8_000);
+        cfg.pools = vec![
+            PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).unwrap(),
+            PoolKey::new(SamplerKind::RrSim, "one-way", EpsTier::Coarse).unwrap(),
+        ];
+        cfg
+    }
+
+    #[test]
+    fn startup_warms_the_configured_pools() {
+        let svc = ComicService::start(small_cfg()).unwrap();
+        assert_eq!(svc.pool_keys().len(), 2);
+        assert_eq!(svc.pool_builds(), 2);
+        let key = PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).unwrap();
+        let pool = svc.pool(&key).unwrap();
+        assert!(!pool.is_empty());
+        assert_eq!(pool.generation(), 0);
+        assert_eq!(pool.design_k(), 10);
+        // Presets: the fixture gap is mutually complementary, so all three
+        // projections register.
+        let names: Vec<String> = svc.presets().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["cim", "default", "one-way"]);
+        // Other-item seeds are the top out-degree nodes, deterministic.
+        assert_eq!(svc.other_seeds().len(), svc.config().other_seeds);
+        let g = svc.graph();
+        for w in svc.other_seeds().windows(2) {
+            let (a, b) = (g.out_degree(w[0]), g.out_degree(w[1]));
+            assert!(a > b || (a == b && w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn misconfigured_pools_fail_startup_loudly() {
+        // Unknown preset.
+        let mut cfg = small_cfg();
+        cfg.pools = vec![PoolKey::new(SamplerKind::VanillaIc, "nope", EpsTier::Coarse).unwrap()];
+        let err = ComicService::start(cfg).unwrap_err().to_string();
+        assert!(err.contains("nope") && err.contains("preset"), "{err}");
+        // Regime mismatch: RR-CIM on the raw dataset gap (q_B|A ≠ 1).
+        let mut cfg = small_cfg();
+        cfg.pools = vec![PoolKey::new(SamplerKind::RrCim, "default", EpsTier::Coarse).unwrap()];
+        let err = ComicService::start(cfg).unwrap_err().to_string();
+        assert!(err.contains("RR-CIM"), "{err}");
+        // Unknown dataset.
+        let err = ComicService::start(ServeConfig::new("no-such-dataset"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("no-such-dataset"), "{err}");
+    }
+
+    #[test]
+    fn warm_queries_never_rebuild_pools() {
+        let svc = ComicService::start(small_cfg()).unwrap();
+        let builds = svc.pool_builds();
+        let key = "vanilla-ic/default/coarse";
+        for line in [
+            format!("{{\"op\":\"select\",\"pool\":\"{key}\",\"k\":5}}"),
+            format!("{{\"op\":\"select\",\"pool\":\"{key}\",\"k\":3,\"selector\":\"naive\",\"budget\":500}}"),
+            format!("{{\"op\":\"estimate\",\"pool\":\"{key}\",\"seeds\":[0,1,2]}}"),
+        ] {
+            let resp = svc.handle_line(&line);
+            assert!(resp.to_line().contains("\"ok\":true"), "{line}");
+        }
+        assert_eq!(svc.pool_builds(), builds, "warm queries must not sample");
+    }
+
+    #[test]
+    fn select_answers_match_a_cold_pipeline_over_the_same_pool() {
+        let svc = ComicService::start(small_cfg()).unwrap();
+        let key = PoolKey::new(SamplerKind::RrSim, "one-way", EpsTier::Coarse).unwrap();
+        let pool = svc.pool(&key).unwrap();
+        let cold = RisPipeline::new(TimConfig::new(5).threads(1))
+            .run_on_pool(&pool)
+            .unwrap();
+        let resp = svc.handle(&Request::Select {
+            pool: key,
+            k: 5,
+            selector: None,
+            budget: None,
+        });
+        match resp {
+            Response::Selected {
+                seeds,
+                covered,
+                est_spread,
+                consulted,
+                warm,
+                ..
+            } => {
+                let cold_seeds: Vec<u32> = cold.seeds.iter().map(|s| s.0).collect();
+                assert_eq!(seeds, cold_seeds);
+                assert_eq!(covered, cold.covered);
+                assert_eq!(est_spread, cold.est_spread);
+                assert_eq!(consulted, pool.len() as u64);
+                assert!(warm);
+            }
+            other => panic!("expected Selected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refresh_advances_the_generation_deterministically() {
+        let svc = ComicService::start(small_cfg()).unwrap();
+        let key = PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).unwrap();
+        let g0 = svc.pool(&key).unwrap();
+        let meta = svc.refresh(&key).unwrap();
+        assert_eq!(meta.generation, 1);
+        let g1 = svc.pool(&key).unwrap();
+        assert_eq!(g1.generation(), 1);
+        // Different generation, different (deterministic) stream.
+        assert_ne!(g0.seed(), g1.seed());
+        // A second instance refreshed the same way lands on identical bytes.
+        let svc2 = ComicService::start(small_cfg()).unwrap();
+        svc2.refresh(&key).unwrap();
+        let h1 = svc2.pool(&key).unwrap();
+        assert_eq!(g1.seed(), h1.seed());
+        assert_eq!(g1.len(), h1.len());
+        assert!((0..g1.len()).all(|i| g1.store().set(i) == h1.store().set(i)));
+        // Unknown keys refresh to a typed error.
+        let missing = PoolKey::new(SamplerKind::RrCim, "cim", EpsTier::Fine).unwrap();
+        assert!(svc.refresh(&missing).is_err());
+    }
+
+    #[test]
+    fn shutdown_refuses_new_queries_but_answers_control_ops() {
+        let svc = ComicService::start(small_cfg()).unwrap();
+        assert_eq!(svc.handle(&Request::Shutdown), Response::ShuttingDown);
+        assert!(svc.is_draining());
+        let resp = svc.handle(&Request::Select {
+            pool: PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).unwrap(),
+            k: 1,
+            selector: None,
+            budget: None,
+        });
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::ShuttingDown,
+                ..
+            }
+        ));
+        assert_eq!(svc.handle(&Request::Ping), Response::Pong);
+        svc.drain(); // nothing in flight: returns immediately
+    }
+
+    #[test]
+    fn bad_queries_are_typed_errors() {
+        let svc = ComicService::start(small_cfg()).unwrap();
+        let key = PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).unwrap();
+        // k larger than the graph.
+        let resp = svc.handle(&Request::Select {
+            pool: key.clone(),
+            k: 10_000_000,
+            selector: None,
+            budget: None,
+        });
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::BadQuery,
+                ..
+            }
+        ));
+        // Seed out of range.
+        let resp = svc.handle(&Request::Estimate {
+            pool: key,
+            seeds: vec![4_000_000],
+            budget: None,
+        });
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::BadQuery,
+                ..
+            }
+        ));
+        // Unknown pool.
+        let resp = svc.handle(&Request::Estimate {
+            pool: PoolKey::new(SamplerKind::RrCim, "cim", EpsTier::Fine).unwrap(),
+            seeds: vec![0],
+            budget: None,
+        });
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::UnknownPool,
+                ..
+            }
+        ));
+    }
+}

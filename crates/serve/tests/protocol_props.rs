@@ -1,0 +1,146 @@
+//! Property tests for the serve wire protocol (satellite of the serving
+//! PR): valid requests round-trip `parse ∘ serialize` exactly and their
+//! lines re-serialize bit-identically; arbitrary byte soup never panics
+//! the parser and always yields a typed error or a valid request.
+
+// The proptest shim's macro expands tests recursively; five properties in
+// one block exceed the default limit.
+#![recursion_limit = "256"]
+
+use comic_ris::select::SelectorKind;
+use comic_serve::json;
+use comic_serve::protocol::{parse_request, EpsTier, PoolKey, Request, SamplerKind};
+use proptest::prelude::*;
+
+/// Preset names exercising the allowed alphabet (no `/`, non-empty).
+const PRESETS: [&str; 5] = ["default", "one-way", "cim", "pair_7", "a.b-c9"];
+
+/// Arbitrary non-batch requests, driven by a variant selector plus a pool
+/// of numeric knobs (the shim has no string strategies or `prop_oneof`, so
+/// variants are picked by index and optional fields by parity).
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        (0u32..6, 1u64..2_000, 0u32..3, 0u64..50_000),
+        (0usize..4, 0usize..PRESETS.len(), 0usize..3),
+        proptest::collection::vec(0u32..100_000, 0..8),
+    )
+        .prop_map(|((variant, k, sel, budget), (s, p, t), seeds)| {
+            let pool = PoolKey::new(SamplerKind::ALL[s], PRESETS[p], EpsTier::ALL[t])
+                .expect("valid preset");
+            let selector = match sel {
+                0 => None,
+                1 => Some(SelectorKind::NaiveGreedy),
+                _ => Some(SelectorKind::Celf),
+            };
+            let budget = (budget > 0).then_some(budget);
+            match variant {
+                0 => Request::Ping,
+                1 => Request::Stats,
+                2 => Request::Shutdown,
+                3 => Request::Refresh { pool },
+                4 => Request::Select {
+                    pool,
+                    k: k as usize,
+                    selector,
+                    budget,
+                },
+                _ => Request::Estimate {
+                    pool,
+                    seeds,
+                    budget,
+                },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse ∘ to_line` is the identity on typed requests, and the line
+    /// re-serializes bit-exactly (the fixed-field-order contract).
+    #[test]
+    fn requests_round_trip_bit_exactly(req in arb_request()) {
+        let line = req.to_line();
+        let parsed = parse_request(&line).expect("own serialization must parse");
+        prop_assert_eq!(&parsed, &req);
+        prop_assert_eq!(parsed.to_line(), line.clone());
+        // And the line is valid JSON at the layer below.
+        prop_assert!(json::parse(&line).is_ok());
+    }
+
+    /// Batches of arbitrary sub-requests round-trip too (one nesting level,
+    /// exactly what the protocol admits).
+    #[test]
+    fn batches_round_trip(reqs in proptest::collection::vec(arb_request(), 0..5)) {
+        let batch = Request::Batch(reqs);
+        let line = batch.to_line();
+        let parsed = parse_request(&line).expect("batch must parse");
+        prop_assert_eq!(&parsed, &batch);
+        prop_assert_eq!(parsed.to_line(), line);
+    }
+
+    /// Arbitrary bytes never panic the parser: every line is either a
+    /// valid request (which then round-trips) or a typed error with a
+    /// non-empty message. This is the service's first line of defense —
+    /// `handle_line` feeds it raw network input.
+    #[test]
+    fn arbitrary_bytes_yield_typed_results(
+        bytes in proptest::collection::vec(0u32..=255, 0..80),
+    ) {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let line = String::from_utf8_lossy(&raw);
+        match parse_request(&line) {
+            Ok(req) => {
+                let reline = req.to_line();
+                prop_assert_eq!(parse_request(&reline).expect("round-trip"), req);
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Same for structurally-plausible JSON that is not a valid request:
+    /// wrap arbitrary numbers into near-miss shapes and demand typed
+    /// errors, never panics.
+    #[test]
+    fn near_miss_requests_are_typed_errors(
+        k in 0u64..5,
+        extra in 0u32..6,
+        seeds in proptest::collection::vec(0u32..100, 0..4),
+    ) {
+        let seeds_json = format!(
+            "[{}]",
+            seeds.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+        );
+        let near_misses = [
+            // k = 0 is out of range; missing pool; unknown field; wrong types.
+            format!("{{\"op\":\"select\",\"pool\":\"rr-sim/default/mid\",\"k\":{k}}}"),
+            format!("{{\"op\":\"select\",\"k\":{k}}}"),
+            format!("{{\"op\":\"ping\",\"extra\":{extra}}}"),
+            format!("{{\"op\":\"estimate\",\"pool\":\"rr-sim/default/mid\",\"seeds\":{extra}}}"),
+            format!("{{\"op\":{extra}}}"),
+            format!("{{\"op\":\"estimate\",\"pool\":{extra},\"seeds\":{seeds_json}}}"),
+        ];
+        for line in &near_misses {
+            match parse_request(line) {
+                // Only the k >= 1 select with a pool is a valid request.
+                Ok(req) => prop_assert!(
+                    matches!(req, Request::Select { k, .. } if k >= 1),
+                    "unexpectedly valid: {}", line
+                ),
+                Err(e) => prop_assert!(!e.to_string().is_empty()),
+            }
+        }
+    }
+
+    /// The JSON layer's number formatting survives a round-trip (shortest
+    /// representation that re-parses to the same f64) — responses carry
+    /// spread estimates, so this is load-bearing for byte-identity.
+    #[test]
+    fn json_numbers_round_trip(x in -1.0e12f64..=1.0e12) {
+        let v = json::build::num(x);
+        let line = v.serialize();
+        let re = json::parse(&line).expect("serialized number parses");
+        prop_assert_eq!(re.as_f64(), Some(x));
+        prop_assert_eq!(re.serialize(), line);
+    }
+}
