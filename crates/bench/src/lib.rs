@@ -14,6 +14,8 @@
 //!   RR-generation, seed selection) as one API.
 //! * [`report`] — plain-text table/series rendering shaped like the paper's
 //!   tables, plus CSV output.
+//! * [`metrics`] — percentiles, snapshot rounding, and serving outcome
+//!   tallies shared by the load driver and the chaos suite.
 //! * [`runtime`] — wall-clock measurement helpers.
 //! * [`exp`] — one module per table/figure; the `src/bin/*` drivers are
 //!   thin wrappers around these.
@@ -30,6 +32,7 @@ use std::sync::Arc;
 pub mod datasets;
 pub mod exp;
 pub mod invariance;
+pub mod metrics;
 pub mod report;
 pub mod runtime;
 

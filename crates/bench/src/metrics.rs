@@ -1,0 +1,113 @@
+//! Shared measurement helpers for bench drivers and the serving load
+//! driver: percentiles, fixed-precision rounding for stable JSON
+//! snapshots, and typed outcome tallies over protocol response lines.
+//!
+//! The serving layer's robustness work (admission control, deadlines,
+//! graceful degradation) turned "did the query succeed" from a boolean
+//! into a four-way outcome — [`OutcomeCounts`] is the one shared
+//! vocabulary for it, so the load driver, chaos suite, and CI smoke all
+//! classify response lines the same way.
+
+/// The `p`-th percentile (`0.0..=1.0`) of an ascending-sorted sample set,
+/// nearest-rank on the rounded index. Empty input yields `0.0`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Round to three decimals — the bench snapshots' fixed precision.
+pub fn round3(x: f64) -> f64 {
+    (x * 1_000.0).round() / 1_000.0
+}
+
+/// Outcome tallies over a batch of serving-protocol response lines.
+///
+/// Classification is on the wire form (this crate sits *below*
+/// `comic-serve`, so it cannot see the typed `Response`): `ok:true` lines
+/// count as `ok` (plus `degraded` when flagged), `overloaded` errors as
+/// `shed`, `deadline_exceeded` as `deadline`, anything else failing as
+/// `other_error`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Successful answers (`"ok":true`), degraded or not.
+    pub ok: u64,
+    /// Subset of `ok` carrying `"degraded":true` (stale refresh and/or
+    /// deadline-driven ε-degradation).
+    pub degraded: u64,
+    /// Typed `overloaded` sheds (admission control or connection cap).
+    pub shed: u64,
+    /// Typed `deadline_exceeded` misses.
+    pub deadline: u64,
+    /// Every other failure (parse, bad query, pool, transport...).
+    pub other_error: u64,
+}
+
+impl OutcomeCounts {
+    /// All lines recorded so far.
+    pub fn total(&self) -> u64 {
+        self.ok + self.shed + self.deadline + self.other_error
+    }
+
+    /// Classify one response line.
+    pub fn record_line(&mut self, line: &str) {
+        if line.starts_with("{\"ok\":true") {
+            self.ok += 1;
+            if line.contains("\"degraded\":true") {
+                self.degraded += 1;
+            }
+        } else if line.contains("\"error\":\"overloaded\"") {
+            self.shed += 1;
+        } else if line.contains("\"error\":\"deadline_exceeded\"") {
+            self.deadline += 1;
+        } else {
+            self.other_error += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank_and_total_order() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 1.0), 4.0);
+        assert_eq!(percentile(&s, 0.5), 3.0); // rounds (3 * 0.5) = 1.5 up
+    }
+
+    #[test]
+    fn round3_snaps_to_three_decimals() {
+        assert_eq!(round3(1.23456), 1.235);
+        assert_eq!(round3(-0.0004), -0.0);
+        assert_eq!(round3(2.0), 2.0);
+    }
+
+    #[test]
+    fn outcomes_classify_the_wire_forms() {
+        let mut c = OutcomeCounts::default();
+        c.record_line("{\"ok\":true,\"seeds\":[1],\"degraded\":false}");
+        c.record_line(
+            "{\"ok\":true,\"seeds\":[1],\"degraded\":true,\"degrade_reason\":\"deadline\"}",
+        );
+        c.record_line("{\"ok\":false,\"error\":\"overloaded\",\"message\":\"m\"}");
+        c.record_line("{\"ok\":false,\"error\":\"deadline_exceeded\",\"message\":\"m\"}");
+        c.record_line("{\"ok\":false,\"error\":\"bad_query\",\"message\":\"m\"}");
+        assert_eq!(
+            c,
+            OutcomeCounts {
+                ok: 2,
+                degraded: 1,
+                shed: 1,
+                deadline: 1,
+                other_error: 1,
+            }
+        );
+        assert_eq!(c.total(), 5);
+    }
+}

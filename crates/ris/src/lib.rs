@@ -51,7 +51,7 @@ pub mod tim;
 
 pub use error::RisError;
 pub use parallel::ShardedGenerator;
-pub use pipeline::RisPipeline;
+pub use pipeline::{PoolStage, RisPipeline};
 pub use pool::SketchPool;
 pub use rr::RrStore;
 pub use sampler::RrSampler;

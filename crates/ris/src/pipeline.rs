@@ -52,6 +52,21 @@ pub struct RisPipeline {
     cfg: TimConfig,
 }
 
+/// A named stage of [`RisPipeline::generate_pool`], reported to the
+/// observer of [`RisPipeline::generate_pool_observed`] immediately before
+/// the stage runs. Gives embedders (the serving layer's fault-injection
+/// substrate, progress reporting) a hook *inside* a pool build without the
+/// pipeline knowing about either.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolStage {
+    /// Stage 1: KPT* lower-bound estimation is about to run.
+    Kpt,
+    /// Stage 2: θ derivation (Equation (3)) is about to run.
+    Theta,
+    /// Stage 3: sharded RR-set generation is about to run.
+    Generate,
+}
+
 impl RisPipeline {
     /// A pipeline running under `cfg`.
     pub fn new(cfg: TimConfig) -> RisPipeline {
@@ -93,6 +108,26 @@ impl RisPipeline {
         S: RrSampler,
         F: Fn() -> S + Sync,
     {
+        self.generate_pool_observed(factory, |_| {})
+    }
+
+    /// [`RisPipeline::generate_pool`] with a stage observer: `observe` is
+    /// called with each [`PoolStage`] immediately before that stage runs
+    /// (after config validation). The observer may panic to abort the
+    /// build mid-flight — the serving layer's chaos harness injects
+    /// pool-build panics through exactly this hook, so panic isolation is
+    /// exercised against a failure *inside* the pipeline, not a stand-in
+    /// before it.
+    pub fn generate_pool_observed<S, F, O>(
+        &self,
+        factory: F,
+        observe: O,
+    ) -> Result<SketchPool, RisError>
+    where
+        S: RrSampler,
+        F: Fn() -> S + Sync,
+        O: Fn(PoolStage),
+    {
         let cfg = &self.cfg;
         // One probe construction serves validation and the graph dimensions.
         let (n, m) = {
@@ -102,13 +137,16 @@ impl RisPipeline {
         cfg.validate(n)?;
 
         // Stage 1: lower-bound estimation (sharded rounds).
+        observe(PoolStage::Kpt);
         let kpt_seed = splitmix64(cfg.seed ^ 0x006b_7074);
         let kpt = kpt_star_with_dims(&factory, cfg.k, cfg.ell, kpt_seed, cfg.threads, n, m);
 
         // Stage 2: θ from Equation (3).
+        observe(PoolStage::Theta);
         let (theta_n, capped) = cfg.cap_theta(theta(n, cfg.k, cfg.epsilon, cfg.ell, kpt.kpt));
 
         // Stage 3: sample θ RR-sets across the worker shards.
+        observe(PoolStage::Generate);
         let avg = (kpt.total_members / kpt.samples.max(1)).max(1) as usize;
         let theta_seed = splitmix64(cfg.seed ^ 0x74_6865_7461);
         let store = ShardedGenerator::new(&factory, theta_seed, cfg.threads).generate(theta_n, avg);
@@ -291,6 +329,38 @@ mod tests {
         assert!(RisPipeline::new(TimConfig::new(10_000))
             .run_on_pool(&pool)
             .is_err());
+    }
+
+    #[test]
+    fn observed_builds_report_stages_in_order_and_match_unobserved() {
+        use std::sync::Mutex;
+        let g = test_graph();
+        let pipe = RisPipeline::new(TimConfig::new(4).seed(11).max_rr_sets(10_000));
+        let stages = Mutex::new(Vec::new());
+        let observed = pipe
+            .generate_pool_observed(|| IcRrSampler::new(&g), |s| stages.lock().unwrap().push(s))
+            .unwrap();
+        assert_eq!(
+            *stages.lock().unwrap(),
+            [PoolStage::Kpt, PoolStage::Theta, PoolStage::Generate]
+        );
+        // The observer must not perturb the build.
+        let plain = pipe.generate_pool(|| IcRrSampler::new(&g)).unwrap();
+        assert_eq!(observed.len(), plain.len());
+        assert_eq!(observed.kpt(), plain.kpt());
+        assert!((0..observed.len()).all(|i| observed.store().set(i) == plain.store().set(i)));
+        // A panicking observer aborts the build and unwinds cleanly.
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pipe.generate_pool_observed(
+                || IcRrSampler::new(&g),
+                |s| {
+                    if s == PoolStage::Generate {
+                        panic!("injected");
+                    }
+                },
+            )
+        }));
+        assert!(boom.is_err());
     }
 
     #[test]

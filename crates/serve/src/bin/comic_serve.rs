@@ -4,6 +4,7 @@
 //! newline-delimited JSON requests on stdin/stdout (default) or a TCP
 //! listener (`--tcp`). See the README "Serving" section for the protocol.
 
+use comic_serve::faults::FaultPlan;
 use comic_serve::protocol::PoolKey;
 use comic_serve::server::{serve_lines, TcpServer};
 use comic_serve::service::{ComicService, ServeConfig};
@@ -34,6 +35,21 @@ OPTIONS:
   --tcp <addr>                   serve on a TCP listener (e.g.
                                  127.0.0.1:7717) instead of stdio
   --refresh-ms <n>               background-refresh all pools every n ms
+  --inflight-cap <n|none>        admit at most n concurrent queries; the
+                                 rest shed with a typed 'overloaded' error
+                                 (default: none)
+  --deadline-ms <n|none>         implicit per-query deadline for requests
+                                 without their own (default: none)
+  --sketch-cost-ns <n>           deadline cost model: modelled ns of work
+                                 per consulted sketch; 0 disables the
+                                 model (default: 2000)
+  --max-conns <n>                TCP connection cap; over-cap connections
+                                 shed with 'overloaded' (default: 32)
+  --read-deadline-ms <n>         close a TCP connection stalled mid-line
+                                 this long (default: 10000)
+  --faults <spec>                deterministic fault plan, e.g.
+                                 'seed=42,refresh-build=0.5,conn-read=first:3'
+                                 (chaos testing; default: none)
   -h, --help                     this help
 ";
 
@@ -48,6 +64,8 @@ fn main() -> ExitCode {
     let mut pools: Vec<PoolKey> = Vec::new();
     let mut tcp: Option<String> = None;
     let mut refresh_ms: Option<u64> = None;
+    let mut max_conns: usize = 32;
+    let mut read_deadline_ms: u64 = 10_000;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -116,6 +134,44 @@ fn main() -> ExitCode {
                 Ok(v) => refresh_ms = Some(v),
                 Err(e) => return fail(&e),
             },
+            "--inflight-cap" => match value("--inflight-cap") {
+                Ok(v) if v == "none" => cfg.max_in_flight = None,
+                Ok(v) => match v.parse() {
+                    Ok(n) => cfg.max_in_flight = Some(n),
+                    Err(e) => return fail(&format!("--inflight-cap: {e}")),
+                },
+                Err(e) => return fail(&e),
+            },
+            "--deadline-ms" => match value("--deadline-ms") {
+                Ok(v) if v == "none" => cfg.default_deadline_ms = None,
+                Ok(v) => match v.parse() {
+                    Ok(n) => cfg.default_deadline_ms = Some(n),
+                    Err(e) => return fail(&format!("--deadline-ms: {e}")),
+                },
+                Err(e) => return fail(&e),
+            },
+            "--sketch-cost-ns" => match value("--sketch-cost-ns")
+                .and_then(|v| v.parse().map_err(|e| format!("--sketch-cost-ns: {e}")))
+            {
+                Ok(v) => cfg.sketch_cost_ns = v,
+                Err(e) => return fail(&e),
+            },
+            "--max-conns" => match value("--max-conns")
+                .and_then(|v| v.parse().map_err(|e| format!("--max-conns: {e}")))
+            {
+                Ok(v) => max_conns = v,
+                Err(e) => return fail(&e),
+            },
+            "--read-deadline-ms" => match value("--read-deadline-ms")
+                .and_then(|v| v.parse().map_err(|e| format!("--read-deadline-ms: {e}")))
+            {
+                Ok(v) => read_deadline_ms = v,
+                Err(e) => return fail(&e),
+            },
+            "--faults" => match value("--faults").and_then(|v| FaultPlan::parse(&v)) {
+                Ok(plan) => cfg.faults = plan,
+                Err(e) => return fail(&format!("--faults: {e}")),
+            },
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -155,6 +211,9 @@ fn main() -> ExitCode {
     let result = match tcp {
         Some(addr) => match TcpServer::bind(&addr) {
             Ok(server) => {
+                let server = server
+                    .max_conns(max_conns)
+                    .read_deadline(Duration::from_millis(read_deadline_ms));
                 eprintln!("comic-serve: listening on {}", server.local_addr());
                 server.run(&svc)
             }

@@ -3,16 +3,26 @@
 //! Starts an in-process [`ComicService`], replays a fixed query mix per
 //! class (warm selects at several shapes, warm estimates, and a cold
 //! full-pipeline baseline that re-samples from scratch), and writes
-//! `BENCH_serving.json` with queries/sec and p50/p99 latency per class.
-//! The query *mix* is deterministic; only the measured timings vary run to
-//! run. `--validate <path>` re-checks an existing snapshot against the
-//! schema and exits nonzero on a mismatch (the CI smoke step).
+//! `BENCH_serving.json` with queries/sec, p50/p99 latency, and outcome
+//! counts (`ok`/`degraded`/`shed`/`deadline`) per class. The query *mix*
+//! is deterministic; only the measured timings vary run to run.
+//!
+//! Robustness knobs mirror `comic-serve`: `--inflight-cap` and
+//! `--deadline-ms` exercise admission control and deadline degradation,
+//! `--faults` replays a deterministic chaos plan under load (the CI chaos
+//! smoke runs `--quick` with a nonzero fault rate and still requires a
+//! schema-valid snapshot and zero unexpected errors).
+//!
+//! `--validate <path>` re-checks an existing snapshot against the schema
+//! and exits nonzero on a mismatch (the CI smoke step).
 
+use comic_bench::metrics::{percentile, round3, OutcomeCounts};
 use comic_graph::fasthash::splitmix64;
 use comic_ris::ic_sampler::IcRrSampler;
 use comic_ris::select::SelectorKind;
 use comic_ris::tim::TimConfig;
 use comic_ris::RisPipeline;
+use comic_serve::faults::FaultPlan;
 use comic_serve::json::{self, build, Json};
 use comic_serve::protocol::{EpsTier, PoolKey, Request, SamplerKind};
 use comic_serve::service::{ComicService, ServeConfig};
@@ -24,27 +34,29 @@ comic-serve-load — deterministic load driver for comic-serve
 
 USAGE:
   comic-serve-load [--dataset <name>] [--quick] [--out <path>]
+                   [--inflight-cap <n|none>] [--deadline-ms <n|none>]
+                   [--faults <spec>]
   comic-serve-load --validate <path>
 
 OPTIONS:
-  --dataset <name>   dataset to serve (default: fixture-small)
-  --quick            small repetition counts (CI smoke)
-  --out <path>       output path (default: BENCH_serving.json)
-  --validate <path>  schema-check an existing snapshot; write nothing
-  -h, --help         this help
+  --dataset <name>         dataset to serve (default: fixture-small)
+  --quick                  small repetition counts (CI smoke)
+  --out <path>             output path (default: BENCH_serving.json)
+  --inflight-cap <n|none>  service admission cap; over-cap queries shed
+                           with 'overloaded' (default: none)
+  --deadline-ms <n|none>   implicit per-query deadline; short deadlines
+                           degrade answers deterministically
+                           (default: none)
+  --faults <spec>          deterministic fault plan, e.g.
+                           'seed=7,query-delay=0.1@20' (default: none)
+  --validate <path>        schema-check an existing snapshot; write nothing
+  -h, --help               this help
 ";
 
 struct Timings {
     name: &'static str,
     millis: Vec<f64>,
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    outcomes: OutcomeCounts,
 }
 
 impl Timings {
@@ -69,22 +81,34 @@ impl Timings {
                     self.millis.iter().sum::<f64>() / self.millis.len().max(1) as f64,
                 )),
             ),
+            ("ok", build::num_u64(self.outcomes.ok)),
+            ("degraded", build::num_u64(self.outcomes.degraded)),
+            ("shed", build::num_u64(self.outcomes.shed)),
+            ("deadline", build::num_u64(self.outcomes.deadline)),
         ])
     }
 }
 
-fn round3(x: f64) -> f64 {
-    (x * 1_000.0).round() / 1_000.0
-}
-
-fn timed<F: FnMut()>(name: &'static str, reps: usize, mut f: F) -> Timings {
+/// Time `reps` runs of `f`, classifying each returned response line
+/// (`None` — e.g. the cold baseline, which has no protocol line — counts
+/// as `ok`).
+fn timed<F: FnMut() -> Option<String>>(name: &'static str, reps: usize, mut f: F) -> Timings {
     let mut millis = Vec::with_capacity(reps);
+    let mut outcomes = OutcomeCounts::default();
     for _ in 0..reps {
         let t = Instant::now();
-        f();
+        let line = f();
         millis.push(t.elapsed().as_secs_f64() * 1_000.0);
+        match line {
+            Some(l) => outcomes.record_line(&l),
+            None => outcomes.ok += 1,
+        }
     }
-    Timings { name, millis }
+    Timings {
+        name,
+        millis,
+        outcomes,
+    }
 }
 
 /// Required schema of a `BENCH_serving.json` snapshot; the error names the
@@ -108,6 +132,7 @@ fn validate_schema(v: &Json) -> Result<(), String> {
     expect_str("dataset")?;
     expect_str("pool")?;
     expect_str("caveat")?;
+    expect_str("faults")?;
     for f in ["gen_threads", "threads", "design_k", "sketches"] {
         expect_num(f)?;
     }
@@ -125,7 +150,9 @@ fn validate_schema(v: &Json) -> Result<(), String> {
             .and_then(Json::as_str)
             .ok_or_else(|| format!("classes[{i}]: missing \"name\""))?;
         names.push(name.to_string());
-        for f in ["queries", "qps", "p50_ms", "p99_ms", "mean_ms"] {
+        for f in [
+            "queries", "qps", "p50_ms", "p99_ms", "mean_ms", "ok", "degraded", "shed", "deadline",
+        ] {
             if c.get(f).and_then(Json::as_f64).is_none() {
                 return Err(format!("classes[{i}] ({name}): missing numeric {f:?}"));
             }
@@ -144,6 +171,9 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut out = "BENCH_serving.json".to_string();
     let mut validate: Option<String> = None;
+    let mut inflight_cap: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut fault_spec = String::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -156,6 +186,26 @@ fn main() -> ExitCode {
             "--out" => match args.next() {
                 Some(v) => out = v,
                 None => return fail("--out needs a value"),
+            },
+            "--inflight-cap" => match args.next() {
+                Some(v) if v == "none" => inflight_cap = None,
+                Some(v) => match v.parse() {
+                    Ok(n) => inflight_cap = Some(n),
+                    Err(e) => return fail(&format!("--inflight-cap: {e}")),
+                },
+                None => return fail("--inflight-cap needs a value"),
+            },
+            "--deadline-ms" => match args.next() {
+                Some(v) if v == "none" => deadline_ms = None,
+                Some(v) => match v.parse() {
+                    Ok(n) => deadline_ms = Some(n),
+                    Err(e) => return fail(&format!("--deadline-ms: {e}")),
+                },
+                None => return fail("--deadline-ms needs a value"),
+            },
+            "--faults" => match args.next() {
+                Some(v) => fault_spec = v,
+                None => return fail("--faults needs a value"),
             },
             "--validate" => match args.next() {
                 Some(v) => validate = Some(v),
@@ -187,11 +237,19 @@ fn main() -> ExitCode {
         };
     }
 
+    let faults = match FaultPlan::parse(&fault_spec) {
+        Ok(p) => p,
+        Err(e) => return fail(&format!("--faults: {e}")),
+    };
+
     let (warm_reps, cold_reps) = if quick { (5, 1) } else { (40, 3) };
 
     let mut cfg = ServeConfig::new(&dataset);
     cfg.design_k = 50;
     cfg.max_rr_sets = Some(if quick { 20_000 } else { 60_000 });
+    cfg.max_in_flight = inflight_cap;
+    cfg.default_deadline_ms = deadline_ms;
+    cfg.faults = faults;
     let pool_key =
         PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).expect("static key");
     cfg.pools = vec![pool_key.clone()];
@@ -216,6 +274,7 @@ fn main() -> ExitCode {
         k,
         selector,
         budget,
+        deadline_ms: None,
     };
     // Deterministic estimate seed sets, spread over the id space.
     let estimate_req = |i: u64| {
@@ -226,28 +285,35 @@ fn main() -> ExitCode {
             pool: pool_key.clone(),
             seeds,
             budget: None,
+            deadline_ms: None,
         }
     };
 
     eprintln!("comic-serve-load: replaying query mix ({warm_reps} warm reps/class)...");
     let mut classes = Vec::new();
     classes.push(timed("warm_select_k10", warm_reps, || {
-        assert_ok(&svc.handle(&select(10, None, None)));
+        Some(svc.handle(&select(10, None, None)).to_line())
     }));
     classes.push(timed("warm_select_k50", warm_reps, || {
-        assert_ok(&svc.handle(&select(50, None, None)));
+        Some(svc.handle(&select(50, None, None)).to_line())
     }));
     classes.push(timed("warm_select_k10_budget_half", warm_reps, || {
-        assert_ok(&svc.handle(&select(10, None, Some((sketches / 2).max(1) as u64))));
+        Some(
+            svc.handle(&select(10, None, Some((sketches / 2).max(1) as u64)))
+                .to_line(),
+        )
     }));
     classes.push(timed("warm_select_k10_naive", warm_reps, || {
-        assert_ok(&svc.handle(&select(10, Some(SelectorKind::NaiveGreedy), None)));
+        Some(
+            svc.handle(&select(10, Some(SelectorKind::NaiveGreedy), None))
+                .to_line(),
+        )
     }));
     {
         let mut i = 0u64;
         classes.push(timed("warm_estimate_10seeds", warm_reps, || {
             i += 1;
-            assert_ok(&svc.handle(&estimate_req(i)));
+            Some(svc.handle(&estimate_req(i)).to_line())
         }));
     }
     assert_eq!(
@@ -255,6 +321,16 @@ fn main() -> ExitCode {
         builds_before,
         "warm classes must not regenerate sketches"
     );
+    // Shed/degraded/deadline outcomes are legitimate under a cap, a tight
+    // deadline, or a fault plan — but *unexpected* errors never are.
+    for t in &classes {
+        if t.outcomes.other_error > 0 {
+            return fail(&format!(
+                "class {} had {} unexpected error responses",
+                t.name, t.outcomes.other_error
+            ));
+        }
+    }
 
     // Cold baseline: a full pipeline run (KPT* + theta sampling + select)
     // on the same graph and sampler — what every query would cost without
@@ -272,6 +348,7 @@ fn main() -> ExitCode {
         RisPipeline::new(tc)
             .run(|| IcRrSampler::new(&g))
             .expect("cold pipeline");
+        None
     }));
 
     let report = build::obj(vec![
@@ -283,6 +360,21 @@ fn main() -> ExitCode {
         ("design_k", build::num_u64(design_k as u64)),
         ("pool", build::str(pool_key.to_string())),
         ("sketches", build::num_u64(sketches as u64)),
+        ("faults", build::str(&*fault_spec)),
+        (
+            "inflight_cap",
+            match inflight_cap {
+                Some(n) => build::num_u64(n),
+                None => Json::Null,
+            },
+        ),
+        (
+            "deadline_ms",
+            match deadline_ms {
+                Some(n) => build::num_u64(n),
+                None => Json::Null,
+            },
+        ),
         (
             "classes",
             Json::Arr(classes.iter().map(Timings::row).collect()),
@@ -312,22 +404,19 @@ fn main() -> ExitCode {
         let mut sorted = t.millis.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
         println!(
-            "  {:28} {:4} queries  p50 {:9.3} ms  p99 {:9.3} ms",
+            "  {:28} {:4} queries  p50 {:9.3} ms  p99 {:9.3} ms  \
+             ok {} degraded {} shed {} deadline {}",
             t.name,
             t.millis.len(),
             percentile(&sorted, 0.50),
             percentile(&sorted, 0.99),
+            t.outcomes.ok,
+            t.outcomes.degraded,
+            t.outcomes.shed,
+            t.outcomes.deadline,
         );
     }
     ExitCode::SUCCESS
-}
-
-fn assert_ok(resp: &comic_serve::protocol::Response) {
-    let line = resp.to_line();
-    assert!(
-        line.starts_with("{\"ok\":true"),
-        "query failed under load: {line}"
-    );
 }
 
 fn fail(msg: &str) -> ExitCode {

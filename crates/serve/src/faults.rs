@@ -1,0 +1,458 @@
+//! Deterministic fault injection for the serving layer.
+//!
+//! A [`FaultPlan`] is a pure *spec*: a seed plus one [`FaultRule`] per
+//! named [`FaultSite`]. Arming it ([`FaultPlan::arm`]) produces a
+//! [`FaultInjector`] whose per-site decision stream is a pure function of
+//! `(seed, site, check index)` via splitmix64 — so a fault schedule is
+//! **replayable**: two service instances armed with the same plan and
+//! driven through the same single-threaded script trip the exact same
+//! faults at the exact same points, and the chaos suite can assert
+//! byte-identical degradation behavior across instances.
+//!
+//! Rules compose two triggers per site:
+//!
+//! - `first_n` — the first `n` checks at the site always trip
+//!   (deterministic scripted failures: "the next two refreshes fail");
+//! - `rate` — after the `first_n` window, each check trips independently
+//!   with the given probability, decided by the seeded hash stream
+//!   (steady-state chaos: "3% of connection reads error out").
+//!
+//! Slow sites (`slow-read`, `query-delay`) additionally carry a
+//! `delay_ms` the transport/service sleeps for when the site trips.
+//!
+//! The injector is **zero-cost when disabled**: [`FaultPlan::none`] arms
+//! to an injector whose checks are a single branch on a `bool`, no atomics
+//! touched. Every check site in the serving layer goes through this
+//! module, so production builds pay one predictable-not-taken branch.
+//!
+//! The CLI spec grammar (`comic-serve --faults`, `comic-serve-load
+//! --faults`):
+//!
+//! ```text
+//! seed=42,refresh-build=0.5,conn-read=first:3,query-delay=1@50
+//! ```
+//!
+//! `site=RATE` with `RATE` a probability in `[0, 1]`, or `site=first:N`,
+//! optionally suffixed `@MS` to set the delay for slow sites. `seed=N`
+//! seeds the decision stream (default 0).
+
+use comic_graph::fasthash::splitmix64;
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of named injection sites.
+pub const SITE_COUNT: usize = 6;
+
+/// A named point in the serving layer where a fault can be injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A pool rebuild during refresh fails with a typed error before
+    /// sampling starts (a "generation could not be produced" failure).
+    RefreshBuild,
+    /// A pool rebuild panics mid-generation (inside the RIS pipeline's
+    /// sampling stage) — exercises the service's panic isolation.
+    BuildPanic,
+    /// A transport read fails with an injected I/O error (the client
+    /// connection dies under the server).
+    ConnRead,
+    /// A transport write fails with an injected I/O error.
+    ConnWrite,
+    /// An injected delay before a transport read (a slow or stalling
+    /// client, seen from the handler's side).
+    SlowRead,
+    /// An injected delay at query start — burns the request's deadline
+    /// budget so `deadline_exceeded` paths are deterministically testable.
+    QueryDelay,
+}
+
+impl FaultSite {
+    /// Every site, in spec order.
+    pub const ALL: [FaultSite; SITE_COUNT] = [
+        FaultSite::RefreshBuild,
+        FaultSite::BuildPanic,
+        FaultSite::ConnRead,
+        FaultSite::ConnWrite,
+        FaultSite::SlowRead,
+        FaultSite::QueryDelay,
+    ];
+
+    /// The spec spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::RefreshBuild => "refresh-build",
+            FaultSite::BuildPanic => "build-panic",
+            FaultSite::ConnRead => "conn-read",
+            FaultSite::ConnWrite => "conn-write",
+            FaultSite::SlowRead => "slow-read",
+            FaultSite::QueryDelay => "query-delay",
+        }
+    }
+
+    /// Parse the spec spelling.
+    pub fn parse(s: &str) -> Option<FaultSite> {
+        FaultSite::ALL.into_iter().find(|f| f.name() == s)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::RefreshBuild => 0,
+            FaultSite::BuildPanic => 1,
+            FaultSite::ConnRead => 2,
+            FaultSite::ConnWrite => 3,
+            FaultSite::SlowRead => 4,
+            FaultSite::QueryDelay => 5,
+        }
+    }
+
+    /// Per-site salt so sites draw independent decision streams from one
+    /// plan seed.
+    fn salt(self) -> u64 {
+        splitmix64(0xFA01_7000 ^ self.index() as u64)
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// When and how one site trips. The default (all zero) never trips.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct FaultRule {
+    /// Trip probability per check after the `first_n` window, in
+    /// parts-per-million (`1_000_000` = always).
+    pub rate_ppm: u32,
+    /// The first `first_n` checks at the site always trip.
+    pub first_n: u32,
+    /// Sleep duration for slow sites when tripped (milliseconds).
+    pub delay_ms: u64,
+}
+
+impl FaultRule {
+    fn armed(&self) -> bool {
+        self.rate_ppm > 0 || self.first_n > 0
+    }
+}
+
+/// A seeded, deterministic fault schedule (the pure spec half; see the
+/// module docs). Cloning a plan clones the *spec* — each
+/// [`FaultPlan::arm`] call starts fresh counters, so two services armed
+/// from one plan replay the same schedule independently.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: [FaultRule; SITE_COUNT],
+}
+
+impl FaultPlan {
+    /// The empty plan: no site ever trips, and the armed injector is a
+    /// single-branch no-op.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether no site is armed.
+    pub fn is_none(&self) -> bool {
+        self.rules.iter().all(|r| !r.armed())
+    }
+
+    /// Seed the decision stream.
+    pub fn seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Set one site's rule (builder style).
+    pub fn site(mut self, site: FaultSite, rule: FaultRule) -> FaultPlan {
+        self.rules[site.index()] = rule;
+        self
+    }
+
+    /// Trip `site` with probability `rate` per check.
+    pub fn rate(self, site: FaultSite, rate: f64) -> FaultPlan {
+        let prev = self.rules[site.index()];
+        self.site(
+            site,
+            FaultRule {
+                rate_ppm: (rate.clamp(0.0, 1.0) * 1_000_000.0).round() as u32,
+                ..prev
+            },
+        )
+    }
+
+    /// Trip `site` on its first `n` checks (then fall back to its rate).
+    pub fn first(self, site: FaultSite, n: u32) -> FaultPlan {
+        let prev = self.rules[site.index()];
+        self.site(site, FaultRule { first_n: n, ..prev })
+    }
+
+    /// Set the sleep for a slow site.
+    pub fn delay_ms(self, site: FaultSite, ms: u64) -> FaultPlan {
+        let prev = self.rules[site.index()];
+        self.site(
+            site,
+            FaultRule {
+                delay_ms: ms,
+                ..prev
+            },
+        )
+    }
+
+    /// Parse the CLI spec grammar (see the module docs). Empty spec =
+    /// [`FaultPlan::none`].
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec part {part:?} is not key=value"))?;
+            if key == "seed" {
+                plan.seed = val
+                    .parse()
+                    .map_err(|e| format!("fault seed {val:?}: {e}"))?;
+                continue;
+            }
+            let site = FaultSite::parse(key).ok_or_else(|| {
+                let known: Vec<&str> = FaultSite::ALL.iter().map(|s| s.name()).collect();
+                format!("unknown fault site {key:?} (known: {})", known.join(", "))
+            })?;
+            let (trigger, delay) = match val.split_once('@') {
+                Some((t, d)) => (
+                    t,
+                    Some(
+                        d.parse::<u64>()
+                            .map_err(|e| format!("{key}: delay {d:?}: {e}"))?,
+                    ),
+                ),
+                None => (val, None),
+            };
+            let mut rule = FaultRule::default();
+            if let Some(n) = trigger.strip_prefix("first:") {
+                rule.first_n = n
+                    .parse()
+                    .map_err(|e| format!("{key}: first count {n:?}: {e}"))?;
+            } else {
+                let rate: f64 = trigger
+                    .parse()
+                    .map_err(|e| format!("{key}: rate {trigger:?}: {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("{key}: rate {rate} outside [0, 1]"));
+                }
+                rule.rate_ppm = (rate * 1_000_000.0).round() as u32;
+            }
+            rule.delay_ms = delay.unwrap_or(50);
+            plan.rules[site.index()] = rule;
+        }
+        Ok(plan)
+    }
+
+    /// Arm the plan: fresh counters, same deterministic schedule.
+    pub fn arm(&self) -> FaultInjector {
+        FaultInjector {
+            enabled: !self.is_none(),
+            seed: self.seed,
+            rules: self.rules,
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            tripped: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The armed, counter-carrying half of a [`FaultPlan`]. One per service
+/// instance; all checks are thread-safe. See the module docs for the
+/// decision function.
+#[derive(Debug)]
+pub struct FaultInjector {
+    enabled: bool,
+    seed: u64,
+    rules: [FaultRule; SITE_COUNT],
+    counters: [AtomicU64; SITE_COUNT],
+    tripped: [AtomicU64; SITE_COUNT],
+}
+
+impl FaultInjector {
+    /// Check the site: `true` means "inject the fault now". The `n`-th
+    /// check of a site trips iff `n < first_n` or the seeded hash of
+    /// `(seed, site, n)` clears the rate. Single branch when disabled.
+    #[inline]
+    pub fn trip(&self, site: FaultSite) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.trip_armed(site)
+    }
+
+    fn trip_armed(&self, site: FaultSite) -> bool {
+        let i = site.index();
+        let rule = self.rules[i];
+        if !rule.armed() {
+            return false;
+        }
+        let n = self.counters[i].fetch_add(1, Ordering::Relaxed);
+        let hit = n < u64::from(rule.first_n)
+            || (rule.rate_ppm > 0
+                && splitmix64(self.seed ^ site.salt() ^ n) % 1_000_000 < u64::from(rule.rate_ppm));
+        if hit {
+            self.tripped[i].fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Check a slow site: `Some(delay)` means "sleep this long now".
+    #[inline]
+    pub fn delay(&self, site: FaultSite) -> Option<Duration> {
+        if !self.enabled {
+            return None;
+        }
+        self.trip_armed(site)
+            .then(|| Duration::from_millis(self.rules[site.index()].delay_ms))
+    }
+
+    /// Check an I/O site: `Some(err)` means "this read/write failed".
+    #[inline]
+    pub fn io_error(&self, site: FaultSite) -> Option<io::Error> {
+        if !self.enabled {
+            return None;
+        }
+        self.trip_armed(site)
+            .then(|| io::Error::other(format!("injected fault at site {site}")))
+    }
+
+    /// Whether any site is armed.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// How many times the site has tripped so far (observability for the
+    /// chaos suite).
+    pub fn trips(&self, site: FaultSite) -> u64 {
+        self.tripped[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// How many times the site has been checked so far.
+    pub fn checks(&self, site: FaultSite) -> u64 {
+        self.counters[site.index()].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_trips_and_costs_one_branch() {
+        let inj = FaultPlan::none().arm();
+        assert!(!inj.enabled());
+        for site in FaultSite::ALL {
+            for _ in 0..100 {
+                assert!(!inj.trip(site));
+                assert!(inj.delay(site).is_none());
+                assert!(inj.io_error(site).is_none());
+            }
+            // The fast path must not even advance the counters.
+            assert_eq!(inj.checks(site), 0);
+            assert_eq!(inj.trips(site), 0);
+        }
+    }
+
+    #[test]
+    fn first_n_trips_exactly_the_first_n_checks() {
+        let inj = FaultPlan::none().first(FaultSite::RefreshBuild, 3).arm();
+        let hits: Vec<bool> = (0..8).map(|_| inj.trip(FaultSite::RefreshBuild)).collect();
+        assert_eq!(hits, [true, true, true, false, false, false, false, false]);
+        assert_eq!(inj.trips(FaultSite::RefreshBuild), 3);
+        assert_eq!(inj.checks(FaultSite::RefreshBuild), 8);
+        // Other sites stay silent.
+        assert!(!inj.trip(FaultSite::ConnRead));
+    }
+
+    #[test]
+    fn rate_streams_are_deterministic_and_independent_per_site() {
+        let plan = FaultPlan::none()
+            .seed(42)
+            .rate(FaultSite::ConnRead, 0.5)
+            .rate(FaultSite::ConnWrite, 0.5);
+        let a = plan.arm();
+        let b = plan.arm();
+        let draw =
+            |inj: &FaultInjector, site| -> Vec<bool> { (0..64).map(|_| inj.trip(site)).collect() };
+        let ar = draw(&a, FaultSite::ConnRead);
+        let aw = draw(&a, FaultSite::ConnWrite);
+        // Same plan, fresh counters: identical schedule.
+        assert_eq!(ar, draw(&b, FaultSite::ConnRead));
+        assert_eq!(aw, draw(&b, FaultSite::ConnWrite));
+        // Sites draw from independent streams.
+        assert_ne!(ar, aw);
+        // A 0.5 rate over 64 draws lands well inside [8, 56].
+        let hits = ar.iter().filter(|&&h| h).count();
+        assert!((8..=56).contains(&hits), "{hits}");
+        // A different seed reshuffles the stream.
+        let c = FaultPlan::none()
+            .seed(43)
+            .rate(FaultSite::ConnRead, 0.5)
+            .arm();
+        assert_ne!(ar, draw(&c, FaultSite::ConnRead));
+    }
+
+    #[test]
+    fn rate_one_always_trips_and_delay_sites_sleep() {
+        let inj = FaultPlan::none()
+            .rate(FaultSite::QueryDelay, 1.0)
+            .delay_ms(FaultSite::QueryDelay, 7)
+            .arm();
+        for _ in 0..10 {
+            assert_eq!(
+                inj.delay(FaultSite::QueryDelay),
+                Some(Duration::from_millis(7))
+            );
+        }
+        let io = FaultPlan::none().rate(FaultSite::ConnRead, 1.0).arm();
+        let e = io.io_error(FaultSite::ConnRead).expect("always trips");
+        assert!(e.to_string().contains("conn-read"), "{e}");
+    }
+
+    #[test]
+    fn spec_grammar_round_trips_the_examples() {
+        let plan = FaultPlan::parse("seed=42,refresh-build=0.5,conn-read=first:3,query-delay=1@50")
+            .unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan::none()
+                .seed(42)
+                .rate(FaultSite::RefreshBuild, 0.5)
+                .delay_ms(FaultSite::RefreshBuild, 50)
+                .first(FaultSite::ConnRead, 3)
+                .delay_ms(FaultSite::ConnRead, 50)
+                .rate(FaultSite::QueryDelay, 1.0)
+                .delay_ms(FaultSite::QueryDelay, 50)
+        );
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none());
+        assert!(FaultPlan::parse("").unwrap().is_none());
+        // Delays parse, rates clamp to [0,1] by rejection.
+        let p = FaultPlan::parse("slow-read=0.25@125").unwrap();
+        assert_eq!(
+            p,
+            FaultPlan::none()
+                .rate(FaultSite::SlowRead, 0.25)
+                .delay_ms(FaultSite::SlowRead, 125)
+        );
+        for bad in [
+            "nope=0.5",
+            "refresh-build",
+            "refresh-build=2.0",
+            "refresh-build=-0.1",
+            "refresh-build=first:x",
+            "seed=abc",
+            "conn-read=0.5@ms",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+}

@@ -12,11 +12,15 @@
 //!   subset (std-only; no external dependencies by design);
 //! - [`protocol`] — pool keys, typed [`protocol::Request`] /
 //!   [`protocol::Response`], strict parsing with typed errors;
+//! - [`faults`] — seeded, replayable fault injection ([`faults::FaultPlan`])
+//!   for every robustness path below; zero-cost when disabled;
 //! - [`service`] — the resident [`service::ComicService`]: dataset + GAP
-//!   presets + sketch pools, the warm query paths, refresh, and graceful
-//!   shutdown draining. The determinism contract (byte-identical responses
-//!   across instances and thread counts) is documented there;
-//! - [`server`] — stdio and std-only TCP transports.
+//!   presets + sketch pools, the warm query paths, refresh with failure
+//!   containment and ε-degradation, admission control, deadlines, and
+//!   graceful shutdown draining. The determinism contract (byte-identical
+//!   responses across instances and thread counts) is documented there;
+//! - [`server`] — stdio and std-only TCP transports (bounded line length,
+//!   connection caps, read deadlines).
 //!
 //! Binaries: `comic-serve` (the service) and `comic-serve-load` (the
 //! deterministic load driver emitting `BENCH_serving.json`).
@@ -24,11 +28,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod json;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
+pub use faults::{FaultPlan, FaultSite};
 pub use protocol::{EpsTier, PoolKey, Request, Response, SamplerKind};
 pub use server::{run_script, serve_lines, TcpServer};
 pub use service::{ComicService, ServeConfig, ServeError};

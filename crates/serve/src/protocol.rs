@@ -11,6 +11,7 @@
 //! ```text
 //! {"op":"ping"}
 //! {"op":"select","pool":"rr-sim/default/mid","k":10,"selector":"celf","budget":50000}
+//! {"op":"select","pool":"rr-sim/default/fine","k":10,"deadline_ms":20}
 //! {"op":"estimate","pool":"rr-sim/default/mid","seeds":[4,17,90]}
 //! {"op":"stats"}
 //! {"op":"refresh","pool":"rr-sim/default/mid"}
@@ -183,6 +184,11 @@ pub enum Request {
         selector: Option<SelectorKind>,
         /// Max sketches consulted; `None` = the whole pool.
         budget: Option<u64>,
+        /// Deadline for this request in milliseconds; `None` = the
+        /// service default. A tight deadline may degrade the answer to a
+        /// coarser ε tier or a sketch prefix (flagged `degraded`); a
+        /// blown one is a typed `deadline_exceeded` error.
+        deadline_ms: Option<u64>,
     },
     /// Spread estimation for an explicit seed set over a resident pool.
     Estimate {
@@ -192,6 +198,9 @@ pub enum Request {
         seeds: Vec<u32>,
         /// Max sketches consulted; `None` = the whole pool.
         budget: Option<u64>,
+        /// Deadline for this request in milliseconds (see
+        /// [`Request::Select::deadline_ms`]).
+        deadline_ms: Option<u64>,
     },
     /// A batch of non-batch requests answered in one response line.
     Batch(Vec<Request>),
@@ -239,8 +248,8 @@ fn request_from_json(v: &Json, allow_batch: bool) -> Result<Request, ProtoError>
     let allowed: &[&str] = match op {
         "ping" | "stats" | "shutdown" => &["op"],
         "refresh" => &["op", "pool"],
-        "select" => &["op", "pool", "k", "selector", "budget"],
-        "estimate" => &["op", "pool", "seeds", "budget"],
+        "select" => &["op", "pool", "k", "selector", "budget", "deadline_ms"],
+        "estimate" => &["op", "pool", "seeds", "budget", "deadline_ms"],
         "batch" => &["op", "requests"],
         other => return Err(invalid(format!("unknown op {other:?}"))),
     };
@@ -259,14 +268,14 @@ fn request_from_json(v: &Json, allow_batch: bool) -> Result<Request, ProtoError>
             ))
         })
     };
-    let budget = || -> Result<Option<u64>, ProtoError> {
-        match v.get("budget") {
+    let positive = |field: &'static str| -> Result<Option<u64>, ProtoError> {
+        match v.get(field) {
             None => Ok(None),
             Some(b) => b
                 .as_u64()
                 .filter(|&b| b >= 1)
                 .map(Some)
-                .ok_or_else(|| invalid("'budget' must be a positive integer")),
+                .ok_or_else(|| invalid(format!("'{field}' must be a positive integer"))),
         }
     };
 
@@ -296,7 +305,8 @@ fn request_from_json(v: &Json, allow_batch: bool) -> Result<Request, ProtoError>
                 pool: pool("pool")?,
                 k,
                 selector,
-                budget: budget()?,
+                budget: positive("budget")?,
+                deadline_ms: positive("deadline_ms")?,
             })
         }
         "estimate" => {
@@ -316,7 +326,8 @@ fn request_from_json(v: &Json, allow_batch: bool) -> Result<Request, ProtoError>
             Ok(Request::Estimate {
                 pool: pool("pool")?,
                 seeds,
-                budget: budget()?,
+                budget: positive("budget")?,
+                deadline_ms: positive("deadline_ms")?,
             })
         }
         "batch" => {
@@ -354,6 +365,7 @@ impl Request {
                 k,
                 selector,
                 budget,
+                deadline_ms,
             } => {
                 let mut m = vec![
                     ("op", build::str("select")),
@@ -372,12 +384,16 @@ impl Request {
                 if let Some(b) = budget {
                     m.push(("budget", build::num_u64(*b)));
                 }
+                if let Some(d) = deadline_ms {
+                    m.push(("deadline_ms", build::num_u64(*d)));
+                }
                 build::obj(m)
             }
             Request::Estimate {
                 pool,
                 seeds,
                 budget,
+                deadline_ms,
             } => {
                 let mut m = vec![
                     ("op", build::str("estimate")),
@@ -386,6 +402,9 @@ impl Request {
                 ];
                 if let Some(b) = budget {
                     m.push(("budget", build::num_u64(*b)));
+                }
+                if let Some(d) = deadline_ms {
+                    m.push(("deadline_ms", build::num_u64(*d)));
                 }
                 build::obj(m)
             }
@@ -422,6 +441,15 @@ pub enum ErrorCode {
     ShuttingDown,
     /// Pool (re)generation failed.
     Pool,
+    /// The in-flight or connection cap is reached; the request was shed,
+    /// not queued. Retry against a less-loaded instance (or later).
+    Overloaded,
+    /// The request's deadline elapsed before a useful answer existed; any
+    /// partial work was discarded.
+    DeadlineExceeded,
+    /// The request line exceeded the transport's byte cap and was
+    /// discarded unread.
+    RequestTooLarge,
 }
 
 impl ErrorCode {
@@ -433,6 +461,9 @@ impl ErrorCode {
             ErrorCode::BadQuery => "bad_query",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Pool => "pool",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::RequestTooLarge => "request_too_large",
         }
     }
 }
@@ -479,6 +510,13 @@ pub struct PoolStats {
     pub age_ms: u64,
     /// Completed refreshes.
     pub refreshes: u64,
+    /// Failed refresh attempts (injected or real; the resident generation
+    /// kept serving through every one of them).
+    pub refresh_failures: u64,
+    /// Whether the pool is currently degraded: its last refresh attempt
+    /// failed, so answers come from the last good generation. Cleared by
+    /// the next successful refresh.
+    pub degraded: bool,
     /// Queries answered from this pool (select + estimate).
     pub queries: u64,
 }
@@ -506,6 +544,13 @@ pub enum Response {
         est_spread: f64,
         /// `true` when answered from resident sketches (no regeneration).
         warm: bool,
+        /// `true` when the answer is degraded: served from a stale
+        /// generation (refresh failing), a coarser ε tier, or a deadline-
+        /// fitted sketch prefix. `degrade_reason` says which.
+        degraded: bool,
+        /// Why the answer is degraded (present iff `degraded`):
+        /// `stale_refresh`, `deadline`, or `stale_refresh+deadline`.
+        degrade_reason: Option<String>,
     },
     /// Reply to `estimate`.
     Estimated {
@@ -519,6 +564,10 @@ pub enum Response {
         est_spread: f64,
         /// `true` when answered from resident sketches.
         warm: bool,
+        /// See [`Response::Selected::degraded`].
+        degraded: bool,
+        /// See [`Response::Selected::degrade_reason`].
+        degrade_reason: Option<String>,
     },
     /// Reply to `stats`.
     Stats {
@@ -535,6 +584,12 @@ pub enum Response {
         /// Pool builds since start (startup warms + refreshes); a warm
         /// query leaves this unchanged.
         pool_builds: u64,
+        /// Requests shed by admission control (in-flight cap) or the
+        /// connection cap — answered `overloaded`, never queued.
+        shed: u64,
+        /// Requests whose deadline elapsed before the answer was ready
+        /// (answered `deadline_exceeded`, partial work discarded).
+        deadline_misses: u64,
         /// Per-pool rows, key order.
         pools: Vec<PoolStats>,
     },
@@ -572,39 +627,57 @@ impl Response {
                 covered,
                 est_spread,
                 warm,
-            } => build::obj(vec![
-                ("ok", Json::Bool(true)),
-                ("op", build::str("select")),
-                ("pool", pool.to_json()),
-                ("k", build::num_u64(*k)),
-                (
-                    "selector",
-                    build::str(match selector {
-                        SelectorKind::NaiveGreedy => "naive",
-                        SelectorKind::Celf => "celf",
-                    }),
-                ),
-                ("consulted", build::num_u64(*consulted)),
-                ("seeds", build::arr_u32(seeds)),
-                ("covered", build::num_u64(*covered)),
-                ("est_spread", build::num(*est_spread)),
-                ("warm", Json::Bool(*warm)),
-            ]),
+                degraded,
+                degrade_reason,
+            } => {
+                let mut m = vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", build::str("select")),
+                    ("pool", pool.to_json()),
+                    ("k", build::num_u64(*k)),
+                    (
+                        "selector",
+                        build::str(match selector {
+                            SelectorKind::NaiveGreedy => "naive",
+                            SelectorKind::Celf => "celf",
+                        }),
+                    ),
+                    ("consulted", build::num_u64(*consulted)),
+                    ("seeds", build::arr_u32(seeds)),
+                    ("covered", build::num_u64(*covered)),
+                    ("est_spread", build::num(*est_spread)),
+                    ("warm", Json::Bool(*warm)),
+                    ("degraded", Json::Bool(*degraded)),
+                ];
+                if let Some(reason) = degrade_reason {
+                    m.push(("degrade_reason", build::str(&**reason)));
+                }
+                build::obj(m)
+            }
             Response::Estimated {
                 pool,
                 seeds,
                 consulted,
                 est_spread,
                 warm,
-            } => build::obj(vec![
-                ("ok", Json::Bool(true)),
-                ("op", build::str("estimate")),
-                ("pool", pool.to_json()),
-                ("seeds", build::num_u64(*seeds)),
-                ("consulted", build::num_u64(*consulted)),
-                ("est_spread", build::num(*est_spread)),
-                ("warm", Json::Bool(*warm)),
-            ]),
+                degraded,
+                degrade_reason,
+            } => {
+                let mut m = vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", build::str("estimate")),
+                    ("pool", pool.to_json()),
+                    ("seeds", build::num_u64(*seeds)),
+                    ("consulted", build::num_u64(*consulted)),
+                    ("est_spread", build::num(*est_spread)),
+                    ("warm", Json::Bool(*warm)),
+                    ("degraded", Json::Bool(*degraded)),
+                ];
+                if let Some(reason) = degrade_reason {
+                    m.push(("degrade_reason", build::str(&**reason)));
+                }
+                build::obj(m)
+            }
             Response::Stats {
                 graph,
                 nodes,
@@ -612,6 +685,8 @@ impl Response {
                 uptime_ms,
                 queries,
                 pool_builds,
+                shed,
+                deadline_misses,
                 pools,
             } => build::obj(vec![
                 ("ok", Json::Bool(true)),
@@ -622,6 +697,8 @@ impl Response {
                 ("uptime_ms", build::num_u64(*uptime_ms)),
                 ("queries", build::num_u64(*queries)),
                 ("pool_builds", build::num_u64(*pool_builds)),
+                ("shed", build::num_u64(*shed)),
+                ("deadline_misses", build::num_u64(*deadline_misses)),
                 (
                     "pools",
                     Json::Arr(
@@ -632,6 +709,8 @@ impl Response {
                                     ("pool", p.meta.to_json()),
                                     ("age_ms", build::num_u64(p.age_ms)),
                                     ("refreshes", build::num_u64(p.refreshes)),
+                                    ("refresh_failures", build::num_u64(p.refresh_failures)),
+                                    ("degraded", Json::Bool(p.degraded)),
                                     ("queries", build::num_u64(p.queries)),
                                 ])
                             })
@@ -739,17 +818,20 @@ mod tests {
                 k: 10,
                 selector: Some(SelectorKind::Celf),
                 budget: Some(5_000),
+                deadline_ms: Some(250),
             },
             Request::Select {
                 pool: key("vanilla-ic/default/coarse"),
                 k: 1,
                 selector: None,
                 budget: None,
+                deadline_ms: None,
             },
             Request::Estimate {
                 pool: key("rr-sim-plus/default/mid"),
                 seeds: vec![0, 7, 42],
                 budget: None,
+                deadline_ms: Some(1),
             },
             Request::Batch(vec![Request::Ping, Request::Stats]),
         ];
@@ -774,6 +856,8 @@ mod tests {
             "{\"op\":\"select\",\"pool\":\"bad\",\"k\":1}",                  // bad pool key
             "{\"op\":\"select\",\"pool\":\"rr-sim/default/mid\",\"k\":1,\"selector\":\"x\"}",
             "{\"op\":\"select\",\"pool\":\"rr-sim/default/mid\",\"k\":1,\"budget\":0}",
+            "{\"op\":\"select\",\"pool\":\"rr-sim/default/mid\",\"k\":1,\"deadline_ms\":0}",
+            "{\"op\":\"estimate\",\"pool\":\"rr-sim/default/mid\",\"seeds\":[],\"deadline_ms\":\"x\"}",
             "{\"op\":\"estimate\",\"pool\":\"rr-sim/default/mid\",\"seeds\":[-1]}",
             "{\"op\":\"estimate\",\"pool\":\"rr-sim/default/mid\",\"seeds\":\"x\"}",
             "{\"op\":\"batch\",\"requests\":[{\"op\":\"batch\",\"requests\":[]}]}", // nested
@@ -804,13 +888,32 @@ mod tests {
             covered: 713,
             est_spread: 85.56,
             warm: true,
+            degraded: false,
+            degrade_reason: None,
         };
         assert_eq!(
             r.to_line(),
             "{\"ok\":true,\"op\":\"select\",\"pool\":{\"key\":\"rr-sim/default/mid\",\
              \"sketches\":1000,\"generation\":2,\"design_k\":50,\"epsilon\":0.3,\
              \"capped\":false},\"k\":2,\"selector\":\"celf\",\"consulted\":1000,\
-             \"seeds\":[4,9],\"covered\":713,\"est_spread\":85.56,\"warm\":true}"
+             \"seeds\":[4,9],\"covered\":713,\"est_spread\":85.56,\"warm\":true,\
+             \"degraded\":false}"
+        );
+        // A degraded answer carries its reason, in fixed position.
+        let d = Response::Estimated {
+            pool: meta.clone(),
+            seeds: 3,
+            consulted: 200,
+            est_spread: 12.5,
+            warm: true,
+            degraded: true,
+            degrade_reason: Some("stale_refresh".into()),
+        };
+        assert!(
+            d.to_line()
+                .ends_with("\"warm\":true,\"degraded\":true,\"degrade_reason\":\"stale_refresh\"}"),
+            "{}",
+            d.to_line()
         );
         let e = Response::Error {
             code: ErrorCode::UnknownPool,

@@ -2,29 +2,172 @@
 //! std-only TCP listener. Both are thin loops around
 //! [`ComicService::handle_line`]; all semantics (and the determinism
 //! contract) live in the service layer.
+//!
+//! Transport-level robustness lives here:
+//!
+//! - request lines are bounded at [`MAX_LINE_BYTES`]; an oversized line
+//!   gets a typed `request_too_large` error and the rest of the line is
+//!   discarded, so one hostile line cannot balloon memory or kill the
+//!   connection;
+//! - the TCP front end runs a **fixed worker set** over a blocking
+//!   `accept` (woken at shutdown by self-connects), with a connection cap:
+//!   over-cap connections are *shed* with a typed `overloaded` line and
+//!   closed, never queued behind busy handlers;
+//! - a connection that starts a line and then stalls past the read
+//!   deadline (slow-loris) is closed;
+//! - the armed [`crate::faults::FaultInjector`] can kill reads/writes or
+//!   slow reads per its deterministic schedule — a worker survives all of
+//!   it by dropping the one connection.
 
+use crate::faults::FaultSite;
+use crate::protocol::{ErrorCode, Response};
 use crate::service::ComicService;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Cap on one request line, newline excluded. Far above any legitimate
+/// request (a maximal `estimate` seed list is ~10 bytes per seed), far
+/// below anything that hurts.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// One poll of a [`LineReader`].
+enum Poll {
+    /// A complete line, newline stripped.
+    Line(String),
+    /// A line exceeded the cap; its bytes (through the newline) were
+    /// discarded.
+    TooLong,
+    /// The peer closed cleanly.
+    Eof,
+    /// `WouldBlock`/`TimedOut` with no partial line buffered.
+    Idle,
+    /// `WouldBlock`/`TimedOut` *mid-line* — a stalling writer.
+    Stalled,
+    /// A real I/O error.
+    Failed(io::Error),
+}
+
+/// An incremental bounded line reader over any [`BufRead`]. Unlike
+/// `BufRead::read_line`, it (a) never buffers more than the cap, (b)
+/// recovers from an oversized line by discarding through its newline, and
+/// (c) surfaces read timeouts as distinct idle/stalled states so the TCP
+/// handler can apply a slow-loris deadline.
+struct LineReader<R> {
+    inner: R,
+    partial: Vec<u8>,
+    discarding: bool,
+}
+
+impl<R: BufRead> LineReader<R> {
+    fn new(inner: R) -> LineReader<R> {
+        LineReader {
+            inner,
+            partial: Vec::new(),
+            discarding: false,
+        }
+    }
+
+    fn poll(&mut self, max: usize) -> Poll {
+        loop {
+            let available = match self.inner.fill_buf() {
+                Ok(a) => a,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return if self.partial.is_empty() && !self.discarding {
+                        Poll::Idle
+                    } else {
+                        Poll::Stalled
+                    };
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Poll::Failed(e),
+            };
+            if available.is_empty() {
+                // EOF. A partial last line without a newline still counts.
+                if self.discarding {
+                    self.discarding = false;
+                    return Poll::TooLong;
+                }
+                if self.partial.is_empty() {
+                    return Poll::Eof;
+                }
+                let line = String::from_utf8_lossy(&self.partial).into_owned();
+                self.partial.clear();
+                return Poll::Line(line);
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let over = self.discarding || self.partial.len() + pos > max;
+                    if !over {
+                        self.partial.extend_from_slice(&available[..pos]);
+                    }
+                    self.inner.consume(pos + 1);
+                    if over {
+                        self.discarding = false;
+                        self.partial.clear();
+                        return Poll::TooLong;
+                    }
+                    let line = String::from_utf8_lossy(&self.partial).into_owned();
+                    self.partial.clear();
+                    return Poll::Line(line);
+                }
+                None => {
+                    let n = available.len();
+                    if !self.discarding {
+                        if self.partial.len() + n > max {
+                            self.partial.clear();
+                            self.discarding = true;
+                        } else {
+                            self.partial.extend_from_slice(available);
+                        }
+                    }
+                    self.inner.consume(n);
+                }
+            }
+        }
+    }
+}
+
+fn too_large() -> Response {
+    Response::Error {
+        code: ErrorCode::RequestTooLarge,
+        message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+    }
+}
 
 /// Run the protocol over any line source/sink (stdin/stdout in the
 /// `comic-serve` bin; in-memory buffers in tests): one response line per
 /// request line, in order, flushed per line so a driver can pipeline.
-/// Returns after EOF or a `shutdown` request, with in-flight queries
-/// drained.
+/// Lines over [`MAX_LINE_BYTES`] are answered with `request_too_large`
+/// and skipped. Returns after EOF or a `shutdown` request, with in-flight
+/// queries drained.
 pub fn serve_lines<R: BufRead, W: Write>(
     svc: &ComicService,
     input: R,
     out: &mut W,
 ) -> io::Result<()> {
-    for line in input.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let resp = svc.handle_line(&line);
+    let mut reader = LineReader::new(input);
+    loop {
+        let resp = match reader.poll(MAX_LINE_BYTES) {
+            Poll::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                svc.handle_line(line.trim_end())
+            }
+            Poll::TooLong => too_large(),
+            Poll::Eof => break,
+            // Blocking sources never get here; for a nonblocking one,
+            // just retry.
+            Poll::Idle | Poll::Stalled => continue,
+            Poll::Failed(e) => return Err(e),
+        };
         writeln!(out, "{}", resp.to_line())?;
         out.flush()?;
         if svc.is_draining() {
@@ -46,19 +189,43 @@ pub fn run_script(svc: &ComicService, lines: &[&str]) -> Vec<String> {
         .collect()
 }
 
-/// A std-only TCP front end: a nonblocking accept loop with one handler
-/// thread per connection, all scoped so shutdown joins everything.
+/// A std-only TCP front end: a fixed worker set over a blocking `accept`,
+/// with a connection cap and a slow-loris read deadline (see the module
+/// docs).
 pub struct TcpServer {
     listener: TcpListener,
     local: SocketAddr,
+    max_conns: usize,
+    read_deadline: Duration,
 }
 
 impl TcpServer {
-    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral test port).
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral test port) with
+    /// the defaults: 32 concurrent connections, 10 s read deadline.
     pub fn bind(addr: &str) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        Ok(TcpServer { listener, local })
+        Ok(TcpServer {
+            listener,
+            local,
+            max_conns: 32,
+            read_deadline: Duration::from_secs(10),
+        })
+    }
+
+    /// Cap concurrent handled connections (over-cap connections are shed
+    /// with a typed `overloaded` line). `0` sheds everything — useful in
+    /// tests.
+    pub fn max_conns(mut self, n: usize) -> TcpServer {
+        self.max_conns = n;
+        self
+    }
+
+    /// How long a connection may sit mid-line before it is treated as a
+    /// slow-loris and closed.
+    pub fn read_deadline(mut self, d: Duration) -> TcpServer {
+        self.read_deadline = d;
+        self
     }
 
     /// The bound address (report this when binding port 0).
@@ -68,70 +235,153 @@ impl TcpServer {
 
     /// Accept and serve until the service starts draining (a `shutdown`
     /// request on any connection, or [`ComicService::begin_shutdown`] from
-    /// another thread). Joins every connection handler, then drains
-    /// in-flight queries before returning.
+    /// another thread). Joins every worker, then drains in-flight queries
+    /// before returning.
+    ///
+    /// `max_conns + 1` workers block in `accept` directly — no polling
+    /// loop. The spare worker guarantees that when every permit is taken,
+    /// someone is still free to *shed* the next connection instead of
+    /// letting it queue behind busy handlers. At shutdown a waker thread
+    /// self-connects once per worker to pop them out of `accept`.
     pub fn run(&self, svc: &Arc<ComicService>) -> io::Result<()> {
-        self.listener.set_nonblocking(true)?;
-        std::thread::scope(|scope| -> io::Result<()> {
-            while !svc.is_draining() {
-                match self.listener.accept() {
-                    Ok((stream, _peer)) => {
-                        let svc = Arc::clone(svc);
-                        scope.spawn(move || handle_connection(&svc, stream));
+        let workers = self.max_conns + 1;
+        let busy = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let stream = match self.listener.accept() {
+                        Ok((s, _peer)) => s,
+                        Err(_) => {
+                            if svc.is_draining() {
+                                return;
+                            }
+                            continue;
+                        }
+                    };
+                    if svc.is_draining() {
+                        return; // a wakeup connection, not a client
                     }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
+                    if !admit_conn(&busy, self.max_conns) {
+                        svc.note_shed();
+                        shed_connection(stream);
+                        continue;
                     }
-                    Err(e) => return Err(e),
-                }
+                    // A handler panic (injected or real) costs one
+                    // connection, never a worker.
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        handle_connection(svc, stream, self.read_deadline)
+                    }));
+                    busy.fetch_sub(1, Ordering::SeqCst);
+                    if svc.is_draining() {
+                        return;
+                    }
+                });
             }
-            Ok(())
-        })?;
+            scope.spawn(|| {
+                while !svc.is_draining() {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                for _ in 0..workers {
+                    let _ = TcpStream::connect(self.local);
+                }
+            });
+        });
         svc.drain();
         Ok(())
     }
 }
 
-/// One connection: blocking line reads under a short timeout so the
-/// handler notices a drain initiated elsewhere within ~50 ms.
-fn handle_connection(svc: &ComicService, stream: TcpStream) {
+/// Take a connection permit, or refuse if the cap is reached (lock-free
+/// CAS, same shape as the service's query admission).
+fn admit_conn(busy: &AtomicUsize, cap: usize) -> bool {
+    let mut cur = busy.load(Ordering::SeqCst);
+    loop {
+        if cur >= cap {
+            return false;
+        }
+        match busy.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Tell an over-cap client it was shed, then close.
+fn shed_connection(mut stream: TcpStream) {
+    let resp = Response::Error {
+        code: ErrorCode::Overloaded,
+        message: "connection cap reached; retry later".to_string(),
+    };
+    let _ = writeln!(stream, "{}", resp.to_line());
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// One connection: bounded line reads under a short socket timeout so the
+/// handler notices drains within ~50 ms, enforces the slow-loris deadline,
+/// and consults the fault injector before touching the socket.
+fn handle_connection(svc: &ComicService, stream: TcpStream, read_deadline: Duration) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut reader = LineReader::new(BufReader::new(stream));
+    let mut stalled_since: Option<Instant> = None;
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {
+        if svc.faults().io_error(FaultSite::ConnRead).is_some() {
+            return; // injected: the connection died under us
+        }
+        if let Some(d) = svc.faults().delay(FaultSite::SlowRead) {
+            std::thread::sleep(d);
+        }
+        let resp = match reader.poll(MAX_LINE_BYTES) {
+            Poll::Line(line) => {
+                stalled_since = None;
                 if line.trim().is_empty() {
                     continue;
                 }
-                let resp = svc.handle_line(line.trim_end());
-                if writeln!(writer, "{}", resp.to_line())
-                    .and_then(|()| writer.flush())
-                    .is_err()
-                {
-                    return;
-                }
+                svc.handle_line(line.trim_end())
+            }
+            Poll::TooLong => {
+                stalled_since = None;
+                too_large()
+            }
+            Poll::Eof | Poll::Failed(_) => return,
+            Poll::Idle => {
+                stalled_since = None;
                 if svc.is_draining() {
                     return;
                 }
+                continue;
             }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
+            Poll::Stalled => {
                 if svc.is_draining() {
                     return;
                 }
+                let since = *stalled_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= read_deadline {
+                    return; // slow-loris: half a line, no progress — close
+                }
+                continue;
             }
-            Err(_) => return,
+        };
+        if write_response(svc, &mut writer, &resp).is_err() {
+            return;
+        }
+        if svc.is_draining() {
+            return;
         }
     }
+}
+
+fn write_response(svc: &ComicService, writer: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    if let Some(e) = svc.faults().io_error(FaultSite::ConnWrite) {
+        return Err(e);
+    }
+    writeln!(writer, "{}", resp.to_line())?;
+    writer.flush()
 }
 
 #[cfg(test)]
@@ -176,6 +426,53 @@ mod tests {
     }
 
     #[test]
+    fn oversized_lines_get_a_typed_error_and_service_continues() {
+        let svc = tiny_service();
+        let mut script = Vec::new();
+        script.extend_from_slice(b"{\"op\":\"ping\"}\n");
+        // One line over the cap (not even valid JSON — it must be
+        // rejected on length before any parsing).
+        script.extend_from_slice(&vec![b'x'; MAX_LINE_BYTES + 10]);
+        script.push(b'\n');
+        script.extend_from_slice(b"{\"op\":\"ping\"}\n");
+        let mut out = Vec::new();
+        serve_lines(&svc, script.as_slice(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("pong"));
+        assert!(
+            lines[1].contains("\"error\":\"request_too_large\""),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[2].contains("pong"), "recovery after discard");
+    }
+
+    #[test]
+    fn bounded_reader_handles_split_lines_and_eof_without_newline() {
+        // Exactly at the cap passes; the cap is on content, not newline.
+        let mut data = vec![b'a'; 10];
+        data.push(b'\n');
+        data.extend_from_slice(b"tail");
+        let mut r = LineReader::new(&data[..]);
+        match r.poll(10) {
+            Poll::Line(l) => assert_eq!(l.len(), 10),
+            _ => panic!("expected a line"),
+        }
+        match r.poll(10) {
+            Poll::Line(l) => assert_eq!(l, "tail"),
+            _ => panic!("expected the unterminated tail"),
+        }
+        assert!(matches!(r.poll(10), Poll::Eof));
+        // One byte over the cap is too long even unterminated.
+        let data = [b'b'; 11];
+        let mut r = LineReader::new(&data[..]);
+        assert!(matches!(r.poll(10), Poll::TooLong));
+        assert!(matches!(r.poll(10), Poll::Eof));
+    }
+
+    #[test]
     fn tcp_round_trip_and_shutdown() {
         use std::io::{BufRead, BufReader, Write};
         let svc = Arc::new(tiny_service());
@@ -207,5 +504,63 @@ mod tests {
 
         handle.join().unwrap();
         assert!(svc.is_draining());
+    }
+
+    #[test]
+    fn over_cap_connections_are_shed_with_a_typed_line() {
+        use std::io::{BufRead, BufReader};
+        let svc = Arc::new(tiny_service());
+        // Cap 0: every connection sheds; serving still shuts down cleanly.
+        let server = TcpServer::bind("127.0.0.1:0").unwrap().max_conns(0);
+        let addr = server.local_addr();
+        let svc2 = Arc::clone(&svc);
+        let handle = std::thread::spawn(move || server.run(&svc2).unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"error\":\"overloaded\""), "{line}");
+        // The shed connection is closed after the notice.
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+        assert!(svc.shed() >= 1);
+
+        svc.begin_shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn slow_loris_connections_are_closed_at_the_read_deadline() {
+        use std::io::{Read, Write};
+        let svc = Arc::new(tiny_service());
+        let server = TcpServer::bind("127.0.0.1:0")
+            .unwrap()
+            .read_deadline(Duration::from_millis(200));
+        let addr = server.local_addr();
+        let svc2 = Arc::clone(&svc);
+        let handle = std::thread::spawn(move || server.run(&svc2).unwrap());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Half a request, then silence: the server must close on us.
+        stream.write_all(b"{\"op\":\"pi").unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        let n = stream.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "expected the server to close the stalled conn");
+
+        // A well-behaved connection still works afterwards.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        writer.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("pong"), "{line}");
+
+        svc.begin_shutdown();
+        handle.join().unwrap();
     }
 }

@@ -21,10 +21,10 @@ const PRESETS: [&str; 5] = ["default", "one-way", "cim", "pair_7", "a.b-c9"];
 fn arb_request() -> impl Strategy<Value = Request> {
     (
         (0u32..6, 1u64..2_000, 0u32..3, 0u64..50_000),
-        (0usize..4, 0usize..PRESETS.len(), 0usize..3),
+        (0usize..4, 0usize..PRESETS.len(), 0usize..3, 0u64..5_000),
         proptest::collection::vec(0u32..100_000, 0..8),
     )
-        .prop_map(|((variant, k, sel, budget), (s, p, t), seeds)| {
+        .prop_map(|((variant, k, sel, budget), (s, p, t, dl), seeds)| {
             let pool = PoolKey::new(SamplerKind::ALL[s], PRESETS[p], EpsTier::ALL[t])
                 .expect("valid preset");
             let selector = match sel {
@@ -33,6 +33,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 _ => Some(SelectorKind::Celf),
             };
             let budget = (budget > 0).then_some(budget);
+            let deadline_ms = (dl > 0).then_some(dl);
             match variant {
                 0 => Request::Ping,
                 1 => Request::Stats,
@@ -43,11 +44,13 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     k: k as usize,
                     selector,
                     budget,
+                    deadline_ms,
                 },
                 _ => Request::Estimate {
                     pool,
                     seeds,
                     budget,
+                    deadline_ms,
                 },
             }
         })

@@ -1,0 +1,377 @@
+//! Chaos suite for the serving layer (the robustness PR's tentpole):
+//! replay seeded deterministic fault schedules against in-process
+//! services and hold them to the survivability contract:
+//!
+//! - **no panic ever propagates** — injected build panics, dead
+//!   connections, and overload all land as typed responses or closed
+//!   connections, never a crashed thread;
+//! - **replayability** — two instances armed with the same
+//!   [`FaultPlan`] and driven through the same script answer
+//!   byte-identically, faults included;
+//! - **graceful degradation** — under a survivable fault every response
+//!   is either byte-identical to the fault-free baseline or a typed
+//!   `overloaded`/`deadline_exceeded` error or an `ok` answer flagged
+//!   `degraded` with a reason — never a hang, never a malformed frame.
+//!
+//! The fault seeds are pinned (CI runs the suite as-is); set
+//! `COMIC_CHAOS_SEED=<u64>` to replay a single different schedule.
+
+use comic_bench::metrics::OutcomeCounts;
+use comic_graph::par::run_sharded;
+use comic_serve::faults::{FaultPlan, FaultSite};
+use comic_serve::json;
+use comic_serve::protocol::{EpsTier, PoolKey, Request, Response, SamplerKind};
+use comic_serve::server::{run_script, TcpServer};
+use comic_serve::service::{ComicService, ServeConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn base_cfg() -> ServeConfig {
+    let mut cfg = ServeConfig::new("fixture-small");
+    cfg.design_k = 10;
+    cfg.max_rr_sets = Some(6_000);
+    cfg.gen_threads = 2;
+    cfg.threads = 2;
+    cfg.pools = vec![
+        PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).unwrap(),
+        PoolKey::new(SamplerKind::RrSim, "one-way", EpsTier::Coarse).unwrap(),
+    ];
+    cfg
+}
+
+fn vanilla() -> PoolKey {
+    PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).unwrap()
+}
+
+/// The pinned fault schedules, or the `COMIC_CHAOS_SEED` override.
+fn chaos_seeds() -> (Vec<u64>, bool) {
+    match std::env::var("COMIC_CHAOS_SEED") {
+        Ok(s) => (
+            vec![s.parse().expect("COMIC_CHAOS_SEED must be a u64")],
+            true,
+        ),
+        Err(_) => (vec![1, 7, 0xC0FFEE], false),
+    }
+}
+
+/// The chaos replay script: a warm query mix with exactly one refresh, so
+/// every line after a *failed* refresh is still comparable to the
+/// fault-free baseline (same generation everywhere, modulo the degraded
+/// flag).
+const CHAOS_SCRIPT: &[&str] = &[
+    "{\"op\":\"ping\"}",
+    "{\"op\":\"select\",\"pool\":\"vanilla-ic/default/coarse\",\"k\":5}",
+    "{\"op\":\"estimate\",\"pool\":\"rr-sim/one-way/coarse\",\"seeds\":[0,17,42]}",
+    "{\"op\":\"refresh\",\"pool\":\"vanilla-ic/default/coarse\"}",
+    "{\"op\":\"select\",\"pool\":\"vanilla-ic/default/coarse\",\"k\":5}",
+    "{\"op\":\"select\",\"pool\":\"vanilla-ic/default/coarse\",\"k\":2,\"selector\":\"naive\"}",
+    "{\"op\":\"estimate\",\"pool\":\"vanilla-ic/default/coarse\",\"seeds\":[3,9]}",
+    "{\"op\":\"batch\",\"requests\":[{\"op\":\"ping\"},\
+     {\"op\":\"select\",\"pool\":\"vanilla-ic/default/coarse\",\"k\":1}]}",
+    "{\"op\":\"stats\"}",
+];
+
+/// Is this line allowed to differ from the fault-free baseline? Only as a
+/// typed survivable error or an explicitly degraded answer. (`stats` is
+/// exempt from byte comparison entirely — it carries wall-clock fields.)
+fn survivable_divergence(line: &str) -> bool {
+    let typed_error = ["pool", "overloaded", "deadline_exceeded"]
+        .iter()
+        .any(|code| line.starts_with(&format!("{{\"ok\":false,\"error\":\"{code}\"")));
+    typed_error || (line.starts_with("{\"ok\":true") && line.contains("\"degraded\":true"))
+}
+
+#[test]
+fn seeded_fault_schedules_replay_byte_identically_and_degrade_typed() {
+    let (seeds, overridden) = chaos_seeds();
+    let baseline = {
+        let svc = ComicService::start(base_cfg()).expect("fault-free instance");
+        run_script(&svc, CHAOS_SCRIPT)
+    };
+    let mut any_fault_seen = false;
+    for seed in seeds {
+        let plan =
+            FaultPlan::parse(&format!("seed={seed},refresh-build=0.6,build-panic=0.5")).unwrap();
+        let mk = || {
+            let mut cfg = base_cfg();
+            cfg.faults = plan.clone();
+            ComicService::start(cfg).expect("chaos instance")
+        };
+        let a = mk();
+        let b = mk();
+        let ra = run_script(&a, CHAOS_SCRIPT);
+        let rb = run_script(&b, CHAOS_SCRIPT);
+        for (i, (chaos, clean)) in ra.iter().zip(&baseline).enumerate() {
+            // Every line must be a complete, parseable frame...
+            json::parse(chaos)
+                .unwrap_or_else(|e| panic!("seed {seed} line {i}: malformed frame {chaos:?}: {e}"));
+            if CHAOS_SCRIPT[i].contains("\"op\":\"stats\"") {
+                continue; // wall-clock fields: exempt from byte identity
+            }
+            assert_eq!(chaos, &rb[i], "seed {seed} line {i}: same plan, same bytes");
+            // ...and either fault-free-identical or typed degradation.
+            if chaos != clean {
+                any_fault_seen = true;
+                assert!(
+                    survivable_divergence(chaos),
+                    "seed {seed} line {i}: unsurvivable divergence\n  chaos: {chaos}\n  clean: {clean}"
+                );
+            }
+        }
+        // Queries still answer after the script (nothing wedged).
+        assert!(a
+            .handle_line(CHAOS_SCRIPT[1])
+            .to_line()
+            .starts_with("{\"ok\":true"));
+    }
+    if !overridden {
+        assert!(
+            any_fault_seen,
+            "pinned seeds must exercise at least one injected fault"
+        );
+    }
+}
+
+/// Satellite: the refresher failure path end to end. A scripted injected
+/// failure leaves the old generation serving and flags degradation in
+/// both query responses and `stats`; the next successful refresh clears
+/// it.
+#[test]
+fn failed_refresh_degrades_then_recovers_end_to_end() {
+    let mut cfg = base_cfg();
+    cfg.pools = vec![vanilla()];
+    cfg.faults = FaultPlan::none().first(FaultSite::RefreshBuild, 1);
+    let svc = ComicService::start(cfg).expect("service");
+
+    let before = svc.handle_line(CHAOS_SCRIPT[1]).to_line();
+    assert!(before.contains("\"generation\":0"), "{before}");
+
+    // Refresh 1: injected failure — typed, old pool keeps serving.
+    let r = svc.handle_line("{\"op\":\"refresh\",\"pool\":\"vanilla-ic/default/coarse\"}");
+    let line = r.to_line();
+    assert!(
+        line.starts_with("{\"ok\":false,\"error\":\"pool\""),
+        "{line}"
+    );
+    assert!(line.contains("still serving generation 0"), "{line}");
+
+    let during = svc.handle_line(CHAOS_SCRIPT[1]).to_line();
+    assert!(during.contains("\"generation\":0"), "{during}");
+    assert!(
+        during.contains("\"degraded\":true") && during.contains("stale_refresh"),
+        "{during}"
+    );
+    match svc.handle(&Request::Stats) {
+        Response::Stats { pools, .. } => {
+            assert_eq!(pools[0].refresh_failures, 1);
+            assert!(pools[0].degraded);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    // Refresh 2: plan exhausted — succeeds, degradation clears.
+    let r = svc.handle_line("{\"op\":\"refresh\",\"pool\":\"vanilla-ic/default/coarse\"}");
+    assert!(r.to_line().contains("\"generation\":1"), "{}", r.to_line());
+    let after = svc.handle_line(CHAOS_SCRIPT[1]).to_line();
+    assert!(
+        after.contains("\"generation\":1") && after.contains("\"degraded\":false"),
+        "{after}"
+    );
+    match svc.handle(&Request::Stats) {
+        Response::Stats { pools, .. } => {
+            assert_eq!(pools[0].refresh_failures, 1, "history is preserved");
+            assert!(!pools[0].degraded, "recovery clears the flag");
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+}
+
+/// An injected mid-generation panic cannot kill the background refresher:
+/// the sweep fails contained, backs off, and the next sweep succeeds.
+#[test]
+fn background_refresher_survives_injected_build_panics() {
+    let mut cfg = base_cfg();
+    cfg.pools = vec![vanilla()];
+    cfg.faults = FaultPlan::none().first(FaultSite::BuildPanic, 1);
+    let svc = Arc::new(ComicService::start(cfg).expect("service"));
+    let refresher = svc.spawn_refresher(Duration::from_millis(20));
+
+    // Wait for the refresher to fail once (contained) and then succeed.
+    let t0 = Instant::now();
+    while svc.pool(&vanilla()).unwrap().generation() == 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "refresher never recovered from the injected panic"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(svc.faults().trips(FaultSite::BuildPanic), 1);
+    svc.begin_shutdown();
+    refresher.join().expect("refresher thread must not die");
+    match svc.handle(&Request::Stats) {
+        Response::Stats { pools, .. } => {
+            assert_eq!(pools[0].refresh_failures, 1);
+            assert!(!pools[0].degraded);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+}
+
+/// Admission control under concurrent load: every response is `ok` or a
+/// typed `overloaded` shed — nothing queues, nothing hangs, the counts
+/// reconcile.
+#[test]
+fn overload_sheds_typed_and_counts_reconcile() {
+    let mut cfg = base_cfg();
+    cfg.pools = vec![vanilla()];
+    cfg.max_in_flight = Some(1);
+    let svc = ComicService::start(cfg).expect("service");
+    const QUERIES: usize = 16;
+    let lines = run_sharded(QUERIES, 4, |_| {
+        svc.handle_line("{\"op\":\"select\",\"pool\":\"vanilla-ic/default/coarse\",\"k\":2}")
+            .to_line()
+    });
+    let mut counts = OutcomeCounts::default();
+    for l in &lines {
+        counts.record_line(l);
+    }
+    assert_eq!(counts.total(), QUERIES as u64);
+    assert_eq!(counts.other_error, 0, "only ok/overloaded are allowed");
+    assert_eq!(counts.deadline, 0);
+    assert!(counts.ok >= 1, "the permit holder always answers");
+    assert_eq!(counts.ok + counts.shed, QUERIES as u64);
+    assert_eq!(svc.shed(), counts.shed, "service counter matches");
+    // Sequential queries always fit a cap of 1.
+    let after =
+        svc.handle_line("{\"op\":\"select\",\"pool\":\"vanilla-ic/default/coarse\",\"k\":2}");
+    assert!(after.to_line().starts_with("{\"ok\":true"));
+}
+
+/// The wall-clock deadline backstop, made deterministic by an injected
+/// query delay: the delayed query times out typed; the identical retry
+/// matches the fault-free bytes.
+#[test]
+fn injected_delay_blows_the_deadline_typed_then_recovers() {
+    let plan = FaultPlan::none()
+        .first(FaultSite::QueryDelay, 1)
+        .delay_ms(FaultSite::QueryDelay, 800);
+    let req =
+        "{\"op\":\"select\",\"pool\":\"vanilla-ic/default/coarse\",\"k\":3,\"deadline_ms\":100}";
+
+    let clean = {
+        let mut cfg = base_cfg();
+        cfg.pools = vec![vanilla()];
+        ComicService::start(cfg)
+            .expect("fault-free")
+            .handle_line(req)
+            .to_line()
+    };
+    let mut cfg = base_cfg();
+    cfg.pools = vec![vanilla()];
+    cfg.faults = plan;
+    let svc = ComicService::start(cfg).expect("service");
+
+    let first = svc.handle_line(req).to_line();
+    assert!(
+        first.starts_with("{\"ok\":false,\"error\":\"deadline_exceeded\""),
+        "{first}"
+    );
+    assert!(first.contains("100 ms"), "{first}");
+    assert_eq!(svc.deadline_misses(), 1);
+    let second = svc.handle_line(req).to_line();
+    assert_eq!(second, clean, "after the fault window: fault-free bytes");
+    match svc.handle(&Request::Stats) {
+        Response::Stats {
+            deadline_misses, ..
+        } => assert_eq!(deadline_misses, 1),
+        other => panic!("expected Stats, got {other:?}"),
+    }
+}
+
+/// Injected connection faults kill one connection, never the server: a
+/// fresh connection right after works, and shutdown still drains cleanly.
+#[test]
+fn tcp_survives_injected_connection_faults() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let mut cfg = base_cfg();
+    cfg.pools = vec![vanilla()];
+    // First read check and first write check each fail once.
+    cfg.faults = FaultPlan::none()
+        .first(FaultSite::ConnRead, 1)
+        .first(FaultSite::ConnWrite, 1);
+    let svc = Arc::new(ComicService::start(cfg).expect("service"));
+    let server = TcpServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let svc2 = Arc::clone(&svc);
+    let handle = std::thread::spawn(move || server.run(&svc2).unwrap());
+
+    // Connection 1: the injected read fault closes it on us immediately.
+    {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "killed by fault");
+    }
+    // Connection 2: read works now; the injected *write* fault eats the
+    // response and closes the connection — but the server survives.
+    {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        let mut line = String::new();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "write fault");
+    }
+    // Connection 3: the plan is exhausted — normal service.
+    {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        writer.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("pong"), "{line}");
+        line.clear();
+        writer.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"draining\":true"), "{line}");
+    }
+    handle.join().expect("server thread survived the plan");
+}
+
+/// An injected slow read delays the answer without corrupting it.
+#[test]
+fn injected_slow_read_only_adds_latency() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let mut cfg = base_cfg();
+    cfg.pools = vec![vanilla()];
+    cfg.faults = FaultPlan::none()
+        .first(FaultSite::SlowRead, 1)
+        .delay_ms(FaultSite::SlowRead, 150);
+    let svc = Arc::new(ComicService::start(cfg).expect("service"));
+    let server = TcpServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let svc2 = Arc::clone(&svc);
+    let handle = std::thread::spawn(move || server.run(&svc2).unwrap());
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let t0 = Instant::now();
+    writer.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("pong"), "{line}");
+    assert!(
+        t0.elapsed() >= Duration::from_millis(150),
+        "the injected sleep must actually delay the read"
+    );
+    line.clear();
+    writer.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    handle.join().unwrap();
+}

@@ -134,6 +134,7 @@ fn warm_select_matches_cold_pipeline_with_no_regeneration() {
             k: 10,
             selector: None,
             budget: None,
+            deadline_ms: None,
         });
         assert_eq!(
             svc.pool_builds(),
@@ -175,6 +176,7 @@ fn budgeted_queries_match_a_cold_run_over_the_prefix() {
         k: 4,
         selector: Some(SelectorKind::Celf),
         budget: Some(budget as u64),
+        deadline_ms: None,
     }) {
         Response::Selected {
             seeds,
