@@ -4,13 +4,16 @@
 //!
 //! The `selector_comparison` section measures the extracted selection
 //! engine end-to-end on the scalability dataset: [`CoverageIndex::build`]
-//! at 1 / 4 / all-cores threads, then [`NaiveGreedy`] vs [`CelfGreedy`]
-//! at `k = 50`. It also **asserts** the determinism contract — parallel
-//! index builds byte-identical to sequential ones, CELF seed sets
-//! byte-identical to the naive oracle's — so the quick-mode CI smoke run
-//! fails if a selector ever diverges. Set `COMIC_BENCH_JSON=<path>` to
-//! write the numbers as a JSON snapshot (committed as
-//! `BENCH_seed_selection.json` at the repo root).
+//! at 1 / 4 / all-cores threads, the **fused**
+//! [`CoverageIndex::from_fragments`] merge that replaces it when the index
+//! rides along with generation, then [`NaiveGreedy`] vs [`CelfGreedy`] at
+//! `k = 50` — the latter both pinned scalar and on the active SIMD
+//! kernels. It also **asserts** the determinism contract — parallel and
+//! fused index builds byte-identical to sequential ones, CELF seed sets
+//! byte-identical to the naive oracle's in every SIMD mode — so the
+//! quick-mode CI smoke run fails if a selector ever diverges. Set
+//! `COMIC_BENCH_JSON=<path>` to write the numbers as a JSON snapshot
+//! (committed as `BENCH_seed_selection.json` at the repo root).
 
 use comic_algos::greedy::celf;
 use comic_bench::datasets::{bench_source, Dataset};
@@ -21,7 +24,8 @@ use comic_ris::kpt::kpt_star;
 use comic_ris::parallel::resolve_threads;
 use comic_ris::rr::RrStore;
 use comic_ris::sampler::RrSampler;
-use comic_ris::select::{CelfGreedy, CoverageIndex, NaiveGreedy, SeedSelector};
+use comic_ris::select::{CelfGreedy, CoverageFragment, CoverageIndex, NaiveGreedy, SeedSelector};
+use comic_ris::simd::{self, SimdMode};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -137,7 +141,49 @@ fn bench_selector_comparison(c: &mut Criterion) {
         });
     }
 
-    // Selectors: the naive oracle vs CELF (sequential and parallel sweeps).
+    // Fused builds: in production the fragments are maintained *during*
+    // generation (their histogram updates ride inside sampling and the
+    // per-shard seal runs on the workers), so the timed portion here is
+    // exactly what replaces the standalone build at merge time —
+    // `CoverageIndex::from_fragments`. Fragment construction is untimed.
+    let shard_fragments = || -> Vec<CoverageFragment> {
+        let parts = 4usize;
+        let per = store.len() / parts;
+        let extra = store.len() % parts;
+        let mut fragments = Vec::with_capacity(parts);
+        let mut at = 0usize;
+        for t in 0..parts {
+            let share = per + usize::from(t < extra);
+            let mut shard = RrStore::with_capacity(share, 4);
+            for i in at..at + share {
+                shard.push_with_width(store.set(i), store.width(i));
+            }
+            at += share;
+            fragments.push(CoverageFragment::over_store(&shard, n));
+        }
+        fragments
+    };
+    // Mirror the standalone rows (1 / 4 / all cores) so the fused-vs-
+    // standalone comparison reads off the snapshot directly.
+    let mut fused_threads = vec![1usize, 4, max_threads];
+    fused_threads.sort_unstable();
+    fused_threads.dedup();
+    for threads in fused_threads {
+        let fragments = shard_fragments();
+        let (fused, secs) = timed(|| CoverageIndex::from_fragments(fragments, n, threads));
+        assert_eq!(
+            fused, index,
+            "fused index build diverged from standalone at {threads} threads"
+        );
+        runs.push(Run {
+            label: "index_build_fused".into(),
+            threads,
+            secs,
+        });
+    }
+
+    // Selectors: the naive oracle vs CELF, the latter pinned scalar and on
+    // the active (auto-dispatched) SIMD kernels. Every row must agree.
     let (naive, secs) = timed(|| NaiveGreedy.select(&index, &store, k));
     runs.push(Run {
         label: "select_naive".into(),
@@ -146,15 +192,31 @@ fn bench_selector_comparison(c: &mut Criterion) {
     });
     let mut celf_threads = vec![1usize, max_threads];
     celf_threads.dedup();
-    for threads in celf_threads {
-        let (celf_r, secs) = timed(|| CelfGreedy { threads }.select(&index, &store, k));
+    for threads in celf_threads.clone() {
+        let (celf_r, secs) =
+            timed(|| CelfGreedy { threads }.select_with(&index, &store, k, SimdMode::Scalar));
         // The determinism contract CI enforces: byte-identical seed sets.
         assert_eq!(
             celf_r, naive,
-            "CELF diverged from the naive-greedy oracle at {threads} threads"
+            "CELF (scalar) diverged from the naive-greedy oracle at {threads} threads"
         );
         runs.push(Run {
             label: "select_celf".into(),
+            threads,
+            secs,
+        });
+    }
+    for threads in celf_threads {
+        let (celf_r, secs) =
+            timed(|| CelfGreedy { threads }.select_with(&index, &store, k, simd::active()));
+        assert_eq!(
+            celf_r,
+            naive,
+            "CELF ({}) diverged from the naive-greedy oracle at {threads} threads",
+            simd::active().name()
+        );
+        runs.push(Run {
+            label: "select_celf_simd".into(),
             threads,
             secs,
         });
@@ -186,9 +248,10 @@ fn bench_selector_comparison(c: &mut Criterion) {
             ("rr_sets", store.len().to_string()),
             ("k", k.to_string()),
             ("total_members", store.total_members().to_string()),
+            ("simd", format!("\"{}\"", simd::active().name())),
             (
                 "note",
-                "\"selectors return byte-identical seed sets (asserted); on a host where host_cores = 1 the multi-thread rows measure pure oversubscription overhead\"".into(),
+                "\"selectors return byte-identical seed sets across selectors, threads, and SIMD modes (asserted); index_build_fused times only the merge-time from_fragments materialization (fragment histograms ride inside generation in production); select_celf is pinned scalar, select_celf_simd runs the active kernels; on a host where host_cores = 1 the multi-thread rows measure pure oversubscription overhead\"".into(),
             ),
         ],
         &runs

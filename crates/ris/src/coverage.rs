@@ -12,17 +12,18 @@ pub use crate::select::CoverageResult;
 
 /// Greedily pick `k` nodes maximizing the number of covered RR-sets.
 ///
-/// One-shot convenience over the select engine: builds a single-threaded
+/// One-shot convenience over the select engine: builds a
 /// [`CoverageIndex`] and runs the CELF lazy-greedy selector
-/// ([`CelfGreedy`]). Ties are broken by smallest node id, so the result is
+/// ([`CelfGreedy`]), both fanned out over `threads` workers (`0` = one per
+/// core; the *result* is thread-count invariant — `threads` is purely a
+/// latency knob). Ties are broken by smallest node id, so the result is
 /// identical to the [`crate::select::NaiveGreedy`] oracle. Callers that
-/// reuse the store for several selections, want parallel index builds and
-/// invalidation sweeps, or need a different strategy should use
-/// [`crate::select`] (or the full [`crate::pipeline::RisPipeline`])
-/// directly.
-pub fn max_coverage(store: &RrStore, n: usize, k: usize) -> CoverageResult {
-    let index = CoverageIndex::build(store, n, 1);
-    CelfGreedy { threads: 1 }.select(&index, store, k)
+/// reuse the store for several selections or need a different strategy
+/// should use [`crate::select`] (or the full
+/// [`crate::pipeline::RisPipeline`]) directly.
+pub fn max_coverage(store: &RrStore, n: usize, k: usize, threads: usize) -> CoverageResult {
+    let index = CoverageIndex::build(store, n, threads);
+    CelfGreedy { threads }.select(&index, store, k)
 }
 
 #[cfg(test)]
@@ -49,7 +50,7 @@ mod tests {
     #[test]
     fn picks_the_dominant_node_first() {
         let (store, n) = store_from(&[&[0, 1], &[0, 2], &[0, 3], &[4]]);
-        let r = max_coverage(&store, n, 1);
+        let r = max_coverage(&store, n, 1, 1);
         assert_eq!(r.seeds, vec![NodeId(0)]);
         assert_eq!(r.covered, 3);
         assert_eq!(r.marginals, vec![3]);
@@ -60,7 +61,7 @@ mod tests {
         // Node 1 appears in 2 sets but both covered by node 0's pick;
         // node 4 appears in 1 uncovered set.
         let (store, n) = store_from(&[&[0, 1], &[0, 1], &[0], &[4]]);
-        let r = max_coverage(&store, n, 2);
+        let r = max_coverage(&store, n, 2, 1);
         assert_eq!(r.seeds, vec![NodeId(0), NodeId(4)]);
         assert_eq!(r.covered, 4);
         assert_eq!(r.marginals, vec![3, 1]);
@@ -69,7 +70,7 @@ mod tests {
     #[test]
     fn covers_everything_with_enough_budget() {
         let (store, n) = store_from(&[&[0], &[1], &[2], &[3]]);
-        let r = max_coverage(&store, n, 4);
+        let r = max_coverage(&store, n, 4, 1);
         assert_eq!(r.covered, 4);
         assert_eq!(r.seeds.len(), 4);
     }
@@ -95,7 +96,7 @@ mod tests {
                 store.push(&members, &g);
             }
             let k = 2;
-            let greedy = max_coverage(&store, n, k);
+            let greedy = max_coverage(&store, n, k, 2);
             // Brute force best pair.
             let mut best = 0u64;
             for a in 0..n as u32 {
@@ -121,7 +122,7 @@ mod tests {
     #[test]
     fn handles_k_larger_than_useful_nodes() {
         let (store, n) = store_from(&[&[0], &[0]]);
-        let r = max_coverage(&store, n, n + 5);
+        let r = max_coverage(&store, n, n + 5, 4);
         assert_eq!(r.covered, 2);
         // Still returns at most n seeds.
         assert!(r.seeds.len() <= n);

@@ -28,13 +28,22 @@
 //!
 //! Steps 1 and 3 — the wall-clock bottleneck at paper scale — run sharded
 //! across worker threads through [`parallel::ShardedGenerator`]; step 4's
-//! index build and invalidation sweeps are partitioned over the same
-//! `std::thread::scope` pattern. [`tim::general_tim_with`] is the classic
+//! coverage index is **fused into the generation merge**
+//! ([`parallel::ShardedGenerator::generate_indexed`]): workers emit
+//! per-shard node histograms and pre-bucketed member runs
+//! ([`select::CoverageFragment`]) alongside their RR-sets, so the CSR
+//! index materializes during the shard merge instead of a second pass
+//! over the store. The selection hot loops run over the runtime-dispatched
+//! kernels of [`simd`] (AVX2 with a scalar reference fallback, overridable
+//! via `COMIC_SIMD=off`). [`tim::general_tim_with`] is the classic
 //! parallel entry point; everything is deterministic for a fixed
 //! `(seed, threads)` configuration, and seed *selection* is additionally
-//! identical across thread counts and selectors.
+//! identical across thread counts, selectors, and SIMD modes.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place: the
+// AVX2 intrinsics of `simd::avx2`, whose outputs are pinned byte-identical
+// to the safe scalar reference by tests and proptests.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coverage;
@@ -47,6 +56,7 @@ pub mod pool;
 pub mod rr;
 pub mod sampler;
 pub mod select;
+pub mod simd;
 pub mod tim;
 
 pub use error::RisError;
@@ -55,5 +65,6 @@ pub use pipeline::{PoolStage, RisPipeline};
 pub use pool::SketchPool;
 pub use rr::RrStore;
 pub use sampler::RrSampler;
-pub use select::{CoverageIndex, SeedSelector, SelectorKind};
+pub use select::{CoverageFragment, CoverageIndex, SeedSelector, SelectorKind};
+pub use simd::SimdMode;
 pub use tim::{general_tim, general_tim_with, TimConfig, TimResult};

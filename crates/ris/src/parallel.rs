@@ -21,6 +21,7 @@
 
 use crate::rr::{RrStore, MAX_PREALLOC_SETS};
 use crate::sampler::RrSampler;
+use crate::select::{CoverageFragment, CoverageIndex};
 use comic_graph::fasthash::splitmix64;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -118,6 +119,79 @@ where
         }
         merged
     }
+
+    /// [`ShardedGenerator::generate`] with the coverage-index build
+    /// **fused into the shard merge**: each worker maintains a
+    /// [`CoverageFragment`] (per-node membership histogram updated as sets
+    /// are sampled, sealed into a pre-bucketed local CSR at shard end), and
+    /// the merge materializes the global [`CoverageIndex`] via
+    /// [`CoverageIndex::from_fragments`] with no re-scan of the merged
+    /// store — the counting pass a standalone [`CoverageIndex::build`]
+    /// would pay simply never happens.
+    ///
+    /// `n` is the node-universe size the index covers. The returned store
+    /// is byte-identical to [`ShardedGenerator::generate`] with the same
+    /// arguments, and the returned index is byte-identical to
+    /// `CoverageIndex::build(&store, n, threads)` at any thread count
+    /// (asserted in debug builds and pinned by the invariance tests).
+    pub fn generate_indexed(
+        &self,
+        count: u64,
+        avg_hint: usize,
+        n: usize,
+    ) -> (RrStore, CoverageIndex) {
+        let threads = self.threads.min(count.max(1) as usize).max(1);
+        let shard = |tid: usize| -> (RrStore, CoverageFragment) {
+            let per = count / threads as u64;
+            let extra = count % threads as u64;
+            let share = per + u64::from((tid as u64) < extra);
+            let mut sampler = (self.factory)();
+            let mut rng = SmallRng::seed_from_u64(self.seed ^ splitmix64(tid as u64 + 1));
+            let mut store =
+                RrStore::with_capacity(share.min(MAX_PREALLOC_SETS) as usize, avg_hint.max(1));
+            let mut fragment = CoverageFragment::new(n);
+            let mut out = Vec::new();
+            for _ in 0..share {
+                let (_, width) = sampler.sample_random_with_width(&mut rng, &mut out);
+                store.push_with_width(&out, width);
+                fragment.note_members(&out);
+            }
+            fragment.seal(&store);
+            (store, fragment)
+        };
+        let (merged, index) = if threads == 1 {
+            let (store, fragment) = shard(0);
+            let index = CoverageIndex::from_fragments(vec![fragment], n, 1);
+            (store, index)
+        } else {
+            let mut shards: Vec<(RrStore, CoverageFragment)> = Vec::with_capacity(threads);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for tid in 0..threads {
+                    let shard = &shard;
+                    handles.push(scope.spawn(move || shard(tid)));
+                }
+                for h in handles {
+                    shards.push(h.join().expect("RR-generation worker panicked"));
+                }
+            });
+            let mut merged =
+                RrStore::with_capacity(count.min(MAX_PREALLOC_SETS) as usize, avg_hint.max(1));
+            let mut fragments = Vec::with_capacity(threads);
+            for (s, f) in shards {
+                merged.absorb(s);
+                fragments.push(f);
+            }
+            let index = CoverageIndex::from_fragments(fragments, n, threads);
+            (merged, index)
+        };
+        debug_assert_eq!(
+            index,
+            CoverageIndex::build(&merged, n, 1),
+            "fused coverage index diverged from the standalone build"
+        );
+        (merged, index)
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +267,31 @@ mod tests {
             let expect: u64 = store.set(i).iter().map(|&v| g.in_degree(v) as u64).sum();
             assert_eq!(store.width(i), expect, "set {i}");
         }
+    }
+
+    #[test]
+    fn generate_indexed_matches_generate_plus_standalone_build() {
+        let g = test_graph();
+        let n = g.num_nodes();
+        for threads in [1, 2, 3, 8] {
+            let gen = ShardedGenerator::new(|| IcRrSampler::new(&g), 42, threads);
+            let (store, index) = gen.generate_indexed(997, 4, n);
+            assert_eq!(store, gen.generate(997, 4), "threads {threads}");
+            assert_eq!(
+                index,
+                crate::select::CoverageIndex::build(&store, n, 1),
+                "threads {threads}"
+            );
+        }
+        // Degenerate sizes go through the same fused path.
+        let gen = ShardedGenerator::new(|| IcRrSampler::new(&g), 5, 4);
+        let (store, index) = gen.generate_indexed(0, 4, n);
+        assert!(store.is_empty());
+        assert_eq!(index.num_sets(), 0);
+        let (store, index) = gen.generate_indexed(3, 4, n);
+        assert_eq!(store.len(), 3);
+        assert_eq!(index.num_sets(), 3);
+        assert_eq!(index.total_entries(), store.total_members());
     }
 
     #[test]

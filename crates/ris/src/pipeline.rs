@@ -11,11 +11,14 @@
 //! 1. **KPT\*** lower-bound estimation, sharded
 //!    ([`crate::kpt::kpt_star_with_dims`]);
 //! 2. **θ** from Equation (3) ([`crate::tim::theta`]), optionally capped;
-//! 3. **generation** of θ RR-sets over per-thread sampler instances
-//!    ([`crate::parallel::ShardedGenerator`]);
-//! 4. **selection** — [`CoverageIndex::build`] then the configured
-//!    [`SelectorKind`] ([`select_seeds`] runs this stage alone, for reuse
-//!    over pre-sampled stores in benches and tests).
+//! 3. **generation** of θ RR-sets over per-thread sampler instances, with
+//!    the coverage-index build **fused into the shard merge**
+//!    ([`crate::parallel::ShardedGenerator::generate_indexed`]) — the pool
+//!    comes out carrying a resident [`CoverageIndex`] for free;
+//! 4. **selection** — the pool's resident index (or a standalone
+//!    [`CoverageIndex::build`] when there is none) feeding the configured
+//!    [`SelectorKind`] ([`select_seeds`] runs the standalone variant, for
+//!    reuse over pre-sampled stores in benches and tests).
 //!
 //! The output is bit-for-bit deterministic for a fixed `(seed, threads)`
 //! pair, and the *selection* stage is additionally identical across thread
@@ -145,11 +148,14 @@ impl RisPipeline {
         observe(PoolStage::Theta);
         let (theta_n, capped) = cfg.cap_theta(theta(n, cfg.k, cfg.epsilon, cfg.ell, kpt.kpt));
 
-        // Stage 3: sample θ RR-sets across the worker shards.
+        // Stage 3: sample θ RR-sets across the worker shards, fusing the
+        // coverage-index build into the merge — the pool comes out with a
+        // resident index and later selections never re-scan the store.
         observe(PoolStage::Generate);
         let avg = (kpt.total_members / kpt.samples.max(1)).max(1) as usize;
         let theta_seed = splitmix64(cfg.seed ^ 0x74_6865_7461);
-        let store = ShardedGenerator::new(&factory, theta_seed, cfg.threads).generate(theta_n, avg);
+        let (store, index) = ShardedGenerator::new(&factory, theta_seed, cfg.threads)
+            .generate_indexed(theta_n, avg, n);
 
         Ok(SketchPool::new(
             Arc::new(store),
@@ -160,15 +166,19 @@ impl RisPipeline {
             cfg.epsilon,
             kpt.kpt,
             capped,
-        ))
+        )
+        .with_index(Arc::new(index)))
     }
 
-    /// Stage 4 alone over a pre-generated pool: build the coverage index
-    /// and run the configured selector, with **no RR-set regeneration** —
-    /// the warm path a resident query service answers from. Honors this
-    /// config's `k`, `selector`, and `threads` (selection is thread-count
-    /// invariant, so `threads` is purely a latency knob here); θ, KPT*,
-    /// and the capped flag come from the pool's provenance.
+    /// Stage 4 alone over a pre-generated pool: run the configured
+    /// selector over the pool's **resident coverage index** when it
+    /// carries one (fused builds do — no per-query index construction at
+    /// all), or build one standalone otherwise, with **no RR-set
+    /// regeneration** either way — the warm path a resident query service
+    /// answers from. Honors this config's `k`, `selector`, and `threads`
+    /// (selection is thread-count invariant, so `threads` is purely a
+    /// latency knob here); θ, KPT*, and the capped flag come from the
+    /// pool's provenance.
     ///
     /// Errors if `k` exceeds the pool's node count. See the
     /// [`crate::pool`] docs for when the approximation guarantee carries
@@ -176,13 +186,16 @@ impl RisPipeline {
     pub fn run_on_pool(&self, pool: &SketchPool) -> Result<TimResult, RisError> {
         let cfg = &self.cfg;
         cfg.validate(pool.num_nodes())?;
-        Ok(assemble(
+        let cov = match pool.coverage_index() {
+            Some(index) => cfg.selector.select(index, pool.store(), cfg.k, cfg.threads),
+            None => select_seeds(cfg, pool.num_nodes(), pool.store()),
+        };
+        Ok(wrap(
             pool.num_nodes(),
-            cfg,
             pool.kpt(),
             pool.len() as u64,
             pool.capped(),
-            pool.store(),
+            cov,
         ))
     }
 }
@@ -206,7 +219,11 @@ pub(crate) fn assemble(
     capped: bool,
     store: &RrStore,
 ) -> TimResult {
-    let cov = select_seeds(cfg, n, store);
+    wrap(n, kpt, theta_n, capped, select_seeds(cfg, n, store))
+}
+
+/// Package an already-computed coverage selection into a [`TimResult`].
+fn wrap(n: usize, kpt: f64, theta_n: u64, capped: bool, cov: CoverageResult) -> TimResult {
     let est_spread = n as f64 * cov.covered as f64 / theta_n as f64;
     TimResult {
         seeds: cov.seeds,
@@ -361,6 +378,41 @@ mod tests {
             )
         }));
         assert!(boom.is_err());
+    }
+
+    #[test]
+    fn generated_pools_carry_a_resident_fused_index() {
+        let g = test_graph();
+        let pipe = RisPipeline::new(TimConfig::new(5).seed(13).max_rr_sets(15_000).threads(2));
+        let pool = pipe.generate_pool(|| IcRrSampler::new(&g)).unwrap();
+        let index = pool.coverage_index().expect("fused builds attach one");
+        // The resident index is exactly the standalone build.
+        assert_eq!(
+            **index,
+            CoverageIndex::build(pool.store(), pool.num_nodes(), 1)
+        );
+        // Selection over the resident index equals a from-scratch stage 4
+        // over an index-less pool with the same store and provenance.
+        let bare = SketchPool::new(
+            pool.store_arc(),
+            pool.num_nodes(),
+            pool.seed(),
+            pool.threads(),
+            pool.design_k(),
+            pool.epsilon(),
+            pool.kpt(),
+            pool.capped(),
+        );
+        assert!(bare.coverage_index().is_none());
+        let warm = pipe.run_on_pool(&pool).unwrap();
+        let cold = pipe.run_on_pool(&bare).unwrap();
+        assert_eq!(warm.seeds, cold.seeds);
+        assert_eq!(warm.covered, cold.covered);
+        assert_eq!(warm.est_spread, cold.est_spread);
+        // Budgeted queries drop the index and still answer correctly.
+        let cut = pool.prefix(pool.len() / 2);
+        assert!(cut.coverage_index().is_none());
+        assert!(pipe.run_on_pool(&cut).unwrap().capped);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! estimates, exactly like a capped [`crate::tim::TimResult`].
 
 use crate::rr::RrStore;
+use crate::select::CoverageIndex;
 use comic_graph::NodeId;
 use std::sync::Arc;
 
@@ -41,6 +42,7 @@ use std::sync::Arc;
 #[derive(Clone, Debug)]
 pub struct SketchPool {
     store: Arc<RrStore>,
+    index: Option<Arc<CoverageIndex>>,
     n: usize,
     seed: u64,
     threads: usize,
@@ -70,6 +72,7 @@ impl SketchPool {
     ) -> SketchPool {
         SketchPool {
             store,
+            index: None,
             n,
             seed,
             threads,
@@ -79,6 +82,28 @@ impl SketchPool {
             capped,
             generation: 0,
         }
+    }
+
+    /// Attach a resident [`CoverageIndex`] over the pool's full store —
+    /// the fused artifact of
+    /// [`crate::parallel::ShardedGenerator::generate_indexed`], kept
+    /// alongside the sketches so warm selection queries
+    /// ([`crate::pipeline::RisPipeline::run_on_pool`]) skip the per-query
+    /// index build entirely. The index must describe exactly this store
+    /// (checked against its set/entry counts).
+    pub fn with_index(mut self, index: Arc<CoverageIndex>) -> SketchPool {
+        assert_eq!(index.num_sets(), self.store.len(), "index/store mismatch");
+        assert_eq!(index.total_entries(), self.store.total_members());
+        assert_eq!(index.num_nodes(), self.n);
+        self.index = Some(index);
+        self
+    }
+
+    /// The resident coverage index, when the pool carries one (fused
+    /// builds do; [`SketchPool::prefix`] pools never do — the index spans
+    /// the full set range and cannot describe a truncation).
+    pub fn coverage_index(&self) -> Option<&Arc<CoverageIndex>> {
+        self.index.as_ref()
     }
 
     /// The shared RR-set arena.
@@ -160,6 +185,9 @@ impl SketchPool {
         }
         SketchPool {
             store: Arc::new(self.store.prefix(sets)),
+            // The resident index (if any) spans the full set range; a
+            // truncated pool must not inherit it.
+            index: None,
             capped: true,
             ..self.clone()
         }
@@ -249,5 +277,34 @@ mod tests {
         let pool = pool_over_star();
         let a = pool.store_arc();
         assert!(Arc::ptr_eq(&a, &pool.store));
+    }
+
+    #[test]
+    fn resident_index_is_attached_shared_and_dropped_on_prefix() {
+        let pool = pool_over_star();
+        assert!(pool.coverage_index().is_none(), "bare pools carry none");
+        let index = Arc::new(CoverageIndex::build(pool.store(), pool.num_nodes(), 1));
+        let pool = pool.with_index(Arc::clone(&index));
+        let held = pool.coverage_index().expect("attached");
+        assert!(Arc::ptr_eq(held, &index), "shared, not copied");
+        // Clones share the same resident index.
+        let cloned = pool.clone();
+        assert!(Arc::ptr_eq(
+            cloned.coverage_index().expect("cloned"),
+            &index
+        ));
+        // A budget prefix cannot keep an index over the full set range.
+        assert!(pool.prefix(10).coverage_index().is_none());
+        // ...but an identity prefix (no truncation) keeps it.
+        assert!(pool.prefix(pool.len()).coverage_index().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "index/store mismatch")]
+    fn with_index_rejects_a_foreign_index() {
+        let pool = pool_over_star();
+        let other = RrStore::new();
+        let index = Arc::new(CoverageIndex::build(&other, pool.num_nodes(), 1));
+        let _ = pool.with_index(index);
     }
 }

@@ -1,32 +1,47 @@
 //! Seed selection over an [`RrStore`] — the greedy max-coverage phase of
 //! GeneralTIM (Algorithm 1, lines 4–8), extracted into a reusable engine.
 //!
-//! The subsystem has two halves:
+//! The subsystem has three halves:
 //!
 //! * [`CoverageIndex`] — an inverted node→RR-set index in CSR layout
-//!   (which sets contain each node, ascending by set id), built in
-//!   parallel over contiguous shards of the store with the same
-//!   `std::thread::scope` + deterministic-merge pattern as
-//!   [`crate::parallel::ShardedGenerator`];
+//!   (which sets contain each node, ascending by set id). It can be built
+//!   standalone over a finished store ([`CoverageIndex::build`], parallel
+//!   over contiguous shards with the same `std::thread::scope` +
+//!   deterministic-merge pattern as [`crate::parallel::ShardedGenerator`]),
+//!   or **fused into the generation merge**: workers emit a
+//!   [`CoverageFragment`] — a per-node membership histogram maintained
+//!   *while sampling* plus pre-bucketed member runs sealed at shard end —
+//!   and [`CoverageIndex::from_fragments`] materializes the CSR during the
+//!   shard merge with no re-scan of the merged store. Both paths are
+//!   **byte-identical** by construction and by test.
 //! * [`SeedSelector`] — interchangeable max-coverage strategies sharing the
 //!   index: [`NaiveGreedy`], an exhaustive-rescan oracle, and
 //!   [`CelfGreedy`], a CELF lazy-greedy over a max-heap of stale marginal
 //!   counts with partitioned parallel coverage-invalidation sweeps.
+//! * the [`crate::simd`] kernels the selectors' hot loops run on: covered
+//!   sets live in a word-array bitset, marginal-gain counting is a
+//!   (gather-)vectorized scan, and nodes whose membership degree clears
+//!   [`hot_threshold`] are represented as RR-membership **bitsets**, so
+//!   their invalidation becomes popcount-over-words instead of scattered
+//!   per-member decrements.
 //!
 //! # Determinism contract
 //!
-//! Selection is **bit-for-bit deterministic and thread-count independent**:
-//! the index is an exact structure (parallel builds produce byte-identical
-//! arrays), marginal gains are exact integers, and ties are broken by the
-//! *smallest node id* among maximum-gain candidates. Because the marginal
-//! coverage objective is monotone and submodular (a stale cached gain is an
-//! upper bound on the fresh gain), CELF's lazy-forward rule selects exactly
-//! the same argmax sequence as the exhaustive oracle, so **every selector
-//! returns the identical seed set** on the same store — the contract the
-//! cross-selector tests and the CI bench smoke enforce.
+//! Selection is **bit-for-bit deterministic and independent of thread
+//! count and SIMD mode**: the index is an exact structure (parallel and
+//! fused builds produce byte-identical arrays), marginal gains are exact
+//! integers (swept or popcounted), and ties are broken by the *smallest
+//! node id* among maximum-gain candidates. Because the marginal coverage
+//! objective is monotone and submodular (a stale cached gain is an upper
+//! bound on the fresh gain), CELF's lazy-forward rule selects exactly the
+//! same argmax sequence as the exhaustive oracle, so **every selector, at
+//! every thread count, in every SIMD mode, returns the identical seed
+//! set** on the same store — the contract the cross-selector tests, the
+//! SIMD ≡ scalar proptests, and the CI bench smoke enforce.
 
 use crate::parallel::resolve_threads;
 use crate::rr::RrStore;
+use crate::simd::{self, SimdMode};
 use comic_graph::NodeId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -47,12 +62,108 @@ pub struct CoverageResult {
 /// For each node, the ids of the sets containing it, ascending. One flat
 /// `u32` array plus an offsets table — the same storage idea as
 /// [`RrStore`] itself, pointing the other way.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CoverageIndex {
     num_nodes: usize,
     num_sets: usize,
     offsets: Vec<u64>,
     sets: Vec<u32>,
+}
+
+/// One generation shard's contribution to a fused [`CoverageIndex`] build.
+///
+/// A worker thread producing RR-sets keeps the per-node membership
+/// **histogram** current as it samples ([`CoverageFragment::note_members`]
+/// after each pushed set — a handful of cache-hot increments, no extra
+/// pass), then [`CoverageFragment::seal`]s the fragment at shard end: one
+/// scatter over the shard's own (still cache-warm) store buckets every
+/// membership into a local CSR whose counting pass was already paid.
+/// [`CoverageIndex::from_fragments`] then merges fragments into the global
+/// index during the shard merge — so the full-store counting re-scan of a
+/// standalone [`CoverageIndex::build`] never happens.
+#[derive(Clone, Debug)]
+pub struct CoverageFragment {
+    counts: Vec<u32>,
+    offsets: Vec<u64>,
+    sets: Vec<u32>,
+    local_sets: usize,
+    sealed: bool,
+}
+
+impl CoverageFragment {
+    /// An empty fragment over node universe `0..n`.
+    pub fn new(n: usize) -> CoverageFragment {
+        CoverageFragment {
+            counts: vec![0u32; n],
+            offsets: Vec::new(),
+            sets: Vec::new(),
+            local_sets: 0,
+            sealed: false,
+        }
+    }
+
+    /// Record one generated RR-set's members in the histogram. Call once
+    /// per set, in the order the sets are pushed into the shard store.
+    pub fn note_members(&mut self, members: &[NodeId]) {
+        debug_assert!(!self.sealed, "note_members on a sealed fragment");
+        for &v in members {
+            self.counts[v.index()] += 1;
+        }
+        self.local_sets += 1;
+    }
+
+    /// Bucket the shard store's memberships into the local CSR. `store`
+    /// must be exactly the sets previously noted, in order. One scatter
+    /// pass — the counting pass already happened inside generation.
+    pub fn seal(&mut self, store: &RrStore) {
+        assert!(!self.sealed, "fragment sealed twice");
+        assert_eq!(
+            store.len(),
+            self.local_sets,
+            "fragment saw {} sets but the shard store holds {}",
+            self.local_sets,
+            store.len()
+        );
+        let n = self.counts.len();
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + self.counts[v] as u64;
+        }
+        debug_assert_eq!(offsets[n], store.total_members());
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut sets = vec![0u32; offsets[n] as usize];
+        for i in 0..store.len() {
+            for &v in store.set(i) {
+                sets[cursor[v.index()] as usize] = i as u32;
+                cursor[v.index()] += 1;
+            }
+        }
+        self.offsets = offsets;
+        self.sets = sets;
+        self.sealed = true;
+    }
+
+    /// Note-and-seal over a finished store in one call — the convenience
+    /// path tests and benches use to fragment a pre-sampled store the way
+    /// a generation worker would have.
+    pub fn over_store(store: &RrStore, n: usize) -> CoverageFragment {
+        let mut f = CoverageFragment::new(n);
+        for i in 0..store.len() {
+            f.note_members(store.set(i));
+        }
+        f.seal(store);
+        f
+    }
+
+    /// Number of sets this fragment covers.
+    pub fn num_local_sets(&self) -> usize {
+        self.local_sets
+    }
+
+    /// Whether [`CoverageFragment::seal`] has run.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
 }
 
 impl CoverageIndex {
@@ -62,7 +173,9 @@ impl CoverageIndex {
     /// Each worker counts and locally indexes a contiguous range of sets;
     /// the final gather copies every node's per-shard runs in shard order,
     /// so within a node's slice set ids are globally ascending and the
-    /// result is **byte-identical for every thread count**.
+    /// result is **byte-identical for every thread count** — and identical
+    /// to a fused [`CoverageIndex::from_fragments`] build over any shard
+    /// decomposition of the same store.
     pub fn build(store: &RrStore, n: usize, threads: usize) -> CoverageIndex {
         let threads = resolve_threads(threads).min(store.len().max(1)).max(1);
         if threads == 1 {
@@ -148,6 +261,102 @@ impl CoverageIndex {
         }
     }
 
+    /// Materialize the global index from per-shard fragments during the
+    /// shard merge — the **fused** build path of
+    /// [`crate::parallel::ShardedGenerator::generate_indexed`].
+    ///
+    /// Fragments must be sealed, over the same node universe, and in the
+    /// same order their stores are merged (fragment `i`'s local set `j`
+    /// becomes global id `base_i + j`, where `base_i` counts the sets of
+    /// fragments `0..i`). Histograms were maintained during generation and
+    /// the runs are pre-bucketed, so all that remains is one offsets sum
+    /// plus a node-partitioned (over `threads` workers, `0` = one per
+    /// core) rebasing gather — and a single sealed fragment is *moved*
+    /// into place with no copy at all.
+    ///
+    /// The output is byte-identical to [`CoverageIndex::build`] over the
+    /// merged store, for every fragmentation and every thread count.
+    pub fn from_fragments(
+        mut fragments: Vec<CoverageFragment>,
+        n: usize,
+        threads: usize,
+    ) -> CoverageIndex {
+        for (i, f) in fragments.iter().enumerate() {
+            assert!(f.sealed, "fragment {i} passed to from_fragments unsealed");
+            assert_eq!(f.counts.len(), n, "fragment {i} node universe mismatch");
+        }
+        let num_sets: usize = fragments.iter().map(|f| f.local_sets).sum();
+        if fragments.is_empty() {
+            return CoverageIndex {
+                num_nodes: n,
+                num_sets: 0,
+                offsets: vec![0u64; n + 1],
+                sets: Vec::new(),
+            };
+        }
+        if fragments.len() == 1 {
+            // Single shard: the fragment's CSR *is* the index (base 0).
+            let f = fragments.pop().expect("len checked");
+            return CoverageIndex {
+                num_nodes: n,
+                num_sets,
+                offsets: f.offsets,
+                sets: f.sets,
+            };
+        }
+
+        // Set-id base of each fragment = sets merged before it.
+        let mut bases = Vec::with_capacity(fragments.len());
+        let mut acc = 0usize;
+        for f in &fragments {
+            bases.push(acc as u32);
+            acc += f.local_sets;
+        }
+
+        // Global offsets = per-node sums of the fragment histograms.
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            let total: u64 = fragments.iter().map(|f| f.counts[v] as u64).sum();
+            offsets[v + 1] = offsets[v] + total;
+        }
+        let mut sets = vec![0u32; offsets[n] as usize];
+
+        // Node-partitioned rebasing gather, mirroring `build`'s merge.
+        let threads = resolve_threads(threads).min(n.max(1)).max(1);
+        let bounds = partition_nodes(&offsets, threads);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [u32] = &mut sets;
+            for w in bounds.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                let len = (offsets[hi] - offsets[lo]) as usize;
+                let (mine, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let fragments = &fragments;
+                let bases = &bases;
+                scope.spawn(move || {
+                    let mut out = 0usize;
+                    for v in lo..hi {
+                        for (f, &base) in fragments.iter().zip(bases) {
+                            let run = &f.sets[f.offsets[v] as usize..f.offsets[v + 1] as usize];
+                            for (dst, &local) in mine[out..out + run.len()].iter_mut().zip(run) {
+                                *dst = local + base;
+                            }
+                            out += run.len();
+                        }
+                    }
+                    debug_assert_eq!(out, mine.len());
+                });
+            }
+        });
+
+        CoverageIndex {
+            num_nodes: n,
+            num_sets,
+            offsets,
+            sets,
+        }
+    }
+
     /// Size of the node universe the index was built for.
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
@@ -178,7 +387,9 @@ impl CoverageIndex {
 /// range of `store`'s sets: count per-node memberships, prefix-sum into
 /// offsets, then scatter set ids in range order (so each node's list comes
 /// out ascending). The sequential build is the full-range instance; the
-/// parallel build runs one per shard.
+/// parallel build runs one per shard. (The fused path never runs the
+/// counting half — [`CoverageFragment`] keeps it current during
+/// generation.)
 fn csr_over_range(
     store: &RrStore,
     n: usize,
@@ -227,16 +438,41 @@ fn partition_nodes(offsets: &[u64], parts: usize) -> Vec<usize> {
     bounds
 }
 
+/// Below this many sets the hot-node bitset machinery is all overhead: a
+/// full scan of such a store is a few cache lines.
+const HOT_MIN_SETS: usize = 256;
+/// A node is *hot* when it appears in at least `num_sets / DIVISOR` sets;
+/// the divisor bounds total bitset memory at `DIVISOR × avg-set-size`
+/// nodes × `num_sets / 8` bytes.
+const HOT_DEGREE_DIVISOR: usize = 16;
+/// Floor on the hot threshold so tiny stores near [`HOT_MIN_SETS`] don't
+/// classify half their nodes hot.
+const HOT_MIN_COUNT: u32 = 48;
+
+/// Membership-count threshold above which a node gets a word-parallel
+/// RR-membership bitset in [`CelfGreedy`] (invalidation by
+/// popcount-over-words instead of per-member decrements), or `None` when
+/// the store is too small for the representation to pay
+/// (`num_sets <` [`HOT_MIN_SETS`]).
+pub fn hot_threshold(num_sets: usize) -> Option<u32> {
+    if num_sets < HOT_MIN_SETS {
+        return None;
+    }
+    Some(((num_sets / HOT_DEGREE_DIVISOR) as u32).max(HOT_MIN_COUNT))
+}
+
 /// A max-coverage seed-selection strategy over a prebuilt [`CoverageIndex`].
 ///
 /// Implementations must obey the module-level determinism contract: for the
 /// same `(index, store, k)` every selector returns the identical
-/// [`CoverageResult`], with ties broken by smallest node id.
+/// [`CoverageResult`], with ties broken by smallest node id, in every SIMD
+/// mode.
 pub trait SeedSelector {
     /// Human-readable strategy name (used in bench reports).
     fn name(&self) -> &'static str;
 
-    /// Pick up to `k` seeds maximizing covered RR-sets.
+    /// Pick up to `k` seeds maximizing covered RR-sets, on the ambient
+    /// [`simd::active`] kernels.
     fn select(&self, index: &CoverageIndex, store: &RrStore, k: usize) -> CoverageResult;
 }
 
@@ -244,33 +480,40 @@ pub trait SeedSelector {
 /// marginal gain from the index and picks the smallest-id argmax.
 ///
 /// `O(k · total_members)` — far slower than [`CelfGreedy`] but so simple it
-/// serves as the test oracle the lazy selector is checked against.
+/// serves as the test oracle the lazy selector is checked against. The
+/// recount *is* the "marginal-gain coverage counting" kernel
+/// ([`simd::count_uncovered`]): each candidate's set-id list scanned
+/// against the covered bitset.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NaiveGreedy;
 
-impl SeedSelector for NaiveGreedy {
-    fn name(&self) -> &'static str {
-        "naive-greedy"
-    }
-
-    fn select(&self, index: &CoverageIndex, store: &RrStore, k: usize) -> CoverageResult {
+impl NaiveGreedy {
+    /// [`SeedSelector::select`] with an explicit SIMD mode (benches and
+    /// the SIMD ≡ scalar property tests pin both paths through this).
+    pub fn select_with(
+        &self,
+        index: &CoverageIndex,
+        store: &RrStore,
+        k: usize,
+        mode: SimdMode,
+    ) -> CoverageResult {
         let n = index.num_nodes();
-        let mut covered_set = vec![false; store.len()];
+        let mut covered_bits = vec![0u64; simd::words_for(store.len())];
         let mut picked = vec![false; n];
         let mut seeds = Vec::with_capacity(k.min(n));
         let mut marginals = Vec::with_capacity(k.min(n));
         let mut covered = 0u64;
         while seeds.len() < k.min(n) {
-            let mut best: Option<(u32, usize)> = None;
+            let mut best: Option<(u64, usize)> = None;
             for (v, &is_picked) in picked.iter().enumerate() {
                 if is_picked {
                     continue;
                 }
-                let gain = index
-                    .sets_containing(NodeId(v as u32))
-                    .iter()
-                    .filter(|&&s| !covered_set[s as usize])
-                    .count() as u32;
+                let gain = simd::count_uncovered(
+                    mode,
+                    index.sets_containing(NodeId(v as u32)),
+                    &covered_bits,
+                );
                 // Strict `>` over ascending ids = smallest id wins ties.
                 if best.is_none_or(|(bg, _)| gain > bg) {
                     best = Some((gain, v));
@@ -279,10 +522,10 @@ impl SeedSelector for NaiveGreedy {
             let Some((gain, v)) = best else { break };
             picked[v] = true;
             seeds.push(NodeId(v as u32));
-            marginals.push(gain as u64);
-            covered += gain as u64;
+            marginals.push(gain);
+            covered += gain;
             for &s in index.sets_containing(NodeId(v as u32)) {
-                covered_set[s as usize] = true;
+                simd::set_bit(&mut covered_bits, s as usize);
             }
         }
         CoverageResult {
@@ -290,6 +533,16 @@ impl SeedSelector for NaiveGreedy {
             covered,
             marginals,
         }
+    }
+}
+
+impl SeedSelector for NaiveGreedy {
+    fn name(&self) -> &'static str {
+        "naive-greedy"
+    }
+
+    fn select(&self, index: &CoverageIndex, store: &RrStore, k: usize) -> CoverageResult {
+        self.select_with(index, store, k, simd::active())
     }
 }
 
@@ -338,14 +591,25 @@ impl SweepStore {
 /// A max-heap caches each candidate's marginal gain; a popped entry whose
 /// cache is stale (gains only shrink under submodularity) is re-pushed with
 /// its live gain, so each round touches only the few heads that changed.
-/// After a pick, the *coverage-invalidation sweep* — marking the pick's
-/// uncovered sets covered and decrementing every member's live gain — is
-/// the remaining linear cost; when it is large it is partitioned by node
-/// range across `threads` workers. Each worker owns a disjoint slice of the
-/// gain array and binary-searches its node range inside node-sorted per-set
-/// member lists (a [`SweepStore`] built once per run), so per-worker work is
-/// its share of the decrements plus `O(sets · log)` search — and the exact
-/// integer decrements commute, keeping the result thread-count independent.
+/// Live gains come from two representations:
+///
+/// * **cold nodes** (membership below [`hot_threshold`]) keep an exact
+///   integer in the `gain` array, maintained by the *coverage-invalidation
+///   sweep* after each pick — marking the pick's uncovered sets covered
+///   and decrementing every cold member's live gain. When the sweep is
+///   large it is partitioned by node range across `threads` workers, each
+///   owning a disjoint slice of the gain array and binary-searching its
+///   node range inside node-sorted per-set member lists (a [`SweepStore`]
+///   built once per run). Exact integer decrements commute, so the result
+///   is thread-count independent.
+/// * **hot nodes** carry a word-parallel RR-membership bitset instead:
+///   sweeps skip them entirely (their scattered decrements are the
+///   cache-hostile part of a sweep), and their live gain is recomputed on
+///   pop as `popcount(membership & !covered)` over the
+///   [`crate::simd`] kernels — exact, and O(θ/64) words per probe.
+///
+/// Both representations are exact at the moment they are read, so the
+/// selection is byte-identical to an all-cold, all-scalar run.
 #[derive(Clone, Copy, Debug)]
 pub struct CelfGreedy {
     /// Worker threads for invalidation sweeps (`0` = one per core).
@@ -358,17 +622,43 @@ impl Default for CelfGreedy {
     }
 }
 
-impl SeedSelector for CelfGreedy {
-    fn name(&self) -> &'static str {
-        "celf"
-    }
-
-    fn select(&self, index: &CoverageIndex, store: &RrStore, k: usize) -> CoverageResult {
+impl CelfGreedy {
+    /// [`SeedSelector::select`] with an explicit SIMD mode (benches and
+    /// the SIMD ≡ scalar property tests pin both paths through this).
+    pub fn select_with(
+        &self,
+        index: &CoverageIndex,
+        store: &RrStore,
+        k: usize,
+        mode: SimdMode,
+    ) -> CoverageResult {
         let n = index.num_nodes();
+        let num_sets = store.len();
         let threads = resolve_threads(self.threads).min(n.max(1)).max(1);
         let mut gain: Vec<u32> = (0..n).map(|v| index.count(NodeId(v as u32))).collect();
-        let mut covered_set = vec![false; store.len()];
+        let words = simd::words_for(num_sets);
+        let mut covered_bits = vec![0u64; words];
         let mut picked = vec![false; n];
+
+        // Hot nodes: membership bitsets for everything above the degree
+        // threshold, so their invalidation is popcount-over-words. Built
+        // from the index's ascending runs (sequential bit sets).
+        let mut hot_slot = vec![u32::MAX; n];
+        let mut hot_bits: Vec<Vec<u64>> = Vec::new();
+        if let Some(th) = hot_threshold(num_sets) {
+            for v in 0..n {
+                if gain[v] >= th {
+                    let mut bits = vec![0u64; words];
+                    for &s in index.sets_containing(NodeId(v as u32)) {
+                        simd::set_bit(&mut bits, s as usize);
+                    }
+                    hot_slot[v] = hot_bits.len() as u32;
+                    hot_bits.push(bits);
+                }
+            }
+        }
+        let hot: Vec<bool> = hot_slot.iter().map(|&s| s != u32::MAX).collect();
+
         // Max-heap on (cached gain, Reverse(node id)): among equal cached
         // gains the smallest id pops first, matching NaiveGreedy's rule.
         let mut heap: BinaryHeap<(u32, Reverse<u32>)> = (0..n as u32)
@@ -397,20 +687,42 @@ impl SeedSelector for CelfGreedy {
             if picked[vi] {
                 continue;
             }
-            if cached > gain[vi] {
-                heap.push((gain[vi], Reverse(v)));
+            // Live gain: swept integer for cold nodes, popcount over the
+            // membership bitset for hot ones — both exact right now.
+            let current = if hot[vi] {
+                simd::popcount_and_not(mode, &hot_bits[hot_slot[vi] as usize], &covered_bits) as u32
+            } else {
+                gain[vi]
+            };
+            if cached > current {
+                heap.push((current, Reverse(v)));
                 continue;
             }
             // Fresh maximum (smallest id among ties): pick it.
             picked[vi] = true;
             seeds.push(NodeId(v));
-            marginals.push(gain[vi] as u64);
-            covered += gain[vi] as u64;
+            marginals.push(current as u64);
+            covered += current as u64;
             newly.clear();
-            for &s in index.sets_containing(NodeId(v)) {
-                if !covered_set[s as usize] {
-                    covered_set[s as usize] = true;
-                    newly.push(s);
+            if hot[vi] {
+                // Newly covered = membership & !covered, read off the words
+                // (ascending, matching the scalar path's order); then the
+                // union is one vectorized OR.
+                let bits = &hot_bits[hot_slot[vi] as usize];
+                for (w, (&bw, &cw)) in bits.iter().zip(covered_bits.iter()).enumerate() {
+                    let mut fresh = bw & !cw;
+                    while fresh != 0 {
+                        newly.push((w as u32) * 64 + fresh.trailing_zeros());
+                        fresh &= fresh - 1;
+                    }
+                }
+                simd::or_assign(mode, &mut covered_bits, bits);
+            } else {
+                for &s in index.sets_containing(NodeId(v)) {
+                    if !simd::test_bit(&covered_bits, s as usize) {
+                        simd::set_bit(&mut covered_bits, s as usize);
+                        newly.push(s);
+                    }
                 }
             }
             let work: u64 = newly
@@ -419,11 +731,13 @@ impl SeedSelector for CelfGreedy {
                 .sum();
             if bounds.len() > 2 && work >= PARALLEL_SWEEP_MIN_WORK {
                 let sorted = sweep_store.get_or_insert_with(|| SweepStore::build(index, store));
-                sweep_parallel(&mut gain, &newly, sorted, &bounds);
+                sweep_parallel(&mut gain, &newly, sorted, &bounds, &hot);
             } else {
-                sweep_inline(&mut gain, &newly, store);
+                sweep_inline(&mut gain, &newly, store, &hot);
             }
-            debug_assert_eq!(gain[vi], 0);
+            if !hot[vi] {
+                debug_assert_eq!(gain[vi], 0);
+            }
         }
 
         CoverageResult {
@@ -434,16 +748,34 @@ impl SeedSelector for CelfGreedy {
     }
 }
 
+impl SeedSelector for CelfGreedy {
+    fn name(&self) -> &'static str {
+        "celf"
+    }
+
+    fn select(&self, index: &CoverageIndex, store: &RrStore, k: usize) -> CoverageResult {
+        self.select_with(index, store, k, simd::active())
+    }
+}
+
 /// Partitioned parallel invalidation sweep: decrement the live gain of
-/// every member of the newly covered sets.
+/// every **cold** member of the newly covered sets (hot nodes carry
+/// bitsets and are skipped — their gain is popcounted on demand).
 ///
 /// The sweep fans out over scoped workers along the node-range `bounds`
 /// (from [`partition_nodes`]): each owns one disjoint sub-slice of `gain`
 /// and binary-searches its node range inside every newly covered set's
 /// node-sorted member list, so it reads and writes only its own segment.
-/// Every member entry is applied exactly once — same as [`sweep_inline`] —
-/// so the resulting gain array is identical regardless of threading.
-fn sweep_parallel(gain: &mut [u32], newly: &[u32], sorted: &SweepStore, bounds: &[usize]) {
+/// Every cold member entry is applied exactly once — same as
+/// [`sweep_inline`] — so the resulting gain array is identical regardless
+/// of threading.
+fn sweep_parallel(
+    gain: &mut [u32],
+    newly: &[u32],
+    sorted: &SweepStore,
+    bounds: &[usize],
+    hot: &[bool],
+) {
     std::thread::scope(|scope| {
         let mut rest: &mut [u32] = gain;
         let mut consumed = 0usize;
@@ -459,7 +791,9 @@ fn sweep_parallel(gain: &mut [u32], newly: &[u32], sorted: &SweepStore, bounds: 
                     let a = mem.partition_point(|&x| (x as usize) < lo);
                     let b = a + mem[a..].partition_point(|&x| (x as usize) < hi);
                     for &x in &mem[a..b] {
-                        mine[x as usize - lo] -= 1;
+                        if !hot[x as usize] {
+                            mine[x as usize - lo] -= 1;
+                        }
                     }
                 }
             });
@@ -467,10 +801,12 @@ fn sweep_parallel(gain: &mut [u32], newly: &[u32], sorted: &SweepStore, bounds: 
     });
 }
 
-fn sweep_inline(gain: &mut [u32], newly: &[u32], store: &RrStore) {
+fn sweep_inline(gain: &mut [u32], newly: &[u32], store: &RrStore, hot: &[bool]) {
     for &s in newly {
         for &w in store.set(s as usize) {
-            gain[w.index()] -= 1;
+            if !hot[w.index()] {
+                gain[w.index()] -= 1;
+            }
         }
     }
 }
@@ -506,7 +842,8 @@ impl SelectorKind {
     }
 
     /// Run the chosen selector (`threads` only affects [`CelfGreedy`]'s
-    /// invalidation sweeps; results are thread-count independent).
+    /// invalidation sweeps; results are thread-count independent) on the
+    /// ambient [`simd::active`] kernels.
     pub fn select(
         self,
         index: &CoverageIndex,
@@ -514,9 +851,21 @@ impl SelectorKind {
         k: usize,
         threads: usize,
     ) -> CoverageResult {
+        self.select_mode(index, store, k, threads, simd::active())
+    }
+
+    /// [`SelectorKind::select`] with an explicit SIMD mode.
+    pub fn select_mode(
+        self,
+        index: &CoverageIndex,
+        store: &RrStore,
+        k: usize,
+        threads: usize,
+        mode: SimdMode,
+    ) -> CoverageResult {
         match self {
-            SelectorKind::NaiveGreedy => NaiveGreedy.select(index, store, k),
-            SelectorKind::Celf => CelfGreedy { threads }.select(index, store, k),
+            SelectorKind::NaiveGreedy => NaiveGreedy.select_with(index, store, k, mode),
+            SelectorKind::Celf => CelfGreedy { threads }.select_with(index, store, k, mode),
         }
     }
 }
@@ -527,6 +876,16 @@ mod tests {
     use comic_graph::gen;
     use rand::rngs::SmallRng;
     use rand::{RngExt, SeedableRng};
+
+    /// Scalar plus AVX2 when the host has it — cross-mode tests iterate
+    /// this so the vector path is exercised wherever possible.
+    fn modes() -> Vec<SimdMode> {
+        let mut m = vec![SimdMode::Scalar];
+        if simd::detect() == SimdMode::Avx2 {
+            m.push(SimdMode::Avx2);
+        }
+        m
+    }
 
     fn store_from(sets: &[&[u32]]) -> (RrStore, usize) {
         let n = 1 + sets
@@ -561,6 +920,25 @@ mod tests {
         store
     }
 
+    /// Split `store` into `parts` contiguous shard stores, the way
+    /// generation workers would own them.
+    fn shard_stores(store: &RrStore, parts: usize) -> Vec<RrStore> {
+        let per = store.len() / parts;
+        let extra = store.len() % parts;
+        let mut shards = Vec::with_capacity(parts);
+        let mut i = 0usize;
+        for t in 0..parts {
+            let share = per + usize::from(t < extra);
+            let mut s = RrStore::new();
+            for j in i..i + share {
+                s.push_with_width(store.set(j), store.width(j));
+            }
+            shards.push(s);
+            i += share;
+        }
+        shards
+    }
+
     #[test]
     fn index_counts_match_bruteforce() {
         let store = random_store(1, 25, 300, 6);
@@ -591,6 +969,67 @@ mod tests {
     }
 
     #[test]
+    fn fused_fragments_match_standalone_build_for_every_sharding() {
+        let store = random_store(21, 40, 900, 8);
+        let standalone = CoverageIndex::build(&store, 40, 1);
+        for parts in [1, 2, 3, 5, 8] {
+            let frags: Vec<CoverageFragment> = shard_stores(&store, parts)
+                .iter()
+                .map(|s| CoverageFragment::over_store(s, 40))
+                .collect();
+            assert!(frags.iter().all(CoverageFragment::is_sealed));
+            for gather_threads in [1, 4] {
+                let fused = CoverageIndex::from_fragments(frags.clone(), 40, gather_threads);
+                assert_eq!(fused, standalone, "parts {parts} gather {gather_threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_build_handles_empty_shards_and_empty_stores() {
+        // Empty middle shard, empty first shard, all-empty fragments.
+        let store = random_store(22, 12, 60, 5);
+        let standalone = CoverageIndex::build(&store, 12, 1);
+        let shards = shard_stores(&store, 2);
+        let frags = vec![
+            CoverageFragment::over_store(&RrStore::new(), 12),
+            CoverageFragment::over_store(&shards[0], 12),
+            CoverageFragment::over_store(&RrStore::new(), 12),
+            CoverageFragment::over_store(&shards[1], 12),
+        ];
+        assert_eq!(CoverageIndex::from_fragments(frags, 12, 2), standalone);
+        // No fragments at all → a valid empty index.
+        let empty = CoverageIndex::from_fragments(Vec::new(), 12, 4);
+        assert_eq!(empty.num_sets(), 0);
+        assert_eq!(empty.total_entries(), 0);
+        assert_eq!(empty, CoverageIndex::build(&RrStore::new(), 12, 1));
+    }
+
+    #[test]
+    fn fragment_histogram_is_maintained_incrementally() {
+        // note_members during "generation", seal at the end — the worker
+        // protocol — must equal over_store's one-shot path.
+        let store = random_store(23, 15, 120, 6);
+        let mut f = CoverageFragment::new(15);
+        for i in 0..store.len() {
+            f.note_members(store.set(i));
+        }
+        assert_eq!(f.num_local_sets(), 120);
+        assert!(!f.is_sealed());
+        f.seal(&store);
+        let g = CoverageFragment::over_store(&store, 15);
+        assert_eq!(f.counts, g.counts);
+        assert_eq!(f.offsets, g.offsets);
+        assert_eq!(f.sets, g.sets);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsealed")]
+    fn from_fragments_rejects_unsealed_fragments() {
+        let _ = CoverageIndex::from_fragments(vec![CoverageFragment::new(5)], 5, 1);
+    }
+
+    #[test]
     fn empty_store_and_tiny_universes() {
         let store = RrStore::new();
         let index = CoverageIndex::build(&store, 0, 4);
@@ -615,14 +1054,74 @@ mod tests {
     }
 
     #[test]
-    fn celf_matches_naive_on_random_stores_across_threads() {
+    fn celf_matches_naive_on_random_stores_across_threads_and_modes() {
         for trial in 0..10 {
             let store = random_store(100 + trial, 30, 400, 5);
             let index = CoverageIndex::build(&store, 30, 2);
-            let naive = NaiveGreedy.select(&index, &store, 6);
+            let naive = NaiveGreedy.select_with(&index, &store, 6, SimdMode::Scalar);
             for threads in [1, 3] {
-                let celf = CelfGreedy { threads }.select(&index, &store, 6);
-                assert_eq!(naive, celf, "trial {trial} threads {threads}");
+                for mode in modes() {
+                    let celf = CelfGreedy { threads }.select_with(&index, &store, 6, mode);
+                    assert_eq!(naive, celf, "trial {trial} threads {threads} {mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hot_threshold_kicks_in_only_past_min_sets() {
+        assert_eq!(hot_threshold(0), None);
+        assert_eq!(hot_threshold(HOT_MIN_SETS - 1), None);
+        let th = hot_threshold(HOT_MIN_SETS).expect("past the floor");
+        assert!(th >= HOT_MIN_COUNT);
+        assert_eq!(
+            hot_threshold(1 << 20),
+            Some(((1usize << 20) / HOT_DEGREE_DIVISOR) as u32)
+        );
+    }
+
+    #[test]
+    fn hot_node_path_matches_oracle_straddling_the_threshold() {
+        // A store big enough for the hot machinery (>= HOT_MIN_SETS), with
+        // node 0 comfortably hot, node 1 exactly at the threshold, node 2
+        // exactly one below — plus random filler. Every selector/mode must
+        // agree with the all-cold oracle on the exact same seeds.
+        let num_sets = HOT_MIN_SETS * 2;
+        let th = hot_threshold(num_sets).expect("large store") as usize;
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut store = RrStore::new();
+        for i in 0..num_sets {
+            let mut members: Vec<NodeId> = Vec::new();
+            if i < th * 3 {
+                members.push(NodeId(0)); // way past the threshold
+            }
+            if i % 2 == 0 && members.len() * 2 < th * 2 {
+                // placeholder, replaced below by exact-count loops
+            }
+            let filler = NodeId(3 + rng.random_range(0..20u32));
+            if !members.contains(&filler) {
+                members.push(filler);
+            }
+            store.push_with_width(&members, 0);
+        }
+        // Give node 1 exactly `th` memberships and node 2 exactly `th - 1`
+        // by appending dedicated sets.
+        for i in 0..th {
+            store.push_with_width(&[NodeId(1)], 0);
+            if i + 1 < th {
+                store.push_with_width(&[NodeId(2)], 0);
+            }
+        }
+        let n = 23usize;
+        let index = CoverageIndex::build(&store, n, 1);
+        let total = store.len();
+        let th_now = hot_threshold(total).expect("still large");
+        assert!(index.count(NodeId(0)) >= th_now, "node 0 must be hot");
+        let naive = NaiveGreedy.select_with(&index, &store, 8, SimdMode::Scalar);
+        for mode in modes() {
+            for threads in [1, 4] {
+                let celf = CelfGreedy { threads }.select_with(&index, &store, 8, mode);
+                assert_eq!(naive, celf, "{mode:?} threads {threads}");
             }
         }
     }
@@ -653,7 +1152,8 @@ mod tests {
         // Big dense sets so a single pick invalidates > the inline
         // threshold, forcing the partitioned sweep: the top node sits in
         // roughly sets·density ≈ 800 sets of 200 members, ~160k member
-        // touches > PARALLEL_SWEEP_MIN_WORK.
+        // touches > PARALLEL_SWEEP_MIN_WORK. (Every node here is also far
+        // past the hot threshold, so this doubles as a hot-path stress.)
         let mut rng = SmallRng::seed_from_u64(9);
         let mut store = RrStore::new();
         let n = 300u32;
@@ -677,6 +1177,13 @@ mod tests {
         let par = CelfGreedy { threads: 4 }.select(&index, &store, 10);
         assert_eq!(seq, par);
         assert_eq!(seq, NaiveGreedy.select(&index, &store, 10));
+        for mode in modes() {
+            assert_eq!(
+                seq,
+                CelfGreedy { threads: 4 }.select_with(&index, &store, 10, mode),
+                "{mode:?}"
+            );
+        }
     }
 
     #[test]
@@ -718,6 +1225,12 @@ mod tests {
         let a = SelectorKind::NaiveGreedy.select(&index, &store, 1, 1);
         let b = SelectorKind::Celf.select(&index, &store, 1, 1);
         assert_eq!(a, b);
+        for mode in modes() {
+            assert_eq!(
+                SelectorKind::Celf.select_mode(&index, &store, 1, 1, mode),
+                a
+            );
+        }
     }
 
     #[test]

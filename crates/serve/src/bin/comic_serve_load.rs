@@ -13,8 +13,10 @@
 //! smoke runs `--quick` with a nonzero fault rate and still requires a
 //! schema-valid snapshot and zero unexpected errors).
 //!
-//! `--validate <path>` re-checks an existing snapshot against the schema
-//! and exits nonzero on a mismatch (the CI smoke step).
+//! `--validate <path>` re-checks an existing snapshot against its schema —
+//! `BENCH_serving.json` (`"bench": "serving"`) or the criterion driver's
+//! `BENCH_seed_selection.json` (`"bench": "seed_selection"`) — and exits
+//! nonzero on a mismatch (the CI smoke steps).
 
 use comic_bench::metrics::{percentile, round3, OutcomeCounts};
 use comic_graph::fasthash::splitmix64;
@@ -111,9 +113,72 @@ fn timed<F: FnMut() -> Option<String>>(name: &'static str, reps: usize, mut f: F
     }
 }
 
-/// Required schema of a `BENCH_serving.json` snapshot; the error names the
-/// first missing piece.
+/// Schema dispatch on the snapshot's `"bench"` field: `"serving"`
+/// snapshots (this driver's own output) and `"seed_selection"` snapshots
+/// (the committed `BENCH_seed_selection.json` from the criterion driver)
+/// are both accepted; the error names the first missing piece.
 fn validate_schema(v: &Json) -> Result<(), String> {
+    match v.get("bench").and_then(Json::as_str) {
+        Some("serving") => validate_serving_schema(v),
+        Some("seed_selection") => validate_seed_selection_schema(v),
+        _ => Err("field \"bench\" must be \"serving\" or \"seed_selection\"".into()),
+    }
+}
+
+/// Required schema of a `BENCH_seed_selection.json` snapshot: graph and
+/// workload provenance, the active SIMD mode, the 1-core caveat note, and
+/// per-run `{label, threads, secs}` rows including the fused-build and
+/// SIMD selection rows introduced with the fused index path.
+fn validate_seed_selection_schema(v: &Json) -> Result<(), String> {
+    for f in ["simd", "note"] {
+        if v.get(f).and_then(Json::as_str).is_none() {
+            return Err(format!("missing string field {f:?}"));
+        }
+    }
+    for f in ["host_cores", "rr_sets", "k", "total_members"] {
+        if v.get(f).and_then(Json::as_f64).is_none() {
+            return Err(format!("missing numeric field {f:?}"));
+        }
+    }
+    if v.get("graph").is_none() {
+        return Err("missing field \"graph\"".into());
+    }
+    let runs = v
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"runs\"")?;
+    if runs.is_empty() {
+        return Err("\"runs\" must be non-empty".into());
+    }
+    let mut labels = Vec::new();
+    for (i, r) in runs.iter().enumerate() {
+        let label = r
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("runs[{i}]: missing \"label\""))?;
+        labels.push(label.to_string());
+        for f in ["threads", "secs"] {
+            if r.get(f).and_then(Json::as_f64).is_none() {
+                return Err(format!("runs[{i}] ({label}): missing numeric {f:?}"));
+            }
+        }
+    }
+    for required in [
+        "index_build",
+        "index_build_fused",
+        "select_naive",
+        "select_celf",
+        "select_celf_simd",
+    ] {
+        if !labels.iter().any(|l| l == required) {
+            return Err(format!("required run label {required:?} is absent"));
+        }
+    }
+    Ok(())
+}
+
+/// Required schema of a `BENCH_serving.json` snapshot.
+fn validate_serving_schema(v: &Json) -> Result<(), String> {
     let expect_str = |f: &str| {
         v.get(f)
             .and_then(Json::as_str)
@@ -126,9 +191,6 @@ fn validate_schema(v: &Json) -> Result<(), String> {
             .map(|_| ())
             .ok_or_else(|| format!("missing numeric field {f:?}"))
     };
-    if v.get("bench").and_then(Json::as_str) != Some("serving") {
-        return Err("field \"bench\" must be \"serving\"".into());
-    }
     expect_str("dataset")?;
     expect_str("pool")?;
     expect_str("caveat")?;
@@ -230,7 +292,7 @@ fn main() -> ExitCode {
         };
         return match validate_schema(&v) {
             Ok(()) => {
-                println!("comic-serve-load: {path} matches the serving schema");
+                println!("comic-serve-load: {path} matches the snapshot schema");
                 ExitCode::SUCCESS
             }
             Err(e) => fail(&format!("{path}: schema violation: {e}")),

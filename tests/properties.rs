@@ -162,6 +162,79 @@ proptest! {
         prop_assert_eq!(naive.covered, recount);
     }
 
+    /// SIMD ≡ scalar and fused ≡ standalone on arbitrary stores: every
+    /// kernel mode available on the host returns the identical selection
+    /// for both selectors, the fragment-merge index equals the standalone
+    /// build for any contiguous sharding (including empty shards), and the
+    /// hot-node bitset machinery is exercised by a hub node whose
+    /// membership count straddles the threshold as `hub_extra` varies.
+    #[test]
+    fn simd_and_fused_paths_match_scalar_standalone(
+        raw_sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..12, 0..5), 0..60),
+        hub_extra in 0usize..400,
+        parts in 1usize..5,
+        k in 1usize..8,
+    ) {
+        use comic::ris::select::{
+            hot_threshold, CelfGreedy, CoverageFragment, CoverageIndex, NaiveGreedy,
+        };
+        use comic::ris::simd::{self, SimdMode};
+        let n = 12usize;
+        let mut store = comic::ris::RrStore::new();
+        for raw in &raw_sets {
+            let mut members: Vec<NodeId> = raw.iter().copied().map(NodeId).collect();
+            members.sort_unstable();
+            members.dedup();
+            store.push_with_width(&members, 0);
+        }
+        // A hub (node 0) in `hub_extra` extra singleton sets: large draws
+        // push the store past the hot-node floor and the hub past (or
+        // exactly onto either side of) the degree threshold.
+        for _ in 0..hub_extra {
+            store.push_with_width(&[NodeId(0)], 0);
+        }
+        let index = CoverageIndex::build(&store, n, 1);
+        // Draws with hub_extra past ~256 put the store over the hot-node
+        // floor; the hub's count then lands on either side of the degree
+        // threshold depending on the draw, exercising both classifications.
+        prop_assert!(hot_threshold(store.len()).is_none() || store.len() >= 256);
+        // Fused fragment merge over contiguous shards (some possibly
+        // empty) must reproduce the standalone index bit-for-bit.
+        let per = store.len() / parts;
+        let extra = store.len() % parts;
+        let mut fragments = Vec::new();
+        let mut at = 0usize;
+        for t in 0..parts {
+            let share = per + usize::from(t < extra);
+            let mut shard = comic::ris::RrStore::new();
+            for i in at..at + share {
+                shard.push_with_width(store.set(i), store.width(i));
+            }
+            at += share;
+            fragments.push(CoverageFragment::over_store(&shard, n));
+        }
+        prop_assert_eq!(
+            CoverageIndex::from_fragments(fragments, n, 2),
+            index.clone()
+        );
+        // Selection: scalar NaiveGreedy is the oracle; every available
+        // mode × selector × thread count must agree exactly.
+        let oracle = NaiveGreedy.select_with(&index, &store, k, SimdMode::Scalar);
+        let mut modes = vec![SimdMode::Scalar];
+        if simd::detect() == SimdMode::Avx2 {
+            modes.push(SimdMode::Avx2);
+        }
+        for &mode in &modes {
+            let nv = NaiveGreedy.select_with(&index, &store, k, mode);
+            prop_assert_eq!(&nv, &oracle, "naive mode {:?}", mode);
+            for threads in [1usize, 3] {
+                let celf = CelfGreedy { threads }.select_with(&index, &store, k, mode);
+                prop_assert_eq!(&celf, &oracle, "celf mode {:?} threads {}", mode, threads);
+            }
+        }
+    }
+
     /// Graph serialization round-trips exactly.
     #[test]
     fn graph_io_roundtrip(g in arb_graph()) {
