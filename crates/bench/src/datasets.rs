@@ -26,13 +26,11 @@
 
 use comic_core::Gap;
 use comic_graph::gen::{chung_lu, ChungLuConfig};
-use comic_graph::io::{
-    graph_digest, read_binary_for_source, read_edge_list_report, source_digest,
-    write_binary_with_source,
-};
+use comic_graph::io::{graph_digest, read_binary_for_source, read_edge_list_report, source_digest};
 use comic_graph::prob::ProbModel;
 use comic_graph::scc::largest_scc;
 use comic_graph::stats::{stats_with_merged, GraphStats};
+use comic_graph::store;
 use comic_graph::{DiGraph, GraphError};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -316,6 +314,15 @@ impl DatasetSpec {
     /// Where this entry's binary cache lives.
     pub fn cache_path(&self) -> PathBuf {
         cache_path_for(&self.source_path(), &self.prob.file_tag(), self.prob_seed)
+    }
+
+    /// Whether the manifest actually pins both sizes. Entries with `None`
+    /// expectations (real downloads whose snapshot varies) pass
+    /// [`validate_manifest`] vacuously, so `--validate` reports them as
+    /// `unverified` rather than `ok` — a pass that checked nothing must
+    /// not read like a pass that checked everything.
+    pub fn manifest_complete(&self) -> bool {
+        self.expected_nodes.is_some() && self.expected_edges.is_some()
     }
 }
 
@@ -696,6 +703,26 @@ fn load_path(
     load_file(&name, path, choice, 0xADC0C, gap, cache)
 }
 
+/// Best-effort v4 cache write: the cache is a pure optimization, so a
+/// failed write (read-only directory, full disk) must not fail the load
+/// itself. Atomic-enough: write a sibling temp file, then rename over.
+/// Returns whether the cache landed.
+fn write_cache_v4(graph: &DiGraph, src_digest: u64, cache_file: &Path) -> bool {
+    let tmp = cache_file.with_extension("cache.tmp");
+    let write = store::write_store_file(graph, src_digest, &tmp)
+        .and_then(|()| std::fs::rename(&tmp, cache_file).map_err(GraphError::Io));
+    if let Err(e) = write {
+        let _ = std::fs::remove_file(&tmp);
+        eprintln!(
+            "warning: could not write dataset cache {}: {e}",
+            cache_file.display()
+        );
+        false
+    } else {
+        true
+    }
+}
+
 fn load_file(
     name: &str,
     source: &Path,
@@ -717,10 +744,28 @@ fn load_file(
         // mismatch, short file, or a source content change — including the
         // same-length `cp -p` replacement the old mtime check missed) is
         // not fatal — fall through and rebuild it from the source text.
+        // The zero-copy v4 store is tried first; a v3 cache still loads
+        // (typed `UnsupportedVersion` from the v4 reader routes it to the
+        // legacy path) and is transparently rewritten as v4 so the next
+        // load maps it.
+        if let Ok(graph) = store::read_store_file(&cache_file, Some(src_digest)) {
+            let digest = graph_digest(&graph);
+            return Ok(LoadedDataset {
+                name: name.to_string(),
+                source: source.to_path_buf(),
+                cache: cache_file,
+                graph: Arc::new(graph),
+                gap,
+                digest,
+                from_cache: true,
+                duplicates_merged: None,
+            });
+        }
         if let Ok(graph) = File::open(&cache_file)
             .map_err(GraphError::Io)
             .and_then(|f| read_binary_for_source(f, src_digest))
         {
+            write_cache_v4(&graph, src_digest, &cache_file);
             let digest = graph_digest(&graph);
             return Ok(LoadedDataset {
                 name: name.to_string(),
@@ -738,24 +783,8 @@ fn load_file(
     let rep = read_edge_list_report(&src_bytes[..])?;
     let graph = choice.resolve(&rep.graph).apply(&rep.graph, prob_seed);
     let digest = graph_digest(&graph);
-    if cache != CacheMode::Off {
-        // Best-effort: the cache is a pure optimization, so a failed write
-        // (read-only directory, full disk) must not fail the load itself.
-        // Atomic-enough: write a sibling temp file, then rename over.
-        let tmp = cache_file.with_extension("cache.tmp");
-        let write = File::create(&tmp)
-            .map_err(GraphError::Io)
-            .and_then(|f| write_binary_with_source(&graph, src_digest, f))
-            .and_then(|()| std::fs::rename(&tmp, &cache_file).map_err(GraphError::Io));
-        if let Err(e) = write {
-            let _ = std::fs::remove_file(&tmp);
-            eprintln!(
-                "warning: could not write dataset cache {}: {e}",
-                cache_file.display()
-            );
-        } else {
-            remove_superseded_caches(source, &choice.file_tag(), prob_seed, &cache_file);
-        }
+    if cache != CacheMode::Off && write_cache_v4(&graph, src_digest, &cache_file) {
+        remove_superseded_caches(source, &choice.file_tag(), prob_seed, &cache_file);
     }
     Ok(LoadedDataset {
         name: name.to_string(),
@@ -1023,6 +1052,95 @@ mod tests {
         let warm2 = load_with(arg, CacheMode::Use).unwrap();
         assert!(warm2.from_cache);
         assert_eq!(warm2.digest, healed.digest);
+    }
+
+    #[test]
+    fn legacy_v3_cache_upgrades_to_v4_in_place() {
+        let path = temp_dataset("v3-upgrade", "0 1 0.5\n1 2 0.5\n2 0 0.5\n");
+        let arg = path.to_str().unwrap();
+        let cold = load_with(arg, CacheMode::Use).unwrap();
+        assert!(!cold.from_cache);
+
+        // Swap the fresh v4 cache for a legacy v3 file of the same graph.
+        let src_digest = source_digest(&std::fs::read(&path).unwrap());
+        let f = File::create(&cold.cache).unwrap();
+        comic_graph::io::write_binary_with_source(&cold.graph, src_digest, f).unwrap();
+        let v3_bytes = std::fs::read(&cold.cache).unwrap();
+        assert_eq!(u32::from_le_bytes(v3_bytes[8..12].try_into().unwrap()), 3);
+
+        // The v3 cache still counts as a hit, and the load transparently
+        // rewrites it as v4 so the next one takes the zero-copy path.
+        let warm = load_with(arg, CacheMode::Use).unwrap();
+        assert!(warm.from_cache, "v3 cache must still serve the load");
+        assert_eq!(warm.digest, cold.digest);
+        let upgraded = std::fs::read(&cold.cache).unwrap();
+        assert_eq!(&upgraded[0..8], store::STORE_MAGIC);
+        assert_eq!(
+            u32::from_le_bytes(upgraded[8..12].try_into().unwrap()),
+            store::STORE_FORMAT_VERSION
+        );
+        let warm2 = load_with(arg, CacheMode::Use).unwrap();
+        assert!(warm2.from_cache);
+        assert_eq!(warm2.digest, cold.digest);
+    }
+
+    /// The acceptance gate for the zero-copy store: on BOTH committed
+    /// fixtures, the v3 deserializing load and the v4 zero-copy load
+    /// produce digest-identical graphs, in both store modes (mmap and
+    /// safe bulk-read — the `COMIC_MMAP=on|off` axis, pinned explicitly
+    /// here since the env override is process-wide).
+    #[test]
+    fn v3_and_v4_load_paths_agree_on_committed_fixtures() {
+        use comic_graph::store::StoreMode;
+        for name in ["fixture-small", "fixture-medium"] {
+            let loaded = load_with(name, CacheMode::Off).unwrap();
+            let src = loaded.digest;
+            let dir = std::env::temp_dir()
+                .join(format!("comic-datasets-test-{}-v3v4", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+
+            let v3_path = dir.join(format!("{name}.v3.bin"));
+            let f = File::create(&v3_path).unwrap();
+            comic_graph::io::write_binary_with_source(&loaded.graph, src, f).unwrap();
+            let from_v3 = read_binary_for_source(File::open(&v3_path).unwrap(), src).unwrap();
+            assert_eq!(
+                graph_digest(&loaded.graph),
+                graph_digest(&from_v3),
+                "{name}"
+            );
+
+            let v4_path = dir.join(format!("{name}.v4.grb"));
+            store::write_store_file(&loaded.graph, src, &v4_path).unwrap();
+            for mode in [StoreMode::Mmap, StoreMode::Read] {
+                let from_v4 = store::read_store_file_with(&v4_path, Some(src), mode).unwrap();
+                assert_eq!(
+                    graph_digest(&from_v3),
+                    graph_digest(&from_v4),
+                    "{name} mode {}",
+                    mode.name()
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn manifest_complete_requires_both_expectations() {
+        let full = &REGISTRY[0];
+        assert!(full.manifest_complete(), "fixtures pin both sizes");
+        let mut partial = full.clone();
+        partial.expected_edges = None;
+        assert!(!partial.manifest_complete());
+        partial.expected_nodes = None;
+        assert!(!partial.manifest_complete());
+        // Every non-required registry entry (real downloads) is unverified.
+        for spec in REGISTRY.iter().filter(|s| !s.required) {
+            assert!(
+                !spec.manifest_complete(),
+                "{} should be unverified",
+                spec.name
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Compressed-sparse-row directed graph with per-edge influence probabilities.
 
+use crate::store::Section;
 use std::fmt;
 
 /// Identifier of a node in a [`DiGraph`].
@@ -8,7 +9,12 @@ use std::fmt;
 /// reverse-reachable sets, adjacency lists) half the size of `usize` on
 /// 64-bit targets, which matters in the samplers' inner loops; graphs in the
 /// paper top out at one million nodes.
+///
+/// `repr(transparent)` pins the layout to exactly a `u32`, which is what
+/// lets [`crate::store`] reinterpret an on-disk little-endian id section as
+/// a `&[NodeId]` without a per-element conversion.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -54,7 +60,11 @@ impl From<u32> for NodeId {
 /// engines record "this edge has been tested live/blocked" exactly once per
 /// possible world regardless of the traversal direction (a core requirement
 /// of the Com-IC model, see Figure 2 step 1 of the paper).
+///
+/// `repr(transparent)` pins the layout to exactly a `u32` so [`crate::store`]
+/// can view a mapped id section as `&[EdgeId]` (see [`NodeId`]).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {
@@ -119,16 +129,30 @@ pub struct Adj {
 #[derive(Clone, Debug)]
 pub struct DiGraph {
     n: usize,
+    // Every array is a `Section`: either an owned `Vec` (built graphs) or a
+    // zero-copy view into a mapped v4 store file (see `crate::store`).
     // Out-CSR: canonical edge order. out_offsets.len() == n + 1.
-    out_offsets: Vec<u32>,
-    out_targets: Vec<NodeId>,
-    out_probs: Vec<f64>,
+    out_offsets: Section<u32>,
+    out_targets: Section<NodeId>,
+    out_probs: Section<f64>,
     // In-CSR: permutation of the canonical edges grouped by target.
-    in_offsets: Vec<u32>,
-    in_sources: Vec<NodeId>,
-    in_probs: Vec<f64>,
+    in_offsets: Section<u32>,
+    in_sources: Section<NodeId>,
+    in_probs: Section<f64>,
     // For each in-CSR slot, the canonical EdgeId it refers to.
-    in_edge_ids: Vec<EdgeId>,
+    in_edge_ids: Section<EdgeId>,
+}
+
+/// Borrowed views of all seven CSR arrays, in v4 store section order.
+/// Consumed by [`crate::store`]'s writer.
+pub(crate) struct CsrParts<'a> {
+    pub out_offsets: &'a [u32],
+    pub out_targets: &'a [NodeId],
+    pub out_probs: &'a [f64],
+    pub in_offsets: &'a [u32],
+    pub in_sources: &'a [NodeId],
+    pub in_probs: &'a [f64],
+    pub in_edge_ids: &'a [EdgeId],
 }
 
 impl DiGraph {
@@ -174,6 +198,37 @@ impl DiGraph {
 
         DiGraph {
             n,
+            out_offsets: out_offsets.into(),
+            out_targets: out_targets.into(),
+            out_probs: out_probs.into(),
+            in_offsets: in_offsets.into(),
+            in_sources: in_sources.into(),
+            in_probs: in_probs.into(),
+            in_edge_ids: in_edge_ids.into(),
+        }
+    }
+
+    /// Assemble a graph directly from pre-validated CSR sections — the v4
+    /// store's zero-copy load path. The caller ([`crate::store`]) has already
+    /// verified the structural invariants (offset monotonicity, id ranges,
+    /// probability domain), so no per-edge work happens here.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_csr_parts(
+        n: usize,
+        out_offsets: Section<u32>,
+        out_targets: Section<NodeId>,
+        out_probs: Section<f64>,
+        in_offsets: Section<u32>,
+        in_sources: Section<NodeId>,
+        in_probs: Section<f64>,
+        in_edge_ids: Section<EdgeId>,
+    ) -> DiGraph {
+        debug_assert_eq!(out_offsets.len(), n + 1);
+        debug_assert_eq!(in_offsets.len(), n + 1);
+        debug_assert_eq!(out_targets.len(), out_probs.len());
+        debug_assert_eq!(in_sources.len(), in_edge_ids.len());
+        DiGraph {
+            n,
             out_offsets,
             out_targets,
             out_probs,
@@ -182,6 +237,31 @@ impl DiGraph {
             in_probs,
             in_edge_ids,
         }
+    }
+
+    /// Borrowed views of all CSR arrays for the v4 store writer.
+    pub(crate) fn csr_parts(&self) -> CsrParts<'_> {
+        CsrParts {
+            out_offsets: &self.out_offsets,
+            out_targets: &self.out_targets,
+            out_probs: &self.out_probs,
+            in_offsets: &self.in_offsets,
+            in_sources: &self.in_sources,
+            in_probs: &self.in_probs,
+            in_edge_ids: &self.in_edge_ids,
+        }
+    }
+
+    /// Whether any of the graph's arrays is a zero-copy view into a mapped
+    /// store file (diagnostics; owned and mapped graphs behave identically).
+    pub fn is_mapped(&self) -> bool {
+        self.out_offsets.is_mapped()
+            || self.out_targets.is_mapped()
+            || self.out_probs.is_mapped()
+            || self.in_offsets.is_mapped()
+            || self.in_sources.is_mapped()
+            || self.in_probs.is_mapped()
+            || self.in_edge_ids.is_mapped()
     }
 
     /// Number of nodes `|V|`.

@@ -19,8 +19,19 @@ const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 impl FxHasher {
     #[inline]
     fn add_to_hash(&mut self, i: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+        self.hash = fx_fold(self.hash, i);
     }
+}
+
+/// One Fx fold step: absorb word `w` into state `h`.
+///
+/// Exposed so bulk hashers (the v4 store's multi-lane content digest) can
+/// run several independent fold chains in parallel — the serial
+/// rotate-xor-multiply dependency chain caps a single chain's throughput
+/// far below memory bandwidth.
+#[inline]
+pub fn fx_fold(h: u64, w: u64) -> u64 {
+    (h.rotate_left(5) ^ w).wrapping_mul(SEED)
 }
 
 impl Hasher for FxHasher {

@@ -22,10 +22,15 @@
 //! * [`scc`] — Tarjan strongly-connected components (the paper extracts an
 //!   SCC of Flixster).
 //! * [`io`] — text edge-list and compact binary formats.
+//! * [`store`] — the zero-copy v4 segment store (mmap fast path with a safe
+//!   bulk-read fallback, `COMIC_MMAP` override).
 //! * [`fasthash`] / [`scratch`] — the Fx hash and generation-stamped scratch
 //!   arrays shared by every sampler in the workspace.
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the two audited modules inside `store` — the
+// read-only file mapping and the Pod reinterpretation — can scope an
+// `allow`; everything else in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;
@@ -39,6 +44,7 @@ pub mod prob;
 pub mod scc;
 pub mod scratch;
 pub mod stats;
+pub mod store;
 pub mod traversal;
 
 pub use builder::GraphBuilder;

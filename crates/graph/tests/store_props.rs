@@ -1,0 +1,148 @@
+//! Property tests for the on-disk graph formats (satellite of the
+//! zero-copy store PR):
+//!
+//! * the v4 segment store round-trips bit-exactly and digest-stably;
+//! * ANY single-bit flip and ANY truncation of a v4 file is rejected with
+//!   a typed [`GraphError`] — never a panic, never a silently-wrong graph;
+//! * the v3 deserializing load and the v4 zero-copy load agree on
+//!   [`graph_digest`] for the same graph, across `StoreMode::Mmap` and
+//!   `StoreMode::Read`;
+//! * bit flips over the v3 header (the first 44 bytes, which include the
+//!   untrusted `n`/`m` count fields this PR's bugfix hardens) are rejected
+//!   typed, with no allocation above the implausibility caps.
+
+// The proptest shim's macro expands tests recursively; five properties in
+// one block exceed the default limit.
+#![recursion_limit = "256"]
+
+use comic_graph::builder::GraphBuilder;
+use comic_graph::error::GraphError;
+use comic_graph::io::{graph_digest, read_binary, write_binary_with_source};
+use comic_graph::store::{
+    mmap_supported, read_store_bytes, read_store_file_with, write_store, write_store_file,
+    StoreMode,
+};
+use comic_graph::DiGraph;
+use proptest::prelude::*;
+
+/// Arbitrary small graphs: a node count and an edge soup (endpoints taken
+/// modulo `n`, so every generated pair is in range; the builder dedups and
+/// drops self-loops on its own).
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (
+        2u32..48,
+        proptest::collection::vec((0u32..1024, 0u32..1024, 1u64..1000), 0..96),
+    )
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n as usize);
+            for (u, v, w) in edges {
+                b.add_edge(u % n, v % n, w as f64 / 1000.0);
+            }
+            b.build().expect("generated graphs are structurally valid")
+        })
+}
+
+fn v4_bytes(g: &DiGraph, src: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_store(g, src, &mut buf).expect("serializing to a Vec cannot fail");
+    buf
+}
+
+fn v3_bytes(g: &DiGraph, src: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_binary_with_source(g, src, &mut buf).expect("serializing to a Vec cannot fail");
+    buf
+}
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let k = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "comic_store_props_{}_{}_{tag}.grb",
+        std::process::id(),
+        k
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// write ∘ read ∘ write is bit-exact, and the loaded graph carries the
+    /// same structural digest as the original.
+    #[test]
+    fn v4_round_trip_is_bit_exact(g in arb_graph()) {
+        let src = 0x5EED_u64;
+        let bytes = v4_bytes(&g, src);
+        let h = read_store_bytes(bytes.clone(), Some(src)).expect("own bytes must load");
+        prop_assert_eq!(graph_digest(&g), graph_digest(&h));
+        prop_assert_eq!(g.num_nodes(), h.num_nodes());
+        prop_assert_eq!(g.num_edges(), h.num_edges());
+        prop_assert_eq!(v4_bytes(&h, src), bytes);
+    }
+
+    /// Flipping ANY single bit of a v4 file makes the load fail with a
+    /// typed error: every byte is covered by the magic, the header digest,
+    /// or the content digest (including the digest fields themselves).
+    #[test]
+    fn v4_any_single_bit_flip_is_rejected(g in arb_graph(), pos_seed in 0usize..1 << 20, bit in 0u32..8) {
+        let mut bytes = v4_bytes(&g, 0x5EED);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= 1u8 << bit;
+        match read_store_bytes(bytes, Some(0x5EED)) {
+            Err(GraphError::Corrupt(_) | GraphError::DigestMismatch { .. } | GraphError::StaleSource { .. }) => {}
+            Err(e) => prop_assert!(false, "untyped error for flip at byte {pos}: {e}"),
+            Ok(_) => prop_assert!(false, "flip at byte {pos} bit {bit} loaded successfully"),
+        }
+    }
+
+    /// Truncating a v4 file at ANY proper prefix is rejected typed.
+    #[test]
+    fn v4_any_truncation_is_rejected(g in arb_graph(), cut_seed in 0usize..1 << 20) {
+        let bytes = v4_bytes(&g, 0x5EED);
+        let cut = cut_seed % bytes.len();
+        match read_store_bytes(bytes[..cut].to_vec(), Some(0x5EED)) {
+            Err(GraphError::Corrupt(_) | GraphError::DigestMismatch { .. }) => {}
+            Err(e) => prop_assert!(false, "untyped error for truncation at {cut}: {e}"),
+            Ok(_) => prop_assert!(false, "truncation at {cut} loaded successfully"),
+        }
+    }
+
+    /// The v3 deserializing load and the v4 zero-copy load produce
+    /// digest-identical graphs, across both store modes.
+    #[test]
+    fn v3_and_v4_load_paths_agree(g in arb_graph()) {
+        let src = 0xF1D0_u64;
+        let from_v3 = read_binary(&v3_bytes(&g, src)[..]).expect("v3 bytes must load");
+        let from_v4 = read_store_bytes(v4_bytes(&g, src), Some(src)).expect("v4 bytes must load");
+        prop_assert_eq!(graph_digest(&from_v3), graph_digest(&from_v4));
+
+        let path = tmp_path("agree");
+        write_store_file(&g, src, &path).expect("v4 file write");
+        for mode in [StoreMode::Read, StoreMode::Mmap] {
+            let h = read_store_file_with(&path, Some(src), mode).expect("v4 file load");
+            prop_assert_eq!(graph_digest(&from_v3), graph_digest(&h));
+            if mode == StoreMode::Mmap && mmap_supported() {
+                prop_assert!(h.is_mapped());
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Bit flips over the v3 header — all 44 bytes, explicitly including
+    /// the untrusted `n` (bytes 12..20) and `m` (bytes 20..28) count
+    /// fields — are rejected typed. A corrupt count must surface as
+    /// `Corrupt`/`DigestMismatch`, never an OOM abort from trusting the
+    /// header before verification.
+    #[test]
+    fn v3_header_bit_flips_are_rejected(g in arb_graph(), byte in 0usize..44, bit in 0u32..8) {
+        let mut bytes = v3_bytes(&g, 0xF1D0);
+        bytes[byte] ^= 1u8 << bit;
+        match read_binary(&bytes[..]) {
+            Err(GraphError::Corrupt(_)
+                | GraphError::DigestMismatch { .. }
+                | GraphError::UnsupportedVersion { .. }) => {}
+            Err(e) => prop_assert!(false, "untyped error for flip at byte {byte}: {e}"),
+            Ok(_) => prop_assert!(false, "header flip at byte {byte} bit {bit} loaded successfully"),
+        }
+    }
+}

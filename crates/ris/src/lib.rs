@@ -57,6 +57,7 @@ pub mod rr;
 pub mod sampler;
 pub mod select;
 pub mod simd;
+pub mod spill;
 pub mod tim;
 
 pub use error::RisError;

@@ -1,5 +1,6 @@
 //! Compact storage for large collections of RR-sets.
 
+use comic_graph::store::Section;
 use comic_graph::{DiGraph, NodeId};
 
 /// Cap on set-count preallocation for RR arenas (θ-loop and per-thread
@@ -15,11 +16,16 @@ pub(crate) const MAX_PREALLOC_SETS: u64 = 1 << 24;
 /// (exactly the CSR idea applied to set storage) and tracks the aggregate
 /// *width* `ω(R)` (number of in-edges pointing into each set) that the KPT
 /// estimator and the EPT accounting of Lemmas 6/8 need.
+///
+/// The arrays are [`Section`]s, so a store reloaded from a spilled segment
+/// file ([`crate::spill`]) can borrow the mapped file bytes directly —
+/// mutation ([`RrStore::push`], [`RrStore::absorb`]) transparently
+/// materializes an owned copy first (copy-on-write).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RrStore {
-    offsets: Vec<u64>,
-    nodes: Vec<NodeId>,
-    widths: Vec<u64>,
+    offsets: Section<u64>,
+    nodes: Section<NodeId>,
+    widths: Section<u64>,
 }
 
 impl Default for RrStore {
@@ -34,9 +40,9 @@ impl RrStore {
     /// Empty store.
     pub fn new() -> Self {
         RrStore {
-            offsets: vec![0],
-            nodes: Vec::new(),
-            widths: Vec::new(),
+            offsets: vec![0].into(),
+            nodes: Section::default(),
+            widths: Section::default(),
         }
     }
 
@@ -45,10 +51,51 @@ impl RrStore {
         let mut offsets = Vec::with_capacity(sets + 1);
         offsets.push(0);
         RrStore {
-            offsets,
-            nodes: Vec::with_capacity(sets * avg),
-            widths: Vec::with_capacity(sets),
+            offsets: offsets.into(),
+            nodes: Vec::with_capacity(sets * avg).into(),
+            widths: Vec::with_capacity(sets).into(),
         }
+    }
+
+    /// Reassemble a store from its raw arrays — the spill reader's
+    /// constructor ([`crate::spill::read_pool_file`]). The caller has
+    /// already validated the CSR invariants (leading 0, monotone offsets,
+    /// final offset = member count, `widths.len() + 1 == offsets.len()`);
+    /// debug builds re-assert the cheap ones.
+    pub(crate) fn from_raw_parts(
+        offsets: Section<u64>,
+        nodes: Section<NodeId>,
+        widths: Section<u64>,
+    ) -> Self {
+        debug_assert_eq!(offsets.first(), Some(&0));
+        debug_assert_eq!(offsets.len(), widths.len() + 1);
+        debug_assert_eq!(offsets.last().copied(), Some(nodes.len() as u64));
+        RrStore {
+            offsets,
+            nodes,
+            widths,
+        }
+    }
+
+    /// The raw offsets table (leading 0, one entry per set after it).
+    pub(crate) fn offsets_raw(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The flat member array.
+    pub(crate) fn nodes_raw(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The per-set width array.
+    pub(crate) fn widths_raw(&self) -> &[u64] {
+        &self.widths
+    }
+
+    /// Whether any backing array is a borrowed view of a mapped segment
+    /// file rather than owned memory.
+    pub fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped() || self.nodes.is_mapped() || self.widths.is_mapped()
     }
 
     /// Append one RR-set, computing its width from `g`.
@@ -72,9 +119,10 @@ impl RrStore {
             },
             "RR-set contains duplicate members"
         );
-        self.nodes.extend_from_slice(members);
-        self.offsets.push(self.nodes.len() as u64);
-        self.widths.push(width);
+        self.nodes.to_mut().extend_from_slice(members);
+        let total = self.nodes.len() as u64;
+        self.offsets.to_mut().push(total);
+        self.widths.to_mut().push(width);
     }
 
     /// Append every set of `other`, rebasing its offsets — an O(members)
@@ -82,10 +130,11 @@ impl RrStore {
     /// per-thread shards from parallel generation cheap.
     pub fn absorb(&mut self, other: RrStore) {
         let base = self.nodes.len() as u64;
-        self.nodes.extend_from_slice(&other.nodes);
+        self.nodes.to_mut().extend_from_slice(&other.nodes);
         self.offsets
+            .to_mut()
             .extend(other.offsets[1..].iter().map(|&o| o + base));
-        self.widths.extend_from_slice(&other.widths);
+        self.widths.to_mut().extend_from_slice(&other.widths);
     }
 
     /// A store holding only the first `sets` sets — the flat-arena dual of
@@ -96,9 +145,9 @@ impl RrStore {
         let sets = sets.min(self.len());
         let end = self.offsets[sets] as usize;
         RrStore {
-            offsets: self.offsets[..=sets].to_vec(),
-            nodes: self.nodes[..end].to_vec(),
-            widths: self.widths[..sets].to_vec(),
+            offsets: self.offsets[..=sets].to_vec().into(),
+            nodes: self.nodes[..end].to_vec().into(),
+            widths: self.widths[..sets].to_vec().into(),
         }
     }
 

@@ -42,6 +42,7 @@
 use crate::parallel::resolve_threads;
 use crate::rr::RrStore;
 use crate::simd::{self, SimdMode};
+use comic_graph::store::Section;
 use comic_graph::NodeId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -66,8 +67,8 @@ pub struct CoverageResult {
 pub struct CoverageIndex {
     num_nodes: usize,
     num_sets: usize,
-    offsets: Vec<u64>,
-    sets: Vec<u32>,
+    offsets: Section<u64>,
+    sets: Section<u32>,
 }
 
 /// One generation shard's contribution to a fused [`CoverageIndex`] build.
@@ -246,8 +247,8 @@ impl CoverageIndex {
         CoverageIndex {
             num_nodes: n,
             num_sets: store.len(),
-            offsets,
-            sets,
+            offsets: offsets.into(),
+            sets: sets.into(),
         }
     }
 
@@ -256,8 +257,8 @@ impl CoverageIndex {
         CoverageIndex {
             num_nodes: n,
             num_sets: store.len(),
-            offsets,
-            sets,
+            offsets: offsets.into(),
+            sets: sets.into(),
         }
     }
 
@@ -290,8 +291,8 @@ impl CoverageIndex {
             return CoverageIndex {
                 num_nodes: n,
                 num_sets: 0,
-                offsets: vec![0u64; n + 1],
-                sets: Vec::new(),
+                offsets: vec![0u64; n + 1].into(),
+                sets: Section::default(),
             };
         }
         if fragments.len() == 1 {
@@ -300,8 +301,8 @@ impl CoverageIndex {
             return CoverageIndex {
                 num_nodes: n,
                 num_sets,
-                offsets: f.offsets,
-                sets: f.sets,
+                offsets: f.offsets.into(),
+                sets: f.sets.into(),
             };
         }
 
@@ -352,8 +353,8 @@ impl CoverageIndex {
         CoverageIndex {
             num_nodes: n,
             num_sets,
-            offsets,
-            sets,
+            offsets: offsets.into(),
+            sets: sets.into(),
         }
     }
 
@@ -380,6 +381,38 @@ impl CoverageIndex {
     /// Total membership entries (= `store.total_members()`).
     pub fn total_entries(&self) -> u64 {
         self.sets.len() as u64
+    }
+
+    /// Reassemble an index from its raw arrays — the spill reader's
+    /// constructor ([`crate::spill::read_pool_file`]). The caller has
+    /// already validated the CSR invariants (monotone offsets over
+    /// `num_nodes + 1` entries, set ids `< num_sets`, ascending per node);
+    /// debug builds re-assert the cheap ones.
+    pub(crate) fn from_parts(
+        num_nodes: usize,
+        num_sets: usize,
+        offsets: Section<u64>,
+        sets: Section<u32>,
+    ) -> CoverageIndex {
+        debug_assert_eq!(offsets.len(), num_nodes + 1);
+        debug_assert_eq!(offsets.first(), Some(&0));
+        debug_assert_eq!(offsets.last().copied(), Some(sets.len() as u64));
+        CoverageIndex {
+            num_nodes,
+            num_sets,
+            offsets,
+            sets,
+        }
+    }
+
+    /// The raw per-node offsets table.
+    pub(crate) fn offsets_raw(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The flat ascending set-id array.
+    pub(crate) fn sets_raw(&self) -> &[u32] {
+        &self.sets
     }
 }
 

@@ -1,0 +1,438 @@
+//! RR-sketch pool spill files — the v4 segment layout applied to
+//! [`SketchPool`]s.
+//!
+//! A resident pool is expensive: millions of reverse BFS walks, merged
+//! shards, and (for fused builds) a coverage index. All of that is pure
+//! derived data — a function of the graph and the generation provenance
+//! `(seed, threads, design_k, ε)` — so a service restart that re-pays
+//! generation is wasted work. This module spills a pool to a
+//! `COMICRRS` segment file using the exact machinery of
+//! [`comic_graph::store`] (fixed-width little-endian sections, header
+//! digest, footer content digest) and reloads it without re-rebasing:
+//! the offsets/members/widths arrays come back as [`Section`] views,
+//! zero-copy under the mmap fast path, via one bulk read otherwise
+//! (`COMIC_MMAP=off`).
+//!
+//! # Layout (`COMICRRS` v1)
+//!
+//! Meta words: `[graph_digest, n, seed, threads, design_k, epsilon_bits,
+//! kpt_bits, capped, generation]` — the full provenance a
+//! [`SketchPool`] carries, plus the digest of the graph the sets were
+//! sampled over. Sections, in order:
+//!
+//! | # | contents            | elements        |
+//! |---|---------------------|-----------------|
+//! | 0 | set offsets         | `(sets+1)×u64`  |
+//! | 1 | flat members        | `members×u32`   |
+//! | 2 | per-set widths      | `sets×u64`      |
+//! | 3 | index offsets       | `(n+1)×u64`     | (only for indexed pools)
+//! | 4 | index set ids       | `members×u32`   | (only for indexed pools)
+//!
+//! Pools carrying a resident [`CoverageIndex`] spill it too (sections 3–4),
+//! so a warm reload skips both regeneration *and* the index build.
+//!
+//! # Untrusted-header contract
+//!
+//! Same rules as the graph store: the segment reader bounds every
+//! allocation by the actual file length and verifies both digests before
+//! any section is touched; this module then structurally validates the two
+//! CSRs (offset monotonicity, id ranges, index/store agreement) so a
+//! crafted digest-consistent file yields a typed [`GraphError`], never a
+//! panic inside [`SketchPool::with_index`]'s assertions. A spill whose
+//! recorded graph digest differs from the caller's expectation is
+//! [`GraphError::StaleSource`] — the pool describes some *other* graph and
+//! must be regenerated, exactly like a stale binary cache.
+
+use crate::pool::SketchPool;
+use crate::rr::RrStore;
+use crate::select::CoverageIndex;
+use comic_graph::store::{write_segment, Section, SectionData, SegmentFile, MAX_PLAUSIBLE_NODES};
+use comic_graph::{GraphError, NodeId};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Magic prefix of a pool spill file.
+pub const POOL_MAGIC: &[u8; 8] = b"COMICRRS";
+
+/// Format version written and required by this module.
+pub const POOL_FORMAT_VERSION: u32 = 1;
+
+/// Meta words: `[graph_digest, n, seed, threads, design_k, epsilon_bits,
+/// kpt_bits, capped, generation]`.
+const POOL_META_LEN: usize = 9;
+
+fn corrupt(msg: impl Into<String>) -> GraphError {
+    GraphError::Corrupt(msg.into())
+}
+
+/// Spill `pool` to `w`. `graph_digest` is
+/// [`comic_graph::io::graph_digest`] of the graph the pool was sampled
+/// over — recorded so a reload against a different graph is typed
+/// [`GraphError::StaleSource`], not silently wrong answers.
+pub fn write_pool<W: Write>(pool: &SketchPool, graph_digest: u64, w: W) -> Result<(), GraphError> {
+    let store = pool.store();
+    let meta = [
+        graph_digest,
+        pool.num_nodes() as u64,
+        pool.seed(),
+        pool.threads() as u64,
+        pool.design_k() as u64,
+        pool.epsilon().to_bits(),
+        pool.kpt().to_bits(),
+        u64::from(pool.capped()),
+        pool.generation(),
+    ];
+    let mut sections = vec![
+        SectionData::U64(store.offsets_raw()),
+        SectionData::Nodes(store.nodes_raw()),
+        SectionData::U64(store.widths_raw()),
+    ];
+    if let Some(index) = pool.coverage_index() {
+        sections.push(SectionData::U64(index.offsets_raw()));
+        sections.push(SectionData::U32(index.sets_raw()));
+    }
+    let mut w = BufWriter::new(w);
+    write_segment(&mut w, POOL_MAGIC, POOL_FORMAT_VERSION, &meta, &sections)
+        .and_then(|()| w.flush())
+        .map_err(GraphError::Io)
+}
+
+/// [`write_pool`] to a fresh file at `path` (not atomic; callers that need
+/// atomicity write to a temp name and rename, as `comic-serve` does).
+pub fn write_pool_file(
+    pool: &SketchPool,
+    graph_digest: u64,
+    path: &Path,
+) -> Result<(), GraphError> {
+    let f = File::create(path).map_err(GraphError::Io)?;
+    write_pool(pool, graph_digest, f)
+}
+
+/// Reload a spilled pool under the process-wide
+/// [`comic_graph::store::active`] mode, verifying integrity, graph
+/// provenance, and CSR structure. The reloaded pool is byte-identical to
+/// the one spilled: same sets, widths, provenance, generation, and (when
+/// spilled with one) resident coverage index.
+pub fn read_pool_file(path: &Path, expected_graph: u64) -> Result<SketchPool, GraphError> {
+    let seg = SegmentFile::open(path, POOL_MAGIC, POOL_FORMAT_VERSION, POOL_META_LEN)?;
+    pool_from_segment(seg, expected_graph)
+}
+
+/// [`read_pool_file`] over an in-memory byte buffer (always the safe owned
+/// path) — tests and fuzzing use this.
+pub fn read_pool_bytes(bytes: Vec<u8>, expected_graph: u64) -> Result<SketchPool, GraphError> {
+    let seg = SegmentFile::from_bytes(bytes, POOL_MAGIC, POOL_FORMAT_VERSION, POOL_META_LEN)?;
+    pool_from_segment(seg, expected_graph)
+}
+
+fn pool_from_segment(seg: SegmentFile, expected_graph: u64) -> Result<SketchPool, GraphError> {
+    let [graph_digest, n64, seed, threads64, design_k64, eps_bits, kpt_bits, capped64, generation] =
+        seg.meta()
+    else {
+        unreachable!("POOL_META_LEN is 9");
+    };
+    let (graph_digest, n64) = (*graph_digest, *n64);
+
+    // Implausibility before anything else: these fields feed index
+    // validation loops and the reconstructed pool's `n`.
+    if n64 > MAX_PLAUSIBLE_NODES {
+        return Err(corrupt(format!("implausible node count {n64}")));
+    }
+    let n = usize::try_from(n64).map_err(|_| corrupt("node count exceeds address space"))?;
+    let threads = usize::try_from(*threads64).map_err(|_| corrupt("implausible thread count"))?;
+    let design_k = usize::try_from(*design_k64).map_err(|_| corrupt("implausible design k"))?;
+    let epsilon = f64::from_bits(*eps_bits);
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(corrupt(format!("implausible epsilon {epsilon}")));
+    }
+    let kpt = f64::from_bits(*kpt_bits);
+    if !kpt.is_finite() || kpt <= 0.0 {
+        return Err(corrupt(format!("implausible KPT* {kpt}")));
+    }
+    let capped = match capped64 {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(corrupt(format!(
+                "capped flag must be 0 or 1, found {other}"
+            )))
+        }
+    };
+
+    // Integrity is proven by the segment digests; staleness ranks above
+    // structure, matching the graph store's ordering.
+    if graph_digest != expected_graph {
+        return Err(GraphError::StaleSource {
+            expected: expected_graph,
+            found: graph_digest,
+        });
+    }
+
+    let indexed = match seg.num_sections() {
+        3 => false,
+        5 => true,
+        other => {
+            return Err(corrupt(format!(
+                "pool spill needs 3 or 5 sections, found {other}"
+            )))
+        }
+    };
+
+    let offset_elems = seg.section_elems::<u64>(0)?;
+    let sets = offset_elems
+        .checked_sub(1)
+        .ok_or_else(|| corrupt("set offsets section is empty"))?;
+    let members = seg.section_elems::<NodeId>(1)?;
+    let offsets: Section<u64> = seg.section(0, sets + 1)?;
+    let nodes: Section<NodeId> = seg.section(1, members)?;
+    let widths: Section<u64> = seg.section(2, sets)?;
+
+    validate_csr(&offsets, members as u64, "set offsets")?;
+    if let Some(bad) = nodes.iter().find(|v| v.index() >= n) {
+        return Err(corrupt(format!(
+            "member node id {} out of range (n = {n})",
+            bad.0
+        )));
+    }
+
+    let index = if indexed {
+        let entries = seg.section_elems::<u32>(4)?;
+        if entries as u64 != members as u64 {
+            return Err(corrupt(format!(
+                "index entries ({entries}) disagree with member count ({members})"
+            )));
+        }
+        let idx_offsets: Section<u64> = seg.section(3, n + 1)?;
+        let idx_sets: Section<u32> = seg.section(4, entries)?;
+        validate_csr(&idx_offsets, entries as u64, "index offsets")?;
+        // Per-node runs must hold ascending in-range set ids — the
+        // selectors' binary merges and bitset builds rely on both.
+        for v in 0..n {
+            let run = &idx_sets[idx_offsets[v] as usize..idx_offsets[v + 1] as usize];
+            for w in run.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(corrupt(format!(
+                        "index run for node {v} is not strictly ascending"
+                    )));
+                }
+            }
+            if let Some(&last) = run.last() {
+                if last as usize >= sets {
+                    return Err(corrupt(format!(
+                        "index set id {last} out of range ({sets} sets)"
+                    )));
+                }
+            }
+        }
+        Some(CoverageIndex::from_parts(n, sets, idx_offsets, idx_sets))
+    } else {
+        None
+    };
+
+    let store = RrStore::from_raw_parts(offsets, nodes, widths);
+    let mut pool = SketchPool::new(
+        Arc::new(store),
+        n,
+        *seed,
+        threads,
+        design_k,
+        epsilon,
+        kpt,
+        capped,
+    )
+    .with_generation(*generation);
+    if let Some(index) = index {
+        pool = pool.with_index(Arc::new(index));
+    }
+    Ok(pool)
+}
+
+/// Offsets table validation shared by the set CSR and the index CSR:
+/// leading 0, monotone, final entry equal to the flat array's length.
+fn validate_csr(offsets: &[u64], total: u64, what: &str) -> Result<(), GraphError> {
+    if offsets.first() != Some(&0) {
+        return Err(corrupt(format!("{what} must start at 0")));
+    }
+    if let Some(w) = offsets.windows(2).find(|w| w[0] > w[1]) {
+        return Err(corrupt(format!(
+            "{what} not monotone ({} > {})",
+            w[0], w[1]
+        )));
+    }
+    if offsets.last() != Some(&total) {
+        return Err(corrupt(format!(
+            "{what} end {:?} disagrees with element count {total}",
+            offsets.last()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ic_sampler::IcRrSampler;
+    use crate::parallel::ShardedGenerator;
+    use comic_graph::io::graph_digest;
+    use comic_graph::{gen, DiGraph};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let k = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "comic-spill-{tag}-{}-{k}.rrseg",
+            std::process::id()
+        ))
+    }
+
+    fn sample_pool(g: &DiGraph, indexed: bool) -> SketchPool {
+        let (store, index) = ShardedGenerator::new(|| IcRrSampler::new(g), 7, 2).generate_indexed(
+            500,
+            2,
+            g.num_nodes(),
+        );
+        let pool = SketchPool::new(Arc::new(store), g.num_nodes(), 7, 2, 5, 0.4, 1.25, false)
+            .with_generation(3);
+        if indexed {
+            pool.with_index(Arc::new(index))
+        } else {
+            pool
+        }
+    }
+
+    fn assert_pools_equal(a: &SketchPool, b: &SketchPool) {
+        assert_eq!(a.store(), b.store());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.seed(), b.seed());
+        assert_eq!(a.threads(), b.threads());
+        assert_eq!(a.design_k(), b.design_k());
+        assert_eq!(a.epsilon(), b.epsilon());
+        assert_eq!(a.kpt(), b.kpt());
+        assert_eq!(a.capped(), b.capped());
+        assert_eq!(a.generation(), b.generation());
+        match (a.coverage_index(), b.coverage_index()) {
+            (Some(x), Some(y)) => assert_eq!(**x, **y),
+            (None, None) => {}
+            other => panic!("index presence mismatch: {:?}", other.0.is_some()),
+        }
+    }
+
+    #[test]
+    fn indexed_pool_round_trips_through_bytes() {
+        let g = gen::star(30, 0.8);
+        let d = graph_digest(&g);
+        let pool = sample_pool(&g, true);
+        let mut bytes = Vec::new();
+        write_pool(&pool, d, &mut bytes).unwrap();
+        let back = read_pool_bytes(bytes, d).unwrap();
+        assert_pools_equal(&pool, &back);
+        assert!(back.coverage_index().is_some());
+    }
+
+    #[test]
+    fn bare_pool_round_trips_without_an_index() {
+        let g = gen::path(12, 0.9);
+        let d = graph_digest(&g);
+        let pool = sample_pool(&g, false);
+        let mut bytes = Vec::new();
+        write_pool(&pool, d, &mut bytes).unwrap();
+        let back = read_pool_bytes(bytes, d).unwrap();
+        assert_pools_equal(&pool, &back);
+        assert!(back.coverage_index().is_none());
+    }
+
+    #[test]
+    fn file_round_trip_is_identical_and_mapped_where_supported() {
+        let g = gen::star(25, 0.7);
+        let d = graph_digest(&g);
+        let pool = sample_pool(&g, true);
+        let path = tmp_path("file");
+        write_pool_file(&pool, d, &path).unwrap();
+        let back = read_pool_file(&path, d).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_pools_equal(&pool, &back);
+        if comic_graph::store::mmap_supported()
+            && comic_graph::store::active() == comic_graph::store::StoreMode::Mmap
+        {
+            assert!(back.store().is_mapped(), "mmap path should borrow the file");
+        }
+        // Mutating a reloaded (possibly mapped) store is safe: COW kicks in.
+        let mut store = back.store().clone();
+        store.push_with_width(&[NodeId(1)], 9);
+        assert_eq!(store.len(), back.store().len() + 1);
+    }
+
+    #[test]
+    fn stale_graph_digest_is_typed() {
+        let g = gen::path(8, 0.5);
+        let d = graph_digest(&g);
+        let pool = sample_pool(&g, false);
+        let mut bytes = Vec::new();
+        write_pool(&pool, d, &mut bytes).unwrap();
+        match read_pool_bytes(bytes, d ^ 1) {
+            Err(GraphError::StaleSource { expected, found }) => {
+                assert_eq!(expected, d ^ 1);
+                assert_eq!(found, d);
+            }
+            other => panic!("expected StaleSource, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_header_bit_flip_is_typed() {
+        let g = gen::path(6, 0.6);
+        let d = graph_digest(&g);
+        let pool = sample_pool(&g, true);
+        let mut bytes = Vec::new();
+        write_pool(&pool, d, &mut bytes).unwrap();
+        // Prefix = magic(8) + version(4) + meta(72) + count(4) + digest(8).
+        let prefix = 8 + 4 + 8 * POOL_META_LEN + 4 + 8;
+        for byte in 0..prefix {
+            for bit in 0..8 {
+                let mut b = bytes.clone();
+                b[byte] ^= 1 << bit;
+                assert!(
+                    read_pool_bytes(b, d).is_err(),
+                    "flip at byte {byte} bit {bit} must not parse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_are_typed() {
+        let g = gen::path(5, 0.5);
+        let d = graph_digest(&g);
+        let pool = sample_pool(&g, false);
+        let mut bytes = Vec::new();
+        write_pool(&pool, d, &mut bytes).unwrap();
+        for cut in [0, 7, 50, bytes.len() - 1] {
+            assert!(
+                read_pool_bytes(bytes[..cut].to_vec(), d).is_err(),
+                "truncation to {cut} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn crafted_out_of_range_member_is_typed_not_a_panic() {
+        // Rebuild a valid spill whose member array points past n, with the
+        // digests recomputed so only structural validation can catch it.
+        let g = gen::path(4, 0.5);
+        let d = graph_digest(&g);
+        let mut store = RrStore::new();
+        store.push_with_width(&[NodeId(99)], 1); // 99 >= n = 4
+        let pool = SketchPool::new(Arc::new(store), 4, 1, 1, 2, 0.5, 1.0, false);
+        let mut bytes = Vec::new();
+        write_pool(&pool, d, &mut bytes).unwrap();
+        match read_pool_bytes(bytes, d) {
+            Err(GraphError::Corrupt(msg)) => {
+                assert!(msg.contains("out of range"), "msg: {msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+}

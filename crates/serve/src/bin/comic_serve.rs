@@ -32,6 +32,10 @@ OPTIONS:
                                  samplers (default: 10)
   --pool <sampler/preset/tier>   pool to warm; repeatable (default: one
                                  pool per sampler at the coarse tier)
+  --pool-dir <path>              persist pools as COMICRRS spill files in
+                                 this directory; a restart reloads matching
+                                 spills instead of regenerating (the
+                                 directory is created if missing)
   --tcp <addr>                   serve on a TCP listener (e.g.
                                  127.0.0.1:7717) instead of stdio
   --refresh-ms <n>               background-refresh all pools every n ms
@@ -122,6 +126,16 @@ fn main() -> ExitCode {
                         ))
                     }
                 },
+                Err(e) => return fail(&e),
+            },
+            "--pool-dir" => match value("--pool-dir") {
+                Ok(v) => {
+                    let dir = std::path::PathBuf::from(v);
+                    if let Err(e) = std::fs::create_dir_all(&dir) {
+                        return fail(&format!("--pool-dir: cannot create {}: {e}", dir.display()));
+                    }
+                    cfg.pool_dir = Some(dir);
+                }
                 Err(e) => return fail(&e),
             },
             "--tcp" => match value("--tcp") {

@@ -18,8 +18,11 @@
 //! `BENCH_seed_selection.json` (`"bench": "seed_selection"`) — and exits
 //! nonzero on a mismatch (the CI smoke steps).
 
+use comic_bench::datasets::{load_with, CacheMode};
 use comic_bench::metrics::{percentile, round3, OutcomeCounts};
 use comic_graph::fasthash::splitmix64;
+use comic_graph::io::{graph_digest, read_binary_for_source, write_binary_with_source};
+use comic_graph::store;
 use comic_ris::ic_sampler::IcRrSampler;
 use comic_ris::select::SelectorKind;
 use comic_ris::tim::TimConfig;
@@ -177,6 +180,86 @@ fn validate_seed_selection_schema(v: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Measure the restart story on `fixture-medium`: the wall-clock of
+/// re-materializing the graph from a v3 cache (per-edge `GraphBuilder`
+/// deserialization) vs a v4 zero-copy store load (open → map/bulk-read →
+/// verify → reinterpret), min over `reps` to suppress scheduler noise.
+/// Returns the `"restart"` snapshot object.
+fn restart_rows(quick: bool) -> Result<Json, String> {
+    let reps = if quick { 3 } else { 7 };
+    let loaded = load_with("fixture-medium", CacheMode::Off)
+        .map_err(|e| format!("fixture-medium load failed: {e}"))?;
+    let g = &loaded.graph;
+    let src = loaded.digest;
+
+    let dir = std::env::temp_dir().join(format!("comic-serve-load-restart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    let v3_path = dir.join("fixture-medium.v3.bin");
+    let v4_path = dir.join("fixture-medium.v4.grb");
+    {
+        let f = std::fs::File::create(&v3_path).map_err(|e| format!("v3 create: {e}"))?;
+        write_binary_with_source(g, src, f).map_err(|e| format!("v3 write: {e}"))?;
+    }
+    store::write_store_file(g, src, &v4_path).map_err(|e| format!("v4 write: {e}"))?;
+
+    let mode = store::detect();
+    // Time ONLY the load; the structural-digest correctness check runs on
+    // the last loaded graph outside the timed region (it is a full graph
+    // walk and would otherwise dominate both columns).
+    let min_ms = |f: &mut dyn FnMut() -> comic_graph::DiGraph| -> (f64, f64) {
+        let (mut best, mut sum) = (f64::INFINITY, 0.0);
+        let mut last = None;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let h = f();
+            let ms = t.elapsed().as_secs_f64() * 1_000.0;
+            best = best.min(ms);
+            sum += ms;
+            last = Some(h);
+        }
+        let last = last.expect("reps >= 1");
+        assert_eq!(
+            graph_digest(&last),
+            graph_digest(g),
+            "restart load must reproduce the graph"
+        );
+        (best, sum / reps as f64)
+    };
+    let (v3_min, v3_mean) = min_ms(&mut || {
+        let f = std::fs::File::open(&v3_path).expect("v3 open");
+        read_binary_for_source(f, src).expect("v3 load")
+    });
+    let (v4_min, v4_mean) =
+        min_ms(&mut || store::read_store_file_with(&v4_path, Some(src), mode).expect("v4 load"));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let row = |name: &str, min: f64, mean: f64| {
+        build::obj(vec![
+            ("name", build::str(name)),
+            ("reps", build::num_u64(reps as u64)),
+            ("min_ms", build::num(round3(min))),
+            ("mean_ms", build::num(round3(mean))),
+        ])
+    };
+    Ok(build::obj(vec![
+        ("dataset", build::str("fixture-medium")),
+        ("nodes", build::num_u64(g.num_nodes() as u64)),
+        ("edges", build::num_u64(g.num_edges() as u64)),
+        ("store_mode", build::str(store::StoreMode::name(mode))),
+        (
+            "rows",
+            Json::Arr(vec![
+                row("v3_builder", v3_min, v3_mean),
+                row("v4_zero_copy", v4_min, v4_mean),
+            ]),
+        ),
+        (
+            "speedup_v4_vs_v3",
+            build::num(round3(if v4_min > 0.0 { v3_min / v4_min } else { 0.0 })),
+        ),
+    ]))
+}
+
 /// Required schema of a `BENCH_serving.json` snapshot.
 fn validate_serving_schema(v: &Json) -> Result<(), String> {
     let expect_str = |f: &str| {
@@ -223,6 +306,31 @@ fn validate_serving_schema(v: &Json) -> Result<(), String> {
     for required in ["warm_select_k10", "cold_pipeline_k10"] {
         if !names.iter().any(|n| n == required) {
             return Err(format!("required class {required:?} is absent"));
+        }
+    }
+    // The restart section records the zero-copy store's reason to exist:
+    // v3 deserializing reload vs v4 zero-copy reload of fixture-medium.
+    let restart = v.get("restart").ok_or("missing object field \"restart\"")?;
+    if restart
+        .get("speedup_v4_vs_v3")
+        .and_then(Json::as_f64)
+        .is_none()
+    {
+        return Err("restart: missing numeric \"speedup_v4_vs_v3\"".into());
+    }
+    let rows = restart
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("restart: missing array field \"rows\"")?;
+    for required in ["v3_builder", "v4_zero_copy"] {
+        let row = rows
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(required))
+            .ok_or_else(|| format!("restart: required row {required:?} is absent"))?;
+        for f in ["reps", "min_ms", "mean_ms"] {
+            if row.get(f).and_then(Json::as_f64).is_none() {
+                return Err(format!("restart row {required}: missing numeric {f:?}"));
+            }
         }
     }
     Ok(())
@@ -413,6 +521,12 @@ fn main() -> ExitCode {
         None
     }));
 
+    eprintln!("comic-serve-load: restart reload comparison (fixture-medium, v3 vs v4)...");
+    let restart = match restart_rows(quick) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("restart rows: {e}")),
+    };
+
     let report = build::obj(vec![
         ("bench", build::str("serving")),
         ("dataset", build::str(&*dataset)),
@@ -441,6 +555,7 @@ fn main() -> ExitCode {
             "classes",
             Json::Arr(classes.iter().map(Timings::row).collect()),
         ),
+        ("restart", restart.clone()),
         (
             "caveat",
             build::str(
@@ -462,6 +577,11 @@ fn main() -> ExitCode {
         return fail(&format!("cannot write {out}: {e}"));
     }
     println!("comic-serve-load: wrote {out}");
+    if let Some(speedup) = restart.get("speedup_v4_vs_v3").and_then(Json::as_f64) {
+        println!(
+            "  restart reload (fixture-medium): v4 zero-copy is {speedup:.1}x the v3 builder path"
+        );
+    }
     for t in &classes {
         let mut sorted = t.millis.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));

@@ -98,6 +98,23 @@ impl Json {
         }
     }
 
+    /// Whether any number anywhere in the value is NaN or infinite.
+    ///
+    /// `Json::Num` is documented as finite and the parser enforces it, but
+    /// nothing stops response-building code from smuggling a NaN through a
+    /// computed `f64`. The serializer maps such values to `null` rather
+    /// than emitting invalid JSON; callers that must not silently degrade
+    /// (the wire layer) probe with this first and substitute a typed
+    /// internal error instead.
+    pub fn has_non_finite(&self) -> bool {
+        match self {
+            Json::Num(x) => !x.is_finite(),
+            Json::Arr(items) => items.iter().any(Json::has_non_finite),
+            Json::Obj(members) => members.iter().any(|(_, v)| v.has_non_finite()),
+            Json::Null | Json::Bool(_) | Json::Str(_) => false,
+        }
+    }
+
     /// Serialize to compact JSON (no whitespace), deterministically.
     pub fn serialize(&self) -> String {
         let mut out = String::new();
@@ -140,9 +157,18 @@ impl Json {
 
 /// `{}` on `f64` is shortest-round-trip: integral values print without a
 /// fraction (`5`, not `5.0`), which keeps re-serialization bit-stable.
+///
+/// JSON has no spelling for NaN/±inf; printing `{x}` for them would emit
+/// tokens no parser accepts, so non-finite values serialize as `null`.
+/// This is a last-resort containment, identical in debug and release —
+/// layers that can report the problem check [`Json::has_non_finite`]
+/// before serializing and answer with a typed internal error instead.
 fn write_num(x: f64, out: &mut String) {
     use fmt::Write as _;
-    debug_assert!(x.is_finite(), "non-finite numbers cannot enter Json::Num");
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
     let _ = write!(out, "{x}");
 }
 
@@ -632,5 +658,31 @@ mod tests {
         );
         // Serialized output re-parses to the same value.
         assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    /// Non-finite numbers never reach the wire as invalid tokens: the
+    /// serializer contains them as `null`, and the walker that the wire
+    /// layer uses to substitute a typed error spots them at any depth.
+    /// This behavior is unconditional — the test passes identically under
+    /// `cargo test` and `cargo test --release` (no `debug_assert` path).
+    #[test]
+    fn non_finite_numbers_serialize_as_null_and_are_detectable() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Json::Num(bad).serialize(), "null");
+            assert!(Json::Num(bad).has_non_finite());
+            // Nested anywhere, the walker still finds it...
+            let nested = build::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("inner", Json::Arr(vec![Json::Null, Json::Num(bad)])),
+            ]);
+            assert!(nested.has_non_finite());
+            // ...and the contained serialization is still valid JSON.
+            assert!(parse(&nested.serialize()).is_ok());
+        }
+        // Finite values (including extremes) are untouched.
+        for ok in [0.0, -0.0, f64::MIN, f64::MAX, f64::EPSILON] {
+            assert!(!Json::Num(ok).has_non_finite());
+        }
+        assert!(!parse("{\"a\":[1,2,{\"b\":3.5}]}").unwrap().has_non_finite());
     }
 }

@@ -450,6 +450,10 @@ pub enum ErrorCode {
     /// The request line exceeded the transport's byte cap and was
     /// discarded unread.
     RequestTooLarge,
+    /// The service computed a response it refuses to put on the wire
+    /// (e.g. a non-finite number where the protocol promises a finite
+    /// one). The query's work is discarded; the bug is server-side.
+    Internal,
 }
 
 impl ErrorCode {
@@ -464,6 +468,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::RequestTooLarge => "request_too_large",
+            ErrorCode::Internal => "internal",
         }
     }
 }
@@ -745,8 +750,24 @@ impl Response {
     }
 
     /// One wire line (no trailing newline).
+    ///
+    /// The protocol promises every number on the wire is finite. If a
+    /// computed response smuggled a NaN/infinity into its JSON (a
+    /// server-side bug — e.g. a degenerate spread estimate), the response
+    /// is NOT serialized; a typed `internal` error line goes out instead,
+    /// so clients see a machine-readable failure rather than invalid
+    /// JSON or a silently-nulled field. Identical in debug and release.
     pub fn to_line(&self) -> String {
-        self.to_json().serialize()
+        let json = self.to_json();
+        if json.has_non_finite() {
+            return Response::Error {
+                code: ErrorCode::Internal,
+                message: "response contained a non-finite number".to_string(),
+            }
+            .to_json()
+            .serialize();
+        }
+        json.serialize()
     }
 
     /// The error response for a rejected line.
@@ -932,5 +953,59 @@ mod tests {
         ] {
             assert!(crate::json::parse(&r.to_line()).is_ok());
         }
+    }
+
+    /// A response whose computed payload smuggles a non-finite number is
+    /// replaced on the wire by a typed `internal` error — never emitted as
+    /// invalid JSON, never silently nulled. Runs identically in release
+    /// builds (the old guard here was a `debug_assert`, which release
+    /// compiled away, letting `NaN` print as a bare `NaN` token).
+    #[test]
+    fn non_finite_response_becomes_typed_internal_error() {
+        let meta = PoolMeta {
+            key: "rr-sim/default/mid".into(),
+            sketches: 1000,
+            generation: 1,
+            design_k: 50,
+            epsilon: 0.3,
+            capped: false,
+        };
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let r = Response::Estimated {
+                pool: meta.clone(),
+                seeds: 3,
+                consulted: 200,
+                est_spread: bad,
+                warm: true,
+                degraded: false,
+                degrade_reason: None,
+            };
+            let line = r.to_line();
+            assert_eq!(
+                line,
+                "{\"ok\":false,\"error\":\"internal\",\
+                 \"message\":\"response contained a non-finite number\"}"
+            );
+            // The substitute is itself valid JSON, so clients always get a
+            // parseable line.
+            assert!(crate::json::parse(&line).is_ok());
+            // Buried inside a batch, the whole batch line is substituted —
+            // the batch envelope cannot carry an invalid member.
+            let batch = Response::Batch(vec![Response::Pong, r]);
+            let bline = batch.to_line();
+            assert!(bline.contains("\"internal\""), "{bline}");
+            assert!(crate::json::parse(&bline).is_ok());
+        }
+        // A finite estimate is untouched by the guard.
+        let fine = Response::Estimated {
+            pool: meta,
+            seeds: 3,
+            consulted: 200,
+            est_spread: 12.5,
+            warm: true,
+            degraded: false,
+            degrade_reason: None,
+        };
+        assert!(fine.to_line().contains("\"est_spread\":12.5"));
     }
 }

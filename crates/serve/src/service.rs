@@ -39,10 +39,11 @@ use comic_ris::ic_sampler::IcRrSampler;
 use comic_ris::pipeline::PoolStage;
 use comic_ris::select::SelectorKind;
 use comic_ris::tim::TimConfig;
-use comic_ris::{RisPipeline, SketchPool};
+use comic_ris::{spill, RisPipeline, SketchPool};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
@@ -92,6 +93,13 @@ pub struct ServeConfig {
     /// Deterministic fault-injection plan (chaos testing). The default
     /// [`FaultPlan::none`] arms nothing and costs one branch per site.
     pub faults: FaultPlan,
+    /// Directory for pool spill files (`COMICRRS` segments, one per
+    /// [`PoolKey`]). When set, startup reloads any spill whose graph
+    /// digest *and* generation provenance match instead of regenerating
+    /// (so a restart pays zero sampling — observable as `pool_builds ==
+    /// 0`), and every successful build or refresh re-spills. `None` (the
+    /// default) disables persistence entirely.
+    pub pool_dir: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -111,6 +119,7 @@ impl ServeConfig {
             default_deadline_ms: None,
             sketch_cost_ns: 2_000,
             faults: FaultPlan::none(),
+            pool_dir: None,
         }
     }
 
@@ -195,6 +204,10 @@ pub struct ComicService {
     cfg: ServeConfig,
     graph: Arc<DiGraph>,
     graph_name: String,
+    /// `comic_graph::io::graph_digest` of the loaded graph — recorded in
+    /// every pool spill so a reload against a different graph is typed
+    /// stale, never silently wrong.
+    graph_digest: u64,
     presets: BTreeMap<String, Gap>,
     other_seeds: Vec<NodeId>,
     pools: RwLock<BTreeMap<PoolKey, PoolEntry>>,
@@ -313,6 +326,7 @@ impl ComicService {
         let gap = loaded.gap;
         let graph = Arc::clone(&loaded.graph);
         let graph_name = loaded.name.clone();
+        let graph_digest = loaded.digest;
 
         let mut presets = BTreeMap::new();
         presets.insert("default".to_string(), gap);
@@ -339,6 +353,7 @@ impl ComicService {
             cfg,
             graph,
             graph_name,
+            graph_digest,
             presets,
             other_seeds,
             pools: RwLock::new(BTreeMap::new()),
@@ -354,13 +369,25 @@ impl ComicService {
 
         // Startup warming never injects build faults: a service must fail
         // *loudly* at start, not come up half-warm under a chaos plan.
+        // With a pool directory configured, a spill whose graph digest and
+        // generation provenance check out is installed *without sampling*
+        // (`pool_builds` stays 0 across a clean restart); anything else —
+        // missing, stale, corrupt, or provenance-mismatched — falls
+        // through to a fresh build, which is then re-spilled.
         for key in svc.cfg.pools.clone() {
-            let pool = svc
-                .build_pool(&key, 0, false)
-                .map_err(|cause| ServeError::Pool {
-                    key: key.to_string(),
-                    cause,
-                })?;
+            let pool = match svc.try_load_spilled(&key) {
+                Some(pool) => pool,
+                None => {
+                    let pool =
+                        svc.build_pool(&key, 0, false)
+                            .map_err(|cause| ServeError::Pool {
+                                key: key.to_string(),
+                                cause,
+                            })?;
+                    svc.spill_pool(&key, &pool);
+                    pool
+                }
+            };
             svc.pools.write().expect("pool lock").insert(
                 key,
                 PoolEntry {
@@ -470,6 +497,54 @@ impl ComicService {
         splitmix64(self.cfg.seed ^ key_fingerprint(key) ^ splitmix64(generation ^ 0x7265_6672))
     }
 
+    /// Where `key`'s spill file lives, when persistence is configured.
+    fn spill_path(&self, key: &PoolKey) -> Option<PathBuf> {
+        let dir = self.cfg.pool_dir.as_ref()?;
+        Some(dir.join(format!("{}.rrseg", key.to_string().replace('/', "-"))))
+    }
+
+    /// Try to reload `key`'s pool from its spill file. `None` on any
+    /// failure — missing file, corruption, a different graph (typed stale
+    /// by the reader), or provenance that disagrees with what *this*
+    /// config would generate (seed chain, `gen_threads`, design `k`, tier
+    /// ε, node count): a provenance mismatch means the spill's bytes are
+    /// some other config's pool, and serving it would break the
+    /// byte-determinism contract.
+    fn try_load_spilled(&self, key: &PoolKey) -> Option<SketchPool> {
+        let path = self.spill_path(key)?;
+        let pool = spill::read_pool_file(&path, self.graph_digest).ok()?;
+        let provenance_ok = pool.seed() == self.pool_seed(key, pool.generation())
+            && pool.threads() == self.cfg.gen_threads
+            && pool.design_k() == self.cfg.design_k
+            && pool.epsilon() == key.tier.epsilon()
+            && pool.num_nodes() == self.graph.num_nodes()
+            && self
+                .cfg
+                .max_rr_sets
+                .is_none_or(|cap| pool.len() as u64 <= cap);
+        provenance_ok.then_some(pool)
+    }
+
+    /// Best-effort spill of a freshly built pool: persistence is an
+    /// optimization, so a failed write (missing directory, full disk) must
+    /// never fail the build that produced the pool. Atomic-enough: temp
+    /// file, then rename over.
+    fn spill_pool(&self, key: &PoolKey, pool: &SketchPool) {
+        let Some(path) = self.spill_path(key) else {
+            return;
+        };
+        let tmp = path.with_extension("rrseg.tmp");
+        let write = spill::write_pool_file(pool, self.graph_digest, &tmp)
+            .and_then(|()| std::fs::rename(&tmp, &path).map_err(comic_graph::GraphError::Io));
+        if let Err(e) = write {
+            let _ = std::fs::remove_file(&tmp);
+            eprintln!(
+                "warning: could not spill pool {key} to {}: {e}",
+                path.display()
+            );
+        }
+    }
+
     /// Build the sketches for `key` at `generation` (stages 1–3 of the
     /// pipeline, on `gen_threads` workers). The only sampling path in the
     /// service; bumps [`ComicService::pool_builds`]. With `inject` set
@@ -554,6 +629,7 @@ impl ComicService {
         match built {
             Ok(pool) => {
                 let meta = meta_of(key, &pool);
+                self.spill_pool(key, &pool);
                 let mut pools = self.pools.write().expect("pool lock");
                 if let Some(entry) = pools.get_mut(key) {
                     entry.pool = pool;
@@ -994,6 +1070,97 @@ mod tests {
             let (a, b) = (g.out_degree(w[0]), g.out_degree(w[1]));
             assert!(a > b || (a == b && w[0].0 < w[1].0));
         }
+    }
+
+    fn temp_pool_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("comic-serve-pools-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn cold_restart_reuses_spilled_pools_without_building() {
+        let dir = temp_pool_dir("restart");
+        let mut cfg = small_cfg();
+        cfg.pool_dir = Some(dir.clone());
+
+        // First start: nothing spilled yet, so every pool is built — and
+        // spilled on the way.
+        let first = ComicService::start(cfg.clone()).unwrap();
+        assert_eq!(first.pool_builds(), 2);
+        let key = PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).unwrap();
+        let original = first.pool(&key).unwrap();
+        drop(first);
+
+        // Restart with the same config: pools come back from the spills,
+        // byte-identical, with zero sampling.
+        let second = ComicService::start(cfg).unwrap();
+        assert_eq!(second.pool_builds(), 0, "restart must not regenerate");
+        let reloaded = second.pool(&key).unwrap();
+        assert_eq!(reloaded.store(), original.store());
+        assert_eq!(reloaded.seed(), original.seed());
+        assert_eq!(reloaded.generation(), original.generation());
+        assert_eq!(
+            reloaded.coverage_index().is_some(),
+            original.coverage_index().is_some()
+        );
+        // And the reloaded pools actually answer queries.
+        let sel = second.handle(&Request::Select {
+            pool: key,
+            k: 3,
+            selector: None,
+            budget: None,
+            deadline_ms: None,
+        });
+        assert!(matches!(sel, Response::Selected { .. }), "{sel:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn provenance_mismatched_spills_are_rebuilt_not_served() {
+        let dir = temp_pool_dir("mismatch");
+        let mut cfg = small_cfg();
+        cfg.pool_dir = Some(dir.clone());
+        let first = ComicService::start(cfg.clone()).unwrap();
+        assert_eq!(first.pool_builds(), 2);
+        drop(first);
+
+        // A different service seed changes every pool's generation stream,
+        // so the spills on disk describe some other config's pools.
+        let mut other = cfg.clone();
+        other.seed ^= 0xDEAD;
+        let svc = ComicService::start(other).unwrap();
+        assert_eq!(
+            svc.pool_builds(),
+            2,
+            "foreign-seed spills must be rebuilt, not served"
+        );
+        drop(svc);
+
+        // The foreign-seed run re-spilled its own pools; restore spills
+        // matching `cfg` before the corruption scenario.
+        let svc = ComicService::start(cfg.clone()).unwrap();
+        assert_eq!(svc.pool_builds(), 2);
+        drop(svc);
+
+        // Corrupt one spill on disk: typed rejection inside the reader
+        // routes that key to a rebuild; the intact spill still loads.
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "rrseg"))
+            .collect();
+        entries.sort();
+        assert_eq!(entries.len(), 2);
+        let mut bytes = std::fs::read(&entries[0]).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&entries[0], &bytes).unwrap();
+        let svc = ComicService::start(cfg).unwrap();
+        assert_eq!(svc.pool_builds(), 1, "only the corrupt spill rebuilds");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
