@@ -50,6 +50,17 @@ pub enum GraphError {
         /// Digest recomputed from the payload.
         found: u64,
     },
+    /// An edge-delta record contradicted the graph state at its position in
+    /// the log (add of an existing edge, remove/reweight of a missing edge,
+    /// self-loop add). The log is an authoritative journal: conflicts mean
+    /// the log and the base graph have diverged, and silently reconciling
+    /// them would mask the divergence.
+    DeltaConflict {
+        /// 0-based position of the offending record in the log.
+        index: usize,
+        /// Human-readable description of the conflict.
+        msg: String,
+    },
     /// A binary cache was built from a source file whose content digest no
     /// longer matches the file on disk: the cache is intact but **stale**
     /// (e.g. the source was replaced by a same-length file with a
@@ -88,6 +99,9 @@ impl fmt::Display for GraphError {
                     f,
                     "graph digest mismatch: header says {expected:#018x}, payload hashes to {found:#018x}"
                 )
+            }
+            GraphError::DeltaConflict { index, msg } => {
+                write!(f, "delta {index} conflicts with base graph: {msg}")
             }
             GraphError::StaleSource { expected, found } => {
                 write!(
@@ -145,5 +159,10 @@ mod tests {
             found: 2,
         };
         assert!(e.to_string().contains("mismatch"));
+        let e = GraphError::DeltaConflict {
+            index: 4,
+            msg: "remove of missing edge (1, 2)".into(),
+        };
+        assert!(e.to_string().contains("delta 4"));
     }
 }

@@ -13,6 +13,8 @@
 //! The crate also provides:
 //!
 //! * [`builder::GraphBuilder`] — incremental construction with de-duplication.
+//! * [`delta`] — the append-only edge-delta log (`COMICDLT`) and
+//!   [`DiGraph::apply_deltas`] compaction for dynamic graphs.
 //! * [`gen`] — random-graph generators (Erdős–Rényi, Chung–Lu power law,
 //!   Watts–Strogatz, Barabási–Albert) and deterministic gadget builders used
 //!   by tests and the paper's counter-examples.
@@ -35,6 +37,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod fasthash;
 pub mod gen;
@@ -49,4 +52,5 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::{DiGraph, Edge, EdgeId, NodeId};
+pub use delta::EdgeDelta;
 pub use error::GraphError;

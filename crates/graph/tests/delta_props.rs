@@ -1,0 +1,169 @@
+//! Property tests for the edge-delta log (satellite of the incremental
+//! deltas PR):
+//!
+//! * folding a valid delta log with [`DiGraph::apply_deltas`] produces the
+//!   same graph — digest-equal AND byte-identical as a canonical text edge
+//!   list — as rebuilding from the independently-compacted edge set;
+//! * the `COMICDLT` log round-trips exactly;
+//! * ANY single-bit flip and ANY truncation of a delta-log file is rejected
+//!   with a typed [`GraphError`] — never a panic, never a silently-wrong
+//!   delta applied to a live graph.
+
+// The proptest shim's macro expands tests recursively; several properties
+// in one block exceed the default limit.
+#![recursion_limit = "256"]
+
+use std::collections::BTreeMap;
+
+use comic_graph::builder::{from_edges, GraphBuilder};
+use comic_graph::delta::{read_delta_log_bytes, write_delta_log, EdgeDelta};
+use comic_graph::error::GraphError;
+use comic_graph::io::{graph_digest, write_edge_list};
+use comic_graph::{DiGraph, NodeId};
+use proptest::prelude::*;
+
+/// A base graph plus a delta log that is valid against it: raw op/endpoint
+/// soup is folded against a model of the live edge set so every generated
+/// record is applicable at its position (adds of present edges become
+/// reweights, removes/reweights of absent edges become adds).
+fn arb_base_and_deltas() -> impl Strategy<Value = (DiGraph, Vec<EdgeDelta>)> {
+    (
+        2u32..32,
+        proptest::collection::vec((0u32..1024, 0u32..1024, 1u64..1000), 0..64),
+        proptest::collection::vec((0u32..3, 0u32..1024, 0u32..1024, 1u64..1000), 0..48),
+    )
+        .prop_map(|(n, base_edges, raw)| {
+            let mut b = GraphBuilder::new(n as usize);
+            for (u, v, w) in base_edges {
+                b.add_edge(u % n, v % n, w as f64 / 1000.0);
+            }
+            let g = b.build().expect("generated base graphs are valid");
+            let mut live: BTreeMap<(u32, u32), f64> = g
+                .edges()
+                .map(|(_, e)| ((e.source.0, e.target.0), e.p))
+                .collect();
+            let mut deltas = Vec::new();
+            for (op, u, v, w) in raw {
+                let (u, v) = (u % n, v % n);
+                if u == v {
+                    continue;
+                }
+                let p = w as f64 / 1000.0;
+                let (source, target) = (NodeId(u), NodeId(v));
+                let exists = live.contains_key(&(u, v));
+                let d = match (op, exists) {
+                    (1, true) => {
+                        live.remove(&(u, v));
+                        EdgeDelta::Remove { source, target }
+                    }
+                    (_, false) => {
+                        live.insert((u, v), p);
+                        EdgeDelta::Add { source, target, p }
+                    }
+                    (_, true) => {
+                        live.insert((u, v), p);
+                        EdgeDelta::Reweight { source, target, p }
+                    }
+                };
+                deltas.push(d);
+            }
+            (g, deltas)
+        })
+}
+
+/// Replay the log against a plain edge map — the reference compaction.
+fn compacted_edges(g: &DiGraph, deltas: &[EdgeDelta]) -> Vec<(u32, u32, f64)> {
+    let mut live: BTreeMap<(u32, u32), f64> = g
+        .edges()
+        .map(|(_, e)| ((e.source.0, e.target.0), e.p))
+        .collect();
+    for d in deltas {
+        let key = (d.source().0, d.target().0);
+        match *d {
+            EdgeDelta::Add { p, .. } | EdgeDelta::Reweight { p, .. } => {
+                live.insert(key, p);
+            }
+            EdgeDelta::Remove { .. } => {
+                live.remove(&key);
+            }
+        }
+    }
+    live.into_iter().map(|((u, v), p)| (u, v, p)).collect()
+}
+
+fn text_bytes(g: &DiGraph) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_edge_list(g, &mut buf).expect("writing to a Vec cannot fail");
+    buf
+}
+
+fn log_bytes(g: &DiGraph, deltas: &[EdgeDelta]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_delta_log(&mut buf, graph_digest(g), deltas).expect("writing to a Vec cannot fail");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// apply-log ≡ rebuild-from-compacted-text: folding the log into the
+    /// CSR gives the same digest as building a graph from the reference
+    /// edge set, and the two serialize to byte-identical text edge lists.
+    #[test]
+    fn apply_log_equals_compacted_rebuild(case in arb_base_and_deltas()) {
+        let (g, deltas) = case;
+        let h = g.apply_deltas(&deltas).expect("generated logs are valid");
+        let want = from_edges(g.num_nodes(), &compacted_edges(&g, &deltas))
+            .expect("compacted edge set is valid");
+        prop_assert_eq!(graph_digest(&h), graph_digest(&want));
+        prop_assert_eq!(text_bytes(&h), text_bytes(&want));
+    }
+
+    /// The delta log round-trips exactly through its binary encoding.
+    #[test]
+    fn delta_log_round_trips(case in arb_base_and_deltas()) {
+        let (g, deltas) = case;
+        let bytes = log_bytes(&g, &deltas);
+        let back = read_delta_log_bytes(bytes, graph_digest(&g)).expect("own bytes must load");
+        prop_assert_eq!(back, deltas);
+    }
+
+    /// Flipping ANY single bit of a delta log makes the load fail typed:
+    /// every byte is covered by the magic, the version word, the header
+    /// digest, or the content digest.
+    #[test]
+    fn delta_log_any_single_bit_flip_is_rejected(
+        case in arb_base_and_deltas(),
+        pos_seed in 0usize..1 << 20,
+        bit in 0u32..8,
+    ) {
+        let (g, deltas) = case;
+        let mut bytes = log_bytes(&g, &deltas);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= 1u8 << bit;
+        match read_delta_log_bytes(bytes, graph_digest(&g)) {
+            Err(GraphError::Corrupt(_)
+                | GraphError::DigestMismatch { .. }
+                | GraphError::UnsupportedVersion { .. }
+                | GraphError::StaleSource { .. }) => {}
+            Err(e) => prop_assert!(false, "untyped error for flip at byte {pos}: {e}"),
+            Ok(_) => prop_assert!(false, "flip at byte {pos} bit {bit} loaded successfully"),
+        }
+    }
+
+    /// Truncating a delta log at ANY proper prefix is rejected typed.
+    #[test]
+    fn delta_log_any_truncation_is_rejected(
+        case in arb_base_and_deltas(),
+        cut_seed in 0usize..1 << 20,
+    ) {
+        let (g, deltas) = case;
+        let bytes = log_bytes(&g, &deltas);
+        let cut = cut_seed % bytes.len();
+        match read_delta_log_bytes(bytes[..cut].to_vec(), graph_digest(&g)) {
+            Err(GraphError::Corrupt(_) | GraphError::DigestMismatch { .. }) => {}
+            Err(e) => prop_assert!(false, "untyped error for truncation at {cut}: {e}"),
+            Ok(_) => prop_assert!(false, "truncation at {cut} loaded successfully"),
+        }
+    }
+}

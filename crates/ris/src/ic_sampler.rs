@@ -88,6 +88,12 @@ impl RrSampler for IcRrSampler<'_> {
         self.g
     }
 
+    // Every dequeued node is pushed to `out` before its in-run is read, and
+    // only dequeued nodes' in-runs are read — members ARE the touch set.
+    fn touch_is_members(&self) -> bool {
+        true
+    }
+
     fn sample<R: Rng>(&mut self, root: NodeId, rng: &mut R, out: &mut Vec<NodeId>) {
         out.clear();
         self.visited.clear();

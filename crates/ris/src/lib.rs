@@ -59,6 +59,7 @@ pub mod select;
 pub mod simd;
 pub mod spill;
 pub mod tim;
+pub mod touch;
 
 pub use error::RisError;
 pub use parallel::ShardedGenerator;
@@ -69,3 +70,4 @@ pub use sampler::RrSampler;
 pub use select::{CoverageFragment, CoverageIndex, SeedSelector, SelectorKind};
 pub use simd::SimdMode;
 pub use tim::{general_tim, general_tim_with, TimConfig, TimResult};
+pub use touch::TouchMap;

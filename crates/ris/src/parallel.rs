@@ -22,7 +22,9 @@
 use crate::rr::{RrStore, MAX_PREALLOC_SETS};
 use crate::sampler::RrSampler;
 use crate::select::{CoverageFragment, CoverageIndex};
+use crate::touch::{bloom_insert, bloom_words_for, TouchMap};
 use comic_graph::fasthash::splitmix64;
+use comic_graph::NodeId;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -31,6 +33,18 @@ use rand::SeedableRng;
 // parallel generators; this re-export keeps the long-standing RIS-side path
 // working.
 pub use comic_graph::par::resolve_threads;
+
+/// The RNG seed of the set sampled at `(shard tid, local index l)` under
+/// per-set seeding ([`ShardedGenerator::generate_indexed_touched`]): the
+/// shard stream anchor `seed ^ splitmix64(tid + 1)` — unchanged from the
+/// sequential-stream scheme — mixed with the set's local index so each set
+/// owns an independent, re-derivable stream. Incremental regeneration
+/// ([`ShardedGenerator::regenerate_marked`]) recomputes exactly this seed
+/// from a set's recorded `(tid, l)` coordinates, which is what lets it
+/// resample one set without replaying its predecessors.
+pub(crate) fn per_set_seed(seed: u64, tid: u64, local: u64) -> u64 {
+    splitmix64((seed ^ splitmix64(tid + 1)) ^ splitmix64(local + 1))
+}
 
 /// Parallel RR-set generator over per-thread sampler instances.
 ///
@@ -192,6 +206,171 @@ where
         );
         (merged, index)
     }
+
+    /// [`ShardedGenerator::generate_indexed`] with **per-set RNG seeding**
+    /// and a [`TouchMap`] recorded alongside the fused coverage index.
+    ///
+    /// Instead of one sequential stream per shard, the set at shard `tid`,
+    /// local index `l` draws from its own stream seeded by
+    /// [`per_set_seed`] — still a pure function of `(seed, threads, count)`,
+    /// so the output remains byte-identical for a fixed configuration, but
+    /// now any individual set can be re-derived in isolation: the
+    /// foundation of [`ShardedGenerator::regenerate_marked`]. Each shard
+    /// additionally folds every member node it emits into a fixed-width
+    /// bloom, giving downstream delta screening a no-false-negative
+    /// "did this shard ever visit node v" test.
+    pub fn generate_indexed_touched(
+        &self,
+        count: u64,
+        avg_hint: usize,
+        n: usize,
+    ) -> (RrStore, CoverageIndex, TouchMap) {
+        let threads = self.threads.min(count.max(1) as usize).max(1);
+        let per = count / threads as u64;
+        let extra = count % threads as u64;
+        let max_share = per + u64::from(extra > 0);
+        let words = bloom_words_for((max_share as usize).saturating_mul(avg_hint.max(1)));
+        let shard = |tid: usize| -> (RrStore, CoverageFragment, Vec<u64>) {
+            let share = per + u64::from((tid as u64) < extra);
+            let mut sampler = (self.factory)();
+            let mut store =
+                RrStore::with_capacity(share.min(MAX_PREALLOC_SETS) as usize, avg_hint.max(1));
+            let mut fragment = CoverageFragment::new(n);
+            let mut bloom = vec![0u64; words];
+            let mut out = Vec::new();
+            for l in 0..share {
+                let mut rng = SmallRng::seed_from_u64(per_set_seed(self.seed, tid as u64, l));
+                let (_, width) = sampler.sample_random_with_width(&mut rng, &mut out);
+                store.push_with_width(&out, width);
+                fragment.note_members(&out);
+                for &v in &out {
+                    bloom_insert(&mut bloom, v);
+                }
+            }
+            fragment.seal(&store);
+            (store, fragment, bloom)
+        };
+        let shards: Vec<(RrStore, CoverageFragment, Vec<u64>)> = if threads == 1 {
+            vec![shard(0)]
+        } else {
+            let mut shards = Vec::with_capacity(threads);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for tid in 0..threads {
+                    let shard = &shard;
+                    handles.push(scope.spawn(move || shard(tid)));
+                }
+                for h in handles {
+                    shards.push(h.join().expect("RR-generation worker panicked"));
+                }
+            });
+            shards
+        };
+        let mut merged =
+            RrStore::with_capacity(count.min(MAX_PREALLOC_SETS) as usize, avg_hint.max(1));
+        let mut fragments = Vec::with_capacity(threads);
+        let mut bounds = Vec::with_capacity(threads + 1);
+        let mut blooms = Vec::with_capacity(threads * words);
+        bounds.push(0u64);
+        for (s, f, b) in shards {
+            merged.absorb(s);
+            fragments.push(f);
+            bounds.push(merged.len() as u64);
+            blooms.extend_from_slice(&b);
+        }
+        let index = CoverageIndex::from_fragments(fragments, n, threads);
+        debug_assert_eq!(
+            index,
+            CoverageIndex::build(&merged, n, 1),
+            "fused coverage index diverged from the standalone build"
+        );
+        let touch = TouchMap::from_parts(bounds, blooms, words);
+        debug_assert_eq!(
+            touch,
+            TouchMap::over_store(&merged, touch.bounds().to_vec(), words),
+            "fused touch blooms diverged from a store scan"
+        );
+        (merged, index, touch)
+    }
+
+    /// Resample exactly the sets flagged in `marks` against this
+    /// generator's (new) graph, splicing the rest byte-for-byte from
+    /// `store` — the incremental leg of a delta refresh.
+    ///
+    /// `store` and `touch` must come from a
+    /// [`ShardedGenerator::generate_indexed_touched`] run (or a spill
+    /// reload of one) whose `seed` equals this generator's: each marked set
+    /// re-derives its original per-set stream from its `(shard, local)`
+    /// coordinates in `touch`, so the result is **identical to a
+    /// from-scratch `generate_indexed_touched` on the new graph** with the
+    /// original `(seed, threads, count)` — provided `marks` covers every
+    /// set whose replay the graph change affects (the
+    /// [`crate::pool::SketchPool::invalidate`] contract). This generator's
+    /// own `threads` knob only sets regeneration concurrency; the output
+    /// bytes do not depend on it.
+    ///
+    /// Returns the spliced store, its rebuilt coverage index, and the
+    /// refreshed touch map (same shard geometry, blooms rescanned).
+    pub fn regenerate_marked(
+        &self,
+        store: &RrStore,
+        touch: &TouchMap,
+        marks: &[bool],
+        avg_hint: usize,
+        n: usize,
+    ) -> (RrStore, CoverageIndex, TouchMap) {
+        assert_eq!(marks.len(), store.len(), "marks must cover the store");
+        assert_eq!(
+            touch.bounds().last().copied(),
+            Some(store.len() as u64),
+            "touch map must describe the store"
+        );
+        let marked: Vec<usize> = (0..marks.len()).filter(|&i| marks[i]).collect();
+        let workers = self.threads.min(marked.len().max(1)).max(1);
+        let chunk_len = marked.len().div_ceil(workers);
+        let resample = |chunk: &[usize]| -> Vec<(Vec<NodeId>, u64)> {
+            let mut sampler = (self.factory)();
+            let mut fresh = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                let (tid, l) = touch.locate(i);
+                let mut rng = SmallRng::seed_from_u64(per_set_seed(self.seed, tid as u64, l));
+                let mut out = Vec::new();
+                let (_, width) = sampler.sample_random_with_width(&mut rng, &mut out);
+                fresh.push((out, width));
+            }
+            fresh
+        };
+        let fresh: Vec<(Vec<NodeId>, u64)> = if workers <= 1 || marked.len() <= 1 {
+            resample(&marked)
+        } else {
+            let mut parts: Vec<Vec<(Vec<NodeId>, u64)>> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk in marked.chunks(chunk_len) {
+                    let resample = &resample;
+                    handles.push(scope.spawn(move || resample(chunk)));
+                }
+                for h in handles {
+                    parts.push(h.join().expect("RR-regeneration worker panicked"));
+                }
+            });
+            parts.into_iter().flatten().collect()
+        };
+        let mut merged = RrStore::with_capacity(store.len(), avg_hint.max(1));
+        let mut next = 0usize;
+        for (i, &dirty) in marks.iter().enumerate() {
+            if dirty {
+                let (members, width) = &fresh[next];
+                next += 1;
+                merged.push_with_width(members, *width);
+            } else {
+                merged.push_with_width(store.set(i), store.width(i));
+            }
+        }
+        let index = CoverageIndex::build(&merged, n, self.threads);
+        let touch = TouchMap::over_store(&merged, touch.bounds().to_vec(), touch.words_per_shard());
+        (merged, index, touch)
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +471,101 @@ mod tests {
         assert_eq!(store.len(), 3);
         assert_eq!(index.num_sets(), 3);
         assert_eq!(index.total_entries(), store.total_members());
+    }
+
+    #[test]
+    fn generate_indexed_touched_is_deterministic_with_no_bloom_false_negatives() {
+        let g = test_graph();
+        let n = g.num_nodes();
+        for threads in [1, 2, 3, 8] {
+            let gen = ShardedGenerator::new(|| IcRrSampler::new(&g), 42, threads);
+            let (store, index, touch) = gen.generate_indexed_touched(997, 4, n);
+            let (store2, index2, touch2) = gen.generate_indexed_touched(997, 4, n);
+            assert_eq!(store, store2, "threads {threads}");
+            assert_eq!(index, index2);
+            assert_eq!(touch, touch2);
+            assert_eq!(store.len(), 997);
+            assert_eq!(index, crate::select::CoverageIndex::build(&store, n, 1));
+            // Shard geometry covers the store, and every member of every
+            // set registers in its shard's bloom (the no-false-negative
+            // contract delta screening relies on).
+            assert_eq!(touch.bounds().first(), Some(&0));
+            assert_eq!(touch.bounds().last(), Some(&(store.len() as u64)));
+            for shard in 0..touch.num_shards() {
+                for i in touch.shard_range(shard) {
+                    assert_eq!(touch.locate(i), (shard, (i as u64) - touch.bounds()[shard]));
+                    for &v in store.set(i) {
+                        assert!(touch.shard_may_touch(shard, v), "set {i} node {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regenerate_marked_equals_from_scratch_on_the_delta_graph() {
+        use comic_graph::delta::EdgeDelta;
+        let g = test_graph();
+        let n = g.num_nodes();
+        let seed = 77u64;
+        let orig_threads = 3;
+        let gen = ShardedGenerator::new(|| IcRrSampler::new(&g), seed, orig_threads);
+        let (store, _index, touch) = gen.generate_indexed_touched(600, 4, n);
+
+        // Remove one existing edge and reweight another.
+        let mut picks = Vec::new();
+        for v in g.nodes() {
+            let (srcs, _) = g.in_sources_probs(v);
+            if let Some(&w) = srcs.first() {
+                picks.push((w, v));
+                if picks.len() == 2 {
+                    break;
+                }
+            }
+        }
+        let deltas = vec![
+            EdgeDelta::Remove {
+                source: picks[0].0,
+                target: picks[0].1,
+            },
+            EdgeDelta::Reweight {
+                source: picks[1].0,
+                target: picks[1].1,
+                p: 0.9,
+            },
+        ];
+        let g2 = g.apply_deltas(&deltas).unwrap();
+
+        // Exact dirty marks: an IC replay only changes if the set visited a
+        // target whose in-run changed.
+        let targets = [picks[0].1, picks[1].1];
+        let marks: Vec<bool> = (0..store.len())
+            .map(|i| store.set(i).iter().any(|v| targets.contains(v)))
+            .collect();
+        assert!(marks.iter().any(|&m| m), "fixture must dirty some sets");
+        assert!(!marks.iter().all(|&m| m), "fixture must keep some sets");
+
+        let scratch = ShardedGenerator::new(|| IcRrSampler::new(&g2), seed, orig_threads)
+            .generate_indexed_touched(600, 4, n);
+        // Regeneration concurrency is a free knob: the spliced output is
+        // identical at every worker count and equals the from-scratch run.
+        for regen_threads in [1, 2, 8] {
+            let (rstore, rindex, rtouch) =
+                ShardedGenerator::new(|| IcRrSampler::new(&g2), seed, regen_threads)
+                    .regenerate_marked(&store, &touch, &marks, 4, n);
+            assert_eq!(rstore, scratch.0, "regen threads {regen_threads}");
+            assert_eq!(rindex, scratch.1);
+            assert_eq!(rtouch, scratch.2);
+        }
+        // Unmarked sets were spliced byte-for-byte.
+        let (rstore, _, _) = ShardedGenerator::new(|| IcRrSampler::new(&g2), seed, 2)
+            .regenerate_marked(&store, &touch, &marks, 4, n);
+        for (i, &dirty) in marks.iter().enumerate() {
+            if !dirty {
+                assert_eq!(rstore.set(i), store.set(i), "unmarked set {i} changed");
+                assert_eq!(rstore.width(i), store.width(i));
+            }
+        }
     }
 
     #[test]

@@ -132,10 +132,15 @@ impl RisPipeline {
         O: Fn(PoolStage),
     {
         let cfg = &self.cfg;
-        // One probe construction serves validation and the graph dimensions.
-        let (n, m) = {
+        // One probe construction serves validation, the graph dimensions,
+        // and the sampler's touch-tracking capability.
+        let (n, m, touch_capable) = {
             let probe = factory();
-            (probe.graph().num_nodes(), probe.graph().num_edges())
+            (
+                probe.graph().num_nodes(),
+                probe.graph().num_edges(),
+                probe.touch_is_members(),
+            )
         };
         cfg.validate(n)?;
 
@@ -153,11 +158,11 @@ impl RisPipeline {
         // resident index and later selections never re-scan the store.
         observe(PoolStage::Generate);
         let avg = (kpt.total_members / kpt.samples.max(1)).max(1) as usize;
-        let theta_seed = splitmix64(cfg.seed ^ 0x74_6865_7461);
-        let (store, index) = ShardedGenerator::new(&factory, theta_seed, cfg.threads)
-            .generate_indexed(theta_n, avg, n);
+        let (store, index, touch) =
+            ShardedGenerator::new(&factory, theta_stream_seed(cfg.seed), cfg.threads)
+                .generate_indexed_touched(theta_n, avg, n);
 
-        Ok(SketchPool::new(
+        let pool = SketchPool::new(
             Arc::new(store),
             n,
             cfg.seed,
@@ -167,7 +172,17 @@ impl RisPipeline {
             kpt.kpt,
             capped,
         )
-        .with_index(Arc::new(index)))
+        .with_index(Arc::new(index));
+        // Touch provenance only means "sets visiting a changed node are the
+        // dirty sets" for samplers whose members are their full visit set;
+        // attaching it to a touch-opaque sampler would make incremental
+        // invalidation silently unsound, so those pools stay untouched and
+        // the serving layer falls back to full rebuilds for them.
+        Ok(if touch_capable {
+            pool.with_touch(Arc::new(touch))
+        } else {
+            pool
+        })
     }
 
     /// Stage 4 alone over a pre-generated pool: run the configured
@@ -198,6 +213,65 @@ impl RisPipeline {
             cov,
         ))
     }
+}
+
+/// The generation-stage RNG anchor derived from a pool's configured seed —
+/// shared by [`RisPipeline::generate_pool_observed`] and the incremental
+/// [`refresh_pool_marked`], which must re-derive the exact per-set streams
+/// the pool was generated from.
+fn theta_stream_seed(seed: u64) -> u64 {
+    splitmix64(seed ^ 0x74_6865_7461)
+}
+
+/// Incrementally refresh a touch-tracked pool after a graph change:
+/// resample exactly the sets flagged in `marks` against the *new* graph
+/// (the one `factory`'s samplers walk), splicing every unmarked set
+/// byte-for-byte from the resident pool.
+///
+/// θ, KPT*, ε, and the capped flag are **frozen** from the pool's
+/// provenance — an incremental refresh answers "what do my θ sketches look
+/// like on the updated graph", not "what θ does the updated graph need".
+/// Provided `marks` covers every set the change affects (the
+/// [`SketchPool::invalidate`] contract), the result equals a from-scratch
+/// [`crate::parallel::ShardedGenerator::generate_indexed_touched`] on the
+/// new graph with the pool's original `(seed, threads, count)`; `threads`
+/// here only sets regeneration concurrency. The generation counter is
+/// carried over unchanged — callers bump it when they swap the pool in.
+///
+/// # Panics
+///
+/// If the pool carries no [`crate::touch::TouchMap`] (touch-opaque pools
+/// must be fully rebuilt instead) or `marks` does not cover its store.
+pub fn refresh_pool_marked<S, F>(
+    pool: &SketchPool,
+    marks: &[bool],
+    factory: F,
+    threads: usize,
+) -> SketchPool
+where
+    S: RrSampler,
+    F: Fn() -> S + Sync,
+{
+    let touch = pool
+        .touch_map()
+        .expect("incremental refresh needs touch provenance");
+    let store = pool.store();
+    let avg = (store.total_members() as usize / store.len().max(1)).max(1);
+    let gen = ShardedGenerator::new(factory, theta_stream_seed(pool.seed()), threads);
+    let (store, index, touch) = gen.regenerate_marked(store, touch, marks, avg, pool.num_nodes());
+    SketchPool::new(
+        Arc::new(store),
+        pool.num_nodes(),
+        pool.seed(),
+        pool.threads(),
+        pool.design_k(),
+        pool.epsilon(),
+        pool.kpt(),
+        pool.capped(),
+    )
+    .with_index(Arc::new(index))
+    .with_touch(Arc::new(touch))
+    .with_generation(pool.generation())
 }
 
 /// Stage 4 alone: build the inverted index over an existing `store` and run
@@ -413,6 +487,62 @@ mod tests {
         let cut = pool.prefix(pool.len() / 2);
         assert!(cut.coverage_index().is_none());
         assert!(pipe.run_on_pool(&cut).unwrap().capped);
+    }
+
+    #[test]
+    fn generated_pools_carry_touch_provenance_only_for_member_touch_samplers() {
+        let g = test_graph();
+        let pipe = RisPipeline::new(TimConfig::new(4).seed(21).max_rr_sets(10_000).threads(2));
+        let pool = pipe.generate_pool(|| IcRrSampler::new(&g)).unwrap();
+        let touch = pool.touch_map().expect("IC sampler is member-touch");
+        assert_eq!(touch.bounds().last(), Some(&(pool.len() as u64)));
+    }
+
+    #[test]
+    fn incremental_refresh_equals_from_scratch_generation_on_the_new_graph() {
+        use comic_graph::delta::EdgeDelta;
+        let g = test_graph();
+        let pipe = RisPipeline::new(TimConfig::new(4).seed(17).max_rr_sets(12_000).threads(3));
+        let pool = pipe.generate_pool(|| IcRrSampler::new(&g)).unwrap();
+
+        // Remove the first edge the graph exposes.
+        let (source, target) = g
+            .nodes()
+            .find_map(|v| g.in_sources_probs(v).0.first().map(|&w| (w, v)))
+            .expect("fixture has edges");
+        let deltas = [EdgeDelta::Remove { source, target }];
+        let g2 = g.apply_deltas(&deltas).unwrap();
+
+        let marks = pool.invalidate(&deltas).expect("touched pool");
+        let refreshed = refresh_pool_marked(&pool, &marks, || IcRrSampler::new(&g2), 2);
+
+        // Provenance (θ, KPT*, seed, threads) is frozen; only dirty sets'
+        // bytes move — and the result is exactly what a from-scratch
+        // per-set-seeded generation on the new graph would produce.
+        assert_eq!(refreshed.len(), pool.len());
+        assert_eq!(refreshed.seed(), pool.seed());
+        assert_eq!(refreshed.kpt(), pool.kpt());
+        let scratch = ShardedGenerator::new(
+            || IcRrSampler::new(&g2),
+            theta_stream_seed(pool.seed()),
+            pool.threads(),
+        )
+        .generate_indexed_touched(pool.len() as u64, 1, pool.num_nodes());
+        assert_eq!(refreshed.store(), &scratch.0);
+        assert_eq!(**refreshed.coverage_index().unwrap(), scratch.1);
+        // The refreshed touch map keeps the pool's original bloom width
+        // (the KPT-derived hint, not this test's); compare at the same
+        // geometry over the identical stores.
+        let rt = refreshed.touch_map().unwrap();
+        assert_eq!(rt.bounds(), scratch.2.bounds());
+        assert_eq!(
+            **rt,
+            crate::touch::TouchMap::over_store(
+                &scratch.0,
+                rt.bounds().to_vec(),
+                rt.words_per_shard()
+            )
+        );
     }
 
     #[test]

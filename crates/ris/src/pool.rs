@@ -30,6 +30,9 @@
 
 use crate::rr::RrStore;
 use crate::select::CoverageIndex;
+use crate::touch::TouchMap;
+use comic_graph::delta::EdgeDelta;
+use comic_graph::fasthash::FxHashSet;
 use comic_graph::NodeId;
 use std::sync::Arc;
 
@@ -43,6 +46,7 @@ use std::sync::Arc;
 pub struct SketchPool {
     store: Arc<RrStore>,
     index: Option<Arc<CoverageIndex>>,
+    touch: Option<Arc<TouchMap>>,
     n: usize,
     seed: u64,
     threads: usize,
@@ -73,6 +77,7 @@ impl SketchPool {
         SketchPool {
             store,
             index: None,
+            touch: None,
             n,
             seed,
             threads,
@@ -104,6 +109,75 @@ impl SketchPool {
     /// the full set range and cannot describe a truncation).
     pub fn coverage_index(&self) -> Option<&Arc<CoverageIndex>> {
         self.index.as_ref()
+    }
+
+    /// Attach the [`TouchMap`] recorded during a per-set-seeded generation
+    /// ([`crate::parallel::ShardedGenerator::generate_indexed_touched`]).
+    /// Only meaningful when the sampler's members are its touch set
+    /// ([`crate::sampler::RrSampler::touch_is_members`]); touch-opaque
+    /// pools keep `None` and are fully rebuilt on graph deltas.
+    pub fn with_touch(mut self, touch: Arc<TouchMap>) -> SketchPool {
+        assert_eq!(
+            touch.bounds().last().copied(),
+            Some(self.store.len() as u64),
+            "touch/store mismatch"
+        );
+        self.touch = Some(touch);
+        self
+    }
+
+    /// The resident touch map, when the pool carries one.
+    pub fn touch_map(&self) -> Option<&Arc<TouchMap>> {
+        self.touch.as_ref()
+    }
+
+    /// Mark the RR-sets whose replay a batch of edge deltas can change:
+    /// for member-touch samplers those are exactly the sets containing a
+    /// delta's **target** node (the node whose in-adjacency run changed).
+    ///
+    /// Returns `None` when the pool carries no touch provenance — the
+    /// caller must fall back to a full rebuild. Otherwise a mark vector
+    /// over the pool's sets: exact per-set marks when the resident
+    /// coverage index is available, conservative whole-shard marks (bloom
+    /// screened, no false negatives) without it. Delta targets outside the
+    /// pool's node universe are ignored (the compaction step rejects them
+    /// with typed errors before any invalidation runs).
+    pub fn invalidate(&self, deltas: &[EdgeDelta]) -> Option<Vec<bool>> {
+        let touch = self.touch.as_ref()?;
+        let mut marks = vec![false; self.len()];
+        let mut targets: Vec<NodeId> = deltas
+            .iter()
+            .map(EdgeDelta::target)
+            .filter(|v| v.index() < self.n)
+            .collect::<FxHashSet<_>>()
+            .into_iter()
+            .collect();
+        targets.sort_unstable();
+        match &self.index {
+            Some(index) => {
+                // The bloom is a cheap screen; the index is exact, so a
+                // shard whose bloom rejects every target contributes no
+                // sets and the per-set refinement never visits it.
+                for &v in &targets {
+                    if !touch.any_shard_may_touch(v) {
+                        continue;
+                    }
+                    for &s in index.sets_containing(v) {
+                        marks[s as usize] = true;
+                    }
+                }
+            }
+            None => {
+                for shard in 0..touch.num_shards() {
+                    if targets.iter().any(|&v| touch.shard_may_touch(shard, v)) {
+                        marks[touch.shard_range(shard)].iter_mut().for_each(|m| {
+                            *m = true;
+                        });
+                    }
+                }
+            }
+        }
+        Some(marks)
     }
 
     /// The shared RR-set arena.
@@ -186,8 +260,10 @@ impl SketchPool {
         SketchPool {
             store: Arc::new(self.store.prefix(sets)),
             // The resident index (if any) spans the full set range; a
-            // truncated pool must not inherit it.
+            // truncated pool must not inherit it. Same for the touch map:
+            // its shard bounds describe the untruncated store.
             index: None,
+            touch: None,
             capped: true,
             ..self.clone()
         }
@@ -297,6 +373,67 @@ mod tests {
         assert!(pool.prefix(10).coverage_index().is_none());
         // ...but an identity prefix (no truncation) keeps it.
         assert!(pool.prefix(pool.len()).coverage_index().is_some());
+    }
+
+    #[test]
+    fn invalidate_marks_exactly_the_dirty_sets_with_an_index() {
+        let g = gen::star(40, 0.6);
+        let (store, index, touch) = ShardedGenerator::new(|| IcRrSampler::new(&g), 9, 3)
+            .generate_indexed_touched(800, 2, 40);
+        let pool = SketchPool::new(Arc::new(store), 40, 9, 3, 5, 0.5, 1.0, false)
+            .with_index(Arc::new(index))
+            .with_touch(Arc::new(touch));
+        let deltas = [EdgeDelta::Remove {
+            source: NodeId(3),
+            target: NodeId(0),
+        }];
+        let marks = pool.invalidate(&deltas).expect("touched pool marks");
+        assert_eq!(marks.len(), pool.len());
+        for (i, &m) in marks.iter().enumerate() {
+            let dirty = pool.store().set(i).contains(&NodeId(0));
+            assert_eq!(m, dirty, "set {i}: exact marks with a resident index");
+        }
+        // Out-of-universe targets are ignored; an empty batch marks nothing.
+        let far = [EdgeDelta::Remove {
+            source: NodeId(0),
+            target: NodeId(9_999),
+        }];
+        assert!(pool.invalidate(&far).unwrap().iter().all(|&m| !m));
+        assert!(pool.invalidate(&[]).unwrap().iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn invalidate_without_index_is_a_conservative_superset() {
+        let g = gen::star(40, 0.6);
+        let (store, _index, touch) = ShardedGenerator::new(|| IcRrSampler::new(&g), 9, 3)
+            .generate_indexed_touched(800, 2, 40);
+        let store = Arc::new(store);
+        let pool = SketchPool::new(Arc::clone(&store), 40, 9, 3, 5, 0.5, 1.0, false)
+            .with_touch(Arc::new(touch));
+        let deltas = [EdgeDelta::Reweight {
+            source: NodeId(7),
+            target: NodeId(0),
+            p: 0.3,
+        }];
+        let marks = pool.invalidate(&deltas).expect("touched pool marks");
+        // No false negatives: every genuinely dirty set is marked (whole
+        // shards at a time without the index).
+        for (i, &m) in marks.iter().enumerate() {
+            if store.set(i).contains(&NodeId(0)) {
+                assert!(m, "dirty set {i} must be marked");
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_is_none_without_touch_provenance() {
+        let pool = pool_over_star();
+        assert!(pool
+            .invalidate(&[EdgeDelta::Remove {
+                source: NodeId(1),
+                target: NodeId(0),
+            }])
+            .is_none());
     }
 
     #[test]

@@ -43,6 +43,20 @@ pub trait RrSampler {
         out.iter().map(|&v| g.in_degree(v) as u64).sum()
     }
 
+    /// Whether this sampler's emitted members are exactly the nodes whose
+    /// in-adjacency runs its reverse search read — the precondition for
+    /// member-keyed touch tracking ([`crate::touch::TouchMap`]): an edge
+    /// delta on `(u, v)` can change a sampled set's replay only if `v` is
+    /// among the set's members.
+    ///
+    /// Defaults to `false` (touch-opaque): samplers that probe nodes they
+    /// do not emit (e.g. the Com-IC samplers' adoption tests against
+    /// non-member neighbours) must keep the default, and pools built from
+    /// them fall back to full rebuilds on graph deltas.
+    fn touch_is_members(&self) -> bool {
+        false
+    }
+
     /// Draw a uniformly random root. Overridable for models where certain
     /// roots are statically irrelevant.
     fn random_root<R: Rng>(&self, rng: &mut R) -> NodeId {

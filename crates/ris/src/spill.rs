@@ -13,23 +13,31 @@
 //! zero-copy under the mmap fast path, via one bulk read otherwise
 //! (`COMIC_MMAP=off`).
 //!
-//! # Layout (`COMICRRS` v1)
+//! # Layout (`COMICRRS` v2)
 //!
 //! Meta words: `[graph_digest, n, seed, threads, design_k, epsilon_bits,
-//! kpt_bits, capped, generation]` — the full provenance a
-//! [`SketchPool`] carries, plus the digest of the graph the sets were
-//! sampled over. Sections, in order:
+//! kpt_bits, capped, generation, touched, bloom_words]` — the full
+//! provenance a [`SketchPool`] carries, plus the digest of the graph the
+//! sets were sampled over, plus whether the pool records edge-touch
+//! provenance (`touched ∈ {0, 1}`; `bloom_words` is the per-shard bloom
+//! width and 0 when untouched). Sections, in order:
 //!
-//! | # | contents            | elements        |
-//! |---|---------------------|-----------------|
-//! | 0 | set offsets         | `(sets+1)×u64`  |
-//! | 1 | flat members        | `members×u32`   |
-//! | 2 | per-set widths      | `sets×u64`      |
-//! | 3 | index offsets       | `(n+1)×u64`     | (only for indexed pools)
-//! | 4 | index set ids       | `members×u32`   | (only for indexed pools)
+//! | # | contents            | elements          |
+//! |---|---------------------|-------------------|
+//! | 0 | set offsets         | `(sets+1)×u64`    |
+//! | 1 | flat members        | `members×u32`     |
+//! | 2 | per-set widths      | `sets×u64`        |
+//! |   | index offsets       | `(n+1)×u64`       | (only for indexed pools)
+//! |   | index set ids       | `members×u32`     | (only for indexed pools)
+//! |   | shard bounds        | `(shards+1)×u64`  | (only when touched)
+//! |   | shard blooms        | `shards×W×u64`    | (only when touched)
 //!
-//! Pools carrying a resident [`CoverageIndex`] spill it too (sections 3–4),
-//! so a warm reload skips both regeneration *and* the index build.
+//! Pools carrying a resident [`CoverageIndex`] spill it too, so a warm
+//! reload skips both regeneration *and* the index build; pools carrying a
+//! [`TouchMap`] spill their shard bounds and blooms as the trailing two
+//! sections, so a reloaded pool stays incrementally refreshable. v1 files
+//! (no touch meta) are rejected with [`GraphError::UnsupportedVersion`] —
+//! the serving layer observes that as a `spill_reject` and rebuilds.
 //!
 //! # Untrusted-header contract
 //!
@@ -46,6 +54,7 @@
 use crate::pool::SketchPool;
 use crate::rr::RrStore;
 use crate::select::CoverageIndex;
+use crate::touch::TouchMap;
 use comic_graph::store::{write_segment, Section, SectionData, SegmentFile, MAX_PLAUSIBLE_NODES};
 use comic_graph::{GraphError, NodeId};
 use std::fs::File;
@@ -56,12 +65,17 @@ use std::sync::Arc;
 /// Magic prefix of a pool spill file.
 pub const POOL_MAGIC: &[u8; 8] = b"COMICRRS";
 
-/// Format version written and required by this module.
-pub const POOL_FORMAT_VERSION: u32 = 1;
+/// Format version written and required by this module (v2 added the
+/// touch-provenance meta words and trailing sections).
+pub const POOL_FORMAT_VERSION: u32 = 2;
 
 /// Meta words: `[graph_digest, n, seed, threads, design_k, epsilon_bits,
-/// kpt_bits, capped, generation]`.
-const POOL_META_LEN: usize = 9;
+/// kpt_bits, capped, generation, touched, bloom_words]`.
+const POOL_META_LEN: usize = 11;
+
+/// Plausibility cap for the per-shard bloom width (words). The generator
+/// never exceeds `1 << 16`; anything larger is a crafted header.
+const MAX_PLAUSIBLE_BLOOM_WORDS: u64 = 1 << 20;
 
 fn corrupt(msg: impl Into<String>) -> GraphError {
     GraphError::Corrupt(msg.into())
@@ -73,6 +87,7 @@ fn corrupt(msg: impl Into<String>) -> GraphError {
 /// [`GraphError::StaleSource`], not silently wrong answers.
 pub fn write_pool<W: Write>(pool: &SketchPool, graph_digest: u64, w: W) -> Result<(), GraphError> {
     let store = pool.store();
+    let touch = pool.touch_map();
     let meta = [
         graph_digest,
         pool.num_nodes() as u64,
@@ -83,6 +98,8 @@ pub fn write_pool<W: Write>(pool: &SketchPool, graph_digest: u64, w: W) -> Resul
         pool.kpt().to_bits(),
         u64::from(pool.capped()),
         pool.generation(),
+        u64::from(touch.is_some()),
+        touch.map_or(0, |t| t.words_per_shard() as u64),
     ];
     let mut sections = vec![
         SectionData::U64(store.offsets_raw()),
@@ -92,6 +109,10 @@ pub fn write_pool<W: Write>(pool: &SketchPool, graph_digest: u64, w: W) -> Resul
     if let Some(index) = pool.coverage_index() {
         sections.push(SectionData::U64(index.offsets_raw()));
         sections.push(SectionData::U32(index.sets_raw()));
+    }
+    if let Some(t) = touch {
+        sections.push(SectionData::U64(t.bounds()));
+        sections.push(SectionData::U64(t.blooms()));
     }
     let mut w = BufWriter::new(w);
     write_segment(&mut w, POOL_MAGIC, POOL_FORMAT_VERSION, &meta, &sections)
@@ -128,10 +149,10 @@ pub fn read_pool_bytes(bytes: Vec<u8>, expected_graph: u64) -> Result<SketchPool
 }
 
 fn pool_from_segment(seg: SegmentFile, expected_graph: u64) -> Result<SketchPool, GraphError> {
-    let [graph_digest, n64, seed, threads64, design_k64, eps_bits, kpt_bits, capped64, generation] =
+    let [graph_digest, n64, seed, threads64, design_k64, eps_bits, kpt_bits, capped64, generation, touched64, bloom_words64] =
         seg.meta()
     else {
-        unreachable!("POOL_META_LEN is 9");
+        unreachable!("POOL_META_LEN is 11");
     };
     let (graph_digest, n64) = (*graph_digest, *n64);
 
@@ -160,6 +181,23 @@ fn pool_from_segment(seg: SegmentFile, expected_graph: u64) -> Result<SketchPool
             )))
         }
     };
+    let touched = match touched64 {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(corrupt(format!(
+                "touched flag must be 0 or 1, found {other}"
+            )))
+        }
+    };
+    let bloom_words = match (touched, *bloom_words64) {
+        (false, 0) => 0,
+        (false, w) => return Err(corrupt(format!("untouched pool declares bloom width {w}"))),
+        (true, w) if w == 0 || w > MAX_PLAUSIBLE_BLOOM_WORDS || !w.is_power_of_two() => {
+            return Err(corrupt(format!("implausible bloom width {w}")))
+        }
+        (true, w) => w as usize,
+    };
 
     // Integrity is proven by the segment digests; staleness ranks above
     // structure, matching the graph store's ordering.
@@ -170,12 +208,17 @@ fn pool_from_segment(seg: SegmentFile, expected_graph: u64) -> Result<SketchPool
         });
     }
 
-    let indexed = match seg.num_sections() {
-        3 => false,
-        5 => true,
-        other => {
+    // Section count disambiguation needs the touched flag: the two touch
+    // sections are always the trailing pair, so 5 sections means either
+    // "indexed, untouched" or "bare, touched".
+    let nsec = seg.num_sections();
+    let indexed = match (touched, nsec) {
+        (false, 3) | (true, 5) => false,
+        (false, 5) | (true, 7) => true,
+        _ => {
             return Err(corrupt(format!(
-                "pool spill needs 3 or 5 sections, found {other}"
+                "pool spill needs {} sections, found {nsec}",
+                if touched { "5 or 7" } else { "3 or 5" },
             )))
         }
     };
@@ -231,6 +274,34 @@ fn pool_from_segment(seg: SegmentFile, expected_graph: u64) -> Result<SketchPool
         None
     };
 
+    let touch = if touched {
+        let bounds_at = if indexed { 5 } else { 3 };
+        let bound_elems = seg.section_elems::<u64>(bounds_at)?;
+        let shards = bound_elems
+            .checked_sub(1)
+            .filter(|&s| s > 0)
+            .ok_or_else(|| corrupt("shard bounds section needs at least two entries"))?;
+        let bounds: Section<u64> = seg.section(bounds_at, shards + 1)?;
+        validate_csr(&bounds, sets as u64, "shard bounds")?;
+        let bloom_elems = shards
+            .checked_mul(bloom_words)
+            .ok_or_else(|| corrupt("bloom section size overflows"))?;
+        let declared = seg.section_elems::<u64>(bounds_at + 1)?;
+        if declared != bloom_elems {
+            return Err(corrupt(format!(
+                "bloom section holds {declared} words, expected {shards} shards × {bloom_words}"
+            )));
+        }
+        let blooms: Section<u64> = seg.section(bounds_at + 1, bloom_elems)?;
+        Some(TouchMap::from_parts(
+            bounds.to_vec(),
+            blooms.to_vec(),
+            bloom_words,
+        ))
+    } else {
+        None
+    };
+
     let store = RrStore::from_raw_parts(offsets, nodes, widths);
     let mut pool = SketchPool::new(
         Arc::new(store),
@@ -245,6 +316,9 @@ fn pool_from_segment(seg: SegmentFile, expected_graph: u64) -> Result<SketchPool
     .with_generation(*generation);
     if let Some(index) = index {
         pool = pool.with_index(Arc::new(index));
+    }
+    if let Some(touch) = touch {
+        pool = pool.with_touch(Arc::new(touch));
     }
     Ok(pool)
 }
@@ -318,6 +392,11 @@ mod tests {
             (None, None) => {}
             other => panic!("index presence mismatch: {:?}", other.0.is_some()),
         }
+        match (a.touch_map(), b.touch_map()) {
+            (Some(x), Some(y)) => assert_eq!(**x, **y),
+            (None, None) => {}
+            other => panic!("touch presence mismatch: {:?}", other.0.is_some()),
+        }
     }
 
     #[test]
@@ -365,6 +444,82 @@ mod tests {
         assert_eq!(store.len(), back.store().len() + 1);
     }
 
+    fn sample_touched_pool(g: &DiGraph, indexed: bool) -> SketchPool {
+        let (store, index, touch) = ShardedGenerator::new(|| IcRrSampler::new(g), 7, 2)
+            .generate_indexed_touched(400, 2, g.num_nodes());
+        let pool = SketchPool::new(Arc::new(store), g.num_nodes(), 7, 2, 5, 0.4, 1.25, false)
+            .with_generation(4)
+            .with_touch(Arc::new(touch));
+        if indexed {
+            pool.with_index(Arc::new(index))
+        } else {
+            pool
+        }
+    }
+
+    #[test]
+    fn touched_pool_round_trips_with_its_touch_map() {
+        let g = gen::star(24, 0.7);
+        let d = graph_digest(&g);
+        let pool = sample_touched_pool(&g, true);
+        let mut bytes = Vec::new();
+        write_pool(&pool, d, &mut bytes).unwrap();
+        let back = read_pool_bytes(bytes, d).unwrap();
+        assert_pools_equal(&pool, &back);
+        assert!(back.coverage_index().is_some());
+        assert!(back.touch_map().is_some());
+    }
+
+    #[test]
+    fn touched_pool_without_index_round_trips() {
+        // Exercises the 5-section "bare, touched" arm of the disambiguation.
+        let g = gen::path(15, 0.8);
+        let d = graph_digest(&g);
+        let pool = sample_touched_pool(&g, false);
+        let mut bytes = Vec::new();
+        write_pool(&pool, d, &mut bytes).unwrap();
+        let back = read_pool_bytes(bytes, d).unwrap();
+        assert_pools_equal(&pool, &back);
+        assert!(back.coverage_index().is_none());
+        assert!(back.touch_map().is_some());
+    }
+
+    #[test]
+    fn v1_spill_files_are_rejected_as_unsupported() {
+        // Re-encode a pool under the retired v1 layout (9 meta words, no
+        // touch provenance): the reader must refuse with a typed version
+        // error, which the serving layer surfaces as a spill reject.
+        let g = gen::path(6, 0.5);
+        let d = graph_digest(&g);
+        let pool = sample_pool(&g, false);
+        let store = pool.store();
+        let meta = [
+            d,
+            pool.num_nodes() as u64,
+            pool.seed(),
+            pool.threads() as u64,
+            pool.design_k() as u64,
+            pool.epsilon().to_bits(),
+            pool.kpt().to_bits(),
+            u64::from(pool.capped()),
+            pool.generation(),
+        ];
+        let sections = [
+            SectionData::U64(store.offsets_raw()),
+            SectionData::Nodes(store.nodes_raw()),
+            SectionData::U64(store.widths_raw()),
+        ];
+        let mut bytes = Vec::new();
+        write_segment(&mut bytes, POOL_MAGIC, 1, &meta, &sections).unwrap();
+        match read_pool_bytes(bytes, d) {
+            Err(GraphError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, 1);
+                assert_eq!(supported, POOL_FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
     #[test]
     fn stale_graph_digest_is_typed() {
         let g = gen::path(8, 0.5);
@@ -388,7 +543,7 @@ mod tests {
         let pool = sample_pool(&g, true);
         let mut bytes = Vec::new();
         write_pool(&pool, d, &mut bytes).unwrap();
-        // Prefix = magic(8) + version(4) + meta(72) + count(4) + digest(8).
+        // Prefix = magic(8) + version(4) + meta(88) + count(4) + digest(8).
         let prefix = 8 + 4 + 8 * POOL_META_LEN + 4 + 8;
         for byte in 0..prefix {
             for bit in 0..8 {

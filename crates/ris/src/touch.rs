@@ -1,0 +1,224 @@
+//! Edge-touch provenance for incremental sketch maintenance.
+//!
+//! A reverse-BFS RR-sample only ever reads the **in**-adjacency runs of the
+//! nodes it visits, so an edge delta on `(u, v)` can change a set's replay
+//! only if the set visited `v` (see [`crate::sampler::RrSampler::touch_is_members`]
+//! for when "visited" coincides with the recorded members). A [`TouchMap`]
+//! summarizes that dependency per generation shard: for every shard, a
+//! fixed-width Fx-hashed bloom filter over the member nodes its sets
+//! visited, plus the shard's set-index bounds. Deltas are screened against
+//! the blooms (no false negatives — an untouched verdict is definitive) and
+//! the bounds recover each set's original `(shard, local)` coordinates, so
+//! [`crate::parallel::ShardedGenerator::regenerate_marked`] can re-derive
+//! the exact per-set RNG seed the set was first sampled with.
+
+use std::ops::Range;
+
+use comic_graph::fasthash::splitmix64;
+use comic_graph::NodeId;
+
+use crate::rr::RrStore;
+
+/// Salt folded into the bloom probes so node-keyed hashes here are
+/// independent of every other Fx stream in the workspace.
+const BLOOM_SALT: u64 = 0x746f_7563_685f_6d61; // "touch_ma"
+
+/// Pick the bloom width (in 64-bit words, always a power of two) for shards
+/// expected to record about `expected_entries` member entries: ~8 bits per
+/// entry keeps the false-positive rate low without bloating spill files.
+pub fn bloom_words_for(expected_entries: usize) -> usize {
+    (expected_entries / 8)
+        .max(1)
+        .next_power_of_two()
+        .clamp(8, 1 << 16)
+}
+
+/// Per-shard member-node blooms plus shard set-index bounds — the
+/// provenance a [`crate::pool::SketchPool`] needs to invalidate and
+/// deterministically regenerate individual RR-sets after graph deltas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TouchMap {
+    /// Set-index boundaries per generation shard, in shard (tid) order:
+    /// shard `s` produced sets `bounds[s]..bounds[s + 1]`. Length
+    /// `num_shards + 1`, starts at 0, ends at the store's set count.
+    bounds: Vec<u64>,
+    /// Flattened blooms, `num_shards × words` words.
+    blooms: Vec<u64>,
+    /// Bloom width per shard, in 64-bit words (a power of two).
+    words: usize,
+}
+
+impl TouchMap {
+    /// Assemble a map from already-built parts. Panics on structural
+    /// mismatch — spill reloads validate before calling this.
+    pub fn from_parts(bounds: Vec<u64>, blooms: Vec<u64>, words: usize) -> TouchMap {
+        assert!(
+            words.is_power_of_two(),
+            "bloom words must be a power of two"
+        );
+        assert!(!bounds.is_empty(), "bounds need at least one entry");
+        assert_eq!(
+            blooms.len(),
+            (bounds.len() - 1) * words,
+            "bloom area disagrees with shard count"
+        );
+        TouchMap {
+            bounds,
+            blooms,
+            words,
+        }
+    }
+
+    /// Build a map by scanning `store`'s members shard by shard — how
+    /// regeneration refreshes the blooms after splicing in resampled sets.
+    pub fn over_store(store: &RrStore, bounds: Vec<u64>, words: usize) -> TouchMap {
+        assert_eq!(
+            bounds.last().copied(),
+            Some(store.len() as u64),
+            "shard bounds must cover the store"
+        );
+        let shards = bounds.len() - 1;
+        let mut blooms = vec![0u64; shards * words];
+        for s in 0..shards {
+            let bloom = &mut blooms[s * words..(s + 1) * words];
+            for i in bounds[s] as usize..bounds[s + 1] as usize {
+                for &v in store.set(i) {
+                    bloom_insert(bloom, v);
+                }
+            }
+        }
+        TouchMap::from_parts(bounds, blooms, words)
+    }
+
+    /// Number of generation shards.
+    pub fn num_shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Bloom width per shard, in 64-bit words.
+    pub fn words_per_shard(&self) -> usize {
+        self.words
+    }
+
+    /// The shard set-index boundaries (length `num_shards + 1`).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// The flattened bloom words (`num_shards × words_per_shard`).
+    pub fn blooms(&self) -> &[u64] {
+        &self.blooms
+    }
+
+    /// Set-index range of shard `s`.
+    pub fn shard_range(&self, s: usize) -> Range<usize> {
+        self.bounds[s] as usize..self.bounds[s + 1] as usize
+    }
+
+    /// Recover the `(shard, local_index)` coordinates set `i` was sampled
+    /// at — the inputs to its per-set RNG seed.
+    pub fn locate(&self, i: usize) -> (usize, u64) {
+        debug_assert!((i as u64) < *self.bounds.last().expect("non-empty bounds"));
+        // partition_point: first bound strictly greater than i, minus one.
+        let shard = self.bounds.partition_point(|&b| b <= i as u64) - 1;
+        (shard, i as u64 - self.bounds[shard])
+    }
+
+    /// Whether shard `s`'s bloom admits node `v`. False is definitive (no
+    /// set in the shard visited `v`); true may be a false positive.
+    pub fn shard_may_touch(&self, s: usize, v: NodeId) -> bool {
+        bloom_contains(&self.blooms[s * self.words..(s + 1) * self.words], v)
+    }
+
+    /// Whether ANY shard's bloom admits node `v`.
+    pub fn any_shard_may_touch(&self, v: NodeId) -> bool {
+        (0..self.num_shards()).any(|s| self.shard_may_touch(s, v))
+    }
+}
+
+fn bloom_probes(words: usize, v: NodeId) -> (usize, u64, usize, u64) {
+    let bits = (words * 64) as u64; // power of two
+    let h = splitmix64(u64::from(v.0) ^ BLOOM_SALT);
+    let b1 = h & (bits - 1);
+    let b2 = (h >> 32) & (bits - 1);
+    (
+        (b1 / 64) as usize,
+        1u64 << (b1 % 64),
+        (b2 / 64) as usize,
+        1u64 << (b2 % 64),
+    )
+}
+
+/// Insert `v` into a single shard's bloom slice.
+pub(crate) fn bloom_insert(bloom: &mut [u64], v: NodeId) {
+    let (w1, m1, w2, m2) = bloom_probes(bloom.len(), v);
+    bloom[w1] |= m1;
+    bloom[w2] |= m2;
+}
+
+fn bloom_contains(bloom: &[u64], v: NodeId) -> bool {
+    let (w1, m1, w2, m2) = bloom_probes(bloom.len(), v);
+    bloom[w1] & m1 != 0 && bloom[w2] & m2 != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bloom_width_scales_and_stays_a_power_of_two() {
+        assert_eq!(bloom_words_for(0), 8);
+        assert_eq!(bloom_words_for(64), 8);
+        assert_eq!(bloom_words_for(10_000), 2048);
+        for e in [0, 1, 7, 100, 5_000, 1 << 24] {
+            assert!(bloom_words_for(e).is_power_of_two());
+            assert!((8..=1 << 16).contains(&bloom_words_for(e)));
+        }
+    }
+
+    #[test]
+    fn inserted_nodes_are_always_admitted() {
+        let mut bloom = vec![0u64; 8];
+        for v in (0..512).step_by(3) {
+            bloom_insert(&mut bloom, NodeId(v));
+        }
+        for v in (0..512).step_by(3) {
+            assert!(bloom_contains(&bloom, NodeId(v)), "node {v}");
+        }
+    }
+
+    #[test]
+    fn sparse_blooms_reject_most_foreign_nodes() {
+        let mut bloom = vec![0u64; 64];
+        for v in 0..32 {
+            bloom_insert(&mut bloom, NodeId(v));
+        }
+        let false_positives = (1_000..3_000)
+            .filter(|&v| bloom_contains(&bloom, NodeId(v)))
+            .count();
+        assert!(false_positives < 200, "{false_positives} false positives");
+    }
+
+    #[test]
+    fn locate_inverts_the_shard_bounds() {
+        let map = TouchMap::from_parts(vec![0, 4, 4, 9], vec![0; 3 * 8], 8);
+        assert_eq!(map.num_shards(), 3);
+        assert_eq!(map.shard_range(0), 0..4);
+        assert_eq!(map.shard_range(1), 4..4);
+        assert_eq!(map.shard_range(2), 4..9);
+        assert_eq!(map.locate(0), (0, 0));
+        assert_eq!(map.locate(3), (0, 3));
+        assert_eq!(map.locate(4), (2, 0));
+        assert_eq!(map.locate(8), (2, 4));
+    }
+
+    #[test]
+    fn shard_blooms_are_independent() {
+        let mut blooms = vec![0u64; 2 * 8];
+        bloom_insert(&mut blooms[0..8], NodeId(5));
+        let map = TouchMap::from_parts(vec![0, 1, 2], blooms, 8);
+        assert!(map.shard_may_touch(0, NodeId(5)));
+        assert!(!map.shard_may_touch(1, NodeId(5)));
+        assert!(map.any_shard_may_touch(NodeId(5)));
+    }
+}

@@ -39,6 +39,11 @@ OPTIONS:
   --tcp <addr>                   serve on a TCP listener (e.g.
                                  127.0.0.1:7717) instead of stdio
   --refresh-ms <n>               background-refresh all pools every n ms
+                                 (a sweep with queued edge deltas applies
+                                 them incrementally instead)
+  --max-stale-deltas <n>         delta batches larger than n rebuild every
+                                 pool from scratch instead of refitting
+                                 incrementally (default: 1000)
   --inflight-cap <n|none>        admit at most n concurrent queries; the
                                  rest shed with a typed 'overloaded' error
                                  (default: none)
@@ -146,6 +151,12 @@ fn main() -> ExitCode {
                 .and_then(|v| v.parse().map_err(|e| format!("--refresh-ms: {e}")))
             {
                 Ok(v) => refresh_ms = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--max-stale-deltas" => match value("--max-stale-deltas")
+                .and_then(|v| v.parse().map_err(|e| format!("--max-stale-deltas: {e}")))
+            {
+                Ok(v) => cfg.max_stale_deltas = v,
                 Err(e) => return fail(&e),
             },
             "--inflight-cap" => match value("--inflight-cap") {

@@ -124,8 +124,51 @@ fn validate_schema(v: &Json) -> Result<(), String> {
     match v.get("bench").and_then(Json::as_str) {
         Some("serving") => validate_serving_schema(v),
         Some("seed_selection") => validate_seed_selection_schema(v),
-        _ => Err("field \"bench\" must be \"serving\" or \"seed_selection\"".into()),
+        Some("incremental") => validate_incremental_schema(v),
+        _ => Err(
+            "field \"bench\" must be \"serving\", \"seed_selection\", or \"incremental\"".into(),
+        ),
     }
+}
+
+/// Required schema of a `BENCH_incremental.json` snapshot: graph
+/// provenance, pool size, and per-ratio run rows pairing the incremental
+/// refit against the full rebuild it replaces.
+fn validate_incremental_schema(v: &Json) -> Result<(), String> {
+    v.get("graph")
+        .and_then(Json::as_obj)
+        .ok_or("missing object field \"graph\"")?;
+    for f in ["sketches", "threads"] {
+        if v.get(f).and_then(Json::as_f64).is_none() {
+            return Err(format!("missing numeric field {f:?}"));
+        }
+    }
+    let runs = v
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"runs\"")?;
+    if runs.is_empty() {
+        return Err("\"runs\" must be non-empty".into());
+    }
+    let mut labels = Vec::new();
+    for (i, r) in runs.iter().enumerate() {
+        let label = r
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("runs[{i}]: missing \"label\""))?;
+        labels.push(label.to_string());
+        for f in ["delta_bp", "secs", "sets_regenerated", "total_sets"] {
+            if r.get(f).and_then(Json::as_f64).is_none() {
+                return Err(format!("runs[{i}] ({label}): missing numeric {f:?}"));
+            }
+        }
+    }
+    for prefix in ["incremental/", "full_rebuild/"] {
+        if !labels.iter().any(|l| l.starts_with(prefix)) {
+            return Err(format!("no run labelled with prefix {prefix:?}"));
+        }
+    }
+    Ok(())
 }
 
 /// Required schema of a `BENCH_seed_selection.json` snapshot: graph and

@@ -202,6 +202,20 @@ pub enum Request {
         /// [`Request::Select::deadline_ms`]).
         deadline_ms: Option<u64>,
     },
+    /// Queue (and optionally apply) a batch of edge deltas against the
+    /// served graph. Queued deltas take effect at the next apply — either
+    /// `apply: true` on a later delta request or the background
+    /// refresher's incremental pass.
+    Delta {
+        /// Edges to add, `(source, target, probability)`.
+        add: Vec<(u32, u32, f64)>,
+        /// Edges to remove, `(source, target)`.
+        remove: Vec<(u32, u32)>,
+        /// Edges to reweight, `(source, target, new probability)`.
+        reweight: Vec<(u32, u32, f64)>,
+        /// Apply the whole pending queue (including these deltas) now.
+        apply: bool,
+    },
     /// A batch of non-batch requests answered in one response line.
     Batch(Vec<Request>),
 }
@@ -250,6 +264,7 @@ fn request_from_json(v: &Json, allow_batch: bool) -> Result<Request, ProtoError>
         "refresh" => &["op", "pool"],
         "select" => &["op", "pool", "k", "selector", "budget", "deadline_ms"],
         "estimate" => &["op", "pool", "seeds", "budget", "deadline_ms"],
+        "delta" => &["op", "add", "remove", "reweight", "apply"],
         "batch" => &["op", "requests"],
         other => return Err(invalid(format!("unknown op {other:?}"))),
     };
@@ -330,6 +345,64 @@ fn request_from_json(v: &Json, allow_batch: bool) -> Result<Request, ProtoError>
                 deadline_ms: positive("deadline_ms")?,
             })
         }
+        "delta" => {
+            let node = |e: &Json, field: &str| -> Result<u32, ProtoError> {
+                e.as_u64()
+                    .filter(|&x| x <= u32::MAX as u64)
+                    .map(|x| x as u32)
+                    .ok_or_else(|| invalid(format!("'{field}' entries need u32 node ids")))
+            };
+            let edges =
+                |field: &'static str, weighted: bool| -> Result<Vec<(u32, u32, f64)>, ProtoError> {
+                    let arity = if weighted { 3 } else { 2 };
+                    match v.get(field) {
+                        None => Ok(Vec::new()),
+                        Some(raw) => raw
+                            .as_arr()
+                            .ok_or_else(|| invalid(format!("'{field}' must be an array of edges")))?
+                            .iter()
+                            .map(|e| {
+                                let parts =
+                                    e.as_arr().filter(|p| p.len() == arity).ok_or_else(|| {
+                                        invalid(format!(
+                                            "'{field}' entries must be {arity}-element arrays"
+                                        ))
+                                    })?;
+                                let s = node(&parts[0], field)?;
+                                let t = node(&parts[1], field)?;
+                                let p = if weighted {
+                                    parts[2]
+                                        .as_f64()
+                                        .filter(|p| p.is_finite() && *p > 0.0 && *p <= 1.0)
+                                        .ok_or_else(|| {
+                                            invalid(format!(
+                                                "'{field}' probabilities must be finite in (0, 1]"
+                                            ))
+                                        })?
+                                } else {
+                                    0.0
+                                };
+                                Ok((s, t, p))
+                            })
+                            .collect(),
+                    }
+                };
+            let apply = match v.get("apply") {
+                None => false,
+                Some(b) => b
+                    .as_bool()
+                    .ok_or_else(|| invalid("'apply' must be a boolean"))?,
+            };
+            Ok(Request::Delta {
+                add: edges("add", true)?,
+                remove: edges("remove", false)?
+                    .into_iter()
+                    .map(|(s, t, _)| (s, t))
+                    .collect(),
+                reweight: edges("reweight", true)?,
+                apply,
+            })
+        }
         "batch" => {
             if !allow_batch {
                 return Err(invalid("'batch' may not nest"));
@@ -405,6 +478,54 @@ impl Request {
                 }
                 if let Some(d) = deadline_ms {
                     m.push(("deadline_ms", build::num_u64(*d)));
+                }
+                build::obj(m)
+            }
+            Request::Delta {
+                add,
+                remove,
+                reweight,
+                apply,
+            } => {
+                let weighted = |edges: &[(u32, u32, f64)]| {
+                    Json::Arr(
+                        edges
+                            .iter()
+                            .map(|&(s, t, p)| {
+                                Json::Arr(vec![
+                                    build::num_u64(s as u64),
+                                    build::num_u64(t as u64),
+                                    build::num(p),
+                                ])
+                            })
+                            .collect(),
+                    )
+                };
+                let mut m = vec![("op", build::str("delta"))];
+                if !add.is_empty() {
+                    m.push(("add", weighted(add)));
+                }
+                if !remove.is_empty() {
+                    m.push((
+                        "remove",
+                        Json::Arr(
+                            remove
+                                .iter()
+                                .map(|&(s, t)| {
+                                    Json::Arr(vec![
+                                        build::num_u64(s as u64),
+                                        build::num_u64(t as u64),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                if !reweight.is_empty() {
+                    m.push(("reweight", weighted(reweight)));
+                }
+                if *apply {
+                    m.push(("apply", Json::Bool(true)));
                 }
                 build::obj(m)
             }
@@ -595,6 +716,17 @@ pub enum Response {
         /// Requests whose deadline elapsed before the answer was ready
         /// (answered `deadline_exceeded`, partial work discarded).
         deadline_misses: u64,
+        /// Spill files rejected at load (corrupt, provenance-mismatched,
+        /// or unreadable — each also warned to stderr). A missing file is
+        /// a cold start, not a reject.
+        spill_rejects: u64,
+        /// RR-sets marked dirty by delta invalidation across all pools.
+        sets_invalidated: u64,
+        /// RR-sets resampled by the incremental refresh path.
+        sets_regenerated: u64,
+        /// Pools rebuilt from scratch on a delta apply (touch-opaque
+        /// sampler or staleness bound exceeded).
+        full_rebuilds: u64,
         /// Per-pool rows, key order.
         pools: Vec<PoolStats>,
     },
@@ -602,6 +734,20 @@ pub enum Response {
     Refreshed {
         /// The new pool's identity/provenance (generation incremented).
         pool: PoolMeta,
+    },
+    /// Reply to `delta`.
+    Deltas {
+        /// Deltas still queued after this request.
+        pending: u64,
+        /// Deltas folded into the graph by this request (0 unless
+        /// `apply` was set).
+        applied: u64,
+        /// Running total of RR-sets marked dirty (service lifetime).
+        sets_invalidated: u64,
+        /// Running total of RR-sets resampled incrementally.
+        sets_regenerated: u64,
+        /// Running total of from-scratch pool rebuilds on delta applies.
+        full_rebuilds: u64,
     },
     /// Reply to `shutdown` (sent before the drain completes).
     ShuttingDown,
@@ -692,6 +838,10 @@ impl Response {
                 pool_builds,
                 shed,
                 deadline_misses,
+                spill_rejects,
+                sets_invalidated,
+                sets_regenerated,
+                full_rebuilds,
                 pools,
             } => build::obj(vec![
                 ("ok", Json::Bool(true)),
@@ -704,6 +854,10 @@ impl Response {
                 ("pool_builds", build::num_u64(*pool_builds)),
                 ("shed", build::num_u64(*shed)),
                 ("deadline_misses", build::num_u64(*deadline_misses)),
+                ("spill_rejects", build::num_u64(*spill_rejects)),
+                ("sets_invalidated", build::num_u64(*sets_invalidated)),
+                ("sets_regenerated", build::num_u64(*sets_regenerated)),
+                ("full_rebuilds", build::num_u64(*full_rebuilds)),
                 (
                     "pools",
                     Json::Arr(
@@ -727,6 +881,21 @@ impl Response {
                 ("ok", Json::Bool(true)),
                 ("op", build::str("refresh")),
                 ("pool", pool.to_json()),
+            ]),
+            Response::Deltas {
+                pending,
+                applied,
+                sets_invalidated,
+                sets_regenerated,
+                full_rebuilds,
+            } => build::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", build::str("delta")),
+                ("pending", build::num_u64(*pending)),
+                ("applied", build::num_u64(*applied)),
+                ("sets_invalidated", build::num_u64(*sets_invalidated)),
+                ("sets_regenerated", build::num_u64(*sets_regenerated)),
+                ("full_rebuilds", build::num_u64(*full_rebuilds)),
             ]),
             Response::ShuttingDown => build::obj(vec![
                 ("ok", Json::Bool(true)),
@@ -854,6 +1023,18 @@ mod tests {
                 budget: None,
                 deadline_ms: Some(1),
             },
+            Request::Delta {
+                add: vec![(3, 9, 0.25), (0, 1, 1.0)],
+                remove: vec![(7, 2)],
+                reweight: vec![(4, 4, 0.5)],
+                apply: true,
+            },
+            Request::Delta {
+                add: vec![],
+                remove: vec![],
+                reweight: vec![],
+                apply: false,
+            },
             Request::Batch(vec![Request::Ping, Request::Stats]),
         ];
         for req in cases {
@@ -884,6 +1065,14 @@ mod tests {
             "{\"op\":\"batch\",\"requests\":[{\"op\":\"batch\",\"requests\":[]}]}", // nested
             "{\"op\":\"batch\",\"requests\":{}}",
             "{\"op\":\"refresh\"}",
+            "{\"op\":\"delta\",\"add\":[[0,1]]}",              // missing probability
+            "{\"op\":\"delta\",\"add\":[[0,1,0.0]]}",          // p out of (0, 1]
+            "{\"op\":\"delta\",\"add\":[[0,1,1.5]]}",          // p > 1
+            "{\"op\":\"delta\",\"remove\":[[0,1,0.5]]}",       // remove carries no p
+            "{\"op\":\"delta\",\"reweight\":[[0,-1,0.5]]}",    // negative node id
+            "{\"op\":\"delta\",\"add\":{}}",                   // not an array
+            "{\"op\":\"delta\",\"apply\":1}",                  // apply not a bool
+            "{\"op\":\"delta\",\"pool\":\"rr-sim/default/mid\"}", // unknown field
         ] {
             let e = parse_request(bad).expect_err(&format!("{bad:?} must be rejected"));
             assert!(!e.to_string().is_empty());
@@ -936,6 +1125,26 @@ mod tests {
             "{}",
             d.to_line()
         );
+        let deltas = Response::Deltas {
+            pending: 2,
+            applied: 5,
+            sets_invalidated: 40,
+            sets_regenerated: 38,
+            full_rebuilds: 1,
+        };
+        assert_eq!(
+            deltas.to_line(),
+            "{\"ok\":true,\"op\":\"delta\",\"pending\":2,\"applied\":5,\
+             \"sets_invalidated\":40,\"sets_regenerated\":38,\"full_rebuilds\":1}"
+        );
+        // A delta request's wire form omits empty arrays and a false apply.
+        let sparse = Request::Delta {
+            add: vec![],
+            remove: vec![(7, 2)],
+            reweight: vec![],
+            apply: false,
+        };
+        assert_eq!(sparse.to_line(), "{\"op\":\"delta\",\"remove\":[[7,2]]}");
         let e = Response::Error {
             code: ErrorCode::UnknownPool,
             message: "no pool".into(),

@@ -34,18 +34,18 @@ use comic_algos::rr_sim_plus::RrSimPlusSampler;
 use comic_bench::datasets;
 use comic_core::Gap;
 use comic_graph::fasthash::splitmix64;
-use comic_graph::{DiGraph, NodeId};
+use comic_graph::{DiGraph, EdgeDelta, NodeId};
 use comic_ris::ic_sampler::IcRrSampler;
-use comic_ris::pipeline::PoolStage;
+use comic_ris::pipeline::{refresh_pool_marked, PoolStage};
 use comic_ris::select::SelectorKind;
 use comic_ris::tim::TimConfig;
 use comic_ris::{spill, RisPipeline, SketchPool};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Static configuration of a service instance. Everything that affects
@@ -100,6 +100,12 @@ pub struct ServeConfig {
     /// 0`), and every successful build or refresh re-spills. `None` (the
     /// default) disables persistence entirely.
     pub pool_dir: Option<PathBuf>,
+    /// Staleness bound for the incremental delta path: when a single apply
+    /// folds more than this many queued deltas, every pool is rebuilt from
+    /// scratch instead of incrementally resampled — past the bound, the
+    /// invalidation sweep would mark most of the pool anyway, and a fresh
+    /// generation is both cheaper and re-tightens θ to the new graph.
+    pub max_stale_deltas: u64,
 }
 
 impl ServeConfig {
@@ -120,6 +126,7 @@ impl ServeConfig {
             sketch_cost_ns: 2_000,
             faults: FaultPlan::none(),
             pool_dir: None,
+            max_stale_deltas: 1_000,
         }
     }
 
@@ -196,18 +203,40 @@ struct PoolEntry {
     queries: Arc<AtomicU64>,
 }
 
+/// The served graph plus its content digest, swapped as one unit when a
+/// delta batch is applied (queries racing an apply see either the old
+/// graph or the new one, never a torn pair).
+#[derive(Debug)]
+struct GraphState {
+    graph: Arc<DiGraph>,
+    /// `comic_graph::io::graph_digest` of the served graph — recorded in
+    /// every pool spill so a reload against a different graph is typed
+    /// stale, never silently wrong.
+    digest: u64,
+}
+
+/// How a spill reload attempt ended — the distinction
+/// [`ComicService::try_load_spilled`] must never flatten: a missing file
+/// is an expected cold start, while a file that *exists* but cannot be
+/// served is an observable fault (stderr warning + `spill_rejects`).
+enum SpillLoad {
+    /// The spill matched the graph digest and this config's provenance.
+    Loaded(SketchPool),
+    /// No spill on disk (or persistence is disabled) — a silent cold start.
+    Missing,
+    /// A spill exists but is unusable: corrupt, unreadable, written for a
+    /// different graph, or carrying another config's provenance.
+    Rejected(String),
+}
+
 /// The long-running query service (tentpole of the serving layer). Owns
 /// the graph and pools; [`ComicService::handle`] is safe to call from any
 /// number of threads concurrently.
 #[derive(Debug)]
 pub struct ComicService {
     cfg: ServeConfig,
-    graph: Arc<DiGraph>,
+    graph: RwLock<GraphState>,
     graph_name: String,
-    /// `comic_graph::io::graph_digest` of the loaded graph — recorded in
-    /// every pool spill so a reload against a different graph is typed
-    /// stale, never silently wrong.
-    graph_digest: u64,
     presets: BTreeMap<String, Gap>,
     other_seeds: Vec<NodeId>,
     pools: RwLock<BTreeMap<PoolKey, PoolEntry>>,
@@ -217,6 +246,16 @@ pub struct ComicService {
     in_flight: AtomicU64,
     shed: AtomicU64,
     deadline_misses: AtomicU64,
+    /// Edge deltas accepted but not yet folded into the served graph.
+    pending_deltas: Mutex<Vec<EdgeDelta>>,
+    /// Deltas folded into the served graph since start. Non-zero disables
+    /// pool spilling: spill files describe the on-disk dataset, and a
+    /// post-delta pool would lie to the next cold start.
+    deltas_applied: AtomicU64,
+    spill_rejects: AtomicU64,
+    sets_invalidated: AtomicU64,
+    sets_regenerated: AtomicU64,
+    full_rebuilds: AtomicU64,
     draining: AtomicBool,
     started: Instant,
 }
@@ -351,9 +390,11 @@ impl ComicService {
         let faults = cfg.faults.arm();
         let svc = ComicService {
             cfg,
-            graph,
+            graph: RwLock::new(GraphState {
+                graph,
+                digest: graph_digest,
+            }),
             graph_name,
-            graph_digest,
             presets,
             other_seeds,
             pools: RwLock::new(BTreeMap::new()),
@@ -363,21 +404,39 @@ impl ComicService {
             in_flight: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             deadline_misses: AtomicU64::new(0),
+            pending_deltas: Mutex::new(Vec::new()),
+            deltas_applied: AtomicU64::new(0),
+            spill_rejects: AtomicU64::new(0),
+            sets_invalidated: AtomicU64::new(0),
+            sets_regenerated: AtomicU64::new(0),
+            full_rebuilds: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             started: Instant::now(),
         };
+
+        // A `.tmp` next to a spill is the debris of a crash between
+        // temp-write and rename; nothing ever reads one, so clear them
+        // before warming rather than letting them accumulate.
+        if let Some(dir) = svc.cfg.pool_dir.as_deref() {
+            sweep_stale_tmp(dir);
+        }
 
         // Startup warming never injects build faults: a service must fail
         // *loudly* at start, not come up half-warm under a chaos plan.
         // With a pool directory configured, a spill whose graph digest and
         // generation provenance check out is installed *without sampling*
-        // (`pool_builds` stays 0 across a clean restart); anything else —
-        // missing, stale, corrupt, or provenance-mismatched — falls
-        // through to a fresh build, which is then re-spilled.
+        // (`pool_builds` stays 0 across a clean restart); anything else
+        // falls through to a fresh build, which is then re-spilled — and
+        // only a *missing* file does so silently. A spill that exists but
+        // cannot be served is warned to stderr and counted in
+        // `spill_rejects`.
         for key in svc.cfg.pools.clone() {
             let pool = match svc.try_load_spilled(&key) {
-                Some(pool) => pool,
-                None => {
+                SpillLoad::Loaded(pool) => pool,
+                cold => {
+                    if let SpillLoad::Rejected(why) = cold {
+                        svc.note_spill_reject(&key, &why);
+                    }
                     let pool =
                         svc.build_pool(&key, 0, false)
                             .map_err(|cause| ServeError::Pool {
@@ -403,9 +462,16 @@ impl ComicService {
         Ok(svc)
     }
 
-    /// The loaded graph.
-    pub fn graph(&self) -> &Arc<DiGraph> {
-        &self.graph
+    /// The currently served graph (the startup dataset until the first
+    /// delta apply swaps in a compacted successor). O(1): clones the
+    /// shared handle, so callers never hold the graph lock.
+    pub fn graph(&self) -> Arc<DiGraph> {
+        Arc::clone(&self.graph.read().expect("graph lock").graph)
+    }
+
+    /// Content digest of the currently served graph.
+    fn graph_digest(&self) -> u64 {
+        self.graph.read().expect("graph lock").digest
     }
 
     /// The "other item" seed set Com-IC pools condition on.
@@ -474,6 +540,165 @@ impl ComicService {
         self.deadline_misses.load(Ordering::SeqCst)
     }
 
+    /// Spill files rejected at load (corrupt, foreign-graph, or
+    /// provenance-mismatched). Missing files are not rejects.
+    pub fn spill_rejects(&self) -> u64 {
+        self.spill_rejects.load(Ordering::SeqCst)
+    }
+
+    /// RR-sets marked dirty by delta invalidation, service lifetime.
+    pub fn sets_invalidated(&self) -> u64 {
+        self.sets_invalidated.load(Ordering::SeqCst)
+    }
+
+    /// RR-sets resampled by the incremental refresh path.
+    pub fn sets_regenerated(&self) -> u64 {
+        self.sets_regenerated.load(Ordering::SeqCst)
+    }
+
+    /// Pools rebuilt from scratch on a delta apply (touch-opaque sampler
+    /// or staleness bound exceeded).
+    pub fn full_rebuilds(&self) -> u64 {
+        self.full_rebuilds.load(Ordering::SeqCst)
+    }
+
+    /// Edge deltas folded into the served graph since start.
+    pub fn deltas_applied(&self) -> u64 {
+        self.deltas_applied.load(Ordering::SeqCst)
+    }
+
+    /// Edge deltas accepted but not yet applied.
+    pub fn pending_delta_count(&self) -> u64 {
+        self.pending_deltas.lock().expect("delta lock").len() as u64
+    }
+
+    /// Queue a batch of edge deltas in wire order (adds, then removes,
+    /// then reweights). Returns the queue depth afterwards. Node ids must
+    /// already be validated against the served graph.
+    pub fn queue_deltas(
+        &self,
+        add: &[(u32, u32, f64)],
+        remove: &[(u32, u32)],
+        reweight: &[(u32, u32, f64)],
+    ) -> u64 {
+        let mut q = self.pending_deltas.lock().expect("delta lock");
+        for &(s, t, p) in add {
+            q.push(EdgeDelta::Add {
+                source: NodeId(s),
+                target: NodeId(t),
+                p,
+            });
+        }
+        for &(s, t) in remove {
+            q.push(EdgeDelta::Remove {
+                source: NodeId(s),
+                target: NodeId(t),
+            });
+        }
+        for &(s, t, p) in reweight {
+            q.push(EdgeDelta::Reweight {
+                source: NodeId(s),
+                target: NodeId(t),
+                p,
+            });
+        }
+        q.len() as u64
+    }
+
+    /// Drain the pending delta queue into the served graph and refit every
+    /// resident pool. Returns how many deltas were folded (0 when the
+    /// queue was empty).
+    ///
+    /// The graph swap is compaction ([`DiGraph::apply_deltas`]): queries
+    /// racing the apply see the old graph or the new one, never a torn
+    /// pair. Each pool is then refitted — *incrementally* when it carries
+    /// touch provenance, its sampler's touch sets are exact member sets
+    /// (vanilla IC), and the batch is within
+    /// [`ServeConfig::max_stale_deltas`]: only the RR-sets whose shard
+    /// bloom intersects a changed in-adjacency are resampled
+    /// (deterministic per-set streams — untouched sets keep their exact
+    /// bytes). Every other pool takes a full rebuild, counted in
+    /// `full_rebuilds`.
+    ///
+    /// A conflicting batch ([`comic_graph::GraphError::DeltaConflict`] —
+    /// e.g. removing an edge that is not there) is *dropped whole* with a
+    /// typed `bad_query` error: the log is a journal, and applying a
+    /// prefix would leave the queue and the graph silently diverged.
+    // The Err IS the wire response — boxing it would just move the copy.
+    #[allow(clippy::result_large_err)]
+    pub fn apply_pending_deltas(&self) -> Result<u64, Response> {
+        let deltas: Vec<EdgeDelta> = {
+            let mut q = self.pending_deltas.lock().expect("delta lock");
+            std::mem::take(&mut *q)
+        };
+        if deltas.is_empty() {
+            return Ok(0);
+        }
+        let old = self.graph();
+        let next = match old.apply_deltas(&deltas) {
+            Ok(g) => Arc::new(g),
+            Err(e) => {
+                return Err(Response::Error {
+                    code: ErrorCode::BadQuery,
+                    message: format!("delta batch dropped: {e}"),
+                })
+            }
+        };
+        let digest = comic_graph::io::graph_digest(&next);
+        {
+            let mut gs = self.graph.write().expect("graph lock");
+            gs.graph = Arc::clone(&next);
+            gs.digest = digest;
+        }
+        let count = deltas.len() as u64;
+        self.deltas_applied.fetch_add(count, Ordering::SeqCst);
+        for key in self.pool_keys() {
+            self.refit_pool(&key, &next, &deltas, count);
+        }
+        Ok(count)
+    }
+
+    /// Refit one pool to the just-swapped graph: incremental resample when
+    /// eligible, full rebuild otherwise.
+    fn refit_pool(&self, key: &PoolKey, g: &Arc<DiGraph>, deltas: &[EdgeDelta], batch: u64) {
+        let Some(pool) = self.pool(key) else {
+            return;
+        };
+        // Incremental refresh replays only marked sets with the *original*
+        // sampler semantics, so it is sound only where touch sets are
+        // exact member sets — the vanilla IC sampler. Com-IC samplers are
+        // touch-opaque (their pools carry no touch map) and the check on
+        // provenance makes that structural rather than by sampler name.
+        let eligible = key.sampler == SamplerKind::VanillaIc
+            && pool.touch_map().is_some()
+            && batch <= self.cfg.max_stale_deltas;
+        if eligible {
+            if let Some(marks) = pool.invalidate(deltas) {
+                let dirty = marks.iter().filter(|&&m| m).count() as u64;
+                self.sets_invalidated.fetch_add(dirty, Ordering::SeqCst);
+                let g2 = Arc::clone(g);
+                let refreshed = refresh_pool_marked(
+                    &pool,
+                    &marks,
+                    || IcRrSampler::new(&g2),
+                    self.cfg.gen_threads,
+                )
+                .with_generation(pool.generation() + 1);
+                self.sets_regenerated.fetch_add(dirty, Ordering::SeqCst);
+                let mut pools = self.pools.write().expect("pool lock");
+                if let Some(entry) = pools.get_mut(key) {
+                    entry.pool = refreshed;
+                    entry.built = Instant::now();
+                    entry.refreshes += 1;
+                    entry.degraded = false;
+                }
+                return;
+            }
+        }
+        self.full_rebuilds.fetch_add(1, Ordering::SeqCst);
+        let _ = self.refresh(key);
+    }
+
     /// Whether shutdown has been requested.
     pub fn is_draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
@@ -503,26 +728,55 @@ impl ComicService {
         Some(dir.join(format!("{}.rrseg", key.to_string().replace('/', "-"))))
     }
 
-    /// Try to reload `key`'s pool from its spill file. `None` on any
-    /// failure — missing file, corruption, a different graph (typed stale
-    /// by the reader), or provenance that disagrees with what *this*
-    /// config would generate (seed chain, `gen_threads`, design `k`, tier
-    /// ε, node count): a provenance mismatch means the spill's bytes are
-    /// some other config's pool, and serving it would break the
+    /// Try to reload `key`'s pool from its spill file, distinguishing the
+    /// expected cold start (no file) from an observable fault (a file
+    /// that exists but is corrupt, written for a different graph, or
+    /// carrying provenance that disagrees with what *this* config would
+    /// generate — seed chain, `gen_threads`, design `k`, tier ε, node
+    /// count): a provenance mismatch means the spill's bytes are some
+    /// other config's pool, and serving it would break the
     /// byte-determinism contract.
-    fn try_load_spilled(&self, key: &PoolKey) -> Option<SketchPool> {
-        let path = self.spill_path(key)?;
-        let pool = spill::read_pool_file(&path, self.graph_digest).ok()?;
+    fn try_load_spilled(&self, key: &PoolKey) -> SpillLoad {
+        let Some(path) = self.spill_path(key) else {
+            return SpillLoad::Missing;
+        };
+        let pool = match spill::read_pool_file(&path, self.graph_digest()) {
+            Ok(pool) => pool,
+            Err(comic_graph::GraphError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return SpillLoad::Missing;
+            }
+            Err(e) => return SpillLoad::Rejected(e.to_string()),
+        };
         let provenance_ok = pool.seed() == self.pool_seed(key, pool.generation())
             && pool.threads() == self.cfg.gen_threads
             && pool.design_k() == self.cfg.design_k
             && pool.epsilon() == key.tier.epsilon()
-            && pool.num_nodes() == self.graph.num_nodes()
+            && pool.num_nodes() == self.graph().num_nodes()
             && self
                 .cfg
                 .max_rr_sets
                 .is_none_or(|cap| pool.len() as u64 <= cap);
-        provenance_ok.then_some(pool)
+        if provenance_ok {
+            SpillLoad::Loaded(pool)
+        } else {
+            SpillLoad::Rejected(format!(
+                "provenance mismatch: spill holds generation {} seed {:#x} \
+                 ({} threads, design-k {}, ε {}, {} nodes), which this \
+                 config would not generate",
+                pool.generation(),
+                pool.seed(),
+                pool.threads(),
+                pool.design_k(),
+                pool.epsilon(),
+                pool.num_nodes(),
+            ))
+        }
+    }
+
+    /// Record (and warn about) a rejected spill file.
+    fn note_spill_reject(&self, key: &PoolKey, why: &str) {
+        self.spill_rejects.fetch_add(1, Ordering::SeqCst);
+        eprintln!("warning: rejecting spilled pool {key}: {why}; rebuilding from scratch");
     }
 
     /// Best-effort spill of a freshly built pool: persistence is an
@@ -533,8 +787,15 @@ impl ComicService {
         let Some(path) = self.spill_path(key) else {
             return;
         };
+        // Once deltas have mutated the served graph, stop spilling: a
+        // spill must describe the on-disk dataset, or the next cold start
+        // would reject (or worse, serve) pools for a graph it never
+        // loaded.
+        if self.deltas_applied.load(Ordering::SeqCst) > 0 {
+            return;
+        }
         let tmp = path.with_extension("rrseg.tmp");
-        let write = spill::write_pool_file(pool, self.graph_digest, &tmp)
+        let write = spill::write_pool_file(pool, self.graph_digest(), &tmp)
             .and_then(|()| std::fs::rename(&tmp, &path).map_err(comic_graph::GraphError::Io));
         if let Err(e) = write {
             let _ = std::fs::remove_file(&tmp);
@@ -572,7 +833,8 @@ impl ComicService {
             tc = tc.max_rr_sets(cap);
         }
         let pipe = RisPipeline::new(tc);
-        let g = self.graph.as_ref();
+        let graph = self.graph();
+        let g = graph.as_ref();
         let observe = |stage: PoolStage| {
             if inject && stage == PoolStage::Generate && self.faults.trip(FaultSite::BuildPanic) {
                 panic!("injected pool-build panic ({key})");
@@ -671,9 +933,12 @@ impl ComicService {
         failed
     }
 
-    /// Spawn the background refresh thread: every `every`, regenerate all
-    /// pools on the deterministic generation schedule; exits promptly once
-    /// shutdown begins. Join the handle after [`ComicService::drain`].
+    /// Spawn the background refresh thread: every `every`, fold any
+    /// pending edge deltas into the served graph (the incremental path —
+    /// see [`ComicService::apply_pending_deltas`]), or, with nothing
+    /// queued, regenerate all pools on the deterministic generation
+    /// schedule; exits promptly once shutdown begins. Join the handle
+    /// after [`ComicService::drain`].
     ///
     /// Failed sweeps back off exponentially ([`refresh_backoff`]) so a
     /// persistently failing build does not spin the CPU; one success
@@ -699,7 +964,17 @@ impl ComicService {
                     return;
                 }
                 attempt += 1;
-                let failed = catch_unwind(AssertUnwindSafe(|| svc.refresh_all())).unwrap_or(1);
+                let failed = catch_unwind(AssertUnwindSafe(|| {
+                    if svc.pending_delta_count() > 0 {
+                        match svc.apply_pending_deltas() {
+                            Ok(_) => 0,
+                            Err(_) => 1,
+                        }
+                    } else {
+                        svc.refresh_all()
+                    }
+                }))
+                .unwrap_or(1);
                 failures = if failed == 0 {
                     0
                 } else {
@@ -731,6 +1006,50 @@ impl ComicService {
                 Err(resp) => resp,
             },
             Request::Batch(reqs) => Response::Batch(reqs.iter().map(|r| self.handle(r)).collect()),
+            Request::Delta {
+                add,
+                remove,
+                reweight,
+                apply,
+            } => {
+                if self.is_draining() {
+                    return Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "service is draining; no new deltas".to_string(),
+                    };
+                }
+                // Validate node ids before queueing: a bad id must fail
+                // *this* request, not poison a later apply of the queue.
+                let n = self.graph().num_nodes();
+                let bad = add
+                    .iter()
+                    .chain(reweight.iter())
+                    .flat_map(|&(s, t, _)| [s, t])
+                    .chain(remove.iter().flat_map(|&(s, t)| [s, t]))
+                    .find(|&v| v as usize >= n);
+                if let Some(v) = bad {
+                    return Response::Error {
+                        code: ErrorCode::BadQuery,
+                        message: format!("delta node {v} out of range for a {n}-node graph"),
+                    };
+                }
+                self.queue_deltas(add, remove, reweight);
+                let applied = if *apply {
+                    match self.apply_pending_deltas() {
+                        Ok(count) => count,
+                        Err(resp) => return resp,
+                    }
+                } else {
+                    0
+                };
+                Response::Deltas {
+                    pending: self.pending_delta_count(),
+                    applied,
+                    sets_invalidated: self.sets_invalidated(),
+                    sets_regenerated: self.sets_regenerated(),
+                    full_rebuilds: self.full_rebuilds(),
+                }
+            }
             Request::Select { .. } | Request::Estimate { .. } => {
                 if self.is_draining() {
                     return Response::Error {
@@ -992,16 +1311,35 @@ impl ComicService {
                 queries: entry.queries.load(Ordering::SeqCst),
             })
             .collect();
+        let g = self.graph();
         Response::Stats {
             graph: self.graph_name.clone(),
-            nodes: self.graph.num_nodes() as u64,
-            edges: self.graph.num_edges() as u64,
+            nodes: g.num_nodes() as u64,
+            edges: g.num_edges() as u64,
             uptime_ms: self.started.elapsed().as_millis() as u64,
             queries: self.queries.load(Ordering::SeqCst),
             pool_builds: self.pool_builds(),
             shed: self.shed.load(Ordering::SeqCst),
             deadline_misses: self.deadline_misses.load(Ordering::SeqCst),
+            spill_rejects: self.spill_rejects(),
+            sets_invalidated: self.sets_invalidated(),
+            sets_regenerated: self.sets_regenerated(),
+            full_rebuilds: self.full_rebuilds(),
             pools: rows,
+        }
+    }
+}
+
+/// Delete leftover `*.tmp` files in the pool directory (debris of a crash
+/// between a spill's temp-write and its rename; nothing reads them).
+fn sweep_stale_tmp(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|x| x == "tmp") {
+            let _ = std::fs::remove_file(&path);
         }
     }
 }
@@ -1137,6 +1475,11 @@ mod tests {
             2,
             "foreign-seed spills must be rebuilt, not served"
         );
+        assert_eq!(
+            svc.spill_rejects(),
+            2,
+            "provenance mismatches are observable rejects"
+        );
         drop(svc);
 
         // The foreign-seed run re-spilled its own pools; restore spills
@@ -1160,7 +1503,251 @@ mod tests {
         std::fs::write(&entries[0], &bytes).unwrap();
         let svc = ComicService::start(cfg).unwrap();
         assert_eq!(svc.pool_builds(), 1, "only the corrupt spill rebuilds");
+        assert_eq!(svc.spill_rejects(), 1, "the corrupt spill is counted");
+        // The reject surfaces on the stats line too.
+        let line = svc.stats().to_line();
+        assert!(line.contains("\"spill_rejects\":1"), "{line}");
+        // A missing file, by contrast, is a silent cold start: fresh dir,
+        // two builds, zero rejects.
+        drop(svc);
         let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut cold = small_cfg();
+        cold.pool_dir = Some(dir.clone());
+        let svc = ComicService::start(cold).unwrap();
+        assert_eq!(svc.pool_builds(), 2);
+        assert_eq!(svc.spill_rejects(), 0, "missing spills are not rejects");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_sweeps_stale_tmp_files() {
+        let dir = temp_pool_dir("tmpsweep");
+        let stale = dir.join("vanilla-ic-default-coarse.rrseg.tmp");
+        std::fs::write(&stale, b"half-written debris").unwrap();
+        let mut cfg = small_cfg();
+        cfg.pool_dir = Some(dir.clone());
+        let svc = ComicService::start(cfg).unwrap();
+        assert!(!stale.exists(), "stale .tmp must be swept at startup");
+        assert_eq!(svc.spill_rejects(), 0, "a swept .tmp is not a reject");
+        drop(svc);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_spill_rename_leaves_no_tmp_behind() {
+        let dir = temp_pool_dir("renamefail");
+        // A *directory* squatting on the spill path makes the rename fail
+        // after the temp write succeeded.
+        std::fs::create_dir_all(dir.join("vanilla-ic-default-coarse.rrseg")).unwrap();
+        let mut cfg = small_cfg();
+        cfg.pools = vec![PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).unwrap()];
+        cfg.pool_dir = Some(dir.clone());
+        let svc = ComicService::start(cfg).unwrap();
+        assert_eq!(svc.pool_builds(), 1, "squatted spill path still builds");
+        assert!(
+            !dir.join("vanilla-ic-default-coarse.rrseg.tmp").exists(),
+            "a failed rename must clean up its temp file"
+        );
+        drop(svc);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// One removable edge of the served graph, picked deterministically.
+    fn first_edge(svc: &ComicService) -> (u32, u32) {
+        let g = svc.graph();
+        let (_, e) = g.edges().next().expect("fixture graph has edges");
+        (e.source.0, e.target.0)
+    }
+
+    #[test]
+    fn deltas_queue_then_apply_incrementally() {
+        let mut cfg = small_cfg();
+        cfg.pools = vec![PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).unwrap()];
+        let svc = ComicService::start(cfg.clone()).unwrap();
+        let key = PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).unwrap();
+        let before = svc.pool(&key).unwrap();
+        assert!(before.touch_map().is_some(), "IC pools carry provenance");
+        let edges_before = svc.graph().num_edges();
+        let (s, t) = first_edge(&svc);
+
+        // Queue without applying: nothing changes but the queue depth.
+        let resp = svc.handle(&Request::Delta {
+            add: vec![],
+            remove: vec![(s, t)],
+            reweight: vec![],
+            apply: false,
+        });
+        assert_eq!(
+            resp,
+            Response::Deltas {
+                pending: 1,
+                applied: 0,
+                sets_invalidated: 0,
+                sets_regenerated: 0,
+                full_rebuilds: 0,
+            }
+        );
+        assert_eq!(svc.graph().num_edges(), edges_before);
+        assert_eq!(svc.pool(&key).unwrap().generation(), 0);
+
+        // Apply: the graph compacts, the pool refits incrementally.
+        let resp = svc.handle(&Request::Delta {
+            add: vec![],
+            remove: vec![],
+            reweight: vec![],
+            apply: true,
+        });
+        match resp {
+            Response::Deltas {
+                pending,
+                applied,
+                sets_invalidated,
+                sets_regenerated,
+                full_rebuilds,
+            } => {
+                assert_eq!((pending, applied), (0, 1));
+                assert_eq!(sets_invalidated, sets_regenerated);
+                assert_eq!(full_rebuilds, 0, "IC pools within bound refit in place");
+            }
+            other => panic!("expected Deltas, got {other:?}"),
+        }
+        assert_eq!(svc.graph().num_edges(), edges_before - 1);
+        let after = svc.pool(&key).unwrap();
+        assert_eq!(after.generation(), 1);
+        assert_eq!(after.len(), before.len(), "θ is frozen across the refit");
+        assert_eq!(after.seed(), before.seed());
+        // No sampling-from-scratch happened: builds stayed at startup's 1.
+        assert_eq!(svc.pool_builds(), 1);
+
+        // Determinism: a second instance fed the same deltas lands on
+        // byte-identical sketches.
+        let svc2 = ComicService::start(cfg).unwrap();
+        let resp2 = svc2.handle(&Request::Delta {
+            add: vec![],
+            remove: vec![(s, t)],
+            reweight: vec![],
+            apply: true,
+        });
+        assert!(
+            matches!(resp2, Response::Deltas { applied: 1, .. }),
+            "{resp2:?}"
+        );
+        let other = svc2.pool(&key).unwrap();
+        assert_eq!(after.store(), other.store());
+        assert_eq!(**after.touch_map().unwrap(), **other.touch_map().unwrap());
+
+        // And the refitted pool still answers queries.
+        let sel = svc.handle(&Request::Select {
+            pool: key,
+            k: 3,
+            selector: None,
+            budget: None,
+            deadline_ms: None,
+        });
+        assert!(matches!(sel, Response::Selected { .. }), "{sel:?}");
+    }
+
+    #[test]
+    fn touch_opaque_pools_and_exceeded_bounds_take_full_rebuilds() {
+        // An RR-SIM pool has no touch provenance: a delta apply rebuilds it
+        // from scratch while the IC pool refits incrementally.
+        let svc = ComicService::start(small_cfg()).unwrap();
+        let (s, t) = first_edge(&svc);
+        let builds = svc.pool_builds();
+        let resp = svc.handle(&Request::Delta {
+            add: vec![],
+            remove: vec![(s, t)],
+            reweight: vec![],
+            apply: true,
+        });
+        match resp {
+            Response::Deltas { full_rebuilds, .. } => assert_eq!(full_rebuilds, 1),
+            other => panic!("expected Deltas, got {other:?}"),
+        }
+        assert_eq!(
+            svc.pool_builds(),
+            builds + 1,
+            "only the RR-SIM pool resamples"
+        );
+        let sim = PoolKey::new(SamplerKind::RrSim, "one-way", EpsTier::Coarse).unwrap();
+        assert_eq!(svc.pool(&sim).unwrap().generation(), 1);
+
+        // A zero staleness bound pushes even the IC pool to a full rebuild.
+        let mut cfg = small_cfg();
+        cfg.pools = vec![PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).unwrap()];
+        cfg.max_stale_deltas = 0;
+        let svc = ComicService::start(cfg).unwrap();
+        let (s, t) = first_edge(&svc);
+        let resp = svc.handle(&Request::Delta {
+            add: vec![],
+            remove: vec![(s, t)],
+            reweight: vec![],
+            apply: true,
+        });
+        match resp {
+            Response::Deltas {
+                full_rebuilds,
+                sets_regenerated,
+                ..
+            } => {
+                assert_eq!(full_rebuilds, 1, "bound exceeded forces a rebuild");
+                assert_eq!(sets_regenerated, 0);
+            }
+            other => panic!("expected Deltas, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_or_out_of_range_deltas_are_typed_and_dropped() {
+        let mut cfg = small_cfg();
+        cfg.pools = vec![PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).unwrap()];
+        let svc = ComicService::start(cfg).unwrap();
+        // Out-of-range node: rejected before queueing.
+        let resp = svc.handle(&Request::Delta {
+            add: vec![(0, 4_000_000, 0.5)],
+            remove: vec![],
+            reweight: vec![],
+            apply: false,
+        });
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::BadQuery,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        assert_eq!(svc.pending_delta_count(), 0);
+        // A conflicting batch (removing an absent edge) is dropped whole —
+        // the queue does not keep poison around for the next apply.
+        let g = svc.graph();
+        let absent = (0..g.num_nodes() as u32)
+            .flat_map(|s| (0..g.num_nodes() as u32).map(move |t| (s, t)))
+            .find(|&(s, t)| s != t && !g.out_edges(NodeId(s)).any(|adj| adj.node == NodeId(t)))
+            .expect("fixture graph is not complete");
+        let resp = svc.handle(&Request::Delta {
+            add: vec![],
+            remove: vec![absent],
+            reweight: vec![],
+            apply: true,
+        });
+        match resp {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::BadQuery);
+                assert!(message.contains("delta batch dropped"), "{message}");
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        assert_eq!(svc.pending_delta_count(), 0, "poison batch is gone");
+        assert_eq!(svc.deltas_applied(), 0);
+        assert_eq!(svc.pool(&cfg_key()).unwrap().generation(), 0);
+    }
+
+    fn cfg_key() -> PoolKey {
+        PoolKey::new(SamplerKind::VanillaIc, "default", EpsTier::Coarse).unwrap()
     }
 
     #[test]

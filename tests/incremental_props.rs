@@ -1,0 +1,195 @@
+//! Property tests for the incremental sketch-maintenance path: after a
+//! batch of edge deltas, the bloom-screened partial refresh
+//! ([`SketchPool::invalidate`] + [`refresh_pool_marked`]) must produce a
+//! pool byte-identical to resampling *every* set on the compacted graph —
+//! in particular it must not resurrect RR-sets rooted in removed
+//! structure — and the regeneration must be thread-invariant.
+//!
+//! The all-marks refresh is the from-scratch oracle: marking every set
+//! resamples the whole pool against the new graph through the exact
+//! per-set seed streams the pool was generated from, so any set the
+//! invalidation screen wrongly left untouched shows up as a byte diff.
+
+use comic_bench::invariance::{assert_thread_invariance, thread_counts};
+use comic_graph::delta::node_removal_deltas;
+use comic_graph::{DiGraph, EdgeDelta, NodeId};
+use comic_ris::ic_sampler::IcRrSampler;
+use comic_ris::pipeline::refresh_pool_marked;
+use comic_ris::tim::TimConfig;
+use comic_ris::{RisPipeline, SketchPool, TouchMap};
+use proptest::prelude::*;
+
+const GEN_THREADS: usize = 2;
+
+/// Strategy: a small random graph as an edge list (same shape as
+/// `tests/properties.rs`), with probabilities bounded away from 0 so
+/// removals actually change reachability.
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (
+        2usize..20,
+        proptest::collection::vec((0u32..20, 0u32..20, 0.05f64..=1.0), 1..60),
+    )
+        .prop_map(|(n, edges)| {
+            let n = n.max(
+                edges
+                    .iter()
+                    .map(|&(a, b, _)| a.max(b) as usize + 1)
+                    .max()
+                    .unwrap_or(0),
+            );
+            let mut b = comic_graph::GraphBuilder::new(n);
+            for (u, v, p) in edges {
+                b.add_edge(u, v, p);
+            }
+            b.build().expect("arbitrary edges within range are valid")
+        })
+}
+
+/// Build a touch-tracked IC pool over `g` through the real pipeline, so its
+/// seed/θ provenance matches what [`refresh_pool_marked`] re-derives.
+fn build_pool(g: &DiGraph, seed: u64) -> SketchPool {
+    RisPipeline::new(
+        TimConfig::new(2)
+            .seed(seed)
+            .threads(GEN_THREADS)
+            .max_rr_sets(512),
+    )
+    .generate_pool(|| IcRrSampler::new(g))
+    .expect("IC pool over a small proptest graph")
+}
+
+/// Refresh with every set marked — from-scratch generation on `g2` with the
+/// pool's frozen `(seed, threads, θ)` provenance.
+fn scratch_refresh(pool: &SketchPool, g2: &DiGraph) -> SketchPool {
+    let all = vec![true; pool.len()];
+    refresh_pool_marked(pool, &all, || IcRrSampler::new(g2), GEN_THREADS)
+}
+
+/// Assert two pools over the same provenance are byte-identical: store,
+/// coverage index, and touch map (the refreshes preserve the original
+/// bloom geometry, so the maps compare directly).
+fn assert_pools_equal(a: &SketchPool, b: &SketchPool) {
+    assert_eq!(a.store(), b.store(), "store mismatch");
+    let (ta, tb) = (a.touch_map().unwrap(), b.touch_map().unwrap());
+    assert_eq!(ta.bounds(), tb.bounds(), "shard bounds mismatch");
+    assert_eq!(**ta, **tb, "touch map mismatch");
+    // The coverage indices describe identical stores; spot-check the
+    // cheap aggregate identities rather than re-walking the CSR.
+    let (ia, ib) = (a.coverage_index().unwrap(), b.coverage_index().unwrap());
+    assert_eq!(ia.num_sets(), ib.num_sets());
+    assert_eq!(ia.total_entries(), ib.total_entries());
+}
+
+/// Every RR-set must be internally consistent with the *current* graph:
+/// each non-root member needs a live out-edge to another member (reverse
+/// reachability leaves the whole path in the set). A set sampled against
+/// the stale graph — the resurrection bug — violates this as soon as the
+/// edge it walked is gone.
+fn assert_sets_live(pool: &SketchPool, g: &DiGraph) {
+    for i in 0..pool.len() {
+        let set = pool.store().set(i);
+        let root = set[0];
+        for &v in &set[1..] {
+            let ok = g
+                .out_edges(v)
+                .any(|adj| adj.p > 0.0 && (adj.node == root || set.contains(&adj.node)));
+            assert!(
+                ok,
+                "set {i}: member {v:?} has no live out-edge into the set on the compacted graph"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Removing an arbitrary edge: the partial refresh equals the
+    /// from-scratch pool on the compacted graph.
+    #[test]
+    fn edge_removal_refresh_matches_scratch(
+        g in arb_graph(),
+        seed in 0u64..1_000,
+        pick in 0usize..10_000,
+    ) {
+        prop_assume!(g.num_edges() > 0);
+        let (_, e) = g.edges().nth(pick % g.num_edges()).unwrap();
+        let deltas = vec![EdgeDelta::Remove { source: e.source, target: e.target }];
+
+        let pool = build_pool(&g, seed);
+        let g2 = g.apply_deltas(&deltas).unwrap();
+        let marks = pool.invalidate(&deltas).expect("IC pools carry touch provenance");
+
+        let refreshed = refresh_pool_marked(&pool, &marks, || IcRrSampler::new(&g2), GEN_THREADS);
+        assert_pools_equal(&refreshed, &scratch_refresh(&pool, &g2));
+        assert_sets_live(&refreshed, &g2);
+    }
+
+    /// Removing a whole node (all incident edges): beyond matching the
+    /// from-scratch pool, no regenerated set may keep the detached node as
+    /// a member — sets rooted at it collapse to the bare root.
+    #[test]
+    fn node_removal_refresh_buries_the_node(
+        g in arb_graph(),
+        seed in 0u64..1_000,
+        pick in 0usize..10_000,
+    ) {
+        let v = NodeId((pick % g.num_nodes()) as u32);
+        let deltas = node_removal_deltas(&g, v);
+        prop_assume!(!deltas.is_empty());
+
+        let pool = build_pool(&g, seed);
+        let g2 = g.apply_deltas(&deltas).unwrap();
+        let marks = pool.invalidate(&deltas).expect("IC pools carry touch provenance");
+
+        let refreshed = refresh_pool_marked(&pool, &marks, || IcRrSampler::new(&g2), GEN_THREADS);
+        assert_pools_equal(&refreshed, &scratch_refresh(&pool, &g2));
+        assert_sets_live(&refreshed, &g2);
+
+        for i in 0..refreshed.len() {
+            let set = refreshed.store().set(i);
+            if set.contains(&v) {
+                prop_assert_eq!(
+                    set, &[v][..],
+                    "set {} still reaches detached node {:?}", i, v
+                );
+            }
+        }
+        // The rescanned touch provenance must have buried v too, except in
+        // shards whose only trace of v is its own bare-root set.
+        let rescan = TouchMap::over_store(
+            refreshed.store(),
+            refreshed.touch_map().unwrap().bounds().to_vec(),
+            refreshed.touch_map().unwrap().words_per_shard(),
+        );
+        prop_assert_eq!(&rescan, &**refreshed.touch_map().unwrap());
+    }
+
+    /// The regeneration thread count is a latency-only knob: refreshing on
+    /// 1, 2, 4, … workers yields byte-identical stores.
+    #[test]
+    fn incremental_refresh_is_thread_invariant(
+        g in arb_graph(),
+        seed in 0u64..1_000,
+        pick in 0usize..10_000,
+    ) {
+        prop_assume!(g.num_edges() > 0);
+        let (_, e) = g.edges().nth(pick % g.num_edges()).unwrap();
+        let deltas = vec![EdgeDelta::Remove { source: e.source, target: e.target }];
+
+        let pool = build_pool(&g, seed);
+        let g2 = g.apply_deltas(&deltas).unwrap();
+        let marks = pool.invalidate(&deltas).expect("IC pools carry touch provenance");
+
+        let report = assert_thread_invariance("incremental_refresh(proptest)", |threads| {
+            let refreshed =
+                refresh_pool_marked(&pool, &marks, || IcRrSampler::new(&g2), threads);
+            refreshed
+                .store()
+                .iter()
+                .map(|set| set.iter().map(|v| v.0).collect::<Vec<u32>>())
+                .collect::<Vec<_>>()
+        });
+        prop_assert_eq!(report.digests.len(), thread_counts().len());
+    }
+}
